@@ -1,0 +1,55 @@
+// Ablation (Proposition 4.1 / Eq. 4): how many sample queries are enough?
+// The paper mandates >= 10 observations per estimated coefficient. This
+// harness sweeps the training-sample size and measures out-of-sample
+// estimate quality — the knee should sit near the Proposition 4.1 number.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/str_util.h"
+#include "common/text_table.h"
+#include "core/agent_source.h"
+#include "core/model_builder.h"
+#include "core/validation.h"
+
+int main() {
+  using namespace mscm;
+
+  mdbs::LocalDbs site(bench::SiteConfig("alpha", /*seed=*/1400));
+  const core::QueryClassId cls = core::QueryClassId::kUnarySeqScan;
+  const core::VariableSet vars = core::VariableSet::ForClass(cls);
+  const int recommended = core::RecommendedSampleSize(
+      static_cast<int>(vars.BasicIndices().size()), 6);
+
+  core::AgentObservationSource test_source(&site, cls, 1401);
+  const core::ObservationSet test = core::DrawObservations(test_source, 120);
+
+  std::printf("Ablation — estimate quality vs training-sample size\n");
+  std::printf("class %s on %s; Proposition 4.1 / Eq. 4 recommends n = %d\n\n",
+              core::Label(cls), bench::SiteDbmsLabel("alpha"), recommended);
+
+  TextTable table({"sample size", "#states found", "R^2", "very good",
+                   "good"});
+  core::AgentObservationSource train_source(&site, cls, 1402);
+  for (int n : {60, 120, 180, recommended, recommended * 2}) {
+    const core::ObservationSet training =
+        core::DrawObservations(train_source, n);
+    core::ModelBuildOptions options;
+    options.algorithm = core::StateAlgorithm::kIupma;
+    const core::BuildReport report =
+        core::BuildCostModelFromObservations(cls, training, options);
+    const core::ValidationReport v = core::Validate(report.model, test);
+    table.AddRow(
+        {Format("%d%s", n, n == recommended ? " (Prop. 4.1)" : ""),
+         Format("%d", report.model.states().num_states()),
+         Format("%.3f", report.model.r_squared()),
+         Format("%.0f%%", 100.0 * v.pct_very_good),
+         Format("%.0f%%", 100.0 * v.pct_good)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nexpected shape: undersized samples support fewer states (the "
+      "per-state population guard bites) and estimate worse; gains flatten "
+      "beyond the Proposition 4.1 size.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Extension: k-fold cross-validation of the state-count choice. In-sample R²
+// never decreases with more states (§5's sweep), so how many states are
+// *really* warranted? Held-out error answers: it improves up to the true
+// regime structure and then flattens or degrades — independently confirming
+// the paper's "3 to 6 states are usually sufficient" with an out-of-sample
+// criterion the paper did not use.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/str_util.h"
+#include "common/text_table.h"
+#include "core/agent_source.h"
+#include "core/cross_validation.h"
+#include "core/model_builder.h"
+
+int main() {
+  using namespace mscm;
+
+  mdbs::LocalDbs site(bench::SiteConfig("alpha", /*seed=*/1300));
+  const core::QueryClassId cls = core::QueryClassId::kUnarySeqScan;
+  const core::VariableSet vars = core::VariableSet::ForClass(cls);
+
+  core::AgentObservationSource source(&site, cls, 1301);
+  const core::ObservationSet obs = core::DrawObservations(source, 400);
+
+  double cmin = obs.front().probing_cost;
+  double cmax = cmin;
+  for (const auto& o : obs) {
+    cmin = std::min(cmin, o.probing_cost);
+    cmax = std::max(cmax, o.probing_cost);
+  }
+
+  std::printf("Extension — 5-fold cross-validation vs number of states\n");
+  std::printf("class %s on %s, %zu observations\n\n", core::Label(cls),
+              bench::SiteDbmsLabel("alpha"), obs.size());
+
+  TextTable table({"#states", "in-sample R^2", "CV RMSE (s)",
+                   "CV very good", "CV good"});
+  for (int m = 1; m <= 8; ++m) {
+    const core::ContentionStates states =
+        core::ContentionStates::UniformPartition(cmin, cmax, m);
+    const core::CostModel model = core::FitCostModel(
+        cls, obs, vars.BasicIndices(), states,
+        core::QualitativeForm::kGeneral);
+    Rng rng(1302);  // same folds for every m
+    const core::CrossValidationReport cv = core::CrossValidate(
+        cls, obs, vars.BasicIndices(), states,
+        core::QualitativeForm::kGeneral, 5, rng);
+    table.AddRow({Format("%d", m), Format("%.4f", model.r_squared()),
+                  Format("%.2f", cv.mean_rmse),
+                  Format("%.0f%%", 100.0 * cv.pct_very_good),
+                  Format("%.0f%%", 100.0 * cv.pct_good)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nexpected shape: the typical-query bands (very good / good) keep "
+      "improving with more states, but CV RMSE degrades sharply once a "
+      "sparse tail subrange no longer has enough observations in every "
+      "training fold — the instability IUPMA's underpopulation pre-merging "
+      "exists to prevent, and an out-of-sample confirmation that a small "
+      "number of *well-populated* states is the right target.\n");
+  return 0;
+}

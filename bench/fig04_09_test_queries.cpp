@@ -1,0 +1,105 @@
+// Figures 4–9: observed vs estimated costs for test queries in a dynamic
+// environment — estimated by the multi-states ("qualitative") model and by
+// the one-state ("static approach") model. One figure per (query class,
+// local DBS) pair:
+//   Fig 4/5: class G1 on DB2-like / Oracle-like,
+//   Fig 6/7: class G2,
+//   Fig 8/9: class G3 (join).
+// The paper plots cost against the number of result tuples; this harness
+// prints the same series, sorted by result size, so the crossing pattern
+// (multi-states hugging the observed curve, one-state deviating under
+// high/low contention) is directly visible.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/str_util.h"
+#include "common/text_table.h"
+#include "core/agent_source.h"
+#include "core/model_builder.h"
+#include "core/validation.h"
+
+namespace {
+
+using namespace mscm;
+
+// Index of the result-cardinality feature in the class's variable set.
+int ResultTuplesFeature(core::QueryClassId cls) {
+  return core::IsJoinClass(cls) ? 4 : 2;
+}
+
+}  // namespace
+
+int main() {
+  struct FigureSpec {
+    int number;
+    core::QueryClassId cls;
+    const char* site;
+  };
+  const FigureSpec kFigures[] = {
+      {4, core::QueryClassId::kUnarySeqScan, "beta"},
+      {5, core::QueryClassId::kUnarySeqScan, "alpha"},
+      {6, core::QueryClassId::kUnaryNonClusteredIndex, "beta"},
+      {7, core::QueryClassId::kUnaryNonClusteredIndex, "alpha"},
+      {8, core::QueryClassId::kJoinNoIndex, "beta"},
+      {9, core::QueryClassId::kJoinNoIndex, "alpha"},
+  };
+  constexpr int kTestQueries = 40;
+
+  uint64_t seed = 600;
+  for (const FigureSpec& fig : kFigures) {
+    mdbs::LocalDbs site(bench::SiteConfig(fig.site, seed += 31));
+
+    // Train multi-states and one-state models on the same dynamic sample.
+    core::AgentObservationSource source(&site, fig.cls, seed += 7);
+    const core::VariableSet vars = core::VariableSet::ForClass(fig.cls);
+    const int n = core::RecommendedSampleSize(
+        static_cast<int>(vars.BasicIndices().size()), 6);
+    const core::ObservationSet training = core::DrawObservations(source, n);
+
+    core::ModelBuildOptions multi_options;
+    multi_options.algorithm = core::StateAlgorithm::kIupma;
+    const core::BuildReport multi =
+        core::BuildCostModelFromObservations(fig.cls, training, multi_options);
+    core::ModelBuildOptions one_options;
+    one_options.algorithm = core::StateAlgorithm::kSingleState;
+    const core::BuildReport one =
+        core::BuildCostModelFromObservations(fig.cls, training, one_options);
+
+    core::AgentObservationSource test_source(&site, fig.cls, seed += 7);
+    core::ObservationSet test = core::DrawObservations(test_source,
+                                                       kTestQueries);
+    const int result_feature = ResultTuplesFeature(fig.cls);
+    std::sort(test.begin(), test.end(),
+              [result_feature](const core::Observation& a,
+                               const core::Observation& b) {
+                return a.features[static_cast<size_t>(result_feature)] <
+                       b.features[static_cast<size_t>(result_feature)];
+              });
+
+    std::printf(
+        "Figure %d — costs for test queries in class %s on %s\n",
+        fig.number, core::Label(fig.cls), bench::SiteDbmsLabel(fig.site));
+    TextTable table({"result tuples", "observed (s)",
+                     "multi-states est (s)", "one-state est (s)"});
+    int multi_good = 0;
+    int one_good = 0;
+    for (const core::Observation& o : test) {
+      const double est_multi = multi.model.Estimate(o.features,
+                                                    o.probing_cost);
+      const double est_one = one.model.Estimate(o.features, o.probing_cost);
+      if (core::IsGoodEstimate(est_multi, o.cost)) ++multi_good;
+      if (core::IsGoodEstimate(est_one, o.cost)) ++one_good;
+      table.AddRow(
+          {Format("%.0f",
+                  o.features[static_cast<size_t>(result_feature)] * 1000.0),
+           Format("%.2f", o.cost), Format("%.2f", est_multi),
+           Format("%.2f", est_one)});
+    }
+    std::printf("%s", table.Render().c_str());
+    std::printf("good estimates: multi-states %d/%d, one-state %d/%d\n\n",
+                multi_good, kTestQueries, one_good, kTestQueries);
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 4: the multi-states cost models derived by the multi-states query
+// sampling method for three representative query classes on each local DBS —
+//   G1: unary queries without usable indexes,
+//   G2: unary queries with usable non-clustered indexes for ranges,
+//   G3: join queries without usable indexes.
+// The paper prints per-state regression equations (coefficients spanning
+// several orders of magnitude); this harness derives and prints the same.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/agent_source.h"
+#include "core/model_builder.h"
+
+int main() {
+  using namespace mscm;
+
+  const core::QueryClassId kClasses[] = {
+      core::QueryClassId::kUnarySeqScan,
+      core::QueryClassId::kUnaryNonClusteredIndex,
+      core::QueryClassId::kJoinNoIndex,
+  };
+
+  std::printf(
+      "Table 4 — multi-states cost models per query class and local DBS\n\n");
+
+  uint64_t seed = 200;
+  for (const std::string site_name : {"alpha", "beta"}) {
+    mdbs::LocalDbs site(bench::SiteConfig(site_name, seed += 13));
+    std::printf("== local DBS %s ==\n\n", bench::SiteDbmsLabel(site_name));
+    for (core::QueryClassId cls : kClasses) {
+      core::AgentObservationSource source(&site, cls, seed += 7);
+      core::ModelBuildOptions options;
+      options.algorithm = core::StateAlgorithm::kIupma;
+      const core::BuildReport report =
+          core::BuildCostModel(cls, source, options);
+      std::printf("%s\n",
+                  report.model
+                      .ToString(core::VariableSet::ForClass(cls))
+                      .c_str());
+    }
+  }
+  return 0;
+}

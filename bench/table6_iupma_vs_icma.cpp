@@ -1,0 +1,83 @@
+// Table 6: statistics for cost models derived in a *clustered* dynamic
+// environment — the contention level concentrates in a few usage clusters
+// (Figure 10) rather than spreading uniformly. Both state-determination
+// algorithms run on the same sampled data:
+//   IUPMA — iterative uniform partition with merging adjustment,
+//   ICMA  — iterative (agglomerative) clustering with merging adjustment.
+// Paper result for a unary class: IUPMA R^2 0.978 / 58% very good / 82%
+// good; ICMA R^2 0.991 / 82% very good / 95% good — ICMA finds boundaries
+// aligned with the actual clusters and wins.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/str_util.h"
+#include "common/text_table.h"
+#include "core/agent_source.h"
+#include "core/model_builder.h"
+#include "core/validation.h"
+
+int main() {
+  using namespace mscm;
+
+  mdbs::LocalDbsConfig config = bench::SiteConfig("alpha", /*seed=*/700);
+  config.load.regime = sim::LoadRegime::kClustered;
+  mdbs::LocalDbs site(config);
+
+  const core::QueryClassId cls = core::QueryClassId::kUnarySeqScan;
+  const core::VariableSet vars = core::VariableSet::ForClass(cls);
+  const int n = core::RecommendedSampleSize(
+      static_cast<int>(vars.BasicIndices().size()), 6);
+
+  // Shared training sample drawn from the clustered environment.
+  core::AgentObservationSource source(&site, cls, 701);
+  const core::ObservationSet training = core::DrawObservations(source, n);
+
+  std::printf("Table 6 — IUPMA vs ICMA in a clustered dynamic environment\n");
+  std::printf("class %s on %s, %zu sample queries\n\n", core::Label(cls),
+              bench::SiteDbmsLabel("alpha"), training.size());
+
+  core::AgentObservationSource test_source(&site, cls, 702);
+  const core::ObservationSet test = core::DrawObservations(test_source, 100);
+
+  TextTable table({"states determination", "#states", "R^2", "SEE",
+                   "avg cost (s)", "very good", "good"});
+  for (core::StateAlgorithm algo :
+       {core::StateAlgorithm::kIupma, core::StateAlgorithm::kIcma}) {
+    core::ModelBuildOptions options;
+    options.algorithm = algo;
+    // ICMA may top up undersampled clusters through the live source.
+    core::AgentObservationSource refill(&site, cls, 703);
+    core::BuildReport report =
+        (algo == core::StateAlgorithm::kIcma)
+            ? [&]() {
+                core::ObservationSet obs = training;
+                core::ModelBuildOptions icma_options = options;
+                // Run with the live source available for targeted draws.
+                core::StateDeterminationOptions so = icma_options.states;
+                so.form = icma_options.form;
+                // First pass: let ICMA top up undersampled clusters with
+                // targeted draws, growing `obs`; then run the full pipeline
+                // over the augmented sample.
+                (void)core::DetermineStatesIcma(cls, obs,
+                                                vars.BasicIndices(), so,
+                                                &refill);
+                return core::BuildCostModelFromObservations(cls, obs,
+                                                            icma_options);
+              }()
+            : core::BuildCostModelFromObservations(cls, training, options);
+    const core::ValidationReport r = core::Validate(report.model, test);
+    table.AddRow({core::ToString(algo),
+                  Format("%d", report.model.states().num_states()),
+                  Format("%.3f", report.model.r_squared()),
+                  CompactDouble(report.model.standard_error(), 3),
+                  Format("%.2f", r.avg_observed_cost),
+                  Format("%.0f%%", 100.0 * r.pct_very_good),
+                  Format("%.0f%%", 100.0 * r.pct_good)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nexpected shape (paper): ICMA's cluster-aligned state "
+              "boundaries give equal or better R^2 and estimate bands than "
+              "IUPMA's uniform partition.\n");
+  return 0;
+}

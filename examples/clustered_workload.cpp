@@ -1,0 +1,92 @@
+// Clustered contention environments: IUPMA vs ICMA (paper §3.3, Table 6,
+// Figure 10).
+//
+// Real application environments often cycle between a few characteristic
+// load levels (overnight batch, business hours, peak) rather than spreading
+// uniformly. This example builds such an environment, shows the probing-cost
+// histogram (Figure 10), and contrasts the contention-state boundaries that
+// IUPMA (uniform partition) and ICMA (agglomerative clustering) derive.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/str_util.h"
+#include "core/agent_source.h"
+#include "core/model_builder.h"
+#include "core/validation.h"
+#include "mdbs/local_dbs.h"
+#include "stats/descriptive.h"
+
+int main() {
+  using namespace mscm;
+
+  mdbs::LocalDbsConfig config;
+  config.site_name = "clustered-site";
+  config.tables.num_tables = 6;
+  config.tables.scale = 0.3;
+  config.load.regime = sim::LoadRegime::kClustered;
+  config.load.clusters = {
+      {8.0, 2.5, 0.35},    // overnight batch window
+      {55.0, 4.0, 0.40},   // business hours
+      {105.0, 3.0, 0.25},  // peak / close-of-day
+  };
+  config.seed = 31;
+  mdbs::LocalDbs site(config);
+
+  const core::QueryClassId cls = core::QueryClassId::kUnarySeqScan;
+
+  // Shared training sample from the clustered environment.
+  core::AgentObservationSource source(&site, cls, 32);
+  const core::ObservationSet training = core::DrawObservations(source, 300);
+
+  // Figure-10-style histogram of the sampled probing costs.
+  std::vector<double> probes;
+  for (const auto& o : training) probes.push_back(o.probing_cost);
+  const stats::Histogram hist = stats::BuildHistogram(
+      probes, stats::Min(probes), stats::Max(probes), 30);
+  std::printf("Sampled contention level (probing cost, s):\n");
+  size_t peak = 1;
+  for (size_t c : hist.counts) peak = std::max(peak, c);
+  for (size_t b = 0; b < hist.counts.size(); ++b) {
+    const int len = static_cast<int>(40.0 * static_cast<double>(hist.counts[b]) /
+                                     static_cast<double>(peak));
+    std::printf("%6.2f | %s\n", hist.BinCenter(b),
+                std::string(static_cast<size_t>(len), '#').c_str());
+  }
+
+  // Derive models with both algorithms from the same observations.
+  core::AgentObservationSource refill(&site, cls, 33);
+  for (core::StateAlgorithm algo :
+       {core::StateAlgorithm::kIupma, core::StateAlgorithm::kIcma}) {
+    core::ObservationSet obs = training;
+    core::ModelBuildOptions options;
+    options.algorithm = algo;
+    if (algo == core::StateAlgorithm::kIcma) {
+      // Let ICMA top up any undersampled cluster with targeted draws first.
+      core::StateDeterminationOptions so = options.states;
+      so.form = options.form;
+      (void)core::DetermineStatesIcma(
+          cls, obs, core::VariableSet::ForClass(cls).BasicIndices(), so,
+          &refill);
+    }
+    const core::BuildReport report =
+        core::BuildCostModelFromObservations(cls, obs, options);
+
+    core::AgentObservationSource test_source(&site, cls, 34);
+    const core::ObservationSet test = core::DrawObservations(test_source, 80);
+    const core::ValidationReport v = core::Validate(report.model, test);
+
+    std::printf("\n%s: %d states, boundaries %s\n", core::ToString(algo),
+                report.model.states().num_states(),
+                report.model.states().ToString().c_str());
+    std::printf("   R^2 = %.3f, very good %.0f%%, good %.0f%%\n",
+                report.model.r_squared(), 100.0 * v.pct_very_good,
+                100.0 * v.pct_good);
+  }
+  std::printf(
+      "\nICMA's boundaries fall in the gaps between usage clusters, so each "
+      "state captures one regime; IUPMA's uniform grid may split a cluster "
+      "or lump two together.\n");
+  return 0;
+}

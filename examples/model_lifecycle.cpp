@@ -1,0 +1,93 @@
+// Model lifecycle — handling *occasionally-changing* factors (paper §2).
+//
+// The qualitative variable absorbs frequently-changing contention, but an
+// occasionally-changing factor — here a machine memory downgrade — shifts
+// the whole cost surface. The drift monitor watches the estimate outcomes
+// the optimizer produces anyway, flags the degradation, and triggers a
+// rebuild of the model from fresh samples. Persistence via the catalog
+// serializer shows the model surviving an optimizer restart.
+
+#include <cstdio>
+
+#include "core/agent_source.h"
+#include "core/maintenance.h"
+#include "core/model_io.h"
+#include "core/validation.h"
+#include "mdbs/local_dbs.h"
+
+int main() {
+  using namespace mscm;
+
+  mdbs::LocalDbsConfig config;
+  config.site_name = "managed-site";
+  config.tables.num_tables = 5;
+  config.tables.scale = 0.2;
+  config.load.regime = sim::LoadRegime::kUniform;
+  config.load.min_processes = 10.0;
+  config.load.max_processes = 100.0;
+  config.seed = 51;
+  mdbs::LocalDbs site(config);
+
+  const core::QueryClassId cls = core::QueryClassId::kUnarySeqScan;
+  core::AgentObservationSource source(&site, cls, 52);
+
+  // 1. Initial model.
+  core::ModelBuildOptions options;
+  options.sample_size = 250;
+  core::BuildReport initial = core::BuildCostModel(cls, source, options);
+  std::printf("initial model: %d states, R^2 = %.3f\n",
+              initial.model.states().num_states(),
+              initial.model.r_squared());
+
+  // 2. Persist to the catalog format and reload (optimizer restart).
+  core::GlobalCatalog catalog;
+  catalog.Register(site.name(), initial.model);
+  const std::string blob = core::SerializeCatalog(catalog);
+  std::printf("persisted catalog: %zu bytes\n", blob.size());
+  auto reloaded = core::ParseCatalog(blob);
+  if (!reloaded.has_value()) {
+    std::printf("catalog reload failed!\n");
+    return 1;
+  }
+  const core::CostModel* restored = reloaded->Find(site.name(), cls);
+  core::ManagedCostModel managed(*restored, cls, options);
+
+  auto run_phase = [&](const char* label, int queries) {
+    int rebuilds_before = managed.rebuild_count();
+    int good = 0;
+    for (int i = 0; i < queries; ++i) {
+      const core::Observation obs = source.Draw();
+      const double est = managed.Estimate(obs.features, obs.probing_cost);
+      managed.ReportOutcome(est, obs.cost);
+      if (core::IsGoodEstimate(est, obs.cost)) ++good;
+      managed.RebuildIfDrifting(source);
+    }
+    std::printf(
+        "%-28s: %2d/%2d good estimates, recent good fraction %.2f, "
+        "rebuilds so far %d%s\n",
+        label, good, queries, managed.monitor().RecentGoodFraction(),
+        managed.rebuild_count(),
+        managed.rebuild_count() > rebuilds_before ? "  <- rebuilt" : "");
+  };
+
+  // 3. Steady operation: the model holds.
+  run_phase("steady operation", 40);
+
+  // 4. Occasionally-changing factor: the machine loses half its memory
+  //    (e.g. a failed DIMM, or the DBMS buffer cache shrank).
+  sim::MachineSpec downgraded;
+  downgraded.memory_mb = 192.0;
+  downgraded.cpu_cores = 1.0;
+  site.ReconfigureMachine(downgraded);
+  std::printf("\n*** machine reconfigured: memory 512 MB -> 192 MB, "
+              "2 cores -> 1 ***\n\n");
+
+  // 5. Estimates degrade; the drift monitor flags it and the managed model
+  //    rebuilds itself against the new machine.
+  run_phase("after downgrade (degrading)", 40);
+  run_phase("after automatic rebuild", 40);
+
+  std::printf("\nfinal model: %d states, %d rebuild(s) performed\n",
+              managed.model().states().num_states(), managed.rebuild_count());
+  return 0;
+}

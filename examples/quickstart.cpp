@@ -1,0 +1,82 @@
+// Quickstart: derive a multi-states cost model for one query class on one
+// simulated dynamic local DBS, inspect it, and estimate some test queries.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/agent_source.h"
+#include "core/model_builder.h"
+#include "core/validation.h"
+#include "engine/explain.h"
+#include "mdbs/local_dbs.h"
+
+int main() {
+  using namespace mscm;
+
+  // 1. Stand up a local site: an Oracle-like DBMS over 12 synthetic tables,
+  //    on a machine whose background load swings between idle and ~120
+  //    concurrent processes (scale 0.2 keeps this demo fast).
+  mdbs::LocalDbsConfig config;
+  config.site_name = "demo-site";
+  config.profile = sim::PerformanceProfile::Alpha();
+  config.tables.scale = 0.2;
+  config.load.regime = sim::LoadRegime::kUniform;
+  config.load.max_processes = 120.0;
+  config.seed = 42;
+  mdbs::LocalDbs site(config);
+
+  // 2. Build a multi-states cost model for the unary sequential-scan class
+  //    (G1) using the IUPMA state-determination algorithm.
+  const core::QueryClassId cls = core::QueryClassId::kUnarySeqScan;
+  core::AgentObservationSource source(&site, cls, /*seed=*/7);
+
+  core::ModelBuildOptions options;
+  options.algorithm = core::StateAlgorithm::kIupma;
+  const core::BuildReport report = core::BuildCostModel(cls, source, options);
+
+  const core::VariableSet variables = core::VariableSet::ForClass(cls);
+  std::printf("Derived cost model\n------------------\n%s\n",
+              report.model.ToString(variables).c_str());
+
+  // 3. Validate on fresh test queries drawn in the same dynamic environment.
+  const core::ObservationSet test = core::DrawObservations(source, 60);
+  const core::ValidationReport v = core::Validate(report.model, test);
+  std::printf("Validation on %zu test queries\n", v.n_test);
+  std::printf("  average observed cost : %.2f s\n", v.avg_observed_cost);
+  std::printf("  very good estimates   : %.0f%% (relative error <= 30%%)\n",
+              100.0 * v.pct_very_good);
+  std::printf("  good estimates        : %.0f%% (within a factor of 2)\n",
+              100.0 * v.pct_good);
+
+  // 4. Estimate one query's cost under light vs heavy contention.
+  const core::Observation& q = test.front();
+  const double probe_light = report.model.states().boundaries().empty()
+                                 ? q.probing_cost
+                                 : report.model.states().boundaries().front() * 0.5;
+  const double probe_heavy = report.model.states().boundaries().empty()
+                                 ? q.probing_cost
+                                 : report.model.states().boundaries().back() * 2.0;
+  std::printf("\nSame query, different contention states:\n");
+  std::printf("  light contention estimate: %.2f s\n",
+              report.model.Estimate(q.features, probe_light));
+  std::printf("  heavy contention estimate: %.2f s\n",
+              report.model.Estimate(q.features, probe_heavy));
+
+  // 5. Prediction intervals: how confident is the model?
+  const auto interval =
+      report.model.EstimateWithInterval(q.features, probe_heavy, 0.05);
+  std::printf(
+      "  heavy contention 95%% prediction interval: [%.2f, %.2f] s\n",
+      interval.low, interval.high);
+
+  // 6. Peek at what the local DBS would actually do with such a query.
+  core::QuerySampler sampler(&site.database(), site.profile().planner, 99);
+  const engine::SelectQuery sample = sampler.SampleSelect(cls);
+  std::printf("\nA sample query from this class, explained:\n%s",
+              engine::ExplainSelect(site.database(), sample,
+                                    site.profile().planner)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "cluster/hierarchical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace mscm::cluster {
+namespace {
+
+std::vector<Cluster> InitSingletons(const std::vector<double>& xs) {
+  // Sort indices by value; each point becomes a singleton cluster.
+  std::vector<size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&xs](size_t a, size_t b) { return xs[a] < xs[b]; });
+  std::vector<Cluster> clusters;
+  clusters.reserve(xs.size());
+  for (size_t idx : order) {
+    Cluster c;
+    c.centroid = xs[idx];
+    c.min = xs[idx];
+    c.max = xs[idx];
+    c.count = 1;
+    c.members = {idx};
+    clusters.push_back(std::move(c));
+  }
+  return clusters;
+}
+
+void MergeInto(Cluster& dst, Cluster& src) {
+  const double total = static_cast<double>(dst.count + src.count);
+  dst.centroid = (dst.centroid * static_cast<double>(dst.count) +
+                  src.centroid * static_cast<double>(src.count)) /
+                 total;
+  dst.min = std::min(dst.min, src.min);
+  dst.max = std::max(dst.max, src.max);
+  dst.count += src.count;
+  dst.members.insert(dst.members.end(), src.members.begin(),
+                     src.members.end());
+}
+
+// Finds the adjacent pair with minimal centroid distance; returns the index
+// of the left element, or SIZE_MAX when fewer than two clusters remain.
+size_t ClosestAdjacentPair(const std::vector<Cluster>& clusters,
+                           double* distance) {
+  size_t best = std::numeric_limits<size_t>::max();
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i + 1 < clusters.size(); ++i) {
+    const double d = clusters[i + 1].centroid - clusters[i].centroid;
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  if (distance != nullptr) *distance = best_dist;
+  return best;
+}
+
+}  // namespace
+
+std::vector<Cluster> AgglomerativeCluster1D(const std::vector<double>& xs,
+                                            size_t k) {
+  MSCM_CHECK(k >= 1);
+  std::vector<Cluster> clusters = InitSingletons(xs);
+  while (clusters.size() > k) {
+    const size_t i = ClosestAdjacentPair(clusters, nullptr);
+    MSCM_CHECK(i != std::numeric_limits<size_t>::max());
+    MergeInto(clusters[i], clusters[i + 1]);
+    clusters.erase(clusters.begin() + static_cast<long>(i) + 1);
+  }
+  return clusters;
+}
+
+std::vector<Cluster> AgglomerativeClusterByDistance(
+    const std::vector<double>& xs, double max_merge_distance) {
+  MSCM_CHECK(max_merge_distance >= 0.0);
+  std::vector<Cluster> clusters = InitSingletons(xs);
+  while (clusters.size() > 1) {
+    double dist = 0.0;
+    const size_t i = ClosestAdjacentPair(clusters, &dist);
+    if (dist > max_merge_distance) break;
+    MergeInto(clusters[i], clusters[i + 1]);
+    clusters.erase(clusters.begin() + static_cast<long>(i) + 1);
+  }
+  return clusters;
+}
+
+}  // namespace mscm::cluster

@@ -1,0 +1,51 @@
+// Lightweight assertion macros used throughout the MSCM library.
+//
+// The library does not use exceptions (Google style). Programmer errors —
+// violated preconditions, out-of-range indexes, broken invariants — abort the
+// process with a diagnostic. Expected runtime failures are reported through
+// return values (std::optional / status enums) instead.
+
+#ifndef MSCM_COMMON_CHECK_H_
+#define MSCM_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mscm::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "MSCM_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, (msg != nullptr && msg[0] != '\0') ? " — " : "",
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace mscm::internal
+
+// Always-on invariant check. `MSCM_CHECK(cond)` or
+// `MSCM_CHECK_MSG(cond, "context")`.
+#define MSCM_CHECK(cond)                                                \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::mscm::internal::CheckFailed(__FILE__, __LINE__, #cond, "");     \
+    }                                                                   \
+  } while (false)
+
+#define MSCM_CHECK_MSG(cond, msg)                                       \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::mscm::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg));  \
+    }                                                                   \
+  } while (false)
+
+// Debug-only check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define MSCM_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define MSCM_DCHECK(cond) MSCM_CHECK(cond)
+#endif
+
+#endif  // MSCM_COMMON_CHECK_H_

@@ -1,0 +1,23 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace mscm {
+
+double Rng::Gaussian(double mean, double stddev) {
+  // Box–Muller. Draw u1 away from zero to keep log() finite.
+  double u1 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Exponential(double mean) {
+  MSCM_DCHECK(mean > 0.0);
+  double u = NextDouble();
+  while (u <= 1e-300) u = NextDouble();
+  return -mean * std::log(u);
+}
+
+}  // namespace mscm

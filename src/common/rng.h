@@ -1,0 +1,111 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// Every stochastic component in the library (table generation, query
+// sampling, load building, cost noise) takes an explicit `Rng&` so that a
+// single seed reproduces an entire experiment end to end. The generator is
+// xoshiro256**, seeded through SplitMix64 — fast, high quality, and fully
+// self-contained (no dependence on libstdc++ distribution implementations,
+// which are not portable across standard library versions).
+
+#ifndef MSCM_COMMON_RNG_H_
+#define MSCM_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mscm {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedf00dULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.Next();
+  }
+
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    MSCM_DCHECK(lo <= hi);
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    MSCM_DCHECK(lo <= hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    // Modulo bias is negligible for span << 2^64 (all library uses).
+    return lo + static_cast<int64_t>(NextUint64() % span);
+  }
+
+  // Standard normal via Box–Muller (polar form avoided to stay branch-light;
+  // the trig form is fine at this scale).
+  double Gaussian(double mean = 0.0, double stddev = 1.0);
+
+  // Exponential with the given mean.
+  double Exponential(double mean);
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j =
+          static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derive an independent child generator (for parallel-safe sub-streams).
+  Rng Fork() { return Rng(NextUint64() ^ 0xa5a5a5a5a5a5a5a5ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace mscm
+
+#endif  // MSCM_COMMON_RNG_H_

@@ -1,0 +1,52 @@
+#include "common/str_util.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace mscm {
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args_copy);
+    out.resize(static_cast<size_t>(needed));
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string CompactDouble(double v, int significant_digits) {
+  if (v == 0.0) return "0";
+  const double a = std::fabs(v);
+  if (a >= 1e-3 && a < 1e6) {
+    // Choose decimals so that `significant_digits` significant figures show.
+    const int int_digits = (a >= 1.0)
+        ? static_cast<int>(std::floor(std::log10(a))) + 1
+        : 0;
+    int decimals = significant_digits - int_digits;
+    if (decimals < 0) decimals = 0;
+    if (decimals > 9) decimals = 9;
+    return Format("%.*f", decimals, v);
+  }
+  return Format("%.*e", significant_digits - 1, v);
+}
+
+}  // namespace mscm

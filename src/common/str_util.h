@@ -1,0 +1,24 @@
+// Small string-formatting helpers shared by examples, benches, and reports.
+
+#ifndef MSCM_COMMON_STR_UTIL_H_
+#define MSCM_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace mscm {
+
+// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Joins the elements of `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+// Formats a double compactly: fixed notation for mid-range magnitudes,
+// scientific otherwise. Used in printed cost-model equations.
+std::string CompactDouble(double v, int significant_digits = 4);
+
+}  // namespace mscm
+
+#endif  // MSCM_COMMON_STR_UTIL_H_

@@ -1,0 +1,62 @@
+#include "common/text_table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mscm {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  MSCM_CHECK(!headers_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  MSCM_CHECK_MSG(cells.size() <= headers_.size(),
+                 "row has more cells than table columns");
+  cells.resize(headers_.size());
+  rows_.push_back(Row{std::move(cells), /*separator=*/false});
+}
+
+void TextTable::AddSeparator() {
+  rows_.push_back(Row{{}, /*separator=*/true});
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      line += "| ";
+      line += cell;
+      line.append(widths[c] - cell.size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+
+  std::string sep = "+";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    sep.append(widths[c] + 2, '-');
+    sep += "+";
+  }
+  sep += "\n";
+
+  std::string out = sep + render_line(headers_) + sep;
+  for (const Row& row : rows_) {
+    out += row.separator ? sep : render_line(row.cells);
+  }
+  out += sep;
+  return out;
+}
+
+}  // namespace mscm

@@ -1,0 +1,42 @@
+// Aligned plain-text table rendering for the benchmark harness outputs.
+//
+// The bench binaries reproduce the paper's tables; `TextTable` renders rows
+// with column alignment so the output is directly comparable to the paper.
+
+#ifndef MSCM_COMMON_TEXT_TABLE_H_
+#define MSCM_COMMON_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace mscm {
+
+class TextTable {
+ public:
+  // `headers` defines the number of columns.
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Appends a row. Missing cells render empty; extra cells are an error.
+  void AddRow(std::vector<std::string> cells);
+
+  // Inserts a horizontal separator line before the next row.
+  void AddSeparator();
+
+  // Renders the table, each line terminated with '\n'.
+  std::string Render() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace mscm
+
+#endif  // MSCM_COMMON_TEXT_TABLE_H_

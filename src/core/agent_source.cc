@@ -1,0 +1,75 @@
+#include "core/agent_source.h"
+
+#include "core/explanatory.h"
+
+namespace mscm::core {
+
+AgentObservationSource::AgentObservationSource(mdbs::LocalDbs* site,
+                                               QueryClassId class_id,
+                                               uint64_t seed)
+    : site_(site),
+      class_id_(class_id),
+      sampler_(&site->database(), site->profile().planner, seed) {
+  MSCM_CHECK(site_ != nullptr);
+}
+
+Observation AgentObservationSource::ObserveHere(double probing_cost) {
+  Observation obs;
+  obs.probing_cost = probing_cost;
+  if (IsJoinClass(class_id_)) {
+    const engine::JoinQuery q = sampler_.SampleJoin(class_id_);
+    const mdbs::LocalDbs::JoinOutcome out = site_->RunJoin(q);
+    obs.features = ExtractJoinFeatures(out.execution);
+    obs.cost = out.elapsed_seconds;
+  } else {
+    const engine::SelectQuery q = sampler_.SampleSelect(class_id_);
+    const mdbs::LocalDbs::SelectOutcome out = site_->RunSelect(q);
+    obs.features = ExtractUnaryFeatures(out.execution);
+    obs.cost = out.elapsed_seconds;
+  }
+  return obs;
+}
+
+Observation AgentObservationSource::Draw() {
+  site_->ResampleLoad();
+  const double probing_cost = site_->RunProbingQuery();
+  return ObserveHere(probing_cost);
+}
+
+Observation AgentObservationSource::DrawAtCurrentLoad() {
+  return ObserveHere(site_->RunProbingQuery());
+}
+
+std::optional<Observation> AgentObservationSource::DrawInProbingRange(
+    double lo, double hi, int max_attempts) {
+  MSCM_CHECK(lo <= hi);
+
+  // Phase 1: rejection sampling from the environment's own distribution.
+  const int rejection_attempts = std::max(1, max_attempts / 2);
+  for (int i = 0; i < rejection_attempts; ++i) {
+    site_->ResampleLoad();
+    const double probe = site_->RunProbingQuery();
+    if (probe >= lo && probe <= hi) return ObserveHere(probe);
+  }
+
+  // Phase 2: bisection on the process count toward the subrange midpoint.
+  const auto& cfg = site_->database();  // silence unused warning path
+  (void)cfg;
+  double p_lo = 0.0;
+  double p_hi = 200.0;
+  const double target = 0.5 * (lo + hi);
+  for (int i = 0; i < std::max(1, max_attempts - rejection_attempts); ++i) {
+    const double mid = 0.5 * (p_lo + p_hi);
+    site_->SetLoadProcesses(mid);
+    const double probe = site_->RunProbingQuery();
+    if (probe >= lo && probe <= hi) return ObserveHere(probe);
+    if (probe < target) {
+      p_lo = mid;
+    } else {
+      p_hi = mid;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mscm::core

@@ -1,0 +1,47 @@
+// ObservationSource backed by a live local site: each draw jumps the load
+// builder to a fresh contention point from the environment's distribution,
+// measures the probing query, then runs a freshly-sampled query of the
+// target class — producing one (features, cost, probing cost) observation,
+// exactly the sampling procedure of paper §4.1.
+
+#ifndef MSCM_CORE_AGENT_SOURCE_H_
+#define MSCM_CORE_AGENT_SOURCE_H_
+
+#include <optional>
+
+#include "core/observation_source.h"
+#include "core/sampling.h"
+#include "mdbs/local_dbs.h"
+
+namespace mscm::core {
+
+class AgentObservationSource : public ObservationSource {
+ public:
+  AgentObservationSource(mdbs::LocalDbs* site, QueryClassId class_id,
+                         uint64_t seed);
+
+  Observation Draw() override;
+
+  // Observes probe + sample query at the *current* contention point without
+  // resampling the load — for callers that have already positioned the
+  // environment (e.g. right after taking a monitor snapshot).
+  Observation DrawAtCurrentLoad();
+
+  // Rejection sampling plus a bisection fallback on the load builder's
+  // process count (probing cost is monotone in the contention level in
+  // expectation, so bisection homes in on the requested subrange).
+  std::optional<Observation> DrawInProbingRange(double lo, double hi,
+                                                int max_attempts) override;
+
+ private:
+  // Runs probe + sample query at the current contention point.
+  Observation ObserveHere(double probing_cost);
+
+  mdbs::LocalDbs* site_;
+  QueryClassId class_id_;
+  QuerySampler sampler_;
+};
+
+}  // namespace mscm::core
+
+#endif  // MSCM_CORE_AGENT_SOURCE_H_

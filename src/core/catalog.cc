@@ -1,0 +1,27 @@
+#include "core/catalog.h"
+
+namespace mscm::core {
+
+void GlobalCatalog::Register(const std::string& site, CostModel model) {
+  const Key key{site, static_cast<int>(model.class_id())};
+  models_.erase(key);
+  models_.emplace(key, std::move(model));
+}
+
+const CostModel* GlobalCatalog::Find(const std::string& site,
+                                     QueryClassId class_id) const {
+  const auto it = models_.find(Key{site, static_cast<int>(class_id)});
+  return it == models_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<std::string, QueryClassId>> GlobalCatalog::Entries()
+    const {
+  std::vector<std::pair<std::string, QueryClassId>> out;
+  out.reserve(models_.size());
+  for (const auto& [key, _] : models_) {
+    out.emplace_back(key.first, static_cast<QueryClassId>(key.second));
+  }
+  return out;
+}
+
+}  // namespace mscm::core

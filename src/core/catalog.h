@@ -1,0 +1,36 @@
+// The MDBS global catalog: derived cost-model parameters are "kept in the
+// MDBS catalog and utilized during query optimization" (paper §1). Keyed by
+// (site name, query class).
+
+#ifndef MSCM_CORE_CATALOG_H_
+#define MSCM_CORE_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cost_model.h"
+
+namespace mscm::core {
+
+class GlobalCatalog {
+ public:
+  // Registers (or replaces) the model for (site, model.class_id()).
+  void Register(const std::string& site, CostModel model);
+
+  // The model for (site, class), or nullptr if none is registered.
+  const CostModel* Find(const std::string& site, QueryClassId class_id) const;
+
+  std::vector<std::pair<std::string, QueryClassId>> Entries() const;
+
+  size_t size() const { return models_.size(); }
+
+ private:
+  using Key = std::pair<std::string, int>;
+  std::map<Key, CostModel> models_;
+};
+
+}  // namespace mscm::core
+
+#endif  // MSCM_CORE_CATALOG_H_

@@ -1,0 +1,84 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "stats/distributions.h"
+
+namespace mscm::core {
+
+double CostModel::Estimate(const std::vector<double>& features,
+                           double probing_cost) const {
+  const int state = states_.StateOf(probing_cost);
+  const std::vector<double> row =
+      layout_.Row(SelectValues(features, selected_), state);
+  return std::max(0.0, fit_.Predict(row));
+}
+
+CostModel::Interval CostModel::EstimateWithInterval(
+    const std::vector<double>& features, double probing_cost,
+    double alpha) const {
+  const int state = states_.StateOf(probing_cost);
+  const std::vector<double> row =
+      layout_.Row(SelectValues(features, selected_), state);
+  Interval out;
+  out.estimate = std::max(0.0, fit_.Predict(row));
+  const double se = fit_.PredictionStandardError(row);
+  const double dof =
+      static_cast<double>(fit_.n) - static_cast<double>(fit_.p);
+  if (se <= 0.0 || dof <= 0.0) {
+    out.low = out.high = out.estimate;
+    return out;
+  }
+  const double t = stats::StudentTUpperQuantile(alpha / 2.0, dof);
+  const double center = fit_.Predict(row);
+  out.low = std::max(0.0, center - t * se);
+  out.high = std::max(0.0, center + t * se);
+  return out;
+}
+
+double CostModel::CoefficientFor(int variable, int state) const {
+  const int col = layout_.ColumnOf(variable, state);
+  MSCM_CHECK_MSG(col >= 0, "no design column for variable/state");
+  return fit_.coefficients[static_cast<size_t>(col)];
+}
+
+std::string CostModel::ToString(const VariableSet& variables) const {
+  std::string out;
+  out += Format("class %s, %s form, %d state(s)\n", Label(class_id_),
+                core::ToString(layout_.form()), states_.num_states());
+  out += Format("states: %s\n", states_.ToString().c_str());
+  for (int s = 0; s < states_.num_states(); ++s) {
+    std::vector<std::string> terms;
+    const double intercept = CoefficientFor(-1, s);
+    terms.push_back(CompactDouble(intercept));
+    for (size_t i = 0; i < selected_.size(); ++i) {
+      const double b = CoefficientFor(static_cast<int>(i), s);
+      const std::string& name =
+          variables.name(static_cast<size_t>(selected_[i]));
+      terms.push_back(
+          Format("%s*[%s]", CompactDouble(b).c_str(), name.c_str()));
+    }
+    out += Format("  state %d: cost = %s\n", s, Join(terms, " + ").c_str());
+  }
+  out += Format("  R^2 = %.4f, SEE = %s, F = %s (p = %.3g), n = %zu\n",
+                fit_.r_squared, CompactDouble(fit_.standard_error).c_str(),
+                CompactDouble(fit_.f_statistic).c_str(), fit_.f_pvalue,
+                fit_.n);
+  return out;
+}
+
+CostModel FitCostModel(QueryClassId class_id,
+                       const ObservationSet& observations,
+                       const std::vector<int>& selected,
+                       const ContentionStates& states, QualitativeForm form) {
+  const DesignLayout layout = DesignLayout::Make(
+      static_cast<int>(selected.size()), form, states.num_states());
+  const stats::Matrix x =
+      BuildDesignMatrix(observations, selected, states, layout);
+  const std::vector<double> y = ResponseVector(observations);
+  stats::OlsResult fit = stats::FitOls(x, y);
+  return CostModel(class_id, selected, states, layout, std::move(fit));
+}
+
+}  // namespace mscm::core

@@ -1,0 +1,85 @@
+// The derived cost-model artifact: everything the MDBS catalog stores for a
+// (site, query class) pair, and everything the global query optimizer needs
+// to turn (query features, current probing cost) into an estimated cost.
+
+#ifndef MSCM_CORE_COST_MODEL_H_
+#define MSCM_CORE_COST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/explanatory.h"
+#include "core/observation.h"
+#include "core/qualitative.h"
+#include "core/query_class.h"
+#include "core/states.h"
+#include "stats/ols.h"
+
+namespace mscm::core {
+
+class CostModel {
+ public:
+  CostModel(QueryClassId class_id, std::vector<int> selected,
+            ContentionStates states, DesignLayout layout,
+            stats::OlsResult fit)
+      : class_id_(class_id),
+        selected_(std::move(selected)),
+        states_(std::move(states)),
+        layout_(std::move(layout)),
+        fit_(std::move(fit)) {}
+
+  // Estimated cost (seconds) for a query with the given feature vector when
+  // the probing query currently costs `probing_cost`. Negative estimates are
+  // clamped to zero (a regression plane can dip below zero near the origin).
+  double Estimate(const std::vector<double>& features,
+                  double probing_cost) const;
+
+  struct Interval {
+    double estimate = 0.0;
+    double low = 0.0;
+    double high = 0.0;
+  };
+
+  // Point estimate plus a (1 - alpha) prediction interval for a *new* query
+  // observation — lets the optimizer reason about estimation risk, not just
+  // the point value. Requires a model fitted in-process (persisted models
+  // lack the covariance structure and get a degenerate interval).
+  Interval EstimateWithInterval(const std::vector<double>& features,
+                                double probing_cost,
+                                double alpha = 0.05) const;
+
+  // Adjusted coefficient of `variable` (-1 = intercept) in `state` —
+  // the b'_{ij} the merging test of Algorithm 3.1 compares.
+  double CoefficientFor(int variable, int state) const;
+
+  QueryClassId class_id() const { return class_id_; }
+  const std::vector<int>& selected_variables() const { return selected_; }
+  const ContentionStates& states() const { return states_; }
+  const DesignLayout& layout() const { return layout_; }
+  const stats::OlsResult& fit() const { return fit_; }
+
+  double r_squared() const { return fit_.r_squared; }
+  double standard_error() const { return fit_.standard_error; }
+  double f_statistic() const { return fit_.f_statistic; }
+  double f_pvalue() const { return fit_.f_pvalue; }
+
+  // Renders per-state equations in the style of the paper's Table 4.
+  std::string ToString(const VariableSet& variables) const;
+
+ private:
+  QueryClassId class_id_;
+  std::vector<int> selected_;  // indices into the class VariableSet
+  ContentionStates states_;
+  DesignLayout layout_;
+  stats::OlsResult fit_;
+};
+
+// Fits a cost model with the given variable selection / states / form.
+CostModel FitCostModel(QueryClassId class_id,
+                       const ObservationSet& observations,
+                       const std::vector<int>& selected,
+                       const ContentionStates& states, QualitativeForm form);
+
+}  // namespace mscm::core
+
+#endif  // MSCM_CORE_COST_MODEL_H_

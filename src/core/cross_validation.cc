@@ -1,0 +1,49 @@
+#include "core/cross_validation.h"
+
+#include <numeric>
+
+namespace mscm::core {
+
+CrossValidationReport CrossValidate(QueryClassId class_id,
+                                    const ObservationSet& observations,
+                                    const std::vector<int>& selected,
+                                    const ContentionStates& states,
+                                    QualitativeForm form, int folds,
+                                    Rng& rng) {
+  MSCM_CHECK(folds >= 2);
+  MSCM_CHECK(observations.size() >= static_cast<size_t>(2 * folds));
+
+  std::vector<size_t> order(observations.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  CrossValidationReport report;
+  report.folds = folds;
+  for (int f = 0; f < folds; ++f) {
+    ObservationSet train;
+    ObservationSet held_out;
+    for (size_t i = 0; i < order.size(); ++i) {
+      const Observation& obs = observations[order[i]];
+      if (static_cast<int>(i % static_cast<size_t>(folds)) == f) {
+        held_out.push_back(obs);
+      } else {
+        train.push_back(obs);
+      }
+    }
+    const CostModel model =
+        FitCostModel(class_id, train, selected, states, form);
+    const ValidationReport v = Validate(model, held_out);
+    report.mean_rmse += v.rmse;
+    report.pct_very_good += v.pct_very_good;
+    report.pct_good += v.pct_good;
+    report.mean_relative_error += v.mean_relative_error;
+  }
+  const double k = static_cast<double>(folds);
+  report.mean_rmse /= k;
+  report.pct_very_good /= k;
+  report.pct_good /= k;
+  report.mean_relative_error /= k;
+  return report;
+}
+
+}  // namespace mscm::core

@@ -1,0 +1,37 @@
+// K-fold cross-validation for qualitative cost models: an out-of-sample
+// complement to the in-sample R²/SEE/F statistics — useful when deciding
+// whether a more complex model (more states, more variables) genuinely
+// generalizes or merely fits the training sample.
+
+#ifndef MSCM_CORE_CROSS_VALIDATION_H_
+#define MSCM_CORE_CROSS_VALIDATION_H_
+
+#include "common/rng.h"
+#include "core/cost_model.h"
+#include "core/validation.h"
+
+namespace mscm::core {
+
+struct CrossValidationReport {
+  int folds = 0;
+  // Averages over held-out folds.
+  double mean_rmse = 0.0;
+  double pct_very_good = 0.0;
+  double pct_good = 0.0;
+  double mean_relative_error = 0.0;
+};
+
+// Shuffles the observations into `folds` parts; fits on folds-1 parts with
+// the given (fixed) selection/states/form and validates on the held-out
+// part. Requires folds >= 2 and enough observations that every training
+// split can support the design matrix.
+CrossValidationReport CrossValidate(QueryClassId class_id,
+                                    const ObservationSet& observations,
+                                    const std::vector<int>& selected,
+                                    const ContentionStates& states,
+                                    QualitativeForm form, int folds,
+                                    Rng& rng);
+
+}  // namespace mscm::core
+
+#endif  // MSCM_CORE_CROSS_VALIDATION_H_

@@ -1,0 +1,199 @@
+#include "core/explanatory.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mscm::core {
+namespace {
+
+constexpr double kKilo = 1e-3;
+
+// Declared output width of a projection, in bytes.
+int ProjectedBytes(const engine::Table& table,
+                   const std::vector<int>& projection) {
+  if (projection.empty()) return table.schema().TupleBytes();
+  int bytes = 0;
+  for (int c : projection) {
+    bytes += table.schema().column(static_cast<size_t>(c)).byte_width;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+VariableSet VariableSet::ForClass(QueryClassId id) {
+  if (!IsJoinClass(id)) {
+    // Paper Table 3, unary query class.
+    return VariableSet({
+        {"N_t (operand ktuples)", true},
+        {"N_it (intermediate ktuples)", true},
+        {"N_rt (result ktuples)", true},
+        {"TL_t (operand tuple bytes)", false},
+        {"TL_rt (result tuple bytes)", false},
+        {"L_t (operand KB)", false},
+        {"L_rt (result KB)", false},
+    });
+  }
+  // Paper Table 3, join query class.
+  return VariableSet({
+      {"N_t1 (left ktuples)", true},
+      {"N_t2 (right ktuples)", true},
+      {"N_it1 (left qualified ktuples)", true},
+      {"N_it2 (right qualified ktuples)", true},
+      {"N_rt (result ktuples)", true},
+      {"N_it1*N_it2 (Mtuple-pairs)", true},
+      {"TL_t1 (left tuple bytes)", false},
+      {"TL_t2 (right tuple bytes)", false},
+      {"TL_rt (result tuple bytes)", false},
+      {"L_t1 (left KB)", false},
+      {"L_t2 (right KB)", false},
+      {"L_rt (result KB)", false},
+  });
+}
+
+std::vector<int> VariableSet::BasicIndices() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].basic) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> VariableSet::SecondaryIndices() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < defs_.size(); ++i) {
+    if (!defs_[i].basic) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<double> ExtractUnaryFeatures(const engine::SelectExecution& exec) {
+  const double n_t = static_cast<double>(exec.operand_rows) * kKilo;
+  const double n_it = static_cast<double>(exec.intermediate_rows) * kKilo;
+  const double n_rt = static_cast<double>(exec.result_rows) * kKilo;
+  const double tl_t = static_cast<double>(exec.operand_tuple_bytes);
+  const double tl_rt = static_cast<double>(exec.result_tuple_bytes);
+  return {
+      n_t,
+      n_it,
+      n_rt,
+      tl_t,
+      tl_rt,
+      n_t * tl_t,        // operand KB: ktuples * bytes == KB
+      n_rt * tl_rt,      // result KB
+  };
+}
+
+std::vector<double> ExtractJoinFeatures(const engine::JoinExecution& exec) {
+  const double n_t1 = static_cast<double>(exec.left_rows) * kKilo;
+  const double n_t2 = static_cast<double>(exec.right_rows) * kKilo;
+  const double n_it1 = static_cast<double>(exec.left_qualified) * kKilo;
+  const double n_it2 = static_cast<double>(exec.right_qualified) * kKilo;
+  const double n_rt = static_cast<double>(exec.result_rows) * kKilo;
+  const double tl_t1 = static_cast<double>(exec.left_tuple_bytes);
+  const double tl_t2 = static_cast<double>(exec.right_tuple_bytes);
+  const double tl_rt = static_cast<double>(exec.result_tuple_bytes);
+  return {
+      n_t1,
+      n_t2,
+      n_it1,
+      n_it2,
+      n_rt,
+      n_it1 * n_it2 * kKilo,  // mega tuple-pairs
+      tl_t1,
+      tl_t2,
+      tl_rt,
+      n_t1 * tl_t1,
+      n_t2 * tl_t2,
+      n_rt * tl_rt,
+  };
+}
+
+std::vector<double> EstimateUnaryFeatures(const engine::Database& db,
+                                          const engine::SelectQuery& query,
+                                          const engine::PlannerRules& rules) {
+  const engine::Table* table = db.FindTable(query.table);
+  MSCM_CHECK(table != nullptr);
+  const double rows = static_cast<double>(table->num_rows());
+
+  // Intermediate cardinality: what the chosen access method fetches.
+  const engine::SelectPlan plan = engine::ChooseSelectPlan(db, query, rules);
+  double intermediate = rows;
+  if (plan.driving_condition >= 0) {
+    const engine::Condition& driving =
+        query.predicate
+            .conditions()[static_cast<size_t>(plan.driving_condition)];
+    intermediate = rows * engine::EstimateConditionSelectivity(*table, driving);
+  }
+  const double result =
+      rows * engine::EstimatePredicateSelectivity(*table, query.predicate);
+
+  const double n_t = rows * kKilo;
+  const double n_it = intermediate * kKilo;
+  const double n_rt = result * kKilo;
+  const double tl_t = table->schema().TupleBytes();
+  const double tl_rt = ProjectedBytes(*table, query.projection);
+  return {n_t, n_it, n_rt, tl_t, tl_rt, n_t * tl_t, n_rt * tl_rt};
+}
+
+std::vector<double> EstimateJoinFeatures(const engine::Database& db,
+                                         const engine::JoinQuery& query,
+                                         const engine::PlannerRules& rules) {
+  (void)rules;
+  const engine::Table* left = db.FindTable(query.left_table);
+  const engine::Table* right = db.FindTable(query.right_table);
+  MSCM_CHECK(left != nullptr && right != nullptr);
+
+  const double lrows = static_cast<double>(left->num_rows());
+  const double rrows = static_cast<double>(right->num_rows());
+  const double lqual =
+      lrows * engine::EstimatePredicateSelectivity(*left, query.left_predicate);
+  const double rqual = rrows * engine::EstimatePredicateSelectivity(
+                                   *right, query.right_predicate);
+
+  // Equijoin cardinality estimate: |L'|·|R'| / D. The classical containment
+  // formula uses D = max(distinct counts); for sparse uniform join columns
+  // (fewer rows than domain values) the value-overlap probability is
+  // governed by the domain *span*, so take the largest of both measures.
+  const auto& ls = left->column_stats(static_cast<size_t>(query.left_column));
+  const auto& rs =
+      right->column_stats(static_cast<size_t>(query.right_column));
+  const double divisor = std::max(
+      {1.0, static_cast<double>(ls.distinct),
+       static_cast<double>(rs.distinct),
+       static_cast<double>(ls.max - ls.min) + 1.0,
+       static_cast<double>(rs.max - rs.min) + 1.0});
+  const double result = lqual * rqual / divisor;
+
+  const double tl_t1 = left->schema().TupleBytes();
+  const double tl_t2 = right->schema().TupleBytes();
+  double tl_rt = tl_t1 + tl_t2;
+  if (!query.projection.empty()) {
+    int bytes = 0;
+    for (auto [side, col] : query.projection) {
+      const engine::Table* t = side == 0 ? left : right;
+      bytes += t->schema().column(static_cast<size_t>(col)).byte_width;
+    }
+    tl_rt = bytes;
+  }
+
+  const double n_t1 = lrows * kKilo;
+  const double n_t2 = rrows * kKilo;
+  const double n_it1 = lqual * kKilo;
+  const double n_it2 = rqual * kKilo;
+  const double n_rt = result * kKilo;
+  return {n_t1,
+          n_t2,
+          n_it1,
+          n_it2,
+          n_rt,
+          n_it1 * n_it2 * kKilo,
+          tl_t1,
+          tl_t2,
+          tl_rt,
+          n_t1 * tl_t1,
+          n_t2 * tl_t2,
+          n_rt * tl_rt};
+}
+
+}  // namespace mscm::core

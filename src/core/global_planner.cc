@@ -1,0 +1,30 @@
+#include "core/global_planner.h"
+
+#include <limits>
+
+namespace mscm::core {
+
+PlacementDecision ChoosePlacement(
+    const GlobalCatalog& catalog,
+    const std::vector<ComponentQueryCandidate>& candidates) {
+  PlacementDecision decision;
+  decision.estimates.reserve(candidates.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const ComponentQueryCandidate& c = candidates[i];
+    const CostModel* model = catalog.Find(c.site, c.class_id);
+    double estimate = std::numeric_limits<double>::infinity();
+    if (model != nullptr) {
+      estimate = model->Estimate(c.features, c.probing_cost) +
+                 c.shipping_seconds;
+    }
+    decision.estimates.push_back(estimate);
+    if (estimate < best) {
+      best = estimate;
+      decision.chosen = static_cast<int>(i);
+    }
+  }
+  return decision;
+}
+
+}  // namespace mscm::core

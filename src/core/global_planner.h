@@ -1,0 +1,41 @@
+// Global query planning against the catalog: the reason local cost models
+// exist at all. Given the candidate placements of a component query —
+// (site, query class, explanatory features, current probing cost at that
+// site) — pick the placement with the lowest estimated local cost.
+
+#ifndef MSCM_CORE_GLOBAL_PLANNER_H_
+#define MSCM_CORE_GLOBAL_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/catalog.h"
+
+namespace mscm::core {
+
+struct ComponentQueryCandidate {
+  std::string site;
+  QueryClassId class_id = QueryClassId::kUnarySeqScan;
+  std::vector<double> features;
+  // Current probing cost at the site (observed, or estimated via Eq. 2).
+  double probing_cost = 0.0;
+  // Estimated time to ship the component result back to the global site
+  // over the current network-link conditions (0 when co-located). See
+  // sim::NetworkLink for the dynamic-link substrate.
+  double shipping_seconds = 0.0;
+};
+
+struct PlacementDecision {
+  // Index into the candidate list; -1 if no candidate had a model.
+  int chosen = -1;
+  // Estimated cost per candidate (infinity where no model exists).
+  std::vector<double> estimates;
+};
+
+PlacementDecision ChoosePlacement(
+    const GlobalCatalog& catalog,
+    const std::vector<ComponentQueryCandidate>& candidates);
+
+}  // namespace mscm::core
+
+#endif  // MSCM_CORE_GLOBAL_PLANNER_H_

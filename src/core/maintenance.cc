@@ -1,0 +1,35 @@
+#include "core/maintenance.h"
+
+#include "core/validation.h"
+
+namespace mscm::core {
+
+void DriftMonitor::Record(double estimated, double observed) {
+  outcomes_.push_back(IsGoodEstimate(estimated, observed));
+  while (outcomes_.size() > options_.window) outcomes_.pop_front();
+}
+
+double DriftMonitor::RecentGoodFraction() const {
+  if (outcomes_.empty()) return 1.0;
+  size_t good = 0;
+  for (bool b : outcomes_) {
+    if (b) ++good;
+  }
+  return static_cast<double>(good) / static_cast<double>(outcomes_.size());
+}
+
+bool DriftMonitor::RebuildRecommended() const {
+  if (outcomes_.size() < options_.min_outcomes) return false;
+  return RecentGoodFraction() < options_.min_good_fraction;
+}
+
+bool ManagedCostModel::RebuildIfDrifting(ObservationSource& source) {
+  if (!monitor_.RebuildRecommended()) return false;
+  BuildReport report = BuildCostModel(class_id_, source, build_options_);
+  model_ = std::move(report.model);
+  monitor_.Reset();
+  ++rebuild_count_;
+  return true;
+}
+
+}  // namespace mscm::core

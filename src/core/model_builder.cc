@@ -1,0 +1,132 @@
+#include "core/model_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/sampling.h"
+
+namespace mscm::core {
+namespace {
+
+BuildReport RunPipeline(QueryClassId class_id, ObservationSet observations,
+                        const ModelBuildOptions& options,
+                        ObservationSource* source) {
+  MSCM_CHECK(!observations.empty());
+  const VariableSet variables = VariableSet::ForClass(class_id);
+  const std::vector<int> basic = variables.BasicIndices();
+
+  ModelBuildOptions opts = options;
+  opts.states.form = options.form;
+  opts.selection.form = options.form;
+
+  // Phase A: contention-state determination on the full basic model.
+  StateDeterminationResult state_result = [&]() {
+    switch (opts.algorithm) {
+      case StateAlgorithm::kSingleState: {
+        CostModel m = FitCostModel(class_id, observations, basic,
+                                   ContentionStates::Single(), opts.form);
+        const double r2 = m.r_squared();
+        return StateDeterminationResult{std::move(m), 0, 0, {r2}};
+      }
+      case StateAlgorithm::kIupma:
+        return DetermineStatesIupma(class_id, observations, basic,
+                                    opts.states);
+      case StateAlgorithm::kIcma:
+        return DetermineStatesIcma(class_id, observations, basic, opts.states,
+                                   source);
+    }
+    MSCM_CHECK(false);
+    // Unreachable.
+    CostModel m = FitCostModel(class_id, observations, basic,
+                               ContentionStates::Single(), opts.form);
+    return StateDeterminationResult{std::move(m), 0, 0, {}};
+  }();
+
+  const ContentionStates states = state_result.model.states();
+
+  // Phase B: variable selection with the chosen states.
+  VariableSelectionTrace trace;
+  const std::vector<int> selected = SelectVariables(
+      class_id, observations, variables, states, opts.selection, &trace);
+
+  // Phase C: final fit; selection may have changed the coefficient
+  // structure, so give the merging adjustment one more chance to simplify.
+  CostModel model =
+      FitCostModel(class_id, observations, selected, states, opts.form);
+  int extra_merges = 0;
+  while (model.states().num_states() > 1) {
+    int best_state = -1;
+    double best_gap = opts.states.merge_threshold;
+    for (int s = 0; s < model.states().num_states() - 1; ++s) {
+      double gap = 0.0;
+      constexpr double kTiny = 1e-9;
+      for (int v = -1; v < model.layout().num_selected(); ++v) {
+        const double a = model.CoefficientFor(v, s);
+        const double b = model.CoefficientFor(v, s + 1);
+        const double denom =
+            std::max({std::fabs(a), std::fabs(b), kTiny});
+        gap = std::max(gap, std::fabs(a - b) / denom);
+      }
+      if (gap < best_gap) {
+        best_gap = gap;
+        best_state = s;
+      }
+    }
+    if (best_state < 0) break;
+    ContentionStates merged = model.states();
+    merged.MergeAdjacent(best_state);
+    model = FitCostModel(class_id, observations, selected, merged, opts.form);
+    ++extra_merges;
+  }
+
+  BuildReport report{std::move(model),
+                     std::move(observations),
+                     std::move(trace),
+                     state_result.growth_iterations,
+                     state_result.merges + extra_merges,
+                     std::move(state_result.r2_by_state_count)};
+  return report;
+}
+
+}  // namespace
+
+const char* ToString(StateAlgorithm a) {
+  switch (a) {
+    case StateAlgorithm::kSingleState:
+      return "single-state";
+    case StateAlgorithm::kIupma:
+      return "IUPMA";
+    case StateAlgorithm::kIcma:
+      return "ICMA";
+  }
+  return "?";
+}
+
+ObservationSet DrawObservations(ObservationSource& source, int n) {
+  MSCM_CHECK(n > 0);
+  ObservationSet out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(source.Draw());
+  return out;
+}
+
+BuildReport BuildCostModel(QueryClassId class_id, ObservationSource& source,
+                           const ModelBuildOptions& options) {
+  const VariableSet variables = VariableSet::ForClass(class_id);
+  const int n = options.sample_size > 0
+                    ? options.sample_size
+                    : RecommendedSampleSize(
+                          static_cast<int>(variables.BasicIndices().size()),
+                          options.expected_max_states);
+  ObservationSet observations = DrawObservations(source, n);
+  return RunPipeline(class_id, std::move(observations), options, &source);
+}
+
+BuildReport BuildCostModelFromObservations(QueryClassId class_id,
+                                           ObservationSet observations,
+                                           const ModelBuildOptions& options) {
+  return RunPipeline(class_id, std::move(observations), options, nullptr);
+}
+
+}  // namespace mscm::core

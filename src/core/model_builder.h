@@ -1,0 +1,58 @@
+// End-to-end cost-model development pipeline (paper §4): draw a sample of
+// queries of the target class, determine contention states (IUPMA/ICMA or
+// the single-state static special case), run the mixed backward/forward
+// variable selection, and fit the final qualitative regression model.
+
+#ifndef MSCM_CORE_MODEL_BUILDER_H_
+#define MSCM_CORE_MODEL_BUILDER_H_
+
+#include "core/cost_model.h"
+#include "core/observation_source.h"
+#include "core/state_determination.h"
+#include "core/variable_selection.h"
+
+namespace mscm::core {
+
+enum class StateAlgorithm {
+  kSingleState,  // the static query sampling method (one contention state)
+  kIupma,
+  kIcma,
+};
+
+const char* ToString(StateAlgorithm a);
+
+struct ModelBuildOptions {
+  StateAlgorithm algorithm = StateAlgorithm::kIupma;
+  QualitativeForm form = QualitativeForm::kGeneral;
+  StateDeterminationOptions states;
+  VariableSelectionOptions selection;
+  // 0 = use RecommendedSampleSize (paper Eq. 4).
+  int sample_size = 0;
+  int expected_max_states = 6;
+};
+
+struct BuildReport {
+  CostModel model;
+  ObservationSet training;
+  VariableSelectionTrace selection_trace;
+  int growth_iterations = 0;
+  int merges = 0;
+  std::vector<double> r2_by_state_count;
+};
+
+// Draws `n` observations from the source.
+ObservationSet DrawObservations(ObservationSource& source, int n);
+
+// Runs the full pipeline.
+BuildReport BuildCostModel(QueryClassId class_id, ObservationSource& source,
+                           const ModelBuildOptions& options);
+
+// Pipeline over pre-collected observations (no source; ICMA cannot top up
+// undersampled clusters in this mode).
+BuildReport BuildCostModelFromObservations(QueryClassId class_id,
+                                           ObservationSet observations,
+                                           const ModelBuildOptions& options);
+
+}  // namespace mscm::core
+
+#endif  // MSCM_CORE_MODEL_BUILDER_H_

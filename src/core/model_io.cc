@@ -1,0 +1,232 @@
+#include "core/model_io.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace mscm::core {
+namespace {
+
+constexpr char kHeader[] = "mscm-cost-model v1";
+constexpr char kCatalogHeader[] = "mscm-catalog v1";
+
+void AppendDoubles(std::string& out, const char* key,
+                   const std::vector<double>& values) {
+  out += key;
+  for (double v : values) out += Format(" %.17g", v);
+  out += "\n";
+}
+
+void AppendInts(std::string& out, const char* key,
+                const std::vector<int>& values) {
+  out += key;
+  for (int v : values) out += Format(" %d", v);
+  out += "\n";
+}
+
+// Splits a line into its first token and the remaining tokens.
+bool SplitLine(const std::string& line, std::string& key,
+               std::vector<std::string>& tokens) {
+  std::istringstream iss(line);
+  if (!(iss >> key)) return false;
+  tokens.clear();
+  std::string t;
+  while (iss >> t) tokens.push_back(t);
+  return true;
+}
+
+bool ParseDoubles(const std::vector<std::string>& tokens,
+                  std::vector<double>& out) {
+  out.clear();
+  for (const std::string& t : tokens) {
+    char* end = nullptr;
+    const double v = std::strtod(t.c_str(), &end);
+    if (end == t.c_str() || *end != '\0') return false;
+    out.push_back(v);
+  }
+  return true;
+}
+
+bool ParseInts(const std::vector<std::string>& tokens, std::vector<int>& out) {
+  out.clear();
+  for (const std::string& t : tokens) {
+    char* end = nullptr;
+    const long v = std::strtol(t.c_str(), &end, 10);
+    if (end == t.c_str() || *end != '\0') return false;
+    out.push_back(static_cast<int>(v));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeCostModel(const CostModel& model) {
+  std::string out;
+  out += kHeader;
+  out += "\n";
+  out += Format("class %d\n", static_cast<int>(model.class_id()));
+  out += Format("form %d\n", static_cast<int>(model.layout().form()));
+  AppendDoubles(out, "states", model.states().boundaries());
+  AppendInts(out, "selected", model.selected_variables());
+  AppendDoubles(out, "coefficients", model.fit().coefficients);
+  out += Format("stats %.17g %.17g %.17g %.17g %zu\n", model.r_squared(),
+                model.standard_error(), model.f_statistic(),
+                model.f_pvalue(), model.fit().n);
+  out += "end\n";
+  return out;
+}
+
+std::optional<CostModel> ParseCostModel(const std::string& text) {
+  std::istringstream iss(text);
+  std::string line;
+  if (!std::getline(iss, line) || line != kHeader) return std::nullopt;
+
+  std::optional<int> class_id;
+  std::optional<int> form;
+  std::vector<double> boundaries;
+  std::vector<int> selected;
+  std::vector<double> coefficients;
+  std::vector<double> stats_values;
+  bool saw_states = false;
+  bool saw_coeffs = false;
+  bool saw_end = false;
+
+  while (std::getline(iss, line)) {
+    std::string key;
+    std::vector<std::string> tokens;
+    if (!SplitLine(line, key, tokens)) continue;
+    if (key == "class") {
+      std::vector<int> v;
+      if (!ParseInts(tokens, v) || v.size() != 1) return std::nullopt;
+      class_id = v[0];
+    } else if (key == "form") {
+      std::vector<int> v;
+      if (!ParseInts(tokens, v) || v.size() != 1) return std::nullopt;
+      form = v[0];
+    } else if (key == "states") {
+      if (!ParseDoubles(tokens, boundaries)) return std::nullopt;
+      saw_states = true;
+    } else if (key == "selected") {
+      if (!ParseInts(tokens, selected)) return std::nullopt;
+    } else if (key == "coefficients") {
+      if (!ParseDoubles(tokens, coefficients)) return std::nullopt;
+      saw_coeffs = true;
+    } else if (key == "stats") {
+      if (!ParseDoubles(tokens, stats_values) || stats_values.size() != 5) {
+        return std::nullopt;
+      }
+    } else if (key == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return std::nullopt;  // unknown key
+    }
+  }
+  if (!class_id.has_value() || !form.has_value() || !saw_states ||
+      !saw_coeffs || !saw_end) {
+    return std::nullopt;
+  }
+  if (*class_id < 0 ||
+      *class_id > static_cast<int>(QueryClassId::kJoinIndex)) {
+    return std::nullopt;
+  }
+  if (*form < 0 || *form > static_cast<int>(QualitativeForm::kGeneral)) {
+    return std::nullopt;
+  }
+  if (!std::is_sorted(boundaries.begin(), boundaries.end())) {
+    return std::nullopt;
+  }
+  const QueryClassId cls = static_cast<QueryClassId>(*class_id);
+  const QualitativeForm qform = static_cast<QualitativeForm>(*form);
+  // Selected variables must index into the class variable set.
+  const VariableSet vars = VariableSet::ForClass(cls);
+  for (int v : selected) {
+    if (v < 0 || static_cast<size_t>(v) >= vars.size()) return std::nullopt;
+  }
+
+  ContentionStates states = ContentionStates::FromBoundaries(boundaries);
+  DesignLayout layout = DesignLayout::Make(
+      static_cast<int>(selected.size()), qform, states.num_states());
+  if (coefficients.size() != layout.num_columns()) return std::nullopt;
+
+  stats::OlsResult fit;
+  fit.coefficients = coefficients;
+  fit.p = coefficients.size();
+  if (stats_values.size() == 5) {
+    fit.r_squared = stats_values[0];
+    fit.standard_error = stats_values[1];
+    fit.f_statistic = stats_values[2];
+    fit.f_pvalue = stats_values[3];
+    fit.n = static_cast<size_t>(stats_values[4]);
+  }
+  return CostModel(cls, selected, std::move(states), std::move(layout),
+                   std::move(fit));
+}
+
+std::string SerializeCatalog(const GlobalCatalog& catalog) {
+  std::string out;
+  out += kCatalogHeader;
+  out += "\n";
+  for (const auto& [site, class_id] : catalog.Entries()) {
+    const CostModel* model = catalog.Find(site, class_id);
+    MSCM_CHECK(model != nullptr);
+    out += Format("site %s\n", site.c_str());
+    out += SerializeCostModel(*model);
+  }
+  return out;
+}
+
+std::optional<GlobalCatalog> ParseCatalog(const std::string& text) {
+  std::istringstream iss(text);
+  std::string line;
+  if (!std::getline(iss, line) || line != kCatalogHeader) return std::nullopt;
+
+  GlobalCatalog catalog;
+  std::string site;
+  std::string record;
+  bool in_record = false;
+  while (std::getline(iss, line)) {
+    if (line.rfind("site ", 0) == 0) {
+      site = line.substr(5);
+      in_record = false;
+      record.clear();
+      continue;
+    }
+    if (line == kHeader) {
+      in_record = true;
+      record = line + "\n";
+      continue;
+    }
+    if (!in_record) return std::nullopt;
+    record += line + "\n";
+    if (line == "end") {
+      if (site.empty()) return std::nullopt;
+      auto model = ParseCostModel(record);
+      if (!model.has_value()) return std::nullopt;
+      catalog.Register(site, std::move(*model));
+      in_record = false;
+    }
+  }
+  return catalog;
+}
+
+bool SaveCatalogToFile(const GlobalCatalog& catalog,
+                       const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << SerializeCatalog(catalog);
+  return static_cast<bool>(file);
+}
+
+std::optional<GlobalCatalog> LoadCatalogFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return std::nullopt;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCatalog(buffer.str());
+}
+
+}  // namespace mscm::core

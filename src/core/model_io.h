@@ -1,0 +1,48 @@
+// Cost-model (de)serialization — the MDBS catalog persists derived model
+// parameters between optimizer sessions (paper §1: "the cost model
+// parameters are kept in the MDBS catalog and utilized during query
+// optimization").
+//
+// The format is a line-oriented text record:
+//
+//   mscm-cost-model v1
+//   class <int>
+//   form <int>
+//   states <b1> <b2> …          (internal boundaries; empty for one state)
+//   selected <v1> <v2> …
+//   coefficients <c1> <c2> …
+//   stats <r2> <see> <f> <f_pvalue> <n>
+//   end
+//
+// Only what estimation and reporting need is persisted; residuals and
+// training data are not (they live with the training run, not the catalog).
+
+#ifndef MSCM_CORE_MODEL_IO_H_
+#define MSCM_CORE_MODEL_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "core/catalog.h"
+#include "core/cost_model.h"
+
+namespace mscm::core {
+
+std::string SerializeCostModel(const CostModel& model);
+
+// Parses a record produced by SerializeCostModel. Returns nullopt on any
+// malformed input (never aborts: catalog files are external data).
+std::optional<CostModel> ParseCostModel(const std::string& text);
+
+// Whole-catalog persistence: concatenated `site <name>` + model records.
+std::string SerializeCatalog(const GlobalCatalog& catalog);
+std::optional<GlobalCatalog> ParseCatalog(const std::string& text);
+
+// File convenience wrappers. Save returns false on I/O failure; Load returns
+// nullopt on I/O failure or malformed contents.
+bool SaveCatalogToFile(const GlobalCatalog& catalog, const std::string& path);
+std::optional<GlobalCatalog> LoadCatalogFromFile(const std::string& path);
+
+}  // namespace mscm::core
+
+#endif  // MSCM_CORE_MODEL_IO_H_

@@ -1,0 +1,25 @@
+// A sample observation: the explanatory-variable values and observed cost of
+// one sample query, together with the cost of the probing query measured in
+// the same environment ("sampled probing query costs", paper §3.3).
+
+#ifndef MSCM_CORE_OBSERVATION_H_
+#define MSCM_CORE_OBSERVATION_H_
+
+#include <vector>
+
+namespace mscm::core {
+
+struct Observation {
+  // One value per variable in the class's VariableSet.
+  std::vector<double> features;
+  // Observed elapsed cost of the sample query (seconds).
+  double cost = 0.0;
+  // Observed (or estimated) probing-query cost at the same contention point.
+  double probing_cost = 0.0;
+};
+
+using ObservationSet = std::vector<Observation>;
+
+}  // namespace mscm::core
+
+#endif  // MSCM_CORE_OBSERVATION_H_

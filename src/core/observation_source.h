@@ -1,0 +1,37 @@
+// Abstraction over "run one more sample query in the dynamic environment".
+// The model-building pipeline pulls observations through this interface; the
+// mdbs glue (AgentObservationSource) implements it against a live site.
+
+#ifndef MSCM_CORE_OBSERVATION_SOURCE_H_
+#define MSCM_CORE_OBSERVATION_SOURCE_H_
+
+#include <optional>
+
+#include "core/observation.h"
+
+namespace mscm::core {
+
+class ObservationSource {
+ public:
+  virtual ~ObservationSource() = default;
+
+  // Draws one observation at a contention point sampled from the
+  // environment's own load distribution.
+  virtual Observation Draw() = 0;
+
+  // Draws one observation whose probing cost lands inside [lo, hi] — used by
+  // ICMA when a contention cluster has too few sampled points for regression
+  // (the paper draws additional sample queries rather than discarding the
+  // cluster, §3.3). Default: unsupported.
+  virtual std::optional<Observation> DrawInProbingRange(double lo, double hi,
+                                                        int max_attempts) {
+    (void)lo;
+    (void)hi;
+    (void)max_attempts;
+    return std::nullopt;
+  }
+};
+
+}  // namespace mscm::core
+
+#endif  // MSCM_CORE_OBSERVATION_SOURCE_H_

@@ -1,0 +1,109 @@
+#include "core/probing_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/str_util.h"
+#include "stats/matrix.h"
+
+namespace mscm::core {
+namespace {
+
+stats::Matrix BuildDesign(const std::vector<sim::SystemStats>& stats,
+                          const std::vector<int>& selected) {
+  stats::Matrix x(stats.size(), selected.size() + 1);
+  for (size_t r = 0; r < stats.size(); ++r) {
+    const std::vector<double> f = ProbingCostEstimator::StatFeatures(stats[r]);
+    x(r, 0) = 1.0;
+    for (size_t c = 0; c < selected.size(); ++c) {
+      x(r, c + 1) = f[static_cast<size_t>(selected[c])];
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+std::vector<double> ProbingCostEstimator::StatFeatures(
+    const sim::SystemStats& stats) {
+  return {
+      stats.load_avg_1,
+      stats.pct_user,
+      stats.pct_system,
+      stats.pct_idle,
+      stats.mem_used,
+      stats.swap_used,
+      stats.reads_per_sec,
+      stats.writes_per_sec,
+      stats.pct_disk_util,
+      stats.context_switches_per_sec,
+  };
+}
+
+const std::vector<std::string>& ProbingCostEstimator::StatNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "load_avg_1",      "pct_user",       "pct_system",
+      "pct_idle",        "mem_used",       "swap_used",
+      "reads_per_sec",   "writes_per_sec", "pct_disk_util",
+      "ctx_switches_ps",
+  };
+  return *names;
+}
+
+double ProbingCostEstimator::Estimate(const sim::SystemStats& stats) const {
+  const std::vector<double> f = StatFeatures(stats);
+  double acc = fit_.coefficients[0];
+  for (size_t c = 0; c < selected_.size(); ++c) {
+    acc += fit_.coefficients[c + 1] * f[static_cast<size_t>(selected_[c])];
+  }
+  return std::max(0.0, acc);
+}
+
+std::string ProbingCostEstimator::ToString() const {
+  std::vector<std::string> terms;
+  terms.push_back(CompactDouble(fit_.coefficients[0]));
+  for (size_t c = 0; c < selected_.size(); ++c) {
+    terms.push_back(Format(
+        "%s*%s", CompactDouble(fit_.coefficients[c + 1]).c_str(),
+        StatNames()[static_cast<size_t>(selected_[c])].c_str()));
+  }
+  return Format("probing_cost = %s  (R^2 = %.4f, SEE = %s)",
+                Join(terms, " + ").c_str(), fit_.r_squared,
+                CompactDouble(fit_.standard_error).c_str());
+}
+
+ProbingCostEstimator ProbingCostEstimator::Fit(
+    const std::vector<sim::SystemStats>& stats,
+    const std::vector<double>& probing_costs, double t_threshold) {
+  MSCM_CHECK(stats.size() == probing_costs.size());
+  MSCM_CHECK(stats.size() >= StatNames().size() * 2);
+
+  std::vector<int> selected;
+  for (size_t i = 0; i < StatNames().size(); ++i) {
+    selected.push_back(static_cast<int>(i));
+  }
+
+  stats::OlsResult fit =
+      stats::FitOls(BuildDesign(stats, selected), probing_costs);
+
+  // Backward elimination on |t|: drop the weakest insignificant parameter
+  // and refit until all survivors are significant (or one remains).
+  while (selected.size() > 1) {
+    size_t weakest = 0;
+    double weakest_t = 1e300;
+    for (size_t c = 0; c < selected.size(); ++c) {
+      const double t = std::fabs(fit.t_statistics[c + 1]);
+      if (t < weakest_t) {
+        weakest_t = t;
+        weakest = c;
+      }
+    }
+    if (weakest_t >= t_threshold) break;
+    selected.erase(selected.begin() + static_cast<long>(weakest));
+    fit = stats::FitOls(BuildDesign(stats, selected), probing_costs);
+  }
+  return ProbingCostEstimator(std::move(selected), std::move(fit));
+}
+
+}  // namespace mscm::core

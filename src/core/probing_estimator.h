@@ -1,0 +1,54 @@
+// Probing-cost estimation (paper §3.3, Eq. 2): instead of executing the
+// probing query every time a contention state must be determined, fit a
+// regression of the probing cost on the system statistics the environment
+// monitor exposes (CPU load, I/O utilization, memory use, …), then estimate.
+// Reading counters is cheaper than running even a small query; the price is
+// some estimation error.
+
+#ifndef MSCM_CORE_PROBING_ESTIMATOR_H_
+#define MSCM_CORE_PROBING_ESTIMATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/system_monitor.h"
+#include "stats/ols.h"
+
+namespace mscm::core {
+
+class ProbingCostEstimator {
+ public:
+  // Fixed candidate-parameter vector extracted from a stats snapshot
+  // (order matches StatNames()).
+  static std::vector<double> StatFeatures(const sim::SystemStats& stats);
+  static const std::vector<std::string>& StatNames();
+
+  // Estimated probing cost for the given monitor snapshot.
+  double Estimate(const sim::SystemStats& stats) const;
+
+  // Candidate stats that survived the significance screen.
+  const std::vector<int>& selected_stats() const { return selected_; }
+  double r_squared() const { return fit_.r_squared; }
+  double standard_error() const { return fit_.standard_error; }
+
+  std::string ToString() const;
+
+  // Fits the estimator from paired (snapshot, observed probing cost)
+  // samples. Insignificant parameters (|t| below `t_threshold`) are removed
+  // one at a time, weakest first — the "standard statistical procedure" the
+  // paper references for determining the significant parameters.
+  static ProbingCostEstimator Fit(const std::vector<sim::SystemStats>& stats,
+                                  const std::vector<double>& probing_costs,
+                                  double t_threshold = 2.0);
+
+ private:
+  ProbingCostEstimator(std::vector<int> selected, stats::OlsResult fit)
+      : selected_(std::move(selected)), fit_(std::move(fit)) {}
+
+  std::vector<int> selected_;
+  stats::OlsResult fit_;
+};
+
+}  // namespace mscm::core
+
+#endif  // MSCM_CORE_PROBING_ESTIMATOR_H_

@@ -1,0 +1,106 @@
+#include "core/qualitative.h"
+
+#include "common/check.h"
+
+namespace mscm::core {
+
+const char* ToString(QualitativeForm form) {
+  switch (form) {
+    case QualitativeForm::kCoincident:
+      return "coincident";
+    case QualitativeForm::kParallel:
+      return "parallel";
+    case QualitativeForm::kConcurrent:
+      return "concurrent";
+    case QualitativeForm::kGeneral:
+      return "general";
+  }
+  return "?";
+}
+
+DesignLayout DesignLayout::Make(int num_selected, QualitativeForm form,
+                                int num_states) {
+  MSCM_CHECK(num_selected >= 0 && num_states >= 1);
+  std::vector<DesignTerm> terms;
+
+  const bool intercept_per_state =
+      num_states > 1 && (form == QualitativeForm::kParallel ||
+                         form == QualitativeForm::kGeneral);
+  const bool slopes_per_state =
+      num_states > 1 && (form == QualitativeForm::kConcurrent ||
+                         form == QualitativeForm::kGeneral);
+
+  if (intercept_per_state) {
+    for (int s = 0; s < num_states; ++s) terms.push_back({-1, s});
+  } else {
+    terms.push_back({-1, -1});
+  }
+  for (int v = 0; v < num_selected; ++v) {
+    if (slopes_per_state) {
+      for (int s = 0; s < num_states; ++s) terms.push_back({v, s});
+    } else {
+      terms.push_back({v, -1});
+    }
+  }
+  return DesignLayout(std::move(terms), form, num_states, num_selected);
+}
+
+std::vector<double> DesignLayout::Row(
+    const std::vector<double>& selected_values, int state) const {
+  MSCM_CHECK(selected_values.size() ==
+             static_cast<size_t>(num_selected_));
+  MSCM_CHECK(state >= 0 && state < num_states_);
+  std::vector<double> row(terms_.size(), 0.0);
+  for (size_t c = 0; c < terms_.size(); ++c) {
+    const DesignTerm& t = terms_[c];
+    if (t.state != -1 && t.state != state) continue;
+    row[c] = (t.variable == -1)
+                 ? 1.0
+                 : selected_values[static_cast<size_t>(t.variable)];
+  }
+  return row;
+}
+
+int DesignLayout::ColumnOf(int variable, int state) const {
+  for (size_t c = 0; c < terms_.size(); ++c) {
+    const DesignTerm& t = terms_[c];
+    if (t.variable != variable) continue;
+    if (t.state == -1 || t.state == state) return static_cast<int>(c);
+  }
+  return -1;
+}
+
+std::vector<double> SelectValues(const std::vector<double>& features,
+                                 const std::vector<int>& selected) {
+  std::vector<double> out;
+  out.reserve(selected.size());
+  for (int idx : selected) {
+    MSCM_CHECK(idx >= 0 && static_cast<size_t>(idx) < features.size());
+    out.push_back(features[static_cast<size_t>(idx)]);
+  }
+  return out;
+}
+
+stats::Matrix BuildDesignMatrix(const ObservationSet& observations,
+                                const std::vector<int>& selected,
+                                const ContentionStates& states,
+                                const DesignLayout& layout) {
+  MSCM_CHECK(layout.num_states() == states.num_states());
+  stats::Matrix x(observations.size(), layout.num_columns());
+  for (size_t r = 0; r < observations.size(); ++r) {
+    const Observation& obs = observations[r];
+    const std::vector<double> row = layout.Row(
+        SelectValues(obs.features, selected), states.StateOf(obs.probing_cost));
+    for (size_t c = 0; c < row.size(); ++c) x(r, c) = row[c];
+  }
+  return x;
+}
+
+std::vector<double> ResponseVector(const ObservationSet& observations) {
+  std::vector<double> y;
+  y.reserve(observations.size());
+  for (const Observation& obs : observations) y.push_back(obs.cost);
+  return y;
+}
+
+}  // namespace mscm::core

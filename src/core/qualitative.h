@@ -1,0 +1,99 @@
+// Qualitative-variable regression forms (paper §3.2, Table 2).
+//
+// A qualitative variable with s states enters the regression through
+// indicator variables. The four forms differ in which coefficients are
+// allowed to vary by state:
+//   coincident — none (the static model);
+//   parallel   — intercept only;
+//   concurrent — slopes only;
+//   general    — intercept and slopes (appropriate for query cost models,
+//                since contention affects initialization, I/O and CPU terms
+//                alike — §3.2).
+//
+// Parameterization note: the paper writes per-state terms as a shared
+// coefficient plus per-state deltas against a reference state
+// (β_i0 + β_ij·I_j). We use the equivalent cell-means parameterization —
+// one coefficient per (variable, state) cell — which spans the same model
+// space, makes "adjusted coefficients" directly available for the merging
+// test, and avoids an arbitrary reference state.
+
+#ifndef MSCM_CORE_QUALITATIVE_H_
+#define MSCM_CORE_QUALITATIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/observation.h"
+#include "core/states.h"
+#include "stats/matrix.h"
+
+namespace mscm::core {
+
+enum class QualitativeForm {
+  kCoincident,
+  kParallel,
+  kConcurrent,
+  kGeneral,
+};
+
+const char* ToString(QualitativeForm form);
+
+// One design-matrix column: `variable` is an index into the *selected*
+// variable list (-1 for the intercept); `state` is a contention state
+// (-1 when the coefficient is shared across states).
+struct DesignTerm {
+  int variable = -1;
+  int state = -1;
+};
+
+class DesignLayout {
+ public:
+  // Layout for `num_selected` quantitative variables under `form` with
+  // `num_states` contention states.
+  static DesignLayout Make(int num_selected, QualitativeForm form,
+                           int num_states);
+
+  const std::vector<DesignTerm>& terms() const { return terms_; }
+  size_t num_columns() const { return terms_.size(); }
+  QualitativeForm form() const { return form_; }
+  int num_states() const { return num_states_; }
+  int num_selected() const { return num_selected_; }
+
+  // Builds one design row for the given selected-variable values and state.
+  // `selected_values[i]` is the value of selected variable i.
+  std::vector<double> Row(const std::vector<double>& selected_values,
+                          int state) const;
+
+  // Column index of the term for (variable, state); for shared-coefficient
+  // forms, the shared column matches any state. Returns -1 if absent.
+  int ColumnOf(int variable, int state) const;
+
+ private:
+  DesignLayout(std::vector<DesignTerm> terms, QualitativeForm form,
+               int num_states, int num_selected)
+      : terms_(std::move(terms)),
+        form_(form),
+        num_states_(num_states),
+        num_selected_(num_selected) {}
+
+  std::vector<DesignTerm> terms_;
+  QualitativeForm form_;
+  int num_states_;
+  int num_selected_;
+};
+
+// Values of the selected variables, in selection order.
+std::vector<double> SelectValues(const std::vector<double>& features,
+                                 const std::vector<int>& selected);
+
+// Builds the full design matrix and response vector for a training set.
+stats::Matrix BuildDesignMatrix(const ObservationSet& observations,
+                                const std::vector<int>& selected,
+                                const ContentionStates& states,
+                                const DesignLayout& layout);
+
+std::vector<double> ResponseVector(const ObservationSet& observations);
+
+}  // namespace mscm::core
+
+#endif  // MSCM_CORE_QUALITATIVE_H_

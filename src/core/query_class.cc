@@ -1,0 +1,65 @@
+#include "core/query_class.h"
+
+namespace mscm::core {
+
+const char* ToString(QueryClassId id) {
+  switch (id) {
+    case QueryClassId::kUnarySeqScan:
+      return "unary/sequential-scan";
+    case QueryClassId::kUnaryNonClusteredIndex:
+      return "unary/nonclustered-index-range";
+    case QueryClassId::kUnaryClusteredIndex:
+      return "unary/clustered-index-range";
+    case QueryClassId::kJoinNoIndex:
+      return "join/no-index";
+    case QueryClassId::kJoinIndex:
+      return "join/index-nested-loop";
+  }
+  return "?";
+}
+
+const char* Label(QueryClassId id) {
+  switch (id) {
+    case QueryClassId::kUnarySeqScan:
+      return "G1";
+    case QueryClassId::kUnaryNonClusteredIndex:
+      return "G2";
+    case QueryClassId::kUnaryClusteredIndex:
+      return "Gc";
+    case QueryClassId::kJoinNoIndex:
+      return "G3";
+    case QueryClassId::kJoinIndex:
+      return "Gj";
+  }
+  return "?";
+}
+
+bool IsJoinClass(QueryClassId id) {
+  return id == QueryClassId::kJoinNoIndex || id == QueryClassId::kJoinIndex;
+}
+
+QueryClassId ClassifySelect(const engine::Database& db,
+                            const engine::SelectQuery& query,
+                            const engine::PlannerRules& rules) {
+  const engine::SelectPlan plan = engine::ChooseSelectPlan(db, query, rules);
+  switch (plan.method) {
+    case engine::AccessMethod::kSequentialScan:
+      return QueryClassId::kUnarySeqScan;
+    case engine::AccessMethod::kClusteredIndexScan:
+      return QueryClassId::kUnaryClusteredIndex;
+    case engine::AccessMethod::kNonClusteredIndexScan:
+      return QueryClassId::kUnaryNonClusteredIndex;
+  }
+  return QueryClassId::kUnarySeqScan;
+}
+
+QueryClassId ClassifyJoin(const engine::Database& db,
+                          const engine::JoinQuery& query,
+                          const engine::PlannerRules& rules) {
+  const engine::JoinPlan plan = engine::ChooseJoinPlan(db, query, rules);
+  return plan.method == engine::JoinMethod::kIndexNestedLoop
+             ? QueryClassId::kJoinIndex
+             : QueryClassId::kJoinNoIndex;
+}
+
+}  // namespace mscm::core

@@ -1,0 +1,48 @@
+// Query classification (paper §4.1): local queries are grouped into
+// homogeneous classes by the access method they would most likely be
+// performed with, since queries sharing an access method share a performance
+// behaviour describable by one cost model. The classifier mirrors the
+// engine's rule-based access-path chooser.
+//
+// The paper's experiments use three representative classes per site:
+//   G1 — unary queries without usable indexes (sequential scan),
+//   G2 — unary queries with a usable non-clustered index on a range,
+//   G3 — join queries without usable indexes.
+// The library additionally supports the clustered-index unary class and the
+// indexed join class from the underlying static method's taxonomy.
+
+#ifndef MSCM_CORE_QUERY_CLASS_H_
+#define MSCM_CORE_QUERY_CLASS_H_
+
+#include "engine/access_path.h"
+#include "engine/database.h"
+#include "engine/query.h"
+
+namespace mscm::core {
+
+enum class QueryClassId {
+  kUnarySeqScan,           // G1
+  kUnaryNonClusteredIndex, // G2
+  kUnaryClusteredIndex,    // extension of the unary taxonomy
+  kJoinNoIndex,            // G3 (hash / sort-merge / nested loop)
+  kJoinIndex,              // index nested loop joins
+};
+
+const char* ToString(QueryClassId id);
+
+// Short paper-style label: "G1", "G2", "G3", "Gc", "Gj".
+const char* Label(QueryClassId id);
+
+bool IsJoinClass(QueryClassId id);
+
+QueryClassId ClassifySelect(const engine::Database& db,
+                            const engine::SelectQuery& query,
+                            const engine::PlannerRules& rules);
+
+QueryClassId ClassifyJoin(const engine::Database& db,
+                          const engine::JoinQuery& query,
+                          const engine::PlannerRules& rules);
+
+}  // namespace mscm::core
+
+#endif  // MSCM_CORE_QUERY_CLASS_H_

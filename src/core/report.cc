@@ -1,0 +1,82 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace mscm::core {
+namespace {
+
+std::string NameList(const VariableSet& variables,
+                     const std::vector<int>& indices) {
+  if (indices.empty()) return "(none)";
+  std::vector<std::string> names;
+  names.reserve(indices.size());
+  for (int v : indices) {
+    names.push_back(variables.name(static_cast<size_t>(v)));
+  }
+  return Join(names, "; ");
+}
+
+}  // namespace
+
+std::string RenderBuildReport(const BuildReport& report) {
+  const VariableSet variables =
+      VariableSet::ForClass(report.model.class_id());
+
+  double probe_lo = 0.0;
+  double probe_hi = 0.0;
+  if (!report.training.empty()) {
+    probe_lo = probe_hi = report.training.front().probing_cost;
+    for (const Observation& o : report.training) {
+      probe_lo = std::min(probe_lo, o.probing_cost);
+      probe_hi = std::max(probe_hi, o.probing_cost);
+    }
+  }
+
+  std::string out;
+  out += Format("=== cost-model derivation report: class %s ===\n",
+                Label(report.model.class_id()));
+  out += Format("training sample : %zu observations, probing costs in "
+                "[%.3f, %.3f] s\n",
+                report.training.size(), probe_lo, probe_hi);
+  out += Format("state search    : %d growth iteration(s), %d merge(s), "
+                "settled on %d state(s)\n",
+                report.growth_iterations, report.merges,
+                report.model.states().num_states());
+  if (report.r2_by_state_count.size() > 1) {
+    std::vector<std::string> series;
+    for (double r2 : report.r2_by_state_count) {
+      series.push_back(Format("%.3f", r2));
+    }
+    out += Format("R^2 by tried m  : %s\n", Join(series, ", ").c_str());
+  }
+  out += Format("selected vars   : %s\n",
+                NameList(variables, report.model.selected_variables())
+                    .c_str());
+  if (!report.selection_trace.screened_out.empty()) {
+    out += Format("screened out    : %s\n",
+                  NameList(variables, report.selection_trace.screened_out)
+                      .c_str());
+  }
+  if (!report.selection_trace.removed_backward.empty()) {
+    out += Format("removed backward: %s\n",
+                  NameList(variables,
+                           report.selection_trace.removed_backward)
+                      .c_str());
+  }
+  if (!report.selection_trace.added_forward.empty()) {
+    out += Format("added forward   : %s\n",
+                  NameList(variables, report.selection_trace.added_forward)
+                      .c_str());
+  }
+  if (!report.selection_trace.rejected_vif.empty()) {
+    out += Format("rejected by VIF : %s\n",
+                  NameList(variables, report.selection_trace.rejected_vif)
+                      .c_str());
+  }
+  out += report.model.ToString(variables);
+  return out;
+}
+
+}  // namespace mscm::core

@@ -1,0 +1,22 @@
+// Human-readable summary of a model-derivation run: what was sampled, which
+// states were found, which variables survived selection (and why others
+// fell), and the headline statistics — the audit trail an MDBS operator
+// wants before trusting a freshly derived model.
+
+#ifndef MSCM_CORE_REPORT_H_
+#define MSCM_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/model_builder.h"
+
+namespace mscm::core {
+
+// Renders a multi-line description of the build. Includes the per-state
+// equations (CostModel::ToString), the observation count and probing-cost
+// range, the selection trace, and growth/merge counters.
+std::string RenderBuildReport(const BuildReport& report);
+
+}  // namespace mscm::core
+
+#endif  // MSCM_CORE_REPORT_H_

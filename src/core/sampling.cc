@@ -1,0 +1,197 @@
+#include "core/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mscm::core {
+namespace {
+
+constexpr int kMaxSampleAttempts = 200;
+
+// Columns with these indexes carry indexes in the generated databases:
+// 0 = clustered, 1 and 2 = non-clustered (see engine::GenerateDatabase).
+constexpr int kClusteredColumn = 0;
+constexpr int kNonClusteredColumns[] = {1, 2};
+constexpr int kJoinColumnNoIndex = 4;  // a5: shared 5000-value domain
+
+// Log-uniform draw in [lo, hi].
+double LogUniform(Rng& rng, double lo, double hi) {
+  MSCM_CHECK(lo > 0.0 && hi >= lo);
+  return std::exp(rng.Uniform(std::log(lo), std::log(hi)));
+}
+
+}  // namespace
+
+int MinimumSampleSize(int num_quantitative_vars, int num_states) {
+  MSCM_CHECK(num_quantitative_vars >= 0 && num_states >= 1);
+  return 10 * ((num_quantitative_vars + 1) * num_states + 1);
+}
+
+int RecommendedSampleSize(int num_basic_vars, int expected_max_states) {
+  // Expect most basic variables plus up to two secondary ones to survive.
+  return MinimumSampleSize(num_basic_vars + 2, expected_max_states);
+}
+
+QuerySampler::QuerySampler(const engine::Database* db,
+                           engine::PlannerRules rules, uint64_t seed)
+    : db_(db), rules_(rules), rng_(seed) {
+  MSCM_CHECK(db_ != nullptr);
+  for (const std::string& name : db_->TableNames()) {
+    if (name == "P0") continue;  // the probing table is not a sampling target
+    table_names_.push_back(name);
+  }
+  MSCM_CHECK_MSG(!table_names_.empty(), "empty database");
+}
+
+const engine::Table* QuerySampler::RandomTable() {
+  const size_t pick = static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(table_names_.size()) - 1));
+  const engine::Table* t = db_->FindTable(table_names_[pick]);
+  MSCM_CHECK(t != nullptr);
+  return t;
+}
+
+engine::Condition QuerySampler::RangeCondition(const engine::Table& table,
+                                               int column,
+                                               double selectivity) {
+  const engine::ColumnStats& s =
+      table.column_stats(static_cast<size_t>(column));
+  const double span = static_cast<double>(s.max - s.min) + 1.0;
+  const int64_t width = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(span * selectivity)));
+  const int64_t lo =
+      s.min + rng_.UniformInt(0, std::max<int64_t>(0, (s.max - s.min) -
+                                                          (width - 1)));
+  engine::Condition cond;
+  cond.column = column;
+  cond.op = engine::CompareOp::kBetween;
+  cond.lo = lo;
+  cond.hi = lo + width - 1;
+  return cond;
+}
+
+std::vector<int> QuerySampler::RandomProjection(const engine::Table& table) {
+  const int n = static_cast<int>(table.schema().num_columns());
+  const int keep = static_cast<int>(rng_.UniformInt(1, n));
+  std::vector<int> cols(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) cols[static_cast<size_t>(i)] = i;
+  rng_.Shuffle(cols);
+  cols.resize(static_cast<size_t>(keep));
+  std::sort(cols.begin(), cols.end());
+  return cols;
+}
+
+engine::SelectQuery QuerySampler::SampleSelect(QueryClassId target) {
+  MSCM_CHECK(!IsJoinClass(target));
+  for (int attempt = 0; attempt < kMaxSampleAttempts; ++attempt) {
+    const engine::Table* table = RandomTable();
+    const int num_cols = static_cast<int>(table->schema().num_columns());
+
+    engine::SelectQuery q;
+    q.table = table->name();
+    q.projection = RandomProjection(*table);
+
+    switch (target) {
+      case QueryClassId::kUnarySeqScan: {
+        // 1–2 conditions on non-indexed columns only.
+        const int conds = static_cast<int>(rng_.UniformInt(1, 2));
+        for (int c = 0; c < conds; ++c) {
+          const int col =
+              static_cast<int>(rng_.UniformInt(3, num_cols - 1));
+          if (q.predicate.FindCondition(col) >= 0) continue;
+          q.predicate.Add(
+              RangeCondition(*table, col, LogUniform(rng_, 0.02, 0.95)));
+        }
+        break;
+      }
+      case QueryClassId::kUnaryNonClusteredIndex: {
+        const int col = kNonClusteredColumns[rng_.UniformInt(0, 1)];
+        const double limit = rules_.nonclustered_selectivity_limit;
+        q.predicate.Add(RangeCondition(
+            *table, col, LogUniform(rng_, 0.002, 0.85 * limit)));
+        if (rng_.Bernoulli(0.5)) {
+          const int extra =
+              static_cast<int>(rng_.UniformInt(3, num_cols - 1));
+          q.predicate.Add(
+              RangeCondition(*table, extra, LogUniform(rng_, 0.1, 0.9)));
+        }
+        break;
+      }
+      case QueryClassId::kUnaryClusteredIndex: {
+        q.predicate.Add(RangeCondition(*table, kClusteredColumn,
+                                       LogUniform(rng_, 0.01, 0.9)));
+        if (rng_.Bernoulli(0.4)) {
+          const int extra =
+              static_cast<int>(rng_.UniformInt(3, num_cols - 1));
+          q.predicate.Add(
+              RangeCondition(*table, extra, LogUniform(rng_, 0.1, 0.9)));
+        }
+        break;
+      }
+      default:
+        MSCM_CHECK_MSG(false, "not a unary class");
+    }
+
+    if (ClassifySelect(*db_, q, rules_) == target) return q;
+  }
+  MSCM_CHECK_MSG(false, "could not sample a query in the target unary class");
+  return {};
+}
+
+engine::JoinQuery QuerySampler::SampleJoin(QueryClassId target) {
+  MSCM_CHECK(IsJoinClass(target));
+  for (int attempt = 0; attempt < kMaxSampleAttempts; ++attempt) {
+    const engine::Table* left = RandomTable();
+    const engine::Table* right = RandomTable();
+
+    engine::JoinQuery q;
+    q.left_table = left->name();
+    q.right_table = right->name();
+
+    if (target == QueryClassId::kJoinNoIndex) {
+      q.left_column = kJoinColumnNoIndex;
+      q.right_column = kJoinColumnNoIndex;
+      // Local selections keep the qualified sides moderate so result sizes
+      // span a wide range without exploding.
+      const int lcol = static_cast<int>(rng_.UniformInt(
+          3, static_cast<int64_t>(left->schema().num_columns()) - 1));
+      const int rcol = static_cast<int>(rng_.UniformInt(
+          3, static_cast<int64_t>(right->schema().num_columns()) - 1));
+      q.left_predicate.Add(
+          RangeCondition(*left, lcol, LogUniform(rng_, 0.05, 0.7)));
+      q.right_predicate.Add(
+          RangeCondition(*right, rcol, LogUniform(rng_, 0.05, 0.7)));
+    } else {  // kJoinIndex
+      // Join into the right table's non-clustered index; keep the outer
+      // side selective so the planner picks index nested loop.
+      q.left_column = 1;
+      q.right_column = 1;
+      const double max_outer =
+          rules_.index_join_outer_limit *
+          static_cast<double>(right->num_rows()) /
+          std::max(1.0, static_cast<double>(left->num_rows()));
+      const double hi = std::min(0.5, 0.8 * max_outer);
+      if (hi <= 0.002) continue;  // incompatible table pair; redraw
+      const int lcol = static_cast<int>(rng_.UniformInt(
+          3, static_cast<int64_t>(left->schema().num_columns()) - 1));
+      q.left_predicate.Add(
+          RangeCondition(*left, lcol, LogUniform(rng_, 0.002, hi)));
+    }
+
+    // Project a few columns from each side.
+    const int lkeep = static_cast<int>(rng_.UniformInt(
+        1, static_cast<int64_t>(left->schema().num_columns()) - 1));
+    const int rkeep = static_cast<int>(rng_.UniformInt(
+        1, static_cast<int64_t>(right->schema().num_columns()) - 1));
+    for (int c = 0; c < lkeep; ++c) q.projection.emplace_back(0, c);
+    for (int c = 0; c < rkeep; ++c) q.projection.emplace_back(1, c);
+
+    if (ClassifyJoin(*db_, q, rules_) == target) return q;
+  }
+  MSCM_CHECK_MSG(false, "could not sample a query in the target join class");
+  return {};
+}
+
+}  // namespace mscm::core

@@ -1,0 +1,58 @@
+// Query sampling (paper §4.1): draws random sample queries from a target
+// query class against a local database, varying operand tables, predicate
+// selectivities and projections so the observed data spans the explanatory
+// variables. Sampled queries are verified to classify into the target class
+// (classification depends on the site's planner rules).
+//
+// Also provides the Proposition 4.1 sample-size rule: the general
+// qualitative model with k quantitative variables and s states has
+// (k+1)·s coefficients plus an error variance, and the standard sampling
+// guideline of 10 observations per estimated parameter gives
+// n >= 10·((k+1)·s + 1).
+
+#ifndef MSCM_CORE_SAMPLING_H_
+#define MSCM_CORE_SAMPLING_H_
+
+#include <variant>
+
+#include "common/rng.h"
+#include "core/query_class.h"
+#include "engine/database.h"
+#include "engine/query.h"
+
+namespace mscm::core {
+
+// Minimum observations per Proposition 4.1 for the general form.
+int MinimumSampleSize(int num_quantitative_vars, int num_states);
+
+// Paper Eq. (4): a practical sample size computed from the basic-variable
+// count (expecting most basic variables plus a couple of secondary ones to
+// survive selection) and the expected maximum state count.
+int RecommendedSampleSize(int num_basic_vars, int expected_max_states);
+
+class QuerySampler {
+ public:
+  QuerySampler(const engine::Database* db, engine::PlannerRules rules,
+               uint64_t seed);
+
+  // Draws a random query classifying into `target` (a unary class).
+  engine::SelectQuery SampleSelect(QueryClassId target);
+
+  // Draws a random join query classifying into `target` (a join class).
+  engine::JoinQuery SampleJoin(QueryClassId target);
+
+ private:
+  engine::Condition RangeCondition(const engine::Table& table, int column,
+                                   double selectivity);
+  std::vector<int> RandomProjection(const engine::Table& table);
+  const engine::Table* RandomTable();
+
+  const engine::Database* db_;
+  engine::PlannerRules rules_;
+  Rng rng_;
+  std::vector<std::string> table_names_;
+};
+
+}  // namespace mscm::core
+
+#endif  // MSCM_CORE_SAMPLING_H_

@@ -1,0 +1,232 @@
+#include "core/state_determination.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/hierarchical.h"
+#include "common/check.h"
+
+namespace mscm::core {
+namespace {
+
+// Probing-cost range of a training set.
+std::pair<double, double> ProbingRange(const ObservationSet& observations) {
+  MSCM_CHECK(!observations.empty());
+  double lo = observations[0].probing_cost;
+  double hi = lo;
+  for (const Observation& o : observations) {
+    lo = std::min(lo, o.probing_cost);
+    hi = std::max(hi, o.probing_cost);
+  }
+  return {lo, hi};
+}
+
+std::vector<double> ProbingCosts(const ObservationSet& observations) {
+  std::vector<double> out;
+  out.reserve(observations.size());
+  for (const Observation& o : observations) out.push_back(o.probing_cost);
+  return out;
+}
+
+int MinRequiredPerState(const std::vector<int>& selected,
+                        const StateDeterminationOptions& options) {
+  if (options.min_observations_per_state > 0) {
+    return options.min_observations_per_state;
+  }
+  // Each state introduces up to (#vars + 1) coefficients under the general
+  // form; require a few extra points beyond that.
+  return std::max(6, static_cast<int>(selected.size()) + 1 + 3);
+}
+
+// Maximum relative difference between the adjusted coefficients of two
+// adjacent states (the merging test of Algorithm 3.1, step 18).
+double CoefficientGap(const CostModel& model, int s) {
+  double gap = 0.0;
+  constexpr double kTiny = 1e-9;
+  for (int v = -1; v < model.layout().num_selected(); ++v) {
+    const double a = model.CoefficientFor(v, s);
+    const double b = model.CoefficientFor(v, s + 1);
+    const double denom = std::max({std::fabs(a), std::fabs(b), kTiny});
+    gap = std::max(gap, std::fabs(a - b) / denom);
+  }
+  return gap;
+}
+
+// Phase 2 of both algorithms: merge adjacent states whose effects on the
+// model are not significantly different; refit and repeat.
+CostModel MergingAdjustment(QueryClassId class_id,
+                            const ObservationSet& observations,
+                            const std::vector<int>& selected,
+                            CostModel model,
+                            const StateDeterminationOptions& options,
+                            int* merges) {
+  while (model.states().num_states() > 1) {
+    // Find the most similar adjacent pair below the threshold.
+    int best_state = -1;
+    double best_gap = options.merge_threshold;
+    for (int s = 0; s < model.states().num_states() - 1; ++s) {
+      const double gap = CoefficientGap(model, s);
+      if (gap < best_gap) {
+        best_gap = gap;
+        best_state = s;
+      }
+    }
+    if (best_state < 0) break;
+    ContentionStates merged = model.states();
+    merged.MergeAdjacent(best_state);
+    model = FitCostModel(class_id, observations, selected, merged,
+                         options.form);
+    if (merges != nullptr) ++(*merges);
+  }
+  return model;
+}
+
+// Shared growth loop: `partition(m)` yields the candidate m-state partition
+// (or nullopt when m states cannot be supported, stopping growth).
+template <typename PartitionFn>
+StateDeterminationResult GrowAndMerge(QueryClassId class_id,
+                                      ObservationSet& observations,
+                                      const std::vector<int>& selected,
+                                      const StateDeterminationOptions& options,
+                                      PartitionFn partition) {
+  MSCM_CHECK(!observations.empty());
+
+  CostModel best = FitCostModel(class_id, observations, selected,
+                                ContentionStates::Single(), options.form);
+  StateDeterminationResult result{best, /*growth_iterations=*/0,
+                                  /*merges=*/0,
+                                  /*r2_by_state_count=*/{best.r_squared()}};
+
+  double r2_prev = best.r_squared();
+  double see_prev = best.standard_error();
+
+  // Growth tolerates one stale step: with a skewed probing-cost distribution
+  // a partition at m may gain nothing while m+1 still helps (the extra
+  // boundary lands in the dense region).
+  int stale = 0;
+  for (int m = 2; m <= options.max_states; ++m) {
+    auto states = partition(m);
+    if (!states.has_value()) break;
+    ++result.growth_iterations;
+
+    CostModel candidate =
+        FitCostModel(class_id, observations, selected, *states, options.form);
+    result.r2_by_state_count.push_back(candidate.r_squared());
+
+    const double r2_gain = candidate.r_squared() - r2_prev;
+    const double see_gain =
+        see_prev > 1e-12
+            ? (see_prev - candidate.standard_error()) / see_prev
+            : 0.0;
+    const bool improved = r2_gain > options.r2_gain_epsilon ||
+                          see_gain > options.see_gain_epsilon;
+    if (!improved) {
+      if (++stale >= 2) break;  // keep the previous (smaller) model
+      continue;
+    }
+    stale = 0;
+    best = std::move(candidate);
+    r2_prev = best.r_squared();
+    see_prev = best.standard_error();
+  }
+
+  best = MergingAdjustment(class_id, observations, selected, std::move(best),
+                           options, &result.merges);
+  result.model = std::move(best);
+  return result;
+}
+
+}  // namespace
+
+std::vector<int> StateCounts(const ObservationSet& observations,
+                             const ContentionStates& states) {
+  std::vector<int> counts(static_cast<size_t>(states.num_states()), 0);
+  for (const Observation& o : observations) {
+    ++counts[static_cast<size_t>(states.StateOf(o.probing_cost))];
+  }
+  return counts;
+}
+
+StateDeterminationResult DetermineStatesIupma(
+    QueryClassId class_id, const ObservationSet& observations,
+    const std::vector<int>& selected,
+    const StateDeterminationOptions& options) {
+  ObservationSet working = observations;
+  const auto [cmin, cmax] = ProbingRange(working);
+  const int min_per_state = MinRequiredPerState(selected, options);
+
+  auto partition = [&](int m) -> std::optional<ContentionStates> {
+    ContentionStates states =
+        ContentionStates::UniformPartition(cmin, cmax, m);
+    // Pre-merge underpopulated subranges into a neighbor: the sparse tail of
+    // a skewed probing-cost distribution cannot support states of its own,
+    // but the dense region still benefits from the finer partition.
+    bool changed = true;
+    while (changed && states.num_states() > 1) {
+      changed = false;
+      const std::vector<int> counts = StateCounts(working, states);
+      for (int s = 0; s < states.num_states(); ++s) {
+        if (counts[static_cast<size_t>(s)] >= min_per_state) continue;
+        int boundary;  // boundary index to remove == left state of the merge
+        if (s == 0) {
+          boundary = 0;
+        } else if (s == states.num_states() - 1) {
+          boundary = s - 1;
+        } else {
+          // Merge toward the emptier neighbor.
+          boundary = counts[static_cast<size_t>(s - 1)] <=
+                             counts[static_cast<size_t>(s + 1)]
+                         ? s - 1
+                         : s;
+        }
+        states.MergeAdjacent(boundary);
+        changed = true;
+        break;
+      }
+    }
+    if (states.num_states() < 2) return std::nullopt;
+    return states;
+  };
+  return GrowAndMerge(class_id, working, selected, options, partition);
+}
+
+StateDeterminationResult DetermineStatesIcma(
+    QueryClassId class_id, ObservationSet& observations,
+    const std::vector<int>& selected, const StateDeterminationOptions& options,
+    ObservationSource* source) {
+  const int min_per_state = MinRequiredPerState(selected, options);
+
+  auto partition = [&](int m) -> std::optional<ContentionStates> {
+    const std::vector<cluster::Cluster> clusters =
+        cluster::AgglomerativeCluster1D(ProbingCosts(observations),
+                                        static_cast<size_t>(m));
+    if (clusters.size() < static_cast<size_t>(m)) return std::nullopt;
+    ContentionStates states = ContentionStates::FromClusters(clusters);
+
+    // Top up undersampled clusters with targeted draws rather than ignoring
+    // their data points (§3.3).
+    if (source != nullptr) {
+      for (size_t k = 0; k < clusters.size(); ++k) {
+        int have = static_cast<int>(clusters[k].count);
+        int attempts_left = 4 * min_per_state;
+        while (have < min_per_state && attempts_left-- > 0) {
+          auto extra = source->DrawInProbingRange(clusters[k].min,
+                                                  clusters[k].max,
+                                                  /*max_attempts=*/20);
+          if (!extra.has_value()) break;
+          observations.push_back(std::move(*extra));
+          ++have;
+        }
+      }
+    }
+
+    const std::vector<int> counts = StateCounts(observations, states);
+    for (int c : counts) {
+      if (c < min_per_state) return std::nullopt;
+    }
+    return states;
+  };
+  return GrowAndMerge(class_id, observations, selected, options, partition);
+}
+
+}  // namespace mscm::core

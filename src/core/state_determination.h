@@ -1,0 +1,68 @@
+// Contention-state determination (paper §3.3).
+//
+// IUPMA — Iterative Uniform Partition with Merging Adjustment
+// (Algorithm 3.1): grow the number of uniform probing-cost subranges while
+// the qualitative regression keeps improving materially; then merge adjacent
+// states whose adjusted coefficients differ too little to matter.
+//
+// ICMA — Iterative Clustering with Merging Adjustment: identical loop, but
+// each candidate partition comes from agglomerative (centroid-linkage)
+// clustering of the sampled probing costs, so boundaries follow the actual
+// contention-level distribution. When a cluster holds too few observations
+// for regression, additional sample queries are drawn inside its subrange
+// (via the observation source) instead of discarding the cluster.
+
+#ifndef MSCM_CORE_STATE_DETERMINATION_H_
+#define MSCM_CORE_STATE_DETERMINATION_H_
+
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/observation_source.h"
+
+namespace mscm::core {
+
+struct StateDeterminationOptions {
+  int max_states = 8;
+  // Growth stops when the R^2 gain and the relative SEE improvement of the
+  // next partition both fall below these thresholds.
+  double r2_gain_epsilon = 0.005;
+  double see_gain_epsilon = 0.03;
+  // Adjacent states merge when the maximum relative difference across their
+  // adjusted coefficients is below this.
+  double merge_threshold = 0.10;
+  // Minimum observations per state; 0 = automatic (terms per state + 3,
+  // at least 6).
+  int min_observations_per_state = 0;
+  QualitativeForm form = QualitativeForm::kGeneral;
+};
+
+struct StateDeterminationResult {
+  CostModel model;
+  int growth_iterations = 0;
+  int merges = 0;
+  // R^2 of the best model at each tried state count (index 0 = one state),
+  // recorded for the states-sweep ablation.
+  std::vector<double> r2_by_state_count;
+};
+
+// Observations per state under a candidate partition.
+std::vector<int> StateCounts(const ObservationSet& observations,
+                             const ContentionStates& states);
+
+// Algorithm 3.1. `observations` are the sampled queries with their probing
+// costs; `selected` indexes the quantitative variables to include.
+StateDeterminationResult DetermineStatesIupma(
+    QueryClassId class_id, const ObservationSet& observations,
+    const std::vector<int>& selected, const StateDeterminationOptions& options);
+
+// Clustering-based variant. May append targeted observations to
+// `observations` when `source` is non-null and a cluster is undersampled.
+StateDeterminationResult DetermineStatesIcma(
+    QueryClassId class_id, ObservationSet& observations,
+    const std::vector<int>& selected, const StateDeterminationOptions& options,
+    ObservationSource* source);
+
+}  // namespace mscm::core
+
+#endif  // MSCM_CORE_STATE_DETERMINATION_H_

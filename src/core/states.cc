@@ -1,0 +1,66 @@
+#include "core/states.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace mscm::core {
+
+ContentionStates ContentionStates::Single() { return ContentionStates({}); }
+
+ContentionStates ContentionStates::UniformPartition(double cmin, double cmax,
+                                                    int m) {
+  MSCM_CHECK(m >= 1);
+  MSCM_CHECK(cmax >= cmin);
+  std::vector<double> boundaries;
+  boundaries.reserve(static_cast<size_t>(m - 1));
+  const double width = (cmax - cmin) / static_cast<double>(m);
+  for (int i = 1; i < m; ++i) {
+    boundaries.push_back(cmin + width * static_cast<double>(i));
+  }
+  return ContentionStates(std::move(boundaries));
+}
+
+ContentionStates ContentionStates::FromBoundaries(
+    std::vector<double> boundaries) {
+  MSCM_CHECK(std::is_sorted(boundaries.begin(), boundaries.end()));
+  return ContentionStates(std::move(boundaries));
+}
+
+ContentionStates ContentionStates::FromClusters(
+    const std::vector<cluster::Cluster>& clusters) {
+  MSCM_CHECK(!clusters.empty());
+  std::vector<double> boundaries;
+  boundaries.reserve(clusters.size() - 1);
+  for (size_t i = 0; i + 1 < clusters.size(); ++i) {
+    MSCM_CHECK_MSG(clusters[i].centroid <= clusters[i + 1].centroid,
+                   "clusters must be sorted by centroid");
+    boundaries.push_back(0.5 * (clusters[i].max + clusters[i + 1].min));
+  }
+  return ContentionStates(std::move(boundaries));
+}
+
+int ContentionStates::StateOf(double probing_cost) const {
+  const auto it = std::lower_bound(boundaries_.begin(), boundaries_.end(),
+                                   probing_cost);
+  return static_cast<int>(it - boundaries_.begin());
+}
+
+void ContentionStates::MergeAdjacent(int s) {
+  MSCM_CHECK(s >= 0 && s < num_states() - 1);
+  boundaries_.erase(boundaries_.begin() + s);
+}
+
+std::string ContentionStates::ToString() const {
+  if (boundaries_.empty()) return "[single state]";
+  std::vector<std::string> parts;
+  parts.push_back(Format("(-inf, %.4f]", boundaries_.front()));
+  for (size_t i = 0; i + 1 < boundaries_.size(); ++i) {
+    parts.push_back(Format("(%.4f, %.4f]", boundaries_[i], boundaries_[i + 1]));
+  }
+  parts.push_back(Format("(%.4f, +inf)", boundaries_.back()));
+  return Join(parts, " ");
+}
+
+}  // namespace mscm::core

@@ -1,0 +1,60 @@
+// Discrete system contention states over the probing-query cost range
+// (paper §3.3). A ContentionStates partition maps an observed probing cost
+// to a state index; state 0 is the lowest-contention state. The paper
+// numbers states in the opposite direction ("high contention" = state 1),
+// which is purely cosmetic.
+
+#ifndef MSCM_CORE_STATES_H_
+#define MSCM_CORE_STATES_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/hierarchical.h"
+
+namespace mscm::core {
+
+class ContentionStates {
+ public:
+  // A single all-covering state (the static method's special case).
+  static ContentionStates Single();
+
+  // Uniform partition of [cmin, cmax] into m equal-width subranges.
+  static ContentionStates UniformPartition(double cmin, double cmax, int m);
+
+  // Partition with explicit internal boundaries (ascending). Used when
+  // reconstructing a persisted model.
+  static ContentionStates FromBoundaries(std::vector<double> boundaries);
+
+  // Partition induced by probing-cost clusters: the boundary between two
+  // adjacent clusters is the midpoint between the left cluster's max and the
+  // right cluster's min (clusters must be sorted by centroid, as
+  // AgglomerativeCluster1D returns them).
+  static ContentionStates FromClusters(
+      const std::vector<cluster::Cluster>& clusters);
+
+  int num_states() const { return static_cast<int>(boundaries_.size()) + 1; }
+
+  // State of a probing cost: index i such that
+  // boundaries[i-1] < cost <= boundaries[i] (ends open to ±infinity, so any
+  // cost — including ones outside the training range — maps to a state).
+  int StateOf(double probing_cost) const;
+
+  // Merges states s and s+1 (paper's "merging adjustment").
+  void MergeAdjacent(int s);
+
+  // Internal boundaries, ascending (size num_states()-1).
+  const std::vector<double>& boundaries() const { return boundaries_; }
+
+  std::string ToString() const;
+
+ private:
+  explicit ContentionStates(std::vector<double> boundaries)
+      : boundaries_(std::move(boundaries)) {}
+
+  std::vector<double> boundaries_;
+};
+
+}  // namespace mscm::core
+
+#endif  // MSCM_CORE_STATES_H_

@@ -1,0 +1,46 @@
+#include "core/validation.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mscm::core {
+
+bool IsVeryGoodEstimate(double estimated, double observed) {
+  if (observed <= 0.0) return estimated <= 0.0;
+  return std::fabs(estimated - observed) / observed <= 0.30;
+}
+
+bool IsGoodEstimate(double estimated, double observed) {
+  if (observed <= 0.0) return estimated <= 0.0;
+  return estimated >= observed / 2.0 && estimated <= observed * 2.0;
+}
+
+ValidationReport Validate(const CostModel& model, const ObservationSet& test) {
+  ValidationReport report;
+  report.n_test = test.size();
+  if (test.empty()) return report;
+
+  size_t very_good = 0;
+  size_t good = 0;
+  double sum_cost = 0.0;
+  double sum_rel = 0.0;
+  double sum_sq = 0.0;
+  for (const Observation& obs : test) {
+    const double est = model.Estimate(obs.features, obs.probing_cost);
+    sum_cost += obs.cost;
+    if (obs.cost > 0.0) sum_rel += std::fabs(est - obs.cost) / obs.cost;
+    sum_sq += (est - obs.cost) * (est - obs.cost);
+    if (IsVeryGoodEstimate(est, obs.cost)) ++very_good;
+    if (IsGoodEstimate(est, obs.cost)) ++good;
+  }
+  const double n = static_cast<double>(test.size());
+  report.avg_observed_cost = sum_cost / n;
+  report.pct_very_good = static_cast<double>(very_good) / n;
+  report.pct_good = static_cast<double>(good) / n;
+  report.mean_relative_error = sum_rel / n;
+  report.rmse = std::sqrt(sum_sq / n);
+  return report;
+}
+
+}  // namespace mscm::core

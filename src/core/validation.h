@@ -1,0 +1,37 @@
+// Model validation against held-out test queries (paper §5): the fraction
+// of "very good" estimates (relative error within 30%) and "good" estimates
+// (within a factor of two of the observed cost — "one-time larger or
+// smaller"). Estimates off by an order of magnitude are what the paper calls
+// unacceptable.
+
+#ifndef MSCM_CORE_VALIDATION_H_
+#define MSCM_CORE_VALIDATION_H_
+
+#include <cstddef>
+
+#include "core/cost_model.h"
+#include "core/observation.h"
+
+namespace mscm::core {
+
+struct ValidationReport {
+  size_t n_test = 0;
+  double avg_observed_cost = 0.0;
+  // Fraction with |estimate - observed| / observed <= 0.3.
+  double pct_very_good = 0.0;
+  // Fraction with estimate within [observed/2, observed*2] (includes the
+  // very-good estimates).
+  double pct_good = 0.0;
+  double mean_relative_error = 0.0;
+  double rmse = 0.0;
+};
+
+// Whether a single estimate is very good / good under the paper's bands.
+bool IsVeryGoodEstimate(double estimated, double observed);
+bool IsGoodEstimate(double estimated, double observed);
+
+ValidationReport Validate(const CostModel& model, const ObservationSet& test);
+
+}  // namespace mscm::core
+
+#endif  // MSCM_CORE_VALIDATION_H_

@@ -1,0 +1,247 @@
+#include "core/variable_selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/cost_model.h"
+#include "stats/correlation.h"
+#include "stats/ols.h"
+
+namespace mscm::core {
+namespace {
+
+// Observation indices grouped by contention state.
+std::vector<std::vector<size_t>> GroupByState(
+    const ObservationSet& observations, const ContentionStates& states) {
+  std::vector<std::vector<size_t>> groups(
+      static_cast<size_t>(states.num_states()));
+  for (size_t i = 0; i < observations.size(); ++i) {
+    groups[static_cast<size_t>(states.StateOf(observations[i].probing_cost))]
+        .push_back(i);
+  }
+  return groups;
+}
+
+// Per-state |corr| values of variable `var` against `targets`.
+std::vector<double> StateCorrelations(const ObservationSet& observations,
+                                      const ContentionStates& states, int var,
+                                      const std::vector<double>& targets) {
+  MSCM_CHECK(targets.size() == observations.size());
+  std::vector<double> out;
+  for (const auto& group : GroupByState(observations, states)) {
+    if (group.size() < 3) continue;  // too few points to correlate
+    std::vector<double> xs;
+    std::vector<double> ys;
+    xs.reserve(group.size());
+    ys.reserve(group.size());
+    for (size_t i : group) {
+      xs.push_back(observations[i].features[static_cast<size_t>(var)]);
+      ys.push_back(targets[i]);
+    }
+    out.push_back(std::fabs(stats::PearsonCorrelation(xs, ys)));
+  }
+  return out;
+}
+
+std::vector<double> Costs(const ObservationSet& observations) {
+  std::vector<double> out;
+  out.reserve(observations.size());
+  for (const Observation& o : observations) out.push_back(o.cost);
+  return out;
+}
+
+double FitSee(QueryClassId class_id, const ObservationSet& observations,
+              const std::vector<int>& selected, const ContentionStates& states,
+              QualitativeForm form) {
+  return FitCostModel(class_id, observations, selected, states, form)
+      .standard_error();
+}
+
+}  // namespace
+
+double AverageStateCorrelation(const ObservationSet& observations,
+                               const ContentionStates& states, int var,
+                               const std::vector<double>& targets) {
+  const std::vector<double> cs =
+      StateCorrelations(observations, states, var, targets);
+  if (cs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double c : cs) acc += c;
+  return acc / static_cast<double>(cs.size());
+}
+
+double MaxStateCorrelation(const ObservationSet& observations,
+                           const ContentionStates& states, int var,
+                           const std::vector<double>& targets) {
+  const std::vector<double> cs =
+      StateCorrelations(observations, states, var, targets);
+  double best = 0.0;
+  for (double c : cs) best = std::max(best, c);
+  return best;
+}
+
+double MaxStateVif(const ObservationSet& observations,
+                   const ContentionStates& states, int var,
+                   const std::vector<int>& against) {
+  if (against.empty()) return 1.0;
+  double worst = 1.0;
+  for (const auto& group : GroupByState(observations, states)) {
+    // Need more rows than columns (intercept + |against| + target check).
+    if (group.size() < against.size() + 3) continue;
+    stats::Matrix x(group.size(), against.size() + 2);
+    for (size_t r = 0; r < group.size(); ++r) {
+      const Observation& obs = observations[group[r]];
+      x(r, 0) = 1.0;
+      for (size_t c = 0; c < against.size(); ++c) {
+        x(r, c + 1) =
+            obs.features[static_cast<size_t>(against[c])];
+      }
+      x(r, against.size() + 1) =
+          obs.features[static_cast<size_t>(var)];
+    }
+    worst = std::max(
+        worst, stats::VarianceInflationFactor(x, against.size() + 1));
+  }
+  return worst;
+}
+
+std::vector<int> SelectVariables(QueryClassId class_id,
+                                 const ObservationSet& observations,
+                                 const VariableSet& variables,
+                                 const ContentionStates& states,
+                                 const VariableSelectionOptions& options,
+                                 VariableSelectionTrace* trace) {
+  MSCM_CHECK(!observations.empty());
+  const std::vector<double> costs = Costs(observations);
+
+  // --- screening on max per-state correlation with the response.
+  auto screened = [&](int var) {
+    return MaxStateCorrelation(observations, states, var, costs) <
+           options.min_max_abs_correlation;
+  };
+
+  std::vector<int> current;
+  for (int v : variables.BasicIndices()) {
+    if (screened(v)) {
+      if (trace != nullptr) trace->screened_out.push_back(v);
+    } else {
+      current.push_back(v);
+    }
+  }
+  std::vector<int> secondary;
+  for (int v : variables.SecondaryIndices()) {
+    if (screened(v)) {
+      if (trace != nullptr) trace->screened_out.push_back(v);
+    } else {
+      secondary.push_back(v);
+    }
+  }
+  if (current.empty() && !secondary.empty()) {
+    // Degenerate screening: fall back to the strongest secondary variable so
+    // the model is never empty.
+    current.push_back(secondary.front());
+    secondary.erase(secondary.begin());
+  }
+  MSCM_CHECK_MSG(!current.empty(), "no usable explanatory variables");
+
+  // --- backward elimination over the basic set.
+  while (current.size() > 1) {
+    // Least informative variable: smallest average per-state correlation.
+    int weakest = -1;
+    double weakest_corr = 1e300;
+    for (int v : current) {
+      const double c = AverageStateCorrelation(observations, states, v, costs);
+      if (c < weakest_corr) {
+        weakest_corr = c;
+        weakest = v;
+      }
+    }
+    const double see_current =
+        FitSee(class_id, observations, current, states, options.form);
+    std::vector<int> reduced;
+    for (int v : current) {
+      if (v != weakest) reduced.push_back(v);
+    }
+    const double see_reduced =
+        FitSee(class_id, observations, reduced, states, options.form);
+    const bool removable =
+        see_reduced <= see_current * (1.0 + options.backward_see_epsilon);
+    if (!removable) break;
+    if (trace != nullptr) trace->removed_backward.push_back(weakest);
+    current = std::move(reduced);
+  }
+
+  // --- multicollinearity screen on the surviving basic set (§4.3): while
+  // any variable is (nearly) a linear combination of the others in some
+  // state, drop the worst offender. For G1-style classes this removes one of
+  // N_t/N_it, which coincide exactly under a full scan.
+  while (current.size() > 1) {
+    int worst = -1;
+    double worst_vif = options.vif_limit;
+    for (int v : current) {
+      std::vector<int> others;
+      for (int u : current) {
+        if (u != v) others.push_back(u);
+      }
+      const double vif = MaxStateVif(observations, states, v, others);
+      if (vif > worst_vif) {
+        worst_vif = vif;
+        worst = v;
+      }
+    }
+    if (worst < 0) break;
+    if (trace != nullptr) trace->rejected_vif.push_back(worst);
+    current.erase(std::find(current.begin(), current.end(), worst));
+  }
+
+  // --- forward selection over the secondary set.
+  std::vector<int> remaining = secondary;
+  while (!remaining.empty()) {
+    // Residuals of the current model.
+    const CostModel model = FitCostModel(class_id, observations, current,
+                                         states, options.form);
+    const std::vector<double>& residuals = model.fit().residuals;
+
+    // Candidate with the strongest average per-state residual correlation.
+    int best = -1;
+    size_t best_pos = 0;
+    double best_corr = -1.0;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      const double c = AverageStateCorrelation(observations, states,
+                                               remaining[i], residuals);
+      if (c > best_corr) {
+        best_corr = c;
+        best = remaining[i];
+        best_pos = i;
+      }
+    }
+    MSCM_CHECK(best >= 0);
+    remaining.erase(remaining.begin() + static_cast<long>(best_pos));
+
+    // Multicollinearity screen (§4.3).
+    if (MaxStateVif(observations, states, best, current) >
+        options.vif_limit) {
+      if (trace != nullptr) trace->rejected_vif.push_back(best);
+      continue;
+    }
+
+    const double see_current = model.standard_error();
+    std::vector<int> augmented = current;
+    augmented.push_back(best);
+    const double see_aug =
+        FitSee(class_id, observations, augmented, states, options.form);
+    const bool addable =
+        see_aug < see_current &&
+        (see_current - see_aug) / std::max(see_current, 1e-12) >
+            options.forward_see_epsilon;
+    if (!addable) break;  // most secondary variables are unimportant; stop
+    if (trace != nullptr) trace->added_forward.push_back(best);
+    current = std::move(augmented);
+  }
+
+  std::sort(current.begin(), current.end());
+  return current;
+}
+
+}  // namespace mscm::core

@@ -1,0 +1,74 @@
+// Mixed backward/forward variable selection for qualitative regression cost
+// models (paper §4.2):
+//
+//  * screening — any variable whose maximum per-state simple correlation
+//    with the response is too small has no linear relationship with cost in
+//    any state and is dropped from consideration;
+//  * backward elimination — starting from the full basic model, repeatedly
+//    remove the variable with the smallest average per-state correlation
+//    with cost, provided removal improves (or barely affects) the standard
+//    error of estimation;
+//  * forward selection — add the secondary variable with the largest average
+//    per-state correlation with the current residuals, provided it
+//    materially improves the standard error and does not introduce
+//    multicollinearity (per-state VIF screen, §4.3).
+
+#ifndef MSCM_CORE_VARIABLE_SELECTION_H_
+#define MSCM_CORE_VARIABLE_SELECTION_H_
+
+#include <vector>
+
+#include "core/explanatory.h"
+#include "core/observation.h"
+#include "core/qualitative.h"
+#include "core/states.h"
+
+namespace mscm::core {
+
+struct VariableSelectionOptions {
+  // Screening threshold on max_j |corr_j(x_v, y)|.
+  double min_max_abs_correlation = 0.05;
+  // Backward: remove when SEE_reduced <= SEE * (1 + epsilon).
+  double backward_see_epsilon = 0.02;
+  // Forward: add when (SEE - SEE_augmented) / SEE > epsilon.
+  double forward_see_epsilon = 0.03;
+  // Per-state variance-inflation-factor limit for new variables.
+  double vif_limit = 10.0;
+  QualitativeForm form = QualitativeForm::kGeneral;
+};
+
+struct VariableSelectionTrace {
+  std::vector<int> screened_out;
+  std::vector<int> removed_backward;
+  std::vector<int> added_forward;
+  std::vector<int> rejected_vif;
+};
+
+// Returns the indices (into `variables`) of the selected explanatory
+// variables, in stable order. `trace` (optional) records the decisions.
+std::vector<int> SelectVariables(QueryClassId class_id,
+                                 const ObservationSet& observations,
+                                 const VariableSet& variables,
+                                 const ContentionStates& states,
+                                 const VariableSelectionOptions& options,
+                                 VariableSelectionTrace* trace = nullptr);
+
+// Average / maximum over states of |corr_j(x_var, target)|, where target is
+// taken from `targets` (one value per observation). Exposed for testing.
+double AverageStateCorrelation(const ObservationSet& observations,
+                               const ContentionStates& states, int var,
+                               const std::vector<double>& targets);
+double MaxStateCorrelation(const ObservationSet& observations,
+                           const ContentionStates& states, int var,
+                           const std::vector<double>& targets);
+
+// Maximum per-state VIF of `var` against the variables in `against`
+// (plus an intercept), over states with enough observations. Exposed for
+// testing.
+double MaxStateVif(const ObservationSet& observations,
+                   const ContentionStates& states, int var,
+                   const std::vector<int>& against);
+
+}  // namespace mscm::core
+
+#endif  // MSCM_CORE_VARIABLE_SELECTION_H_

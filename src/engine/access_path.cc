@@ -1,0 +1,118 @@
+#include "engine/access_path.h"
+
+namespace mscm::engine {
+
+const char* ToString(AccessMethod m) {
+  switch (m) {
+    case AccessMethod::kSequentialScan:
+      return "seq-scan";
+    case AccessMethod::kClusteredIndexScan:
+      return "clustered-index-scan";
+    case AccessMethod::kNonClusteredIndexScan:
+      return "nonclustered-index-scan";
+  }
+  return "?";
+}
+
+const char* ToString(JoinMethod m) {
+  switch (m) {
+    case JoinMethod::kBlockNestedLoop:
+      return "block-nested-loop";
+    case JoinMethod::kIndexNestedLoop:
+      return "index-nested-loop";
+    case JoinMethod::kSortMerge:
+      return "sort-merge";
+    case JoinMethod::kHashJoin:
+      return "hash-join";
+  }
+  return "?";
+}
+
+SelectPlan ChooseSelectPlan(const Database& db, const SelectQuery& query,
+                            const PlannerRules& rules) {
+  const Table* table = db.FindTable(query.table);
+  MSCM_CHECK_MSG(table != nullptr, "unknown table in select");
+
+  SelectPlan plan;
+
+  // Prefer a clustered index whose column has a condition.
+  const Index* clustered = db.ClusteredIndexOn(query.table);
+  if (clustered != nullptr) {
+    const int cond = query.predicate.FindCondition(
+        static_cast<int>(clustered->column()));
+    if (cond >= 0) {
+      plan.method = AccessMethod::kClusteredIndexScan;
+      plan.driving_condition = cond;
+      return plan;
+    }
+  }
+
+  // Otherwise the most selective usable non-clustered index below the limit.
+  double best_sel = rules.nonclustered_selectivity_limit;
+  for (const auto& idx : db.IndexesOn(query.table)) {
+    if (idx->clustered()) continue;
+    const int cond =
+        query.predicate.FindCondition(static_cast<int>(idx->column()));
+    if (cond < 0) continue;
+    const double sel = EstimateConditionSelectivity(
+        *table, query.predicate.conditions()[static_cast<size_t>(cond)]);
+    if (sel < best_sel) {
+      best_sel = sel;
+      plan.method = AccessMethod::kNonClusteredIndexScan;
+      plan.driving_condition = cond;
+    }
+  }
+  return plan;
+}
+
+JoinPlan ChooseJoinPlan(const Database& db, const JoinQuery& query,
+                        const PlannerRules& rules) {
+  const Table* left = db.FindTable(query.left_table);
+  const Table* right = db.FindTable(query.right_table);
+  MSCM_CHECK_MSG(left != nullptr && right != nullptr, "unknown join table");
+
+  JoinPlan plan;
+
+  const Index* right_idx =
+      db.FindIndex(query.right_table, static_cast<size_t>(query.right_column));
+  const Index* left_idx =
+      db.FindIndex(query.left_table, static_cast<size_t>(query.left_column));
+
+  const double left_qualified =
+      static_cast<double>(left->num_rows()) *
+      EstimatePredicateSelectivity(*left, query.left_predicate);
+  const double right_qualified =
+      static_cast<double>(right->num_rows()) *
+      EstimatePredicateSelectivity(*right, query.right_predicate);
+
+  // Index nested loop when one side has a join-column index and the other
+  // (outer) side is small relative to it.
+  if (right_idx != nullptr &&
+      left_qualified <
+          rules.index_join_outer_limit * static_cast<double>(right->num_rows())) {
+    plan.method = JoinMethod::kIndexNestedLoop;
+    plan.outer_side = 0;
+    return plan;
+  }
+  if (left_idx != nullptr &&
+      right_qualified <
+          rules.index_join_outer_limit * static_cast<double>(left->num_rows())) {
+    plan.method = JoinMethod::kIndexNestedLoop;
+    plan.outer_side = 1;
+    return plan;
+  }
+
+  // Tiny inputs: block nested loop is fine and avoids hash/sort setup.
+  if (left_qualified * right_qualified < 250'000.0) {
+    plan.method = JoinMethod::kBlockNestedLoop;
+    plan.outer_side = left_qualified <= right_qualified ? 0 : 1;
+    return plan;
+  }
+
+  plan.method =
+      rules.prefer_hash_join ? JoinMethod::kHashJoin : JoinMethod::kSortMerge;
+  plan.outer_side = left_qualified <= right_qualified ? 0 : 1;
+  return plan;
+}
+
+}  // namespace mscm::engine

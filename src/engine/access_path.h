@@ -1,0 +1,72 @@
+// Rule-based access-path selection.
+//
+// The paper groups local queries into classes "based on their potential
+// access methods to be employed" (§4.1) — so the engine must expose exactly
+// which method a query would run with. The rules mirror a classical
+// System-R-style chooser: clustered index if a usable condition exists, a
+// non-clustered index only when estimated selectivity is small enough,
+// otherwise a sequential scan. Thresholds are profile-dependent so the two
+// simulated DBMSs ("alpha"/"beta") make slightly different choices, the way
+// Oracle and DB2 did in the paper's testbed.
+
+#ifndef MSCM_ENGINE_ACCESS_PATH_H_
+#define MSCM_ENGINE_ACCESS_PATH_H_
+
+#include <string>
+
+#include "engine/database.h"
+#include "engine/query.h"
+
+namespace mscm::engine {
+
+enum class AccessMethod {
+  kSequentialScan,
+  kClusteredIndexScan,
+  kNonClusteredIndexScan,
+};
+
+enum class JoinMethod {
+  kBlockNestedLoop,
+  kIndexNestedLoop,
+  kSortMerge,
+  kHashJoin,
+};
+
+const char* ToString(AccessMethod m);
+const char* ToString(JoinMethod m);
+
+struct PlannerRules {
+  // Use a non-clustered index only when the estimated selectivity of its
+  // condition is below this fraction.
+  double nonclustered_selectivity_limit = 0.08;
+  // Use an index nested-loop join when an index exists on the inner join
+  // column and the qualified outer side is below this fraction of the inner.
+  double index_join_outer_limit = 0.15;
+  // Without usable join indexes, prefer hash join (true) or sort-merge.
+  bool prefer_hash_join = true;
+  // Buffer pages assumed available to block nested loop.
+  int buffer_pages = 64;
+};
+
+struct SelectPlan {
+  AccessMethod method = AccessMethod::kSequentialScan;
+  // Condition index (into query.predicate) driving the index scan; -1 for a
+  // sequential scan.
+  int driving_condition = -1;
+};
+
+struct JoinPlan {
+  JoinMethod method = JoinMethod::kHashJoin;
+  // For index nested loop: which side is outer (0 = left, 1 = right).
+  int outer_side = 0;
+};
+
+SelectPlan ChooseSelectPlan(const Database& db, const SelectQuery& query,
+                            const PlannerRules& rules);
+
+JoinPlan ChooseJoinPlan(const Database& db, const JoinQuery& query,
+                        const PlannerRules& rules);
+
+}  // namespace mscm::engine
+
+#endif  // MSCM_ENGINE_ACCESS_PATH_H_

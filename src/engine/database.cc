@@ -1,0 +1,68 @@
+#include "engine/database.h"
+
+namespace mscm::engine {
+
+const std::vector<std::unique_ptr<Index>> Database::kNoIndexes;
+
+Table* Database::AddTable(Table table) {
+  const std::string name = table.name();
+  MSCM_CHECK_MSG(tables_.find(name) == tables_.end(), "duplicate table");
+  auto owned = std::make_unique<Table>(std::move(table));
+  owned->RecomputeStats();
+  Table* ptr = owned.get();
+  tables_[name] = std::move(owned);
+  return ptr;
+}
+
+void Database::CreateIndex(const std::string& table_name, size_t col,
+                           bool clustered) {
+  Table* table = FindTableMutable(table_name);
+  MSCM_CHECK_MSG(table != nullptr, "unknown table");
+  if (clustered) {
+    MSCM_CHECK_MSG(indexes_[table_name].empty(),
+                   "clustered index must be created first");
+    table->SortByColumn(col);
+  }
+  indexes_[table_name].push_back(
+      std::make_unique<Index>(*table, col, clustered));
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table* Database::FindTableMutable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const std::vector<std::unique_ptr<Index>>& Database::IndexesOn(
+    const std::string& table_name) const {
+  auto it = indexes_.find(table_name);
+  return it == indexes_.end() ? kNoIndexes : it->second;
+}
+
+const Index* Database::FindIndex(const std::string& table_name,
+                                 size_t col) const {
+  for (const auto& idx : IndexesOn(table_name)) {
+    if (idx->column() == col) return idx.get();
+  }
+  return nullptr;
+}
+
+const Index* Database::ClusteredIndexOn(const std::string& table_name) const {
+  for (const auto& idx : IndexesOn(table_name)) {
+    if (idx->clustered()) return idx.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace mscm::engine

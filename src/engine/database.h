@@ -1,0 +1,58 @@
+// A local database: named tables plus their indexes.
+
+#ifndef MSCM_ENGINE_DATABASE_H_
+#define MSCM_ENGINE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/index.h"
+#include "engine/table.h"
+
+namespace mscm::engine {
+
+class Database {
+ public:
+  Database() = default;
+
+  // Non-copyable (owns tables and indexes).
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  // Adds a table; statistics are recomputed on insertion. Returns a stable
+  // pointer to the stored table.
+  Table* AddTable(Table table);
+
+  // Creates an index on `table.column(col)`. A clustered index physically
+  // sorts the table first (and therefore must be created before any
+  // non-clustered index on the same table so row ids stay valid).
+  void CreateIndex(const std::string& table_name, size_t col, bool clustered);
+
+  const Table* FindTable(const std::string& name) const;
+  Table* FindTableMutable(const std::string& name);
+
+  // Indexes on `table_name` (possibly empty).
+  const std::vector<std::unique_ptr<Index>>& IndexesOn(
+      const std::string& table_name) const;
+
+  // The index on (table, col), or nullptr.
+  const Index* FindIndex(const std::string& table_name, size_t col) const;
+
+  // Clustered index on the table, or nullptr.
+  const Index* ClusteredIndexOn(const std::string& table_name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::vector<std::unique_ptr<Index>>> indexes_;
+  static const std::vector<std::unique_ptr<Index>> kNoIndexes;
+};
+
+}  // namespace mscm::engine
+
+#endif  // MSCM_ENGINE_DATABASE_H_

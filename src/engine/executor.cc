@@ -1,0 +1,323 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mscm::engine {
+namespace {
+
+// Predicate with one condition removed (the index's driving condition, which
+// the access method already enforced).
+Predicate Residual(const Predicate& pred, int drop) {
+  std::vector<Condition> rest;
+  const auto& conds = pred.conditions();
+  for (size_t i = 0; i < conds.size(); ++i) {
+    if (static_cast<int>(i) == drop) continue;
+    rest.push_back(conds[i]);
+  }
+  return Predicate(std::move(rest));
+}
+
+double Log2Safe(double x) { return x <= 2.0 ? 1.0 : std::log2(x); }
+
+}  // namespace
+
+int Executor::ProjectedBytes(const Table& table,
+                             const std::vector<int>& projection) const {
+  if (projection.empty()) return table.schema().TupleBytes();
+  int bytes = 0;
+  for (int c : projection) {
+    bytes += table.schema().column(static_cast<size_t>(c)).byte_width;
+  }
+  return bytes;
+}
+
+SelectExecution Executor::ExecuteSelect(const SelectQuery& query,
+                                        const SelectPlan& plan) const {
+  const Table* table = db_->FindTable(query.table);
+  MSCM_CHECK_MSG(table != nullptr, "unknown table in select");
+
+  SelectExecution exec;
+  exec.method = plan.method;
+  exec.operand_rows = table->num_rows();
+  exec.operand_tuple_bytes = table->schema().TupleBytes();
+  exec.result_tuple_bytes = ProjectedBytes(*table, query.projection);
+
+  const size_t num_conditions = query.predicate.conditions().size();
+
+  switch (plan.method) {
+    case AccessMethod::kSequentialScan: {
+      exec.work.sequential_pages += static_cast<double>(table->NumPages());
+      exec.work.tuples_read += static_cast<double>(table->num_rows());
+      exec.work.predicate_evals +=
+          static_cast<double>(table->num_rows() * std::max<size_t>(1, num_conditions));
+      exec.intermediate_rows = table->num_rows();
+      size_t matches = 0;
+      for (const Row& row : table->rows()) {
+        if (query.predicate.Matches(row)) ++matches;
+      }
+      exec.result_rows = matches;
+      break;
+    }
+    case AccessMethod::kClusteredIndexScan: {
+      MSCM_CHECK(plan.driving_condition >= 0);
+      const Index* idx = db_->ClusteredIndexOn(query.table);
+      MSCM_CHECK_MSG(idx != nullptr, "no clustered index for plan");
+      const Condition& driving =
+          query.predicate.conditions()[static_cast<size_t>(plan.driving_condition)];
+      auto [lo, hi] = driving.KeyRange();
+      const std::vector<size_t> row_ids = idx->Lookup(lo, hi);
+      exec.intermediate_rows = row_ids.size();
+      exec.work.init_ops += idx->TreeHeight();
+      // Qualified rows are physically contiguous: sequential page reads.
+      const double pages =
+          std::ceil(static_cast<double>(row_ids.size()) /
+                    static_cast<double>(table->RowsPerPage()));
+      exec.work.sequential_pages += std::max(1.0, pages);
+      exec.work.tuples_read += static_cast<double>(row_ids.size());
+      const Predicate residual = Residual(query.predicate, plan.driving_condition);
+      exec.work.predicate_evals += static_cast<double>(
+          row_ids.size() * std::max<size_t>(1, residual.conditions().size()));
+      size_t matches = 0;
+      for (size_t id : row_ids) {
+        if (residual.Matches(table->row(id))) ++matches;
+      }
+      exec.result_rows = matches;
+      break;
+    }
+    case AccessMethod::kNonClusteredIndexScan: {
+      MSCM_CHECK(plan.driving_condition >= 0);
+      const Condition& driving =
+          query.predicate.conditions()[static_cast<size_t>(plan.driving_condition)];
+      const Index* idx = db_->FindIndex(
+          query.table, static_cast<size_t>(driving.column));
+      MSCM_CHECK_MSG(idx != nullptr, "no index for plan");
+      auto [lo, hi] = driving.KeyRange();
+      const std::vector<size_t> row_ids = idx->Lookup(lo, hi);
+      exec.intermediate_rows = row_ids.size();
+      exec.work.init_ops += idx->TreeHeight();
+      // Leaf directory pages scanned sequentially…
+      exec.work.sequential_pages +=
+          std::ceil(static_cast<double>(row_ids.size()) / 256.0);
+      // …then random heap-page fetches. Within one scan, rows sharing a page
+      // hit the same frame, so the I/O demand is the number of *distinct*
+      // pages touched (cross-query reuse is the buffer pool's job in the
+      // cost simulator).
+      std::unordered_set<size_t> touched_pages;
+      for (size_t id : row_ids) touched_pages.insert(table->PageOfRow(id));
+      exec.work.random_pages += static_cast<double>(touched_pages.size());
+      exec.work.tuples_read += static_cast<double>(row_ids.size());
+      const Predicate residual = Residual(query.predicate, plan.driving_condition);
+      exec.work.predicate_evals += static_cast<double>(
+          row_ids.size() * std::max<size_t>(1, residual.conditions().size()));
+      size_t matches = 0;
+      for (size_t id : row_ids) {
+        if (residual.Matches(table->row(id))) ++matches;
+      }
+      exec.result_rows = matches;
+      break;
+    }
+  }
+
+  exec.work.result_tuples += static_cast<double>(exec.result_rows);
+  exec.work.result_bytes += static_cast<double>(exec.result_rows) *
+                            static_cast<double>(exec.result_tuple_bytes);
+  return exec;
+}
+
+JoinExecution Executor::ExecuteJoin(const JoinQuery& query,
+                                    const JoinPlan& plan) const {
+  const Table* left = db_->FindTable(query.left_table);
+  const Table* right = db_->FindTable(query.right_table);
+  MSCM_CHECK_MSG(left != nullptr && right != nullptr, "unknown join table");
+
+  JoinExecution exec;
+  exec.method = plan.method;
+  exec.left_rows = left->num_rows();
+  exec.right_rows = right->num_rows();
+  exec.left_tuple_bytes = left->schema().TupleBytes();
+  exec.right_tuple_bytes = right->schema().TupleBytes();
+
+  // Result tuple width from the projection (both sides when empty).
+  if (query.projection.empty()) {
+    exec.result_tuple_bytes = exec.left_tuple_bytes + exec.right_tuple_bytes;
+  } else {
+    int bytes = 0;
+    for (auto [side, col] : query.projection) {
+      const Table* t = side == 0 ? left : right;
+      bytes += t->schema().column(static_cast<size_t>(col)).byte_width;
+    }
+    exec.result_tuple_bytes = bytes;
+  }
+
+  // Qualify both sides (every method scans / filters its inputs; the filter
+  // work is charged below per method).
+  std::vector<size_t> left_ids;
+  for (size_t i = 0; i < left->num_rows(); ++i) {
+    if (query.left_predicate.Matches(left->row(i))) left_ids.push_back(i);
+  }
+  std::vector<size_t> right_ids;
+  for (size_t i = 0; i < right->num_rows(); ++i) {
+    if (query.right_predicate.Matches(right->row(i))) right_ids.push_back(i);
+  }
+  exec.left_qualified = left_ids.size();
+  exec.right_qualified = right_ids.size();
+
+  // Real result cardinality via a hash map on the smaller qualified side
+  // (independent of the costed join method — the answer is the same).
+  {
+    const bool build_left = left_ids.size() <= right_ids.size();
+    const Table* build_t = build_left ? left : right;
+    const Table* probe_t = build_left ? right : left;
+    const int build_col = build_left ? query.left_column : query.right_column;
+    const int probe_col = build_left ? query.right_column : query.left_column;
+    const std::vector<size_t>& build_ids = build_left ? left_ids : right_ids;
+    const std::vector<size_t>& probe_ids = build_left ? right_ids : left_ids;
+    std::unordered_map<int64_t, size_t> counts;
+    counts.reserve(build_ids.size());
+    for (size_t id : build_ids) {
+      ++counts[build_t->row(id)[static_cast<size_t>(build_col)]];
+    }
+    size_t result = 0;
+    for (size_t id : probe_ids) {
+      auto it = counts.find(probe_t->row(id)[static_cast<size_t>(probe_col)]);
+      if (it != counts.end()) result += it->second;
+    }
+    exec.result_rows = result;
+  }
+
+  const double nl = static_cast<double>(left_ids.size());
+  const double nr = static_cast<double>(right_ids.size());
+  const double left_pages = static_cast<double>(left->NumPages());
+  const double right_pages = static_cast<double>(right->NumPages());
+  const double lconds = static_cast<double>(
+      std::max<size_t>(1, query.left_predicate.conditions().size()));
+  const double rconds = static_cast<double>(
+      std::max<size_t>(1, query.right_predicate.conditions().size()));
+
+  switch (plan.method) {
+    case JoinMethod::kBlockNestedLoop: {
+      const bool left_outer = plan.outer_side == 0;
+      const double outer_pages = left_outer ? left_pages : right_pages;
+      const double inner_pages = left_outer ? right_pages : left_pages;
+      const double blocks = std::max(
+          1.0, std::ceil(outer_pages / 63.0));  // one page reserved for inner
+      exec.work.sequential_pages += outer_pages + blocks * inner_pages;
+      exec.work.tuples_read +=
+          static_cast<double>(left->num_rows() + right->num_rows());
+      exec.work.predicate_evals +=
+          static_cast<double>(left->num_rows()) * lconds +
+          static_cast<double>(right->num_rows()) * rconds;
+      exec.work.compare_ops += nl * nr;  // join-condition evaluations
+      break;
+    }
+    case JoinMethod::kIndexNestedLoop: {
+      const bool left_outer = plan.outer_side == 0;
+      const Table* outer_t = left_outer ? left : right;
+      const Table* inner_t = left_outer ? right : left;
+      const std::vector<size_t>& outer_ids = left_outer ? left_ids : right_ids;
+      const Index* inner_idx = db_->FindIndex(
+          inner_t->name(),
+          static_cast<size_t>(left_outer ? query.right_column
+                                         : query.left_column));
+      MSCM_CHECK_MSG(inner_idx != nullptr, "index NL join without inner index");
+      const double outer_pages =
+          static_cast<double>(outer_t->NumPages());
+      exec.work.sequential_pages += outer_pages;
+      exec.work.tuples_read += static_cast<double>(outer_t->num_rows());
+      exec.work.predicate_evals +=
+          static_cast<double>(outer_t->num_rows()) *
+          (left_outer ? lconds : rconds);
+      // One index descent + matching-row fetches per outer tuple.
+      exec.work.init_ops += 0.0;  // descents counted as random I/O below
+      const double height = inner_idx->TreeHeight();
+      double inner_fetches = 0.0;
+      const int outer_col = left_outer ? query.left_column : query.right_column;
+      for (size_t id : outer_ids) {
+        const int64_t key = outer_t->row(id)[static_cast<size_t>(outer_col)];
+        inner_fetches += static_cast<double>(inner_idx->CountRange(key, key));
+      }
+      exec.work.random_pages +=
+          static_cast<double>(outer_ids.size()) * height + inner_fetches;
+      exec.work.tuples_read += inner_fetches;
+      exec.work.predicate_evals +=
+          inner_fetches * (left_outer ? rconds : lconds);
+      break;
+    }
+    case JoinMethod::kSortMerge: {
+      exec.work.sequential_pages += left_pages + right_pages;
+      // External-sort runs: write + re-read both qualified inputs.
+      const double lq_pages = std::ceil(
+          nl / static_cast<double>(left->RowsPerPage()));
+      const double rq_pages = std::ceil(
+          nr / static_cast<double>(right->RowsPerPage()));
+      exec.work.sequential_pages += 2.0 * (lq_pages + rq_pages);
+      exec.work.tuples_read +=
+          static_cast<double>(left->num_rows() + right->num_rows());
+      exec.work.predicate_evals +=
+          static_cast<double>(left->num_rows()) * lconds +
+          static_cast<double>(right->num_rows()) * rconds;
+      exec.work.compare_ops +=
+          nl * Log2Safe(nl) + nr * Log2Safe(nr) + nl + nr;
+      break;
+    }
+    case JoinMethod::kHashJoin: {
+      exec.work.sequential_pages += left_pages + right_pages;
+      exec.work.tuples_read +=
+          static_cast<double>(left->num_rows() + right->num_rows());
+      exec.work.predicate_evals +=
+          static_cast<double>(left->num_rows()) * lconds +
+          static_cast<double>(right->num_rows()) * rconds;
+      exec.work.hash_ops += nl + nr;
+      // Grace partitioning spill when the build side exceeds memory budget
+      // (charged as re-write + re-read of both qualified inputs).
+      const double build = std::min(nl, nr);
+      constexpr double kInMemoryBuildRows = 200'000.0;
+      if (build > kInMemoryBuildRows) {
+        const double lq_pages = std::ceil(
+            nl / static_cast<double>(left->RowsPerPage()));
+        const double rq_pages = std::ceil(
+            nr / static_cast<double>(right->RowsPerPage()));
+        exec.work.sequential_pages += 2.0 * (lq_pages + rq_pages);
+      }
+      break;
+    }
+  }
+
+  exec.work.result_tuples += static_cast<double>(exec.result_rows);
+  exec.work.result_bytes += static_cast<double>(exec.result_rows) *
+                            static_cast<double>(exec.result_tuple_bytes);
+  return exec;
+}
+
+size_t Executor::NaiveSelectCount(const SelectQuery& query) const {
+  const Table* table = db_->FindTable(query.table);
+  MSCM_CHECK(table != nullptr);
+  size_t matches = 0;
+  for (const Row& row : table->rows()) {
+    if (query.predicate.Matches(row)) ++matches;
+  }
+  return matches;
+}
+
+size_t Executor::NaiveJoinCount(const JoinQuery& query) const {
+  const Table* left = db_->FindTable(query.left_table);
+  const Table* right = db_->FindTable(query.right_table);
+  MSCM_CHECK(left != nullptr && right != nullptr);
+  size_t matches = 0;
+  for (const Row& lr : left->rows()) {
+    if (!query.left_predicate.Matches(lr)) continue;
+    for (const Row& rr : right->rows()) {
+      if (!query.right_predicate.Matches(rr)) continue;
+      if (lr[static_cast<size_t>(query.left_column)] ==
+          rr[static_cast<size_t>(query.right_column)]) {
+        ++matches;
+      }
+    }
+  }
+  return matches;
+}
+
+}  // namespace mscm::engine

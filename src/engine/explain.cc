@@ -1,0 +1,83 @@
+#include "engine/explain.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace mscm::engine {
+
+std::string ExplainSelect(const Database& db, const SelectQuery& query,
+                          const PlannerRules& rules) {
+  const Table* table = db.FindTable(query.table);
+  MSCM_CHECK_MSG(table != nullptr, "unknown table in explain");
+  const SelectPlan plan = ChooseSelectPlan(db, query, rules);
+
+  std::string out = query.ToString(table->schema()) + "\n";
+  if (plan.driving_condition >= 0) {
+    const Condition& driving =
+        query.predicate.conditions()[static_cast<size_t>(
+            plan.driving_condition)];
+    const double sel = EstimateConditionSelectivity(*table, driving);
+    out += Format("  -> %s on %s (driving selectivity %.4f)\n",
+                  ToString(plan.method),
+                  table->schema()
+                      .column(static_cast<size_t>(driving.column))
+                      .name.c_str(),
+                  sel);
+  } else {
+    out += Format("  -> %s\n", ToString(plan.method));
+  }
+
+  const double rows = static_cast<double>(table->num_rows());
+  double intermediate = rows;
+  if (plan.driving_condition >= 0) {
+    intermediate =
+        rows * EstimateConditionSelectivity(
+                   *table, query.predicate.conditions()[static_cast<size_t>(
+                               plan.driving_condition)]);
+  }
+  const double result =
+      rows * EstimatePredicateSelectivity(*table, query.predicate);
+  out += Format("     estimated: operand %.0f, intermediate %.0f, result %.0f"
+                " tuples\n",
+                rows, intermediate, result);
+  return out;
+}
+
+std::string ExplainJoin(const Database& db, const JoinQuery& query,
+                        const PlannerRules& rules) {
+  const Table* left = db.FindTable(query.left_table);
+  const Table* right = db.FindTable(query.right_table);
+  MSCM_CHECK_MSG(left != nullptr && right != nullptr,
+                 "unknown table in explain");
+  const JoinPlan plan = ChooseJoinPlan(db, query, rules);
+
+  const double lqual =
+      static_cast<double>(left->num_rows()) *
+      EstimatePredicateSelectivity(*left, query.left_predicate);
+  const double rqual =
+      static_cast<double>(right->num_rows()) *
+      EstimatePredicateSelectivity(*right, query.right_predicate);
+
+  std::string out = Format(
+      "%s join %s on %s = %s\n", query.left_table.c_str(),
+      query.right_table.c_str(),
+      left->schema().column(static_cast<size_t>(query.left_column))
+          .name.c_str(),
+      right->schema().column(static_cast<size_t>(query.right_column))
+          .name.c_str());
+  out += Format("  -> %s (outer = %s)\n", ToString(plan.method),
+                plan.outer_side == 0 ? query.left_table.c_str()
+                                     : query.right_table.c_str());
+  out += Format("     filter %s: %s (est. %.0f qualify of %zu)\n",
+                query.left_table.c_str(),
+                query.left_predicate.ToString(left->schema()).c_str(), lqual,
+                left->num_rows());
+  out += Format("     filter %s: %s (est. %.0f qualify of %zu)\n",
+                query.right_table.c_str(),
+                query.right_predicate.ToString(right->schema()).c_str(),
+                rqual, right->num_rows());
+  return out;
+}
+
+}  // namespace mscm::engine

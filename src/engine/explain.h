@@ -1,0 +1,28 @@
+// Human-readable plan explanations: which access/join method the planner
+// chose and why, with the estimated cardinalities that drove the choice.
+// The MDBS operator-facing equivalent of EXPLAIN.
+
+#ifndef MSCM_ENGINE_EXPLAIN_H_
+#define MSCM_ENGINE_EXPLAIN_H_
+
+#include <string>
+
+#include "engine/access_path.h"
+
+namespace mscm::engine {
+
+// Renders the chosen plan for a unary query, e.g.
+//   select a1 from R3 where a2 between 10 and 90
+//     -> nonclustered-index-scan on a2 (driving selectivity 0.012)
+//        estimated: operand 10000, intermediate 120, result 84
+std::string ExplainSelect(const Database& db, const SelectQuery& query,
+                          const PlannerRules& rules);
+
+// Renders the chosen plan for a join query with per-side filters and the
+// estimated qualified/result cardinalities.
+std::string ExplainJoin(const Database& db, const JoinQuery& query,
+                        const PlannerRules& rules);
+
+}  // namespace mscm::engine
+
+#endif  // MSCM_ENGINE_EXPLAIN_H_

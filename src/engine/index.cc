@@ -1,0 +1,50 @@
+#include "engine/index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mscm::engine {
+
+Index::Index(const Table& table, size_t col, bool clustered)
+    : column_(col), clustered_(clustered) {
+  MSCM_CHECK(col < table.schema().num_columns());
+  if (clustered) {
+    MSCM_CHECK_MSG(table.sorted_by() == static_cast<int>(col),
+                   "clustered index requires physically sorted table");
+  }
+  entries_.reserve(table.num_rows());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    entries_.emplace_back(table.row(i)[col], i);
+  }
+  std::sort(entries_.begin(), entries_.end());
+}
+
+std::vector<size_t> Index::Lookup(int64_t lo, int64_t hi) const {
+  std::vector<size_t> out;
+  auto first = std::lower_bound(
+      entries_.begin(), entries_.end(), std::make_pair(lo, size_t{0}));
+  for (auto it = first; it != entries_.end() && it->first <= hi; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+size_t Index::CountRange(int64_t lo, int64_t hi) const {
+  auto first = std::lower_bound(
+      entries_.begin(), entries_.end(), std::make_pair(lo, size_t{0}));
+  auto last = std::upper_bound(
+      entries_.begin(), entries_.end(),
+      std::make_pair(hi, std::numeric_limits<size_t>::max()));
+  return static_cast<size_t>(last - first);
+}
+
+int Index::TreeHeight() const {
+  if (entries_.empty()) return 1;
+  constexpr double kFanout = 256.0;
+  const double h =
+      std::ceil(std::log(static_cast<double>(entries_.size())) /
+                std::log(kFanout));
+  return std::max(1, static_cast<int>(h));
+}
+
+}  // namespace mscm::engine

@@ -1,0 +1,53 @@
+// Secondary index structures.
+//
+// An index is a sorted (key, row-id) directory over one column. A *clustered*
+// index additionally promises the table's rows are physically sorted by the
+// key, so a range scan touches contiguous pages; a *non-clustered* index
+// yields one random page access per matching row (modulo buffering, which the
+// cost simulator models). Index height accounting feeds the initialization
+// cost term of the simulated DBMS.
+
+#ifndef MSCM_ENGINE_INDEX_H_
+#define MSCM_ENGINE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/table.h"
+
+namespace mscm::engine {
+
+class Index {
+ public:
+  // Builds an index over `table.column(col)`. If `clustered`, the caller must
+  // have physically sorted the table by `col` beforehand (Database enforces
+  // this).
+  Index(const Table& table, size_t col, bool clustered);
+
+  size_t column() const { return column_; }
+  bool clustered() const { return clustered_; }
+
+  // Row ids whose key falls in [lo, hi], in key order.
+  std::vector<size_t> Lookup(int64_t lo, int64_t hi) const;
+
+  // Number of entries with key in [lo, hi] without materializing them.
+  size_t CountRange(int64_t lo, int64_t hi) const;
+
+  // Approximate B+-tree height for the directory (fan-out 256); contributes
+  // to per-query initialization work.
+  int TreeHeight() const;
+
+  size_t num_entries() const { return entries_.size(); }
+
+ private:
+  size_t column_;
+  bool clustered_;
+  // Sorted by key, then row id.
+  std::vector<std::pair<int64_t, size_t>> entries_;
+};
+
+}  // namespace mscm::engine
+
+#endif  // MSCM_ENGINE_INDEX_H_

@@ -1,0 +1,116 @@
+#include "engine/predicate.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/str_util.h"
+
+namespace mscm::engine {
+
+bool Condition::Matches(const Row& row) const {
+  MSCM_DCHECK(column >= 0 && static_cast<size_t>(column) < row.size());
+  const int64_t v = row[static_cast<size_t>(column)];
+  switch (op) {
+    case CompareOp::kEq:
+      return v == lo;
+    case CompareOp::kLt:
+      return v < lo;
+    case CompareOp::kLe:
+      return v <= lo;
+    case CompareOp::kGt:
+      return v > lo;
+    case CompareOp::kGe:
+      return v >= lo;
+    case CompareOp::kBetween:
+      return v >= lo && v <= hi;
+  }
+  return false;
+}
+
+std::pair<int64_t, int64_t> Condition::KeyRange() const {
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  switch (op) {
+    case CompareOp::kEq:
+      return {lo, lo};
+    case CompareOp::kLt:
+      return {kMin, lo - 1};
+    case CompareOp::kLe:
+      return {kMin, lo};
+    case CompareOp::kGt:
+      return {lo + 1, kMax};
+    case CompareOp::kGe:
+      return {lo, kMax};
+    case CompareOp::kBetween:
+      return {lo, hi};
+  }
+  return {kMin, kMax};
+}
+
+std::string Condition::ToString(const Schema& schema) const {
+  const std::string& name =
+      schema.column(static_cast<size_t>(column)).name;
+  switch (op) {
+    case CompareOp::kEq:
+      return Format("%s = %lld", name.c_str(), static_cast<long long>(lo));
+    case CompareOp::kLt:
+      return Format("%s < %lld", name.c_str(), static_cast<long long>(lo));
+    case CompareOp::kLe:
+      return Format("%s <= %lld", name.c_str(), static_cast<long long>(lo));
+    case CompareOp::kGt:
+      return Format("%s > %lld", name.c_str(), static_cast<long long>(lo));
+    case CompareOp::kGe:
+      return Format("%s >= %lld", name.c_str(), static_cast<long long>(lo));
+    case CompareOp::kBetween:
+      return Format("%s between %lld and %lld", name.c_str(),
+                    static_cast<long long>(lo), static_cast<long long>(hi));
+  }
+  return "?";
+}
+
+int Predicate::FindCondition(int column) const {
+  for (size_t i = 0; i < conditions_.size(); ++i) {
+    if (conditions_[i].column == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Predicate::ToString(const Schema& schema) const {
+  if (conditions_.empty()) return "true";
+  std::vector<std::string> parts;
+  parts.reserve(conditions_.size());
+  for (const Condition& c : conditions_) parts.push_back(c.ToString(schema));
+  return Join(parts, " and ");
+}
+
+double EstimateConditionSelectivity(const Table& table,
+                                    const Condition& cond) {
+  MSCM_CHECK(table.has_stats());
+  const ColumnStats& s =
+      table.column_stats(static_cast<size_t>(cond.column));
+  const double span = static_cast<double>(s.max - s.min) + 1.0;
+  if (span <= 1.0) return 1.0;
+  auto [lo, hi] = cond.KeyRange();
+  const double clamped_lo =
+      std::max(static_cast<double>(lo), static_cast<double>(s.min));
+  const double clamped_hi =
+      std::min(static_cast<double>(hi), static_cast<double>(s.max));
+  if (cond.op == CompareOp::kEq) {
+    if (s.distinct <= 0) return 0.0;
+    return 1.0 / static_cast<double>(s.distinct);
+  }
+  if (clamped_hi < clamped_lo) return 0.0;
+  double sel = (clamped_hi - clamped_lo + 1.0) / span;
+  return std::clamp(sel, 0.0, 1.0);
+}
+
+double EstimatePredicateSelectivity(const Table& table,
+                                    const Predicate& pred) {
+  double sel = 1.0;
+  for (const Condition& c : pred.conditions()) {
+    sel *= EstimateConditionSelectivity(table, c);
+  }
+  return sel;
+}
+
+}  // namespace mscm::engine

@@ -1,0 +1,78 @@
+// Conjunctive range/equality predicates and uniform-assumption selectivity
+// estimation. The query sampler varies predicate selectivities to spread
+// sample queries across operand/result sizes (the paper's explanatory
+// variables), and the access-path chooser uses estimated selectivity to pick
+// between index and sequential scans.
+
+#ifndef MSCM_ENGINE_PREDICATE_H_
+#define MSCM_ENGINE_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/table.h"
+
+namespace mscm::engine {
+
+enum class CompareOp {
+  kEq,       // column == lo
+  kLt,       // column <  lo
+  kLe,       // column <= lo
+  kGt,       // column >  lo
+  kGe,       // column >= lo
+  kBetween,  // lo <= column <= hi
+};
+
+struct Condition {
+  int column = 0;
+  CompareOp op = CompareOp::kEq;
+  int64_t lo = 0;
+  int64_t hi = 0;  // only used by kBetween
+
+  bool Matches(const Row& row) const;
+
+  // Closed key range [lo, hi] of values satisfying the condition, for index
+  // range scans. Uses int64 min/max for open sides.
+  std::pair<int64_t, int64_t> KeyRange() const;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+// A conjunction of conditions; empty means "true".
+class Predicate {
+ public:
+  Predicate() = default;
+  explicit Predicate(std::vector<Condition> conditions)
+      : conditions_(std::move(conditions)) {}
+
+  bool Matches(const Row& row) const {
+    for (const Condition& c : conditions_) {
+      if (!c.Matches(row)) return false;
+    }
+    return true;
+  }
+
+  bool empty() const { return conditions_.empty(); }
+  const std::vector<Condition>& conditions() const { return conditions_; }
+  void Add(Condition c) { conditions_.push_back(c); }
+
+  // Index of the first condition on `column`, or -1.
+  int FindCondition(int column) const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<Condition> conditions_;
+};
+
+// Estimated fraction of rows of `table` satisfying `cond`, assuming values
+// uniform between the column's min and max statistics.
+double EstimateConditionSelectivity(const Table& table, const Condition& cond);
+
+// Product of per-condition selectivities (independence assumption).
+double EstimatePredicateSelectivity(const Table& table, const Predicate& pred);
+
+}  // namespace mscm::engine
+
+#endif  // MSCM_ENGINE_PREDICATE_H_

@@ -1,0 +1,20 @@
+#include "engine/query.h"
+
+#include "common/str_util.h"
+
+namespace mscm::engine {
+
+std::string SelectQuery::ToString(const Schema& schema) const {
+  std::vector<std::string> cols;
+  if (projection.empty()) {
+    cols.push_back("*");
+  } else {
+    for (int c : projection) {
+      cols.push_back(schema.column(static_cast<size_t>(c)).name);
+    }
+  }
+  return Format("select %s from %s where %s", Join(cols, ", ").c_str(),
+                table.c_str(), predicate.ToString(schema).c_str());
+}
+
+}  // namespace mscm::engine

@@ -1,0 +1,40 @@
+// Local query representations: unary selections (select/project over one
+// table) and two-way equijoins — the query shapes the paper's query classes
+// G1/G2/G3 cover.
+
+#ifndef MSCM_ENGINE_QUERY_H_
+#define MSCM_ENGINE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/predicate.h"
+
+namespace mscm::engine {
+
+struct SelectQuery {
+  std::string table;
+  // Output columns (indices into the table schema). Empty = all columns.
+  std::vector<int> projection;
+  Predicate predicate;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+struct JoinQuery {
+  std::string left_table;
+  std::string right_table;
+  // Equijoin columns.
+  int left_column = 0;
+  int right_column = 0;
+  // Local selections applied to each side before/while joining.
+  Predicate left_predicate;
+  Predicate right_predicate;
+  // Output columns: (side, column) pairs where side 0 = left, 1 = right.
+  // Empty = all columns of both sides.
+  std::vector<std::pair<int, int>> projection;
+};
+
+}  // namespace mscm::engine
+
+#endif  // MSCM_ENGINE_QUERY_H_

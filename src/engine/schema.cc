@@ -1,0 +1,18 @@
+#include "engine/schema.h"
+
+namespace mscm::engine {
+
+int Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Schema::TupleBytes() const {
+  int total = 0;
+  for (const Column& c : columns_) total += c.byte_width;
+  return total;
+}
+
+}  // namespace mscm::engine

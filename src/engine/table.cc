@@ -1,0 +1,45 @@
+#include "engine/table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mscm::engine {
+
+size_t Table::RowsPerPage() const {
+  const int tuple_bytes = schema_.TupleBytes();
+  MSCM_CHECK(tuple_bytes > 0);
+  const size_t per_page = static_cast<size_t>(kPageBytes / tuple_bytes);
+  return per_page == 0 ? 1 : per_page;
+}
+
+size_t Table::NumPages() const {
+  if (rows_.empty()) return 0;
+  const size_t per_page = RowsPerPage();
+  return (rows_.size() + per_page - 1) / per_page;
+}
+
+void Table::RecomputeStats() {
+  stats_.assign(schema_.num_columns(), ColumnStats{});
+  if (rows_.empty()) return;
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    ColumnStats& s = stats_[c];
+    s.min = rows_[0][c];
+    s.max = rows_[0][c];
+    std::unordered_set<int64_t> distinct;
+    for (const Row& r : rows_) {
+      s.min = std::min(s.min, r[c]);
+      s.max = std::max(s.max, r[c]);
+      distinct.insert(r[c]);
+    }
+    s.distinct = static_cast<int64_t>(distinct.size());
+  }
+}
+
+void Table::SortByColumn(size_t col) {
+  MSCM_CHECK(col < schema_.num_columns());
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [col](const Row& a, const Row& b) { return a[col] < b[col]; });
+  sorted_by_ = static_cast<int>(col);
+}
+
+}  // namespace mscm::engine

@@ -1,0 +1,84 @@
+// In-memory heap table with page-layout accounting.
+//
+// The engine never touches a real disk; instead every table knows how many
+// fixed-size pages its rows occupy, and the executor counts sequential and
+// random page accesses. The cost simulator (src/sim) later converts those
+// counts into elapsed time under the current contention level.
+
+#ifndef MSCM_ENGINE_TABLE_H_
+#define MSCM_ENGINE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/schema.h"
+
+namespace mscm::engine {
+
+// Disk page size assumed by the layout accounting.
+inline constexpr int kPageBytes = 8192;
+
+struct ColumnStats {
+  int64_t min = 0;
+  int64_t max = 0;
+  // Estimated number of distinct values (exact for generated tables).
+  int64_t distinct = 0;
+};
+
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  void AddRow(Row row) {
+    MSCM_DCHECK(row.size() == schema_.num_columns());
+    rows_.push_back(std::move(row));
+  }
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  size_t num_rows() const { return rows_.size(); }
+  const Row& row(size_t i) const {
+    MSCM_DCHECK(i < rows_.size());
+    return rows_[i];
+  }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  // Rows that fit one page given the declared tuple width (at least 1).
+  size_t RowsPerPage() const;
+
+  // Pages occupied by the table (at least 1 for a non-empty table).
+  size_t NumPages() const;
+
+  // Page number holding row `i` under the sequential heap layout.
+  size_t PageOfRow(size_t i) const { return i / RowsPerPage(); }
+
+  // Recomputes per-column min/max/distinct statistics from the data.
+  void RecomputeStats();
+
+  const ColumnStats& column_stats(size_t col) const {
+    MSCM_DCHECK(col < stats_.size());
+    return stats_[col];
+  }
+  bool has_stats() const { return !stats_.empty(); }
+
+  // Physically sorts the rows by `col` (used to build a clustered index).
+  void SortByColumn(size_t col);
+
+  // Column the rows are physically sorted by, or -1.
+  int sorted_by() const { return sorted_by_; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<ColumnStats> stats_;
+  int sorted_by_ = -1;
+};
+
+}  // namespace mscm::engine
+
+#endif  // MSCM_ENGINE_TABLE_H_

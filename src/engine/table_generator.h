@@ -1,0 +1,41 @@
+// Synthetic database generation matching the paper's experimental setup
+// (§5): each local database has 12 randomly-generated tables R1…R12 with
+// cardinalities from 3,000 to 250,000 tuples, a number of indexed columns,
+// and various selectivities for different columns.
+//
+// A `scale` factor shrinks cardinalities proportionally so tests can run the
+// full pipeline in milliseconds while benches use paper-scale data.
+
+#ifndef MSCM_ENGINE_TABLE_GENERATOR_H_
+#define MSCM_ENGINE_TABLE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "engine/database.h"
+
+namespace mscm::engine {
+
+struct TableGeneratorConfig {
+  int num_tables = 12;
+  // Multiplies the paper cardinalities (1.0 = 3,000 … 250,000 tuples).
+  double scale = 1.0;
+  // Create a clustered index on column a1 of every table.
+  bool clustered_indexes = true;
+  // Create non-clustered indexes on columns a2 and a3 of every table.
+  bool nonclustered_indexes = true;
+};
+
+// Paper-style cardinality for table number `i` (1-based) at scale 1.0.
+size_t PaperCardinality(int i);
+
+// Generates the database. Deterministic given the rng state.
+Database GenerateDatabase(const TableGeneratorConfig& config, Rng& rng);
+
+// Generates a dedicated tiny probing table `P0` (used by the probing query;
+// kept small so probing is cheap, per §3.3).
+void AddProbingTable(Database& db, Rng& rng);
+
+}  // namespace mscm::engine
+
+#endif  // MSCM_ENGINE_TABLE_GENERATOR_H_

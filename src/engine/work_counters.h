@@ -1,0 +1,46 @@
+// Physical work performed by a query execution. The executor fills these in;
+// the cost simulator (src/sim) converts them into elapsed seconds under the
+// current contention level. Keeping the two stages separate is what lets the
+// same execution produce different observed costs in different contention
+// states — the phenomenon the paper's qualitative cost models capture.
+
+#ifndef MSCM_ENGINE_WORK_COUNTERS_H_
+#define MSCM_ENGINE_WORK_COUNTERS_H_
+
+namespace mscm::engine {
+
+struct WorkCounters {
+  // I/O work.
+  double sequential_pages = 0.0;  // pages read in sequential order
+  double random_pages = 0.0;      // pages read with random placement
+
+  // CPU work.
+  double tuples_read = 0.0;       // tuples fetched from storage
+  double predicate_evals = 0.0;   // qualification-condition evaluations
+  double compare_ops = 0.0;       // sort/merge comparisons
+  double hash_ops = 0.0;          // hash-table build/probe operations
+
+  // Result handling.
+  double result_tuples = 0.0;     // tuples placed in the result
+  double result_bytes = 0.0;      // bytes of result materialized
+
+  // Per-query startup work (index descents, plan setup, cursor opening).
+  double init_ops = 1.0;
+
+  WorkCounters& operator+=(const WorkCounters& o) {
+    sequential_pages += o.sequential_pages;
+    random_pages += o.random_pages;
+    tuples_read += o.tuples_read;
+    predicate_evals += o.predicate_evals;
+    compare_ops += o.compare_ops;
+    hash_ops += o.hash_ops;
+    result_tuples += o.result_tuples;
+    result_bytes += o.result_bytes;
+    init_ops += o.init_ops;
+    return *this;
+  }
+};
+
+}  // namespace mscm::engine
+
+#endif  // MSCM_ENGINE_WORK_COUNTERS_H_

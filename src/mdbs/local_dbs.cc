@@ -1,0 +1,121 @@
+#include "mdbs/local_dbs.h"
+
+#include <algorithm>
+
+namespace mscm::mdbs {
+namespace {
+
+engine::Database MakeDatabase(const engine::TableGeneratorConfig& tables,
+                              Rng& rng) {
+  engine::Database db = engine::GenerateDatabase(tables, rng);
+  engine::AddProbingTable(db, rng);
+  return db;
+}
+
+// The standard probing workload: a fixed range scan plus a fixed selective
+// non-clustered index range over the small probing table. Cheap (a fraction
+// of a second idle) but large enough that its cost tracks the contention
+// level (§3.3 notes extremely-small-cost queries make poor probes), and
+// touching every resource class — CPU, sequential I/O, random I/O through
+// the buffer pool — so all contention dimensions register in the gauge.
+engine::SelectQuery MakeProbingScan() {
+  engine::SelectQuery q;
+  q.table = "P0";
+  q.projection = {0, 2};
+  q.predicate.Add(engine::Condition{/*column=*/0, engine::CompareOp::kBetween,
+                                    /*lo=*/1500, /*hi=*/8499});
+  return q;
+}
+
+engine::SelectQuery MakeProbingIndexRange() {
+  engine::SelectQuery q;
+  q.table = "P0";
+  q.projection = {1};
+  // ~1% of the 0..999 domain of the indexed column p2: a couple dozen
+  // random-page fetches through the non-clustered index.
+  q.predicate.Add(engine::Condition{/*column=*/1, engine::CompareOp::kBetween,
+                                    /*lo=*/480, /*hi=*/489});
+  return q;
+}
+
+}  // namespace
+
+LocalDbs::LocalDbs(const LocalDbsConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      database_(MakeDatabase(config.tables, rng_)),
+      executor_(&database_),
+      load_builder_(config.load, rng_.NextUint64()),
+      monitor_(config.machine, rng_.NextUint64()),
+      probing_scan_(MakeProbingScan()),
+      probing_index_range_(MakeProbingIndexRange()) {}
+
+double LocalDbs::CostOf(const engine::WorkCounters& work) {
+  const sim::SlowdownFactors slowdown = sim::ComputeSlowdown(
+      load_builder_.Current(), config_.profile, config_.machine);
+  return sim::SimulateElapsedSeconds(work, slowdown, config_.profile, rng_);
+}
+
+void LocalDbs::PassTime(double elapsed) {
+  simulated_time_ += elapsed;
+  // Load drifts a little while the query runs; cap the drift step so a
+  // multi-minute join does not walk the level across the whole range.
+  const double dt = std::min(elapsed, 20.0);
+  load_builder_.Advance(dt);
+  monitor_.Tick(load_builder_.Current(), elapsed);
+}
+
+LocalDbs::SelectOutcome LocalDbs::RunSelect(const engine::SelectQuery& query) {
+  SelectOutcome out;
+  out.execution = executor_.ExecuteSelect(query, PlanSelect(query));
+  out.elapsed_seconds = CostOf(out.execution.work);
+  PassTime(out.elapsed_seconds);
+  return out;
+}
+
+LocalDbs::JoinOutcome LocalDbs::RunJoin(const engine::JoinQuery& query) {
+  JoinOutcome out;
+  out.execution = executor_.ExecuteJoin(query, PlanJoin(query));
+  out.elapsed_seconds = CostOf(out.execution.work);
+  PassTime(out.elapsed_seconds);
+  return out;
+}
+
+double LocalDbs::RunProbingQuery() {
+  const engine::SelectExecution scan =
+      executor_.ExecuteSelect(probing_scan_, PlanSelect(probing_scan_));
+  const engine::SelectExecution range = executor_.ExecuteSelect(
+      probing_index_range_, PlanSelect(probing_index_range_));
+  engine::WorkCounters work = scan.work;
+  work += range.work;
+  const double elapsed = CostOf(work);
+  PassTime(elapsed);
+  return elapsed;
+}
+
+sim::SystemStats LocalDbs::MonitorSnapshot() {
+  return monitor_.Snapshot(load_builder_.Current());
+}
+
+void LocalDbs::ReconfigureMachine(const sim::MachineSpec& machine) {
+  config_.machine = machine;
+  // The monitor keeps its own machine description for totals/percentages;
+  // rebuild it (load averages restart, as after a reboot).
+  monitor_ = sim::SystemMonitor(machine, rng_.NextUint64());
+}
+
+void LocalDbs::AdvanceLoad(double dt_seconds) {
+  simulated_time_ += dt_seconds;
+  load_builder_.Advance(dt_seconds);
+  monitor_.Tick(load_builder_.Current(), dt_seconds);
+}
+
+engine::SelectPlan LocalDbs::PlanSelect(const engine::SelectQuery& query) const {
+  return engine::ChooseSelectPlan(database_, query, config_.profile.planner);
+}
+
+engine::JoinPlan LocalDbs::PlanJoin(const engine::JoinQuery& query) const {
+  return engine::ChooseJoinPlan(database_, query, config_.profile.planner);
+}
+
+}  // namespace mscm::mdbs

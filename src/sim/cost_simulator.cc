@@ -1,0 +1,46 @@
+#include "sim/cost_simulator.h"
+
+#include <cmath>
+
+namespace mscm::sim {
+
+double NoiselessElapsedSeconds(const engine::WorkCounters& work,
+                               const SlowdownFactors& slowdown,
+                               const PerformanceProfile& profile) {
+  // Random page requests are first filtered through the buffer pool; only
+  // misses pay the (contended) random I/O time. Hits still pay a CPU-ish
+  // lookup charge folded into tuple CPU below.
+  const double random_misses = work.random_pages * (1.0 - slowdown.buffer_hit);
+
+  const double init = work.init_ops * profile.init_seconds *
+                      slowdown.init_factor;
+  const double seq_io = work.sequential_pages * profile.seq_page_seconds *
+                        slowdown.seq_io_factor;
+  const double rand_io = random_misses * profile.rand_page_seconds *
+                         slowdown.rand_io_factor;
+  const double cpu =
+      (work.tuples_read * profile.tuple_cpu_seconds +
+       work.predicate_evals * profile.pred_eval_seconds +
+       work.compare_ops * profile.compare_seconds +
+       work.hash_ops * profile.hash_seconds +
+       work.result_tuples * profile.result_tuple_seconds +
+       work.result_bytes * profile.result_byte_seconds) *
+      slowdown.cpu_factor;
+
+  return init + seq_io + rand_io + cpu;
+}
+
+double SimulateElapsedSeconds(const engine::WorkCounters& work,
+                              const SlowdownFactors& slowdown,
+                              const PerformanceProfile& profile, Rng& rng) {
+  const double base = NoiselessElapsedSeconds(work, slowdown, profile);
+  // Log-normal multiplicative noise with the profile's coefficient of
+  // variation: sigma^2 = ln(1 + cv^2), mean-preserving.
+  const double cv = profile.noise_cv;
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double noise =
+      std::exp(rng.Gaussian(-0.5 * sigma2, std::sqrt(sigma2)));
+  return base * noise;
+}
+
+}  // namespace mscm::sim

@@ -1,0 +1,29 @@
+// Converts physical work counters into simulated elapsed time under a given
+// contention level. This is the library's stand-in for wall-clock
+// measurement against a real DBMS: elapsed = Σ (work unit × unit time ×
+// resource slowdown) × log-normal noise. No real time passes — experiments
+// that "run" hours of query workload complete in milliseconds.
+
+#ifndef MSCM_SIM_COST_SIMULATOR_H_
+#define MSCM_SIM_COST_SIMULATOR_H_
+
+#include "common/rng.h"
+#include "engine/work_counters.h"
+#include "sim/contention_model.h"
+#include "sim/performance_profile.h"
+
+namespace mscm::sim {
+
+// Deterministic (noise-free) elapsed seconds for the given work.
+double NoiselessElapsedSeconds(const engine::WorkCounters& work,
+                               const SlowdownFactors& slowdown,
+                               const PerformanceProfile& profile);
+
+// Observed elapsed seconds including measurement noise.
+double SimulateElapsedSeconds(const engine::WorkCounters& work,
+                              const SlowdownFactors& slowdown,
+                              const PerformanceProfile& profile, Rng& rng);
+
+}  // namespace mscm::sim
+
+#endif  // MSCM_SIM_COST_SIMULATOR_H_

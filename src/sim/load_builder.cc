@@ -1,0 +1,109 @@
+#include "sim/load_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mscm::sim {
+namespace {
+
+// Average per-process demands. The population mix varies around these so two
+// contention points with the same process count still differ a little — one
+// of several reasons the latent contention level is only *gauged*, never
+// observed exactly, by the probing query.
+constexpr double kCpuSharePerProcess = 0.15;     // cores' worth
+constexpr double kIoRatePerProcess = 5.5;        // ops/sec
+constexpr double kMemoryPerProcessMb = 9.0;      // resident MB
+
+}  // namespace
+
+LoadBuilder::LoadBuilder(const LoadRegimeConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  MSCM_CHECK(config_.max_processes >= config_.min_processes);
+  Resample();
+}
+
+void LoadBuilder::Resample() {
+  switch (config_.regime) {
+    case LoadRegime::kSteady:
+      processes_ = config_.steady_processes;
+      break;
+    case LoadRegime::kUniform:
+      processes_ = rng_.Uniform(config_.min_processes, config_.max_processes);
+      break;
+    case LoadRegime::kClustered: {
+      MSCM_CHECK(!config_.clusters.empty());
+      double total_weight = 0.0;
+      for (const auto& c : config_.clusters) total_weight += c.weight;
+      double pick = rng_.Uniform(0.0, total_weight);
+      const GaussianClusterSpec* chosen = &config_.clusters.back();
+      for (const auto& c : config_.clusters) {
+        if (pick < c.weight) {
+          chosen = &c;
+          break;
+        }
+        pick -= c.weight;
+      }
+      processes_ = rng_.Gaussian(chosen->center, chosen->stddev);
+      break;
+    }
+    case LoadRegime::kRandomWalk:
+      // A fresh draw for walk mode starts anywhere in range.
+      processes_ = rng_.Uniform(config_.min_processes, config_.max_processes);
+      break;
+    case LoadRegime::kPeriodic:
+      // A fresh draw lands at a random point in the cycle.
+      phase_seconds_ = rng_.Uniform(0.0, config_.period_seconds);
+      processes_ = PeriodicLevel();
+      break;
+  }
+  processes_ = std::clamp(processes_, config_.min_processes,
+                          config_.max_processes);
+  Materialize(/*redraw_population=*/true);
+}
+
+void LoadBuilder::Advance(double dt_seconds) {
+  MSCM_CHECK(dt_seconds >= 0.0);
+  if (config_.regime == LoadRegime::kRandomWalk) {
+    processes_ += rng_.Gaussian(0.0, config_.walk_stddev * std::sqrt(dt_seconds));
+  } else if (config_.regime == LoadRegime::kPeriodic) {
+    phase_seconds_ = std::fmod(phase_seconds_ + dt_seconds,
+                               config_.period_seconds);
+    processes_ = PeriodicLevel() +
+                 rng_.Gaussian(0.0, 0.5 * std::sqrt(std::min(dt_seconds, 60.0)));
+  } else {
+    // Small within-level churn: processes come and go.
+    processes_ += rng_.Gaussian(0.0, 0.25 * std::sqrt(dt_seconds));
+  }
+  processes_ = std::clamp(processes_, config_.min_processes,
+                          config_.max_processes);
+  Materialize(/*redraw_population=*/false);
+}
+
+void LoadBuilder::SetProcessCount(double n) {
+  processes_ = std::clamp(n, config_.min_processes, config_.max_processes);
+  Materialize(/*redraw_population=*/true);
+}
+
+double LoadBuilder::PeriodicLevel() const {
+  const double t = phase_seconds_ / config_.period_seconds;  // 0..1
+  const double wave = 0.5 - 0.5 * std::cos(2.0 * M_PI * t);  // trough at t=0
+  return config_.min_processes +
+         wave * (config_.max_processes - config_.min_processes);
+}
+
+void LoadBuilder::Materialize(bool redraw_population) {
+  if (redraw_population) {
+    // ±8% population mix noise.
+    cpu_jitter_ = std::max(0.2, 1.0 + 0.08 * rng_.Gaussian());
+    io_jitter_ = std::max(0.2, 1.0 + 0.08 * rng_.Gaussian());
+    mem_jitter_ = std::max(0.2, 1.0 + 0.05 * rng_.Gaussian());
+  }
+  load_.num_processes = processes_;
+  load_.cpu_demand =
+      std::max(0.0, processes_ * kCpuSharePerProcess * cpu_jitter_);
+  load_.io_rate = std::max(0.0, processes_ * kIoRatePerProcess * io_jitter_);
+  load_.memory_mb =
+      std::max(0.0, processes_ * kMemoryPerProcessMb * mem_jitter_);
+}
+
+}  // namespace mscm::sim

@@ -1,0 +1,108 @@
+// The load builder: the component of the MDBS agent that "generates dynamic
+// loads to simulate dynamic application environments" (paper §5, Figure 3).
+//
+// It maintains a population of synthetic concurrent processes, each with a
+// CPU share, an I/O issue rate and a resident memory demand. The aggregate
+// demands define the machine load, which the contention model converts into
+// per-resource slowdown factors, and which the system monitor reports as
+// Unix-style statistics.
+//
+// Regimes control how the number of processes is drawn:
+//  * kSteady       — a fixed level (the "static environment" baseline);
+//  * kUniform      — each resample draws uniformly from [min, max]
+//                    (the paper's uniform contention-distribution case);
+//  * kClustered    — a mixture of Gaussians (the paper's clustered case,
+//                    Figure 10);
+//  * kRandomWalk   — continuous evolution for the monitoring example.
+
+#ifndef MSCM_SIM_LOAD_BUILDER_H_
+#define MSCM_SIM_LOAD_BUILDER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mscm::sim {
+
+enum class LoadRegime {
+  kSteady,
+  kUniform,
+  kClustered,
+  kRandomWalk,
+  // Diurnal cycle: the process count follows a sinusoid between min and max
+  // with configurable period, plus walk noise — a business-day load curve.
+  kPeriodic,
+};
+
+struct GaussianClusterSpec {
+  double center = 0.0;  // in process counts
+  double stddev = 1.0;
+  double weight = 1.0;
+};
+
+struct LoadRegimeConfig {
+  LoadRegime regime = LoadRegime::kUniform;
+  double min_processes = 0.0;
+  double max_processes = 120.0;
+  double steady_processes = 5.0;
+  // Clustered regime: defaults chosen to resemble the paper's Figure 10
+  // (light / medium / heavy usage clusters with clear gaps).
+  std::vector<GaussianClusterSpec> clusters = {
+      {10.0, 3.0, 0.40}, {58.0, 4.0, 0.35}, {104.0, 3.5, 0.25}};
+  // Random-walk regime: per-second drift standard deviation.
+  double walk_stddev = 3.0;
+  // Periodic regime: cycle length in (simulated) seconds.
+  double period_seconds = 86400.0;
+};
+
+// Aggregate demand on the local machine from the background processes.
+struct MachineLoad {
+  double num_processes = 0.0;   // concurrently running background processes
+  double cpu_demand = 0.0;      // sum of per-process CPU shares (cores' worth)
+  double io_rate = 0.0;         // background I/O operations per second
+  double memory_mb = 0.0;       // background resident memory
+};
+
+class LoadBuilder {
+ public:
+  LoadBuilder(const LoadRegimeConfig& config, uint64_t seed);
+
+  // Draws a fresh independent contention point from the regime distribution
+  // (the sampling procedure runs each sample query at such a point).
+  void Resample();
+
+  // Evolves the load continuously by `dt` seconds (random-walk regime; for
+  // the other regimes this adds small within-level jitter).
+  void Advance(double dt_seconds);
+
+  // Pins the process count to a specific level (used by targeted resampling
+  // when a contention state needs more observations, and by sweeps).
+  void SetProcessCount(double n);
+
+  const MachineLoad& Current() const { return load_; }
+  const LoadRegimeConfig& config() const { return config_; }
+
+ private:
+  // Deterministic sinusoid level for the current phase (periodic regime).
+  double PeriodicLevel() const;
+
+  // Recomputes aggregate demands for the current process count. When
+  // `redraw_population` is set, the per-process demand mix is re-drawn (a new
+  // population of background processes); otherwise the existing mix persists,
+  // so consecutive measurements at one contention point (probe, then sample
+  // query) see the same environment.
+  void Materialize(bool redraw_population);
+
+  LoadRegimeConfig config_;
+  Rng rng_;
+  double processes_ = 0.0;
+  double phase_seconds_ = 0.0;  // position within the periodic cycle
+  double cpu_jitter_ = 1.0;
+  double io_jitter_ = 1.0;
+  double mem_jitter_ = 1.0;
+  MachineLoad load_;
+};
+
+}  // namespace mscm::sim
+
+#endif  // MSCM_SIM_LOAD_BUILDER_H_

@@ -1,0 +1,68 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mscm::sim {
+namespace {
+
+// Fixed probe payload: small enough to be cheap, big enough that transfer
+// time (not just latency) registers in the gauge.
+constexpr double kProbeBytes = 64.0 * 1024.0;
+
+}  // namespace
+
+NetworkLink::NetworkLink(const NetworkLinkConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  MSCM_CHECK(config_.bandwidth_bytes_per_sec > 0.0);
+  MSCM_CHECK(config_.max_utilization > 0.0 && config_.max_utilization < 1.0);
+  Resample();
+}
+
+void NetworkLink::Advance(double dt_seconds) {
+  MSCM_CHECK(dt_seconds >= 0.0);
+  // Mean-reverting (Ornstein–Uhlenbeck-style) background traffic.
+  const double reversion = 1.0 - std::exp(-dt_seconds / 120.0);
+  utilization_ += reversion * (config_.mean_utilization - utilization_);
+  utilization_ += rng_.Gaussian(
+      0.0, config_.utilization_walk_stddev * std::sqrt(dt_seconds));
+  utilization_ = std::clamp(utilization_, 0.0, config_.max_utilization);
+}
+
+void NetworkLink::Resample() {
+  // Beta-like draw around the mean via clamped Gaussian.
+  utilization_ = std::clamp(
+      rng_.Gaussian(config_.mean_utilization, 0.18), 0.0,
+      config_.max_utilization);
+}
+
+void NetworkLink::SetUtilization(double u) {
+  utilization_ = std::clamp(u, 0.0, config_.max_utilization);
+}
+
+double NetworkLink::EffectiveBandwidth() const {
+  return config_.bandwidth_bytes_per_sec * (1.0 - utilization_);
+}
+
+double NetworkLink::TransferSecondsNoiseless(double bytes) const {
+  MSCM_CHECK(bytes >= 0.0);
+  // Latency inflates with congestion (queueing at the bottleneck router).
+  const double latency =
+      config_.base_latency_seconds / (1.0 - utilization_);
+  return latency + bytes / EffectiveBandwidth();
+}
+
+double NetworkLink::Transfer(double bytes) {
+  const double base = TransferSecondsNoiseless(bytes);
+  const double cv = config_.noise_cv;
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double noise =
+      std::exp(rng_.Gaussian(-0.5 * sigma2, std::sqrt(sigma2)));
+  const double elapsed = base * noise;
+  Advance(elapsed);
+  return elapsed;
+}
+
+double NetworkLink::Probe() { return Transfer(kProbeBytes); }
+
+}  // namespace mscm::sim

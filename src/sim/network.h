@@ -1,0 +1,73 @@
+// Network links between the global MDBS server and the local sites.
+//
+// The paper footnotes (§2, fn. 1) that an MDBS also has dynamic *network*
+// environmental factors, studied elsewhere (Urhan et al., cost-based query
+// scrambling). This module supplies that substrate: each site is reached
+// over a link whose effective bandwidth and round-trip latency vary with
+// background traffic, following the same gauge-by-probing philosophy — the
+// global planner measures a small ping/transfer probe and treats the result
+// as the link's current condition.
+
+#ifndef MSCM_SIM_NETWORK_H_
+#define MSCM_SIM_NETWORK_H_
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace mscm::sim {
+
+struct NetworkLinkConfig {
+  std::string name = "link";
+  // Nominal capacity of the link, bytes per second.
+  double bandwidth_bytes_per_sec = 1.0e6;
+  // Base round-trip latency, seconds.
+  double base_latency_seconds = 0.004;
+  // Background utilization evolves as a mean-reverting walk in [0, max].
+  double mean_utilization = 0.3;
+  double max_utilization = 0.92;
+  double utilization_walk_stddev = 0.05;  // per sqrt-second
+  // Multiplicative noise on each transfer (coefficient of variation).
+  double noise_cv = 0.08;
+};
+
+class NetworkLink {
+ public:
+  NetworkLink(const NetworkLinkConfig& config, uint64_t seed);
+
+  // Evolves the background traffic.
+  void Advance(double dt_seconds);
+
+  // Jumps to an independent utilization draw.
+  void Resample();
+
+  // Pins the background utilization (for sweeps/tests).
+  void SetUtilization(double u);
+
+  double utilization() const { return utilization_; }
+
+  // Effective bytes/sec left for a foreground transfer right now.
+  double EffectiveBandwidth() const;
+
+  // Observed time to ship `bytes` over the link now (latency + transfer,
+  // with noise). Advances the background walk by the elapsed time.
+  double Transfer(double bytes);
+
+  // The network probing operation: ships a small fixed payload and returns
+  // its observed cost — the link-condition gauge, mirroring the local
+  // probing query.
+  double Probe();
+
+  const NetworkLinkConfig& config() const { return config_; }
+
+ private:
+  double TransferSecondsNoiseless(double bytes) const;
+
+  NetworkLinkConfig config_;
+  Rng rng_;
+  double utilization_ = 0.0;
+};
+
+}  // namespace mscm::sim
+
+#endif  // MSCM_SIM_NETWORK_H_

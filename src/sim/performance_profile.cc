@@ -1,0 +1,43 @@
+#include "sim/performance_profile.h"
+
+namespace mscm::sim {
+
+PerformanceProfile PerformanceProfile::Alpha() {
+  PerformanceProfile p;
+  p.name = "alpha";
+  p.init_seconds = 0.035;
+  p.seq_page_seconds = 0.0042;
+  p.rand_page_seconds = 0.0118;
+  p.tuple_cpu_seconds = 13e-6;
+  p.pred_eval_seconds = 6.5e-6;
+  p.compare_seconds = 2.6e-6;
+  p.hash_seconds = 3.8e-6;
+  p.result_tuple_seconds = 9e-6;
+  p.result_byte_seconds = 7e-9;
+  p.base_buffer_hit = 0.62;
+  p.noise_cv = 0.06;
+  p.planner.prefer_hash_join = true;
+  p.planner.nonclustered_selectivity_limit = 0.08;
+  return p;
+}
+
+PerformanceProfile PerformanceProfile::Beta() {
+  PerformanceProfile p;
+  p.name = "beta";
+  p.init_seconds = 0.018;
+  p.seq_page_seconds = 0.0048;
+  p.rand_page_seconds = 0.0102;
+  p.tuple_cpu_seconds = 10e-6;
+  p.pred_eval_seconds = 5.2e-6;
+  p.compare_seconds = 2.2e-6;
+  p.hash_seconds = 4.4e-6;
+  p.result_tuple_seconds = 7e-6;
+  p.result_byte_seconds = 5e-9;
+  p.base_buffer_hit = 0.52;
+  p.noise_cv = 0.07;
+  p.planner.prefer_hash_join = false;  // sort-merge preferred
+  p.planner.nonclustered_selectivity_limit = 0.06;
+  return p;
+}
+
+}  // namespace mscm::sim

@@ -1,0 +1,59 @@
+#include "sim/system_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mscm::sim {
+
+void SystemMonitor::Tick(const MachineLoad& load, double dt_seconds) {
+  MSCM_CHECK(dt_seconds >= 0.0);
+  auto ema = [dt_seconds](double current, double target, double horizon) {
+    const double alpha = 1.0 - std::exp(-dt_seconds / horizon);
+    return current + alpha * (target - current);
+  };
+  load_avg_1_ = ema(load_avg_1_, load.num_processes, 60.0);
+  load_avg_5_ = ema(load_avg_5_, load.num_processes, 300.0);
+  load_avg_15_ = ema(load_avg_15_, load.num_processes, 900.0);
+}
+
+SystemStats SystemMonitor::Snapshot(const MachineLoad& load) {
+  auto noisy = [this](double v, double cv) {
+    return std::max(0.0, v * (1.0 + cv * rng_.Gaussian()));
+  };
+
+  SystemStats s;
+  const double cpu_util =
+      std::min(1.0, (load.cpu_demand + 0.05) / machine_.cpu_cores);
+  s.processes_running = noisy(std::min(load.num_processes, machine_.cpu_cores +
+                                        load.num_processes * cpu_util * 0.3),
+                              0.10);
+  s.processes_sleeping =
+      noisy(std::max(0.0, load.num_processes - s.processes_running), 0.05);
+  s.pct_user = noisy(72.0 * cpu_util, 0.05);
+  s.pct_system = noisy(18.0 * cpu_util, 0.08);
+  s.pct_idle = std::max(0.0, 100.0 - s.pct_user - s.pct_system);
+  s.load_avg_1 = noisy(std::max(load_avg_1_, load.num_processes * 0.8), 0.05);
+  s.load_avg_5 = load_avg_5_;
+  s.load_avg_15 = load_avg_15_;
+
+  s.mem_total = machine_.memory_mb;
+  s.mem_used = noisy(std::min(machine_.memory_mb,
+                              60.0 + load.memory_mb), 0.03);
+  s.mem_free = std::max(0.0, machine_.memory_mb - s.mem_used);
+  const double overcommit =
+      std::max(0.0, 60.0 + load.memory_mb - machine_.memory_mb);
+  s.swap_used = noisy(overcommit, 0.10);
+  s.swapped_in = noisy(overcommit * 0.2, 0.30);
+  s.swapped_out = noisy(overcommit * 0.25, 0.30);
+
+  s.reads_per_sec = noisy(load.io_rate * 0.7, 0.08);
+  s.writes_per_sec = noisy(load.io_rate * 0.3, 0.10);
+  s.pct_disk_util = noisy(
+      100.0 * std::min(load.io_rate / machine_.disk_io_capacity, 1.0), 0.06);
+
+  s.context_switches_per_sec = noisy(90.0 + 45.0 * load.num_processes, 0.10);
+  s.syscalls_per_sec = noisy(300.0 + 180.0 * load.num_processes, 0.12);
+  return s;
+}
+
+}  // namespace mscm::sim

@@ -1,0 +1,69 @@
+// Unix-style system statistics, mirroring the paper's Table 1 ("System Stats
+// for Frequently-Changing Factors in Unix"). The environment monitor of the
+// MDBS agent samples these; the probing-cost estimation technique (§3.3,
+// Eq. 2) regresses probing costs on a subset of them.
+
+#ifndef MSCM_SIM_SYSTEM_MONITOR_H_
+#define MSCM_SIM_SYSTEM_MONITOR_H_
+
+#include "common/rng.h"
+#include "sim/contention_model.h"
+#include "sim/load_builder.h"
+
+namespace mscm::sim {
+
+struct SystemStats {
+  // CPU statistics (top/uptime style).
+  double processes_running = 0.0;
+  double processes_sleeping = 0.0;
+  double pct_user = 0.0;
+  double pct_system = 0.0;
+  double pct_idle = 0.0;
+  double load_avg_1 = 0.0;
+  double load_avg_5 = 0.0;
+  double load_avg_15 = 0.0;
+
+  // Memory statistics (vmstat style), in MB.
+  double mem_total = 0.0;
+  double mem_used = 0.0;
+  double mem_free = 0.0;
+  double swap_used = 0.0;
+  double swapped_in = 0.0;
+  double swapped_out = 0.0;
+
+  // I/O statistics (iostat style).
+  double reads_per_sec = 0.0;
+  double writes_per_sec = 0.0;
+  double pct_disk_util = 0.0;
+
+  // Other.
+  double context_switches_per_sec = 0.0;
+  double syscalls_per_sec = 0.0;
+};
+
+// The environment monitor: keeps exponentially-weighted load averages and
+// produces noisy snapshots of the machine state (a real monitor observes
+// counters with sampling error; the noise keeps the probing-cost estimation
+// honest).
+class SystemMonitor {
+ public:
+  SystemMonitor(const MachineSpec& machine, uint64_t seed)
+      : machine_(machine), rng_(seed) {}
+
+  // Advances the load averages toward the current load.
+  void Tick(const MachineLoad& load, double dt_seconds);
+
+  // Snapshot of statistics for the current load.
+  SystemStats Snapshot(const MachineLoad& load);
+
+ private:
+  MachineSpec machine_;
+  Rng rng_;
+  double load_avg_1_ = 0.0;
+  double load_avg_5_ = 0.0;
+  double load_avg_15_ = 0.0;
+};
+
+}  // namespace mscm::sim
+
+#endif  // MSCM_SIM_SYSTEM_MONITOR_H_

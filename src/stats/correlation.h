@@ -1,0 +1,20 @@
+// Pearson correlation — the "simple correlation coefficient" used by the
+// paper's mixed backward/forward variable-selection procedure (§4.2).
+
+#ifndef MSCM_STATS_CORRELATION_H_
+#define MSCM_STATS_CORRELATION_H_
+
+#include <vector>
+
+namespace mscm::stats {
+
+// Pearson product-moment correlation of two equal-length samples.
+// Returns 0 when either sample has (numerically) zero variance — a variable
+// that does not vary carries no linear information, which is exactly how the
+// selection procedure treats it.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace mscm::stats
+
+#endif  // MSCM_STATS_CORRELATION_H_

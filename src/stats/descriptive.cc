@@ -1,0 +1,90 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mscm::stats {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Min(const std::vector<double>& xs) {
+  MSCM_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(const std::vector<double>& xs) {
+  MSCM_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  MSCM_CHECK(!xs.empty());
+  MSCM_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double Median(const std::vector<double>& xs) { return Quantile(xs, 0.5); }
+
+Summary Summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = Mean(xs);
+  s.stddev = StdDev(xs);
+  s.min = Min(xs);
+  s.max = Max(xs);
+  s.median = Median(xs);
+  return s;
+}
+
+double Histogram::BinWidth() const {
+  if (counts.empty()) return 0.0;
+  return (hi - lo) / static_cast<double>(counts.size());
+}
+
+double Histogram::BinCenter(size_t i) const {
+  MSCM_CHECK(i < counts.size());
+  return lo + (static_cast<double>(i) + 0.5) * BinWidth();
+}
+
+Histogram BuildHistogram(const std::vector<double>& xs, double lo, double hi,
+                         size_t bins) {
+  MSCM_CHECK(bins > 0);
+  MSCM_CHECK(hi > lo);
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : xs) {
+    long idx = static_cast<long>(std::floor((x - lo) / width));
+    if (idx < 0) idx = 0;
+    if (idx >= static_cast<long>(bins)) idx = static_cast<long>(bins) - 1;
+    ++h.counts[static_cast<size_t>(idx)];
+  }
+  return h;
+}
+
+}  // namespace mscm::stats

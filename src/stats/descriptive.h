@@ -1,0 +1,53 @@
+// Descriptive statistics and histogram utilities.
+
+#ifndef MSCM_STATS_DESCRIPTIVE_H_
+#define MSCM_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace mscm::stats {
+
+double Mean(const std::vector<double>& xs);
+
+// Sample variance (divides by n-1). Zero for fewer than two values.
+double Variance(const std::vector<double>& xs);
+
+double StdDev(const std::vector<double>& xs);
+
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+
+// Linear-interpolation quantile, q in [0, 1].
+double Quantile(std::vector<double> xs, double q);
+
+double Median(const std::vector<double>& xs);
+
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+Summary Summarize(const std::vector<double>& xs);
+
+// Equal-width histogram over [lo, hi] with `bins` buckets. Values outside
+// the range are clamped into the edge buckets.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<size_t> counts;
+
+  double BinWidth() const;
+  double BinCenter(size_t i) const;
+};
+
+Histogram BuildHistogram(const std::vector<double>& xs, double lo, double hi,
+                         size_t bins);
+
+}  // namespace mscm::stats
+
+#endif  // MSCM_STATS_DESCRIPTIVE_H_

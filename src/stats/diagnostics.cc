@@ -1,0 +1,77 @@
+#include "stats/diagnostics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mscm::stats {
+
+std::vector<double> StandardizedResiduals(const OlsResult& fit) {
+  std::vector<double> out;
+  out.reserve(fit.residuals.size());
+  const double s = fit.standard_error;
+  for (double r : fit.residuals) {
+    out.push_back(s > 1e-300 ? r / s : 0.0);
+  }
+  return out;
+}
+
+std::vector<size_t> FlagOutliers(const std::vector<double>& standardized,
+                                 double threshold) {
+  MSCM_CHECK(threshold > 0.0);
+  std::vector<size_t> out;
+  for (size_t i = 0; i < standardized.size(); ++i) {
+    if (std::fabs(standardized[i]) > threshold) out.push_back(i);
+  }
+  return out;
+}
+
+double DurbinWatson(const std::vector<double>& residuals) {
+  if (residuals.size() < 2) return 2.0;
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t i = 0; i < residuals.size(); ++i) {
+    den += residuals[i] * residuals[i];
+    if (i > 0) {
+      const double d = residuals[i] - residuals[i - 1];
+      num += d * d;
+    }
+  }
+  return den > 1e-300 ? num / den : 2.0;
+}
+
+NormalityReport TestNormality(const std::vector<double>& residuals) {
+  NormalityReport report;
+  const size_t n = residuals.size();
+  if (n < 4) return report;
+
+  double mean = 0.0;
+  for (double r : residuals) mean += r;
+  mean /= static_cast<double>(n);
+
+  double m2 = 0.0;
+  double m3 = 0.0;
+  double m4 = 0.0;
+  for (double r : residuals) {
+    const double d = r - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m3 /= static_cast<double>(n);
+  m4 /= static_cast<double>(n);
+  if (m2 < 1e-300) return report;
+
+  report.skewness = m3 / std::pow(m2, 1.5);
+  report.excess_kurtosis = m4 / (m2 * m2) - 3.0;
+  report.jarque_bera =
+      static_cast<double>(n) / 6.0 *
+      (report.skewness * report.skewness +
+       0.25 * report.excess_kurtosis * report.excess_kurtosis);
+  // Chi-squared with 2 dof: survival = exp(-x/2).
+  report.p_value = std::exp(-0.5 * report.jarque_bera);
+  return report;
+}
+
+}  // namespace mscm::stats

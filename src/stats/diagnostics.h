@@ -1,0 +1,41 @@
+// Regression residual diagnostics for model validation (§4.3 uses VIF; the
+// underlying static query sampling method additionally examined residual
+// behaviour — outliers, autocorrelation, normality — before accepting a
+// model; these are the standard tools for that examination).
+
+#ifndef MSCM_STATS_DIAGNOSTICS_H_
+#define MSCM_STATS_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/ols.h"
+
+namespace mscm::stats {
+
+// Residuals scaled by the model's standard error of estimation (internal
+// scaling; leverage corrections are intentionally omitted — at the sample
+// sizes Proposition 4.1 mandates, hat-values are uniformly small).
+std::vector<double> StandardizedResiduals(const OlsResult& fit);
+
+// Indices of observations whose |standardized residual| exceeds `threshold`.
+std::vector<size_t> FlagOutliers(const std::vector<double>& standardized,
+                                 double threshold = 3.0);
+
+// Durbin–Watson statistic: ~2 for uncorrelated residuals, toward 0 under
+// positive serial correlation, toward 4 under negative.
+double DurbinWatson(const std::vector<double>& residuals);
+
+struct NormalityReport {
+  double skewness = 0.0;
+  double excess_kurtosis = 0.0;
+  // Jarque–Bera statistic and its chi-squared(2) p-value.
+  double jarque_bera = 0.0;
+  double p_value = 1.0;
+};
+
+NormalityReport TestNormality(const std::vector<double>& residuals);
+
+}  // namespace mscm::stats
+
+#endif  // MSCM_STATS_DIAGNOSTICS_H_

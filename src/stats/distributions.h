@@ -1,0 +1,32 @@
+// Probability distributions used for model validation: the F distribution
+// (significance of the overall regression) and Student's t (coefficient
+// significance). Both are expressed through the regularized incomplete beta.
+
+#ifndef MSCM_STATS_DISTRIBUTIONS_H_
+#define MSCM_STATS_DISTRIBUTIONS_H_
+
+namespace mscm::stats {
+
+// CDF of the F distribution with (d1, d2) degrees of freedom at f >= 0.
+double FCdf(double f, double d1, double d2);
+
+// Survival function P(F > f); the p-value of an F test.
+double FSurvival(double f, double d1, double d2);
+
+// CDF of Student's t distribution with `df` degrees of freedom.
+double StudentTCdf(double t, double df);
+
+// Two-sided p-value for a t statistic.
+double StudentTTwoSidedPValue(double t, double df);
+
+// Upper quantile helpers via bisection (used for confidence thresholds).
+// Returns f such that FSurvival(f, d1, d2) == alpha.
+double FUpperQuantile(double alpha, double d1, double d2);
+
+// Returns t such that P(T > t) == alpha for T ~ t(df), i.e. the critical
+// value for a one-sided test (use alpha/2 for two-sided intervals).
+double StudentTUpperQuantile(double alpha, double df);
+
+}  // namespace mscm::stats
+
+#endif  // MSCM_STATS_DISTRIBUTIONS_H_

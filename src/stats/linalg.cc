@@ -1,0 +1,192 @@
+#include "stats/linalg.h"
+
+#include <cmath>
+
+namespace mscm::stats {
+namespace {
+
+// Householder QR in-place on a copy of X augmented with y.
+// After factorization, the upper triangle of `a` is R and `rhs` holds Q^T y.
+// Returns per-column pivot magnitudes for rank detection.
+struct QrState {
+  Matrix r;               // upper-triangular factor (cols x cols)
+  std::vector<double> qty;  // first cols entries of Q^T y
+  bool rank_deficient = false;
+};
+
+QrState HouseholderQr(const Matrix& x, const std::vector<double>& y) {
+  const size_t m = x.rows();
+  const size_t n = x.cols();
+  MSCM_CHECK(m >= n && n >= 1);
+  MSCM_CHECK(y.size() == m);
+
+  // Work on dense copies.
+  Matrix a = x;
+  std::vector<double> rhs = y;
+
+  double max_diag = 0.0;
+  std::vector<double> diag(n, 0.0);
+
+  for (size_t k = 0; k < n; ++k) {
+    // Compute the norm of column k below (and including) row k.
+    double norm = 0.0;
+    for (size_t i = k; i < m; ++i) norm += a(i, k) * a(i, k);
+    norm = std::sqrt(norm);
+    diag[k] = norm;
+    max_diag = std::max(max_diag, norm);
+    if (norm == 0.0) continue;  // zero column; handled by rank check below
+
+    // Householder vector v = x_k + sign(x_kk) * ||x_k|| e_k.
+    const double alpha = (a(k, k) >= 0.0) ? -norm : norm;
+    std::vector<double> v(m - k);
+    v[0] = a(k, k) - alpha;
+    for (size_t i = k + 1; i < m; ++i) v[i - k] = a(i, k);
+    double vnorm2 = 0.0;
+    for (double vi : v) vnorm2 += vi * vi;
+    a(k, k) = alpha;
+    for (size_t i = k + 1; i < m; ++i) a(i, k) = 0.0;
+    if (vnorm2 <= 1e-300) continue;
+
+    // Apply H = I - 2 v v^T / (v^T v) to remaining columns and rhs.
+    for (size_t j = k + 1; j < n; ++j) {
+      double dot = 0.0;
+      for (size_t i = k; i < m; ++i) dot += v[i - k] * a(i, j);
+      const double scale = 2.0 * dot / vnorm2;
+      for (size_t i = k; i < m; ++i) a(i, j) -= scale * v[i - k];
+    }
+    double dot = 0.0;
+    for (size_t i = k; i < m; ++i) dot += v[i - k] * rhs[i];
+    const double scale = 2.0 * dot / vnorm2;
+    for (size_t i = k; i < m; ++i) rhs[i] -= scale * v[i - k];
+  }
+
+  QrState out;
+  out.r = Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) out.r(i, j) = a(i, j);
+  }
+  out.qty.assign(rhs.begin(), rhs.begin() + static_cast<long>(n));
+  // Rank check: any diagonal of R tiny relative to the largest column norm.
+  for (size_t k = 0; k < n; ++k) {
+    if (std::fabs(out.r(k, k)) < 1e-10 * std::max(1.0, max_diag)) {
+      out.rank_deficient = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::vector<double>> CholeskySolve(const Matrix& a,
+                                                 const std::vector<double>& b) {
+  const size_t n = a.rows();
+  MSCM_CHECK(a.cols() == n && b.size() == n);
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) return std::nullopt;
+        l(i, i) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  // Forward solve L z = b.
+  std::vector<double> z(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l(i, k) * z[k];
+    z[i] = sum / l(i, i);
+  }
+  // Back solve L^T x = z.
+  std::vector<double> x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = z[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * x[k];
+    x[ii] = sum / l(ii, ii);
+  }
+  return x;
+}
+
+std::optional<Matrix> SpdInverse(const Matrix& a) {
+  const size_t n = a.rows();
+  MSCM_CHECK(a.cols() == n);
+  Matrix inv(n, n);
+  for (size_t c = 0; c < n; ++c) {
+    std::vector<double> e(n, 0.0);
+    e[c] = 1.0;
+    auto col = CholeskySolve(a, e);
+    if (!col.has_value()) return std::nullopt;
+    for (size_t r = 0; r < n; ++r) inv(r, c) = (*col)[r];
+  }
+  return inv;
+}
+
+LeastSquaresResult SolveLeastSquares(const Matrix& x,
+                                     const std::vector<double>& y) {
+  const size_t n = x.cols();
+  QrState qr = HouseholderQr(x, y);
+
+  LeastSquaresResult out;
+  out.rank_deficient = qr.rank_deficient;
+
+  if (qr.rank_deficient) {
+    // Fall back to ridge-regularized normal equations so callers always get
+    // usable coefficients (the paper's procedures screen such models out via
+    // VIF and merging, but the solver must not crash mid-search).
+    Matrix xt = x.Transpose();
+    Matrix xtx = xt * x;
+    double trace = 0.0;
+    for (size_t i = 0; i < n; ++i) trace += xtx(i, i);
+    const double ridge = 1e-8 * std::max(1.0, trace / static_cast<double>(n));
+    for (size_t i = 0; i < n; ++i) xtx(i, i) += ridge;
+    std::vector<double> xty = xt * y;
+    auto beta = CholeskySolve(xtx, xty);
+    MSCM_CHECK(beta.has_value());
+    out.coefficients = *beta;
+    auto inv = SpdInverse(xtx);
+    MSCM_CHECK(inv.has_value());
+    out.xtx_inverse = *inv;
+    out.xtx_inverse_diagonal.resize(n);
+    for (size_t i = 0; i < n; ++i) out.xtx_inverse_diagonal[i] = (*inv)(i, i);
+    return out;
+  }
+
+  // Back-substitute R beta = Q^T y.
+  out.coefficients.assign(n, 0.0);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = qr.qty[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= qr.r(ii, k) * out.coefficients[k];
+    out.coefficients[ii] = sum / qr.r(ii, ii);
+  }
+
+  // (X^T X)^{-1} = R^{-1} R^{-T}; compute diagonal via columns of R^{-1}.
+  // Solve R z = e_i for each i; diagonal entry i of (X^T X)^{-1} is
+  // sum over rows of R^{-T} — more directly: row i of R^{-1} dotted with
+  // itself, where R^{-1} rows come from solving R^T w = e_i. We compute
+  // R^{-1} explicitly (n is small).
+  Matrix rinv(n, n);
+  for (size_t c = 0; c < n; ++c) {
+    std::vector<double> e(n, 0.0);
+    e[c] = 1.0;
+    std::vector<double> z(n, 0.0);
+    for (size_t ii = n; ii-- > 0;) {
+      double sum = e[ii];
+      for (size_t k = ii + 1; k < n; ++k) sum -= qr.r(ii, k) * z[k];
+      z[ii] = sum / qr.r(ii, ii);
+    }
+    for (size_t r = 0; r < n; ++r) rinv(r, c) = z[r];
+  }
+  // (X^T X)^{-1} = R^{-1} R^{-T}.
+  out.xtx_inverse = rinv * rinv.Transpose();
+  out.xtx_inverse_diagonal.assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    out.xtx_inverse_diagonal[i] = out.xtx_inverse(i, i);
+  }
+  return out;
+}
+
+}  // namespace mscm::stats

@@ -1,0 +1,46 @@
+// Linear solvers for the regression machinery.
+//
+// Least squares is solved through a Householder QR factorization with column
+// checks for rank deficiency; symmetric positive-definite systems (normal
+// equations, VIF computations) can also be solved by Cholesky. QR is the
+// default path in OLS because indicator-variable design matrices are often
+// poorly conditioned for the normal-equation route.
+
+#ifndef MSCM_STATS_LINALG_H_
+#define MSCM_STATS_LINALG_H_
+
+#include <optional>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace mscm::stats {
+
+// Solves A x = b for symmetric positive definite A via Cholesky.
+// Returns nullopt if A is not positive definite (within tolerance).
+std::optional<std::vector<double>> CholeskySolve(const Matrix& a,
+                                                 const std::vector<double>& b);
+
+// Inverse of a symmetric positive definite matrix, or nullopt.
+std::optional<Matrix> SpdInverse(const Matrix& a);
+
+struct LeastSquaresResult {
+  std::vector<double> coefficients;
+  // (X^T X)^{-1}: coefficient covariance structure — diagonal gives
+  // coefficient standard errors, the full matrix gives prediction intervals.
+  Matrix xtx_inverse;
+  // Diagonal of xtx_inverse (kept for convenience).
+  std::vector<double> xtx_inverse_diagonal;
+  // True if the design matrix was (numerically) rank deficient. Coefficients
+  // are still produced with tiny ridge regularization in that case.
+  bool rank_deficient = false;
+};
+
+// Minimizes ||X beta - y||_2 via Householder QR.
+// Requires X.rows() >= X.cols() >= 1 and y.size() == X.rows().
+LeastSquaresResult SolveLeastSquares(const Matrix& x,
+                                     const std::vector<double>& y);
+
+}  // namespace mscm::stats
+
+#endif  // MSCM_STATS_LINALG_H_

@@ -1,0 +1,111 @@
+#include "stats/matrix.h"
+
+#include <cmath>
+
+namespace mscm::stats {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    MSCM_CHECK_MSG(rows[r].size() == m.cols_, "ragged row data");
+    for (size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+std::vector<double> Matrix::Column(size_t c) const {
+  MSCM_CHECK(c < cols_);
+  std::vector<double> col(rows_);
+  for (size_t r = 0; r < rows_; ++r) col[r] = (*this)(r, c);
+  return col;
+}
+
+Matrix Matrix::WithoutColumn(size_t drop) const {
+  MSCM_CHECK(drop < cols_);
+  Matrix m(rows_, cols_ - 1);
+  for (size_t r = 0; r < rows_; ++r) {
+    size_t out = 0;
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c == drop) continue;
+      m(r, out++) = (*this)(r, c);
+    }
+  }
+  return m;
+}
+
+void Matrix::AppendColumn(const std::vector<double>& col) {
+  if (rows_ == 0 && cols_ == 0) {
+    rows_ = col.size();
+  }
+  MSCM_CHECK_MSG(col.size() == rows_, "column length mismatch");
+  std::vector<double> next(rows_ * (cols_ + 1));
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) next[r * (cols_ + 1) + c] = (*this)(r, c);
+    next[r * (cols_ + 1) + cols_] = col[r];
+  }
+  data_ = std::move(next);
+  ++cols_;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  MSCM_CHECK_MSG(a.cols_ == b.rows_, "matrix product shape mismatch");
+  Matrix out(a.rows_, b.cols_);
+  for (size_t i = 0; i < a.rows_; ++i) {
+    for (size_t k = 0; k < a.cols_; ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (size_t j = 0; j < b.cols_; ++j) out(i, j) += aik * b(k, j);
+    }
+  }
+  return out;
+}
+
+std::vector<double> operator*(const Matrix& a, const std::vector<double>& x) {
+  MSCM_CHECK_MSG(a.cols_ == x.size(), "matrix-vector shape mismatch");
+  std::vector<double> out(a.rows_, 0.0);
+  for (size_t i = 0; i < a.rows_; ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < a.cols_; ++j) acc += a(i, j) * x[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  MSCM_CHECK(a.rows_ == b.rows_ && a.cols_ == b.cols_);
+  Matrix out(a.rows_, a.cols_);
+  for (size_t i = 0; i < a.data_.size(); ++i) out.data_[i] = a.data_[i] + b.data_[i];
+  return out;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  MSCM_CHECK(a.rows_ == b.rows_ && a.cols_ == b.cols_);
+  Matrix out(a.rows_, a.cols_);
+  for (size_t i = 0; i < a.data_.size(); ++i) out.data_[i] = a.data_[i] - b.data_[i];
+  return out;
+}
+
+bool Matrix::AlmostEqual(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace mscm::stats

@@ -1,0 +1,73 @@
+// Dense double-precision matrix for the regression machinery.
+//
+// Deliberately small: the regression problems in this library are on the
+// order of a few hundred observations by a few dozen design columns, so a
+// straightforward row-major dense matrix with O(n^3) factorizations is both
+// adequate and easy to audit.
+
+#ifndef MSCM_STATS_MATRIX_H_
+#define MSCM_STATS_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mscm::stats {
+
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  // Builds a matrix from nested initializer data (row major).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  // Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    MSCM_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    MSCM_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  // Raw storage access (row major), used by the factorization routines.
+  const std::vector<double>& data() const { return data_; }
+
+  Matrix Transpose() const;
+
+  // Extracts column c as a vector.
+  std::vector<double> Column(size_t c) const;
+
+  // Returns a copy with the given column removed.
+  Matrix WithoutColumn(size_t c) const;
+
+  // Appends `col` as a new rightmost column; its size must equal rows().
+  void AppendColumn(const std::vector<double>& col);
+
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+  friend std::vector<double> operator*(const Matrix& a,
+                                       const std::vector<double>& x);
+  friend Matrix operator+(const Matrix& a, const Matrix& b);
+  friend Matrix operator-(const Matrix& a, const Matrix& b);
+
+  bool AlmostEqual(const Matrix& other, double tol = 1e-9) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace mscm::stats
+
+#endif  // MSCM_STATS_MATRIX_H_

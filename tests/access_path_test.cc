@@ -1,0 +1,135 @@
+#include "engine/access_path.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mscm::engine {
+namespace {
+
+class AccessPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(test::TinyDatabase(/*seed=*/5));
+  }
+  std::unique_ptr<Database> db_;
+  PlannerRules rules_;
+};
+
+TEST_F(AccessPathTest, ClusteredIndexPreferredWhenUsable) {
+  SelectQuery q;
+  q.table = "R1";
+  q.predicate.Add({0, CompareOp::kBetween, 0, 50});
+  const SelectPlan plan = ChooseSelectPlan(*db_, q, rules_);
+  EXPECT_EQ(plan.method, AccessMethod::kClusteredIndexScan);
+  EXPECT_EQ(plan.driving_condition, 0);
+}
+
+TEST_F(AccessPathTest, SelectiveNonClusteredIndexUsed) {
+  const Table* t = db_->FindTable("R1");
+  const auto& stats = t->column_stats(1);
+  const int64_t span = stats.max - stats.min + 1;
+  SelectQuery q;
+  q.table = "R1";
+  // ~2% selectivity on the non-clustered column a2.
+  q.predicate.Add({1, CompareOp::kBetween, stats.min,
+                   stats.min + span / 50});
+  const SelectPlan plan = ChooseSelectPlan(*db_, q, rules_);
+  EXPECT_EQ(plan.method, AccessMethod::kNonClusteredIndexScan);
+}
+
+TEST_F(AccessPathTest, UnselectiveIndexConditionFallsBackToSeqScan) {
+  const Table* t = db_->FindTable("R1");
+  const auto& stats = t->column_stats(1);
+  SelectQuery q;
+  q.table = "R1";
+  // ~80% selectivity: above the non-clustered limit.
+  q.predicate.Add({1, CompareOp::kBetween, stats.min,
+                   stats.min + (stats.max - stats.min) * 4 / 5});
+  const SelectPlan plan = ChooseSelectPlan(*db_, q, rules_);
+  EXPECT_EQ(plan.method, AccessMethod::kSequentialScan);
+}
+
+TEST_F(AccessPathTest, NoConditionMeansSeqScan) {
+  SelectQuery q;
+  q.table = "R2";
+  q.predicate.Add({4, CompareOp::kGt, 100, 0});  // non-indexed column
+  const SelectPlan plan = ChooseSelectPlan(*db_, q, rules_);
+  EXPECT_EQ(plan.method, AccessMethod::kSequentialScan);
+  EXPECT_EQ(plan.driving_condition, -1);
+}
+
+TEST_F(AccessPathTest, IndexNestedLoopWhenOuterSmallAndInnerIndexed) {
+  JoinQuery q;
+  q.left_table = "R1";
+  q.right_table = "R4";
+  q.left_column = 1;
+  q.right_column = 1;  // indexed on both sides
+  // Make the left side tiny.
+  const Table* left = db_->FindTable("R1");
+  const auto& stats = left->column_stats(4);
+  q.left_predicate.Add({4, CompareOp::kBetween, stats.min, stats.min + 10});
+  const JoinPlan plan = ChooseJoinPlan(*db_, q, rules_);
+  EXPECT_EQ(plan.method, JoinMethod::kIndexNestedLoop);
+  EXPECT_EQ(plan.outer_side, 0);
+}
+
+TEST_F(AccessPathTest, HashJoinForLargeUnindexedJoin) {
+  // Needs tables big enough that the qualified product exceeds the
+  // block-nested-loop cutoff.
+  const Database big = test::TinyDatabase(/*seed=*/6, /*num_tables=*/4,
+                                          /*scale=*/0.2);
+  JoinQuery q;
+  q.left_table = "R3";
+  q.right_table = "R4";
+  q.left_column = 4;
+  q.right_column = 4;  // unindexed join columns
+  rules_.prefer_hash_join = true;
+  const JoinPlan plan = ChooseJoinPlan(big, q, rules_);
+  EXPECT_EQ(plan.method, JoinMethod::kHashJoin);
+}
+
+TEST_F(AccessPathTest, SortMergePreferenceRespected) {
+  const Database big = test::TinyDatabase(/*seed=*/6, /*num_tables=*/4,
+                                          /*scale=*/0.2);
+  JoinQuery q;
+  q.left_table = "R3";
+  q.right_table = "R4";
+  q.left_column = 4;
+  q.right_column = 4;
+  rules_.prefer_hash_join = false;
+  const JoinPlan plan = ChooseJoinPlan(big, q, rules_);
+  EXPECT_EQ(plan.method, JoinMethod::kSortMerge);
+}
+
+TEST_F(AccessPathTest, TinyInputsUseBlockNestedLoop) {
+  JoinQuery q;
+  q.left_table = "R1";
+  q.right_table = "R2";
+  q.left_column = 4;
+  q.right_column = 4;
+  // Both sides filtered down hard.
+  const Table* l = db_->FindTable("R1");
+  const Table* r = db_->FindTable("R2");
+  q.left_predicate.Add({3, CompareOp::kBetween, l->column_stats(3).min,
+                        l->column_stats(3).min + 1});
+  q.right_predicate.Add({3, CompareOp::kBetween, r->column_stats(3).min,
+                         r->column_stats(3).min + 1});
+  const JoinPlan plan = ChooseJoinPlan(*db_, q, rules_);
+  EXPECT_EQ(plan.method, JoinMethod::kBlockNestedLoop);
+}
+
+TEST(AccessPathToStringTest, AllEnumeratorsNamed) {
+  EXPECT_STREQ(ToString(AccessMethod::kSequentialScan), "seq-scan");
+  EXPECT_STREQ(ToString(AccessMethod::kClusteredIndexScan),
+               "clustered-index-scan");
+  EXPECT_STREQ(ToString(AccessMethod::kNonClusteredIndexScan),
+               "nonclustered-index-scan");
+  EXPECT_STREQ(ToString(JoinMethod::kHashJoin), "hash-join");
+  EXPECT_STREQ(ToString(JoinMethod::kSortMerge), "sort-merge");
+  EXPECT_STREQ(ToString(JoinMethod::kIndexNestedLoop), "index-nested-loop");
+  EXPECT_STREQ(ToString(JoinMethod::kBlockNestedLoop), "block-nested-loop");
+}
+
+}  // namespace
+}  // namespace mscm::engine

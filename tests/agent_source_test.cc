@@ -1,0 +1,121 @@
+#include "core/agent_source.h"
+
+#include <gtest/gtest.h>
+
+#include "core/explanatory.h"
+#include "stats/descriptive.h"
+
+namespace mscm::core {
+namespace {
+
+mdbs::LocalDbsConfig SmallSite(uint64_t seed) {
+  mdbs::LocalDbsConfig config;
+  config.tables.num_tables = 4;
+  config.tables.scale = 0.05;
+  config.load.regime = sim::LoadRegime::kUniform;
+  config.load.min_processes = 5.0;
+  config.load.max_processes = 110.0;
+  config.seed = seed;
+  return config;
+}
+
+TEST(AgentSourceTest, DrawProducesCompleteObservations) {
+  mdbs::LocalDbs site(SmallSite(1));
+  AgentObservationSource source(&site, QueryClassId::kUnarySeqScan, 2);
+  for (int i = 0; i < 20; ++i) {
+    const Observation obs = source.Draw();
+    EXPECT_EQ(obs.features.size(),
+              VariableSet::ForClass(QueryClassId::kUnarySeqScan).size());
+    EXPECT_GT(obs.cost, 0.0);
+    EXPECT_GT(obs.probing_cost, 0.0);
+  }
+}
+
+TEST(AgentSourceTest, JoinClassObservationsHaveJoinFeatures) {
+  mdbs::LocalDbs site(SmallSite(3));
+  AgentObservationSource source(&site, QueryClassId::kJoinNoIndex, 4);
+  const Observation obs = source.Draw();
+  EXPECT_EQ(obs.features.size(),
+            VariableSet::ForClass(QueryClassId::kJoinNoIndex).size());
+}
+
+TEST(AgentSourceTest, DrawsSpanContentionRange) {
+  mdbs::LocalDbs site(SmallSite(5));
+  AgentObservationSource source(&site, QueryClassId::kUnarySeqScan, 6);
+  std::vector<double> probes;
+  for (int i = 0; i < 60; ++i) probes.push_back(source.Draw().probing_cost);
+  // The probe range should be wide (contention varies ~20x across draws).
+  EXPECT_GT(stats::Max(probes) / stats::Min(probes), 4.0);
+}
+
+TEST(AgentSourceTest, DrawInProbingRangeHitsRequestedSubrange) {
+  mdbs::LocalDbs site(SmallSite(7));
+  AgentObservationSource source(&site, QueryClassId::kUnarySeqScan, 8);
+  // Establish the empirical probe range first.
+  std::vector<double> probes;
+  for (int i = 0; i < 40; ++i) probes.push_back(source.Draw().probing_cost);
+  const double lo = stats::Quantile(probes, 0.3);
+  const double hi = stats::Quantile(probes, 0.7);
+  int hits = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto obs = source.DrawInProbingRange(lo, hi, 40);
+    if (obs.has_value()) {
+      EXPECT_GE(obs->probing_cost, lo);
+      EXPECT_LE(obs->probing_cost, hi);
+      ++hits;
+    }
+  }
+  EXPECT_GE(hits, 8);  // the mid-range must be reliably reachable
+}
+
+TEST(AgentSourceTest, DrawInProbingRangeUsesBisectionForNarrowBands) {
+  mdbs::LocalDbs site(SmallSite(9));
+  AgentObservationSource source(&site, QueryClassId::kUnarySeqScan, 10);
+  std::vector<double> probes;
+  for (int i = 0; i < 40; ++i) probes.push_back(source.Draw().probing_cost);
+  // A narrow band around the 60th percentile: rejection alone would often
+  // miss it, bisection should find it most of the time.
+  const double center = stats::Quantile(probes, 0.6);
+  const double lo = center * 0.85;
+  const double hi = center * 1.15;
+  int hits = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (source.DrawInProbingRange(lo, hi, 60).has_value()) ++hits;
+  }
+  EXPECT_GE(hits, 6);
+}
+
+TEST(AgentSourceTest, ImpossibleRangeReturnsNullopt) {
+  mdbs::LocalDbs site(SmallSite(11));
+  AgentObservationSource source(&site, QueryClassId::kUnarySeqScan, 12);
+  // No load level makes the probe cost a million seconds.
+  EXPECT_FALSE(source.DrawInProbingRange(1e6, 2e6, 10).has_value());
+}
+
+TEST(AgentSourceTest, DrawAtCurrentLoadDoesNotResample) {
+  mdbs::LocalDbs site(SmallSite(13));
+  AgentObservationSource source(&site, QueryClassId::kUnarySeqScan, 14);
+  site.SetLoadProcesses(30.0);
+  const Observation obs = source.DrawAtCurrentLoad();
+  // The load builder should still be near the pinned level (queries drift it
+  // only slightly).
+  EXPECT_NEAR(site.current_processes(), 30.0, 5.0);
+  EXPECT_GT(obs.cost, 0.0);
+}
+
+TEST(AgentSourceTest, DeterministicGivenSeeds) {
+  mdbs::LocalDbs site_a(SmallSite(15));
+  mdbs::LocalDbs site_b(SmallSite(15));
+  AgentObservationSource a(&site_a, QueryClassId::kUnarySeqScan, 16);
+  AgentObservationSource b(&site_b, QueryClassId::kUnarySeqScan, 16);
+  for (int i = 0; i < 5; ++i) {
+    const Observation oa = a.Draw();
+    const Observation ob = b.Draw();
+    EXPECT_DOUBLE_EQ(oa.cost, ob.cost);
+    EXPECT_DOUBLE_EQ(oa.probing_cost, ob.probing_cost);
+    EXPECT_EQ(oa.features, ob.features);
+  }
+}
+
+}  // namespace
+}  // namespace mscm::core

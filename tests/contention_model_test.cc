@@ -1,0 +1,98 @@
+#include "sim/contention_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mscm::sim {
+namespace {
+
+MachineLoad LoadFor(double processes) {
+  MachineLoad load;
+  load.num_processes = processes;
+  load.cpu_demand = processes * 0.22;
+  load.io_rate = processes * 5.5;
+  load.memory_mb = processes * 9.0;
+  return load;
+}
+
+TEST(ContentionModelTest, IdleMachineNearUnityFactors) {
+  const SlowdownFactors f =
+      ComputeSlowdown(LoadFor(0.0), PerformanceProfile::Alpha());
+  EXPECT_NEAR(f.cpu_factor, 1.0, 0.01);
+  EXPECT_NEAR(f.rand_io_factor, 1.0, 0.01);
+  EXPECT_NEAR(f.seq_io_factor, 1.0, 0.01);
+  EXPECT_NEAR(f.init_factor, 1.0, 0.01);
+  EXPECT_NEAR(f.buffer_hit, PerformanceProfile::Alpha().base_buffer_hit,
+              0.01);
+}
+
+TEST(ContentionModelTest, FactorsMonotoneInLoad) {
+  const PerformanceProfile profile = PerformanceProfile::Alpha();
+  double prev_cpu = 0.0;
+  double prev_io = 0.0;
+  double prev_hit = 1e9;
+  for (double p : {0.0, 20.0, 40.0, 60.0, 80.0, 100.0, 120.0}) {
+    const SlowdownFactors f = ComputeSlowdown(LoadFor(p), profile);
+    EXPECT_GE(f.cpu_factor, prev_cpu);
+    EXPECT_GE(f.rand_io_factor, prev_io);
+    EXPECT_LE(f.buffer_hit, prev_hit);
+    prev_cpu = f.cpu_factor;
+    prev_io = f.rand_io_factor;
+    prev_hit = f.buffer_hit;
+  }
+}
+
+TEST(ContentionModelTest, IoQueueingIsNonlinear) {
+  // Equal process increments must produce growing I/O-factor increments —
+  // the convexity that makes piecewise (multi-state) linear modelling win.
+  const PerformanceProfile profile = PerformanceProfile::Alpha();
+  const double f20 = ComputeSlowdown(LoadFor(20), profile).rand_io_factor;
+  const double f60 = ComputeSlowdown(LoadFor(60), profile).rand_io_factor;
+  const double f100 = ComputeSlowdown(LoadFor(100), profile).rand_io_factor;
+  EXPECT_GT(f100 - f60, f60 - f20);
+}
+
+TEST(ContentionModelTest, UtilizationCapKeepsFactorsFinite) {
+  // Both the utilization cap and the overcommit clamp must hold: even an
+  // absurd background load produces bounded slowdowns.
+  const SlowdownFactors f =
+      ComputeSlowdown(LoadFor(10000.0), PerformanceProfile::Alpha());
+  EXPECT_LT(f.rand_io_factor, 500.0);
+  EXPECT_TRUE(std::isfinite(f.cpu_factor));
+}
+
+TEST(ContentionModelTest, BufferHitFloor) {
+  const SlowdownFactors f =
+      ComputeSlowdown(LoadFor(10000.0), PerformanceProfile::Alpha());
+  EXPECT_GE(f.buffer_hit, 0.10);
+}
+
+TEST(ContentionModelTest, SequentialDegradesLessThanRandom) {
+  const SlowdownFactors f =
+      ComputeSlowdown(LoadFor(90.0), PerformanceProfile::Alpha());
+  EXPECT_LT(f.seq_io_factor, f.rand_io_factor);
+  EXPECT_GT(f.seq_io_factor, 1.0);
+}
+
+TEST(ContentionModelTest, ProfilesDifferInBuffering) {
+  const MachineLoad load = LoadFor(30.0);
+  const SlowdownFactors a =
+      ComputeSlowdown(load, PerformanceProfile::Alpha());
+  const SlowdownFactors b = ComputeSlowdown(load, PerformanceProfile::Beta());
+  EXPECT_NE(a.buffer_hit, b.buffer_hit);
+}
+
+TEST(ContentionModelTest, MoreCoresReduceCpuFactor) {
+  MachineSpec small;
+  small.cpu_cores = 1.0;
+  MachineSpec big;
+  big.cpu_cores = 8.0;
+  const MachineLoad load = LoadFor(40.0);
+  const PerformanceProfile profile = PerformanceProfile::Alpha();
+  EXPECT_GT(ComputeSlowdown(load, profile, small).cpu_factor,
+            ComputeSlowdown(load, profile, big).cpu_factor);
+}
+
+}  // namespace
+}  // namespace mscm::sim

@@ -1,0 +1,78 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mscm::stats {
+namespace {
+
+TEST(CorrelationTest, PerfectPositive) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, PerfectNegative) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, ShiftAndScaleInvariant) {
+  const std::vector<double> x = {1, 5, 2, 8, 3};
+  const std::vector<double> y = {2, 1, 4, 3, 5};
+  const double base = PearsonCorrelation(x, y);
+  std::vector<double> x2;
+  for (double v : x) x2.push_back(10.0 * v - 3.0);
+  EXPECT_NEAR(PearsonCorrelation(x2, y), base, 1e-12);
+}
+
+TEST(CorrelationTest, ConstantSeriesGivesZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({5, 5, 5}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2, 3}, {5, 5, 5}), 0.0);
+}
+
+TEST(CorrelationTest, TooFewPointsGivesZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({}, {}), 0.0);
+}
+
+TEST(CorrelationTest, KnownValue) {
+  // Hand-computed: x = {1,2,3}, y = {1,2,4} -> r = 3/sqrt(2*4.666...)
+  const double r = PearsonCorrelation({1, 2, 3}, {1, 2, 4});
+  EXPECT_NEAR(r, 3.0 / std::sqrt(2.0 * (14.0 / 3.0)), 1e-12);
+}
+
+TEST(CorrelationTest, IndependentSamplesNearZero) {
+  Rng rng(99);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.Gaussian());
+    y.push_back(rng.Gaussian());
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.0, 0.03);
+}
+
+TEST(CorrelationTest, Symmetric) {
+  const std::vector<double> x = {1, 4, 2, 7};
+  const std::vector<double> y = {3, 1, 5, 2};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), PearsonCorrelation(y, x));
+}
+
+TEST(CorrelationTest, BoundedByOne) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i < 10; ++i) {
+      x.push_back(rng.Uniform(-5, 5));
+      y.push_back(rng.Uniform(-5, 5));
+    }
+    const double r = PearsonCorrelation(x, y);
+    EXPECT_LE(r, 1.0 + 1e-12);
+    EXPECT_GE(r, -1.0 - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace mscm::stats

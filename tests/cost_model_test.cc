@@ -1,0 +1,144 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mscm::core {
+namespace {
+
+TEST(CostModelTest, RecoversPiecewiseCoefficientsExactly) {
+  // Two states with very different intercepts and slopes, no noise.
+  test::SyntheticGroundTruth truth;
+  truth.intercepts = {1.0, 10.0};
+  truth.slopes = {{0.5, 2.0}, {3.0, -1.0}};
+  Rng rng(1);
+  const ObservationSet obs = test::SyntheticObservations(truth, 200, rng);
+  const ContentionStates states =
+      ContentionStates::UniformPartition(0.0, 1.0, 2);
+  const CostModel model =
+      FitCostModel(QueryClassId::kUnarySeqScan, obs, {0, 1}, states,
+                   QualitativeForm::kGeneral);
+  EXPECT_NEAR(model.CoefficientFor(-1, 0), 1.0, 1e-8);
+  EXPECT_NEAR(model.CoefficientFor(-1, 1), 10.0, 1e-8);
+  EXPECT_NEAR(model.CoefficientFor(0, 0), 0.5, 1e-8);
+  EXPECT_NEAR(model.CoefficientFor(1, 0), 2.0, 1e-8);
+  EXPECT_NEAR(model.CoefficientFor(0, 1), 3.0, 1e-8);
+  EXPECT_NEAR(model.CoefficientFor(1, 1), -1.0, 1e-8);
+  EXPECT_NEAR(model.r_squared(), 1.0, 1e-10);
+}
+
+TEST(CostModelTest, EstimateUsesProbingCostToPickState) {
+  test::SyntheticGroundTruth truth;
+  truth.intercepts = {0.0, 100.0};
+  truth.slopes = {{1.0}, {1.0}};
+  Rng rng(2);
+  const ObservationSet obs = test::SyntheticObservations(truth, 120, rng);
+  const ContentionStates states =
+      ContentionStates::UniformPartition(0.0, 1.0, 2);
+  const CostModel model =
+      FitCostModel(QueryClassId::kUnarySeqScan, obs, {0}, states,
+                   QualitativeForm::kGeneral);
+  const std::vector<double> features = {5.0};
+  EXPECT_NEAR(model.Estimate(features, 0.1), 5.0, 0.1);
+  EXPECT_NEAR(model.Estimate(features, 0.9), 105.0, 0.1);
+}
+
+TEST(CostModelTest, EstimateClampsNegativePredictions) {
+  test::SyntheticGroundTruth truth;
+  truth.intercepts = {-50.0};
+  truth.slopes = {{1.0}};
+  Rng rng(3);
+  const ObservationSet obs = test::SyntheticObservations(truth, 60, rng);
+  const CostModel model =
+      FitCostModel(QueryClassId::kUnarySeqScan, obs, {0},
+                   ContentionStates::Single(), QualitativeForm::kGeneral);
+  EXPECT_DOUBLE_EQ(model.Estimate({0.0}, 0.5), 0.0);
+}
+
+TEST(CostModelTest, SingleStateEqualsPlainRegression) {
+  test::SyntheticGroundTruth truth;
+  truth.intercepts = {2.0};
+  truth.slopes = {{1.5, 0.5}};
+  truth.noise_stddev = 0.1;
+  Rng rng(4);
+  const ObservationSet obs = test::SyntheticObservations(truth, 150, rng);
+  const CostModel model =
+      FitCostModel(QueryClassId::kUnarySeqScan, obs, {0, 1},
+                   ContentionStates::Single(), QualitativeForm::kGeneral);
+  EXPECT_NEAR(model.CoefficientFor(-1, 0), 2.0, 0.15);
+  EXPECT_NEAR(model.CoefficientFor(0, 0), 1.5, 0.05);
+  EXPECT_NEAR(model.CoefficientFor(1, 0), 0.5, 0.05);
+}
+
+TEST(CostModelTest, MultiStateBeatsSingleStateOnPiecewiseData) {
+  test::SyntheticGroundTruth truth;
+  truth.intercepts = {1.0, 5.0, 20.0};
+  truth.slopes = {{0.2}, {1.0}, {4.0}};
+  truth.noise_stddev = 0.3;
+  Rng rng(5);
+  const ObservationSet obs = test::SyntheticObservations(truth, 400, rng);
+  const CostModel single =
+      FitCostModel(QueryClassId::kUnarySeqScan, obs, {0},
+                   ContentionStates::Single(), QualitativeForm::kGeneral);
+  const CostModel multi = FitCostModel(
+      QueryClassId::kUnarySeqScan, obs, {0},
+      ContentionStates::UniformPartition(0.0, 1.0, 3),
+      QualitativeForm::kGeneral);
+  EXPECT_GT(multi.r_squared(), single.r_squared() + 0.05);
+  EXPECT_LT(multi.standard_error(), single.standard_error());
+}
+
+TEST(CostModelTest, GeneralFormBeatsParallelWhenSlopesChange) {
+  // Slopes differ across states; intercept identical — parallel cannot fit.
+  test::SyntheticGroundTruth truth;
+  truth.intercepts = {1.0, 1.0};
+  truth.slopes = {{0.5}, {5.0}};
+  truth.noise_stddev = 0.1;
+  Rng rng(6);
+  const ObservationSet obs = test::SyntheticObservations(truth, 300, rng);
+  const ContentionStates states =
+      ContentionStates::UniformPartition(0.0, 1.0, 2);
+  const CostModel parallel =
+      FitCostModel(QueryClassId::kUnarySeqScan, obs, {0}, states,
+                   QualitativeForm::kParallel);
+  const CostModel general =
+      FitCostModel(QueryClassId::kUnarySeqScan, obs, {0}, states,
+                   QualitativeForm::kGeneral);
+  EXPECT_GT(general.r_squared(), parallel.r_squared() + 0.01);
+}
+
+TEST(CostModelTest, FTestSignificantOnRealRelationship) {
+  test::SyntheticGroundTruth truth;
+  truth.intercepts = {1.0, 3.0};
+  truth.slopes = {{2.0}, {4.0}};
+  truth.noise_stddev = 0.5;
+  Rng rng(7);
+  const ObservationSet obs = test::SyntheticObservations(truth, 200, rng);
+  const CostModel model = FitCostModel(
+      QueryClassId::kUnarySeqScan, obs, {0},
+      ContentionStates::UniformPartition(0.0, 1.0, 2),
+      QualitativeForm::kGeneral);
+  EXPECT_LT(model.f_pvalue(), 0.01);  // significance level in the paper
+}
+
+TEST(CostModelTest, ToStringShowsPerStateEquations) {
+  test::SyntheticGroundTruth truth;
+  truth.intercepts = {1.0, 2.0};
+  truth.slopes = {{1.0, 1.0, 1.0}, {2.0, 2.0, 2.0}};
+  Rng rng(8);
+  const ObservationSet obs = test::SyntheticObservations(truth, 150, rng);
+  const CostModel model = FitCostModel(
+      QueryClassId::kUnarySeqScan, obs, {0, 1, 2},
+      ContentionStates::UniformPartition(0.0, 1.0, 2),
+      QualitativeForm::kGeneral);
+  const std::string s =
+      model.ToString(VariableSet::ForClass(QueryClassId::kUnarySeqScan));
+  EXPECT_NE(s.find("state 0"), std::string::npos);
+  EXPECT_NE(s.find("state 1"), std::string::npos);
+  EXPECT_NE(s.find("N_t"), std::string::npos);
+  EXPECT_NE(s.find("R^2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mscm::core

@@ -1,0 +1,121 @@
+#include "sim/cost_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace mscm::sim {
+namespace {
+
+engine::WorkCounters SomeWork() {
+  engine::WorkCounters w;
+  w.sequential_pages = 100;
+  w.random_pages = 50;
+  w.tuples_read = 10000;
+  w.predicate_evals = 10000;
+  w.result_tuples = 500;
+  w.result_bytes = 20000;
+  return w;
+}
+
+SlowdownFactors Idle(const PerformanceProfile& p) {
+  SlowdownFactors f;
+  f.buffer_hit = p.base_buffer_hit;
+  return f;
+}
+
+TEST(CostSimulatorTest, NoiselessCostMatchesHandComputation) {
+  PerformanceProfile p;
+  p.init_seconds = 0.01;
+  p.seq_page_seconds = 0.001;
+  p.rand_page_seconds = 0.01;
+  p.tuple_cpu_seconds = 1e-6;
+  p.pred_eval_seconds = 1e-6;
+  p.compare_seconds = 0;
+  p.hash_seconds = 0;
+  p.result_tuple_seconds = 1e-6;
+  p.result_byte_seconds = 0;
+  p.base_buffer_hit = 0.5;
+
+  SlowdownFactors f;
+  f.buffer_hit = 0.5;
+
+  engine::WorkCounters w;
+  w.init_ops = 1;
+  w.sequential_pages = 100;
+  w.random_pages = 40;  // 20 misses at 0.5 hit rate
+  w.tuples_read = 1000;
+  w.predicate_evals = 2000;
+  w.result_tuples = 100;
+
+  const double expected = 0.01 + 100 * 0.001 + 20 * 0.01 +
+                          (1000 + 2000 + 100) * 1e-6;
+  EXPECT_NEAR(NoiselessElapsedSeconds(w, f, p), expected, 1e-12);
+}
+
+TEST(CostSimulatorTest, CostGrowsWithEachSlowdownFactor) {
+  const PerformanceProfile p = PerformanceProfile::Alpha();
+  const engine::WorkCounters w = SomeWork();
+  const double base = NoiselessElapsedSeconds(w, Idle(p), p);
+
+  SlowdownFactors cpu = Idle(p);
+  cpu.cpu_factor = 3.0;
+  EXPECT_GT(NoiselessElapsedSeconds(w, cpu, p), base);
+
+  SlowdownFactors io = Idle(p);
+  io.rand_io_factor = 3.0;
+  EXPECT_GT(NoiselessElapsedSeconds(w, io, p), base);
+
+  SlowdownFactors seq = Idle(p);
+  seq.seq_io_factor = 3.0;
+  EXPECT_GT(NoiselessElapsedSeconds(w, seq, p), base);
+
+  SlowdownFactors init = Idle(p);
+  init.init_factor = 3.0;
+  EXPECT_GT(NoiselessElapsedSeconds(w, init, p), base);
+}
+
+TEST(CostSimulatorTest, BetterBufferHitReducesCost) {
+  const PerformanceProfile p = PerformanceProfile::Alpha();
+  const engine::WorkCounters w = SomeWork();
+  SlowdownFactors low = Idle(p);
+  low.buffer_hit = 0.1;
+  SlowdownFactors high = Idle(p);
+  high.buffer_hit = 0.9;
+  EXPECT_GT(NoiselessElapsedSeconds(w, low, p),
+            NoiselessElapsedSeconds(w, high, p));
+}
+
+TEST(CostSimulatorTest, NoiseIsMeanPreservingAndBounded) {
+  const PerformanceProfile p = PerformanceProfile::Alpha();
+  const engine::WorkCounters w = SomeWork();
+  const SlowdownFactors f = Idle(p);
+  const double base = NoiselessElapsedSeconds(w, f, p);
+  Rng rng(77);
+  std::vector<double> costs;
+  for (int i = 0; i < 20000; ++i) {
+    costs.push_back(SimulateElapsedSeconds(w, f, p, rng));
+  }
+  EXPECT_NEAR(stats::Mean(costs), base, base * 0.01);
+  // cv ~6%: observed relative spread should be close.
+  EXPECT_NEAR(stats::StdDev(costs) / base, p.noise_cv, 0.01);
+  for (double c : costs) EXPECT_GT(c, 0.0);
+}
+
+TEST(CostSimulatorTest, ZeroWorkCostsOnlyInit) {
+  const PerformanceProfile p = PerformanceProfile::Alpha();
+  engine::WorkCounters w;  // init_ops = 1 by default
+  const double c = NoiselessElapsedSeconds(w, Idle(p), p);
+  EXPECT_NEAR(c, p.init_seconds, 1e-12);
+}
+
+TEST(CostSimulatorTest, ProfilesProduceDifferentCosts) {
+  const engine::WorkCounters w = SomeWork();
+  const PerformanceProfile a = PerformanceProfile::Alpha();
+  const PerformanceProfile b = PerformanceProfile::Beta();
+  EXPECT_NE(NoiselessElapsedSeconds(w, Idle(a), a),
+            NoiselessElapsedSeconds(w, Idle(b), b));
+}
+
+}  // namespace
+}  // namespace mscm::sim

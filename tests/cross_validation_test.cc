@@ -1,0 +1,76 @@
+#include "core/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mscm::core {
+namespace {
+
+constexpr QueryClassId kCls = QueryClassId::kUnarySeqScan;
+
+ObservationSet PiecewiseData(size_t n, double noise, uint64_t seed) {
+  test::SyntheticGroundTruth truth;
+  truth.intercepts = {1.0, 8.0};
+  truth.slopes = {{0.5, 0.2}, {3.0, 1.0}};
+  truth.noise_stddev = noise;
+  Rng rng(seed);
+  return test::SyntheticObservations(truth, n, rng);
+}
+
+TEST(CrossValidationTest, CleanDataScoresNearPerfect) {
+  const ObservationSet obs = PiecewiseData(300, 0.0, 1);
+  Rng rng(2);
+  const CrossValidationReport report = CrossValidate(
+      kCls, obs, {0, 1}, ContentionStates::UniformPartition(0.0, 1.0, 2),
+      QualitativeForm::kGeneral, 5, rng);
+  EXPECT_EQ(report.folds, 5);
+  EXPECT_NEAR(report.pct_good, 1.0, 0.02);
+  EXPECT_NEAR(report.mean_rmse, 0.0, 1e-6);
+}
+
+TEST(CrossValidationTest, CorrectStatesBeatWrongStates) {
+  const ObservationSet obs = PiecewiseData(400, 0.3, 3);
+  Rng rng_a(4);
+  const CrossValidationReport right = CrossValidate(
+      kCls, obs, {0, 1}, ContentionStates::UniformPartition(0.0, 1.0, 2),
+      QualitativeForm::kGeneral, 5, rng_a);
+  Rng rng_b(4);
+  const CrossValidationReport wrong = CrossValidate(
+      kCls, obs, {0, 1}, ContentionStates::Single(),
+      QualitativeForm::kGeneral, 5, rng_b);
+  EXPECT_LT(right.mean_rmse, wrong.mean_rmse);
+  EXPECT_GT(right.pct_good, wrong.pct_good);
+}
+
+TEST(CrossValidationTest, DetectsOverfitExtraStates) {
+  // Ground truth has 2 regimes; an 8-state model fits noise in-sample but
+  // cross-validation should show no real generalization gain over 2 states.
+  const ObservationSet obs = PiecewiseData(240, 0.5, 5);
+  Rng rng_a(6);
+  const CrossValidationReport two = CrossValidate(
+      kCls, obs, {0, 1}, ContentionStates::UniformPartition(0.0, 1.0, 2),
+      QualitativeForm::kGeneral, 4, rng_a);
+  Rng rng_b(6);
+  const CrossValidationReport eight = CrossValidate(
+      kCls, obs, {0, 1}, ContentionStates::UniformPartition(0.0, 1.0, 8),
+      QualitativeForm::kGeneral, 4, rng_b);
+  // The eight-state model cannot be meaningfully better out of sample.
+  EXPECT_LT(two.mean_rmse, eight.mean_rmse * 1.25);
+}
+
+TEST(CrossValidationTest, AveragesAreWithinBands) {
+  const ObservationSet obs = PiecewiseData(300, 0.4, 7);
+  Rng rng(8);
+  const CrossValidationReport report = CrossValidate(
+      kCls, obs, {0, 1}, ContentionStates::UniformPartition(0.0, 1.0, 2),
+      QualitativeForm::kGeneral, 3, rng);
+  EXPECT_GE(report.pct_very_good, 0.0);
+  EXPECT_LE(report.pct_very_good, 1.0);
+  EXPECT_GE(report.pct_good, report.pct_very_good);
+  EXPECT_LE(report.pct_good, 1.0);
+  EXPECT_GT(report.mean_rmse, 0.0);
+}
+
+}  // namespace
+}  // namespace mscm::core

@@ -1,0 +1,90 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+namespace mscm::stats {
+namespace {
+
+TEST(DescriptiveTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({7}), 7.0);
+}
+
+TEST(DescriptiveTest, VarianceSampleFormula) {
+  // Sample variance of {2, 4, 4, 4, 5, 5, 7, 9} is 32/7.
+  EXPECT_NEAR(Variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Variance({5}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+}
+
+TEST(DescriptiveTest, StdDevIsSqrtVariance) {
+  const std::vector<double> xs = {1, 3, 5, 9};
+  EXPECT_NEAR(StdDev(xs) * StdDev(xs), Variance(xs), 1e-12);
+}
+
+TEST(DescriptiveTest, MinMax) {
+  const std::vector<double> xs = {3, -1, 7, 2};
+  EXPECT_DOUBLE_EQ(Min(xs), -1);
+  EXPECT_DOUBLE_EQ(Max(xs), 7);
+}
+
+TEST(DescriptiveTest, QuantileEndpointsAndMedian) {
+  const std::vector<double> xs = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 10);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 50);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 30);
+  EXPECT_DOUBLE_EQ(Median(xs), 30);
+}
+
+TEST(DescriptiveTest, QuantileInterpolates) {
+  const std::vector<double> xs = {0, 10};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 2.5);
+}
+
+TEST(DescriptiveTest, MedianEvenCount) {
+  EXPECT_DOUBLE_EQ(Median({1, 2, 3, 4}), 2.5);
+}
+
+TEST(DescriptiveTest, SummarizeConsistent) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const Summary s = Summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(HistogramTest, CountsLandInCorrectBins) {
+  const Histogram h = BuildHistogram({0.5, 1.5, 1.6, 2.5}, 0.0, 3.0, 3);
+  ASSERT_EQ(h.counts.size(), 3u);
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 2u);
+  EXPECT_EQ(h.counts[2], 1u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  const Histogram h = BuildHistogram({-5.0, 99.0}, 0.0, 10.0, 5);
+  EXPECT_EQ(h.counts.front(), 1u);
+  EXPECT_EQ(h.counts.back(), 1u);
+}
+
+TEST(HistogramTest, BinGeometry) {
+  const Histogram h = BuildHistogram({1.0}, 0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.BinWidth(), 2.0);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.BinCenter(4), 9.0);
+}
+
+TEST(HistogramTest, TotalCountPreserved) {
+  std::vector<double> xs;
+  for (int i = 0; i < 57; ++i) xs.push_back(i * 0.173);
+  const Histogram h = BuildHistogram(xs, 0.0, 10.0, 7);
+  size_t total = 0;
+  for (size_t c : h.counts) total += c;
+  EXPECT_EQ(total, xs.size());
+}
+
+}  // namespace
+}  // namespace mscm::stats

@@ -1,0 +1,121 @@
+#include "stats/diagnostics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mscm::stats {
+namespace {
+
+OlsResult FitLine(const std::vector<double>& x, const std::vector<double>& y) {
+  Matrix design(x.size(), 2);
+  for (size_t i = 0; i < x.size(); ++i) {
+    design(i, 0) = 1.0;
+    design(i, 1) = x[i];
+  }
+  return FitOls(design, y);
+}
+
+TEST(StandardizedResidualsTest, UnitScaleUnderOwnSee) {
+  Rng rng(1);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(rng.Uniform(0, 10));
+    y.push_back(1.0 + 2.0 * x.back() + rng.Gaussian(0, 1.5));
+  }
+  const OlsResult fit = FitLine(x, y);
+  const std::vector<double> z = StandardizedResiduals(fit);
+  ASSERT_EQ(z.size(), x.size());
+  double ss = 0.0;
+  for (double v : z) ss += v * v;
+  // Sum of squared standardized residuals ~ n - p.
+  EXPECT_NEAR(ss, static_cast<double>(x.size() - 2), 1.0);
+}
+
+TEST(FlagOutliersTest, DetectsInjectedOutlier) {
+  Rng rng(2);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(rng.Uniform(0, 10));
+    y.push_back(3.0 * x.back() + rng.Gaussian(0, 0.5));
+  }
+  y[37] += 25.0;  // gross outlier
+  const OlsResult fit = FitLine(x, y);
+  const auto flagged = FlagOutliers(StandardizedResiduals(fit));
+  ASSERT_FALSE(flagged.empty());
+  EXPECT_EQ(flagged.front(), 37u);
+}
+
+TEST(FlagOutliersTest, CleanDataBarelyFlags) {
+  Rng rng(3);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    x.push_back(rng.Uniform(0, 10));
+    y.push_back(x.back() + rng.Gaussian(0, 1.0));
+  }
+  const OlsResult fit = FitLine(x, y);
+  // P(|z| > 3) ~ 0.0027; expect at most a couple of flags in 300.
+  EXPECT_LE(FlagOutliers(StandardizedResiduals(fit)).size(), 3u);
+}
+
+TEST(DurbinWatsonTest, UncorrelatedResidualsNearTwo) {
+  Rng rng(4);
+  std::vector<double> r;
+  for (int i = 0; i < 5000; ++i) r.push_back(rng.Gaussian());
+  EXPECT_NEAR(DurbinWatson(r), 2.0, 0.1);
+}
+
+TEST(DurbinWatsonTest, PositiveAutocorrelationLowersStatistic) {
+  Rng rng(5);
+  std::vector<double> r;
+  double prev = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    prev = 0.9 * prev + rng.Gaussian(0, 0.3);
+    r.push_back(prev);
+  }
+  EXPECT_LT(DurbinWatson(r), 0.6);
+}
+
+TEST(DurbinWatsonTest, AlternatingResidualsRaiseStatistic) {
+  std::vector<double> r;
+  for (int i = 0; i < 100; ++i) r.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_GT(DurbinWatson(r), 3.5);
+}
+
+TEST(DurbinWatsonTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(DurbinWatson({}), 2.0);
+  EXPECT_DOUBLE_EQ(DurbinWatson({1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(DurbinWatson({0.0, 0.0, 0.0}), 2.0);
+}
+
+TEST(NormalityTest, GaussianSamplePasses) {
+  Rng rng(6);
+  std::vector<double> r;
+  for (int i = 0; i < 2000; ++i) r.push_back(rng.Gaussian(0, 2.0));
+  const NormalityReport report = TestNormality(r);
+  EXPECT_NEAR(report.skewness, 0.0, 0.15);
+  EXPECT_NEAR(report.excess_kurtosis, 0.0, 0.3);
+  EXPECT_GT(report.p_value, 0.01);
+}
+
+TEST(NormalityTest, ExponentialSampleFails) {
+  Rng rng(7);
+  std::vector<double> r;
+  for (int i = 0; i < 2000; ++i) r.push_back(rng.Exponential(1.0));
+  const NormalityReport report = TestNormality(r);
+  EXPECT_GT(report.skewness, 1.0);  // exponential skewness = 2
+  EXPECT_LT(report.p_value, 1e-6);
+}
+
+TEST(NormalityTest, TinySampleIsNeutral) {
+  const NormalityReport report = TestNormality({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(report.p_value, 1.0);
+}
+
+}  // namespace
+}  // namespace mscm::stats

@@ -1,0 +1,216 @@
+#include "engine/executor.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace mscm::engine {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(test::TinyDatabase(/*seed=*/11));
+    executor_ = std::make_unique<Executor>(db_.get());
+  }
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Executor> executor_;
+  PlannerRules rules_;
+};
+
+TEST_F(ExecutorTest, SeqScanResultMatchesNaiveCount) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    SelectQuery q;
+    q.table = "R2";
+    const Table* t = db_->FindTable("R2");
+    const int col = static_cast<int>(
+        rng.UniformInt(3, static_cast<int64_t>(t->schema().num_columns()) - 1));
+    const auto& s = t->column_stats(static_cast<size_t>(col));
+    const int64_t lo = rng.UniformInt(s.min, s.max);
+    q.predicate.Add({col, CompareOp::kBetween, lo,
+                     lo + rng.UniformInt(0, s.max - lo)});
+    const SelectPlan plan = ChooseSelectPlan(*db_, q, rules_);
+    const SelectExecution exec = executor_->ExecuteSelect(q, plan);
+    EXPECT_EQ(exec.result_rows, executor_->NaiveSelectCount(q));
+  }
+}
+
+TEST_F(ExecutorTest, ClusteredScanResultMatchesNaiveCount) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    SelectQuery q;
+    q.table = "R1";
+    const Table* t = db_->FindTable("R1");
+    const auto& s = t->column_stats(0);
+    const int64_t lo = rng.UniformInt(s.min, s.max);
+    q.predicate.Add({0, CompareOp::kBetween, lo,
+                     lo + rng.UniformInt(0, s.max - lo)});
+    // Extra residual condition half the time.
+    if (trial % 2 == 0) {
+      q.predicate.Add({3, CompareOp::kLe, t->column_stats(3).max / 2, 0});
+    }
+    const SelectPlan plan = ChooseSelectPlan(*db_, q, rules_);
+    ASSERT_EQ(plan.method, AccessMethod::kClusteredIndexScan);
+    const SelectExecution exec = executor_->ExecuteSelect(q, plan);
+    EXPECT_EQ(exec.result_rows, executor_->NaiveSelectCount(q));
+    // Intermediate rows is what the index delivered; result can't exceed it.
+    EXPECT_GE(exec.intermediate_rows, exec.result_rows);
+  }
+}
+
+TEST_F(ExecutorTest, NonClusteredScanResultMatchesNaiveCount) {
+  const Table* t = db_->FindTable("R3");
+  const auto& s = t->column_stats(1);
+  SelectQuery q;
+  q.table = "R3";
+  const int64_t span = s.max - s.min + 1;
+  q.predicate.Add({1, CompareOp::kBetween, s.min, s.min + span / 60});
+  const SelectPlan plan = ChooseSelectPlan(*db_, q, rules_);
+  ASSERT_EQ(plan.method, AccessMethod::kNonClusteredIndexScan);
+  const SelectExecution exec = executor_->ExecuteSelect(q, plan);
+  EXPECT_EQ(exec.result_rows, executor_->NaiveSelectCount(q));
+  // Non-clustered scans pay one random I/O per *distinct* heap page touched:
+  // bounded above by the fetched-tuple count and below by the minimum pages
+  // that could hold them, and actually counted from the row placement.
+  EXPECT_LE(exec.work.random_pages,
+            static_cast<double>(exec.intermediate_rows));
+  EXPECT_GE(exec.work.random_pages,
+            std::ceil(static_cast<double>(exec.intermediate_rows) /
+                      static_cast<double>(t->RowsPerPage())));
+  std::unordered_set<size_t> pages;
+  const auto& idx_cond = q.predicate.conditions()[0];
+  for (size_t i = 0; i < t->num_rows(); ++i) {
+    if (idx_cond.Matches(t->row(i))) pages.insert(t->PageOfRow(i));
+  }
+  EXPECT_DOUBLE_EQ(exec.work.random_pages,
+                   static_cast<double>(pages.size()));
+}
+
+TEST_F(ExecutorTest, SeqScanWorkCountersMatchTableGeometry) {
+  SelectQuery q;
+  q.table = "R2";
+  q.predicate.Add({3, CompareOp::kGe, 0, 0});
+  const SelectExecution exec = executor_->ExecuteSelect(
+      q, SelectPlan{AccessMethod::kSequentialScan, -1});
+  const Table* t = db_->FindTable("R2");
+  EXPECT_DOUBLE_EQ(exec.work.sequential_pages,
+                   static_cast<double>(t->NumPages()));
+  EXPECT_DOUBLE_EQ(exec.work.tuples_read,
+                   static_cast<double>(t->num_rows()));
+  EXPECT_EQ(exec.operand_rows, t->num_rows());
+}
+
+TEST_F(ExecutorTest, ProjectionControlsResultBytes) {
+  SelectQuery narrow;
+  narrow.table = "R2";
+  narrow.projection = {0};
+  SelectQuery wide;
+  wide.table = "R2";
+  const SelectPlan plan{AccessMethod::kSequentialScan, -1};
+  const SelectExecution e_narrow = executor_->ExecuteSelect(narrow, plan);
+  const SelectExecution e_wide = executor_->ExecuteSelect(wide, plan);
+  EXPECT_LT(e_narrow.result_tuple_bytes, e_wide.result_tuple_bytes);
+  EXPECT_EQ(e_narrow.result_rows, e_wide.result_rows);
+  EXPECT_LT(e_narrow.work.result_bytes, e_wide.work.result_bytes);
+}
+
+TEST_F(ExecutorTest, JoinResultMatchesNaiveForAllMethods) {
+  JoinQuery q;
+  q.left_table = "R1";
+  q.right_table = "R2";
+  q.left_column = 4;
+  q.right_column = 4;
+  const Table* l = db_->FindTable("R1");
+  const Table* r = db_->FindTable("R2");
+  q.left_predicate.Add(
+      {3, CompareOp::kLe, l->column_stats(3).max / 2, 0});
+  q.right_predicate.Add(
+      {3, CompareOp::kLe, r->column_stats(3).max / 3, 0});
+
+  const size_t naive = executor_->NaiveJoinCount(q);
+  for (JoinMethod m : {JoinMethod::kBlockNestedLoop, JoinMethod::kSortMerge,
+                       JoinMethod::kHashJoin}) {
+    const JoinExecution exec = executor_->ExecuteJoin(q, JoinPlan{m, 0});
+    EXPECT_EQ(exec.result_rows, naive) << ToString(m);
+  }
+}
+
+TEST_F(ExecutorTest, IndexNestedLoopJoinMatchesNaive) {
+  JoinQuery q;
+  q.left_table = "R1";
+  q.right_table = "R3";
+  q.left_column = 1;
+  q.right_column = 1;  // right side has a non-clustered index on column 1
+  const Table* l = db_->FindTable("R1");
+  q.left_predicate.Add({3, CompareOp::kLe, l->column_stats(3).min + 5, 0});
+  const JoinExecution exec =
+      executor_->ExecuteJoin(q, JoinPlan{JoinMethod::kIndexNestedLoop, 0});
+  EXPECT_EQ(exec.result_rows, executor_->NaiveJoinCount(q));
+}
+
+TEST_F(ExecutorTest, JoinQualifiedCountsAreFilterCounts) {
+  JoinQuery q;
+  q.left_table = "R1";
+  q.right_table = "R2";
+  q.left_column = 4;
+  q.right_column = 4;
+  const Table* l = db_->FindTable("R1");
+  q.left_predicate.Add({3, CompareOp::kLe, l->column_stats(3).max / 2, 0});
+  const JoinExecution exec =
+      executor_->ExecuteJoin(q, JoinPlan{JoinMethod::kHashJoin, 0});
+  size_t expected_left = 0;
+  for (const Row& row : l->rows()) {
+    if (q.left_predicate.Matches(row)) ++expected_left;
+  }
+  EXPECT_EQ(exec.left_qualified, expected_left);
+  EXPECT_EQ(exec.right_qualified, db_->FindTable("R2")->num_rows());
+}
+
+TEST_F(ExecutorTest, BlockNestedLoopChargesQuadraticCompares) {
+  JoinQuery q;
+  q.left_table = "R1";
+  q.right_table = "R2";
+  q.left_column = 4;
+  q.right_column = 4;
+  const JoinExecution exec =
+      executor_->ExecuteJoin(q, JoinPlan{JoinMethod::kBlockNestedLoop, 0});
+  EXPECT_DOUBLE_EQ(exec.work.compare_ops,
+                   static_cast<double>(exec.left_qualified) *
+                       static_cast<double>(exec.right_qualified));
+}
+
+TEST_F(ExecutorTest, HashJoinChargesLinearHashOps) {
+  JoinQuery q;
+  q.left_table = "R1";
+  q.right_table = "R2";
+  q.left_column = 4;
+  q.right_column = 4;
+  const JoinExecution exec =
+      executor_->ExecuteJoin(q, JoinPlan{JoinMethod::kHashJoin, 0});
+  EXPECT_DOUBLE_EQ(exec.work.hash_ops,
+                   static_cast<double>(exec.left_qualified) +
+                       static_cast<double>(exec.right_qualified));
+  EXPECT_DOUBLE_EQ(exec.work.compare_ops, 0.0);
+}
+
+TEST_F(ExecutorTest, EmptyResultJoin) {
+  JoinQuery q;
+  q.left_table = "R1";
+  q.right_table = "R2";
+  q.left_column = 4;
+  q.right_column = 4;
+  // Impossible predicate on the left side.
+  q.left_predicate.Add({3, CompareOp::kLt, -1000, 0});
+  const JoinExecution exec =
+      executor_->ExecuteJoin(q, JoinPlan{JoinMethod::kHashJoin, 0});
+  EXPECT_EQ(exec.result_rows, 0u);
+  EXPECT_EQ(exec.left_qualified, 0u);
+}
+
+}  // namespace
+}  // namespace mscm::engine

@@ -1,0 +1,80 @@
+#include "engine/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mscm::engine {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(test::TinyDatabase(/*seed=*/51));
+  }
+  std::unique_ptr<Database> db_;
+  PlannerRules rules_;
+};
+
+TEST_F(ExplainTest, SeqScanExplanation) {
+  SelectQuery q;
+  q.table = "R2";
+  q.predicate.Add({4, CompareOp::kGt, 100, 0});
+  const std::string s = ExplainSelect(*db_, q, rules_);
+  EXPECT_NE(s.find("seq-scan"), std::string::npos);
+  EXPECT_NE(s.find("estimated:"), std::string::npos);
+  EXPECT_NE(s.find("R2"), std::string::npos);
+}
+
+TEST_F(ExplainTest, IndexScanNamesDrivingColumn) {
+  const Table* t = db_->FindTable("R1");
+  const auto& s1 = t->column_stats(1);
+  SelectQuery q;
+  q.table = "R1";
+  q.predicate.Add({1, CompareOp::kBetween, s1.min,
+                   s1.min + (s1.max - s1.min) / 60});
+  const std::string s = ExplainSelect(*db_, q, rules_);
+  EXPECT_NE(s.find("nonclustered-index-scan"), std::string::npos);
+  EXPECT_NE(s.find("on a2"), std::string::npos);
+  EXPECT_NE(s.find("driving selectivity"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ClusteredScanExplanation) {
+  SelectQuery q;
+  q.table = "R1";
+  q.predicate.Add({0, CompareOp::kBetween, 0, 50});
+  const std::string s = ExplainSelect(*db_, q, rules_);
+  EXPECT_NE(s.find("clustered-index-scan"), std::string::npos);
+}
+
+TEST_F(ExplainTest, JoinExplanationListsMethodAndFilters) {
+  JoinQuery q;
+  q.left_table = "R3";
+  q.right_table = "R4";
+  q.left_column = 4;
+  q.right_column = 4;
+  q.left_predicate.Add({3, CompareOp::kLe,
+                        db_->FindTable("R3")->column_stats(3).max / 2, 0});
+  const std::string s = ExplainJoin(*db_, q, rules_);
+  EXPECT_NE(s.find("join"), std::string::npos);
+  EXPECT_NE(s.find("filter R3"), std::string::npos);
+  EXPECT_NE(s.find("filter R4"), std::string::npos);
+  EXPECT_NE(s.find("qualify of"), std::string::npos);
+  EXPECT_NE(s.find("outer ="), std::string::npos);
+}
+
+TEST_F(ExplainTest, JoinExplanationShowsChosenMethod) {
+  JoinQuery q;
+  q.left_table = "R1";
+  q.right_table = "R4";
+  q.left_column = 1;
+  q.right_column = 1;
+  const Table* l = db_->FindTable("R1");
+  q.left_predicate.Add({4, CompareOp::kBetween, l->column_stats(4).min,
+                        l->column_stats(4).min + 10});
+  const std::string s = ExplainJoin(*db_, q, rules_);
+  EXPECT_NE(s.find("index-nested-loop"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mscm::engine

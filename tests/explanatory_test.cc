@@ -1,0 +1,89 @@
+#include "core/explanatory.h"
+
+#include <gtest/gtest.h>
+
+namespace mscm::core {
+namespace {
+
+TEST(VariableSetTest, UnaryClassHasPaperVariables) {
+  const VariableSet v = VariableSet::ForClass(QueryClassId::kUnarySeqScan);
+  EXPECT_EQ(v.size(), 7u);
+  EXPECT_EQ(v.BasicIndices().size(), 3u);
+  EXPECT_EQ(v.SecondaryIndices().size(), 4u);
+}
+
+TEST(VariableSetTest, JoinClassHasPaperVariables) {
+  const VariableSet v = VariableSet::ForClass(QueryClassId::kJoinNoIndex);
+  EXPECT_EQ(v.size(), 12u);
+  EXPECT_EQ(v.BasicIndices().size(), 6u);
+  EXPECT_EQ(v.SecondaryIndices().size(), 6u);
+}
+
+TEST(VariableSetTest, BasicAndSecondaryPartitionAllVariables) {
+  for (QueryClassId id : {QueryClassId::kUnarySeqScan,
+                          QueryClassId::kUnaryNonClusteredIndex,
+                          QueryClassId::kJoinNoIndex}) {
+    const VariableSet v = VariableSet::ForClass(id);
+    EXPECT_EQ(v.BasicIndices().size() + v.SecondaryIndices().size(),
+              v.size());
+  }
+}
+
+TEST(VariableSetTest, UnaryClassesShareVariableSet) {
+  const VariableSet a = VariableSet::ForClass(QueryClassId::kUnarySeqScan);
+  const VariableSet b =
+      VariableSet::ForClass(QueryClassId::kUnaryClusteredIndex);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.name(i), b.name(i));
+}
+
+TEST(ExtractFeaturesTest, UnaryFeatureValues) {
+  engine::SelectExecution exec;
+  exec.operand_rows = 50000;
+  exec.intermediate_rows = 20000;
+  exec.result_rows = 10000;
+  exec.operand_tuple_bytes = 64;
+  exec.result_tuple_bytes = 24;
+  const std::vector<double> f = ExtractUnaryFeatures(exec);
+  ASSERT_EQ(f.size(), 7u);
+  EXPECT_DOUBLE_EQ(f[0], 50.0);   // N_t in ktuples
+  EXPECT_DOUBLE_EQ(f[1], 20.0);   // N_it
+  EXPECT_DOUBLE_EQ(f[2], 10.0);   // N_rt
+  EXPECT_DOUBLE_EQ(f[3], 64.0);   // TL_t
+  EXPECT_DOUBLE_EQ(f[4], 24.0);   // TL_rt
+  EXPECT_DOUBLE_EQ(f[5], 50.0 * 64.0);  // L_t in KB
+  EXPECT_DOUBLE_EQ(f[6], 10.0 * 24.0);  // L_rt in KB
+}
+
+TEST(ExtractFeaturesTest, JoinFeatureValues) {
+  engine::JoinExecution exec;
+  exec.left_rows = 100000;
+  exec.right_rows = 50000;
+  exec.left_qualified = 10000;
+  exec.right_qualified = 5000;
+  exec.result_rows = 2000;
+  exec.left_tuple_bytes = 40;
+  exec.right_tuple_bytes = 80;
+  exec.result_tuple_bytes = 32;
+  const std::vector<double> f = ExtractJoinFeatures(exec);
+  ASSERT_EQ(f.size(), 12u);
+  EXPECT_DOUBLE_EQ(f[0], 100.0);
+  EXPECT_DOUBLE_EQ(f[1], 50.0);
+  EXPECT_DOUBLE_EQ(f[2], 10.0);
+  EXPECT_DOUBLE_EQ(f[3], 5.0);
+  EXPECT_DOUBLE_EQ(f[4], 2.0);
+  EXPECT_DOUBLE_EQ(f[5], 10.0 * 5.0 * 1e-3);  // Mtuple-pairs
+  EXPECT_DOUBLE_EQ(f[9], 100.0 * 40.0);
+}
+
+TEST(ExtractFeaturesTest, FeatureCountMatchesVariableSet) {
+  engine::SelectExecution se;
+  EXPECT_EQ(ExtractUnaryFeatures(se).size(),
+            VariableSet::ForClass(QueryClassId::kUnarySeqScan).size());
+  engine::JoinExecution je;
+  EXPECT_EQ(ExtractJoinFeatures(je).size(),
+            VariableSet::ForClass(QueryClassId::kJoinNoIndex).size());
+}
+
+}  // namespace
+}  // namespace mscm::core

@@ -1,0 +1,146 @@
+// Planning-time feature estimation vs executed ground truth.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/agent_source.h"
+#include "core/explanatory.h"
+#include "core/model_builder.h"
+#include "core/sampling.h"
+#include "core/validation.h"
+#include "engine/executor.h"
+#include "mdbs/local_dbs.h"
+#include "stats/correlation.h"
+#include "tests/test_util.h"
+
+namespace mscm::core {
+namespace {
+
+class FeatureEstimationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>(
+        test::TinyDatabase(/*seed=*/41, /*num_tables=*/6, /*scale=*/0.05));
+    executor_ = std::make_unique<engine::Executor>(db_.get());
+  }
+  engine::PlannerRules rules_;
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<engine::Executor> executor_;
+};
+
+TEST_F(FeatureEstimationTest, UnaryVectorShapeMatchesVariableSet) {
+  QuerySampler sampler(db_.get(), rules_, 1);
+  const engine::SelectQuery q =
+      sampler.SampleSelect(QueryClassId::kUnarySeqScan);
+  const std::vector<double> est = EstimateUnaryFeatures(*db_, q, rules_);
+  EXPECT_EQ(est.size(),
+            VariableSet::ForClass(QueryClassId::kUnarySeqScan).size());
+}
+
+TEST_F(FeatureEstimationTest, ExactFeaturesMatchExactly) {
+  // Cardinality of the operand table and tuple lengths are catalog facts —
+  // the estimate must equal the executed value for those components.
+  QuerySampler sampler(db_.get(), rules_, 2);
+  for (int i = 0; i < 20; ++i) {
+    const engine::SelectQuery q =
+        sampler.SampleSelect(QueryClassId::kUnarySeqScan);
+    const std::vector<double> est = EstimateUnaryFeatures(*db_, q, rules_);
+    const engine::SelectExecution exec = executor_->ExecuteSelect(
+        q, engine::ChooseSelectPlan(*db_, q, rules_));
+    const std::vector<double> actual = ExtractUnaryFeatures(exec);
+    EXPECT_DOUBLE_EQ(est[0], actual[0]);  // N_t
+    EXPECT_DOUBLE_EQ(est[3], actual[3]);  // TL_t
+    EXPECT_DOUBLE_EQ(est[4], actual[4]);  // TL_rt
+  }
+}
+
+TEST_F(FeatureEstimationTest, EstimatedResultSizesTrackActuals) {
+  QuerySampler sampler(db_.get(), rules_, 3);
+  std::vector<double> est_rt;
+  std::vector<double> act_rt;
+  for (int i = 0; i < 50; ++i) {
+    const engine::SelectQuery q =
+        sampler.SampleSelect(QueryClassId::kUnarySeqScan);
+    est_rt.push_back(EstimateUnaryFeatures(*db_, q, rules_)[2]);
+    const engine::SelectExecution exec = executor_->ExecuteSelect(
+        q, engine::ChooseSelectPlan(*db_, q, rules_));
+    act_rt.push_back(ExtractUnaryFeatures(exec)[2]);
+  }
+  EXPECT_GT(stats::PearsonCorrelation(est_rt, act_rt), 0.95);
+}
+
+TEST_F(FeatureEstimationTest, IndexScanIntermediateUsesDrivingCondition) {
+  QuerySampler sampler(db_.get(), rules_, 4);
+  for (int i = 0; i < 20; ++i) {
+    const engine::SelectQuery q =
+        sampler.SampleSelect(QueryClassId::kUnaryNonClusteredIndex);
+    const std::vector<double> est = EstimateUnaryFeatures(*db_, q, rules_);
+    // For an index scan the estimated intermediate must be well below the
+    // operand cardinality (the driving condition is selective by class
+    // construction).
+    EXPECT_LT(est[1], est[0] * 0.2);
+    EXPECT_GE(est[1] * 1.0001, est[2]);  // result <= intermediate
+  }
+}
+
+TEST_F(FeatureEstimationTest, JoinEstimatesTrackActuals) {
+  QuerySampler sampler(db_.get(), rules_, 5);
+  std::vector<double> est_rt;
+  std::vector<double> act_rt;
+  for (int i = 0; i < 40; ++i) {
+    const engine::JoinQuery q = sampler.SampleJoin(QueryClassId::kJoinNoIndex);
+    est_rt.push_back(EstimateJoinFeatures(*db_, q, rules_)[4]);
+    const engine::JoinExecution exec = executor_->ExecuteJoin(
+        q, engine::ChooseJoinPlan(*db_, q, rules_));
+    act_rt.push_back(ExtractJoinFeatures(exec)[4]);
+  }
+  EXPECT_GT(stats::PearsonCorrelation(est_rt, act_rt), 0.8);  // small-count joins are noisy
+  // And on average the ratio is near 1 (unbiased under uniformity).
+  double ratio_sum = 0.0;
+  int counted = 0;
+  for (size_t i = 0; i < est_rt.size(); ++i) {
+    if (act_rt[i] > 1e-6) {
+      ratio_sum += est_rt[i] / act_rt[i];
+      ++counted;
+    }
+  }
+  ASSERT_GT(counted, 20);
+  EXPECT_NEAR(ratio_sum / counted, 1.0, 0.3);
+}
+
+TEST_F(FeatureEstimationTest, ModelFedEstimatedFeaturesStillEstimatesWell) {
+  // End-to-end planning realism: train on executed features, estimate with
+  // *planning-time* features. Accuracy drops a little but stays useful.
+  mdbs::LocalDbsConfig config;
+  config.tables.num_tables = 5;
+  config.tables.scale = 0.2;
+  config.load.min_processes = 15.0;
+  config.load.max_processes = 100.0;
+  config.seed = 43;
+  mdbs::LocalDbs site(config);
+  AgentObservationSource source(&site, QueryClassId::kUnarySeqScan, 44);
+  ModelBuildOptions options;
+  options.sample_size = 250;
+  const BuildReport report =
+      BuildCostModel(QueryClassId::kUnarySeqScan, source, options);
+
+  QuerySampler sampler(&site.database(), site.profile().planner, 45);
+  int good = 0;
+  constexpr int kTests = 60;
+  for (int i = 0; i < kTests; ++i) {
+    site.ResampleLoad();
+    const double probe = site.RunProbingQuery();
+    const engine::SelectQuery q =
+        sampler.SampleSelect(QueryClassId::kUnarySeqScan);
+    const std::vector<double> est_features =
+        EstimateUnaryFeatures(site.database(), q, site.profile().planner);
+    const double est = report.model.Estimate(est_features, probe);
+    const double observed = site.RunSelect(q).elapsed_seconds;
+    if (IsGoodEstimate(est, observed)) ++good;
+  }
+  EXPECT_GT(good, kTests / 3);
+}
+
+}  // namespace
+}  // namespace mscm::core

@@ -1,0 +1,111 @@
+#include "core/global_planner.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mscm::core {
+namespace {
+
+CostModel LinearModel(double slope) {
+  ObservationSet obs;
+  Rng rng(1);
+  const size_t n_features =
+      VariableSet::ForClass(QueryClassId::kUnarySeqScan).size();
+  for (int i = 0; i < 40; ++i) {
+    Observation o;
+    o.probing_cost = 0.5;
+    o.features.assign(n_features, 0.0);
+    o.features[0] = rng.Uniform(1.0, 10.0);
+    o.cost = slope * o.features[0];
+    obs.push_back(o);
+  }
+  return FitCostModel(QueryClassId::kUnarySeqScan, obs, {0},
+                      ContentionStates::Single(), QualitativeForm::kGeneral);
+}
+
+ComponentQueryCandidate Candidate(const std::string& site, double x) {
+  ComponentQueryCandidate c;
+  c.site = site;
+  c.class_id = QueryClassId::kUnarySeqScan;
+  c.features.assign(
+      VariableSet::ForClass(QueryClassId::kUnarySeqScan).size(), 0.0);
+  c.features[0] = x;
+  c.probing_cost = 0.5;
+  return c;
+}
+
+TEST(GlobalPlannerTest, PicksCheapestSite) {
+  GlobalCatalog catalog;
+  catalog.Register("fast", LinearModel(1.0));
+  catalog.Register("slow", LinearModel(10.0));
+  const PlacementDecision d = ChoosePlacement(
+      catalog, {Candidate("slow", 5.0), Candidate("fast", 5.0)});
+  EXPECT_EQ(d.chosen, 1);
+  ASSERT_EQ(d.estimates.size(), 2u);
+  EXPECT_GT(d.estimates[0], d.estimates[1]);
+}
+
+TEST(GlobalPlannerTest, SkipsSitesWithoutModels) {
+  GlobalCatalog catalog;
+  catalog.Register("known", LinearModel(3.0));
+  const PlacementDecision d = ChoosePlacement(
+      catalog, {Candidate("unknown", 1.0), Candidate("known", 1.0)});
+  EXPECT_EQ(d.chosen, 1);
+  EXPECT_TRUE(std::isinf(d.estimates[0]));
+}
+
+TEST(GlobalPlannerTest, NoModelsAnywhere) {
+  GlobalCatalog catalog;
+  const PlacementDecision d =
+      ChoosePlacement(catalog, {Candidate("x", 1.0)});
+  EXPECT_EQ(d.chosen, -1);
+}
+
+TEST(GlobalPlannerTest, EmptyCandidateList) {
+  GlobalCatalog catalog;
+  const PlacementDecision d = ChoosePlacement(catalog, {});
+  EXPECT_EQ(d.chosen, -1);
+  EXPECT_TRUE(d.estimates.empty());
+}
+
+TEST(GlobalPlannerTest, DifferentWorkloadsCanFlipDecision) {
+  // Site "fast" is cheap per tuple but in a heavy contention state; site
+  // "slow" is idle. The planner's choice depends on both the model and the
+  // current probing cost.
+  ObservationSet obs;
+  Rng rng(2);
+  const size_t n_features =
+      VariableSet::ForClass(QueryClassId::kUnarySeqScan).size();
+  for (int i = 0; i < 200; ++i) {
+    Observation o;
+    o.probing_cost = rng.NextDouble();
+    o.features.assign(n_features, 0.0);
+    o.features[0] = rng.Uniform(1.0, 10.0);
+    const double scale = o.probing_cost <= 0.5 ? 1.0 : 8.0;
+    o.cost = scale * o.features[0];
+    obs.push_back(o);
+  }
+  CostModel contended = FitCostModel(
+      QueryClassId::kUnarySeqScan, obs, {0},
+      ContentionStates::UniformPartition(0.0, 1.0, 2),
+      QualitativeForm::kGeneral);
+  GlobalCatalog catalog;
+  catalog.Register("siteA", std::move(contended));
+  catalog.Register("siteB", LinearModel(3.0));
+
+  // siteA idle (probe 0.2): 1*x beats siteB's 3*x.
+  ComponentQueryCandidate a = Candidate("siteA", 5.0);
+  a.probing_cost = 0.2;
+  ComponentQueryCandidate b = Candidate("siteB", 5.0);
+  EXPECT_EQ(ChoosePlacement(catalog, {a, b}).chosen, 0);
+
+  // siteA contended (probe 0.9): 8*x loses to 3*x.
+  a.probing_cost = 0.9;
+  EXPECT_EQ(ChoosePlacement(catalog, {a, b}).chosen, 1);
+}
+
+}  // namespace
+}  // namespace mscm::core

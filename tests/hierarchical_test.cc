@@ -1,0 +1,112 @@
+#include "cluster/hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mscm::cluster {
+namespace {
+
+TEST(HierarchicalTest, SingletonInput) {
+  const auto clusters = AgglomerativeCluster1D({3.5}, 1);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_DOUBLE_EQ(clusters[0].centroid, 3.5);
+  EXPECT_EQ(clusters[0].count, 1u);
+}
+
+TEST(HierarchicalTest, KLargerThanInputGivesSingletons) {
+  const auto clusters = AgglomerativeCluster1D({1.0, 2.0}, 5);
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(HierarchicalTest, TwoObviousClusters) {
+  const auto clusters =
+      AgglomerativeCluster1D({1.0, 1.1, 0.9, 10.0, 10.2, 9.8}, 2);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_NEAR(clusters[0].centroid, 1.0, 0.1);
+  EXPECT_NEAR(clusters[1].centroid, 10.0, 0.1);
+  EXPECT_EQ(clusters[0].count, 3u);
+  EXPECT_EQ(clusters[1].count, 3u);
+}
+
+TEST(HierarchicalTest, ClustersSortedByCentroid) {
+  Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.Uniform(0, 100));
+  const auto clusters = AgglomerativeCluster1D(xs, 7);
+  for (size_t i = 0; i + 1 < clusters.size(); ++i) {
+    EXPECT_LE(clusters[i].centroid, clusters[i + 1].centroid);
+    // Ranges must not overlap in 1-D centroid-linkage agglomeration.
+    EXPECT_LE(clusters[i].max, clusters[i + 1].min);
+  }
+}
+
+TEST(HierarchicalTest, MembersPartitionInput) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 57; ++i) xs.push_back(rng.Uniform(0, 10));
+  const auto clusters = AgglomerativeCluster1D(xs, 4);
+  std::vector<bool> seen(xs.size(), false);
+  size_t total = 0;
+  for (const auto& c : clusters) {
+    total += c.members.size();
+    EXPECT_EQ(c.members.size(), c.count);
+    for (size_t idx : c.members) {
+      EXPECT_FALSE(seen[idx]);
+      seen[idx] = true;
+      EXPECT_GE(xs[idx], c.min);
+      EXPECT_LE(xs[idx], c.max);
+    }
+  }
+  EXPECT_EQ(total, xs.size());
+}
+
+TEST(HierarchicalTest, CentroidIsMemberMean) {
+  const std::vector<double> xs = {1, 2, 3, 100, 101};
+  const auto clusters = AgglomerativeCluster1D(xs, 2);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_NEAR(clusters[0].centroid, 2.0, 1e-12);
+  EXPECT_NEAR(clusters[1].centroid, 100.5, 1e-12);
+}
+
+TEST(HierarchicalTest, ThreeGaussianClustersRecovered) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.Gaussian(10, 1));
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.Gaussian(50, 1.5));
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.Gaussian(90, 1));
+  const auto clusters = AgglomerativeCluster1D(xs, 3);
+  ASSERT_EQ(clusters.size(), 3u);
+  EXPECT_NEAR(clusters[0].centroid, 10, 1.0);
+  EXPECT_NEAR(clusters[1].centroid, 50, 1.0);
+  EXPECT_NEAR(clusters[2].centroid, 90, 1.0);
+}
+
+TEST(HierarchicalTest, ByDistanceStopsAtGap) {
+  // Gaps of 1 within groups, gap of 50 between: threshold 5 keeps 2 groups.
+  const auto clusters = AgglomerativeClusterByDistance(
+      {0, 1, 2, 52, 53, 54}, 5.0);
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(HierarchicalTest, ByDistanceZeroThresholdKeepsDistinctValues) {
+  const auto clusters = AgglomerativeClusterByDistance({1, 2, 3}, 0.0);
+  EXPECT_EQ(clusters.size(), 3u);
+}
+
+TEST(HierarchicalTest, ByDistanceHugeThresholdMergesAll) {
+  const auto clusters = AgglomerativeClusterByDistance({1, 2, 3, 50}, 1e9);
+  EXPECT_EQ(clusters.size(), 1u);
+}
+
+TEST(HierarchicalTest, DuplicateValues) {
+  const auto clusters = AgglomerativeCluster1D({5, 5, 5, 5}, 2);
+  // Duplicates merge freely; asking for 2 clusters of identical points still
+  // returns 2 clusters with centroid 5.
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_DOUBLE_EQ(clusters[0].centroid, 5.0);
+  EXPECT_DOUBLE_EQ(clusters[1].centroid, 5.0);
+}
+
+}  // namespace
+}  // namespace mscm::cluster

@@ -1,0 +1,128 @@
+#include "stats/linalg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mscm::stats {
+namespace {
+
+TEST(CholeskySolveTest, SolvesSpdSystem) {
+  // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2].
+  const Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  const auto x = CholeskySolve(a, {10, 9});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.5, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(CholeskySolveTest, RejectsIndefinite) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {2, 1}});  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskySolve(a, {1, 1}).has_value());
+}
+
+TEST(CholeskySolveTest, IdentityIsNoOp) {
+  const auto x = CholeskySolve(Matrix::Identity(3), {1, 2, 3});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-14);
+  EXPECT_NEAR((*x)[2], 3.0, 1e-14);
+}
+
+TEST(SpdInverseTest, InverseTimesMatrixIsIdentity) {
+  const Matrix a = Matrix::FromRows({{5, 1, 0}, {1, 4, 1}, {0, 1, 3}});
+  const auto inv = SpdInverse(a);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_TRUE((a * (*inv)).AlmostEqual(Matrix::Identity(3), 1e-10));
+}
+
+TEST(LeastSquaresTest, ExactSquareSystem) {
+  // Full-rank square system: least squares == exact solve.
+  const Matrix x = Matrix::FromRows({{1, 1}, {1, 2}});
+  const auto r = SolveLeastSquares(x, {3, 5});
+  EXPECT_FALSE(r.rank_deficient);
+  EXPECT_NEAR(r.coefficients[0], 1.0, 1e-10);
+  EXPECT_NEAR(r.coefficients[1], 2.0, 1e-10);
+}
+
+TEST(LeastSquaresTest, OverdeterminedKnownSolution) {
+  // y = 2 + 3t at t = 0..4, exactly.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int t = 0; t <= 4; ++t) {
+    rows.push_back({1.0, static_cast<double>(t)});
+    y.push_back(2.0 + 3.0 * t);
+  }
+  const auto r = SolveLeastSquares(Matrix::FromRows(rows), y);
+  EXPECT_NEAR(r.coefficients[0], 2.0, 1e-10);
+  EXPECT_NEAR(r.coefficients[1], 3.0, 1e-10);
+}
+
+TEST(LeastSquaresTest, MinimizesResidualNorm) {
+  // Perturbing the LS solution should never lower the residual norm.
+  const Matrix x =
+      Matrix::FromRows({{1, 0}, {1, 1}, {1, 2}, {1, 3}, {1, 4}});
+  const std::vector<double> y = {1.1, 1.9, 3.2, 3.8, 5.1};
+  const auto r = SolveLeastSquares(x, y);
+
+  auto rss = [&](const std::vector<double>& beta) {
+    const std::vector<double> f = x * beta;
+    double acc = 0.0;
+    for (size_t i = 0; i < y.size(); ++i) acc += (y[i] - f[i]) * (y[i] - f[i]);
+    return acc;
+  };
+  const double base = rss(r.coefficients);
+  for (const double d : {-0.01, 0.01}) {
+    std::vector<double> b0 = r.coefficients;
+    b0[0] += d;
+    EXPECT_GE(rss(b0), base);
+    std::vector<double> b1 = r.coefficients;
+    b1[1] += d;
+    EXPECT_GE(rss(b1), base);
+  }
+}
+
+TEST(LeastSquaresTest, MatchesNormalEquations) {
+  Rng rng(3);
+  const size_t n = 40;
+  const size_t p = 4;
+  Matrix x(n, p);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < p; ++j) x(i, j) = rng.Uniform(-1, 1);
+    y[i] = rng.Uniform(-1, 1);
+  }
+  const auto qr = SolveLeastSquares(x, y);
+  // Normal-equation route.
+  const Matrix xt = x.Transpose();
+  const auto ne = CholeskySolve(xt * x, xt * y);
+  ASSERT_TRUE(ne.has_value());
+  for (size_t j = 0; j < p; ++j) {
+    EXPECT_NEAR(qr.coefficients[j], (*ne)[j], 1e-8);
+  }
+}
+
+TEST(LeastSquaresTest, DetectsRankDeficiency) {
+  // Third column = first + second.
+  const Matrix x = Matrix::FromRows(
+      {{1, 0, 1}, {1, 1, 2}, {1, 2, 3}, {1, 3, 4}, {1, 4, 5}});
+  const auto r = SolveLeastSquares(x, {1, 2, 3, 4, 5});
+  EXPECT_TRUE(r.rank_deficient);
+  // Coefficients are still produced and finite.
+  for (double c : r.coefficients) EXPECT_TRUE(std::isfinite(c));
+}
+
+TEST(LeastSquaresTest, XtxInverseDiagonalMatchesExplicitInverse) {
+  const Matrix x =
+      Matrix::FromRows({{1, 0}, {1, 1}, {1, 2}, {1, 3}});
+  const auto r = SolveLeastSquares(x, {0, 1, 2, 3});
+  const Matrix xt = x.Transpose();
+  const auto inv = SpdInverse(xt * x);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_NEAR(r.xtx_inverse_diagonal[0], (*inv)(0, 0), 1e-10);
+  EXPECT_NEAR(r.xtx_inverse_diagonal[1], (*inv)(1, 1), 1e-10);
+}
+
+}  // namespace
+}  // namespace mscm::stats

@@ -1,0 +1,189 @@
+#include "sim/load_builder.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace mscm::sim {
+namespace {
+
+TEST(LoadBuilderTest, SteadyRegimeStaysAtLevel) {
+  LoadRegimeConfig config;
+  config.regime = LoadRegime::kSteady;
+  config.steady_processes = 12.0;
+  LoadBuilder lb(config, 1);
+  for (int i = 0; i < 20; ++i) {
+    lb.Resample();
+    EXPECT_DOUBLE_EQ(lb.Current().num_processes, 12.0);
+  }
+}
+
+TEST(LoadBuilderTest, UniformRegimeCoversRange) {
+  LoadRegimeConfig config;
+  config.regime = LoadRegime::kUniform;
+  config.min_processes = 10.0;
+  config.max_processes = 110.0;
+  LoadBuilder lb(config, 2);
+  std::vector<double> draws;
+  for (int i = 0; i < 2000; ++i) {
+    lb.Resample();
+    const double p = lb.Current().num_processes;
+    EXPECT_GE(p, 10.0);
+    EXPECT_LE(p, 110.0);
+    draws.push_back(p);
+  }
+  // Uniform over [10, 110]: mean ~60, both halves populated.
+  EXPECT_NEAR(stats::Mean(draws), 60.0, 3.0);
+  EXPECT_LT(stats::Min(draws), 20.0);
+  EXPECT_GT(stats::Max(draws), 100.0);
+}
+
+TEST(LoadBuilderTest, ClusteredRegimeProducesClusters) {
+  LoadRegimeConfig config;
+  config.regime = LoadRegime::kClustered;
+  config.clusters = {{10.0, 1.0, 0.5}, {90.0, 1.0, 0.5}};
+  LoadBuilder lb(config, 3);
+  int low = 0;
+  int high = 0;
+  int middle = 0;
+  for (int i = 0; i < 2000; ++i) {
+    lb.Resample();
+    const double p = lb.Current().num_processes;
+    if (p < 20) {
+      ++low;
+    } else if (p > 80) {
+      ++high;
+    } else {
+      ++middle;
+    }
+  }
+  EXPECT_GT(low, 700);
+  EXPECT_GT(high, 700);
+  EXPECT_LT(middle, 50);  // almost nothing between the clusters
+}
+
+TEST(LoadBuilderTest, ClusterWeightsRespected) {
+  LoadRegimeConfig config;
+  config.regime = LoadRegime::kClustered;
+  config.clusters = {{10.0, 1.0, 0.8}, {90.0, 1.0, 0.2}};
+  LoadBuilder lb(config, 4);
+  int low = 0;
+  constexpr int kN = 4000;
+  for (int i = 0; i < kN; ++i) {
+    lb.Resample();
+    if (lb.Current().num_processes < 50) ++low;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / kN, 0.8, 0.04);
+}
+
+TEST(LoadBuilderTest, AdvanceKeepsWithinBounds) {
+  LoadRegimeConfig config;
+  config.regime = LoadRegime::kRandomWalk;
+  config.min_processes = 0.0;
+  config.max_processes = 50.0;
+  LoadBuilder lb(config, 5);
+  for (int i = 0; i < 500; ++i) {
+    lb.Advance(10.0);
+    EXPECT_GE(lb.Current().num_processes, 0.0);
+    EXPECT_LE(lb.Current().num_processes, 50.0);
+  }
+}
+
+TEST(LoadBuilderTest, RandomWalkActuallyMoves) {
+  LoadRegimeConfig config;
+  config.regime = LoadRegime::kRandomWalk;
+  LoadBuilder lb(config, 6);
+  const double start = lb.Current().num_processes;
+  double max_dev = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    lb.Advance(5.0);
+    max_dev = std::max(max_dev,
+                       std::fabs(lb.Current().num_processes - start));
+  }
+  EXPECT_GT(max_dev, 5.0);
+}
+
+TEST(LoadBuilderTest, SetProcessCountClampsAndApplies) {
+  LoadRegimeConfig config;
+  config.max_processes = 100.0;
+  LoadBuilder lb(config, 7);
+  lb.SetProcessCount(42.0);
+  EXPECT_DOUBLE_EQ(lb.Current().num_processes, 42.0);
+  lb.SetProcessCount(1e9);
+  EXPECT_DOUBLE_EQ(lb.Current().num_processes, 100.0);
+  lb.SetProcessCount(-5.0);
+  EXPECT_DOUBLE_EQ(lb.Current().num_processes, 0.0);
+}
+
+TEST(LoadBuilderTest, DemandsScaleWithProcesses) {
+  LoadRegimeConfig config;
+  LoadBuilder lb(config, 8);
+  lb.SetProcessCount(10.0);
+  const MachineLoad light = lb.Current();
+  lb.SetProcessCount(100.0);
+  const MachineLoad heavy = lb.Current();
+  EXPECT_GT(heavy.cpu_demand, light.cpu_demand);
+  EXPECT_GT(heavy.io_rate, light.io_rate);
+  EXPECT_GT(heavy.memory_mb, light.memory_mb);
+}
+
+TEST(LoadBuilderTest, SameProcessCountGivesNoisyDemands) {
+  LoadRegimeConfig config;
+  LoadBuilder lb(config, 9);
+  lb.SetProcessCount(50.0);
+  const double a = lb.Current().cpu_demand;
+  lb.SetProcessCount(50.0);
+  const double b = lb.Current().cpu_demand;
+  EXPECT_NE(a, b);  // population jitter
+}
+
+
+TEST(LoadBuilderTest, PeriodicRegimeCyclesBetweenBounds) {
+  LoadRegimeConfig config;
+  config.regime = LoadRegime::kPeriodic;
+  config.min_processes = 10.0;
+  config.max_processes = 90.0;
+  config.period_seconds = 3600.0;
+  LoadBuilder lb(config, 10);
+  double lo = 1e9;
+  double hi = -1e9;
+  for (int i = 0; i < 400; ++i) {
+    lb.Advance(30.0);  // ~3.3 full cycles
+    lo = std::min(lo, lb.Current().num_processes);
+    hi = std::max(hi, lb.Current().num_processes);
+  }
+  // The cycle must visit both the trough and the crest regions.
+  EXPECT_LT(lo, 20.0);
+  EXPECT_GT(hi, 80.0);
+}
+
+TEST(LoadBuilderTest, PeriodicRegimeIsActuallyPeriodic) {
+  LoadRegimeConfig config;
+  config.regime = LoadRegime::kPeriodic;
+  config.min_processes = 0.0;
+  config.max_processes = 100.0;
+  config.period_seconds = 1000.0;
+  LoadBuilder lb(config, 11);
+  // Sample one cycle at 10 s resolution; the next cycle must look similar.
+  std::vector<double> first;
+  std::vector<double> second;
+  for (int i = 0; i < 100; ++i) {
+    lb.Advance(10.0);
+    first.push_back(lb.Current().num_processes);
+  }
+  for (int i = 0; i < 100; ++i) {
+    lb.Advance(10.0);
+    second.push_back(lb.Current().num_processes);
+  }
+  double max_dev = 0.0;
+  for (size_t i = 0; i < first.size(); ++i) {
+    max_dev = std::max(max_dev, std::fabs(first[i] - second[i]));
+  }
+  // Walk noise aside, consecutive cycles track each other.
+  EXPECT_LT(max_dev, 25.0);
+}
+
+}  // namespace
+}  // namespace mscm::sim

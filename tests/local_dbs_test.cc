@@ -1,0 +1,126 @@
+#include "mdbs/local_dbs.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+
+namespace mscm::mdbs {
+namespace {
+
+LocalDbsConfig SmallConfig(uint64_t seed = 1) {
+  LocalDbsConfig config;
+  config.site_name = "test-site";
+  config.tables.num_tables = 4;
+  config.tables.scale = 0.03;
+  config.seed = seed;
+  return config;
+}
+
+TEST(LocalDbsTest, RunSelectReturnsPositiveCost) {
+  LocalDbs site(SmallConfig());
+  engine::SelectQuery q;
+  q.table = "R2";
+  q.predicate.Add({3, engine::CompareOp::kGe, 0, 0});
+  const auto out = site.RunSelect(q);
+  EXPECT_GT(out.elapsed_seconds, 0.0);
+  EXPECT_GT(out.execution.result_rows, 0u);
+}
+
+TEST(LocalDbsTest, ProbingQueryCheap) {
+  LocalDbs site(SmallConfig());
+  site.SetLoadProcesses(0.0);
+  const double cost = site.RunProbingQuery();
+  EXPECT_GT(cost, 0.0);
+  EXPECT_LT(cost, 1.0);  // idle probe well under a second
+}
+
+TEST(LocalDbsTest, ProbingCostTracksContention) {
+  LocalDbs site(SmallConfig());
+  std::vector<double> processes;
+  std::vector<double> probes;
+  for (double p = 0.0; p <= 120.0; p += 10.0) {
+    site.SetLoadProcesses(p);
+    processes.push_back(p);
+    probes.push_back(site.RunProbingQuery());
+  }
+  // Strong positive association between load and probing cost. (Pearson
+  // understates it because the swap-thrash knee makes the relationship
+  // convex rather than linear.)
+  EXPECT_GT(stats::PearsonCorrelation(processes, probes), 0.75);
+}
+
+TEST(LocalDbsTest, QueryCostGrowsWithContention) {
+  LocalDbs site(SmallConfig());
+  engine::SelectQuery q;
+  q.table = "R4";
+  q.predicate.Add({3, engine::CompareOp::kGe, 0, 0});
+  site.SetLoadProcesses(0.0);
+  const double idle = site.RunSelect(q).elapsed_seconds;
+  site.SetLoadProcesses(120.0);
+  const double busy = site.RunSelect(q).elapsed_seconds;
+  EXPECT_GT(busy, idle * 3.0);  // the Figure 1 phenomenon
+}
+
+TEST(LocalDbsTest, RunningQueriesAdvancesSimulatedTime) {
+  LocalDbs site(SmallConfig());
+  const double t0 = site.simulated_time_seconds();
+  site.RunProbingQuery();
+  EXPECT_GT(site.simulated_time_seconds(), t0);
+}
+
+TEST(LocalDbsTest, ResampleLoadChangesContention) {
+  LocalDbsConfig config = SmallConfig();
+  config.load.regime = sim::LoadRegime::kUniform;
+  config.load.max_processes = 120.0;
+  LocalDbs site(config);
+  std::vector<double> levels;
+  for (int i = 0; i < 50; ++i) {
+    site.ResampleLoad();
+    levels.push_back(site.current_processes());
+  }
+  EXPECT_GT(stats::StdDev(levels), 10.0);
+}
+
+TEST(LocalDbsTest, MonitorSnapshotReflectsLoad) {
+  LocalDbs site(SmallConfig());
+  site.SetLoadProcesses(5.0);
+  const auto idle = site.MonitorSnapshot();
+  site.SetLoadProcesses(110.0);
+  const auto busy = site.MonitorSnapshot();
+  EXPECT_GT(busy.pct_disk_util, idle.pct_disk_util);
+}
+
+TEST(LocalDbsTest, PlanVisibilityMatchesEngineRules) {
+  LocalDbs site(SmallConfig());
+  engine::SelectQuery q;
+  q.table = "R1";
+  q.predicate.Add({0, engine::CompareOp::kBetween, 0, 10});
+  EXPECT_EQ(site.PlanSelect(q).method,
+            engine::AccessMethod::kClusteredIndexScan);
+}
+
+TEST(LocalDbsTest, RepeatedExecutionIsNoisy) {
+  LocalDbs site(SmallConfig());
+  site.SetLoadProcesses(20.0);
+  engine::SelectQuery q;
+  q.table = "R2";
+  q.predicate.Add({3, engine::CompareOp::kGe, 0, 0});
+  const double a = site.RunSelect(q).elapsed_seconds;
+  site.SetLoadProcesses(20.0);
+  const double b = site.RunSelect(q).elapsed_seconds;
+  EXPECT_NE(a, b);
+}
+
+TEST(LocalDbsTest, DeterministicAcrossInstancesWithSameSeed) {
+  LocalDbs a(SmallConfig(9));
+  LocalDbs b(SmallConfig(9));
+  engine::SelectQuery q;
+  q.table = "R3";
+  q.predicate.Add({3, engine::CompareOp::kGe, 0, 0});
+  EXPECT_DOUBLE_EQ(a.RunSelect(q).elapsed_seconds,
+                   b.RunSelect(q).elapsed_seconds);
+}
+
+}  // namespace
+}  // namespace mscm::mdbs

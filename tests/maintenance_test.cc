@@ -1,0 +1,135 @@
+#include "core/maintenance.h"
+
+#include "core/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/agent_source.h"
+#include "mdbs/local_dbs.h"
+#include "tests/test_util.h"
+
+namespace mscm::core {
+namespace {
+
+TEST(DriftMonitorTest, EmptyMonitorReportsHealthy) {
+  DriftMonitor monitor;
+  EXPECT_DOUBLE_EQ(monitor.RecentGoodFraction(), 1.0);
+  EXPECT_FALSE(monitor.RebuildRecommended());
+}
+
+TEST(DriftMonitorTest, TracksGoodFraction) {
+  DriftMonitorOptions options;
+  options.window = 10;
+  options.min_outcomes = 4;
+  DriftMonitor monitor(options);
+  // 3 good, 1 bad.
+  monitor.Record(10.0, 10.0);
+  monitor.Record(11.0, 10.0);
+  monitor.Record(9.0, 10.0);
+  monitor.Record(100.0, 10.0);
+  EXPECT_DOUBLE_EQ(monitor.RecentGoodFraction(), 0.75);
+}
+
+TEST(DriftMonitorTest, WindowSlidesOldOutcomesOut) {
+  DriftMonitorOptions options;
+  options.window = 5;
+  DriftMonitor monitor(options);
+  for (int i = 0; i < 5; ++i) monitor.Record(100.0, 10.0);  // all bad
+  EXPECT_DOUBLE_EQ(monitor.RecentGoodFraction(), 0.0);
+  for (int i = 0; i < 5; ++i) monitor.Record(10.0, 10.0);  // all good
+  EXPECT_DOUBLE_EQ(monitor.RecentGoodFraction(), 1.0);
+  EXPECT_EQ(monitor.size(), 5u);
+}
+
+TEST(DriftMonitorTest, NoRecommendationBeforeMinOutcomes) {
+  DriftMonitorOptions options;
+  options.min_outcomes = 10;
+  DriftMonitor monitor(options);
+  for (int i = 0; i < 9; ++i) monitor.Record(100.0, 1.0);
+  EXPECT_FALSE(monitor.RebuildRecommended());
+  monitor.Record(100.0, 1.0);
+  EXPECT_TRUE(monitor.RebuildRecommended());
+}
+
+TEST(DriftMonitorTest, ResetClearsHistory) {
+  DriftMonitorOptions options;
+  options.min_outcomes = 2;
+  DriftMonitor monitor(options);
+  monitor.Record(100.0, 1.0);
+  monitor.Record(100.0, 1.0);
+  EXPECT_TRUE(monitor.RebuildRecommended());
+  monitor.Reset();
+  EXPECT_FALSE(monitor.RebuildRecommended());
+  EXPECT_EQ(monitor.size(), 0u);
+}
+
+class ManagedModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mdbs::LocalDbsConfig config;
+    config.tables.num_tables = 4;
+    config.tables.scale = 0.1;
+    config.load.regime = sim::LoadRegime::kUniform;
+    config.load.min_processes = 10.0;
+    config.load.max_processes = 90.0;
+    config.seed = 61;
+    site_ = std::make_unique<mdbs::LocalDbs>(config);
+    source_ = std::make_unique<AgentObservationSource>(
+        site_.get(), QueryClassId::kUnarySeqScan, 62);
+  }
+  std::unique_ptr<mdbs::LocalDbs> site_;
+  std::unique_ptr<AgentObservationSource> source_;
+};
+
+TEST_F(ManagedModelTest, NoRebuildWhileAccurate) {
+  ModelBuildOptions options;
+  options.sample_size = 200;
+  BuildReport report =
+      BuildCostModel(QueryClassId::kUnarySeqScan, *source_, options);
+  ManagedCostModel managed(std::move(report.model),
+                           QueryClassId::kUnarySeqScan, options);
+  for (int i = 0; i < 60; ++i) {
+    const Observation obs = source_->Draw();
+    const double est = managed.Estimate(obs.features, obs.probing_cost);
+    managed.ReportOutcome(est, obs.cost);
+    managed.RebuildIfDrifting(*source_);
+  }
+  EXPECT_EQ(managed.rebuild_count(), 0);
+}
+
+TEST_F(ManagedModelTest, RebuildsAfterMachineReconfiguration) {
+  ModelBuildOptions options;
+  options.sample_size = 200;
+  BuildReport report =
+      BuildCostModel(QueryClassId::kUnarySeqScan, *source_, options);
+  ManagedCostModel managed(std::move(report.model),
+                           QueryClassId::kUnarySeqScan, options);
+
+  // Severe hardware downgrade: the old model drifts out of band.
+  sim::MachineSpec downgraded;
+  downgraded.memory_mb = 128.0;
+  downgraded.cpu_cores = 0.5;
+  downgraded.disk_io_capacity = 200.0;
+  site_->ReconfigureMachine(downgraded);
+
+  int i = 0;
+  for (; i < 120 && managed.rebuild_count() == 0; ++i) {
+    const Observation obs = source_->Draw();
+    const double est = managed.Estimate(obs.features, obs.probing_cost);
+    managed.ReportOutcome(est, obs.cost);
+    managed.RebuildIfDrifting(*source_);
+  }
+  EXPECT_EQ(managed.rebuild_count(), 1);
+  // The rebuilt model should estimate well on the new machine.
+  int good = 0;
+  constexpr int kCheck = 40;
+  for (int j = 0; j < kCheck; ++j) {
+    const Observation obs = source_->Draw();
+    const double est = managed.Estimate(obs.features, obs.probing_cost);
+    if (IsGoodEstimate(est, obs.cost)) ++good;
+  }
+  EXPECT_GT(good, kCheck / 2);
+}
+
+}  // namespace
+}  // namespace mscm::core

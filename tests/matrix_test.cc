@@ -1,0 +1,109 @@
+#include "stats/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace mscm::stats {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, FromRows) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, Identity) {
+  const Matrix id = Matrix::Identity(3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, Transpose) {
+  const Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_TRUE(t.Transpose().AlmostEqual(m));
+}
+
+TEST(MatrixTest, Product) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  const Matrix c = a * b;
+  EXPECT_TRUE(c.AlmostEqual(Matrix::FromRows({{19, 22}, {43, 50}})));
+}
+
+TEST(MatrixTest, ProductWithIdentity) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_TRUE((a * Matrix::Identity(2)).AlmostEqual(a));
+  EXPECT_TRUE((Matrix::Identity(2) * a).AlmostEqual(a));
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const std::vector<double> x = {1.0, -1.0};
+  const std::vector<double> y = a * x;
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(MatrixTest, AddSubtract) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{4, 3}, {2, 1}});
+  EXPECT_TRUE((a + b).AlmostEqual(Matrix::FromRows({{5, 5}, {5, 5}})));
+  EXPECT_TRUE((a - a).AlmostEqual(Matrix(2, 2)));
+}
+
+TEST(MatrixTest, Column) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  const std::vector<double> c = a.Column(1);
+  EXPECT_EQ(c, (std::vector<double>{2, 4, 6}));
+}
+
+TEST(MatrixTest, WithoutColumn) {
+  const Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix b = a.WithoutColumn(1);
+  EXPECT_TRUE(b.AlmostEqual(Matrix::FromRows({{1, 3}, {4, 6}})));
+}
+
+TEST(MatrixTest, AppendColumn) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  a.AppendColumn({9, 10});
+  EXPECT_TRUE(a.AlmostEqual(Matrix::FromRows({{1, 2, 9}, {3, 4, 10}})));
+}
+
+TEST(MatrixTest, AppendColumnToEmpty) {
+  Matrix a;
+  a.AppendColumn({1, 2, 3});
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_EQ(a.cols(), 1u);
+}
+
+TEST(MatrixTest, AlmostEqualShapeMismatch) {
+  EXPECT_FALSE(Matrix(2, 2).AlmostEqual(Matrix(2, 3)));
+}
+
+TEST(MatrixTest, AlmostEqualTolerance) {
+  Matrix a(1, 1, 1.0);
+  Matrix b(1, 1, 1.0 + 1e-12);
+  EXPECT_TRUE(a.AlmostEqual(b));
+  Matrix c(1, 1, 1.1);
+  EXPECT_FALSE(a.AlmostEqual(c));
+}
+
+}  // namespace
+}  // namespace mscm::stats

@@ -1,0 +1,97 @@
+// Small-surface coverage: query rendering, work-counter arithmetic, planner
+// defaults, and performance-profile invariants.
+
+#include <gtest/gtest.h>
+
+#include "engine/query.h"
+#include "engine/work_counters.h"
+#include "sim/performance_profile.h"
+#include "tests/test_util.h"
+
+namespace mscm {
+namespace {
+
+TEST(SelectQueryToStringTest, RendersProjectionAndPredicate) {
+  const engine::Schema schema({{"a1", 8}, {"a2", 8}, {"a3", 8}});
+  engine::SelectQuery q;
+  q.table = "T";
+  q.projection = {0, 2};
+  q.predicate.Add({1, engine::CompareOp::kGe, 5, 0});
+  EXPECT_EQ(q.ToString(schema), "select a1, a3 from T where a2 >= 5");
+}
+
+TEST(SelectQueryToStringTest, StarForEmptyProjection) {
+  const engine::Schema schema({{"a1", 8}});
+  engine::SelectQuery q;
+  q.table = "T";
+  EXPECT_EQ(q.ToString(schema), "select * from T where true");
+}
+
+TEST(WorkCountersTest, AccumulateSumsEveryField) {
+  engine::WorkCounters a;
+  a.sequential_pages = 1;
+  a.random_pages = 2;
+  a.tuples_read = 3;
+  a.predicate_evals = 4;
+  a.compare_ops = 5;
+  a.hash_ops = 6;
+  a.result_tuples = 7;
+  a.result_bytes = 8;
+  a.init_ops = 9;
+  engine::WorkCounters b = a;
+  b += a;
+  EXPECT_DOUBLE_EQ(b.sequential_pages, 2);
+  EXPECT_DOUBLE_EQ(b.random_pages, 4);
+  EXPECT_DOUBLE_EQ(b.tuples_read, 6);
+  EXPECT_DOUBLE_EQ(b.predicate_evals, 8);
+  EXPECT_DOUBLE_EQ(b.compare_ops, 10);
+  EXPECT_DOUBLE_EQ(b.hash_ops, 12);
+  EXPECT_DOUBLE_EQ(b.result_tuples, 14);
+  EXPECT_DOUBLE_EQ(b.result_bytes, 16);
+  EXPECT_DOUBLE_EQ(b.init_ops, 18);
+}
+
+TEST(WorkCountersTest, DefaultHasOneInitOp) {
+  const engine::WorkCounters w;
+  EXPECT_DOUBLE_EQ(w.init_ops, 1.0);
+  EXPECT_DOUBLE_EQ(w.sequential_pages, 0.0);
+}
+
+TEST(PerformanceProfileTest, ProfilesAreDistinctAndPositive) {
+  const sim::PerformanceProfile a = sim::PerformanceProfile::Alpha();
+  const sim::PerformanceProfile b = sim::PerformanceProfile::Beta();
+  EXPECT_EQ(a.name, "alpha");
+  EXPECT_EQ(b.name, "beta");
+  for (const sim::PerformanceProfile& p : {a, b}) {
+    EXPECT_GT(p.init_seconds, 0.0);
+    EXPECT_GT(p.seq_page_seconds, 0.0);
+    EXPECT_GT(p.rand_page_seconds, p.seq_page_seconds);  // seeks cost more
+    EXPECT_GT(p.tuple_cpu_seconds, 0.0);
+    EXPECT_GT(p.base_buffer_hit, 0.0);
+    EXPECT_LT(p.base_buffer_hit, 1.0);
+    EXPECT_GT(p.noise_cv, 0.0);
+    EXPECT_LT(p.noise_cv, 0.3);
+  }
+  EXPECT_NE(a.init_seconds, b.init_seconds);
+  EXPECT_NE(a.planner.prefer_hash_join, b.planner.prefer_hash_join);
+}
+
+TEST(PlannerRulesTest, DefaultsAreSane) {
+  const engine::PlannerRules rules;
+  EXPECT_GT(rules.nonclustered_selectivity_limit, 0.0);
+  EXPECT_LT(rules.nonclustered_selectivity_limit, 0.5);
+  EXPECT_GT(rules.index_join_outer_limit, 0.0);
+  EXPECT_GT(rules.buffer_pages, 1);
+}
+
+TEST(CheckDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ MSCM_CHECK_MSG(1 == 2, "intentional"); }, "intentional");
+}
+
+TEST(CheckDeathTest, CheckPassesSilently) {
+  MSCM_CHECK(1 + 1 == 2);  // must not abort
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mscm

@@ -1,0 +1,152 @@
+#include "core/model_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/agent_source.h"
+#include "core/validation.h"
+#include "mdbs/local_dbs.h"
+#include "tests/test_util.h"
+
+namespace mscm::core {
+namespace {
+
+// Synthetic source with a piecewise ground truth over unary-class features.
+class SyntheticSource : public ObservationSource {
+ public:
+  explicit SyntheticSource(uint64_t seed) : rng_(seed) {}
+
+  Observation Draw() override { return At(rng_.NextDouble()); }
+
+  std::optional<Observation> DrawInProbingRange(double lo, double hi,
+                                                int) override {
+    return At(rng_.Uniform(std::max(0.0, lo), std::min(1.0, hi)));
+  }
+
+  Observation At(double probe) {
+    Observation o;
+    o.probing_cost = probe;
+    o.features.resize(7);
+    for (auto& f : o.features) f = rng_.Uniform(0.0, 10.0);
+    const double scale = probe < 0.33 ? 1.0 : (probe < 0.66 ? 3.0 : 8.0);
+    o.cost = scale * (0.5 + 1.2 * o.features[0] + 0.7 * o.features[2]) +
+             rng_.Gaussian(0.0, 0.1);
+    return o;
+  }
+
+ private:
+  Rng rng_;
+};
+
+TEST(ModelBuilderTest, DrawObservationsCount) {
+  SyntheticSource source(1);
+  EXPECT_EQ(DrawObservations(source, 37).size(), 37u);
+}
+
+TEST(ModelBuilderTest, IupmaPipelineProducesGoodModel) {
+  SyntheticSource source(2);
+  ModelBuildOptions options;
+  options.algorithm = StateAlgorithm::kIupma;
+  const BuildReport report =
+      BuildCostModel(QueryClassId::kUnarySeqScan, source, options);
+  EXPECT_GE(report.model.states().num_states(), 3);
+  EXPECT_GT(report.model.r_squared(), 0.97);
+  // Variables 0 and 2 carry the signal.
+  const auto& sel = report.model.selected_variables();
+  EXPECT_NE(std::find(sel.begin(), sel.end(), 0), sel.end());
+  EXPECT_NE(std::find(sel.begin(), sel.end(), 2), sel.end());
+}
+
+TEST(ModelBuilderTest, SingleStateAlgorithmYieldsOneState) {
+  SyntheticSource source(3);
+  ModelBuildOptions options;
+  options.algorithm = StateAlgorithm::kSingleState;
+  options.sample_size = 150;
+  const BuildReport report =
+      BuildCostModel(QueryClassId::kUnarySeqScan, source, options);
+  EXPECT_EQ(report.model.states().num_states(), 1);
+}
+
+TEST(ModelBuilderTest, MultiStateBeatsSingleStateOutOfSample) {
+  SyntheticSource train_source(4);
+  ModelBuildOptions multi;
+  multi.algorithm = StateAlgorithm::kIupma;
+  const BuildReport m =
+      BuildCostModel(QueryClassId::kUnarySeqScan, train_source, multi);
+
+  SyntheticSource train_source2(4);  // same stream for fairness
+  ModelBuildOptions single;
+  single.algorithm = StateAlgorithm::kSingleState;
+  const BuildReport s =
+      BuildCostModel(QueryClassId::kUnarySeqScan, train_source2, single);
+
+  SyntheticSource test_source(99);
+  const ObservationSet test = DrawObservations(test_source, 200);
+  const ValidationReport vm = Validate(m.model, test);
+  const ValidationReport vs = Validate(s.model, test);
+  EXPECT_GT(vm.pct_very_good, vs.pct_very_good);
+  EXPECT_GT(vm.pct_good, vs.pct_good + 0.05);
+}
+
+TEST(ModelBuilderTest, IcmaPipelineRunsOnClusteredSource) {
+  class ClusteredSource : public SyntheticSource {
+   public:
+    explicit ClusteredSource(uint64_t seed)
+        : SyntheticSource(seed), rng2_(seed ^ 0xabc) {}
+    Observation Draw() override {
+      const double pick = rng2_.NextDouble();
+      const double probe = pick < 0.4   ? rng2_.Uniform(0.05, 0.15)
+                           : pick < 0.8 ? rng2_.Uniform(0.45, 0.55)
+                                        : rng2_.Uniform(0.85, 0.95);
+      return At(probe);
+    }
+
+   private:
+    Rng rng2_;
+  };
+  ClusteredSource source(5);
+  ModelBuildOptions options;
+  options.algorithm = StateAlgorithm::kIcma;
+  const BuildReport report =
+      BuildCostModel(QueryClassId::kUnarySeqScan, source, options);
+  EXPECT_GE(report.model.states().num_states(), 3);
+  EXPECT_GT(report.model.r_squared(), 0.97);
+}
+
+TEST(ModelBuilderTest, FromObservationsMatchesSourcePipeline) {
+  SyntheticSource source(6);
+  const ObservationSet obs = DrawObservations(source, 400);
+  ModelBuildOptions options;
+  options.algorithm = StateAlgorithm::kIupma;
+  const BuildReport report = BuildCostModelFromObservations(
+      QueryClassId::kUnarySeqScan, obs, options);
+  EXPECT_GT(report.model.r_squared(), 0.95);
+  EXPECT_EQ(report.training.size(), 400u);
+}
+
+TEST(ModelBuilderTest, EndToEndAgainstLiveSite) {
+  mdbs::LocalDbsConfig config;
+  config.tables.num_tables = 4;
+  config.tables.scale = 0.05;
+  config.load.regime = sim::LoadRegime::kUniform;
+  config.load.max_processes = 100.0;
+  config.seed = 7;
+  mdbs::LocalDbs site(config);
+  AgentObservationSource source(&site, QueryClassId::kUnarySeqScan, 8);
+  ModelBuildOptions options;
+  options.sample_size = 250;
+  const BuildReport report =
+      BuildCostModel(QueryClassId::kUnarySeqScan, source, options);
+  EXPECT_GT(report.model.r_squared(), 0.8);
+  EXPECT_GE(report.model.states().num_states(), 2);
+  // F-test significant at the paper's alpha = 0.01.
+  EXPECT_LT(report.model.f_pvalue(), 0.01);
+}
+
+TEST(ModelBuilderTest, StateAlgorithmNames) {
+  EXPECT_STREQ(ToString(StateAlgorithm::kIupma), "IUPMA");
+  EXPECT_STREQ(ToString(StateAlgorithm::kIcma), "ICMA");
+  EXPECT_STREQ(ToString(StateAlgorithm::kSingleState), "single-state");
+}
+
+}  // namespace
+}  // namespace mscm::core

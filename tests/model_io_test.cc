@@ -1,0 +1,165 @@
+#include "core/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mscm::core {
+namespace {
+
+CostModel MakeModel(int num_states, QualitativeForm form,
+                    QueryClassId cls = QueryClassId::kUnarySeqScan) {
+  test::SyntheticGroundTruth truth;
+  for (int s = 0; s < num_states; ++s) {
+    truth.intercepts.push_back(1.0 + 2.0 * s);
+    truth.slopes.push_back({0.5 * (s + 1), 0.25 * (s + 1)});
+  }
+  truth.noise_stddev = 0.05;
+  Rng rng(7);
+  const ObservationSet obs = test::SyntheticObservations(truth, 200, rng);
+  const ContentionStates states =
+      num_states == 1
+          ? ContentionStates::Single()
+          : ContentionStates::UniformPartition(0.0, 1.0, num_states);
+  return FitCostModel(cls, obs, {0, 1}, states, form);
+}
+
+TEST(ModelIoTest, RoundTripPreservesEstimates) {
+  const CostModel original = MakeModel(3, QualitativeForm::kGeneral);
+  const std::string blob = SerializeCostModel(original);
+  const auto restored = ParseCostModel(blob);
+  ASSERT_TRUE(restored.has_value());
+
+  EXPECT_EQ(restored->class_id(), original.class_id());
+  EXPECT_EQ(restored->states().num_states(), original.states().num_states());
+  EXPECT_EQ(restored->selected_variables(), original.selected_variables());
+  EXPECT_DOUBLE_EQ(restored->r_squared(), original.r_squared());
+  EXPECT_DOUBLE_EQ(restored->standard_error(), original.standard_error());
+
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> features = {rng.Uniform(0, 10),
+                                          rng.Uniform(0, 10)};
+    const double probe = rng.NextDouble();
+    EXPECT_DOUBLE_EQ(restored->Estimate(features, probe),
+                     original.Estimate(features, probe));
+  }
+}
+
+TEST(ModelIoTest, RoundTripAllForms) {
+  for (QualitativeForm form :
+       {QualitativeForm::kCoincident, QualitativeForm::kParallel,
+        QualitativeForm::kConcurrent, QualitativeForm::kGeneral}) {
+    const CostModel original = MakeModel(2, form);
+    const auto restored = ParseCostModel(SerializeCostModel(original));
+    ASSERT_TRUE(restored.has_value()) << ToString(form);
+    EXPECT_DOUBLE_EQ(restored->Estimate({1.0, 2.0}, 0.3),
+                     original.Estimate({1.0, 2.0}, 0.3))
+        << ToString(form);
+  }
+}
+
+TEST(ModelIoTest, RoundTripSingleState) {
+  const CostModel original = MakeModel(1, QualitativeForm::kGeneral);
+  const auto restored = ParseCostModel(SerializeCostModel(original));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->states().num_states(), 1);
+}
+
+TEST(ModelIoTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseCostModel("").has_value());
+  EXPECT_FALSE(ParseCostModel("not a model").has_value());
+  EXPECT_FALSE(ParseCostModel("mscm-cost-model v1\nend\n").has_value());
+}
+
+TEST(ModelIoTest, RejectsTamperedRecords) {
+  const std::string blob = SerializeCostModel(
+      MakeModel(2, QualitativeForm::kGeneral));
+  {
+    // Unknown key.
+    std::string bad = blob;
+    bad.insert(bad.find("end"), "bogus 1 2 3\n");
+    EXPECT_FALSE(ParseCostModel(bad).has_value());
+  }
+  {
+    // Out-of-range class id.
+    std::string bad = blob;
+    const size_t pos = bad.find("class ");
+    bad.replace(pos, bad.find('\n', pos) - pos, "class 99");
+    EXPECT_FALSE(ParseCostModel(bad).has_value());
+  }
+  {
+    // Truncated (no end marker).
+    std::string bad = blob.substr(0, blob.find("end"));
+    EXPECT_FALSE(ParseCostModel(bad).has_value());
+  }
+  {
+    // Coefficient count inconsistent with layout.
+    std::string bad = blob;
+    const size_t pos = bad.find("coefficients ");
+    const size_t eol = bad.find('\n', pos);
+    bad.replace(pos, eol - pos, "coefficients 1.0 2.0");
+    EXPECT_FALSE(ParseCostModel(bad).has_value());
+  }
+}
+
+TEST(ModelIoTest, RejectsUnsortedBoundaries) {
+  std::string blob =
+      SerializeCostModel(MakeModel(3, QualitativeForm::kGeneral));
+  const size_t pos = blob.find("states ");
+  const size_t eol = blob.find('\n', pos);
+  blob.replace(pos, eol - pos, "states 0.9 0.1");
+  EXPECT_FALSE(ParseCostModel(blob).has_value());
+}
+
+TEST(CatalogIoTest, RoundTripMultipleEntries) {
+  GlobalCatalog catalog;
+  catalog.Register("alpha", MakeModel(2, QualitativeForm::kGeneral));
+  catalog.Register("beta", MakeModel(3, QualitativeForm::kGeneral));
+  catalog.Register("beta", MakeModel(1, QualitativeForm::kGeneral,
+                                     QueryClassId::kJoinNoIndex));
+  const std::string blob = SerializeCatalog(catalog);
+  const auto restored = ParseCatalog(blob);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->size(), 3u);
+  ASSERT_NE(restored->Find("alpha", QueryClassId::kUnarySeqScan), nullptr);
+  ASSERT_NE(restored->Find("beta", QueryClassId::kJoinNoIndex), nullptr);
+  EXPECT_EQ(restored->Find("beta", QueryClassId::kUnarySeqScan)
+                ->states()
+                .num_states(),
+            3);
+}
+
+TEST(CatalogIoTest, EmptyCatalogRoundTrips) {
+  const auto restored = ParseCatalog(SerializeCatalog(GlobalCatalog{}));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->size(), 0u);
+}
+
+TEST(CatalogIoTest, RejectsBadHeader) {
+  EXPECT_FALSE(ParseCatalog("wrong\n").has_value());
+}
+
+
+TEST(CatalogIoTest, FileRoundTrip) {
+  GlobalCatalog catalog;
+  catalog.Register("alpha", MakeModel(2, QualitativeForm::kGeneral));
+  const std::string path = ::testing::TempDir() + "/mscm_catalog_test.txt";
+  ASSERT_TRUE(SaveCatalogToFile(catalog, path));
+  const auto restored = LoadCatalogFromFile(path);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->size(), 1u);
+  EXPECT_NE(restored->Find("alpha", QueryClassId::kUnarySeqScan), nullptr);
+}
+
+TEST(CatalogIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadCatalogFromFile("/nonexistent/dir/file.txt").has_value());
+}
+
+TEST(CatalogIoTest, SaveToUnwritablePathFails) {
+  GlobalCatalog catalog;
+  EXPECT_FALSE(SaveCatalogToFile(catalog, "/nonexistent/dir/file.txt"));
+}
+
+}  // namespace
+}  // namespace mscm::core

@@ -1,0 +1,130 @@
+#include "sim/network.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/global_planner.h"
+#include "stats/descriptive.h"
+#include "tests/test_util.h"
+
+namespace mscm::sim {
+namespace {
+
+TEST(NetworkLinkTest, UtilizationStaysInBounds) {
+  NetworkLinkConfig config;
+  NetworkLink link(config, 1);
+  for (int i = 0; i < 500; ++i) {
+    link.Advance(10.0);
+    EXPECT_GE(link.utilization(), 0.0);
+    EXPECT_LE(link.utilization(), config.max_utilization);
+  }
+}
+
+TEST(NetworkLinkTest, EffectiveBandwidthShrinksWithUtilization) {
+  NetworkLinkConfig config;
+  NetworkLink link(config, 2);
+  link.SetUtilization(0.0);
+  const double idle = link.EffectiveBandwidth();
+  link.SetUtilization(0.8);
+  const double busy = link.EffectiveBandwidth();
+  EXPECT_DOUBLE_EQ(idle, config.bandwidth_bytes_per_sec);
+  EXPECT_NEAR(busy, 0.2 * config.bandwidth_bytes_per_sec, 1e-9);
+}
+
+TEST(NetworkLinkTest, TransferTimeScalesWithBytes) {
+  NetworkLinkConfig config;
+  config.noise_cv = 0.0;
+  NetworkLink link(config, 3);
+  link.SetUtilization(0.0);
+  const double small = link.Transfer(1e5);
+  link.SetUtilization(0.0);
+  const double big = link.Transfer(1e7);
+  EXPECT_GT(big, small * 10.0);
+}
+
+TEST(NetworkLinkTest, CongestionSlowsTransfers) {
+  NetworkLinkConfig config;
+  config.noise_cv = 0.0;
+  NetworkLink link(config, 4);
+  link.SetUtilization(0.0);
+  const double idle = link.Transfer(1e6);
+  link.SetUtilization(0.9);
+  const double busy = link.Transfer(1e6);
+  EXPECT_GT(busy, idle * 5.0);
+}
+
+TEST(NetworkLinkTest, ProbeGaugesCongestion) {
+  NetworkLinkConfig config;
+  NetworkLink link(config, 5);
+  std::vector<double> low;
+  std::vector<double> high;
+  for (int i = 0; i < 30; ++i) {
+    link.SetUtilization(0.1);
+    low.push_back(link.Probe());
+    link.SetUtilization(0.85);
+    high.push_back(link.Probe());
+  }
+  EXPECT_GT(stats::Mean(high), 2.0 * stats::Mean(low));
+}
+
+TEST(NetworkLinkTest, MeanReversionPullsTowardConfiguredMean) {
+  NetworkLinkConfig config;
+  config.mean_utilization = 0.5;
+  config.utilization_walk_stddev = 0.0;  // pure reversion
+  NetworkLink link(config, 6);
+  link.SetUtilization(0.05);
+  for (int i = 0; i < 100; ++i) link.Advance(60.0);
+  EXPECT_NEAR(link.utilization(), 0.5, 0.02);
+}
+
+TEST(NetworkLinkTest, ZeroByteTransferStillPaysLatency) {
+  NetworkLinkConfig config;
+  config.noise_cv = 0.0;
+  NetworkLink link(config, 7);
+  link.SetUtilization(0.0);
+  EXPECT_NEAR(link.Transfer(0.0), config.base_latency_seconds, 1e-9);
+}
+
+TEST(NetworkPlannerTest, ShippingCostCanFlipPlacement) {
+  // Identical local models at two sites; the slower link loses.
+  core::GlobalCatalog catalog;
+  auto make_model = []() {
+    core::ObservationSet obs;
+    Rng rng(8);
+    const size_t n = core::VariableSet::ForClass(
+                          core::QueryClassId::kUnarySeqScan)
+                          .size();
+    for (int i = 0; i < 40; ++i) {
+      core::Observation o;
+      o.probing_cost = 0.5;
+      o.features.assign(n, 0.0);
+      o.features[0] = rng.Uniform(1.0, 10.0);
+      o.cost = 2.0 * o.features[0];
+      obs.push_back(o);
+    }
+    return core::FitCostModel(core::QueryClassId::kUnarySeqScan, obs, {0},
+                              core::ContentionStates::Single(),
+                              core::QualitativeForm::kGeneral);
+  };
+  catalog.Register("near", make_model());
+  catalog.Register("far", make_model());
+
+  core::ComponentQueryCandidate near_site;
+  near_site.site = "near";
+  near_site.features.assign(7, 0.0);
+  near_site.features[0] = 5.0;
+  near_site.probing_cost = 0.5;
+  near_site.shipping_seconds = 0.2;
+  core::ComponentQueryCandidate far_site = near_site;
+  far_site.site = "far";
+  far_site.shipping_seconds = 30.0;
+
+  const core::PlacementDecision d =
+      core::ChoosePlacement(catalog, {far_site, near_site});
+  EXPECT_EQ(d.chosen, 1);
+  EXPECT_NEAR(d.estimates[0] - d.estimates[1], 29.8, 1e-9);
+}
+
+}  // namespace
+}  // namespace mscm::sim

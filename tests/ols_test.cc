@@ -1,0 +1,206 @@
+#include "stats/ols.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mscm::stats {
+namespace {
+
+Matrix DesignWithIntercept(const std::vector<std::vector<double>>& xs) {
+  std::vector<std::vector<double>> rows;
+  for (const auto& x : xs) {
+    std::vector<double> row = {1.0};
+    row.insert(row.end(), x.begin(), x.end());
+    rows.push_back(row);
+  }
+  return Matrix::FromRows(rows);
+}
+
+TEST(OlsTest, PerfectLineRecovered) {
+  // y = 3 + 2x, no noise.
+  const Matrix x = DesignWithIntercept({{0}, {1}, {2}, {3}, {4}});
+  const std::vector<double> y = {3, 5, 7, 9, 11};
+  const OlsResult r = FitOls(x, y);
+  EXPECT_NEAR(r.coefficients[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.coefficients[1], 2.0, 1e-10);
+  EXPECT_NEAR(r.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(r.sse, 0.0, 1e-18);
+}
+
+TEST(OlsTest, KnownTextbookRegression) {
+  // Simple regression: slope = Sxy/Sxx, intercept = ybar - slope*xbar.
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 2.8, 3.6, 4.5, 5.1};
+  const Matrix x = DesignWithIntercept({{1}, {2}, {3}, {4}, {5}});
+  const OlsResult r = FitOls(x, ys);
+  const double xbar = 3.0;
+  double ybar = 0.0;
+  for (double v : ys) ybar += v;
+  ybar /= 5.0;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (size_t i = 0; i < 5; ++i) {
+    sxy += (xs[i] - xbar) * (ys[i] - ybar);
+    sxx += (xs[i] - xbar) * (xs[i] - xbar);
+  }
+  EXPECT_NEAR(r.coefficients[1], sxy / sxx, 1e-12);
+  EXPECT_NEAR(r.coefficients[0], ybar - (sxy / sxx) * xbar, 1e-12);
+}
+
+TEST(OlsTest, ResidualsOrthogonalToDesign) {
+  Rng rng(4);
+  Matrix x(30, 3);
+  std::vector<double> y(30);
+  for (size_t i = 0; i < 30; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = rng.Uniform(0, 10);
+    x(i, 2) = rng.Uniform(-5, 5);
+    y[i] = 2.0 + 0.5 * x(i, 1) - 1.5 * x(i, 2) + rng.Gaussian(0, 0.3);
+  }
+  const OlsResult r = FitOls(x, y);
+  // X^T residuals == 0 is the normal-equation optimality condition.
+  for (size_t j = 0; j < 3; ++j) {
+    double dot = 0.0;
+    for (size_t i = 0; i < 30; ++i) dot += x(i, j) * r.residuals[i];
+    EXPECT_NEAR(dot, 0.0, 1e-8);
+  }
+}
+
+TEST(OlsTest, RecoversCoefficientsUnderNoise) {
+  Rng rng(8);
+  const size_t n = 400;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = rng.Uniform(0, 100);
+    x(i, 2) = rng.Uniform(0, 50);
+    y[i] = 5.0 + 0.8 * x(i, 1) + 2.5 * x(i, 2) + rng.Gaussian(0, 2.0);
+  }
+  const OlsResult r = FitOls(x, y);
+  EXPECT_NEAR(r.coefficients[0], 5.0, 1.0);
+  EXPECT_NEAR(r.coefficients[1], 0.8, 0.02);
+  EXPECT_NEAR(r.coefficients[2], 2.5, 0.05);
+  EXPECT_GT(r.r_squared, 0.99);
+  EXPECT_NEAR(r.standard_error, 2.0, 0.4);
+}
+
+TEST(OlsTest, SeeMatchesPaperFormula) {
+  // SEE = sqrt(SSE / (n - m - 1)) with m explanatory variables + intercept.
+  Rng rng(10);
+  const size_t n = 50;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = rng.Uniform(0, 10);
+    y[i] = 1.0 + x(i, 1) + rng.Gaussian(0, 1.0);
+  }
+  const OlsResult r = FitOls(x, y);
+  EXPECT_NEAR(r.standard_error,
+              std::sqrt(r.sse / (static_cast<double>(n) - 2.0)), 1e-12);
+}
+
+TEST(OlsTest, RSquaredZeroForPureNoiseRegressor) {
+  Rng rng(11);
+  const size_t n = 2000;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = rng.Gaussian();
+    y[i] = rng.Gaussian();
+  }
+  const OlsResult r = FitOls(x, y);
+  EXPECT_LT(r.r_squared, 0.01);
+  EXPECT_GT(r.f_pvalue, 0.001);
+}
+
+TEST(OlsTest, FTestSignificantForRealSignal) {
+  Rng rng(12);
+  const size_t n = 60;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = rng.Uniform(0, 10);
+    y[i] = 2.0 * x(i, 1) + rng.Gaussian(0, 1.0);
+  }
+  const OlsResult r = FitOls(x, y);
+  EXPECT_GT(r.f_statistic, 100.0);
+  EXPECT_LT(r.f_pvalue, 1e-6);
+}
+
+TEST(OlsTest, TStatisticsFlagIrrelevantVariable) {
+  Rng rng(13);
+  const size_t n = 300;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = rng.Uniform(0, 10);
+    x(i, 2) = rng.Uniform(0, 10);  // irrelevant
+    y[i] = 1.0 + 3.0 * x(i, 1) + rng.Gaussian(0, 1.0);
+  }
+  const OlsResult r = FitOls(x, y);
+  EXPECT_GT(std::fabs(r.t_statistics[1]), 10.0);
+  EXPECT_LT(std::fabs(r.t_statistics[2]), 3.5);
+}
+
+TEST(OlsTest, PredictMatchesFitted) {
+  const Matrix x = DesignWithIntercept({{0}, {1}, {2}});
+  const OlsResult r = FitOls(x, {1, 3, 5});
+  EXPECT_NEAR(r.Predict({1.0, 1.5}), 4.0, 1e-10);
+}
+
+TEST(OlsTest, AdjustedRSquaredBelowRSquared) {
+  Rng rng(14);
+  const size_t n = 25;
+  Matrix x(n, 4);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = 1.0;
+    for (size_t j = 1; j < 4; ++j) x(i, j) = rng.Uniform(0, 1);
+    y[i] = x(i, 1) + rng.Gaussian(0, 0.5);
+  }
+  const OlsResult r = FitOls(x, y);
+  EXPECT_LT(r.adjusted_r_squared, r.r_squared);
+}
+
+TEST(VifTest, OrthogonalColumnsHaveUnitVif) {
+  // Two orthogonal, centered columns: VIF should be ~1.
+  const Matrix x = Matrix::FromRows({{1, -1, -1},
+                                     {1, -1, 1},
+                                     {1, 1, -1},
+                                     {1, 1, 1}});
+  EXPECT_NEAR(VarianceInflationFactor(x, 1), 1.0, 1e-9);
+  EXPECT_NEAR(VarianceInflationFactor(x, 2), 1.0, 1e-9);
+}
+
+TEST(VifTest, CollinearColumnHasHugeVif) {
+  // col2 = 2 * col1.
+  const Matrix x = Matrix::FromRows(
+      {{1, 1, 2}, {1, 2, 4}, {1, 3, 6}, {1, 4, 8}, {1, 5, 10}});
+  EXPECT_GT(VarianceInflationFactor(x, 2), 1e6);
+}
+
+TEST(VifTest, ModerateCorrelationGivesModerateVif) {
+  Rng rng(15);
+  const size_t n = 500;
+  Matrix x(n, 3);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = rng.Gaussian();
+    // Correlated with column 1 (rho ~ 0.9 => VIF ~ 1/(1-0.81) ~ 5).
+    x(i, 2) = 0.9 * x(i, 1) + std::sqrt(1 - 0.81) * rng.Gaussian();
+  }
+  const double vif = VarianceInflationFactor(x, 2);
+  EXPECT_GT(vif, 3.0);
+  EXPECT_LT(vif, 9.0);
+}
+
+}  // namespace
+}  // namespace mscm::stats

@@ -1,0 +1,106 @@
+// Property tests (parameterized) across the whole model-building pipeline:
+// for a family of piecewise ground truths (varying contrast between regimes
+// and noise levels), the multi-states pipeline must dominate the one-state
+// special case in-sample, and its state count must track the true number of
+// regimes.
+
+#include <gtest/gtest.h>
+
+#include "core/model_builder.h"
+#include "tests/test_util.h"
+
+namespace mscm::core {
+namespace {
+
+struct PipelineCase {
+  int true_regimes;
+  double contrast;  // cost multiplier ratio between adjacent regimes
+  double noise;
+};
+
+void PrintTo(const PipelineCase& c, std::ostream* os) {
+  *os << "r" << c.true_regimes << "/contrast" << c.contrast << "/noise"
+      << c.noise;
+}
+
+class PipelinePropertyTest : public ::testing::TestWithParam<PipelineCase> {
+ protected:
+  ObservationSet MakeObservations(size_t n, uint64_t seed) const {
+    const auto [regimes, contrast, noise] = GetParam();
+    test::SyntheticGroundTruth truth;
+    double scale = 1.0;
+    for (int r = 0; r < regimes; ++r) {
+      truth.intercepts.push_back(0.5 * scale);
+      // The unary variable set has 7 variables; only the first two carry
+      // signal, the rest are inert (zero slope) so variable selection has
+      // something to prune.
+      truth.slopes.push_back(
+          {1.0 * scale, 0.4 * scale, 0.0, 0.0, 0.0, 0.0, 0.0});
+      scale *= contrast;
+    }
+    truth.noise_stddev = noise;
+    Rng rng(seed);
+    return test::SyntheticObservations(truth, n, rng);
+  }
+};
+
+TEST_P(PipelinePropertyTest, MultiStatesDominatesOneStateInSample) {
+  const ObservationSet obs = MakeObservations(500, 21);
+  ModelBuildOptions multi;
+  multi.algorithm = StateAlgorithm::kIupma;
+  const BuildReport m = BuildCostModelFromObservations(
+      QueryClassId::kUnarySeqScan, obs, multi);
+  ModelBuildOptions single;
+  single.algorithm = StateAlgorithm::kSingleState;
+  const BuildReport s = BuildCostModelFromObservations(
+      QueryClassId::kUnarySeqScan, obs, single);
+  EXPECT_GE(m.model.r_squared() + 1e-9, s.model.r_squared());
+  EXPECT_LE(m.model.standard_error(), s.model.standard_error() * 1.001);
+}
+
+TEST_P(PipelinePropertyTest, StateCountTracksTrueRegimes) {
+  const auto [regimes, contrast, noise] = GetParam();
+  const ObservationSet obs = MakeObservations(600, 22);
+  ModelBuildOptions options;
+  options.algorithm = StateAlgorithm::kIupma;
+  const BuildReport report = BuildCostModelFromObservations(
+      QueryClassId::kUnarySeqScan, obs, options);
+  if (regimes == 1) {
+    // Homogeneous data must not hallucinate many states.
+    EXPECT_LE(report.model.states().num_states(), 2);
+  } else if (contrast >= 3.0 && noise <= 0.3) {
+    // Strong, clean regime structure must be detected.
+    EXPECT_GE(report.model.states().num_states(), regimes);
+  }
+  // Never exceed the configured maximum.
+  EXPECT_LE(report.model.states().num_states(),
+            options.states.max_states);
+}
+
+TEST_P(PipelinePropertyTest, IcmaAgreesWithIupmaOnUniformProbes) {
+  // Probing costs here are uniform, so clustering-based and uniform
+  // partitions should produce models of comparable quality.
+  const ObservationSet obs = MakeObservations(500, 23);
+  ModelBuildOptions iupma;
+  iupma.algorithm = StateAlgorithm::kIupma;
+  ObservationSet obs_copy = obs;
+  const BuildReport a = BuildCostModelFromObservations(
+      QueryClassId::kUnarySeqScan, obs, iupma);
+  ModelBuildOptions icma;
+  icma.algorithm = StateAlgorithm::kIcma;
+  const BuildReport b = BuildCostModelFromObservations(
+      QueryClassId::kUnarySeqScan, obs_copy, icma);
+  // Clustering has no natural boundaries to lock onto in uniform data, so
+  // allow a modest quality gap in either direction.
+  EXPECT_NEAR(a.model.r_squared(), b.model.r_squared(), 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GroundTruthFamilies, PipelinePropertyTest,
+    ::testing::Values(PipelineCase{1, 1.0, 0.1}, PipelineCase{2, 3.0, 0.1},
+                      PipelineCase{2, 8.0, 0.3}, PipelineCase{3, 3.0, 0.1},
+                      PipelineCase{3, 3.0, 0.5}, PipelineCase{4, 4.0, 0.2},
+                      PipelineCase{5, 2.0, 0.2}));
+
+}  // namespace
+}  // namespace mscm::core

@@ -1,0 +1,117 @@
+#include "engine/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mscm::engine {
+namespace {
+
+TEST(ConditionTest, AllOperatorsMatchCorrectly) {
+  const Row row = {5, 10};
+  EXPECT_TRUE((Condition{0, CompareOp::kEq, 5, 0}).Matches(row));
+  EXPECT_FALSE((Condition{0, CompareOp::kEq, 6, 0}).Matches(row));
+  EXPECT_TRUE((Condition{0, CompareOp::kLt, 6, 0}).Matches(row));
+  EXPECT_FALSE((Condition{0, CompareOp::kLt, 5, 0}).Matches(row));
+  EXPECT_TRUE((Condition{0, CompareOp::kLe, 5, 0}).Matches(row));
+  EXPECT_TRUE((Condition{0, CompareOp::kGt, 4, 0}).Matches(row));
+  EXPECT_FALSE((Condition{0, CompareOp::kGt, 5, 0}).Matches(row));
+  EXPECT_TRUE((Condition{0, CompareOp::kGe, 5, 0}).Matches(row));
+  EXPECT_TRUE((Condition{1, CompareOp::kBetween, 10, 10}).Matches(row));
+  EXPECT_FALSE((Condition{1, CompareOp::kBetween, 11, 20}).Matches(row));
+}
+
+TEST(ConditionTest, KeyRangeMatchesSemantics) {
+  const Condition between{0, CompareOp::kBetween, 3, 7};
+  EXPECT_EQ(between.KeyRange(), std::make_pair(int64_t{3}, int64_t{7}));
+  const Condition eq{0, CompareOp::kEq, 4, 0};
+  EXPECT_EQ(eq.KeyRange(), std::make_pair(int64_t{4}, int64_t{4}));
+  const Condition lt{0, CompareOp::kLt, 4, 0};
+  EXPECT_EQ(lt.KeyRange().second, 3);
+  const Condition ge{0, CompareOp::kGe, 4, 0};
+  EXPECT_EQ(ge.KeyRange().first, 4);
+}
+
+TEST(PredicateTest, EmptyPredicateMatchesEverything) {
+  const Predicate p;
+  EXPECT_TRUE(p.Matches({1, 2, 3}));
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(PredicateTest, ConjunctionSemantics) {
+  Predicate p;
+  p.Add({0, CompareOp::kGe, 5, 0});
+  p.Add({1, CompareOp::kLt, 10, 0});
+  EXPECT_TRUE(p.Matches({5, 9}));
+  EXPECT_FALSE(p.Matches({4, 9}));
+  EXPECT_FALSE(p.Matches({5, 10}));
+}
+
+TEST(PredicateTest, FindCondition) {
+  Predicate p;
+  p.Add({2, CompareOp::kEq, 1, 0});
+  p.Add({0, CompareOp::kGt, 1, 0});
+  EXPECT_EQ(p.FindCondition(2), 0);
+  EXPECT_EQ(p.FindCondition(0), 1);
+  EXPECT_EQ(p.FindCondition(1), -1);
+}
+
+TEST(PredicateTest, ToStringReadable) {
+  const Schema schema({{"a1", 8}, {"a2", 8}});
+  Predicate p;
+  p.Add({0, CompareOp::kBetween, 3, 9});
+  p.Add({1, CompareOp::kGt, 100, 0});
+  EXPECT_EQ(p.ToString(schema), "a1 between 3 and 9 and a2 > 100");
+  EXPECT_EQ(Predicate().ToString(schema), "true");
+}
+
+class SelectivityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = std::make_unique<Table>(test::SequentialTable("T", 1000));
+    table_->RecomputeStats();
+  }
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(SelectivityTest, BetweenMatchesTrueFraction) {
+  // col0 uniform 0..999; between 100..299 -> 20%.
+  const Condition c{0, CompareOp::kBetween, 100, 299};
+  EXPECT_NEAR(EstimateConditionSelectivity(*table_, c), 0.2, 1e-9);
+}
+
+TEST_F(SelectivityTest, EqualityUsesDistinctCount) {
+  const Condition c{0, CompareOp::kEq, 500, 0};
+  EXPECT_NEAR(EstimateConditionSelectivity(*table_, c), 1.0 / 1000.0, 1e-12);
+}
+
+TEST_F(SelectivityTest, OutOfRangeGivesZero) {
+  const Condition c{0, CompareOp::kBetween, 5000, 6000};
+  EXPECT_DOUBLE_EQ(EstimateConditionSelectivity(*table_, c), 0.0);
+}
+
+TEST_F(SelectivityTest, WholeRangeGivesOne) {
+  const Condition c{0, CompareOp::kBetween, -100, 100000};
+  EXPECT_NEAR(EstimateConditionSelectivity(*table_, c), 1.0, 1e-9);
+}
+
+TEST_F(SelectivityTest, ConjunctionMultiplies) {
+  Predicate p;
+  p.Add({0, CompareOp::kBetween, 0, 499});    // 0.5
+  p.Add({1, CompareOp::kBetween, 0, 4});      // 0.5 of 0..9
+  EXPECT_NEAR(EstimatePredicateSelectivity(*table_, p), 0.25, 1e-9);
+}
+
+TEST_F(SelectivityTest, EstimateTracksActualCount) {
+  const Condition c{0, CompareOp::kBetween, 250, 749};
+  size_t actual = 0;
+  for (const Row& r : table_->rows()) {
+    if (c.Matches(r)) ++actual;
+  }
+  const double est = EstimateConditionSelectivity(*table_, c) *
+                     static_cast<double>(table_->num_rows());
+  EXPECT_NEAR(est, static_cast<double>(actual), 5.0);
+}
+
+}  // namespace
+}  // namespace mscm::engine

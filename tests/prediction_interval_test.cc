@@ -1,0 +1,119 @@
+// Tests for prediction standard errors, t quantiles, and cost-model
+// prediction intervals.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "stats/distributions.h"
+#include "stats/ols.h"
+#include "tests/test_util.h"
+
+namespace mscm {
+namespace {
+
+TEST(StudentTQuantileTest, MatchesTables) {
+  // t(0.975; 10) = 2.2281 -> upper quantile at alpha = 0.025.
+  EXPECT_NEAR(stats::StudentTUpperQuantile(0.025, 10), 2.2281, 1e-3);
+  EXPECT_NEAR(stats::StudentTUpperQuantile(0.05, 30), 1.6973, 1e-3);
+  // Large df approaches the normal quantile 1.96.
+  EXPECT_NEAR(stats::StudentTUpperQuantile(0.025, 100000), 1.96, 0.01);
+}
+
+TEST(StudentTQuantileTest, InvertsCdf) {
+  for (double alpha : {0.1, 0.05, 0.01}) {
+    const double t = stats::StudentTUpperQuantile(alpha, 17);
+    EXPECT_NEAR(1.0 - stats::StudentTCdf(t, 17), alpha, 1e-6);
+  }
+}
+
+TEST(PredictionSeTest, GrowsAwayFromDataCenter) {
+  Rng rng(1);
+  stats::Matrix x(60, 2);
+  std::vector<double> y(60);
+  for (size_t i = 0; i < 60; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = rng.Uniform(4.0, 6.0);  // data centered at 5
+    y[i] = 2.0 + x(i, 1) + rng.Gaussian(0, 0.5);
+  }
+  const stats::OlsResult fit = stats::FitOls(x, y);
+  const double se_center = fit.PredictionStandardError({1.0, 5.0});
+  const double se_far = fit.PredictionStandardError({1.0, 50.0});
+  EXPECT_GT(se_far, se_center * 2.0);
+  // At the center, prediction SE is close to (slightly above) the SEE.
+  EXPECT_GT(se_center, fit.standard_error);
+  EXPECT_LT(se_center, fit.standard_error * 1.1);
+}
+
+TEST(PredictionSeTest, ZeroWhenCovarianceAbsent) {
+  stats::OlsResult fit;
+  fit.coefficients = {1.0, 2.0};
+  fit.standard_error = 3.0;
+  EXPECT_DOUBLE_EQ(fit.PredictionStandardError({1.0, 1.0}), 0.0);
+}
+
+TEST(CostModelIntervalTest, CoversTrueCostsAtNominalRate) {
+  test::SyntheticGroundTruth truth;
+  truth.intercepts = {2.0, 10.0};
+  truth.slopes = {{1.0}, {4.0}};
+  truth.noise_stddev = 0.8;
+  Rng rng(2);
+  const core::ObservationSet train =
+      test::SyntheticObservations(truth, 300, rng);
+  const core::CostModel model = core::FitCostModel(
+      core::QueryClassId::kUnarySeqScan, train, {0},
+      core::ContentionStates::UniformPartition(0.0, 1.0, 2),
+      core::QualitativeForm::kGeneral);
+
+  const core::ObservationSet test =
+      test::SyntheticObservations(truth, 400, rng);
+  int covered = 0;
+  for (const auto& obs : test) {
+    const auto interval =
+        model.EstimateWithInterval(obs.features, obs.probing_cost, 0.05);
+    EXPECT_LE(interval.low, interval.estimate + 1e-9);
+    EXPECT_GE(interval.high, interval.estimate - 1e-9);
+    if (obs.cost >= interval.low && obs.cost <= interval.high) ++covered;
+  }
+  // Nominal 95% coverage; allow sampling slack.
+  const double coverage = static_cast<double>(covered) / 400.0;
+  EXPECT_GT(coverage, 0.90);
+  EXPECT_LT(coverage, 0.995);
+}
+
+TEST(CostModelIntervalTest, TighterAlphaWidensInterval) {
+  test::SyntheticGroundTruth truth;
+  truth.intercepts = {1.0};
+  truth.slopes = {{2.0}};
+  truth.noise_stddev = 0.5;
+  Rng rng(3);
+  const core::ObservationSet train =
+      test::SyntheticObservations(truth, 150, rng);
+  const core::CostModel model = core::FitCostModel(
+      core::QueryClassId::kUnarySeqScan, train, {0},
+      core::ContentionStates::Single(), core::QualitativeForm::kGeneral);
+  const std::vector<double> features = {5.0};
+  const auto wide = model.EstimateWithInterval(features, 0.5, 0.01);
+  const auto narrow = model.EstimateWithInterval(features, 0.5, 0.20);
+  EXPECT_GT(wide.high - wide.low, narrow.high - narrow.low);
+}
+
+TEST(CostModelIntervalTest, DegenerateForPersistedModels) {
+  // A model reconstructed without covariance returns a point interval.
+  stats::OlsResult fit;
+  fit.coefficients = {1.0, 2.0};
+  fit.standard_error = 1.0;
+  fit.n = 100;
+  fit.p = 2;
+  const core::CostModel model(
+      core::QueryClassId::kUnarySeqScan, {0}, core::ContentionStates::Single(),
+      core::DesignLayout::Make(1, core::QualitativeForm::kGeneral, 1),
+      std::move(fit));
+  const auto interval = model.EstimateWithInterval({3.0}, 0.5);
+  EXPECT_DOUBLE_EQ(interval.low, interval.estimate);
+  EXPECT_DOUBLE_EQ(interval.high, interval.estimate);
+}
+
+}  // namespace
+}  // namespace mscm

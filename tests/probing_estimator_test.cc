@@ -1,0 +1,102 @@
+#include "core/probing_estimator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mdbs/local_dbs.h"
+#include "stats/correlation.h"
+
+namespace mscm::core {
+namespace {
+
+TEST(ProbingEstimatorTest, StatFeatureOrderMatchesNames) {
+  EXPECT_EQ(ProbingCostEstimator::StatNames().size(),
+            ProbingCostEstimator::StatFeatures(sim::SystemStats{}).size());
+}
+
+class ProbingEstimatorFitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mdbs::LocalDbsConfig config;
+    config.tables.num_tables = 2;
+    config.tables.scale = 0.02;
+    config.seed = 3;
+    site_ = std::make_unique<mdbs::LocalDbs>(config);
+    // Paired (stats snapshot, observed probing cost) samples across the
+    // whole contention range.
+    Rng rng(4);
+    for (int i = 0; i < 150; ++i) {
+      site_->SetLoadProcesses(rng.Uniform(0.0, 120.0));
+      snapshots_.push_back(site_->MonitorSnapshot());
+      probes_.push_back(site_->RunProbingQuery());
+    }
+  }
+  std::unique_ptr<mdbs::LocalDbs> site_;
+  std::vector<sim::SystemStats> snapshots_;
+  std::vector<double> probes_;
+};
+
+TEST_F(ProbingEstimatorFitTest, FitExplainsProbingCosts) {
+  const ProbingCostEstimator est =
+      ProbingCostEstimator::Fit(snapshots_, probes_);
+  EXPECT_GT(est.r_squared(), 0.7);  // linear Eq. 2 on a mildly convex target
+}
+
+TEST_F(ProbingEstimatorFitTest, InsignificantStatsEliminated) {
+  const ProbingCostEstimator est =
+      ProbingCostEstimator::Fit(snapshots_, probes_);
+  EXPECT_LT(est.selected_stats().size(),
+            ProbingCostEstimator::StatNames().size());
+  EXPECT_GE(est.selected_stats().size(), 1u);
+}
+
+TEST_F(ProbingEstimatorFitTest, EstimatesTrackObservations) {
+  const ProbingCostEstimator est =
+      ProbingCostEstimator::Fit(snapshots_, probes_);
+  std::vector<double> estimates;
+  estimates.reserve(snapshots_.size());
+  for (const auto& s : snapshots_) estimates.push_back(est.Estimate(s));
+  EXPECT_GT(stats::PearsonCorrelation(estimates, probes_), 0.85);
+}
+
+TEST_F(ProbingEstimatorFitTest, EstimateOnFreshSnapshots) {
+  const ProbingCostEstimator est =
+      ProbingCostEstimator::Fit(snapshots_, probes_);
+  // New contention points not in the training set.
+  Rng rng(5);
+  std::vector<double> errors;
+  for (int i = 0; i < 40; ++i) {
+    site_->SetLoadProcesses(rng.Uniform(0.0, 120.0));
+    const auto snap = site_->MonitorSnapshot();
+    const double observed = site_->RunProbingQuery();
+    errors.push_back(std::fabs(est.Estimate(snap) - observed));
+  }
+  double mean_err = 0.0;
+  for (double e : errors) mean_err += e;
+  mean_err /= static_cast<double>(errors.size());
+  double mean_probe = 0.0;
+  for (double p : probes_) mean_probe += p;
+  mean_probe /= static_cast<double>(probes_.size());
+  // Mean absolute error well under the mean probing cost. (The linear Eq. 2
+  // underfits the swap-thrash convexity, so the band is generous.)
+  EXPECT_LT(mean_err, 0.65 * mean_probe);
+}
+
+TEST_F(ProbingEstimatorFitTest, EstimatesNonNegative) {
+  const ProbingCostEstimator est =
+      ProbingCostEstimator::Fit(snapshots_, probes_);
+  sim::SystemStats idle{};  // all-zero stats
+  EXPECT_GE(est.Estimate(idle), 0.0);
+}
+
+TEST_F(ProbingEstimatorFitTest, ToStringListsEquation) {
+  const ProbingCostEstimator est =
+      ProbingCostEstimator::Fit(snapshots_, probes_);
+  const std::string s = est.ToString();
+  EXPECT_NE(s.find("probing_cost ="), std::string::npos);
+  EXPECT_NE(s.find("R^2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mscm::core

@@ -1,0 +1,134 @@
+// Property tests (parameterized) over the qualitative design layouts: for
+// every (form, state count, variable count) combination, the layout must
+// have the Table 2 column structure, rows must activate exactly the right
+// terms, and ColumnOf must be consistent with Row.
+
+#include <gtest/gtest.h>
+
+#include "core/qualitative.h"
+#include "common/rng.h"
+
+namespace mscm::core {
+namespace {
+
+struct LayoutCase {
+  QualitativeForm form;
+  int num_states;
+  int num_vars;
+};
+
+void PrintTo(const LayoutCase& c, std::ostream* os) {
+  *os << ToString(c.form) << "/s" << c.num_states << "/v" << c.num_vars;
+}
+
+class QualitativePropertyTest : public ::testing::TestWithParam<LayoutCase> {};
+
+TEST_P(QualitativePropertyTest, ColumnCountMatchesTable2) {
+  const auto [form, s, k] = GetParam();
+  const DesignLayout layout = DesignLayout::Make(k, form, s);
+  size_t expected = 0;
+  const bool per_state_intercept =
+      s > 1 && (form == QualitativeForm::kParallel ||
+                form == QualitativeForm::kGeneral);
+  const bool per_state_slopes =
+      s > 1 && (form == QualitativeForm::kConcurrent ||
+                form == QualitativeForm::kGeneral);
+  expected += per_state_intercept ? static_cast<size_t>(s) : 1u;
+  expected += static_cast<size_t>(k) * (per_state_slopes
+                                            ? static_cast<size_t>(s)
+                                            : 1u);
+  EXPECT_EQ(layout.num_columns(), expected);
+}
+
+TEST_P(QualitativePropertyTest, RowActivatesExactlyOneTermPerVariable) {
+  const auto [form, s, k] = GetParam();
+  const DesignLayout layout = DesignLayout::Make(k, form, s);
+  Rng rng(11);
+  for (int state = 0; state < s; ++state) {
+    std::vector<double> values;
+    for (int v = 0; v < k; ++v) values.push_back(rng.Uniform(1.0, 9.0));
+    const std::vector<double> row = layout.Row(values, state);
+    ASSERT_EQ(row.size(), layout.num_columns());
+    // Exactly one intercept-like entry equals 1.
+    int intercept_hits = 0;
+    std::vector<int> var_hits(static_cast<size_t>(k), 0);
+    for (size_t c = 0; c < row.size(); ++c) {
+      const DesignTerm& t = layout.terms()[c];
+      if (row[c] == 0.0) continue;
+      if (t.variable == -1) {
+        EXPECT_DOUBLE_EQ(row[c], 1.0);
+        ++intercept_hits;
+      } else {
+        EXPECT_DOUBLE_EQ(row[c],
+                         values[static_cast<size_t>(t.variable)]);
+        ++var_hits[static_cast<size_t>(t.variable)];
+      }
+    }
+    EXPECT_EQ(intercept_hits, 1) << "state " << state;
+    for (int v = 0; v < k; ++v) {
+      EXPECT_EQ(var_hits[static_cast<size_t>(v)], 1)
+          << "variable " << v << " state " << state;
+    }
+  }
+}
+
+TEST_P(QualitativePropertyTest, ColumnOfConsistentWithRow) {
+  const auto [form, s, k] = GetParam();
+  const DesignLayout layout = DesignLayout::Make(k, form, s);
+  for (int state = 0; state < s; ++state) {
+    std::vector<double> values(static_cast<size_t>(k), 3.5);
+    const std::vector<double> row = layout.Row(values, state);
+    for (int v = -1; v < k; ++v) {
+      const int col = layout.ColumnOf(v, state);
+      ASSERT_GE(col, 0);
+      // The column ColumnOf names must be active in this state's row.
+      EXPECT_NE(row[static_cast<size_t>(col)], 0.0)
+          << "var " << v << " state " << state;
+    }
+  }
+}
+
+TEST_P(QualitativePropertyTest, PredictionDecomposesPerState) {
+  // For any coefficient vector, the prediction for a row in state s must
+  // equal intercept(s) + sum_v coef(v, s) * x_v — i.e. the cell-means
+  // parameterization reads back exactly.
+  const auto [form, s, k] = GetParam();
+  const DesignLayout layout = DesignLayout::Make(k, form, s);
+  Rng rng(13);
+  std::vector<double> beta(layout.num_columns());
+  for (auto& b : beta) b = rng.Uniform(-2.0, 2.0);
+  for (int state = 0; state < s; ++state) {
+    std::vector<double> values;
+    for (int v = 0; v < k; ++v) values.push_back(rng.Uniform(0.0, 5.0));
+    const std::vector<double> row = layout.Row(values, state);
+    double via_row = 0.0;
+    for (size_t c = 0; c < row.size(); ++c) via_row += beta[c] * row[c];
+    double via_coeffs =
+        beta[static_cast<size_t>(layout.ColumnOf(-1, state))];
+    for (int v = 0; v < k; ++v) {
+      via_coeffs += beta[static_cast<size_t>(layout.ColumnOf(v, state))] *
+                    values[static_cast<size_t>(v)];
+    }
+    EXPECT_NEAR(via_row, via_coeffs, 1e-12);
+  }
+}
+
+std::vector<LayoutCase> AllCases() {
+  std::vector<LayoutCase> cases;
+  for (QualitativeForm form :
+       {QualitativeForm::kCoincident, QualitativeForm::kParallel,
+        QualitativeForm::kConcurrent, QualitativeForm::kGeneral}) {
+    for (int s : {1, 2, 4, 6}) {
+      for (int k : {1, 3, 6}) {
+        cases.push_back({form, s, k});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormsStatesVars, QualitativePropertyTest,
+                         ::testing::ValuesIn(AllCases()));
+
+}  // namespace
+}  // namespace mscm::core

@@ -1,0 +1,116 @@
+#include "core/qualitative.h"
+
+#include <gtest/gtest.h>
+
+namespace mscm::core {
+namespace {
+
+TEST(DesignLayoutTest, ColumnCountsPerForm) {
+  // 2 variables, 3 states (paper Table 2 structure).
+  EXPECT_EQ(DesignLayout::Make(2, QualitativeForm::kCoincident, 3)
+                .num_columns(),
+            3u);  // intercept + 2 slopes
+  EXPECT_EQ(DesignLayout::Make(2, QualitativeForm::kParallel, 3)
+                .num_columns(),
+            5u);  // 3 intercepts + 2 shared slopes
+  EXPECT_EQ(DesignLayout::Make(2, QualitativeForm::kConcurrent, 3)
+                .num_columns(),
+            7u);  // 1 intercept + 2*3 slopes
+  EXPECT_EQ(DesignLayout::Make(2, QualitativeForm::kGeneral, 3)
+                .num_columns(),
+            9u);  // (2+1)*3
+}
+
+TEST(DesignLayoutTest, SingleStateAllFormsCoincide) {
+  for (QualitativeForm f :
+       {QualitativeForm::kCoincident, QualitativeForm::kParallel,
+        QualitativeForm::kConcurrent, QualitativeForm::kGeneral}) {
+    EXPECT_EQ(DesignLayout::Make(3, f, 1).num_columns(), 4u);
+  }
+}
+
+TEST(DesignLayoutTest, GeneralFormRowActivatesOnlyOwnState) {
+  const DesignLayout layout =
+      DesignLayout::Make(1, QualitativeForm::kGeneral, 2);
+  // Columns: intercept(s0), intercept(s1), x(s0), x(s1).
+  const std::vector<double> row0 = layout.Row({7.0}, 0);
+  const std::vector<double> row1 = layout.Row({7.0}, 1);
+  EXPECT_EQ(row0, (std::vector<double>{1, 0, 7, 0}));
+  EXPECT_EQ(row1, (std::vector<double>{0, 1, 0, 7}));
+}
+
+TEST(DesignLayoutTest, ParallelFormSharesSlopes) {
+  const DesignLayout layout =
+      DesignLayout::Make(1, QualitativeForm::kParallel, 2);
+  const std::vector<double> row0 = layout.Row({7.0}, 0);
+  const std::vector<double> row1 = layout.Row({7.0}, 1);
+  // Intercepts differ by state; the slope column is identical.
+  EXPECT_EQ(row0, (std::vector<double>{1, 0, 7}));
+  EXPECT_EQ(row1, (std::vector<double>{0, 1, 7}));
+}
+
+TEST(DesignLayoutTest, ConcurrentFormSharesIntercept) {
+  const DesignLayout layout =
+      DesignLayout::Make(1, QualitativeForm::kConcurrent, 2);
+  EXPECT_EQ(layout.Row({7.0}, 0), (std::vector<double>{1, 7, 0}));
+  EXPECT_EQ(layout.Row({7.0}, 1), (std::vector<double>{1, 0, 7}));
+}
+
+TEST(DesignLayoutTest, ColumnOfFindsSharedAndPerStateTerms) {
+  const DesignLayout general =
+      DesignLayout::Make(2, QualitativeForm::kGeneral, 3);
+  // Intercepts occupy columns 0..2, then var0 states 0..2, var1 states 0..2.
+  EXPECT_EQ(general.ColumnOf(-1, 1), 1);
+  EXPECT_EQ(general.ColumnOf(0, 2), 5);
+  EXPECT_EQ(general.ColumnOf(1, 0), 6);
+
+  const DesignLayout parallel =
+      DesignLayout::Make(2, QualitativeForm::kParallel, 3);
+  // Shared slope column matches any state.
+  EXPECT_EQ(parallel.ColumnOf(0, 0), parallel.ColumnOf(0, 2));
+}
+
+TEST(SelectValuesTest, PicksByIndex) {
+  const std::vector<double> features = {10, 20, 30, 40};
+  EXPECT_EQ(SelectValues(features, {2, 0}),
+            (std::vector<double>{30, 10}));
+  EXPECT_TRUE(SelectValues(features, {}).empty());
+}
+
+TEST(BuildDesignMatrixTest, RowsMatchObservations) {
+  ObservationSet obs(3);
+  obs[0] = {{1.0, 2.0}, 10.0, 0.1};
+  obs[1] = {{3.0, 4.0}, 20.0, 0.9};
+  obs[2] = {{5.0, 6.0}, 30.0, 0.5};
+  const ContentionStates states =
+      ContentionStates::UniformPartition(0.0, 1.0, 2);
+  const DesignLayout layout =
+      DesignLayout::Make(1, QualitativeForm::kGeneral, 2);
+  const stats::Matrix x = BuildDesignMatrix(obs, {1}, states, layout);
+  ASSERT_EQ(x.rows(), 3u);
+  ASSERT_EQ(x.cols(), 4u);
+  // obs0: probe 0.1 -> state 0, variable value = features[1] = 2.
+  EXPECT_DOUBLE_EQ(x(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(x(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(x(0, 3), 0.0);
+  // obs1: probe 0.9 -> state 1.
+  EXPECT_DOUBLE_EQ(x(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(x(1, 3), 4.0);
+}
+
+TEST(ResponseVectorTest, ExtractsCosts) {
+  ObservationSet obs(2);
+  obs[0].cost = 1.5;
+  obs[1].cost = 2.5;
+  EXPECT_EQ(ResponseVector(obs), (std::vector<double>{1.5, 2.5}));
+}
+
+TEST(QualitativeFormTest, Names) {
+  EXPECT_STREQ(ToString(QualitativeForm::kGeneral), "general");
+  EXPECT_STREQ(ToString(QualitativeForm::kCoincident), "coincident");
+  EXPECT_STREQ(ToString(QualitativeForm::kParallel), "parallel");
+  EXPECT_STREQ(ToString(QualitativeForm::kConcurrent), "concurrent");
+}
+
+}  // namespace
+}  // namespace mscm::core

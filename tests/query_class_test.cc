@@ -1,0 +1,78 @@
+#include "core/query_class.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mscm::core {
+namespace {
+
+class QueryClassTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>(test::TinyDatabase(/*seed=*/21));
+  }
+  std::unique_ptr<engine::Database> db_;
+  engine::PlannerRules rules_;
+};
+
+TEST_F(QueryClassTest, SeqScanQueryIsG1) {
+  engine::SelectQuery q;
+  q.table = "R2";
+  q.predicate.Add({4, engine::CompareOp::kGt, 100, 0});
+  EXPECT_EQ(ClassifySelect(*db_, q, rules_), QueryClassId::kUnarySeqScan);
+}
+
+TEST_F(QueryClassTest, ClusteredRangeQueryIsClusteredClass) {
+  engine::SelectQuery q;
+  q.table = "R1";
+  q.predicate.Add({0, engine::CompareOp::kBetween, 0, 100});
+  EXPECT_EQ(ClassifySelect(*db_, q, rules_),
+            QueryClassId::kUnaryClusteredIndex);
+}
+
+TEST_F(QueryClassTest, SelectiveNonClusteredRangeIsG2) {
+  const engine::Table* t = db_->FindTable("R1");
+  const auto& s = t->column_stats(1);
+  engine::SelectQuery q;
+  q.table = "R1";
+  q.predicate.Add({1, engine::CompareOp::kBetween, s.min,
+                   s.min + (s.max - s.min) / 60});
+  EXPECT_EQ(ClassifySelect(*db_, q, rules_),
+            QueryClassId::kUnaryNonClusteredIndex);
+}
+
+TEST_F(QueryClassTest, UnindexedJoinIsG3) {
+  engine::JoinQuery q;
+  q.left_table = "R3";
+  q.right_table = "R4";
+  q.left_column = 4;
+  q.right_column = 4;
+  EXPECT_EQ(ClassifyJoin(*db_, q, rules_), QueryClassId::kJoinNoIndex);
+}
+
+TEST_F(QueryClassTest, IndexedJoinWithSmallOuterIsIndexClass) {
+  engine::JoinQuery q;
+  q.left_table = "R1";
+  q.right_table = "R4";
+  q.left_column = 1;
+  q.right_column = 1;
+  const engine::Table* l = db_->FindTable("R1");
+  q.left_predicate.Add({4, engine::CompareOp::kBetween,
+                        l->column_stats(4).min,
+                        l->column_stats(4).min + 20});
+  EXPECT_EQ(ClassifyJoin(*db_, q, rules_), QueryClassId::kJoinIndex);
+}
+
+TEST(QueryClassMetaTest, LabelsAndNames) {
+  EXPECT_STREQ(Label(QueryClassId::kUnarySeqScan), "G1");
+  EXPECT_STREQ(Label(QueryClassId::kUnaryNonClusteredIndex), "G2");
+  EXPECT_STREQ(Label(QueryClassId::kJoinNoIndex), "G3");
+  EXPECT_TRUE(IsJoinClass(QueryClassId::kJoinNoIndex));
+  EXPECT_TRUE(IsJoinClass(QueryClassId::kJoinIndex));
+  EXPECT_FALSE(IsJoinClass(QueryClassId::kUnarySeqScan));
+  EXPECT_NE(std::string(ToString(QueryClassId::kUnarySeqScan)), "?");
+}
+
+}  // namespace
+}  // namespace mscm::core

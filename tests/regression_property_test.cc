@@ -1,0 +1,112 @@
+// Property tests (parameterized) for the regression machinery: OLS must
+// recover known coefficients across sample sizes and noise levels, and the
+// multi-state fit must recover per-state ground truth under every form that
+// can express it.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "tests/test_util.h"
+
+namespace mscm::core {
+namespace {
+
+struct RecoveryCase {
+  size_t n;
+  double noise;
+};
+
+void PrintTo(const RecoveryCase& c, std::ostream* os) {
+  *os << "n" << c.n << "/noise" << c.noise;
+}
+
+class OlsRecoveryTest : public ::testing::TestWithParam<RecoveryCase> {};
+
+TEST_P(OlsRecoveryTest, RecoversGroundTruthWithinSamplingError) {
+  const auto [n, noise] = GetParam();
+  Rng rng(n * 31 + static_cast<uint64_t>(noise * 100));
+  stats::Matrix x(n, 3);
+  std::vector<double> y(n);
+  const double beta0 = 4.0;
+  const double beta1 = 1.25;
+  const double beta2 = -0.75;
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = rng.Uniform(0, 50);
+    x(i, 2) = rng.Uniform(0, 20);
+    y[i] = beta0 + beta1 * x(i, 1) + beta2 * x(i, 2) +
+           rng.Gaussian(0, noise);
+  }
+  const stats::OlsResult r = stats::FitOls(x, y);
+  // Coefficient errors shrink like noise / sqrt(n); allow a generous
+  // multiple of that.
+  const double tol = 1e-9 + 12.0 * noise / std::sqrt(static_cast<double>(n));
+  EXPECT_NEAR(r.coefficients[1], beta1, tol);
+  EXPECT_NEAR(r.coefficients[2], beta2, tol);
+  // SEE estimates the noise level.
+  EXPECT_NEAR(r.standard_error, noise, 1e-9 + 0.25 * noise);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SampleSizesAndNoise, OlsRecoveryTest,
+    ::testing::Values(RecoveryCase{50, 0.0}, RecoveryCase{50, 0.5},
+                      RecoveryCase{200, 0.5}, RecoveryCase{200, 2.0},
+                      RecoveryCase{1000, 2.0}, RecoveryCase{1000, 8.0}));
+
+struct FormRecoveryCase {
+  QualitativeForm form;
+  int num_states;
+};
+
+void PrintTo(const FormRecoveryCase& c, std::ostream* os) {
+  *os << ToString(c.form) << "/s" << c.num_states;
+}
+
+class FormRecoveryTest : public ::testing::TestWithParam<FormRecoveryCase> {};
+
+TEST_P(FormRecoveryTest, FitRecoversDataGeneratedByOwnForm) {
+  // Generate data that the form itself can express exactly, fit, and expect
+  // a near-perfect in-sample fit plus coefficient recovery.
+  const auto [form, s] = GetParam();
+  Rng rng(91);
+
+  test::SyntheticGroundTruth truth;
+  for (int st = 0; st < s; ++st) {
+    const bool vary_intercept = form == QualitativeForm::kParallel ||
+                                form == QualitativeForm::kGeneral;
+    const bool vary_slope = form == QualitativeForm::kConcurrent ||
+                            form == QualitativeForm::kGeneral;
+    truth.intercepts.push_back(vary_intercept ? 1.0 + 3.0 * st : 2.0);
+    truth.slopes.push_back({vary_slope ? 0.5 + 1.5 * st : 1.0});
+  }
+  truth.noise_stddev = 0.0;
+  const ObservationSet obs = test::SyntheticObservations(truth, 160, rng);
+  const ContentionStates states =
+      s == 1 ? ContentionStates::Single()
+             : ContentionStates::UniformPartition(0.0, 1.0, s);
+  const CostModel model = FitCostModel(QueryClassId::kUnarySeqScan, obs, {0},
+                                       states, form);
+  EXPECT_NEAR(model.r_squared(), 1.0, 1e-9);
+  for (int st = 0; st < s; ++st) {
+    EXPECT_NEAR(model.CoefficientFor(-1, st),
+                truth.intercepts[static_cast<size_t>(st)], 1e-6);
+    EXPECT_NEAR(model.CoefficientFor(0, st),
+                truth.slopes[static_cast<size_t>(st)][0], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FormsAndStates, FormRecoveryTest,
+    ::testing::Values(FormRecoveryCase{QualitativeForm::kCoincident, 1},
+                      FormRecoveryCase{QualitativeForm::kParallel, 2},
+                      FormRecoveryCase{QualitativeForm::kParallel, 4},
+                      FormRecoveryCase{QualitativeForm::kConcurrent, 2},
+                      FormRecoveryCase{QualitativeForm::kConcurrent, 4},
+                      FormRecoveryCase{QualitativeForm::kGeneral, 2},
+                      FormRecoveryCase{QualitativeForm::kGeneral, 3},
+                      FormRecoveryCase{QualitativeForm::kGeneral, 5}));
+
+}  // namespace
+}  // namespace mscm::core

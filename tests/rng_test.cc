@@ -1,0 +1,153 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mscm {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.UniformInt(0, 9);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 9);
+    saw_lo = saw_lo || v == 0;
+    saw_hi = saw_hi || v == 9;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntSingleValue) {
+  Rng rng(12);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyCorrect) {
+  Rng rng(13);
+  constexpr int kN = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.Gaussian(2.0, 3.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(14);
+  constexpr int kN = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.Exponential(4.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kN, 4.0, 0.15);
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(15);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(16);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(17);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<size_t>(i)] = i;
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, v);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(19);
+  Rng child = a.Fork();
+  // Child and parent should not emit identical sequences.
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextUint64() == child.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformityChiSquaredSanity) {
+  Rng rng(21);
+  constexpr int kBuckets = 16;
+  constexpr int kN = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kN; ++i) {
+    ++counts[static_cast<size_t>(rng.NextDouble() * kBuckets)];
+  }
+  const double expected = static_cast<double>(kN) / kBuckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 15 dof; the 99.9th percentile is ~37.7.
+  EXPECT_LT(chi2, 40.0);
+}
+
+}  // namespace
+}  // namespace mscm

@@ -1,0 +1,188 @@
+// Failure-injection / degenerate-input robustness across the pipeline: the
+// sampling procedure can encounter pathological environments (no contention
+// variance, constant features, minimum-size samples) and must degrade
+// gracefully rather than crash or emit garbage.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/model_builder.h"
+#include "core/validation.h"
+#include "tests/test_util.h"
+
+namespace mscm::core {
+namespace {
+
+constexpr QueryClassId kCls = QueryClassId::kUnarySeqScan;
+
+ObservationSet ConstantProbeObservations(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  ObservationSet obs;
+  for (size_t i = 0; i < n; ++i) {
+    Observation o;
+    o.probing_cost = 0.25;  // a perfectly static environment
+    o.features.resize(7);
+    for (auto& f : o.features) f = rng.Uniform(0.0, 10.0);
+    o.cost = 1.0 + 2.0 * o.features[0] + rng.Gaussian(0.0, 0.05);
+    obs.push_back(std::move(o));
+  }
+  return obs;
+}
+
+TEST(RobustnessTest, ConstantProbeCollapsesToOneState) {
+  const ObservationSet obs = ConstantProbeObservations(150, 1);
+  ModelBuildOptions options;
+  options.algorithm = StateAlgorithm::kIupma;
+  const BuildReport report =
+      BuildCostModelFromObservations(kCls, obs, options);
+  EXPECT_EQ(report.model.states().num_states(), 1);
+  EXPECT_GT(report.model.r_squared(), 0.95);
+}
+
+TEST(RobustnessTest, ConstantProbeIcmaAlsoCollapses) {
+  ObservationSet obs = ConstantProbeObservations(150, 2);
+  ModelBuildOptions options;
+  options.algorithm = StateAlgorithm::kIcma;
+  const BuildReport report =
+      BuildCostModelFromObservations(kCls, obs, options);
+  EXPECT_EQ(report.model.states().num_states(), 1);
+}
+
+TEST(RobustnessTest, ConstantFeatureSurvivesFitting) {
+  // One feature never varies: screening drops it, the fit proceeds.
+  Rng rng(3);
+  ObservationSet obs;
+  for (int i = 0; i < 200; ++i) {
+    Observation o;
+    o.probing_cost = rng.NextDouble();
+    o.features.assign(7, 0.0);
+    o.features[0] = rng.Uniform(0.0, 10.0);
+    o.features[1] = 42.0;  // constant
+    o.cost = 1.0 + o.features[0] * (o.probing_cost < 0.5 ? 1.0 : 3.0);
+    obs.push_back(std::move(o));
+  }
+  ModelBuildOptions options;
+  const BuildReport report =
+      BuildCostModelFromObservations(kCls, obs, options);
+  const auto& sel = report.model.selected_variables();
+  EXPECT_EQ(std::find(sel.begin(), sel.end(), 1), sel.end());
+  EXPECT_GT(report.model.r_squared(), 0.95);
+}
+
+TEST(RobustnessTest, MinimumViableSampleFits) {
+  // Exactly as many observations as design columns: the fit is exact and
+  // must not crash (dof = 0 => SEE undefined, reported as 0).
+  test::SyntheticGroundTruth truth;
+  truth.intercepts = {1.0};
+  truth.slopes = {{2.0}};
+  Rng rng(4);
+  const ObservationSet obs = test::SyntheticObservations(truth, 2, rng);
+  const CostModel model = FitCostModel(kCls, obs, {0},
+                                       ContentionStates::Single(),
+                                       QualitativeForm::kGeneral);
+  EXPECT_NEAR(model.CoefficientFor(0, 0), 2.0, 1e-6);
+  EXPECT_DOUBLE_EQ(model.standard_error(), 0.0);
+}
+
+TEST(RobustnessTest, DuplicatedFeatureHandledByRankGuard) {
+  // Two identical features force exact collinearity through the raw fit
+  // path (no selection); the ridge fallback must produce finite estimates.
+  Rng rng(5);
+  ObservationSet obs;
+  for (int i = 0; i < 100; ++i) {
+    Observation o;
+    o.probing_cost = rng.NextDouble();
+    o.features.assign(7, 0.0);
+    o.features[0] = rng.Uniform(0.0, 10.0);
+    o.features[1] = o.features[0];
+    o.cost = 3.0 * o.features[0];
+    obs.push_back(std::move(o));
+  }
+  const CostModel model = FitCostModel(kCls, obs, {0, 1},
+                                       ContentionStates::Single(),
+                                       QualitativeForm::kGeneral);
+  EXPECT_TRUE(model.fit().rank_deficient);
+  const double est = model.Estimate({5.0, 5.0, 0, 0, 0, 0, 0}, 0.5);
+  EXPECT_TRUE(std::isfinite(est));
+  EXPECT_NEAR(est, 15.0, 0.5);
+}
+
+TEST(RobustnessTest, ExtrapolatedProbeMapsToEdgeState) {
+  test::SyntheticGroundTruth truth;
+  truth.intercepts = {1.0, 5.0};
+  truth.slopes = {{1.0}, {3.0}};
+  Rng rng(6);
+  const ObservationSet obs = test::SyntheticObservations(truth, 150, rng);
+  const CostModel model = FitCostModel(
+      kCls, obs, {0}, ContentionStates::UniformPartition(0.0, 1.0, 2),
+      QualitativeForm::kGeneral);
+  // Probes far outside the training range use the nearest state.
+  const double inside_low = model.Estimate({4.0}, 0.1);
+  const double way_below = model.Estimate({4.0}, -100.0);
+  EXPECT_DOUBLE_EQ(inside_low, way_below);
+  const double inside_high = model.Estimate({4.0}, 0.9);
+  const double way_above = model.Estimate({4.0}, 1e9);
+  EXPECT_DOUBLE_EQ(inside_high, way_above);
+}
+
+TEST(RobustnessTest, AllZeroCostsProduceZeroModel) {
+  Rng rng(7);
+  ObservationSet obs;
+  for (int i = 0; i < 80; ++i) {
+    Observation o;
+    o.probing_cost = rng.NextDouble();
+    o.features.assign(7, 0.0);
+    o.features[0] = rng.Uniform(0.0, 10.0);
+    o.cost = 0.0;
+    obs.push_back(std::move(o));
+  }
+  const CostModel model = FitCostModel(kCls, obs, {0},
+                                       ContentionStates::Single(),
+                                       QualitativeForm::kGeneral);
+  EXPECT_NEAR(model.Estimate({5.0, 0, 0, 0, 0, 0, 0}, 0.5), 0.0, 1e-9);
+}
+
+TEST(RobustnessTest, ValidationHandlesZeroObservedCosts) {
+  const CostModel model = [] {
+    Rng rng(8);
+    test::SyntheticGroundTruth truth;
+    truth.intercepts = {1.0};
+    truth.slopes = {{1.0}};
+    const ObservationSet obs = test::SyntheticObservations(truth, 50, rng);
+    return FitCostModel(kCls, obs, {0}, ContentionStates::Single(),
+                        QualitativeForm::kGeneral);
+  }();
+  ObservationSet test(3);
+  for (auto& o : test) {
+    o.features = {0.0};
+    o.probing_cost = 0.5;
+    o.cost = 0.0;
+  }
+  const ValidationReport r = Validate(model, test);
+  EXPECT_EQ(r.n_test, 3u);
+  EXPECT_TRUE(std::isfinite(r.mean_relative_error));
+}
+
+TEST(RobustnessTest, PureNoiseEnvironmentStillProducesUsableArtifact) {
+  // Cost unrelated to anything: the pipeline must terminate with a model
+  // whose F-test correctly reports insignificance.
+  Rng rng(9);
+  ObservationSet obs;
+  for (int i = 0; i < 200; ++i) {
+    Observation o;
+    o.probing_cost = rng.NextDouble();
+    o.features.resize(7);
+    for (auto& f : o.features) f = rng.Uniform(0.0, 10.0);
+    o.cost = rng.Uniform(1.0, 2.0);
+    obs.push_back(std::move(o));
+  }
+  ModelBuildOptions options;
+  const BuildReport report =
+      BuildCostModelFromObservations(kCls, obs, options);
+  EXPECT_LT(report.model.r_squared(), 0.2);
+  EXPECT_GT(report.model.f_pvalue(), 1e-4);
+}
+
+}  // namespace
+}  // namespace mscm::core

@@ -1,0 +1,124 @@
+#include "core/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/test_util.h"
+
+namespace mscm::core {
+namespace {
+
+TEST(SampleSizeTest, MinimumMatchesProposition41) {
+  // (k+1)*s coefficients + error variance, 10 observations each.
+  EXPECT_EQ(MinimumSampleSize(3, 1), 10 * (4 * 1 + 1));
+  EXPECT_EQ(MinimumSampleSize(3, 4), 10 * (4 * 4 + 1));
+  EXPECT_EQ(MinimumSampleSize(0, 1), 20);
+}
+
+TEST(SampleSizeTest, RecommendedCoversExpectedModel) {
+  // Eq. (4): basic vars + 2 secondary expected to survive.
+  EXPECT_EQ(RecommendedSampleSize(3, 6), MinimumSampleSize(5, 6));
+  EXPECT_GT(RecommendedSampleSize(6, 6), RecommendedSampleSize(3, 6));
+}
+
+class QuerySamplerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>(
+        test::TinyDatabase(/*seed=*/31, /*num_tables=*/6, /*scale=*/0.03));
+  }
+  std::unique_ptr<engine::Database> db_;
+  engine::PlannerRules rules_;
+};
+
+TEST_F(QuerySamplerTest, UnaryClassesClassifyCorrectly) {
+  QuerySampler sampler(db_.get(), rules_, 1);
+  for (QueryClassId target : {QueryClassId::kUnarySeqScan,
+                              QueryClassId::kUnaryNonClusteredIndex,
+                              QueryClassId::kUnaryClusteredIndex}) {
+    for (int i = 0; i < 25; ++i) {
+      const engine::SelectQuery q = sampler.SampleSelect(target);
+      EXPECT_EQ(ClassifySelect(*db_, q, rules_), target)
+          << ToString(target) << " sample " << i;
+    }
+  }
+}
+
+TEST_F(QuerySamplerTest, JoinClassesClassifyCorrectly) {
+  QuerySampler sampler(db_.get(), rules_, 2);
+  for (QueryClassId target :
+       {QueryClassId::kJoinNoIndex, QueryClassId::kJoinIndex}) {
+    for (int i = 0; i < 15; ++i) {
+      const engine::JoinQuery q = sampler.SampleJoin(target);
+      EXPECT_EQ(ClassifyJoin(*db_, q, rules_), target)
+          << ToString(target) << " sample " << i;
+    }
+  }
+}
+
+TEST_F(QuerySamplerTest, SamplesSpanMultipleTables) {
+  QuerySampler sampler(db_.get(), rules_, 3);
+  std::set<std::string> tables;
+  for (int i = 0; i < 60; ++i) {
+    tables.insert(sampler.SampleSelect(QueryClassId::kUnarySeqScan).table);
+  }
+  EXPECT_GE(tables.size(), 4u);
+}
+
+TEST_F(QuerySamplerTest, SamplesVaryInSelectivity) {
+  QuerySampler sampler(db_.get(), rules_, 4);
+  std::vector<double> sels;
+  for (int i = 0; i < 60; ++i) {
+    const engine::SelectQuery q =
+        sampler.SampleSelect(QueryClassId::kUnarySeqScan);
+    const engine::Table* t = db_->FindTable(q.table);
+    sels.push_back(engine::EstimatePredicateSelectivity(*t, q.predicate));
+  }
+  double lo = 1.0;
+  double hi = 0.0;
+  for (double s : sels) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  EXPECT_LT(lo, 0.1);
+  EXPECT_GT(hi, 0.5);
+}
+
+TEST_F(QuerySamplerTest, ProbingTableNeverSampled) {
+  QuerySampler sampler(db_.get(), rules_, 5);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_NE(sampler.SampleSelect(QueryClassId::kUnarySeqScan).table, "P0");
+  }
+}
+
+TEST_F(QuerySamplerTest, ProjectionsNonEmptyAndValid) {
+  QuerySampler sampler(db_.get(), rules_, 6);
+  for (int i = 0; i < 40; ++i) {
+    const engine::SelectQuery q =
+        sampler.SampleSelect(QueryClassId::kUnaryClusteredIndex);
+    const engine::Table* t = db_->FindTable(q.table);
+    EXPECT_FALSE(q.projection.empty());
+    for (int c : q.projection) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, static_cast<int>(t->schema().num_columns()));
+    }
+  }
+}
+
+TEST_F(QuerySamplerTest, DeterministicGivenSeed) {
+  QuerySampler a(db_.get(), rules_, 7);
+  QuerySampler b(db_.get(), rules_, 7);
+  for (int i = 0; i < 10; ++i) {
+    const engine::SelectQuery qa =
+        a.SampleSelect(QueryClassId::kUnarySeqScan);
+    const engine::SelectQuery qb =
+        b.SampleSelect(QueryClassId::kUnarySeqScan);
+    EXPECT_EQ(qa.table, qb.table);
+    EXPECT_EQ(qa.predicate.conditions().size(),
+              qb.predicate.conditions().size());
+  }
+}
+
+}  // namespace
+}  // namespace mscm::core

@@ -1,0 +1,85 @@
+#include "stats/special_functions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mscm::stats {
+namespace {
+
+TEST(LogGammaTest, KnownValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(3.0), std::log(2.0), 1e-10);
+  EXPECT_NEAR(LogGamma(6.0), std::log(120.0), 1e-9);
+  EXPECT_NEAR(LogGamma(0.5), std::log(std::sqrt(M_PI)), 1e-10);
+}
+
+TEST(LogGammaTest, RecurrenceHolds) {
+  // Gamma(x+1) = x * Gamma(x)  =>  lgamma(x+1) = lgamma(x) + ln(x).
+  for (double x : {0.3, 1.7, 4.2, 11.5, 100.25}) {
+    EXPECT_NEAR(LogGamma(x + 1.0), LogGamma(x) + std::log(x), 1e-9)
+        << "x = " << x;
+  }
+}
+
+TEST(IncompleteBetaTest, Endpoints) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, SymmetricCaseAtHalf) {
+  // I_{0.5}(a, a) = 0.5 for any a.
+  for (double a : {0.5, 1.0, 2.0, 7.5}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(a, a, 0.5), 0.5, 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, UniformCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.25, 0.5, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, ClosedFormA1) {
+  // I_x(1, b) = 1 - (1-x)^b.
+  for (double b : {1.0, 2.0, 5.0}) {
+    for (double x : {0.2, 0.6}) {
+      EXPECT_NEAR(RegularizedIncompleteBeta(1.0, b, x),
+                  1.0 - std::pow(1.0 - x, b), 1e-10);
+    }
+  }
+}
+
+TEST(IncompleteBetaTest, ComplementIdentity) {
+  // I_x(a, b) + I_{1-x}(b, a) = 1.
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 4.0, 0.3) +
+                  RegularizedIncompleteBeta(4.0, 2.5, 0.7),
+              1.0, 1e-10);
+}
+
+TEST(IncompleteBetaTest, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    const double v = RegularizedIncompleteBeta(3.0, 2.0, x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(ErfTest, KnownValues) {
+  EXPECT_NEAR(Erf(0.0), 0.0, 1e-7);
+  EXPECT_NEAR(Erf(1.0), 0.8427007929, 2e-7);
+  EXPECT_NEAR(Erf(-1.0), -0.8427007929, 2e-7);
+  EXPECT_NEAR(Erf(2.0), 0.9953222650, 2e-7);
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-7);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-4);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-4);
+}
+
+}  // namespace
+}  // namespace mscm::stats

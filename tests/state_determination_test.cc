@@ -1,0 +1,188 @@
+#include "core/state_determination.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mscm::core {
+namespace {
+
+constexpr QueryClassId kCls = QueryClassId::kUnarySeqScan;
+
+TEST(StateCountsTest, CountsPerState) {
+  ObservationSet obs(4);
+  obs[0].probing_cost = 0.1;
+  obs[1].probing_cost = 0.2;
+  obs[2].probing_cost = 0.8;
+  obs[3].probing_cost = 0.9;
+  const ContentionStates states =
+      ContentionStates::UniformPartition(0.0, 1.0, 2);
+  EXPECT_EQ(StateCounts(obs, states), (std::vector<int>{2, 2}));
+}
+
+TEST(IupmaTest, FindsMultipleStatesOnPiecewiseData) {
+  test::SyntheticGroundTruth truth;
+  truth.intercepts = {1.0, 6.0, 25.0};
+  truth.slopes = {{0.3}, {1.5}, {6.0}};
+  truth.noise_stddev = 0.2;
+  Rng rng(1);
+  const ObservationSet obs = test::SyntheticObservations(truth, 500, rng);
+  const auto result = DetermineStatesIupma(kCls, obs, {0},
+                                           StateDeterminationOptions{});
+  EXPECT_GE(result.model.states().num_states(), 3);
+  EXPECT_GT(result.model.r_squared(), 0.97);
+  EXPECT_GE(result.growth_iterations, 2);
+}
+
+TEST(IupmaTest, SingleRegimeDataCollapsesToFewStates) {
+  // Homogeneous relationship: no dependence on the probing cost at all.
+  test::SyntheticGroundTruth truth;
+  truth.intercepts = {2.0};
+  truth.slopes = {{1.0}};
+  truth.noise_stddev = 0.05;
+  Rng rng(2);
+  const ObservationSet obs = test::SyntheticObservations(truth, 300, rng);
+  const auto result = DetermineStatesIupma(kCls, obs, {0},
+                                           StateDeterminationOptions{});
+  // Growth finds no real improvement; merging removes indistinct states.
+  EXPECT_LE(result.model.states().num_states(), 2);
+}
+
+TEST(IupmaTest, RecordsR2Progression) {
+  test::SyntheticGroundTruth truth;
+  truth.intercepts = {1.0, 10.0};
+  truth.slopes = {{0.5}, {4.0}};
+  truth.noise_stddev = 0.2;
+  Rng rng(3);
+  const ObservationSet obs = test::SyntheticObservations(truth, 400, rng);
+  const auto result = DetermineStatesIupma(kCls, obs, {0},
+                                           StateDeterminationOptions{});
+  ASSERT_GE(result.r2_by_state_count.size(), 2u);
+  // More states never hurt in-sample R^2 by much; the 2-state fit must beat
+  // the 1-state fit decisively on this data.
+  EXPECT_GT(result.r2_by_state_count[1], result.r2_by_state_count[0] + 0.05);
+}
+
+TEST(IupmaTest, MaxStatesRespected) {
+  test::SyntheticGroundTruth truth;
+  truth.intercepts = {1, 3, 7, 15, 31, 63, 127, 255};
+  truth.slopes = {{1}, {2}, {4}, {8}, {16}, {32}, {64}, {128}};
+  truth.noise_stddev = 0.05;
+  Rng rng(4);
+  const ObservationSet obs = test::SyntheticObservations(truth, 900, rng);
+  StateDeterminationOptions options;
+  options.max_states = 4;
+  const auto result = DetermineStatesIupma(kCls, obs, {0}, options);
+  EXPECT_LE(result.model.states().num_states(), 4);
+}
+
+TEST(IupmaTest, MergingCollapsesIdenticalNeighbors) {
+  // 4 latent subranges but only two truly distinct behaviours.
+  test::SyntheticGroundTruth truth;
+  truth.intercepts = {1.0, 1.0, 20.0, 20.0};
+  truth.slopes = {{0.5}, {0.5}, {5.0}, {5.0}};
+  truth.noise_stddev = 0.1;
+  Rng rng(5);
+  const ObservationSet obs = test::SyntheticObservations(truth, 600, rng);
+  StateDeterminationOptions options;
+  const auto result = DetermineStatesIupma(kCls, obs, {0}, options);
+  EXPECT_LE(result.model.states().num_states(), 3);
+  EXPECT_GT(result.model.r_squared(), 0.95);
+}
+
+TEST(IcmaTest, ClusteredProbingCostsYieldClusterBoundaries) {
+  // Probing costs concentrated in two tight clusters; behaviours differ.
+  Rng rng(6);
+  ObservationSet obs;
+  for (int i = 0; i < 150; ++i) {
+    Observation o;
+    o.probing_cost = rng.Gaussian(0.2, 0.02);
+    o.features = {rng.Uniform(0, 10)};
+    o.cost = 1.0 + 0.5 * o.features[0] + rng.Gaussian(0, 0.05);
+    obs.push_back(o);
+  }
+  for (int i = 0; i < 150; ++i) {
+    Observation o;
+    o.probing_cost = rng.Gaussian(2.0, 0.05);
+    o.features = {rng.Uniform(0, 10)};
+    o.cost = 15.0 + 4.0 * o.features[0] + rng.Gaussian(0, 0.05);
+    obs.push_back(o);
+  }
+  ObservationSet working = obs;
+  const auto result = DetermineStatesIcma(
+      kCls, working, {0}, StateDeterminationOptions{}, nullptr);
+  ASSERT_EQ(result.model.states().num_states(), 2);
+  // The boundary must fall in the wide gap between the clusters.
+  const double boundary = result.model.states().boundaries()[0];
+  EXPECT_GT(boundary, 0.4);
+  EXPECT_LT(boundary, 1.8);
+  EXPECT_GT(result.model.r_squared(), 0.99);
+}
+
+TEST(IcmaTest, TopsUpUndersampledClustersThroughSource) {
+  // A tiny third cluster that alone cannot support regression; the source
+  // must be asked for targeted draws.
+  class CountingSource : public ObservationSource {
+   public:
+    explicit CountingSource(Rng* rng) : rng_(rng) {}
+    Observation Draw() override { return Make(rng_->NextDouble() * 3.0); }
+    std::optional<Observation> DrawInProbingRange(double lo, double hi,
+                                                  int) override {
+      ++targeted_draws;
+      return Make(rng_->Uniform(lo, hi));
+    }
+    Observation Make(double probe) const {
+      Observation o;
+      o.probing_cost = probe;
+      o.features = {rng_->Uniform(0, 10)};
+      const double scale = probe < 1.0 ? 1.0 : (probe < 2.0 ? 3.0 : 9.0);
+      o.cost = scale * (1.0 + o.features[0]);
+      return o;
+    }
+    int targeted_draws = 0;
+
+   private:
+    Rng* rng_;
+  };
+
+  Rng rng(7);
+  CountingSource source(&rng);
+  ObservationSet obs;
+  for (int i = 0; i < 80; ++i) obs.push_back(source.Make(rng.Uniform(0.1, 0.4)));
+  for (int i = 0; i < 80; ++i) obs.push_back(source.Make(rng.Uniform(1.4, 1.7)));
+  for (int i = 0; i < 3; ++i) obs.push_back(source.Make(rng.Uniform(2.6, 2.8)));
+
+  const size_t before = obs.size();
+  const auto result = DetermineStatesIcma(
+      kCls, obs, {0}, StateDeterminationOptions{}, &source);
+  EXPECT_GT(source.targeted_draws, 0);
+  EXPECT_GT(obs.size(), before);
+  EXPECT_GE(result.model.states().num_states(), 2);
+}
+
+TEST(IcmaTest, WithoutSourceStopsGrowthAtSupportableStates) {
+  Rng rng(8);
+  ObservationSet obs;
+  for (int i = 0; i < 100; ++i) {
+    Observation o;
+    o.probing_cost = rng.Uniform(0.1, 0.4);
+    o.features = {rng.Uniform(0, 10)};
+    o.cost = 1.0 + o.features[0];
+    obs.push_back(o);
+  }
+  // Two stray points far away — not enough for their own state.
+  for (int i = 0; i < 2; ++i) {
+    Observation o;
+    o.probing_cost = 5.0;
+    o.features = {rng.Uniform(0, 10)};
+    o.cost = 50.0 + 9.0 * o.features[0];
+    obs.push_back(o);
+  }
+  ObservationSet working = obs;
+  const auto result = DetermineStatesIcma(
+      kCls, working, {0}, StateDeterminationOptions{}, nullptr);
+  EXPECT_EQ(result.model.states().num_states(), 1);
+}
+
+}  // namespace
+}  // namespace mscm::core

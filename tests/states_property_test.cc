@@ -1,0 +1,97 @@
+// Property tests (parameterized) for contention-state partitions: mapping
+// and merging invariants across state counts.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/states.h"
+
+namespace mscm::core {
+namespace {
+
+class StatesPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StatesPropertyTest, EveryCostMapsToExactlyOneValidState) {
+  const int m = GetParam();
+  const ContentionStates s = ContentionStates::UniformPartition(0.5, 9.5, m);
+  EXPECT_EQ(s.num_states(), m);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const double cost = rng.Uniform(-5.0, 20.0);
+    const int state = s.StateOf(cost);
+    EXPECT_GE(state, 0);
+    EXPECT_LT(state, m);
+  }
+}
+
+TEST_P(StatesPropertyTest, StateOfIsMonotoneInCost) {
+  const int m = GetParam();
+  const ContentionStates s = ContentionStates::UniformPartition(0.0, 10.0, m);
+  int prev = 0;
+  for (double cost = -1.0; cost <= 12.0; cost += 0.01) {
+    const int state = s.StateOf(cost);
+    EXPECT_GE(state, prev);
+    prev = state;
+  }
+  EXPECT_EQ(prev, m - 1);
+}
+
+TEST_P(StatesPropertyTest, BoundariesAscending) {
+  const int m = GetParam();
+  const ContentionStates s = ContentionStates::UniformPartition(1.0, 3.0, m);
+  const auto& b = s.boundaries();
+  ASSERT_EQ(b.size(), static_cast<size_t>(m - 1));
+  for (size_t i = 0; i + 1 < b.size(); ++i) EXPECT_LT(b[i], b[i + 1]);
+}
+
+TEST_P(StatesPropertyTest, MergePreservesMappingOutsideMergedPair) {
+  const int m = GetParam();
+  if (m < 3) return;
+  const ContentionStates original =
+      ContentionStates::UniformPartition(0.0, 10.0, m);
+  for (int merge_at = 0; merge_at < m - 1; ++merge_at) {
+    ContentionStates merged = original;
+    merged.MergeAdjacent(merge_at);
+    EXPECT_EQ(merged.num_states(), m - 1);
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+      const double cost = rng.Uniform(-2.0, 12.0);
+      const int before = original.StateOf(cost);
+      const int after = merged.StateOf(cost);
+      if (before < merge_at) {
+        EXPECT_EQ(after, before);
+      } else if (before > merge_at + 1) {
+        EXPECT_EQ(after, before - 1);
+      } else {
+        EXPECT_EQ(after, merge_at);  // both merged states collapse
+      }
+    }
+  }
+}
+
+TEST_P(StatesPropertyTest, MergingDownToOneAlwaysPossible) {
+  const int m = GetParam();
+  ContentionStates s = ContentionStates::UniformPartition(0.0, 1.0, m);
+  while (s.num_states() > 1) s.MergeAdjacent(0);
+  EXPECT_EQ(s.num_states(), 1);
+  EXPECT_EQ(s.StateOf(123.0), 0);
+}
+
+TEST_P(StatesPropertyTest, FromBoundariesRoundTrips) {
+  const int m = GetParam();
+  const ContentionStates s = ContentionStates::UniformPartition(0.2, 7.7, m);
+  const ContentionStates rebuilt =
+      ContentionStates::FromBoundaries(s.boundaries());
+  EXPECT_EQ(rebuilt.num_states(), s.num_states());
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const double cost = rng.Uniform(-1.0, 9.0);
+    EXPECT_EQ(rebuilt.StateOf(cost), s.StateOf(cost));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StateCounts, StatesPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12));
+
+}  // namespace
+}  // namespace mscm::core

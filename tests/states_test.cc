@@ -1,0 +1,88 @@
+#include "core/states.h"
+
+#include <gtest/gtest.h>
+
+namespace mscm::core {
+namespace {
+
+TEST(StatesTest, SingleStateMapsEverything) {
+  const ContentionStates s = ContentionStates::Single();
+  EXPECT_EQ(s.num_states(), 1);
+  EXPECT_EQ(s.StateOf(-100.0), 0);
+  EXPECT_EQ(s.StateOf(0.0), 0);
+  EXPECT_EQ(s.StateOf(1e9), 0);
+}
+
+TEST(StatesTest, UniformPartitionBoundaries) {
+  const ContentionStates s = ContentionStates::UniformPartition(0.0, 10.0, 4);
+  EXPECT_EQ(s.num_states(), 4);
+  ASSERT_EQ(s.boundaries().size(), 3u);
+  EXPECT_DOUBLE_EQ(s.boundaries()[0], 2.5);
+  EXPECT_DOUBLE_EQ(s.boundaries()[1], 5.0);
+  EXPECT_DOUBLE_EQ(s.boundaries()[2], 7.5);
+}
+
+TEST(StatesTest, StateOfRespectsHalfOpenIntervals) {
+  const ContentionStates s = ContentionStates::UniformPartition(0.0, 10.0, 2);
+  // Boundary at 5.0; state i covers (b[i-1], b[i]].
+  EXPECT_EQ(s.StateOf(4.9), 0);
+  EXPECT_EQ(s.StateOf(5.0), 0);
+  EXPECT_EQ(s.StateOf(5.0001), 1);
+}
+
+TEST(StatesTest, OutOfRangeCostsMapToEdgeStates) {
+  const ContentionStates s = ContentionStates::UniformPartition(1.0, 2.0, 3);
+  EXPECT_EQ(s.StateOf(0.0), 0);
+  EXPECT_EQ(s.StateOf(100.0), 2);
+}
+
+TEST(StatesTest, MergeAdjacentRemovesBoundary) {
+  ContentionStates s = ContentionStates::UniformPartition(0.0, 10.0, 4);
+  s.MergeAdjacent(1);  // merge states 1 and 2 -> boundary 5.0 removed
+  EXPECT_EQ(s.num_states(), 3);
+  EXPECT_DOUBLE_EQ(s.boundaries()[0], 2.5);
+  EXPECT_DOUBLE_EQ(s.boundaries()[1], 7.5);
+}
+
+TEST(StatesTest, MergeToSingle) {
+  ContentionStates s = ContentionStates::UniformPartition(0.0, 1.0, 2);
+  s.MergeAdjacent(0);
+  EXPECT_EQ(s.num_states(), 1);
+}
+
+TEST(StatesTest, FromClustersUsesMidpoints) {
+  std::vector<cluster::Cluster> clusters(2);
+  clusters[0].centroid = 1.0;
+  clusters[0].min = 0.5;
+  clusters[0].max = 1.5;
+  clusters[1].centroid = 5.0;
+  clusters[1].min = 4.5;
+  clusters[1].max = 5.5;
+  const ContentionStates s = ContentionStates::FromClusters(clusters);
+  EXPECT_EQ(s.num_states(), 2);
+  EXPECT_DOUBLE_EQ(s.boundaries()[0], 3.0);  // (1.5 + 4.5) / 2
+}
+
+TEST(StatesTest, FromSingleClusterIsSingleState) {
+  std::vector<cluster::Cluster> clusters(1);
+  clusters[0].centroid = 2.0;
+  const ContentionStates s = ContentionStates::FromClusters(clusters);
+  EXPECT_EQ(s.num_states(), 1);
+}
+
+TEST(StatesTest, DegeneratePartitionRange) {
+  // cmin == cmax: all boundaries coincide, but mapping still works.
+  const ContentionStates s = ContentionStates::UniformPartition(3.0, 3.0, 3);
+  EXPECT_EQ(s.num_states(), 3);
+  EXPECT_EQ(s.StateOf(3.0), 0);
+  EXPECT_EQ(s.StateOf(3.1), 2);
+}
+
+TEST(StatesTest, ToStringMentionsBoundaries) {
+  const ContentionStates s = ContentionStates::UniformPartition(0.0, 2.0, 2);
+  EXPECT_NE(s.ToString().find("1.0"), std::string::npos);
+  EXPECT_EQ(ContentionStates::Single().ToString(), "[single state]");
+}
+
+}  // namespace
+}  // namespace mscm::core

@@ -1,0 +1,50 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace mscm {
+namespace {
+
+TEST(FormatTest, BasicSubstitution) {
+  EXPECT_EQ(Format("x=%d y=%s", 42, "ok"), "x=42 y=ok");
+}
+
+TEST(FormatTest, EmptyFormat) { EXPECT_EQ(Format("%s", ""), ""); }
+
+TEST(FormatTest, LongOutput) {
+  const std::string s = Format("%0512d", 7);
+  EXPECT_EQ(s.size(), 512u);
+  EXPECT_EQ(s.back(), '7');
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(JoinTest, SingleElement) { EXPECT_EQ(Join({"a"}, ","), "a"); }
+
+TEST(JoinTest, Empty) { EXPECT_EQ(Join({}, ","), ""); }
+
+TEST(CompactDoubleTest, Zero) { EXPECT_EQ(CompactDouble(0.0), "0"); }
+
+TEST(CompactDoubleTest, MidRangeUsesFixed) {
+  EXPECT_EQ(CompactDouble(1.5), "1.500");
+  EXPECT_EQ(CompactDouble(123.456), "123.5");
+}
+
+TEST(CompactDoubleTest, TinyUsesScientific) {
+  const std::string s = CompactDouble(1.2e-7);
+  EXPECT_NE(s.find('e'), std::string::npos);
+}
+
+TEST(CompactDoubleTest, HugeUsesScientific) {
+  const std::string s = CompactDouble(3.4e9);
+  EXPECT_NE(s.find('e'), std::string::npos);
+}
+
+TEST(CompactDoubleTest, NegativeValues) {
+  EXPECT_EQ(CompactDouble(-2.25), "-2.250");
+}
+
+}  // namespace
+}  // namespace mscm

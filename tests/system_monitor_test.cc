@@ -1,0 +1,86 @@
+#include "sim/system_monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace mscm::sim {
+namespace {
+
+MachineLoad LoadFor(double processes) {
+  MachineLoad load;
+  load.num_processes = processes;
+  load.cpu_demand = processes * 0.22;
+  load.io_rate = processes * 5.5;
+  load.memory_mb = processes * 9.0;
+  return load;
+}
+
+TEST(SystemMonitorTest, StatsScaleWithLoad) {
+  SystemMonitor mon(MachineSpec{}, 1);
+  const SystemStats idle = mon.Snapshot(LoadFor(2.0));
+  const SystemStats busy = mon.Snapshot(LoadFor(100.0));
+  EXPECT_GT(busy.reads_per_sec, idle.reads_per_sec);
+  EXPECT_GT(busy.pct_disk_util, idle.pct_disk_util);
+  EXPECT_GT(busy.mem_used, idle.mem_used);
+  EXPECT_GT(busy.context_switches_per_sec, idle.context_switches_per_sec);
+  EXPECT_LT(busy.pct_idle, idle.pct_idle);
+}
+
+TEST(SystemMonitorTest, PercentagesWithinBounds) {
+  SystemMonitor mon(MachineSpec{}, 2);
+  for (double p : {0.0, 10.0, 50.0, 120.0, 500.0}) {
+    const SystemStats s = mon.Snapshot(LoadFor(p));
+    EXPECT_GE(s.pct_idle, 0.0);
+    EXPECT_GE(s.pct_user, 0.0);
+    EXPECT_GE(s.pct_system, 0.0);
+    EXPECT_LE(s.pct_disk_util, 120.0);  // noisy but near [0, 100]
+    EXPECT_GE(s.mem_free, 0.0);
+  }
+}
+
+TEST(SystemMonitorTest, MemoryAccounting) {
+  MachineSpec machine;
+  machine.memory_mb = 512.0;
+  SystemMonitor mon(machine, 3);
+  const SystemStats s = mon.Snapshot(LoadFor(10.0));
+  EXPECT_DOUBLE_EQ(s.mem_total, 512.0);
+  EXPECT_NEAR(s.mem_used + s.mem_free, 512.0, 1e-9);
+}
+
+TEST(SystemMonitorTest, SwapOnlyUnderOvercommit) {
+  MachineSpec machine;
+  machine.memory_mb = 512.0;
+  SystemMonitor mon(machine, 4);
+  const SystemStats light = mon.Snapshot(LoadFor(5.0));
+  EXPECT_DOUBLE_EQ(light.swap_used, 0.0);
+  const SystemStats heavy = mon.Snapshot(LoadFor(120.0));
+  EXPECT_GT(heavy.swap_used, 0.0);
+}
+
+TEST(SystemMonitorTest, LoadAveragesConvergeWithTicks) {
+  SystemMonitor mon(MachineSpec{}, 5);
+  const MachineLoad load = LoadFor(40.0);
+  for (int i = 0; i < 600; ++i) mon.Tick(load, 1.0);
+  const SystemStats s = mon.Snapshot(load);
+  // After 10 minutes at constant load, the 1- and 5-minute averages are
+  // close to the process count.
+  EXPECT_NEAR(s.load_avg_1, 40.0, 8.0);
+  EXPECT_NEAR(s.load_avg_5, 40.0, 8.0);
+}
+
+TEST(SystemMonitorTest, FifteenMinuteAverageLags) {
+  SystemMonitor mon(MachineSpec{}, 6);
+  for (int i = 0; i < 60; ++i) mon.Tick(LoadFor(80.0), 1.0);
+  const SystemStats s = mon.Snapshot(LoadFor(80.0));
+  EXPECT_LT(s.load_avg_15, s.load_avg_1);
+}
+
+TEST(SystemMonitorTest, SnapshotsAreNoisy) {
+  SystemMonitor mon(MachineSpec{}, 7);
+  const MachineLoad load = LoadFor(50.0);
+  const SystemStats a = mon.Snapshot(load);
+  const SystemStats b = mon.Snapshot(load);
+  EXPECT_NE(a.reads_per_sec, b.reads_per_sec);
+}
+
+}  // namespace
+}  // namespace mscm::sim

@@ -1,0 +1,82 @@
+// Shared helpers for the MSCM test suite.
+
+#ifndef MSCM_TESTS_TEST_UTIL_H_
+#define MSCM_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "engine/database.h"
+#include "engine/table_generator.h"
+
+namespace mscm::test {
+
+// A tiny generated database (scale well below paper size) for fast tests.
+inline engine::Database TinyDatabase(uint64_t seed = 1,
+                                     int num_tables = 4,
+                                     double scale = 0.02) {
+  engine::TableGeneratorConfig config;
+  config.num_tables = num_tables;
+  config.scale = scale;
+  Rng rng(seed);
+  engine::Database db = engine::GenerateDatabase(config, rng);
+  engine::AddProbingTable(db, rng);
+  return db;
+}
+
+// A hand-built 2-column table with known contents: col0 = i, col1 = i % mod.
+inline engine::Table SequentialTable(const std::string& name, size_t rows,
+                                     int64_t mod = 10) {
+  engine::Table t(name, engine::Schema({{"c0", 8}, {"c1", 8}}));
+  for (size_t i = 0; i < rows; ++i) {
+    t.AddRow({static_cast<int64_t>(i), static_cast<int64_t>(i) % mod});
+  }
+  return t;
+}
+
+}  // namespace mscm::test
+
+#include "core/observation.h"
+
+namespace mscm::test {
+
+// Synthetic regression data with a known piecewise-linear ground truth:
+// probing costs are uniform in [0, 1); the state is determined by equal-width
+// subranges; within state s, cost = intercepts[s] + sum_j slopes[s][j]*x_j
+// (+ Gaussian noise). Features are uniform in [0, feature_scale).
+struct SyntheticGroundTruth {
+  std::vector<double> intercepts;               // one per state
+  std::vector<std::vector<double>> slopes;      // [state][feature]
+  double noise_stddev = 0.0;
+  double feature_scale = 10.0;
+};
+
+inline core::ObservationSet SyntheticObservations(
+    const SyntheticGroundTruth& truth, size_t n, Rng& rng) {
+  const size_t num_states = truth.intercepts.size();
+  const size_t num_features = truth.slopes.front().size();
+  core::ObservationSet out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    core::Observation obs;
+    obs.probing_cost = rng.NextDouble();
+    const size_t state = std::min(
+        num_states - 1,
+        static_cast<size_t>(obs.probing_cost * static_cast<double>(num_states)));
+    obs.features.resize(num_features);
+    obs.cost = truth.intercepts[state];
+    for (size_t j = 0; j < num_features; ++j) {
+      obs.features[j] = rng.Uniform(0.0, truth.feature_scale);
+      obs.cost += truth.slopes[state][j] * obs.features[j];
+    }
+    if (truth.noise_stddev > 0.0) {
+      obs.cost += rng.Gaussian(0.0, truth.noise_stddev);
+    }
+    out.push_back(std::move(obs));
+  }
+  return out;
+}
+
+}  // namespace mscm::test
+
+#endif  // MSCM_TESTS_TEST_UTIL_H_

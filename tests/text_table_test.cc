@@ -1,0 +1,67 @@
+#include "common/text_table.h"
+
+#include <gtest/gtest.h>
+
+namespace mscm {
+namespace {
+
+TEST(TextTableTest, RendersHeadersAndRows) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "22"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTableTest, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"x"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("x"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAlign) {
+  TextTable t({"h", "i"});
+  t.AddRow({"longvalue", "1"});
+  t.AddRow({"s", "2"});
+  const std::string out = t.Render();
+  // Every line has the same length in an aligned table.
+  size_t first_len = std::string::npos;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    const size_t eol = out.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    const size_t len = eol - pos;
+    if (first_len == std::string::npos) first_len = len;
+    EXPECT_EQ(len, first_len);
+    pos = eol + 1;
+  }
+}
+
+TEST(TextTableTest, SeparatorRendered) {
+  TextTable t({"a"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  const std::string out = t.Render();
+  // 3 frame separators + 1 explicit one.
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = out.find("+-", pos)) != std::string::npos) {
+    ++count;
+    pos += 2;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(TextTableTest, NumRows) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace mscm

@@ -1,0 +1,101 @@
+#include "core/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mscm::core {
+namespace {
+
+TEST(EstimateBandsTest, VeryGoodBandIs30Percent) {
+  EXPECT_TRUE(IsVeryGoodEstimate(10.0, 10.0));
+  EXPECT_TRUE(IsVeryGoodEstimate(12.9, 10.0));
+  EXPECT_TRUE(IsVeryGoodEstimate(7.1, 10.0));
+  EXPECT_FALSE(IsVeryGoodEstimate(13.5, 10.0));
+  EXPECT_FALSE(IsVeryGoodEstimate(6.5, 10.0));
+}
+
+TEST(EstimateBandsTest, GoodBandIsFactorOfTwo) {
+  // "2 minutes vs 4 minutes" is good per the paper.
+  EXPECT_TRUE(IsGoodEstimate(240.0, 120.0));
+  EXPECT_TRUE(IsGoodEstimate(60.0, 120.0));
+  EXPECT_FALSE(IsGoodEstimate(59.0, 120.0));
+  EXPECT_FALSE(IsGoodEstimate(241.0, 120.0));
+}
+
+TEST(EstimateBandsTest, VeryGoodImpliesGood) {
+  for (double est : {7.1, 10.0, 12.9}) {
+    ASSERT_TRUE(IsVeryGoodEstimate(est, 10.0));
+    EXPECT_TRUE(IsGoodEstimate(est, 10.0));
+  }
+}
+
+TEST(EstimateBandsTest, ZeroObservedHandled) {
+  EXPECT_TRUE(IsVeryGoodEstimate(0.0, 0.0));
+  EXPECT_FALSE(IsVeryGoodEstimate(1.0, 0.0));
+}
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  CostModel PerfectModel() {
+    // cost = 2 * x exactly, single state.
+    ObservationSet train;
+    Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+      Observation o;
+      o.probing_cost = 0.5;
+      o.features = {rng.Uniform(1.0, 10.0)};
+      o.cost = 2.0 * o.features[0];
+      train.push_back(o);
+    }
+    return FitCostModel(QueryClassId::kUnarySeqScan, train, {0},
+                        ContentionStates::Single(),
+                        QualitativeForm::kGeneral);
+  }
+};
+
+TEST_F(ValidateTest, PerfectModelScoresFullMarks) {
+  const CostModel model = PerfectModel();
+  ObservationSet test;
+  Rng rng(2);
+  for (int i = 0; i < 30; ++i) {
+    Observation o;
+    o.probing_cost = 0.5;
+    o.features = {rng.Uniform(1.0, 10.0)};
+    o.cost = 2.0 * o.features[0];
+    test.push_back(o);
+  }
+  const ValidationReport r = Validate(model, test);
+  EXPECT_EQ(r.n_test, 30u);
+  EXPECT_DOUBLE_EQ(r.pct_very_good, 1.0);
+  EXPECT_DOUBLE_EQ(r.pct_good, 1.0);
+  EXPECT_NEAR(r.mean_relative_error, 0.0, 1e-9);
+  EXPECT_NEAR(r.rmse, 0.0, 1e-9);
+}
+
+TEST_F(ValidateTest, BandsCountedCorrectly) {
+  const CostModel model = PerfectModel();  // estimates 2*x
+  ObservationSet test;
+  // Observed = 2x (very good), observed = 3x (estimate 2x: ratio 0.67 ->
+  // good, rel err 0.33 -> not very good), observed = 10x (not good).
+  for (double mult : {2.0, 3.0, 10.0}) {
+    Observation o;
+    o.probing_cost = 0.5;
+    o.features = {4.0};
+    o.cost = mult * 4.0;
+    test.push_back(o);
+  }
+  const ValidationReport r = Validate(model, test);
+  EXPECT_NEAR(r.pct_very_good, 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(r.pct_good, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(r.avg_observed_cost, (8.0 + 12.0 + 40.0) / 3.0, 1e-9);
+}
+
+TEST_F(ValidateTest, EmptyTestSet) {
+  const ValidationReport r = Validate(PerfectModel(), {});
+  EXPECT_EQ(r.n_test, 0u);
+  EXPECT_DOUBLE_EQ(r.pct_good, 0.0);
+}
+
+}  // namespace
+}  // namespace mscm::core

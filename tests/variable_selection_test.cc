@@ -1,0 +1,176 @@
+#include "core/variable_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_util.h"
+
+namespace mscm::core {
+namespace {
+
+constexpr QueryClassId kCls = QueryClassId::kUnarySeqScan;
+
+// Builds unary-class observations (7 features per VariableSet::ForClass)
+// where the cost depends on a chosen subset of features.
+ObservationSet MakeObservations(
+    size_t n, Rng& rng,
+    const std::vector<std::pair<int, double>>& true_terms,
+    double noise = 0.05) {
+  ObservationSet out;
+  for (size_t i = 0; i < n; ++i) {
+    Observation o;
+    o.probing_cost = rng.NextDouble();
+    o.features.resize(7);
+    for (auto& f : o.features) f = rng.Uniform(0.0, 10.0);
+    o.cost = 1.0;
+    for (auto [idx, coef] : true_terms) {
+      o.cost += coef * o.features[static_cast<size_t>(idx)];
+    }
+    o.cost += rng.Gaussian(0.0, noise);
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+TEST(CorrelationHelpersTest, AverageAndMaxAgreeOnSingleState) {
+  Rng rng(1);
+  const ObservationSet obs = MakeObservations(100, rng, {{0, 2.0}});
+  const ContentionStates single = ContentionStates::Single();
+  std::vector<double> costs;
+  for (const auto& o : obs) costs.push_back(o.cost);
+  const double avg = AverageStateCorrelation(obs, single, 0, costs);
+  const double mx = MaxStateCorrelation(obs, single, 0, costs);
+  EXPECT_DOUBLE_EQ(avg, mx);
+  EXPECT_GT(avg, 0.9);
+}
+
+TEST(CorrelationHelpersTest, IrrelevantVariableLowCorrelation) {
+  Rng rng(2);
+  const ObservationSet obs = MakeObservations(300, rng, {{0, 2.0}});
+  const ContentionStates states =
+      ContentionStates::UniformPartition(0.0, 1.0, 2);
+  std::vector<double> costs;
+  for (const auto& o : obs) costs.push_back(o.cost);
+  EXPECT_LT(MaxStateCorrelation(obs, states, 3, costs), 0.3);
+  EXPECT_GT(MaxStateCorrelation(obs, states, 0, costs), 0.9);
+}
+
+TEST(MaxStateVifTest, IndependentFeaturesLowVif) {
+  Rng rng(3);
+  const ObservationSet obs = MakeObservations(200, rng, {{0, 1.0}});
+  const ContentionStates single = ContentionStates::Single();
+  EXPECT_LT(MaxStateVif(obs, single, 1, {0, 2}), 2.0);
+}
+
+TEST(MaxStateVifTest, DerivedFeatureHighVif) {
+  Rng rng(4);
+  ObservationSet obs = MakeObservations(200, rng, {{0, 1.0}});
+  // Make feature 5 an exact linear function of features 0 and 1.
+  for (auto& o : obs) o.features[5] = 2.0 * o.features[0] - o.features[1];
+  EXPECT_GT(MaxStateVif(obs, ContentionStates::Single(), 5, {0, 1}), 100.0);
+}
+
+TEST(SelectVariablesTest, KeepsTrueBasicDropsIrrelevant) {
+  Rng rng(5);
+  // Cost depends on basic variables 0 and 2 only.
+  const ObservationSet obs =
+      MakeObservations(400, rng, {{0, 2.0}, {2, 3.0}});
+  VariableSelectionTrace trace;
+  const std::vector<int> selected = SelectVariables(
+      kCls, obs, VariableSet::ForClass(kCls), ContentionStates::Single(),
+      VariableSelectionOptions{}, &trace);
+  EXPECT_NE(std::find(selected.begin(), selected.end(), 0), selected.end());
+  EXPECT_NE(std::find(selected.begin(), selected.end(), 2), selected.end());
+  // Basic variable 1 carries no signal: screened or eliminated.
+  EXPECT_EQ(std::find(selected.begin(), selected.end(), 1), selected.end());
+}
+
+TEST(SelectVariablesTest, ForwardAddsInformativeSecondary) {
+  Rng rng(6);
+  // Secondary variable 4 (TL_rt) carries real signal on top of basic 0.
+  const ObservationSet obs =
+      MakeObservations(400, rng, {{0, 2.0}, {4, 5.0}});
+  VariableSelectionTrace trace;
+  const std::vector<int> selected = SelectVariables(
+      kCls, obs, VariableSet::ForClass(kCls), ContentionStates::Single(),
+      VariableSelectionOptions{}, &trace);
+  EXPECT_NE(std::find(selected.begin(), selected.end(), 4), selected.end());
+  EXPECT_NE(std::find(trace.added_forward.begin(), trace.added_forward.end(),
+                      4),
+            trace.added_forward.end());
+}
+
+TEST(SelectVariablesTest, UninformativeSecondaryNotAdded) {
+  Rng rng(7);
+  const ObservationSet obs = MakeObservations(400, rng, {{0, 2.0}});
+  const std::vector<int> selected = SelectVariables(
+      kCls, obs, VariableSet::ForClass(kCls), ContentionStates::Single(),
+      VariableSelectionOptions{});
+  for (int v : {3, 4, 5, 6}) {
+    EXPECT_EQ(std::find(selected.begin(), selected.end(), v), selected.end())
+        << "secondary variable " << v << " should not be selected";
+  }
+}
+
+TEST(SelectVariablesTest, CollinearSecondaryRejectedByVif) {
+  Rng rng(8);
+  ObservationSet obs = MakeObservations(400, rng, {{0, 2.0}});
+  // Secondary 5 duplicates basic 0 exactly (plus signal would be circular):
+  // it correlates perfectly with the model variable, so VIF must reject it
+  // before SEE comparison even matters.
+  for (auto& o : obs) {
+    o.features[5] = o.features[0];
+    // give feature 5 genuine residual correlation by adding tiny noise signal
+    o.cost += 0.001 * o.features[5];
+  }
+  VariableSelectionTrace trace;
+  const std::vector<int> selected = SelectVariables(
+      kCls, obs, VariableSet::ForClass(kCls), ContentionStates::Single(),
+      VariableSelectionOptions{}, &trace);
+  EXPECT_EQ(std::find(selected.begin(), selected.end(), 5), selected.end());
+}
+
+TEST(SelectVariablesTest, PerStateSelectionWorksWithMultipleStates) {
+  Rng rng(9);
+  ObservationSet obs;
+  // Two states, same relevant variable set.
+  for (int i = 0; i < 400; ++i) {
+    Observation o;
+    o.probing_cost = rng.NextDouble();
+    o.features.resize(7);
+    for (auto& f : o.features) f = rng.Uniform(0.0, 10.0);
+    const double scale = o.probing_cost < 0.5 ? 1.0 : 6.0;
+    o.cost = scale * (1.0 + 2.0 * o.features[0] + 1.0 * o.features[2]) +
+             rng.Gaussian(0.0, 0.05);
+    obs.push_back(std::move(o));
+  }
+  const ContentionStates states =
+      ContentionStates::UniformPartition(0.0, 1.0, 2);
+  const std::vector<int> selected =
+      SelectVariables(kCls, obs, VariableSet::ForClass(kCls), states,
+                      VariableSelectionOptions{});
+  EXPECT_NE(std::find(selected.begin(), selected.end(), 0), selected.end());
+  EXPECT_NE(std::find(selected.begin(), selected.end(), 2), selected.end());
+}
+
+TEST(SelectVariablesTest, NeverReturnsEmpty) {
+  Rng rng(10);
+  // Pure noise cost: even then one variable must remain.
+  ObservationSet obs;
+  for (int i = 0; i < 200; ++i) {
+    Observation o;
+    o.probing_cost = rng.NextDouble();
+    o.features.resize(7);
+    for (auto& f : o.features) f = rng.Uniform(0.0, 10.0);
+    o.cost = rng.Gaussian(5.0, 1.0);
+    obs.push_back(std::move(o));
+  }
+  const std::vector<int> selected = SelectVariables(
+      kCls, obs, VariableSet::ForClass(kCls), ContentionStates::Single(),
+      VariableSelectionOptions{});
+  EXPECT_FALSE(selected.empty());
+}
+
+}  // namespace
+}  // namespace mscm::core
