@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_form_comparison"
+  "../bench/ablation_form_comparison.pdb"
+  "CMakeFiles/ablation_form_comparison.dir/ablation_form_comparison.cpp.o"
+  "CMakeFiles/ablation_form_comparison.dir/ablation_form_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_form_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

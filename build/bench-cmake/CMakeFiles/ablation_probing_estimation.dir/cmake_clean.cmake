@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_probing_estimation"
+  "../bench/ablation_probing_estimation.pdb"
+  "CMakeFiles/ablation_probing_estimation.dir/ablation_probing_estimation.cpp.o"
+  "CMakeFiles/ablation_probing_estimation.dir/ablation_probing_estimation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_probing_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_states_sweep"
+  "../bench/ablation_states_sweep.pdb"
+  "CMakeFiles/ablation_states_sweep.dir/ablation_states_sweep.cpp.o"
+  "CMakeFiles/ablation_states_sweep.dir/ablation_states_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_states_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_all_classes"
+  "../bench/ext_all_classes.pdb"
+  "CMakeFiles/ext_all_classes.dir/ext_all_classes.cpp.o"
+  "CMakeFiles/ext_all_classes.dir/ext_all_classes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_all_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

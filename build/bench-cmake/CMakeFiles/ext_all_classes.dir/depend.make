@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_all_classes.
+# This may be replaced when dependencies are built.

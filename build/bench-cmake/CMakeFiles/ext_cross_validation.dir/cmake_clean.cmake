@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_cross_validation"
+  "../bench/ext_cross_validation.pdb"
+  "CMakeFiles/ext_cross_validation.dir/ext_cross_validation.cpp.o"
+  "CMakeFiles/ext_cross_validation.dir/ext_cross_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cross_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

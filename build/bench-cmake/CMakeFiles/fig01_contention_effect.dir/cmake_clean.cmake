@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_contention_effect"
+  "../bench/fig01_contention_effect.pdb"
+  "CMakeFiles/fig01_contention_effect.dir/fig01_contention_effect.cpp.o"
+  "CMakeFiles/fig01_contention_effect.dir/fig01_contention_effect.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_contention_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_09_test_queries"
+  "../bench/fig04_09_test_queries.pdb"
+  "CMakeFiles/fig04_09_test_queries.dir/fig04_09_test_queries.cpp.o"
+  "CMakeFiles/fig04_09_test_queries.dir/fig04_09_test_queries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_09_test_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_09_test_queries.
+# This may be replaced when dependencies are built.

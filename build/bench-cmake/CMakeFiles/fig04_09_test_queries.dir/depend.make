@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_09_test_queries.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_contention_histogram"
+  "../bench/fig10_contention_histogram.pdb"
+  "CMakeFiles/fig10_contention_histogram.dir/fig10_contention_histogram.cpp.o"
+  "CMakeFiles/fig10_contention_histogram.dir/fig10_contention_histogram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_contention_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

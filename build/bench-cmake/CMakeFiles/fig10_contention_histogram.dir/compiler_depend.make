@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_contention_histogram.
+# This may be replaced when dependencies are built.

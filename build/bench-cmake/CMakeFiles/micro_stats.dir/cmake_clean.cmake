@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_stats"
+  "../bench/micro_stats.pdb"
+  "CMakeFiles/micro_stats.dir/micro_stats.cpp.o"
+  "CMakeFiles/micro_stats.dir/micro_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_cost_models"
+  "../bench/table4_cost_models.pdb"
+  "CMakeFiles/table4_cost_models.dir/table4_cost_models.cpp.o"
+  "CMakeFiles/table4_cost_models.dir/table4_cost_models.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_cost_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_model_stats"
+  "../bench/table5_model_stats.pdb"
+  "CMakeFiles/table5_model_stats.dir/table5_model_stats.cpp.o"
+  "CMakeFiles/table5_model_stats.dir/table5_model_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_model_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

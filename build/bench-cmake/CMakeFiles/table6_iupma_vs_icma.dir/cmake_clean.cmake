@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_iupma_vs_icma"
+  "../bench/table6_iupma_vs_icma.pdb"
+  "CMakeFiles/table6_iupma_vs_icma.dir/table6_iupma_vs_icma.cpp.o"
+  "CMakeFiles/table6_iupma_vs_icma.dir/table6_iupma_vs_icma.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_iupma_vs_icma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table6_iupma_vs_icma.
+# This may be replaced when dependencies are built.

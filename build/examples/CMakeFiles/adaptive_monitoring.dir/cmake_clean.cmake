@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_monitoring.dir/adaptive_monitoring.cpp.o"
+  "CMakeFiles/adaptive_monitoring.dir/adaptive_monitoring.cpp.o.d"
+  "adaptive_monitoring"
+  "adaptive_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

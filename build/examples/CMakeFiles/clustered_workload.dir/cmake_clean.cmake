@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustered_workload.dir/clustered_workload.cpp.o"
+  "CMakeFiles/clustered_workload.dir/clustered_workload.cpp.o.d"
+  "clustered_workload"
+  "clustered_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustered_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

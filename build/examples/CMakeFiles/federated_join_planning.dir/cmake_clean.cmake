@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_join_planning.dir/federated_join_planning.cpp.o"
+  "CMakeFiles/federated_join_planning.dir/federated_join_planning.cpp.o.d"
+  "federated_join_planning"
+  "federated_join_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_join_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/mscm_cli.cpp" "examples/CMakeFiles/mscm_cli.dir/mscm_cli.cpp.o" "gcc" "examples/CMakeFiles/mscm_cli.dir/mscm_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mscm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mscm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mscm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdbs/CMakeFiles/mscm_mdbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mscm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mscm_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mscm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscm_cli.dir/mscm_cli.cpp.o"
+  "CMakeFiles/mscm_cli.dir/mscm_cli.cpp.o.d"
+  "mscm_cli"
+  "mscm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscm_cluster.dir/hierarchical.cc.o"
+  "CMakeFiles/mscm_cluster.dir/hierarchical.cc.o.d"
+  "libmscm_cluster.a"
+  "libmscm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

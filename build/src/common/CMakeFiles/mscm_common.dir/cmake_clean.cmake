@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscm_common.dir/rng.cc.o"
+  "CMakeFiles/mscm_common.dir/rng.cc.o.d"
+  "CMakeFiles/mscm_common.dir/str_util.cc.o"
+  "CMakeFiles/mscm_common.dir/str_util.cc.o.d"
+  "CMakeFiles/mscm_common.dir/text_table.cc.o"
+  "CMakeFiles/mscm_common.dir/text_table.cc.o.d"
+  "libmscm_common.a"
+  "libmscm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agent_source.cc" "src/core/CMakeFiles/mscm_core.dir/agent_source.cc.o" "gcc" "src/core/CMakeFiles/mscm_core.dir/agent_source.cc.o.d"
+  "/root/repo/src/core/catalog.cc" "src/core/CMakeFiles/mscm_core.dir/catalog.cc.o" "gcc" "src/core/CMakeFiles/mscm_core.dir/catalog.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/mscm_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/mscm_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/cross_validation.cc" "src/core/CMakeFiles/mscm_core.dir/cross_validation.cc.o" "gcc" "src/core/CMakeFiles/mscm_core.dir/cross_validation.cc.o.d"
+  "/root/repo/src/core/explanatory.cc" "src/core/CMakeFiles/mscm_core.dir/explanatory.cc.o" "gcc" "src/core/CMakeFiles/mscm_core.dir/explanatory.cc.o.d"
+  "/root/repo/src/core/global_planner.cc" "src/core/CMakeFiles/mscm_core.dir/global_planner.cc.o" "gcc" "src/core/CMakeFiles/mscm_core.dir/global_planner.cc.o.d"
+  "/root/repo/src/core/maintenance.cc" "src/core/CMakeFiles/mscm_core.dir/maintenance.cc.o" "gcc" "src/core/CMakeFiles/mscm_core.dir/maintenance.cc.o.d"
+  "/root/repo/src/core/model_builder.cc" "src/core/CMakeFiles/mscm_core.dir/model_builder.cc.o" "gcc" "src/core/CMakeFiles/mscm_core.dir/model_builder.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/core/CMakeFiles/mscm_core.dir/model_io.cc.o" "gcc" "src/core/CMakeFiles/mscm_core.dir/model_io.cc.o.d"
+  "/root/repo/src/core/probing_estimator.cc" "src/core/CMakeFiles/mscm_core.dir/probing_estimator.cc.o" "gcc" "src/core/CMakeFiles/mscm_core.dir/probing_estimator.cc.o.d"
+  "/root/repo/src/core/qualitative.cc" "src/core/CMakeFiles/mscm_core.dir/qualitative.cc.o" "gcc" "src/core/CMakeFiles/mscm_core.dir/qualitative.cc.o.d"
+  "/root/repo/src/core/query_class.cc" "src/core/CMakeFiles/mscm_core.dir/query_class.cc.o" "gcc" "src/core/CMakeFiles/mscm_core.dir/query_class.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/mscm_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/mscm_core.dir/report.cc.o.d"
+  "/root/repo/src/core/sampling.cc" "src/core/CMakeFiles/mscm_core.dir/sampling.cc.o" "gcc" "src/core/CMakeFiles/mscm_core.dir/sampling.cc.o.d"
+  "/root/repo/src/core/state_determination.cc" "src/core/CMakeFiles/mscm_core.dir/state_determination.cc.o" "gcc" "src/core/CMakeFiles/mscm_core.dir/state_determination.cc.o.d"
+  "/root/repo/src/core/states.cc" "src/core/CMakeFiles/mscm_core.dir/states.cc.o" "gcc" "src/core/CMakeFiles/mscm_core.dir/states.cc.o.d"
+  "/root/repo/src/core/validation.cc" "src/core/CMakeFiles/mscm_core.dir/validation.cc.o" "gcc" "src/core/CMakeFiles/mscm_core.dir/validation.cc.o.d"
+  "/root/repo/src/core/variable_selection.cc" "src/core/CMakeFiles/mscm_core.dir/variable_selection.cc.o" "gcc" "src/core/CMakeFiles/mscm_core.dir/variable_selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mscm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mscm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mscm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mscm_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mscm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdbs/CMakeFiles/mscm_mdbs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

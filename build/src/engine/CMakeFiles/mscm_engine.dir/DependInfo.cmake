@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/access_path.cc" "src/engine/CMakeFiles/mscm_engine.dir/access_path.cc.o" "gcc" "src/engine/CMakeFiles/mscm_engine.dir/access_path.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/engine/CMakeFiles/mscm_engine.dir/database.cc.o" "gcc" "src/engine/CMakeFiles/mscm_engine.dir/database.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/mscm_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/mscm_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/explain.cc" "src/engine/CMakeFiles/mscm_engine.dir/explain.cc.o" "gcc" "src/engine/CMakeFiles/mscm_engine.dir/explain.cc.o.d"
+  "/root/repo/src/engine/index.cc" "src/engine/CMakeFiles/mscm_engine.dir/index.cc.o" "gcc" "src/engine/CMakeFiles/mscm_engine.dir/index.cc.o.d"
+  "/root/repo/src/engine/predicate.cc" "src/engine/CMakeFiles/mscm_engine.dir/predicate.cc.o" "gcc" "src/engine/CMakeFiles/mscm_engine.dir/predicate.cc.o.d"
+  "/root/repo/src/engine/query.cc" "src/engine/CMakeFiles/mscm_engine.dir/query.cc.o" "gcc" "src/engine/CMakeFiles/mscm_engine.dir/query.cc.o.d"
+  "/root/repo/src/engine/schema.cc" "src/engine/CMakeFiles/mscm_engine.dir/schema.cc.o" "gcc" "src/engine/CMakeFiles/mscm_engine.dir/schema.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/engine/CMakeFiles/mscm_engine.dir/table.cc.o" "gcc" "src/engine/CMakeFiles/mscm_engine.dir/table.cc.o.d"
+  "/root/repo/src/engine/table_generator.cc" "src/engine/CMakeFiles/mscm_engine.dir/table_generator.cc.o" "gcc" "src/engine/CMakeFiles/mscm_engine.dir/table_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mscm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscm_engine.dir/access_path.cc.o"
+  "CMakeFiles/mscm_engine.dir/access_path.cc.o.d"
+  "CMakeFiles/mscm_engine.dir/database.cc.o"
+  "CMakeFiles/mscm_engine.dir/database.cc.o.d"
+  "CMakeFiles/mscm_engine.dir/executor.cc.o"
+  "CMakeFiles/mscm_engine.dir/executor.cc.o.d"
+  "CMakeFiles/mscm_engine.dir/explain.cc.o"
+  "CMakeFiles/mscm_engine.dir/explain.cc.o.d"
+  "CMakeFiles/mscm_engine.dir/index.cc.o"
+  "CMakeFiles/mscm_engine.dir/index.cc.o.d"
+  "CMakeFiles/mscm_engine.dir/predicate.cc.o"
+  "CMakeFiles/mscm_engine.dir/predicate.cc.o.d"
+  "CMakeFiles/mscm_engine.dir/query.cc.o"
+  "CMakeFiles/mscm_engine.dir/query.cc.o.d"
+  "CMakeFiles/mscm_engine.dir/schema.cc.o"
+  "CMakeFiles/mscm_engine.dir/schema.cc.o.d"
+  "CMakeFiles/mscm_engine.dir/table.cc.o"
+  "CMakeFiles/mscm_engine.dir/table.cc.o.d"
+  "CMakeFiles/mscm_engine.dir/table_generator.cc.o"
+  "CMakeFiles/mscm_engine.dir/table_generator.cc.o.d"
+  "libmscm_engine.a"
+  "libmscm_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscm_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscm_mdbs.dir/local_dbs.cc.o"
+  "CMakeFiles/mscm_mdbs.dir/local_dbs.cc.o.d"
+  "libmscm_mdbs.a"
+  "libmscm_mdbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscm_mdbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

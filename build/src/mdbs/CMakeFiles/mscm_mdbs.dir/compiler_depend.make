@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mscm_mdbs.
+# This may be replaced when dependencies are built.

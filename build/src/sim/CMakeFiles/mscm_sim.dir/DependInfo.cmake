@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/contention_model.cc" "src/sim/CMakeFiles/mscm_sim.dir/contention_model.cc.o" "gcc" "src/sim/CMakeFiles/mscm_sim.dir/contention_model.cc.o.d"
+  "/root/repo/src/sim/cost_simulator.cc" "src/sim/CMakeFiles/mscm_sim.dir/cost_simulator.cc.o" "gcc" "src/sim/CMakeFiles/mscm_sim.dir/cost_simulator.cc.o.d"
+  "/root/repo/src/sim/load_builder.cc" "src/sim/CMakeFiles/mscm_sim.dir/load_builder.cc.o" "gcc" "src/sim/CMakeFiles/mscm_sim.dir/load_builder.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/sim/CMakeFiles/mscm_sim.dir/network.cc.o" "gcc" "src/sim/CMakeFiles/mscm_sim.dir/network.cc.o.d"
+  "/root/repo/src/sim/performance_profile.cc" "src/sim/CMakeFiles/mscm_sim.dir/performance_profile.cc.o" "gcc" "src/sim/CMakeFiles/mscm_sim.dir/performance_profile.cc.o.d"
+  "/root/repo/src/sim/system_monitor.cc" "src/sim/CMakeFiles/mscm_sim.dir/system_monitor.cc.o" "gcc" "src/sim/CMakeFiles/mscm_sim.dir/system_monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mscm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mscm_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscm_sim.dir/contention_model.cc.o"
+  "CMakeFiles/mscm_sim.dir/contention_model.cc.o.d"
+  "CMakeFiles/mscm_sim.dir/cost_simulator.cc.o"
+  "CMakeFiles/mscm_sim.dir/cost_simulator.cc.o.d"
+  "CMakeFiles/mscm_sim.dir/load_builder.cc.o"
+  "CMakeFiles/mscm_sim.dir/load_builder.cc.o.d"
+  "CMakeFiles/mscm_sim.dir/network.cc.o"
+  "CMakeFiles/mscm_sim.dir/network.cc.o.d"
+  "CMakeFiles/mscm_sim.dir/performance_profile.cc.o"
+  "CMakeFiles/mscm_sim.dir/performance_profile.cc.o.d"
+  "CMakeFiles/mscm_sim.dir/system_monitor.cc.o"
+  "CMakeFiles/mscm_sim.dir/system_monitor.cc.o.d"
+  "libmscm_sim.a"
+  "libmscm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmscm_sim.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cc" "src/stats/CMakeFiles/mscm_stats.dir/correlation.cc.o" "gcc" "src/stats/CMakeFiles/mscm_stats.dir/correlation.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/mscm_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/mscm_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/diagnostics.cc" "src/stats/CMakeFiles/mscm_stats.dir/diagnostics.cc.o" "gcc" "src/stats/CMakeFiles/mscm_stats.dir/diagnostics.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/stats/CMakeFiles/mscm_stats.dir/distributions.cc.o" "gcc" "src/stats/CMakeFiles/mscm_stats.dir/distributions.cc.o.d"
+  "/root/repo/src/stats/linalg.cc" "src/stats/CMakeFiles/mscm_stats.dir/linalg.cc.o" "gcc" "src/stats/CMakeFiles/mscm_stats.dir/linalg.cc.o.d"
+  "/root/repo/src/stats/matrix.cc" "src/stats/CMakeFiles/mscm_stats.dir/matrix.cc.o" "gcc" "src/stats/CMakeFiles/mscm_stats.dir/matrix.cc.o.d"
+  "/root/repo/src/stats/ols.cc" "src/stats/CMakeFiles/mscm_stats.dir/ols.cc.o" "gcc" "src/stats/CMakeFiles/mscm_stats.dir/ols.cc.o.d"
+  "/root/repo/src/stats/special_functions.cc" "src/stats/CMakeFiles/mscm_stats.dir/special_functions.cc.o" "gcc" "src/stats/CMakeFiles/mscm_stats.dir/special_functions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mscm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

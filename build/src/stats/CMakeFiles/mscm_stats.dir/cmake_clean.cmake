@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscm_stats.dir/correlation.cc.o"
+  "CMakeFiles/mscm_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/mscm_stats.dir/descriptive.cc.o"
+  "CMakeFiles/mscm_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/mscm_stats.dir/diagnostics.cc.o"
+  "CMakeFiles/mscm_stats.dir/diagnostics.cc.o.d"
+  "CMakeFiles/mscm_stats.dir/distributions.cc.o"
+  "CMakeFiles/mscm_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/mscm_stats.dir/linalg.cc.o"
+  "CMakeFiles/mscm_stats.dir/linalg.cc.o.d"
+  "CMakeFiles/mscm_stats.dir/matrix.cc.o"
+  "CMakeFiles/mscm_stats.dir/matrix.cc.o.d"
+  "CMakeFiles/mscm_stats.dir/ols.cc.o"
+  "CMakeFiles/mscm_stats.dir/ols.cc.o.d"
+  "CMakeFiles/mscm_stats.dir/special_functions.cc.o"
+  "CMakeFiles/mscm_stats.dir/special_functions.cc.o.d"
+  "libmscm_stats.a"
+  "libmscm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

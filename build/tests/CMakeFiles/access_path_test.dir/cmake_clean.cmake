@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_path_test.dir/access_path_test.cc.o"
+  "CMakeFiles/access_path_test.dir/access_path_test.cc.o.d"
+  "access_path_test"
+  "access_path_test.pdb"
+  "access_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

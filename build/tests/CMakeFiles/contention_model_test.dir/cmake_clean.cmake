@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contention_model_test.dir/contention_model_test.cc.o"
+  "CMakeFiles/contention_model_test.dir/contention_model_test.cc.o.d"
+  "contention_model_test"
+  "contention_model_test.pdb"
+  "contention_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contention_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

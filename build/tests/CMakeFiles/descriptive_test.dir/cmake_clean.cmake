@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/descriptive_test.dir/descriptive_test.cc.o"
+  "CMakeFiles/descriptive_test.dir/descriptive_test.cc.o.d"
+  "descriptive_test"
+  "descriptive_test.pdb"
+  "descriptive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/descriptive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnostics_test.dir/diagnostics_test.cc.o"
+  "CMakeFiles/diagnostics_test.dir/diagnostics_test.cc.o.d"
+  "diagnostics_test"
+  "diagnostics_test.pdb"
+  "diagnostics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnostics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

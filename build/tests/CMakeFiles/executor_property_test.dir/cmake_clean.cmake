@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_property_test.dir/executor_property_test.cc.o"
+  "CMakeFiles/executor_property_test.dir/executor_property_test.cc.o.d"
+  "executor_property_test"
+  "executor_property_test.pdb"
+  "executor_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

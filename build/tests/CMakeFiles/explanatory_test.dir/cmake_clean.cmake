@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explanatory_test.dir/explanatory_test.cc.o"
+  "CMakeFiles/explanatory_test.dir/explanatory_test.cc.o.d"
+  "explanatory_test"
+  "explanatory_test.pdb"
+  "explanatory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explanatory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_planner_test.dir/global_planner_test.cc.o"
+  "CMakeFiles/global_planner_test.dir/global_planner_test.cc.o.d"
+  "global_planner_test"
+  "global_planner_test.pdb"
+  "global_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_builder_test.dir/load_builder_test.cc.o"
+  "CMakeFiles/load_builder_test.dir/load_builder_test.cc.o.d"
+  "load_builder_test"
+  "load_builder_test.pdb"
+  "load_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_dbs_test.dir/local_dbs_test.cc.o"
+  "CMakeFiles/local_dbs_test.dir/local_dbs_test.cc.o.d"
+  "local_dbs_test"
+  "local_dbs_test.pdb"
+  "local_dbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_dbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

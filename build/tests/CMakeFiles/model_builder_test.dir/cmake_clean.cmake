@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_builder_test.dir/model_builder_test.cc.o"
+  "CMakeFiles/model_builder_test.dir/model_builder_test.cc.o.d"
+  "model_builder_test"
+  "model_builder_test.pdb"
+  "model_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ols_test.dir/ols_test.cc.o"
+  "CMakeFiles/ols_test.dir/ols_test.cc.o.d"
+  "ols_test"
+  "ols_test.pdb"
+  "ols_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ols_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prediction_interval_test.dir/prediction_interval_test.cc.o"
+  "CMakeFiles/prediction_interval_test.dir/prediction_interval_test.cc.o.d"
+  "prediction_interval_test"
+  "prediction_interval_test.pdb"
+  "prediction_interval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prediction_interval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

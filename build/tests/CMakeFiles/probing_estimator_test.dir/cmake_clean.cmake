@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probing_estimator_test.dir/probing_estimator_test.cc.o"
+  "CMakeFiles/probing_estimator_test.dir/probing_estimator_test.cc.o.d"
+  "probing_estimator_test"
+  "probing_estimator_test.pdb"
+  "probing_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probing_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qualitative_property_test.dir/qualitative_property_test.cc.o"
+  "CMakeFiles/qualitative_property_test.dir/qualitative_property_test.cc.o.d"
+  "qualitative_property_test"
+  "qualitative_property_test.pdb"
+  "qualitative_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qualitative_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

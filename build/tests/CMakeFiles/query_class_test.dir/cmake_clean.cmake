@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_class_test.dir/query_class_test.cc.o"
+  "CMakeFiles/query_class_test.dir/query_class_test.cc.o.d"
+  "query_class_test"
+  "query_class_test.pdb"
+  "query_class_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_class_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_test.dir/sampling_test.cc.o"
+  "CMakeFiles/sampling_test.dir/sampling_test.cc.o.d"
+  "sampling_test"
+  "sampling_test.pdb"
+  "sampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

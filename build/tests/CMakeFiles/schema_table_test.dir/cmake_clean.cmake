@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_table_test.dir/schema_table_test.cc.o"
+  "CMakeFiles/schema_table_test.dir/schema_table_test.cc.o.d"
+  "schema_table_test"
+  "schema_table_test.pdb"
+  "schema_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

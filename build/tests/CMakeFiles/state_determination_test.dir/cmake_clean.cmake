@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_determination_test.dir/state_determination_test.cc.o"
+  "CMakeFiles/state_determination_test.dir/state_determination_test.cc.o.d"
+  "state_determination_test"
+  "state_determination_test.pdb"
+  "state_determination_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_determination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

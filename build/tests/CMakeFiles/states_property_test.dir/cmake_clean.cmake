@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/states_property_test.dir/states_property_test.cc.o"
+  "CMakeFiles/states_property_test.dir/states_property_test.cc.o.d"
+  "states_property_test"
+  "states_property_test.pdb"
+  "states_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/states_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

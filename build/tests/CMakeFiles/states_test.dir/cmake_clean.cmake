@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/states_test.dir/states_test.cc.o"
+  "CMakeFiles/states_test.dir/states_test.cc.o.d"
+  "states_test"
+  "states_test.pdb"
+  "states_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/states_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_generator_test.dir/table_generator_test.cc.o"
+  "CMakeFiles/table_generator_test.dir/table_generator_test.cc.o.d"
+  "table_generator_test"
+  "table_generator_test.pdb"
+  "table_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_test.dir/validation_test.cc.o"
+  "CMakeFiles/validation_test.dir/validation_test.cc.o.d"
+  "validation_test"
+  "validation_test.pdb"
+  "validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variable_selection_test.dir/variable_selection_test.cc.o"
+  "CMakeFiles/variable_selection_test.dir/variable_selection_test.cc.o.d"
+  "variable_selection_test"
+  "variable_selection_test.pdb"
+  "variable_selection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variable_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
