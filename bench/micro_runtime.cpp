@@ -1,0 +1,276 @@
+// Throughput / latency microbench for the online estimation service
+// (src/runtime): how fast can concurrent planner threads price queries
+// against the snapshot catalog + cached contention states?
+//
+// Scenarios (fresh service each, same request workload):
+//   single  x1   — one thread, one Estimate() call per request
+//   batch   x1   — one thread, EstimateBatch() in chunks of kBatch
+//   batch   xN   — N reader threads, each batching its own slice
+//   batch   x8+w — 8 readers while a writer re-registers models (CoW swaps)
+//
+// Emits BENCH_runtime.json with requests/sec and p50/p99 per-estimate
+// latency per scenario, plus the derived batch-amortization and
+// thread-scaling factors. Threads beyond the machine's cores cannot add
+// speedup (hardware_concurrency is recorded in the JSON for that reason).
+//
+// Each scenario runs kReps times and reports the best repetition — on a
+// shared machine the best rep is the least-perturbed measurement.
+//
+// MSCM_RUNTIME_BENCH_N (env) overrides the request count;
+// MSCM_RUNTIME_BENCH_REPS overrides the repetition count.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "common/text_table.h"
+#include "core/cost_model.h"
+#include "core/explanatory.h"
+#include "runtime/estimation_service.h"
+
+namespace {
+
+using namespace mscm;
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kBatch = 512;
+
+size_t EnvCount(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  const long v = std::atol(env);
+  return v > 0 ? static_cast<size_t>(v) : fallback;
+}
+
+// A fitted 4-state model over 3 selected variables with synthetic
+// coefficients — the estimate path (state lookup + design row + dot
+// product) is identical to a paper-derived model's.
+core::CostModel MakeModel(core::QueryClassId cls, uint64_t seed) {
+  const size_t n_features = core::VariableSet::ForClass(cls).size();
+  constexpr int kStates = 4;
+  core::ObservationSet obs;
+  Rng rng(seed);
+  for (int s = 0; s < kStates; ++s) {
+    for (int i = 0; i < 50; ++i) {
+      core::Observation o;
+      o.probing_cost = s + 0.5;
+      o.features.assign(n_features, 0.0);
+      for (size_t j = 0; j < 3; ++j) o.features[j] = rng.Uniform(1.0, 10.0);
+      o.cost = (s + 1.0) * (0.5 * o.features[0] + 0.2 * o.features[1] +
+                            0.1 * o.features[2]);
+      obs.push_back(std::move(o));
+    }
+  }
+  return core::FitCostModel(
+      cls, obs, {0, 1, 2},
+      core::ContentionStates::FromBoundaries({1.0, 2.0, 3.0}),
+      core::QualitativeForm::kGeneral);
+}
+
+struct Scenario {
+  std::string name;
+  int threads = 1;
+  bool batched = false;
+  bool with_writer = false;
+};
+
+struct Result {
+  Scenario scenario;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+std::vector<runtime::EstimateRequest> MakeWorkload(size_t n) {
+  const std::vector<std::string> sites = {"alpha", "beta"};
+  const std::vector<core::QueryClassId> classes = {
+      core::QueryClassId::kUnarySeqScan, core::QueryClassId::kJoinNoIndex};
+  Rng rng(17);
+  std::vector<runtime::EstimateRequest> requests;
+  requests.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    runtime::EstimateRequest request;
+    request.site = sites[i % sites.size()];
+    request.class_id = classes[(i / 2) % classes.size()];
+    request.features.assign(
+        core::VariableSet::ForClass(request.class_id).size(), 0.0);
+    for (size_t j = 0; j < 3; ++j) {
+      request.features[j] = rng.Uniform(1.0, 10.0);
+    }
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+std::unique_ptr<runtime::EstimationService> MakeService() {
+  runtime::EstimationServiceConfig config;
+  config.probe_ttl = std::chrono::hours(1);
+  config.worker_threads = 0;  // reader threads are the parallelism measured
+  auto service = std::make_unique<runtime::EstimationService>(config);
+  uint64_t seed = 1;
+  for (const std::string& site : {std::string("alpha"), std::string("beta")}) {
+    service->RegisterModel(
+        site, MakeModel(core::QueryClassId::kUnarySeqScan, seed++));
+    service->RegisterModel(
+        site, MakeModel(core::QueryClassId::kJoinNoIndex, seed++));
+    service->RegisterSite(site,
+                          [value = 0.5 + 0.7 * static_cast<double>(seed)] {
+                            return value;
+                          });
+    service->ProbeNow(site);
+  }
+  return service;
+}
+
+Result Run(const Scenario& scenario,
+           const std::vector<runtime::EstimateRequest>& requests) {
+  auto service = MakeService();
+
+  std::atomic<bool> writer_stop{false};
+  std::thread writer;
+  if (scenario.with_writer) {
+    writer = std::thread([&service, &writer_stop] {
+      uint64_t seed = 1000;
+      while (!writer_stop.load(std::memory_order_relaxed)) {
+        service->RegisterModel(
+            "alpha", MakeModel(core::QueryClassId::kUnarySeqScan, seed++));
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+
+  auto drive = [&](size_t begin, size_t end) {
+    if (scenario.batched) {
+      std::vector<runtime::EstimateRequest> chunk;
+      for (size_t i = begin; i < end; i += kBatch) {
+        const size_t stop = std::min(end, i + kBatch);
+        chunk.assign(requests.begin() + static_cast<long>(i),
+                     requests.begin() + static_cast<long>(stop));
+        service->EstimateBatch(chunk);
+      }
+    } else {
+      for (size_t i = begin; i < end; ++i) service->Estimate(requests[i]);
+    }
+  };
+
+  // Warmup pass (1/8 of the workload), then the timed pass.
+  drive(0, requests.size() / 8);
+
+  const auto started = Clock::now();
+  if (scenario.threads <= 1) {
+    drive(0, requests.size());
+  } else {
+    std::vector<std::thread> readers;
+    const size_t per = requests.size() / static_cast<size_t>(scenario.threads);
+    for (int t = 0; t < scenario.threads; ++t) {
+      const size_t begin = static_cast<size_t>(t) * per;
+      const size_t end = t + 1 == scenario.threads
+                             ? requests.size()
+                             : begin + per;
+      readers.emplace_back([&drive, begin, end] { drive(begin, end); });
+    }
+    for (std::thread& r : readers) r.join();
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - started).count();
+
+  if (scenario.with_writer) {
+    writer_stop.store(true);
+    writer.join();
+  }
+
+  const runtime::RuntimeStatsSnapshot stats = service->Stats();
+  Result result;
+  result.scenario = scenario;
+  result.qps = static_cast<double>(requests.size()) / seconds;
+  result.p50_us = stats.estimate_latency.p50_seconds * 1e6;
+  result.p99_us = stats.estimate_latency.p99_seconds * 1e6;
+  return result;
+}
+
+// Best (highest-throughput) of `reps` repetitions of a scenario.
+Result RunBestOf(const Scenario& scenario,
+                 const std::vector<runtime::EstimateRequest>& requests,
+                 size_t reps) {
+  Result best = Run(scenario, requests);
+  for (size_t r = 1; r < reps; ++r) {
+    Result next = Run(scenario, requests);
+    if (next.qps > best.qps) best = next;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mscm;
+  const size_t n = EnvCount("MSCM_RUNTIME_BENCH_N", 40000);
+  const size_t reps = EnvCount("MSCM_RUNTIME_BENCH_REPS", 3);
+  const std::vector<runtime::EstimateRequest> requests = MakeWorkload(n);
+
+  const std::vector<Scenario> scenarios = {
+      {"single x1", 1, /*batched=*/false, /*with_writer=*/false},
+      {"batch x1", 1, true, false},
+      {"batch x2", 2, true, false},
+      {"batch x4", 4, true, false},
+      {"batch x8", 8, true, false},
+      {"batch x8 + writer", 8, true, true},
+  };
+
+  std::printf("micro_runtime: %zu requests, batch size %zu, best of %zu "
+              "reps, %u hardware threads\n\n",
+              n, kBatch, reps, std::thread::hardware_concurrency());
+
+  TextTable table({"scenario", "requests/s", "p50 (us)", "p99 (us)"});
+  std::vector<Result> results;
+  for (const Scenario& scenario : scenarios) {
+    results.push_back(RunBestOf(scenario, requests, reps));
+    const Result& r = results.back();
+    table.AddRow({r.scenario.name, Format("%.0f", r.qps),
+                  Format("%.2f", r.p50_us), Format("%.2f", r.p99_us)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  const double single_qps = results[0].qps;
+  const double batch1_qps = results[1].qps;
+  const double batch8_qps = results[4].qps;
+  std::printf("batch amortization (batch x1 / single x1): %.2fx\n",
+              batch1_qps / single_qps);
+  std::printf("thread scaling (batch x8 / batch x1):      %.2fx\n",
+              batch8_qps / batch1_qps);
+
+  FILE* json = std::fopen("BENCH_runtime.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"bench\": \"micro_runtime\",\n");
+    std::fprintf(json, "  \"requests\": %zu,\n  \"batch_size\": %zu,\n",
+                 n, kBatch);
+    std::fprintf(json, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(json, "  \"scenarios\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const Result& r = results[i];
+      std::fprintf(json,
+                   "    {\"name\": \"%s\", \"threads\": %d, \"batched\": %s, "
+                   "\"writer\": %s, \"qps\": %.0f, \"p50_us\": %.3f, "
+                   "\"p99_us\": %.3f}%s\n",
+                   r.scenario.name.c_str(), r.scenario.threads,
+                   r.scenario.batched ? "true" : "false",
+                   r.scenario.with_writer ? "true" : "false", r.qps, r.p50_us,
+                   r.p99_us, i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"batch_amortization_x\": %.3f,\n",
+                 batch1_qps / single_qps);
+    std::fprintf(json, "  \"thread_scaling_8t_x\": %.3f\n",
+                 batch8_qps / batch1_qps);
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_runtime.json\n");
+  }
+  return 0;
+}

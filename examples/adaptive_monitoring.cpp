@@ -1,19 +1,27 @@
 // Adaptive monitoring — probing-cost estimation from system statistics
-// (paper §3.3, Eq. 2) used for live contention-state tracking.
+// (paper §3.3, Eq. 2) feeding the online runtime's contention tracker.
 //
 // Instead of running the probing query before every cost estimate, the MDBS
 // agent fits a regression of probing cost on monitor statistics once, then
-// tracks the contention state from cheap counter reads while the machine's
-// load regime shifts (idle -> busy -> thrashing -> recovering).
+// registers the site with the EstimationService using the *estimator* as the
+// probe: the tracker refreshes the cached contention state from cheap
+// counter reads while the machine's load regime shifts (idle -> busy ->
+// thrashing -> recovering), and cost estimates are served from the cache.
+// When the cache outlives its TTL, the service still answers — from the
+// last known state, flagged stale.
 
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "common/str_util.h"
 #include "common/text_table.h"
 #include "core/agent_source.h"
 #include "core/model_builder.h"
 #include "core/probing_estimator.h"
+#include "mdbs/agent.h"
 #include "mdbs/local_dbs.h"
+#include "runtime/estimation_service.h"
 
 int main() {
   using namespace mscm;
@@ -27,6 +35,7 @@ int main() {
   config.load.max_processes = 120.0;
   config.seed = 21;
   mdbs::LocalDbs site(config);
+  mdbs::MdbsAgent agent(&site);
 
   // 1. Calibrate Eq. 2: paired (monitor snapshot, observed probing cost).
   std::vector<sim::SystemStats> snapshots;
@@ -49,16 +58,31 @@ int main() {
   }
   std::printf("\n\n");
 
-  // 2. Derive a multi-states cost model (observed probes) whose states we
-  //    will track live.
+  // 2. Derive a multi-states cost model (observed probes) and stand up the
+  //    online service: the site's tracker probes via Eq. 2 — a counter read,
+  //    not a query.
   const core::QueryClassId cls = core::QueryClassId::kUnarySeqScan;
   core::AgentObservationSource source(&site, cls, 22);
   core::ModelBuildOptions options;
   options.sample_size = 250;
-  const core::BuildReport report = core::BuildCostModel(cls, source, options);
+  core::BuildReport report = core::BuildCostModel(cls, source, options);
+  const core::ContentionStates states = report.model.states();
   std::printf("cost model: %d contention states, boundaries at %s\n\n",
-              report.model.states().num_states(),
-              report.model.states().ToString().c_str());
+              states.num_states(), states.ToString().c_str());
+
+  runtime::EstimationServiceConfig service_config;
+  service_config.probe_ttl = std::chrono::milliseconds(100);
+  runtime::EstimationService service(service_config);
+  service.RegisterModel("mon-site", std::move(report.model));
+  service.RegisterSite("mon-site", [&agent, &estimator] {
+    return estimator.Estimate(agent.MonitorSnapshot());
+  });
+
+  // A fixed representative query to price in every phase: a mid-size scan
+  // (paper Table 3 unary variables), so its cost moves with the state.
+  std::vector<double> features = {
+      /*N_t=*/20.0,  /*N_it=*/10.0, /*N_rt=*/5.0,   /*TL_t=*/100.0,
+      /*TL_rt=*/60.0, /*L_t=*/2000.0, /*L_rt=*/300.0};
 
   // 3. Live tracking through a day-in-the-life load trace.
   struct Phase {
@@ -73,24 +97,47 @@ int main() {
   };
 
   TextTable table({"phase", "processes", "est probe (s)", "true probe (s)",
-                   "est state", "true state"});
+                   "est state", "true state", "est cost (s)"});
   int agree = 0;
   for (const Phase& phase : kTrace) {
-    site.SetLoadProcesses(phase.processes);
-    site.AdvanceLoad(60.0);  // let the monitor's load averages settle a bit
-    const sim::SystemStats snap = site.MonitorSnapshot();
-    const double est_probe = estimator.Estimate(snap);
-    const double true_probe = site.RunProbingQuery();
-    const int est_state = report.model.states().StateOf(est_probe);
-    const int true_state = report.model.states().StateOf(true_probe);
-    if (est_state == true_state) ++agree;
+    agent.SetLoadProcesses(phase.processes);
+    agent.AdvanceLoad(60.0);  // let the monitor's load averages settle a bit
+    service.ProbeNow("mon-site");  // tracker reads counters, not the probe query
+
+    runtime::EstimateRequest request;
+    request.site = "mon-site";
+    request.class_id = cls;
+    request.features = features;
+    const runtime::EstimateResponse response = service.Estimate(request);
+
+    const double true_probe = agent.RunProbingQuery();
+    const int true_state = states.StateOf(true_probe);
+    if (response.state == true_state) ++agree;
     table.AddRow({phase.label, Format("%.0f", phase.processes),
-                  Format("%.2f", est_probe), Format("%.2f", true_probe),
-                  Format("%d", est_state), Format("%d", true_state)});
+                  Format("%.2f", response.probing_cost),
+                  Format("%.2f", true_probe), Format("%d", response.state),
+                  Format("%d", true_state),
+                  Format("%.2f", response.estimate_seconds)});
   }
   std::printf("%s", table.Render().c_str());
   std::printf("\nstate agreement without running the probing query: %d/%zu "
-              "phases\n",
+              "phases\n\n",
               agree, std::size(kTrace));
+
+  // 4. Staleness fallback: when the tracker stops refreshing (slow or dead
+  //    prober), the service keeps serving the last known state — flagged.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));  // > TTL
+  runtime::EstimateRequest request;
+  request.site = "mon-site";
+  request.class_id = cls;
+  request.features = features;
+  const runtime::EstimateResponse stale = service.Estimate(request);
+  std::printf("after the prober goes quiet past the %lld ms TTL: "
+              "estimate %.2f s from state %d, stale_probe=%s\n\n",
+              static_cast<long long>(100), stale.estimate_seconds, stale.state,
+              stale.stale_probe ? "true" : "false");
+
+  std::printf("service runtime stats:\n%s\n",
+              service.Stats().ToString().c_str());
   return 0;
 }

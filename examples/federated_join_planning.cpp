@@ -4,21 +4,23 @@
 //
 // Setup: two autonomous local DBSs ("alpha", Oracle-like; "beta", DB2-like)
 // both hold replicas of the same logical tables. The MDBS derives
-// multi-states cost models for each site's join class, registers them in the
-// global catalog, and then routes a stream of join queries to whichever
-// replica is currently cheaper — decisions that flip as the sites' contention
-// levels drift apart.
+// multi-states cost models for each site's join class and registers them in
+// the online EstimationService (src/runtime): per-site contention trackers
+// cache the probing cost, and the planner prices both candidate placements
+// of every join in ONE EstimateBatch call — no probing query on the
+// estimation path — routing each query to whichever replica is currently
+// cheaper. Decisions flip as the sites' contention levels drift apart.
 
 #include <cstdio>
 
 #include "common/str_util.h"
 #include "common/text_table.h"
 #include "core/agent_source.h"
-#include "core/catalog.h"
 #include "core/explanatory.h"
-#include "core/global_planner.h"
 #include "core/model_builder.h"
+#include "mdbs/agent.h"
 #include "mdbs/local_dbs.h"
+#include "runtime/estimation_service.h"
 #include "sim/network.h"
 
 namespace {
@@ -46,13 +48,18 @@ int main() {
   // DBMSs on machines with independent load histories.
   mdbs::LocalDbs alpha(MakeSite("alpha", 77));
   mdbs::LocalDbs beta(MakeSite("beta", 77));
+  mdbs::MdbsAgent agent_alpha(&alpha);
+  mdbs::MdbsAgent agent_beta(&beta);
 
   const core::QueryClassId cls = core::QueryClassId::kJoinNoIndex;
 
-  // 1. The MDBS derives a multi-states cost model per site and stores it in
-  //    the global catalog.
+  // 1. The MDBS derives a multi-states cost model per site and registers it
+  //    with the online estimation service. Each site also gets a contention
+  //    tracker probing through its MDBS agent.
   std::printf("Deriving local cost models (multi-states query sampling)…\n");
-  core::GlobalCatalog catalog;
+  runtime::EstimationServiceConfig service_config;
+  service_config.probe_ttl = std::chrono::hours(1);  // probing is manual here
+  runtime::EstimationService service(service_config);
   for (mdbs::LocalDbs* site : {&alpha, &beta}) {
     core::AgentObservationSource source(site, cls, 5 + site->profile().name.size());
     core::ModelBuildOptions options;
@@ -61,8 +68,10 @@ int main() {
     core::BuildReport report = core::BuildCostModel(cls, source, options);
     std::printf("  site %-5s : %d states, R^2 = %.3f\n", site->name().c_str(),
                 report.model.states().num_states(), report.model.r_squared());
-    catalog.Register(site->name(), std::move(report.model));
+    service.RegisterModel(site->name(), std::move(report.model));
   }
+  service.RegisterSite(&agent_alpha);
+  service.RegisterSite(&agent_beta);
 
   // Network links from the global server to each site: beta sits behind a
   // slower, busier link, so shipping large results from it costs real time.
@@ -77,9 +86,9 @@ int main() {
   sim::NetworkLink link_alpha(link_alpha_config, 171);
   sim::NetworkLink link_beta(link_beta_config, 172);
 
-  // 2. Route a stream of join queries. For each query the planner probes
-  //    both sites and both links (cheap), estimates local cost + result
-  //    shipping for each replica, and picks the cheaper total.
+  // 2. Route a stream of join queries. Each round the trackers refresh the
+  //    sites' contention states; the planner then prices both placements in
+  //    one batched service call and picks the cheaper total.
   std::printf("\nRouting join queries to the cheaper replica:\n\n");
   TextTable table({"query", "probe alpha (s)", "probe beta (s)",
                    "est alpha (s)", "est beta (s)", "chosen",
@@ -92,15 +101,19 @@ int main() {
   constexpr int kQueries = 12;
   for (int i = 0; i < kQueries; ++i) {
     // Load and link conditions drift between queries.
-    alpha.AdvanceLoad(600.0);
-    beta.AdvanceLoad(600.0);
+    agent_alpha.AdvanceLoad(600.0);
+    agent_beta.AdvanceLoad(600.0);
     link_alpha.Advance(600.0);
     link_beta.Advance(600.0);
 
     const engine::JoinQuery query = sampler.SampleJoin(cls);
 
-    const double probe_alpha = alpha.RunProbingQuery();
-    const double probe_beta = beta.RunProbingQuery();
+    // Refresh the cached contention state of each site (in a deployment the
+    // background probers do this on their own clock).
+    service.ProbeNow("alpha");
+    service.ProbeNow("beta");
+    const double probe_alpha = service.CurrentProbe("alpha").probing_cost;
+    const double probe_beta = service.CurrentProbe("beta").probing_cost;
 
     // Planning-time feature vectors from catalog statistics: the optimizer
     // never executes the query to learn its own result size.
@@ -117,19 +130,24 @@ int main() {
       const double probe_seconds = link.Probe();
       return probe_seconds * est_result_bytes / (64.0 * 1024.0);
     };
-    const double ship_alpha = shipping_estimate(link_alpha);
-    const double ship_beta = shipping_estimate(link_beta);
 
-    core::ComponentQueryCandidate cand_alpha{
-        "alpha", cls, features_alpha, probe_alpha, ship_alpha};
-    core::ComponentQueryCandidate cand_beta{
-        "beta", cls, features_beta, probe_beta, ship_beta};
-    const core::PlacementDecision decision =
-        core::ChoosePlacement(catalog, {cand_alpha, cand_beta});
+    runtime::PlacementCandidate cand_alpha;
+    cand_alpha.request.site = "alpha";
+    cand_alpha.request.class_id = cls;
+    cand_alpha.request.features = features_alpha;
+    cand_alpha.shipping_seconds = shipping_estimate(link_alpha);
+    runtime::PlacementCandidate cand_beta;
+    cand_beta.request.site = "beta";
+    cand_beta.request.class_id = cls;
+    cand_beta.request.features = features_beta;
+    cand_beta.shipping_seconds = shipping_estimate(link_beta);
+
+    const runtime::PlacementResult decision =
+        service.ChoosePlacement({cand_alpha, cand_beta});
 
     // Ground truth: actually run the join at both sites and ship the result.
-    const auto run_alpha = alpha.RunJoin(query);
-    const auto run_beta = beta.RunJoin(query);
+    const auto run_alpha = agent_alpha.RunJoin(query);
+    const auto run_beta = agent_beta.RunJoin(query);
     const double result_bytes = run_alpha.execution.work.result_bytes;
     const double actual_alpha =
         run_alpha.elapsed_seconds + link_alpha.Transfer(result_bytes);
@@ -144,8 +162,8 @@ int main() {
 
     table.AddRow({Format("J%d", i + 1), Format("%.2f", probe_alpha),
                   Format("%.2f", probe_beta),
-                  Format("%.1f", decision.estimates[0]),
-                  Format("%.1f", decision.estimates[1]),
+                  Format("%.1f", decision.total_seconds[0]),
+                  Format("%.1f", decision.total_seconds[1]),
                   chose_alpha ? "alpha" : "beta",
                   Format("%.1f", actual_alpha), Format("%.1f", actual_beta),
                   right ? "yes" : "no"});
@@ -157,5 +175,8 @@ int main() {
       "(%.0f%% of optimal).\n",
       correct, kQueries, routed_cost, best_cost,
       100.0 * best_cost / routed_cost);
+
+  std::printf("\nservice runtime stats:\n%s\n",
+              service.Stats().ToString().c_str());
   return 0;
 }

@@ -14,6 +14,13 @@ const CostModel* GlobalCatalog::Find(const std::string& site,
   return it == models_.end() ? nullptr : &it->second;
 }
 
+std::optional<CostModel> GlobalCatalog::FindCopy(const std::string& site,
+                                                 QueryClassId class_id) const {
+  const CostModel* model = Find(site, class_id);
+  if (model == nullptr) return std::nullopt;
+  return *model;
+}
+
 std::vector<std::pair<std::string, QueryClassId>> GlobalCatalog::Entries()
     const {
   std::vector<std::pair<std::string, QueryClassId>> out;

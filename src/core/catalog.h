@@ -6,6 +6,7 @@
 #define MSCM_CORE_CATALOG_H_
 
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -17,10 +18,26 @@ namespace mscm::core {
 class GlobalCatalog {
  public:
   // Registers (or replaces) the model for (site, model.class_id()).
+  //
+  // Invalidation rule: Register() destroys any previously registered model
+  // for the same (site, class) key, so raw pointers obtained from Find() for
+  // that key dangle afterwards. Pointers for *other* keys stay valid
+  // (std::map nodes are stable), but the safe contract is: do not hold a
+  // Find() pointer across any Register() call. Callers that must outlive
+  // writes should use FindCopy(), or hold the catalog inside
+  // runtime::SnapshotCatalog, whose immutable snapshots make Find() pointers
+  // valid for the snapshot's whole lifetime.
   void Register(const std::string& site, CostModel model);
 
-  // The model for (site, class), or nullptr if none is registered.
+  // The model for (site, class), or nullptr if none is registered. The
+  // pointer is invalidated by a Register() for the same key (see above).
   const CostModel* Find(const std::string& site, QueryClassId class_id) const;
+
+  // Value-returning lookup: a copy that cannot dangle, at the price of
+  // copying the model (a few hundred doubles). Preferred by concurrent
+  // callers that cannot pin a snapshot.
+  std::optional<CostModel> FindCopy(const std::string& site,
+                                    QueryClassId class_id) const;
 
   std::vector<std::pair<std::string, QueryClassId>> Entries() const;
 

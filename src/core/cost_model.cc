@@ -15,6 +15,26 @@ double CostModel::Estimate(const std::vector<double>& features,
   return std::max(0.0, fit_.Predict(row));
 }
 
+double CostModel::EstimateFast(const std::vector<double>& features,
+                               double probing_cost) const {
+  const int state = states_.StateOf(probing_cost);
+  const std::vector<DesignTerm>& terms = layout_.terms();
+  double y = 0.0;
+  for (size_t c = 0; c < terms.size(); ++c) {
+    const DesignTerm& t = terms[c];
+    if (t.state != -1 && t.state != state) continue;
+    double x = 1.0;
+    if (t.variable != -1) {
+      const size_t idx =
+          static_cast<size_t>(selected_[static_cast<size_t>(t.variable)]);
+      MSCM_CHECK(idx < features.size());
+      x = features[idx];
+    }
+    y += fit_.coefficients[c] * x;
+  }
+  return std::max(0.0, y);
+}
+
 CostModel::Interval CostModel::EstimateWithInterval(
     const std::vector<double>& features, double probing_cost,
     double alpha) const {

@@ -34,6 +34,13 @@ class CostModel {
   double Estimate(const std::vector<double>& features,
                   double probing_cost) const;
 
+  // Identical result to Estimate(), but fuses design-row construction with
+  // the dot product — no per-call allocations. The online runtime's
+  // estimate hot path (runtime::EstimationService) runs millions of these
+  // per second.
+  double EstimateFast(const std::vector<double>& features,
+                      double probing_cost) const;
+
   struct Interval {
     double estimate = 0.0;
     double low = 0.0;

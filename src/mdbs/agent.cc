@@ -1,0 +1,44 @@
+#include "mdbs/agent.h"
+
+namespace mscm::mdbs {
+
+LocalDbs::SelectOutcome MdbsAgent::RunSelect(const engine::SelectQuery& query) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return site_->RunSelect(query);
+}
+
+LocalDbs::JoinOutcome MdbsAgent::RunJoin(const engine::JoinQuery& query) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return site_->RunJoin(query);
+}
+
+double MdbsAgent::RunProbingQuery() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return site_->RunProbingQuery();
+}
+
+sim::SystemStats MdbsAgent::MonitorSnapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return site_->MonitorSnapshot();
+}
+
+void MdbsAgent::AdvanceLoad(double dt_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  site_->AdvanceLoad(dt_seconds);
+}
+
+void MdbsAgent::SetLoadProcesses(double n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  site_->SetLoadProcesses(n);
+}
+
+void MdbsAgent::ResampleLoad() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  site_->ResampleLoad();
+}
+
+std::function<double()> MdbsAgent::ProbeFn() {
+  return [this] { return RunProbingQuery(); };
+}
+
+}  // namespace mscm::mdbs

@@ -1,0 +1,58 @@
+// MdbsAgent: the thread-safe face of a local DBS for the online runtime.
+//
+// LocalDbs is a single-threaded simulation object (running any query
+// advances its virtual time and drifts its load), so concurrent access —
+// e.g. a background prober thread measuring contention while a planner
+// thread runs ground-truth queries — must serialize. The agent wraps a
+// LocalDbs in one mutex and exposes exactly the operations the paper's MDBS
+// agent performs on behalf of the global level (Figure 3): submit a query,
+// run the probing query, read the environment monitor, and drive the
+// simulated load. Immutable site facts (name, schema, profile) are lock-free.
+
+#ifndef MSCM_MDBS_AGENT_H_
+#define MSCM_MDBS_AGENT_H_
+
+#include <functional>
+#include <mutex>
+
+#include "mdbs/local_dbs.h"
+
+namespace mscm::mdbs {
+
+class MdbsAgent {
+ public:
+  // Does not take ownership; `site` must outlive the agent.
+  explicit MdbsAgent(LocalDbs* site) : site_(site) {}
+
+  MdbsAgent(const MdbsAgent&) = delete;
+  MdbsAgent& operator=(const MdbsAgent&) = delete;
+
+  LocalDbs::SelectOutcome RunSelect(const engine::SelectQuery& query);
+  LocalDbs::JoinOutcome RunJoin(const engine::JoinQuery& query);
+
+  // The paper's contention gauge (§3.1); this is the natural ProbeFn for a
+  // runtime::ContentionTracker.
+  double RunProbingQuery();
+
+  sim::SystemStats MonitorSnapshot();
+
+  void AdvanceLoad(double dt_seconds);
+  void SetLoadProcesses(double n);
+  void ResampleLoad();
+
+  // A ProbeFn bound to this agent (see runtime::ContentionTracker).
+  std::function<double()> ProbeFn();
+
+  // Immutable after construction — safe without the lock.
+  const std::string& name() const { return site_->name(); }
+  const engine::Database& database() const { return site_->database(); }
+  const sim::PerformanceProfile& profile() const { return site_->profile(); }
+
+ private:
+  std::mutex mutex_;
+  LocalDbs* const site_;
+};
+
+}  // namespace mscm::mdbs
+
+#endif  // MSCM_MDBS_AGENT_H_

@@ -1,0 +1,54 @@
+// Injectable monotonic clock for the online runtime. Production code uses
+// the singleton SystemClock (std::chrono::steady_clock); tests inject a
+// FakeClock and drive TTL / staleness logic deterministically.
+
+#ifndef MSCM_RUNTIME_CLOCK_H_
+#define MSCM_RUNTIME_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace mscm::runtime {
+
+class Clock {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+  using Duration = std::chrono::steady_clock::duration;
+
+  virtual ~Clock() = default;
+  virtual TimePoint Now() const = 0;
+
+  // Process-wide wall clock (steady). Never null.
+  static Clock* System();
+};
+
+class SystemClock : public Clock {
+ public:
+  TimePoint Now() const override { return std::chrono::steady_clock::now(); }
+};
+
+// A clock that only moves when told to. Thread-safe: Advance() may race with
+// Now() (readers see either the old or the new time).
+class FakeClock : public Clock {
+ public:
+  TimePoint Now() const override {
+    return TimePoint{} + Duration{offset_.load(std::memory_order_acquire)};
+  }
+
+  void Advance(Duration d) {
+    offset_.fetch_add(d.count(), std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<Duration::rep> offset_{0};
+};
+
+inline Clock* Clock::System() {
+  static SystemClock* clock = new SystemClock;
+  return clock;
+}
+
+}  // namespace mscm::runtime
+
+#endif  // MSCM_RUNTIME_CLOCK_H_

@@ -1,0 +1,98 @@
+#include "runtime/contention_tracker.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace mscm::runtime {
+
+ContentionTracker::ContentionTracker(ContentionTrackerConfig config,
+                                     ProbeFn probe,
+                                     LatencyHistogram* probe_latency)
+    : config_(std::move(config)),
+      probe_(std::move(probe)),
+      probe_latency_(probe_latency) {
+  MSCM_CHECK(probe_ != nullptr);
+  MSCM_CHECK(config_.clock != nullptr);
+}
+
+ContentionTracker::~ContentionTracker() { Stop(); }
+
+void ContentionTracker::Start() {
+  if (config_.probe_interval.count() <= 0) return;
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { RunLoop(); });
+}
+
+void ContentionTracker::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+    stop_cv_.notify_all();
+    to_join = std::move(thread_);
+  }
+  to_join.join();
+}
+
+bool ContentionTracker::ProbeOnce() {
+  // The probe runs outside the cache mutex: probing can take seconds and
+  // readers must keep getting the previous reading meanwhile.
+  const auto started = std::chrono::steady_clock::now();
+  const double cost = probe_();
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  if (probe_latency_ != nullptr) {
+    probe_latency_->Record(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed));
+  }
+
+  if (std::isnan(cost) || cost < 0.0) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  const uint64_t sequence = probes_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  reading_.has_value = true;
+  reading_.probing_cost = cost;
+  reading_.state = mapper_ ? mapper_(cost) : -1;
+  reading_.sequence = sequence;
+  reading_at_ = config_.clock->Now();
+  return true;
+}
+
+ProbeReading ContentionTracker::Current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ProbeReading out = reading_;
+  if (out.has_value) {
+    const auto age = config_.clock->Now() - reading_at_;
+    out.age = std::chrono::duration_cast<std::chrono::nanoseconds>(age);
+    out.stale = out.age > config_.ttl;
+  }
+  return out;
+}
+
+void ContentionTracker::SetStateMapper(std::function<int(double)> mapper) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  mapper_ = std::move(mapper);
+  if (reading_.has_value) {
+    reading_.state = mapper_ ? mapper_(reading_.probing_cost) : -1;
+  }
+}
+
+void ContentionTracker::RunLoop() {
+  for (;;) {
+    ProbeOnce();
+    std::unique_lock<std::mutex> lock(thread_mutex_);
+    if (stop_cv_.wait_for(lock, config_.probe_interval,
+                          [this] { return stop_; })) {
+      return;
+    }
+  }
+}
+
+}  // namespace mscm::runtime

@@ -1,0 +1,109 @@
+// Background contention tracking for one local site (paper §3.1/§3.3 made
+// continuous): a prober periodically runs the site's probing query — or an
+// Eq. 2 monitor-statistics estimate of it — maps the observed cost to a
+// contention state through a model's state partition, and caches
+// (state, probing_cost, timestamp). Estimation requests read the cache
+// instead of paying a probing query per estimate.
+//
+// Freshness contract: a reading older than the TTL is still served (last
+// known state beats no state — the environment usually drifts, it does not
+// teleport) but is flagged `stale` so the caller can widen its error bars or
+// trigger a synchronous probe. Probe failures (NaN / negative cost, e.g. a
+// dead site) keep the previous reading and bump a failure counter.
+
+#ifndef MSCM_RUNTIME_CONTENTION_TRACKER_H_
+#define MSCM_RUNTIME_CONTENTION_TRACKER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "runtime/clock.h"
+#include "runtime/runtime_stats.h"
+
+namespace mscm::runtime {
+
+struct ContentionTrackerConfig {
+  std::string site = "site";
+  // Readings older than this are served with stale=true.
+  std::chrono::nanoseconds ttl = std::chrono::seconds(5);
+  // Background probe period; zero disables the thread (manual ProbeOnce()).
+  std::chrono::nanoseconds probe_interval{0};
+  Clock* clock = Clock::System();
+};
+
+// The cached contention reading for a site.
+struct ProbeReading {
+  bool has_value = false;   // false until the first successful probe
+  double probing_cost = 0.0;
+  int state = -1;           // -1 when no state mapper is installed
+  bool stale = false;       // age > TTL at read time
+  std::chrono::nanoseconds age{0};
+  uint64_t sequence = 0;    // successful probes so far
+};
+
+class ContentionTracker {
+ public:
+  // Measures the site's current probing cost in seconds. A negative or NaN
+  // return means the probe failed. Called from the tracker thread (or from
+  // ProbeOnce's caller); must be safe to call concurrently with whatever
+  // else touches the site — wrap sites in mdbs::MdbsAgent for that.
+  using ProbeFn = std::function<double()>;
+
+  ContentionTracker(ContentionTrackerConfig config, ProbeFn probe,
+                    LatencyHistogram* probe_latency = nullptr);
+  ~ContentionTracker();
+
+  ContentionTracker(const ContentionTracker&) = delete;
+  ContentionTracker& operator=(const ContentionTracker&) = delete;
+
+  // Starts / stops the background prober (no-ops when probe_interval is 0
+  // or the thread is already in the requested state). The thread probes
+  // once immediately, then every probe_interval.
+  void Start();
+  void Stop();
+
+  // One synchronous probe; returns false on probe failure.
+  bool ProbeOnce();
+
+  // Current cached reading with staleness evaluated against the clock now.
+  ProbeReading Current() const;
+
+  // Installs the probing-cost → state mapping (normally a model's
+  // ContentionStates::StateOf). Re-maps the cached reading immediately.
+  void SetStateMapper(std::function<int(double)> mapper);
+
+  uint64_t probes() const { return probes_.load(std::memory_order_relaxed); }
+  uint64_t failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+  const std::string& site() const { return config_.site; }
+
+ private:
+  void RunLoop();
+
+  const ContentionTrackerConfig config_;
+  const ProbeFn probe_;
+  LatencyHistogram* const probe_latency_;  // may be null
+
+  mutable std::mutex mutex_;  // guards reading_ + mapper_
+  ProbeReading reading_;
+  Clock::TimePoint reading_at_{};
+  std::function<int(double)> mapper_;
+
+  std::atomic<uint64_t> probes_{0};
+  std::atomic<uint64_t> failures_{0};
+
+  std::mutex thread_mutex_;  // guards thread_ + stop_ transitions
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace mscm::runtime
+
+#endif  // MSCM_RUNTIME_CONTENTION_TRACKER_H_

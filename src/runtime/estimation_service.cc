@@ -1,0 +1,359 @@
+#include "runtime/estimation_service.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "mdbs/agent.h"
+
+namespace mscm::runtime {
+
+const char* ToString(EstimateStatus s) {
+  switch (s) {
+    case EstimateStatus::kOk:
+      return "ok";
+    case EstimateStatus::kNoModel:
+      return "no-model";
+    case EstimateStatus::kNoProbe:
+      return "no-probe";
+  }
+  return "?";
+}
+
+EstimationService::EstimationService(EstimationServiceConfig config)
+    : config_(config),
+      trackers_(std::make_shared<const TrackerMap>()),
+      pool_(config.worker_threads) {}
+
+EstimationService::~EstimationService() {
+  // Trackers stop their prober threads in their destructors; keep the map
+  // alive until they have.
+}
+
+void EstimationService::RegisterModel(const std::string& site,
+                                      core::CostModel model) {
+  // Capture the partition before the model moves into the catalog; the
+  // tracker's informational state field follows the newest model per site.
+  const core::ContentionStates states = model.states();
+  catalog_.Register(site, std::move(model));
+  counters_.Local().catalog_swaps.fetch_add(1, std::memory_order_relaxed);
+  if (auto tracker = FindTracker(site)) {
+    tracker->SetStateMapper(
+        [states](double cost) { return states.StateOf(cost); });
+  }
+}
+
+void EstimationService::RegisterSite(const std::string& site,
+                                     ContentionTracker::ProbeFn probe) {
+  ContentionTrackerConfig tracker_config;
+  tracker_config.site = site;
+  tracker_config.ttl = config_.probe_ttl;
+  tracker_config.probe_interval = config_.probe_interval;
+  tracker_config.clock = config_.clock;
+  auto tracker = std::make_shared<ContentionTracker>(
+      std::move(tracker_config), std::move(probe), &probe_latency_);
+
+  // If this site already has models, wire the newest class partition in.
+  const auto snapshot = catalog_.snapshot();
+  for (const auto& [entry_site, class_id] : snapshot->Entries()) {
+    if (entry_site != site) continue;
+    const core::CostModel* model = snapshot->Find(entry_site, class_id);
+    const core::ContentionStates states = model->states();
+    tracker->SetStateMapper(
+        [states](double cost) { return states.StateOf(cost); });
+  }
+
+  tracker->Start();
+
+  std::lock_guard<std::mutex> lock(trackers_mutex_);
+  auto next = std::make_shared<TrackerMap>(*trackers_.load());
+  (*next)[site] = std::move(tracker);
+  trackers_.store(TrackerMapSnapshot(std::move(next)));
+}
+
+void EstimationService::RegisterSite(mdbs::MdbsAgent* agent) {
+  RegisterSite(agent->name(), agent->ProbeFn());
+}
+
+bool EstimationService::ProbeNow(const std::string& site) {
+  auto tracker = FindTracker(site);
+  if (tracker == nullptr) return false;
+  return tracker->ProbeOnce();
+}
+
+ProbeReading EstimationService::CurrentProbe(const std::string& site) const {
+  auto tracker = FindTracker(site);
+  return tracker == nullptr ? ProbeReading{} : tracker->Current();
+}
+
+std::shared_ptr<ContentionTracker> EstimationService::FindTracker(
+    const std::string& site) const {
+  const TrackerMapSnapshot map = trackers_.load();
+  const auto it = map->find(site);
+  return it == map->end() ? nullptr : it->second;
+}
+
+void EstimationService::FlushCounts(const LocalCounts& counts) const {
+  auto& shard = counters_.Local();
+  if (counts.requests > 0) {
+    shard.requests.fetch_add(counts.requests, std::memory_order_relaxed);
+  }
+  if (counts.probe_cache_hits > 0) {
+    shard.probe_cache_hits.fetch_add(counts.probe_cache_hits,
+                                     std::memory_order_relaxed);
+  }
+  if (counts.probe_cache_stale > 0) {
+    shard.probe_cache_stale.fetch_add(counts.probe_cache_stale,
+                                      std::memory_order_relaxed);
+  }
+  if (counts.probe_cache_misses > 0) {
+    shard.probe_cache_misses.fetch_add(counts.probe_cache_misses,
+                                       std::memory_order_relaxed);
+  }
+  if (counts.no_model > 0) {
+    shard.no_model.fetch_add(counts.no_model, std::memory_order_relaxed);
+  }
+}
+
+bool EstimationService::ResolveProbe(const EstimateRequest& request,
+                                     const ProbeReading* cached_reading,
+                                     EstimateResponse& response,
+                                     LocalCounts& counts) const {
+  if (request.probing_cost >= 0.0) {
+    response.probing_cost = request.probing_cost;
+    return true;
+  }
+  if (cached_reading == nullptr || !cached_reading->has_value) {
+    ++counts.probe_cache_misses;
+    response.status = EstimateStatus::kNoProbe;
+    return false;
+  }
+  response.probing_cost = cached_reading->probing_cost;
+  response.stale_probe = cached_reading->stale;
+  if (cached_reading->stale) {
+    ++counts.probe_cache_stale;
+  } else {
+    ++counts.probe_cache_hits;
+  }
+  return true;
+}
+
+EstimateResponse EstimationService::EstimateWithSnapshot(
+    const core::GlobalCatalog& catalog, const EstimateRequest& request,
+    const ProbeReading* cached_reading, LocalCounts& counts) const {
+  EstimateResponse response;
+  ++counts.requests;
+
+  const core::CostModel* model = catalog.Find(request.site, request.class_id);
+  if (model == nullptr) {
+    ++counts.no_model;
+    response.status = EstimateStatus::kNoModel;
+    return response;
+  }
+  if (!ResolveProbe(request, cached_reading, response, counts)) {
+    return response;
+  }
+
+  response.status = EstimateStatus::kOk;
+  response.state = model->states().StateOf(response.probing_cost);
+  response.estimate_seconds =
+      model->EstimateFast(request.features, response.probing_cost);
+  return response;
+}
+
+EstimateResponse EstimationService::Estimate(
+    const EstimateRequest& request) const {
+  const auto started = std::chrono::steady_clock::now();
+  const SnapshotCatalog::Snapshot snapshot = catalog_.snapshot();
+
+  ProbeReading reading;
+  const ProbeReading* cached = nullptr;
+  if (request.probing_cost < 0.0) {
+    if (auto tracker = FindTracker(request.site)) {
+      reading = tracker->Current();
+      cached = &reading;
+    }
+  }
+  LocalCounts counts;
+  EstimateResponse response =
+      EstimateWithSnapshot(*snapshot, request, cached, counts);
+  FlushCounts(counts);
+  estimate_latency_.Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - started));
+  return response;
+}
+
+std::vector<EstimateResponse> EstimationService::EstimateBatch(
+    const std::vector<EstimateRequest>& requests) const {
+  const auto started = std::chrono::steady_clock::now();
+  counters_.Local().batches.fetch_add(1, std::memory_order_relaxed);
+  std::vector<EstimateResponse> responses(requests.size());
+  if (requests.empty()) return responses;
+
+  // One snapshot and one probe fetch per distinct site for the whole batch:
+  // the per-request work is then pure arithmetic over immutable data.
+  const SnapshotCatalog::Snapshot snapshot = catalog_.snapshot();
+  std::map<std::string, ProbeReading> site_probes;
+  for (const EstimateRequest& request : requests) {
+    if (request.probing_cost >= 0.0) continue;
+    if (site_probes.count(request.site) > 0) continue;
+    ProbeReading reading;
+    if (auto tracker = FindTracker(request.site)) reading = tracker->Current();
+    site_probes.emplace(request.site, reading);
+  }
+
+  pool_.ParallelFor(
+      requests.size(), config_.batch_grain, [&](size_t begin, size_t end) {
+        // Batches concentrate on few (site, class) pairs; memoize per pair
+        // everything that is batch-invariant. With a cached probe the
+        // contention state — and therefore the active regression equation —
+        // is fixed for the whole batch, so the memo stores the reduced
+        // per-state equation (intercept + one coefficient per selected
+        // variable) and each repeat request is a handful of multiply-adds.
+        // Counters are flushed once per chunk instead of once per request.
+        struct MemoEntry {
+          const std::string* site;
+          core::QueryClassId class_id;
+          const core::CostModel* model;
+          const ProbeReading* probe;  // site's batch reading, or nullptr
+          // Reduced equation, valid when `fast`:
+          //   y = coef[0] + sum_j coef[j + 1] * features[selected[j]].
+          bool fast = false;
+          int state = -1;
+          bool stale = false;
+          double probing_cost = 0.0;
+          size_t min_features = 0;  // required feature-vector length
+          std::vector<double> coef;
+        };
+        std::vector<MemoEntry> memo;
+        memo.reserve(8);
+        LocalCounts counts;
+        for (size_t i = begin; i < end; ++i) {
+          const EstimateRequest& request = requests[i];
+          const MemoEntry* entry = nullptr;
+          for (const MemoEntry& candidate : memo) {
+            if (candidate.class_id == request.class_id &&
+                *candidate.site == request.site) {
+              entry = &candidate;
+              break;
+            }
+          }
+          if (entry == nullptr) {
+            MemoEntry fresh;
+            fresh.site = &request.site;
+            fresh.class_id = request.class_id;
+            fresh.model = snapshot->Find(request.site, request.class_id);
+            const auto it = site_probes.find(request.site);
+            if (it != site_probes.end()) fresh.probe = &it->second;
+            if (fresh.model != nullptr && fresh.probe != nullptr &&
+                fresh.probe->has_value) {
+              fresh.fast = true;
+              fresh.probing_cost = fresh.probe->probing_cost;
+              fresh.stale = fresh.probe->stale;
+              fresh.state =
+                  fresh.model->states().StateOf(fresh.probing_cost);
+              const std::vector<int>& selected =
+                  fresh.model->selected_variables();
+              fresh.coef.reserve(selected.size() + 1);
+              fresh.coef.push_back(
+                  fresh.model->CoefficientFor(-1, fresh.state));
+              for (size_t j = 0; j < selected.size(); ++j) {
+                fresh.coef.push_back(fresh.model->CoefficientFor(
+                    static_cast<int>(j), fresh.state));
+                fresh.min_features =
+                    std::max(fresh.min_features,
+                             static_cast<size_t>(selected[j]) + 1);
+              }
+            }
+            memo.push_back(std::move(fresh));
+            entry = &memo.back();
+          }
+
+          EstimateResponse& response = responses[i];
+          ++counts.requests;
+          if (entry->fast && request.probing_cost < 0.0) {
+            MSCM_CHECK(request.features.size() >= entry->min_features);
+            response.status = EstimateStatus::kOk;
+            response.probing_cost = entry->probing_cost;
+            response.stale_probe = entry->stale;
+            response.state = entry->state;
+            if (entry->stale) {
+              ++counts.probe_cache_stale;
+            } else {
+              ++counts.probe_cache_hits;
+            }
+            const std::vector<int>& selected =
+                entry->model->selected_variables();
+            double y = entry->coef[0];
+            for (size_t j = 0; j < selected.size(); ++j) {
+              y += entry->coef[j + 1] *
+                   request.features[static_cast<size_t>(selected[j])];
+            }
+            response.estimate_seconds = std::max(0.0, y);
+            continue;
+          }
+          if (entry->model == nullptr) {
+            ++counts.no_model;
+            response.status = EstimateStatus::kNoModel;
+            continue;
+          }
+          const ProbeReading* cached =
+              request.probing_cost < 0.0 ? entry->probe : nullptr;
+          if (!ResolveProbe(request, cached, response, counts)) continue;
+          response.status = EstimateStatus::kOk;
+          response.state =
+              entry->model->states().StateOf(response.probing_cost);
+          response.estimate_seconds =
+              entry->model->EstimateFast(request.features,
+                                         response.probing_cost);
+        }
+        FlushCounts(counts);
+      });
+
+  // Amortized per-item latency: the batch's wall time spread over items.
+  const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - started);
+  estimate_latency_.RecordN(elapsed / static_cast<int64_t>(requests.size()),
+                            requests.size());
+  return responses;
+}
+
+PlacementResult EstimationService::ChoosePlacement(
+    const std::vector<PlacementCandidate>& candidates) const {
+  PlacementResult result;
+  std::vector<EstimateRequest> requests;
+  requests.reserve(candidates.size());
+  for (const PlacementCandidate& c : candidates) requests.push_back(c.request);
+  result.responses = EstimateBatch(requests);
+
+  result.total_seconds.resize(candidates.size(),
+                              std::numeric_limits<double>::infinity());
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!result.responses[i].ok()) continue;
+    result.total_seconds[i] =
+        result.responses[i].estimate_seconds + candidates[i].shipping_seconds;
+    if (result.total_seconds[i] < best) {
+      best = result.total_seconds[i];
+      result.chosen = static_cast<int>(i);
+    }
+  }
+  return result;
+}
+
+RuntimeStatsSnapshot EstimationService::Stats() const {
+  RuntimeStatsSnapshot out;
+  counters_.AggregateInto(out);
+  // Probes are counted at the trackers (background and ProbeNow alike):
+  // `probes` = attempts, of which `probe_failures` kept the old reading.
+  const TrackerMapSnapshot map = trackers_.load();
+  for (const auto& [site, tracker] : *map) {
+    out.probes += tracker->probes() + tracker->failures();
+    out.probe_failures += tracker->failures();
+  }
+  out.estimate_latency = estimate_latency_.Snap();
+  out.probe_latency = probe_latency_.Snap();
+  return out;
+}
+
+}  // namespace mscm::runtime

@@ -1,0 +1,198 @@
+// The online cost-estimation service: the paper's derived multi-states cost
+// models (§4) served as a concurrent, low-latency runtime component of a
+// global query optimizer.
+//
+// Many client threads ask "what would a query of class C with feature
+// vector x cost at site S right now?". The service answers from
+//   (1) an immutable-snapshot catalog of derived cost models (readers never
+//       lock; model registration copy-on-writes a new snapshot), and
+//   (2) per-site ContentionTrackers whose background probers keep a cached
+//       (contention state, probing cost) per site, so no probing query runs
+//       on the estimation path.
+// Responses carry the contention state used, and a `stale_probe` flag when
+// the cached probe has outlived its TTL (last-known-state fallback).
+//
+// EstimateBatch() prices many requests in one call — the federated-join
+// planner prices every candidate placement of every component query at
+// once — amortizing snapshot acquisition and per-site probe lookups over
+// the batch and optionally fanning chunks out on a worker pool.
+
+#ifndef MSCM_RUNTIME_ESTIMATION_SERVICE_H_
+#define MSCM_RUNTIME_ESTIMATION_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/catalog.h"
+#include "runtime/atomic_shared_ptr.h"
+#include "runtime/clock.h"
+#include "runtime/contention_tracker.h"
+#include "runtime/runtime_stats.h"
+#include "runtime/snapshot_catalog.h"
+#include "runtime/thread_pool.h"
+
+namespace mscm::mdbs {
+class MdbsAgent;
+}  // namespace mscm::mdbs
+
+namespace mscm::runtime {
+
+struct EstimationServiceConfig {
+  // Cached probes older than this are still served, flagged stale.
+  std::chrono::nanoseconds probe_ttl = std::chrono::seconds(5);
+  // Background probe period per site; zero = probe only via ProbeNow().
+  std::chrono::nanoseconds probe_interval{0};
+  // Worker threads for EstimateBatch fan-out: 0 = run batches on the
+  // calling thread, < 0 = one per hardware thread.
+  int worker_threads = 0;
+  // Minimum batch items per fan-out chunk.
+  size_t batch_grain = 64;
+  Clock* clock = Clock::System();
+};
+
+enum class EstimateStatus {
+  kOk,
+  kNoModel,  // no cost model registered for (site, class)
+  kNoProbe,  // no probing_cost given and no cached probe for the site
+};
+
+const char* ToString(EstimateStatus s);
+
+struct EstimateRequest {
+  std::string site;
+  core::QueryClassId class_id = core::QueryClassId::kUnarySeqScan;
+  std::vector<double> features;
+  // Probing cost to estimate under; negative = use the site's cached probe.
+  double probing_cost = -1.0;
+};
+
+struct EstimateResponse {
+  EstimateStatus status = EstimateStatus::kNoModel;
+  double estimate_seconds = 0.0;
+  double probing_cost = 0.0;  // the probe value actually used
+  int state = -1;             // contention state under the request's model
+  bool stale_probe = false;   // cached probe exceeded its TTL
+
+  bool ok() const { return status == EstimateStatus::kOk; }
+};
+
+// A candidate placement: where could this component query run, and what
+// would shipping its result home cost under current link conditions?
+struct PlacementCandidate {
+  EstimateRequest request;
+  double shipping_seconds = 0.0;
+};
+
+struct PlacementResult {
+  int chosen = -1;  // index of cheapest candidate; -1 if none estimable
+  std::vector<EstimateResponse> responses;
+  std::vector<double> total_seconds;  // local estimate + shipping
+};
+
+class EstimationService {
+ public:
+  explicit EstimationService(EstimationServiceConfig config = {});
+  ~EstimationService();
+
+  EstimationService(const EstimationService&) = delete;
+  EstimationService& operator=(const EstimationService&) = delete;
+
+  // ---- Control plane (catalog + sites) ------------------------------------
+
+  // Registers (or replaces) the model for (site, model.class_id()) by
+  // publishing a new catalog snapshot. Also refreshes the site tracker's
+  // state partition. Safe to call while estimates are being served.
+  void RegisterModel(const std::string& site, core::CostModel model);
+
+  // Registers a site with an arbitrary probe (see ContentionTracker). If
+  // the service config has a probe interval, the background prober starts
+  // immediately. Re-registering a site replaces its tracker.
+  void RegisterSite(const std::string& site, ContentionTracker::ProbeFn probe);
+
+  // Convenience: register a site probed through its MDBS agent.
+  void RegisterSite(mdbs::MdbsAgent* agent);
+
+  // Synchronous probe of one site; false if unknown site or probe failure.
+  bool ProbeNow(const std::string& site);
+
+  // Current cached reading for a site (default ProbeReading if unknown).
+  ProbeReading CurrentProbe(const std::string& site) const;
+
+  // ---- Data plane (estimates) ---------------------------------------------
+
+  EstimateResponse Estimate(const EstimateRequest& request) const;
+
+  // Prices every request against one catalog snapshot, fetching each
+  // distinct site's cached probe once and fanning chunks out on the worker
+  // pool (when configured). responses[i] answers requests[i].
+  std::vector<EstimateResponse> EstimateBatch(
+      const std::vector<EstimateRequest>& requests) const;
+
+  // Prices all candidate placements of a component query in one batch and
+  // picks the cheapest total (local estimate + result shipping).
+  PlacementResult ChoosePlacement(
+      const std::vector<PlacementCandidate>& candidates) const;
+
+  // ---- Introspection ------------------------------------------------------
+
+  RuntimeStatsSnapshot Stats() const;
+
+  // The current catalog snapshot (Find() pointers valid while it is held).
+  SnapshotCatalog::Snapshot CatalogSnapshot() const {
+    return catalog_.snapshot();
+  }
+
+  size_t num_worker_threads() const { return pool_.num_threads(); }
+
+ private:
+  using TrackerMap =
+      std::map<std::string, std::shared_ptr<ContentionTracker>>;
+  using TrackerMapSnapshot = std::shared_ptr<const TrackerMap>;
+
+  // Counter deltas accumulated on the stack during a request or chunk and
+  // flushed to the sharded counters once — the hot path performs no atomic
+  // RMW per estimate beyond the flush.
+  struct LocalCounts {
+    uint64_t requests = 0;
+    uint64_t probe_cache_hits = 0;
+    uint64_t probe_cache_stale = 0;
+    uint64_t probe_cache_misses = 0;
+    uint64_t no_model = 0;
+  };
+
+  void FlushCounts(const LocalCounts& counts) const;
+
+  // The site's tracker, or nullptr (lock-free snapshot read).
+  std::shared_ptr<ContentionTracker> FindTracker(const std::string& site) const;
+
+  // Resolves the probe for a request: explicit value, or the site's cached
+  // reading (counting hit/stale/miss into `counts`).
+  bool ResolveProbe(const EstimateRequest& request,
+                    const ProbeReading* cached_reading,
+                    EstimateResponse& response, LocalCounts& counts) const;
+
+  EstimateResponse EstimateWithSnapshot(const core::GlobalCatalog& catalog,
+                                        const EstimateRequest& request,
+                                        const ProbeReading* cached_reading,
+                                        LocalCounts& counts) const;
+
+  const EstimationServiceConfig config_;
+  SnapshotCatalog catalog_;
+
+  std::mutex trackers_mutex_;  // writers only; readers load the snapshot
+  AtomicSharedPtr<const TrackerMap> trackers_;
+
+  mutable ThreadPool pool_;
+  mutable RuntimeCounters counters_;
+  mutable LatencyHistogram estimate_latency_;
+  mutable LatencyHistogram probe_latency_;
+};
+
+}  // namespace mscm::runtime
+
+#endif  // MSCM_RUNTIME_ESTIMATION_SERVICE_H_

@@ -1,0 +1,124 @@
+#include "runtime/runtime_stats.h"
+
+#include <cmath>
+#include <functional>
+#include <thread>
+
+#include "common/str_util.h"
+
+namespace mscm::runtime {
+
+namespace {
+
+// Index of the power-of-two bucket holding `ns`.
+int BucketOf(int64_t ns) {
+  if (ns <= 1) return 0;
+  const int bit = 63 - __builtin_clzll(static_cast<uint64_t>(ns));
+  return bit >= LatencyHistogram::kNumBuckets
+             ? LatencyHistogram::kNumBuckets - 1
+             : bit;
+}
+
+double BucketMidSeconds(int bucket) {
+  // Geometric midpoint of [2^b, 2^(b+1)) ns.
+  return std::ldexp(1.0, bucket) * std::sqrt(2.0) * 1e-9;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(std::chrono::nanoseconds latency) {
+  RecordN(latency, 1);
+}
+
+void LatencyHistogram::RecordN(std::chrono::nanoseconds latency, uint64_t n) {
+  if (n == 0) return;
+  const int bucket = BucketOf(latency.count());
+  buckets_[bucket].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  total_ns_.fetch_add(
+      n * static_cast<uint64_t>(std::max<int64_t>(0, latency.count())),
+      std::memory_order_relaxed);
+}
+
+double LatencyHistogram::PercentileSeconds(double p) const {
+  const uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  const double clamped = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+  const uint64_t rank = static_cast<uint64_t>(clamped * static_cast<double>(n - 1));
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen > rank) return BucketMidSeconds(b);
+  }
+  return BucketMidSeconds(kNumBuckets - 1);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  if (snap.count == 0) return snap;
+  snap.mean_seconds = 1e-9 *
+                      static_cast<double>(total_ns_.load(std::memory_order_relaxed)) /
+                      static_cast<double>(snap.count);
+  snap.p50_seconds = PercentileSeconds(0.50);
+  snap.p90_seconds = PercentileSeconds(0.90);
+  snap.p99_seconds = PercentileSeconds(0.99);
+  for (int b = kNumBuckets - 1; b >= 0; --b) {
+    if (buckets_[b].load(std::memory_order_relaxed) > 0) {
+      snap.max_bucket_seconds = std::ldexp(1.0, b + 1) * 1e-9;
+      break;
+    }
+  }
+  return snap;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+}
+
+std::string LatencyHistogram::Snapshot::ToString() const {
+  return Format("n=%llu mean=%.1fus p50=%.1fus p90=%.1fus p99=%.1fus",
+                static_cast<unsigned long long>(count), mean_seconds * 1e6,
+                p50_seconds * 1e6, p90_seconds * 1e6, p99_seconds * 1e6);
+}
+
+std::string RuntimeStatsSnapshot::ToString() const {
+  std::string out = Format(
+      "requests=%llu batches=%llu probe_cache{hit=%llu stale=%llu miss=%llu} "
+      "no_model=%llu probes=%llu probe_failures=%llu catalog_swaps=%llu\n",
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(probe_cache_hits),
+      static_cast<unsigned long long>(probe_cache_stale),
+      static_cast<unsigned long long>(probe_cache_misses),
+      static_cast<unsigned long long>(no_model),
+      static_cast<unsigned long long>(probes),
+      static_cast<unsigned long long>(probe_failures),
+      static_cast<unsigned long long>(catalog_swaps));
+  out += "estimate latency: " + estimate_latency.ToString() + "\n";
+  out += "probe latency:    " + probe_latency.ToString();
+  return out;
+}
+
+RuntimeCounters::Shard& RuntimeCounters::Local() {
+  const size_t hash = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return shards_[hash % kShards];
+}
+
+void RuntimeCounters::AggregateInto(RuntimeStatsSnapshot& out) const {
+  for (const Shard& s : shards_) {
+    out.requests += s.requests.load(std::memory_order_relaxed);
+    out.batches += s.batches.load(std::memory_order_relaxed);
+    out.probe_cache_hits += s.probe_cache_hits.load(std::memory_order_relaxed);
+    out.probe_cache_stale += s.probe_cache_stale.load(std::memory_order_relaxed);
+    out.probe_cache_misses += s.probe_cache_misses.load(std::memory_order_relaxed);
+    out.no_model += s.no_model.load(std::memory_order_relaxed);
+    out.probes += s.probes.load(std::memory_order_relaxed);
+    out.probe_failures += s.probe_failures.load(std::memory_order_relaxed);
+    out.catalog_swaps += s.catalog_swaps.load(std::memory_order_relaxed);
+  }
+}
+
+}  // namespace mscm::runtime

@@ -1,0 +1,103 @@
+// Runtime observability for the online estimation service: lock-free
+// counters (sharded to keep concurrent readers off each other's cache
+// lines) and a log-bucketed latency histogram with percentile extraction.
+// Everything here is safe to update from many threads and to snapshot
+// concurrently; snapshots are monotone but not atomic across counters.
+
+#ifndef MSCM_RUNTIME_RUNTIME_STATS_H_
+#define MSCM_RUNTIME_RUNTIME_STATS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace mscm::runtime {
+
+// Histogram over latencies with power-of-two nanosecond buckets: bucket i
+// holds samples in [2^i, 2^(i+1)) ns, bucket 0 also absorbs sub-ns samples.
+// 40 buckets cover up to ~18 minutes.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 40;
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double mean_seconds = 0.0;
+    double p50_seconds = 0.0;
+    double p90_seconds = 0.0;
+    double p99_seconds = 0.0;
+    double max_bucket_seconds = 0.0;  // upper edge of highest non-empty bucket
+
+    std::string ToString() const;
+  };
+
+  void Record(std::chrono::nanoseconds latency);
+
+  // Records `n` samples of the same latency with one pass over the buckets
+  // (batch paths record the amortized per-item latency this way).
+  void RecordN(std::chrono::nanoseconds latency, uint64_t n);
+
+  // Percentile via cumulative bucket counts; returns the geometric midpoint
+  // of the bucket containing the requested rank (0 when empty).
+  double PercentileSeconds(double p) const;
+
+  Snapshot Snap() const;
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_ns_{0};
+};
+
+// One snapshot of every service counter, plus the latency histograms.
+struct RuntimeStatsSnapshot {
+  uint64_t requests = 0;           // estimates served (single + batched items)
+  uint64_t batches = 0;            // EstimateBatch calls
+  uint64_t probe_cache_hits = 0;   // served from a fresh cached probe
+  uint64_t probe_cache_stale = 0;  // served from a cached probe past its TTL
+  uint64_t probe_cache_misses = 0; // no cached probe available at all
+  uint64_t no_model = 0;           // (site, class) had no registered model
+  uint64_t probes = 0;             // probing queries run by trackers
+  uint64_t probe_failures = 0;     // probes that errored (kept last state)
+  uint64_t catalog_swaps = 0;      // snapshot publications (model registers)
+
+  LatencyHistogram::Snapshot estimate_latency;
+  LatencyHistogram::Snapshot probe_latency;
+
+  std::string ToString() const;
+};
+
+// The hot-path counters, sharded by thread so concurrent estimate threads
+// do not serialize on one cache line. Aggregation sums the shards.
+class RuntimeCounters {
+ public:
+  static constexpr size_t kShards = 16;
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> probe_cache_hits{0};
+    std::atomic<uint64_t> probe_cache_stale{0};
+    std::atomic<uint64_t> probe_cache_misses{0};
+    std::atomic<uint64_t> no_model{0};
+    std::atomic<uint64_t> probes{0};
+    std::atomic<uint64_t> probe_failures{0};
+    std::atomic<uint64_t> catalog_swaps{0};
+  };
+
+  // The calling thread's shard (stable per thread, relaxed increments).
+  Shard& Local();
+
+  // Sums all shards into `out` (histograms untouched).
+  void AggregateInto(RuntimeStatsSnapshot& out) const;
+
+ private:
+  Shard shards_[kShards];
+};
+
+}  // namespace mscm::runtime
+
+#endif  // MSCM_RUNTIME_RUNTIME_STATS_H_

@@ -1,0 +1,92 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace mscm::runtime {
+
+ThreadPool::ThreadPool(int num_threads) {
+  size_t n = 0;
+  if (num_threads < 0) {
+    n = std::max(1u, std::thread::hardware_concurrency());
+  } else {
+    n = static_cast<size_t>(num_threads);
+  }
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t min_grain,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  min_grain = std::max<size_t>(1, min_grain);
+  const size_t max_chunks = workers_.empty() ? 1 : workers_.size() + 1;
+  size_t chunks = std::min(max_chunks, (n + min_grain - 1) / min_grain);
+  if (chunks <= 1) {
+    body(0, n);
+    return;
+  }
+  const size_t grain = (n + chunks - 1) / chunks;
+  chunks = (n + grain - 1) / grain;  // re-derive: last chunk may vanish
+
+  std::atomic<size_t> remaining{chunks - 1};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  for (size_t c = 1; c < chunks; ++c) {
+    const size_t begin = c * grain;
+    const size_t end = std::min(n, begin + grain);
+    Submit([&, begin, end] {
+      body(begin, end);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_one();
+      }
+    });
+  }
+  // The caller works the first chunk instead of just blocking.
+  body(0, std::min(n, grain));
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace mscm::runtime

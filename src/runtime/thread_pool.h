@@ -1,0 +1,53 @@
+// A small fixed-size worker pool for fanning estimation batches out across
+// cores. Deliberately minimal: FIFO queue of std::function tasks, a
+// blocking ParallelFor that splits an index range into chunks, and inline
+// execution when constructed with zero workers (degenerates to a plain
+// loop — handy for deterministic tests and single-core machines).
+
+#ifndef MSCM_RUNTIME_THREAD_POOL_H_
+#define MSCM_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mscm::runtime {
+
+class ThreadPool {
+ public:
+  // `num_threads` < 0 → std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues a task. With zero workers the task runs inline.
+  void Submit(std::function<void()> task);
+
+  // Runs body(begin, end) over [0, n) split into per-worker chunks of at
+  // least `min_grain` indexes; blocks until every chunk finished. The
+  // calling thread processes the first chunk itself, so the pool adds
+  // parallelism without a handoff for small batches.
+  void ParallelFor(size_t n, size_t min_grain,
+                   const std::function<void(size_t, size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+};
+
+}  // namespace mscm::runtime
+
+#endif  // MSCM_RUNTIME_THREAD_POOL_H_

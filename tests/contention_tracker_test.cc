@@ -1,0 +1,132 @@
+#include "runtime/contention_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "runtime/clock.h"
+
+namespace mscm::runtime {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+ContentionTrackerConfig ManualConfig(FakeClock* clock,
+                                     std::chrono::nanoseconds ttl) {
+  ContentionTrackerConfig config;
+  config.site = "s";
+  config.ttl = ttl;
+  config.probe_interval = std::chrono::nanoseconds{0};  // manual probing
+  config.clock = clock;
+  return config;
+}
+
+TEST(ContentionTrackerTest, NoReadingBeforeFirstProbe) {
+  FakeClock clock;
+  ContentionTracker tracker(ManualConfig(&clock, seconds(5)),
+                            [] { return 0.7; });
+  const ProbeReading reading = tracker.Current();
+  EXPECT_FALSE(reading.has_value);
+  EXPECT_EQ(reading.sequence, 0u);
+}
+
+TEST(ContentionTrackerTest, ProbeOnceCachesReading) {
+  FakeClock clock;
+  ContentionTracker tracker(ManualConfig(&clock, seconds(5)),
+                            [] { return 0.7; });
+  EXPECT_TRUE(tracker.ProbeOnce());
+  const ProbeReading reading = tracker.Current();
+  EXPECT_TRUE(reading.has_value);
+  EXPECT_DOUBLE_EQ(reading.probing_cost, 0.7);
+  EXPECT_FALSE(reading.stale);
+  EXPECT_EQ(reading.state, -1);  // no mapper installed
+  EXPECT_EQ(reading.sequence, 1u);
+  EXPECT_EQ(tracker.probes(), 1u);
+}
+
+TEST(ContentionTrackerTest, TtlMarksReadingStaleButStillServesIt) {
+  FakeClock clock;
+  ContentionTracker tracker(ManualConfig(&clock, seconds(5)),
+                            [] { return 0.7; });
+  ASSERT_TRUE(tracker.ProbeOnce());
+
+  clock.Advance(seconds(4));
+  EXPECT_FALSE(tracker.Current().stale);  // within TTL
+
+  clock.Advance(seconds(2));  // age 6s > 5s TTL
+  ProbeReading reading = tracker.Current();
+  EXPECT_TRUE(reading.has_value);  // last-known state is still served …
+  EXPECT_TRUE(reading.stale);      // … but flagged
+  EXPECT_DOUBLE_EQ(reading.probing_cost, 0.7);
+  EXPECT_GE(reading.age, seconds(6));
+
+  // A fresh probe clears the staleness.
+  ASSERT_TRUE(tracker.ProbeOnce());
+  EXPECT_FALSE(tracker.Current().stale);
+}
+
+TEST(ContentionTrackerTest, FailedProbeKeepsLastKnownReading) {
+  FakeClock clock;
+  std::atomic<bool> fail{false};
+  ContentionTracker tracker(
+      ManualConfig(&clock, seconds(5)),
+      [&fail] { return fail.load() ? std::nan("") : 0.7; });
+  ASSERT_TRUE(tracker.ProbeOnce());
+
+  fail.store(true);
+  EXPECT_FALSE(tracker.ProbeOnce());
+  EXPECT_EQ(tracker.failures(), 1u);
+
+  // The dead probe did not clobber the cached reading.
+  const ProbeReading reading = tracker.Current();
+  EXPECT_TRUE(reading.has_value);
+  EXPECT_DOUBLE_EQ(reading.probing_cost, 0.7);
+  EXPECT_EQ(reading.sequence, 1u);
+
+  // Negative costs are failures too.
+  ContentionTracker negative(ManualConfig(&clock, seconds(5)),
+                             [] { return -1.0; });
+  EXPECT_FALSE(negative.ProbeOnce());
+  EXPECT_FALSE(negative.Current().has_value);
+}
+
+TEST(ContentionTrackerTest, StateMapperRemapsCachedReading) {
+  FakeClock clock;
+  ContentionTracker tracker(ManualConfig(&clock, seconds(5)),
+                            [] { return 1.4; });
+  ASSERT_TRUE(tracker.ProbeOnce());
+  EXPECT_EQ(tracker.Current().state, -1);
+
+  tracker.SetStateMapper([](double cost) { return cost > 1.0 ? 1 : 0; });
+  EXPECT_EQ(tracker.Current().state, 1);  // cached value remapped in place
+}
+
+TEST(ContentionTrackerTest, BackgroundProberRunsUntilStopped) {
+  ContentionTrackerConfig config;
+  config.site = "bg";
+  config.ttl = seconds(5);
+  config.probe_interval = milliseconds(1);
+  // Real system clock: this exercises the actual thread lifecycle.
+  ContentionTracker tracker(config, [] { return 0.3; });
+  tracker.Start();
+
+  const auto deadline = std::chrono::steady_clock::now() + seconds(10);
+  while (tracker.probes() < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  tracker.Stop();
+  EXPECT_GE(tracker.probes(), 3u);
+
+  // After Stop, no further probes happen.
+  const uint64_t frozen = tracker.probes();
+  std::this_thread::sleep_for(milliseconds(5));
+  EXPECT_EQ(tracker.probes(), frozen);
+  EXPECT_TRUE(tracker.Current().has_value);
+}
+
+}  // namespace
+}  // namespace mscm::runtime

@@ -44,6 +44,32 @@ TEST(CostModelTest, EstimateUsesProbingCostToPickState) {
   EXPECT_NEAR(model.Estimate(features, 0.9), 105.0, 0.1);
 }
 
+TEST(CostModelTest, EstimateFastMatchesEstimateEverywhere) {
+  // The fused hot-path estimator must agree with the reference path across
+  // states, forms, and feature values — including the negative clamp.
+  test::SyntheticGroundTruth truth;
+  truth.intercepts = {-2.0, 10.0, 40.0};
+  truth.slopes = {{0.5, 2.0}, {3.0, -1.0}, {7.0, 0.25}};
+  Rng rng(11);
+  const ObservationSet obs = test::SyntheticObservations(truth, 300, rng);
+  const ContentionStates states =
+      ContentionStates::UniformPartition(0.0, 1.0, 3);
+  for (const QualitativeForm form :
+       {QualitativeForm::kGeneral, QualitativeForm::kParallel}) {
+    const CostModel model = FitCostModel(QueryClassId::kUnarySeqScan, obs,
+                                         {0, 1}, states, form);
+    for (double probe : {0.05, 0.4, 0.95}) {
+      for (double f0 : {0.0, 1.0, 123.456}) {
+        for (double f1 : {-4.0, 0.5, 88.0}) {
+          const std::vector<double> features = {f0, f1};
+          EXPECT_DOUBLE_EQ(model.EstimateFast(features, probe),
+                           model.Estimate(features, probe));
+        }
+      }
+    }
+  }
+}
+
 TEST(CostModelTest, EstimateClampsNegativePredictions) {
   test::SyntheticGroundTruth truth;
   truth.intercepts = {-50.0};

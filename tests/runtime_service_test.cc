@@ -1,0 +1,210 @@
+#include "runtime/estimation_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+
+#include "common/rng.h"
+#include "runtime/clock.h"
+#include "tests/test_util.h"
+
+namespace mscm::runtime {
+namespace {
+
+using core::QueryClassId;
+using std::chrono::seconds;
+
+std::vector<double> FeatureVector(QueryClassId cls, double x0) {
+  std::vector<double> f(core::VariableSet::ForClass(cls).size(), 0.0);
+  f[0] = x0;
+  return f;
+}
+
+EstimateRequest Request(const std::string& site, QueryClassId cls, double x0,
+                        double probing_cost = -1.0) {
+  EstimateRequest request;
+  request.site = site;
+  request.class_id = cls;
+  request.features = FeatureVector(cls, x0);
+  request.probing_cost = probing_cost;
+  return request;
+}
+
+TEST(EstimationServiceTest, EstimatesWithExplicitProbeAcrossStates) {
+  EstimationService service;
+  const auto cls = QueryClassId::kUnarySeqScan;
+  // State 0 (probe ≤ 1): cost = 2x. State 1 (probe > 1): cost = 5x.
+  service.RegisterModel("a", test::PiecewiseLinearModel(cls, {2.0, 5.0}));
+
+  EstimateResponse low = service.Estimate(Request("a", cls, 3.0, 0.5));
+  ASSERT_TRUE(low.ok());
+  EXPECT_EQ(low.state, 0);
+  EXPECT_NEAR(low.estimate_seconds, 6.0, 1e-6);
+  EXPECT_DOUBLE_EQ(low.probing_cost, 0.5);
+  EXPECT_FALSE(low.stale_probe);
+
+  EstimateResponse high = service.Estimate(Request("a", cls, 3.0, 1.5));
+  ASSERT_TRUE(high.ok());
+  EXPECT_EQ(high.state, 1);
+  EXPECT_NEAR(high.estimate_seconds, 15.0, 1e-6);
+}
+
+TEST(EstimationServiceTest, ReportsMissingModelAndMissingProbe) {
+  EstimationService service;
+  const auto cls = QueryClassId::kUnarySeqScan;
+
+  EXPECT_EQ(service.Estimate(Request("ghost", cls, 1.0, 0.5)).status,
+            EstimateStatus::kNoModel);
+
+  service.RegisterModel("a", test::PiecewiseLinearModel(cls, {2.0}));
+  // No explicit probe and no tracker for the site → kNoProbe.
+  EXPECT_EQ(service.Estimate(Request("a", cls, 1.0)).status,
+            EstimateStatus::kNoProbe);
+
+  const RuntimeStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.no_model, 1u);
+  EXPECT_EQ(stats.probe_cache_misses, 1u);
+}
+
+TEST(EstimationServiceTest, ServesFromCachedProbe) {
+  EstimationService service;
+  const auto cls = QueryClassId::kUnarySeqScan;
+  service.RegisterModel("a", test::PiecewiseLinearModel(cls, {2.0, 5.0}));
+
+  std::atomic<double> probe_value{0.5};
+  service.RegisterSite("a", [&] { return probe_value.load(); });
+  ASSERT_TRUE(service.ProbeNow("a"));
+
+  EstimateResponse low = service.Estimate(Request("a", cls, 3.0));
+  ASSERT_TRUE(low.ok());
+  EXPECT_EQ(low.state, 0);
+  EXPECT_DOUBLE_EQ(low.probing_cost, 0.5);
+  EXPECT_NEAR(low.estimate_seconds, 6.0, 1e-6);
+
+  // The environment shifts; the next probe moves the cached state.
+  probe_value.store(1.5);
+  ASSERT_TRUE(service.ProbeNow("a"));
+  EstimateResponse high = service.Estimate(Request("a", cls, 3.0));
+  ASSERT_TRUE(high.ok());
+  EXPECT_EQ(high.state, 1);
+  EXPECT_NEAR(high.estimate_seconds, 15.0, 1e-6);
+
+  const RuntimeStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.probe_cache_hits, 2u);
+  EXPECT_EQ(stats.probes, 2u);
+  // The tracker's own cached state follows the registered partition.
+  EXPECT_EQ(service.CurrentProbe("a").state, 1);
+}
+
+TEST(EstimationServiceTest, StaleProbeIsServedAndFlagged) {
+  FakeClock clock;
+  EstimationServiceConfig config;
+  config.probe_ttl = seconds(5);
+  config.clock = &clock;
+  EstimationService service(config);
+  const auto cls = QueryClassId::kUnarySeqScan;
+  service.RegisterModel("a", test::PiecewiseLinearModel(cls, {2.0}));
+  service.RegisterSite("a", [] { return 0.5; });
+  ASSERT_TRUE(service.ProbeNow("a"));
+
+  clock.Advance(seconds(10));
+  const EstimateResponse response = service.Estimate(Request("a", cls, 3.0));
+  ASSERT_TRUE(response.ok());  // last-known-state fallback
+  EXPECT_TRUE(response.stale_probe);
+  EXPECT_NEAR(response.estimate_seconds, 6.0, 1e-6);
+  EXPECT_EQ(service.Stats().probe_cache_stale, 1u);
+}
+
+TEST(EstimationServiceTest, BatchMatchesSingleRequests) {
+  EstimationServiceConfig config;
+  config.worker_threads = 2;
+  config.batch_grain = 16;
+  EstimationService service(config);
+  const auto g1 = QueryClassId::kUnarySeqScan;
+  const auto g3 = QueryClassId::kJoinNoIndex;
+  service.RegisterModel("a", test::PiecewiseLinearModel(g1, {2.0, 5.0}));
+  service.RegisterModel("a", test::PiecewiseLinearModel(g3, {3.0}));
+  service.RegisterModel("b", test::PiecewiseLinearModel(g1, {7.0}));
+  service.RegisterSite("a", [] { return 0.5; });
+  service.RegisterSite("b", [] { return 1.5; });
+  service.ProbeNow("a");
+  service.ProbeNow("b");
+
+  Rng rng(3);
+  std::vector<EstimateRequest> requests;
+  for (int i = 0; i < 200; ++i) {
+    const bool site_a = rng.NextDouble() < 0.5;
+    const auto cls = rng.NextDouble() < 0.5 ? g1 : g3;
+    EstimateRequest request =
+        Request(site_a ? "a" : "b", cls, rng.Uniform(1.0, 10.0));
+    if (rng.NextDouble() < 0.3) request.probing_cost = rng.Uniform(0.0, 2.0);
+    requests.push_back(std::move(request));
+  }
+
+  const std::vector<EstimateResponse> batched =
+      service.EstimateBatch(requests);
+  ASSERT_EQ(batched.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const EstimateResponse single = service.Estimate(requests[i]);
+    EXPECT_EQ(batched[i].status, single.status) << i;
+    EXPECT_EQ(batched[i].state, single.state) << i;
+    EXPECT_DOUBLE_EQ(batched[i].estimate_seconds, single.estimate_seconds)
+        << i;
+  }
+  EXPECT_EQ(service.Stats().batches, 1u);
+}
+
+TEST(EstimationServiceTest, ChoosePlacementPicksCheapestTotal) {
+  EstimationService service;
+  const auto cls = QueryClassId::kJoinNoIndex;
+  service.RegisterModel("a", test::PiecewiseLinearModel(cls, {2.0}));
+  service.RegisterModel("b", test::PiecewiseLinearModel(cls, {3.0}));
+  service.RegisterSite("a", [] { return 0.5; });
+  service.RegisterSite("b", [] { return 0.5; });
+  service.ProbeNow("a");
+  service.ProbeNow("b");
+
+  PlacementCandidate cand_a{Request("a", cls, 4.0), 0.0};  // local: 8s
+  PlacementCandidate cand_b{Request("b", cls, 4.0), 0.0};  // local: 12s
+  PlacementResult local = service.ChoosePlacement({cand_a, cand_b});
+  EXPECT_EQ(local.chosen, 0);
+  EXPECT_NEAR(local.total_seconds[0], 8.0, 1e-6);
+  EXPECT_NEAR(local.total_seconds[1], 12.0, 1e-6);
+
+  // Shipping can flip the decision: a is cheaper locally but far away.
+  cand_a.shipping_seconds = 10.0;
+  PlacementResult shipped = service.ChoosePlacement({cand_a, cand_b});
+  EXPECT_EQ(shipped.chosen, 1);
+
+  // A candidate without a model is skipped, not chosen.
+  PlacementCandidate ghost{Request("ghost", cls, 4.0), 0.0};
+  PlacementResult with_ghost = service.ChoosePlacement({ghost, cand_b});
+  EXPECT_EQ(with_ghost.chosen, 1);
+  EXPECT_TRUE(std::isinf(with_ghost.total_seconds[0]));
+}
+
+TEST(EstimationServiceTest, ModelReplacementIsVisibleToNewRequests) {
+  EstimationService service;
+  const auto cls = QueryClassId::kUnarySeqScan;
+  service.RegisterModel("a", test::PiecewiseLinearModel(cls, {2.0}));
+  // A long-lived snapshot taken before the replacement …
+  const SnapshotCatalog::Snapshot old_snap = service.CatalogSnapshot();
+  const core::CostModel* old_model = old_snap->Find("a", cls);
+  ASSERT_NE(old_model, nullptr);
+
+  service.RegisterModel("a", test::PiecewiseLinearModel(cls, {5.0}));
+
+  // … still answers with the old coefficients, while the service serves the
+  // new ones.
+  const auto features = FeatureVector(cls, 3.0);
+  EXPECT_NEAR(old_model->Estimate(features, 0.5), 6.0, 1e-6);
+  EXPECT_NEAR(service.Estimate(Request("a", cls, 3.0, 0.5)).estimate_seconds,
+              15.0, 1e-6);
+  EXPECT_EQ(service.Stats().catalog_swaps, 2u);
+}
+
+}  // namespace
+}  // namespace mscm::runtime

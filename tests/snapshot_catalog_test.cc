@@ -1,0 +1,73 @@
+#include "runtime/snapshot_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mscm::runtime {
+namespace {
+
+using core::QueryClassId;
+
+std::vector<double> FeatureVector(QueryClassId cls, double x0) {
+  std::vector<double> f(core::VariableSet::ForClass(cls).size(), 0.0);
+  f[0] = x0;
+  return f;
+}
+
+TEST(SnapshotCatalogTest, StartsEmpty) {
+  SnapshotCatalog catalog;
+  EXPECT_EQ(catalog.size(), 0u);
+  EXPECT_EQ(catalog.version(), 0u);
+  EXPECT_EQ(catalog.snapshot()->Find("s", QueryClassId::kUnarySeqScan),
+            nullptr);
+}
+
+TEST(SnapshotCatalogTest, RegisterPublishesNewSnapshot) {
+  SnapshotCatalog catalog;
+  catalog.Register("s", test::PiecewiseLinearModel(
+                            QueryClassId::kUnarySeqScan, {2.0}));
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_EQ(catalog.version(), 1u);
+  const auto snap = catalog.snapshot();
+  const core::CostModel* m = snap->Find("s", QueryClassId::kUnarySeqScan);
+  ASSERT_NE(m, nullptr);
+  EXPECT_NEAR(
+      m->Estimate(FeatureVector(QueryClassId::kUnarySeqScan, 3.0), 0.5), 6.0,
+      1e-6);
+}
+
+TEST(SnapshotCatalogTest, OldSnapshotSurvivesReplacement) {
+  SnapshotCatalog catalog;
+  const auto cls = QueryClassId::kUnarySeqScan;
+  catalog.Register("s", test::PiecewiseLinearModel(cls, {2.0}));
+
+  const SnapshotCatalog::Snapshot old_snap = catalog.snapshot();
+  const core::CostModel* old_model = old_snap->Find("s", cls);
+  ASSERT_NE(old_model, nullptr);
+
+  // Replacing the model publishes a new snapshot; the raw pointer into the
+  // old snapshot must stay valid and keep its old behaviour — this is the
+  // lifetime guarantee GlobalCatalog::Find alone cannot give.
+  catalog.Register("s", test::PiecewiseLinearModel(cls, {5.0}));
+  EXPECT_EQ(catalog.version(), 2u);
+
+  const auto features = FeatureVector(cls, 3.0);
+  EXPECT_NEAR(old_model->Estimate(features, 0.5), 6.0, 1e-6);
+  EXPECT_NEAR(catalog.snapshot()->Find("s", cls)->Estimate(features, 0.5),
+              15.0, 1e-6);
+}
+
+TEST(SnapshotCatalogTest, UpdateAppliesBulkEditAtomically) {
+  SnapshotCatalog catalog;
+  const auto cls = QueryClassId::kUnarySeqScan;
+  catalog.Update([&](core::GlobalCatalog& c) {
+    c.Register("a", test::PiecewiseLinearModel(cls, {1.0}));
+    c.Register("b", test::PiecewiseLinearModel(cls, {2.0}));
+  });
+  EXPECT_EQ(catalog.version(), 1u);  // one snapshot for both entries
+  EXPECT_EQ(catalog.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mscm::runtime

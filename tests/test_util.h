@@ -79,4 +79,42 @@ inline core::ObservationSet SyntheticObservations(
 
 }  // namespace mscm::test
 
+#include "core/cost_model.h"
+
+namespace mscm::test {
+
+// A deterministic fitted model with known behaviour for runtime tests:
+// one selected variable, one contention state per entry of `state_slopes`
+// (state s covers probing costs in (s, s+1], ends open), and within state s
+// cost = state_slopes[s] * features[0] exactly (no noise, general form).
+inline core::CostModel PiecewiseLinearModel(
+    core::QueryClassId cls, const std::vector<double>& state_slopes,
+    uint64_t seed = 7) {
+  const size_t num_states = state_slopes.size();
+  const size_t n_features = core::VariableSet::ForClass(cls).size();
+  core::ObservationSet obs;
+  Rng rng(seed);
+  for (size_t s = 0; s < num_states; ++s) {
+    for (int i = 0; i < 40; ++i) {
+      core::Observation o;
+      o.probing_cost = static_cast<double>(s) + 0.5;
+      o.features.assign(n_features, 0.0);
+      o.features[0] = rng.Uniform(1.0, 10.0);
+      o.cost = state_slopes[s] * o.features[0];
+      obs.push_back(std::move(o));
+    }
+  }
+  std::vector<double> boundaries;
+  for (size_t s = 1; s < num_states; ++s) {
+    boundaries.push_back(static_cast<double>(s));
+  }
+  const core::ContentionStates states =
+      boundaries.empty() ? core::ContentionStates::Single()
+                         : core::ContentionStates::FromBoundaries(boundaries);
+  return core::FitCostModel(cls, obs, {0}, states,
+                            core::QualitativeForm::kGeneral);
+}
+
+}  // namespace mscm::test
+
 #endif  // MSCM_TESTS_TEST_UTIL_H_

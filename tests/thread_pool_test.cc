@@ -1,0 +1,66 @@
+#include "runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace mscm::runtime {
+namespace {
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  int ran = 0;
+  pool.Submit([&] { ++ran; });
+  EXPECT_EQ(ran, 1);  // inline: visible immediately, same thread
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  for (int workers : {0, 1, 4}) {
+    ThreadPool pool(workers);
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(kN, 8, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << ", workers " << workers;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRespectsGrain) {
+  ThreadPool pool(4);
+  // n below the grain → exactly one chunk [0, n).
+  std::atomic<int> chunks{0};
+  pool.ParallelFor(3, 64, [&](size_t begin, size_t end) {
+    chunks.fetch_add(1);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 3u);
+  });
+  EXPECT_EQ(chunks.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, 1, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SubmittedTasksAllRunBeforeDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(ran.load(), 200);
+}
+
+}  // namespace
+}  // namespace mscm::runtime
