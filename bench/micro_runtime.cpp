@@ -7,6 +7,8 @@
 //   batch   x1   — one thread, EstimateBatch() in chunks of kBatch
 //   batch   xN   — N reader threads, each batching its own slice
 //   batch   x8+w — 8 readers while a writer re-registers models (CoW swaps)
+//   batch   x8+r — 8 readers while a refresh daemon, fed a stream of
+//                  drifting feedback, continuously re-derives and swaps
 //
 // Emits BENCH_runtime.json with requests/sec and p50/p99 per-estimate
 // latency per scenario, plus the derived batch-amortization and
@@ -31,7 +33,9 @@
 #include "common/text_table.h"
 #include "core/cost_model.h"
 #include "core/explanatory.h"
+#include "core/observation_source.h"
 #include "runtime/estimation_service.h"
+#include "runtime/model_refresh.h"
 
 namespace {
 
@@ -72,11 +76,34 @@ core::CostModel MakeModel(core::QueryClassId cls, uint64_t seed) {
       core::QualitativeForm::kGeneral);
 }
 
+// What a refresh daemon samples mid-bench: a cheap synthetic environment
+// (no simulated site) so the re-derivation cost is regression + swap, and
+// the bench isolates the *runtime* interference of refresh churn.
+class BenchSource : public core::ObservationSource {
+ public:
+  explicit BenchSource(uint64_t seed) : rng_(seed) {}
+
+  core::Observation Draw() override {
+    core::Observation o;
+    o.probing_cost = rng_.Uniform(0.0, 4.0);
+    o.features.assign(
+        core::VariableSet::ForClass(core::QueryClassId::kUnarySeqScan).size(),
+        0.0);
+    for (size_t j = 0; j < 3; ++j) o.features[j] = rng_.Uniform(1.0, 10.0);
+    o.cost = 1.5 * o.features[0] + 0.6 * o.features[1] + 0.3 * o.features[2];
+    return o;
+  }
+
+ private:
+  Rng rng_;
+};
+
 struct Scenario {
   std::string name;
   int threads = 1;
   bool batched = false;
   bool with_writer = false;
+  bool with_refresh = false;
 };
 
 struct Result {
@@ -84,6 +111,7 @@ struct Result {
   double qps = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
+  uint64_t refreshes = 0;  // models re-derived + swapped during the run
 };
 
 std::vector<runtime::EstimateRequest> MakeWorkload(size_t n) {
@@ -144,6 +172,41 @@ Result Run(const Scenario& scenario,
     });
   }
 
+  // Refresh churn: a reporter thread feeds feedback whose observed costs
+  // always disagree with the model, so the daemon trips, re-derives and
+  // swaps continuously while the readers run.
+  BenchSource refresh_source(99);
+  std::unique_ptr<runtime::ModelRefreshDaemon> daemon;
+  std::atomic<bool> reporter_stop{false};
+  std::thread reporter;
+  if (scenario.with_refresh) {
+    runtime::ModelRefreshConfig refresh_config;
+    refresh_config.min_reports = 8;
+    refresh_config.drift_window = 8;
+    refresh_config.error_threshold = 0.5;
+    refresh_config.refresh_cooldown = std::chrono::nanoseconds(0);
+    refresh_config.rederive.build.algorithm =
+        core::StateAlgorithm::kSingleState;
+    refresh_config.rederive.build.sample_size = 40;
+    daemon = std::make_unique<runtime::ModelRefreshDaemon>(service.get(),
+                                                           refresh_config);
+    daemon->Watch("alpha", core::QueryClassId::kUnarySeqScan,
+                  &refresh_source);
+    reporter = std::thread([&daemon, &reporter_stop] {
+      Rng rng(7);
+      std::vector<double> features(
+          core::VariableSet::ForClass(core::QueryClassId::kUnarySeqScan)
+              .size(),
+          0.0);
+      while (!reporter_stop.load(std::memory_order_relaxed)) {
+        for (size_t j = 0; j < 3; ++j) features[j] = rng.Uniform(1.0, 10.0);
+        // Deliberately off the model by far more than the threshold.
+        daemon->ReportObserved("alpha", core::QueryClassId::kUnarySeqScan,
+                               features, 5.0 * features[0]);
+      }
+    });
+  }
+
   auto drive = [&](size_t begin, size_t end) {
     if (scenario.batched) {
       std::vector<runtime::EstimateRequest> chunk;
@@ -183,6 +246,13 @@ Result Run(const Scenario& scenario,
     writer_stop.store(true);
     writer.join();
   }
+  uint64_t refreshes = 0;
+  if (scenario.with_refresh) {
+    reporter_stop.store(true);
+    reporter.join();
+    refreshes = daemon->Stats().refreshes_succeeded;
+    daemon.reset();  // drains any in-flight refresh before the service dies
+  }
 
   const runtime::RuntimeStatsSnapshot stats = service->Stats();
   Result result;
@@ -190,6 +260,7 @@ Result Run(const Scenario& scenario,
   result.qps = static_cast<double>(requests.size()) / seconds;
   result.p50_us = stats.estimate_latency.p50_seconds * 1e6;
   result.p99_us = stats.estimate_latency.p99_seconds * 1e6;
+  result.refreshes = refreshes;
   return result;
 }
 
@@ -220,19 +291,23 @@ int main() {
       {"batch x4", 4, true, false},
       {"batch x8", 8, true, false},
       {"batch x8 + writer", 8, true, true},
+      {"batch x8 + refresh", 8, true, false, /*with_refresh=*/true},
   };
 
   std::printf("micro_runtime: %zu requests, batch size %zu, best of %zu "
               "reps, %u hardware threads\n\n",
               n, kBatch, reps, std::thread::hardware_concurrency());
 
-  TextTable table({"scenario", "requests/s", "p50 (us)", "p99 (us)"});
+  TextTable table(
+      {"scenario", "requests/s", "p50 (us)", "p99 (us)", "refreshes"});
   std::vector<Result> results;
   for (const Scenario& scenario : scenarios) {
     results.push_back(RunBestOf(scenario, requests, reps));
     const Result& r = results.back();
     table.AddRow({r.scenario.name, Format("%.0f", r.qps),
-                  Format("%.2f", r.p50_us), Format("%.2f", r.p99_us)});
+                  Format("%.2f", r.p50_us), Format("%.2f", r.p99_us),
+                  Format("%llu",
+                         static_cast<unsigned long long>(r.refreshes))});
   }
   std::printf("%s\n", table.Render().c_str());
 
@@ -256,12 +331,16 @@ int main() {
       const Result& r = results[i];
       std::fprintf(json,
                    "    {\"name\": \"%s\", \"threads\": %d, \"batched\": %s, "
-                   "\"writer\": %s, \"qps\": %.0f, \"p50_us\": %.3f, "
-                   "\"p99_us\": %.3f}%s\n",
+                   "\"writer\": %s, \"refresh\": %s, \"qps\": %.0f, "
+                   "\"p50_us\": %.3f, \"p99_us\": %.3f, "
+                   "\"refreshes\": %llu}%s\n",
                    r.scenario.name.c_str(), r.scenario.threads,
                    r.scenario.batched ? "true" : "false",
-                   r.scenario.with_writer ? "true" : "false", r.qps, r.p50_us,
-                   r.p99_us, i + 1 < results.size() ? "," : "");
+                   r.scenario.with_writer ? "true" : "false",
+                   r.scenario.with_refresh ? "true" : "false", r.qps,
+                   r.p50_us, r.p99_us,
+                   static_cast<unsigned long long>(r.refreshes),
+                   i + 1 < results.size() ? "," : "");
     }
     std::fprintf(json, "  ],\n");
     std::fprintf(json, "  \"batch_amortization_x\": %.3f,\n",

@@ -1,5 +1,9 @@
 #include "core/maintenance.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "core/sampling.h"
 #include "core/validation.h"
 
 namespace mscm::core {
@@ -21,6 +25,37 @@ double DriftMonitor::RecentGoodFraction() const {
 bool DriftMonitor::RebuildRecommended() const {
   if (outcomes_.size() < options_.min_outcomes) return false;
   return RecentGoodFraction() < options_.min_good_fraction;
+}
+
+std::optional<BuildReport> RederiveModel(QueryClassId class_id,
+                                         ObservationSource& source,
+                                         const RederiveOptions& options,
+                                         const ObservationSet& recent) {
+  try {
+    const VariableSet variables = VariableSet::ForClass(class_id);
+    const int target =
+        options.build.sample_size > 0
+            ? options.build.sample_size
+            : RecommendedSampleSize(
+                  static_cast<int>(variables.BasicIndices().size()),
+                  options.build.expected_max_states);
+    const size_t reuse = std::min(
+        {recent.size(), options.max_reused,
+         static_cast<size_t>(static_cast<double>(target) *
+                             options.max_reused_fraction)});
+    const int fresh = std::max(1, target - static_cast<int>(reuse));
+    ObservationSet observations = DrawObservations(source, fresh);
+    observations.insert(observations.end(), recent.end() - static_cast<long>(reuse),
+                        recent.end());
+    BuildReport report = BuildCostModelFromObservations(
+        class_id, std::move(observations), options.build);
+    if (!std::isfinite(report.model.r_squared())) return std::nullopt;
+    return report;
+  } catch (...) {
+    // A failing source (dead site, timeout modeled as a throw) or a build
+    // that cannot fit must degrade, not crash, the refresh path.
+    return std::nullopt;
+  }
 }
 
 bool ManagedCostModel::RebuildIfDrifting(ObservationSource& source) {

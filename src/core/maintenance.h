@@ -13,6 +13,7 @@
 #define MSCM_CORE_MAINTENANCE_H_
 
 #include <deque>
+#include <optional>
 
 #include "core/model_builder.h"
 
@@ -88,6 +89,30 @@ class ManagedCostModel {
   DriftMonitor monitor_;
   int rebuild_count_ = 0;
 };
+
+// Online re-derivation (the runtime refresh daemon's build step): a
+// failure-isolating wrapper over the model-building pipeline that can warm-
+// start from observations the serving path has already collected, so a
+// refresh pays for fewer fresh sample queries than a from-scratch build.
+struct RederiveOptions {
+  ModelBuildOptions build;
+  // Caps on prior (feedback) observations mixed into the training set:
+  // at most `max_reused` of them, and at most `max_reused_fraction` of the
+  // total sample — the rest is freshly drawn so the new model always sees
+  // the *current* environment.
+  size_t max_reused = 128;
+  double max_reused_fraction = 0.5;
+};
+
+// Draws a fresh sample from `source`, mixes in the newest `recent`
+// observations under the options' caps, and runs the full pipeline.
+// Returns nullopt instead of propagating failure: a source that throws, an
+// empty sample, or a degenerate fit (non-finite R²) must not take down a
+// background refresh — the caller keeps serving the old model.
+std::optional<BuildReport> RederiveModel(QueryClassId class_id,
+                                         ObservationSource& source,
+                                         const RederiveOptions& options,
+                                         const ObservationSet& recent = {});
 
 }  // namespace mscm::core
 

@@ -37,6 +37,11 @@ void MdbsAgent::ResampleLoad() {
   site_->ResampleLoad();
 }
 
+void MdbsAgent::SetEnvironmentShift(const sim::EnvironmentShift& shift) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  site_->SetEnvironmentShift(shift);
+}
+
 std::function<double()> MdbsAgent::ProbeFn() {
   return [this] { return RunProbingQuery(); };
 }

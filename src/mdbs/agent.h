@@ -40,6 +40,9 @@ class MdbsAgent {
   void SetLoadProcesses(double n);
   void ResampleLoad();
 
+  // Applies an occasionally-changing environment factor (see LocalDbs).
+  void SetEnvironmentShift(const sim::EnvironmentShift& shift);
+
   // A ProbeFn bound to this agent (see runtime::ContentionTracker).
   std::function<double()> ProbeFn();
 

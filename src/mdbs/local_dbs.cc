@@ -51,8 +51,9 @@ LocalDbs::LocalDbs(const LocalDbsConfig& config)
       probing_index_range_(MakeProbingIndexRange()) {}
 
 double LocalDbs::CostOf(const engine::WorkCounters& work) {
-  const sim::SlowdownFactors slowdown = sim::ComputeSlowdown(
+  sim::SlowdownFactors slowdown = sim::ComputeSlowdown(
       load_builder_.Current(), config_.profile, config_.machine);
+  if (!shift_.IsIdentity()) slowdown = sim::ApplyShift(slowdown, shift_);
   return sim::SimulateElapsedSeconds(work, slowdown, config_.profile, rng_);
 }
 

@@ -72,6 +72,15 @@ class LocalDbs {
   // derived for the old machine drift until rebuilt.
   void ReconfigureMachine(const sim::MachineSpec& machine);
 
+  // A milder occasionally-changing factor: a persistent multiplicative
+  // shift of the cost surface (degraded disk, scaled CPU). Applied to every
+  // subsequent query — including the probing query, so the gauge partially
+  // follows, but models derived pre-shift misestimate until re-derived.
+  void SetEnvironmentShift(const sim::EnvironmentShift& shift) {
+    shift_ = shift;
+  }
+  const sim::EnvironmentShift& environment_shift() const { return shift_; }
+
   // Plan visibility (used for query classification at the global level; in
   // the real system this is inferred from catalog knowledge of indexes).
   engine::SelectPlan PlanSelect(const engine::SelectQuery& query) const;
@@ -94,6 +103,7 @@ class LocalDbs {
   sim::SystemMonitor monitor_;
   engine::SelectQuery probing_scan_;
   engine::SelectQuery probing_index_range_;
+  sim::EnvironmentShift shift_;
   double simulated_time_ = 0.0;
 };
 

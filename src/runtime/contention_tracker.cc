@@ -22,9 +22,16 @@ ContentionTracker::~ContentionTracker() { Stop(); }
 void ContentionTracker::Start() {
   if (config_.probe_interval.count() <= 0) return;
   std::lock_guard<std::mutex> lock(thread_mutex_);
+  // A joinable thread_ is a live loop: Stop() moves the thread out under
+  // this mutex in the same critical section that raises stop_.
   if (thread_.joinable()) return;
   stop_ = false;
-  thread_ = std::thread([this] { RunLoop(); });
+  // Stamp a fresh generation. If a Stop() is mid-join on the old loop, the
+  // old loop exits on its own generation check — resetting stop_ here
+  // cannot resurrect it, and the new loop below is a distinct thread the
+  // stopper never waits for.
+  const uint64_t generation = ++generation_;
+  thread_ = std::thread([this, generation] { RunLoop(generation); });
 }
 
 void ContentionTracker::Stop() {
@@ -33,6 +40,9 @@ void ContentionTracker::Stop() {
     std::lock_guard<std::mutex> lock(thread_mutex_);
     if (!thread_.joinable()) return;
     stop_ = true;
+    // Supersede the running loop's generation so a concurrent Start() — which
+    // resets stop_ — still terminates it and the join below cannot hang.
+    ++generation_;
     stop_cv_.notify_all();
     to_join = std::move(thread_);
   }
@@ -40,6 +50,12 @@ void ContentionTracker::Stop() {
 }
 
 bool ContentionTracker::ProbeOnce() {
+  // The sequence ticket is taken *before* the probe runs: publish order then
+  // follows probe-start order, and a slow probe racing a faster, later one
+  // (manual ProbeNow vs the background loop) is detected at publish time.
+  const uint64_t sequence =
+      next_sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+
   // The probe runs outside the cache mutex: probing can take seconds and
   // readers must keep getting the previous reading meanwhile.
   const auto started = std::chrono::steady_clock::now();
@@ -55,8 +71,15 @@ bool ContentionTracker::ProbeOnce() {
     return false;
   }
 
-  const uint64_t sequence = probes_.fetch_add(1, std::memory_order_relaxed) + 1;
+  probes_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
+  if (reading_.has_value && sequence <= reading_.sequence) {
+    // A probe that started after this one already published: keep the newer
+    // reading (and its timestamp — republishing would serve old contention
+    // as fresh).
+    discarded_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
   reading_.has_value = true;
   reading_.probing_cost = cost;
   reading_.state = mapper_ ? mapper_(cost) : -1;
@@ -84,12 +107,15 @@ void ContentionTracker::SetStateMapper(std::function<int(double)> mapper) {
   }
 }
 
-void ContentionTracker::RunLoop() {
+void ContentionTracker::RunLoop(uint64_t generation) {
   for (;;) {
     ProbeOnce();
     std::unique_lock<std::mutex> lock(thread_mutex_);
-    if (stop_cv_.wait_for(lock, config_.probe_interval,
-                          [this] { return stop_; })) {
+    // Exit on stop *or* when a newer Start/Stop superseded this loop's
+    // generation (a racing Start may have reset stop_ to false already).
+    if (stop_cv_.wait_for(lock, config_.probe_interval, [this, generation] {
+          return stop_ || generation_ != generation;
+        })) {
       return;
     }
   }

@@ -43,7 +43,10 @@ struct ProbeReading {
   int state = -1;           // -1 when no state mapper is installed
   bool stale = false;       // age > TTL at read time
   std::chrono::nanoseconds age{0};
-  uint64_t sequence = 0;    // successful probes so far
+  // Probe-start order of the published reading. A probe only publishes if
+  // its sequence is newer than the published one, so a slow probe that
+  // started before the current reading was taken can never clobber it.
+  uint64_t sequence = 0;
 };
 
 class ContentionTracker {
@@ -63,7 +66,11 @@ class ContentionTracker {
 
   // Starts / stops the background prober (no-ops when probe_interval is 0
   // or the thread is already in the requested state). The thread probes
-  // once immediately, then every probe_interval.
+  // once immediately, then every probe_interval. Start and Stop may race
+  // freely from any threads: each Start stamps a new generation, and a loop
+  // exits as soon as its generation is superseded, so a Start landing in the
+  // middle of a Stop can neither resurrect the old loop nor deadlock the
+  // join (it spawns a fresh loop that the stopper does not wait for).
   void Start();
   void Stop();
 
@@ -81,10 +88,16 @@ class ContentionTracker {
   uint64_t failures() const {
     return failures_.load(std::memory_order_relaxed);
   }
+  // Successful probes whose reading was discarded because a newer probe
+  // published first (out-of-order completion).
+  uint64_t discarded() const {
+    return discarded_.load(std::memory_order_relaxed);
+  }
   const std::string& site() const { return config_.site; }
 
  private:
-  void RunLoop();
+  // Loops until `generation` is superseded by a newer Start/Stop.
+  void RunLoop(uint64_t generation);
 
   const ContentionTrackerConfig config_;
   const ProbeFn probe_;
@@ -97,10 +110,14 @@ class ContentionTracker {
 
   std::atomic<uint64_t> probes_{0};
   std::atomic<uint64_t> failures_{0};
+  std::atomic<uint64_t> discarded_{0};
+  // Probe-start tickets; compared against reading_.sequence at publish time.
+  std::atomic<uint64_t> next_sequence_{0};
 
-  std::mutex thread_mutex_;  // guards thread_ + stop_ transitions
+  std::mutex thread_mutex_;  // guards thread_ / stop_ / generation_
   std::condition_variable stop_cv_;
   bool stop_ = false;
+  uint64_t generation_ = 0;  // bumped by every Start and Stop
   std::thread thread_;
 };
 

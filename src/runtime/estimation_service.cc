@@ -23,6 +23,7 @@ const char* ToString(EstimateStatus s) {
 EstimationService::EstimationService(EstimationServiceConfig config)
     : config_(config),
       trackers_(std::make_shared<const TrackerMap>()),
+      stale_keys_(std::make_shared<const StaleKeySet>()),
       pool_(config.worker_threads) {}
 
 EstimationService::~EstimationService() {
@@ -35,8 +36,13 @@ void EstimationService::RegisterModel(const std::string& site,
   // Capture the partition before the model moves into the catalog; the
   // tracker's informational state field follows the newest model per site.
   const core::ContentionStates states = model.states();
+  const core::QueryClassId class_id = model.class_id();
+  std::lock_guard<std::mutex> lock(control_mutex_);
   catalog_.Register(site, std::move(model));
   counters_.Local().catalog_swaps.fetch_add(1, std::memory_order_relaxed);
+  newest_class_[site] = class_id;
+  // A freshly registered model is by definition not stale.
+  SetModelStaleLocked(site, class_id, false);
   if (auto tracker = FindTracker(site)) {
     tracker->SetStateMapper(
         [states](double cost) { return states.StateOf(cost); });
@@ -53,22 +59,30 @@ void EstimationService::RegisterSite(const std::string& site,
   auto tracker = std::make_shared<ContentionTracker>(
       std::move(tracker_config), std::move(probe), &probe_latency_);
 
-  // If this site already has models, wire the newest class partition in.
-  const auto snapshot = catalog_.snapshot();
-  for (const auto& [entry_site, class_id] : snapshot->Entries()) {
-    if (entry_site != site) continue;
-    const core::CostModel* model = snapshot->Find(entry_site, class_id);
-    const core::ContentionStates states = model->states();
-    tracker->SetStateMapper(
-        [states](double cost) { return states.StateOf(cost); });
+  std::lock_guard<std::mutex> lock(control_mutex_);
+
+  // Publish the tracker before wiring its partition. RegisterModel holds
+  // the same mutex, so no registration can land between publication and
+  // wiring — the old order (snapshot catalog, then publish) let a racing
+  // RegisterModel miss the tracker and leave the state mapper unset.
+  auto next = std::make_shared<TrackerMap>(*trackers_.load());
+  (*next)[site] = tracker;
+  trackers_.store(TrackerMapSnapshot(std::move(next)));
+
+  // Wire the partition of the site's most recently registered model —
+  // deterministic, unlike iterating the catalog's (site, class) map, whose
+  // last entry depends on class-id order rather than registration order.
+  const auto newest = newest_class_.find(site);
+  if (newest != newest_class_.end()) {
+    const auto snapshot = catalog_.snapshot();
+    if (const core::CostModel* model = snapshot->Find(site, newest->second)) {
+      const core::ContentionStates states = model->states();
+      tracker->SetStateMapper(
+          [states](double cost) { return states.StateOf(cost); });
+    }
   }
 
   tracker->Start();
-
-  std::lock_guard<std::mutex> lock(trackers_mutex_);
-  auto next = std::make_shared<TrackerMap>(*trackers_.load());
-  (*next)[site] = std::move(tracker);
-  trackers_.store(TrackerMapSnapshot(std::move(next)));
 }
 
 void EstimationService::RegisterSite(mdbs::MdbsAgent* agent) {
@@ -84,6 +98,34 @@ bool EstimationService::ProbeNow(const std::string& site) {
 ProbeReading EstimationService::CurrentProbe(const std::string& site) const {
   auto tracker = FindTracker(site);
   return tracker == nullptr ? ProbeReading{} : tracker->Current();
+}
+
+void EstimationService::SetModelStale(const std::string& site,
+                                      core::QueryClassId class_id,
+                                      bool stale) {
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  SetModelStaleLocked(site, class_id, stale);
+}
+
+void EstimationService::SetModelStaleLocked(const std::string& site,
+                                            core::QueryClassId class_id,
+                                            bool stale) {
+  const auto key = std::make_pair(site, static_cast<int>(class_id));
+  const StaleKeySnapshot current = stale_keys_.load();
+  if ((current->count(key) > 0) == stale) return;
+  auto next = std::make_shared<StaleKeySet>(*current);
+  if (stale) {
+    next->insert(key);
+  } else {
+    next->erase(key);
+  }
+  stale_keys_.store(StaleKeySnapshot(std::move(next)));
+}
+
+bool EstimationService::IsModelStale(const std::string& site,
+                                     core::QueryClassId class_id) const {
+  return stale_keys_.load()->count(
+             std::make_pair(site, static_cast<int>(class_id))) > 0;
 }
 
 std::shared_ptr<ContentionTracker> EstimationService::FindTracker(
@@ -113,6 +155,10 @@ void EstimationService::FlushCounts(const LocalCounts& counts) const {
   if (counts.no_model > 0) {
     shard.no_model.fetch_add(counts.no_model, std::memory_order_relaxed);
   }
+  if (counts.stale_model_served > 0) {
+    shard.stale_model_served.fetch_add(counts.stale_model_served,
+                                       std::memory_order_relaxed);
+  }
 }
 
 bool EstimationService::ResolveProbe(const EstimateRequest& request,
@@ -139,8 +185,9 @@ bool EstimationService::ResolveProbe(const EstimateRequest& request,
 }
 
 EstimateResponse EstimationService::EstimateWithSnapshot(
-    const core::GlobalCatalog& catalog, const EstimateRequest& request,
-    const ProbeReading* cached_reading, LocalCounts& counts) const {
+    const core::GlobalCatalog& catalog, const StaleKeySet& stale_keys,
+    const EstimateRequest& request, const ProbeReading* cached_reading,
+    LocalCounts& counts) const {
   EstimateResponse response;
   ++counts.requests;
 
@@ -149,6 +196,12 @@ EstimateResponse EstimationService::EstimateWithSnapshot(
     ++counts.no_model;
     response.status = EstimateStatus::kNoModel;
     return response;
+  }
+  if (!stale_keys.empty() &&
+      stale_keys.count(std::make_pair(
+          request.site, static_cast<int>(request.class_id))) > 0) {
+    response.stale_model = true;
+    ++counts.stale_model_served;
   }
   if (!ResolveProbe(request, cached_reading, response, counts)) {
     return response;
@@ -165,6 +218,7 @@ EstimateResponse EstimationService::Estimate(
     const EstimateRequest& request) const {
   const auto started = std::chrono::steady_clock::now();
   const SnapshotCatalog::Snapshot snapshot = catalog_.snapshot();
+  const StaleKeySnapshot stale_keys = stale_keys_.load();
 
   ProbeReading reading;
   const ProbeReading* cached = nullptr;
@@ -176,7 +230,7 @@ EstimateResponse EstimationService::Estimate(
   }
   LocalCounts counts;
   EstimateResponse response =
-      EstimateWithSnapshot(*snapshot, request, cached, counts);
+      EstimateWithSnapshot(*snapshot, *stale_keys, request, cached, counts);
   FlushCounts(counts);
   estimate_latency_.Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
       std::chrono::steady_clock::now() - started));
@@ -193,6 +247,7 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
   // One snapshot and one probe fetch per distinct site for the whole batch:
   // the per-request work is then pure arithmetic over immutable data.
   const SnapshotCatalog::Snapshot snapshot = catalog_.snapshot();
+  const StaleKeySnapshot stale_keys = stale_keys_.load();
   std::map<std::string, ProbeReading> site_probes;
   for (const EstimateRequest& request : requests) {
     if (request.probing_cost >= 0.0) continue;
@@ -221,6 +276,7 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
           bool fast = false;
           int state = -1;
           bool stale = false;
+          bool stale_model = false;  // key flagged by the refresh daemon
           double probing_cost = 0.0;
           size_t min_features = 0;  // required feature-vector length
           std::vector<double> coef;
@@ -243,6 +299,11 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
             fresh.site = &request.site;
             fresh.class_id = request.class_id;
             fresh.model = snapshot->Find(request.site, request.class_id);
+            if (fresh.model != nullptr && !stale_keys->empty()) {
+              fresh.stale_model =
+                  stale_keys->count(std::make_pair(
+                      request.site, static_cast<int>(request.class_id))) > 0;
+            }
             const auto it = site_probes.find(request.site);
             if (it != site_probes.end()) fresh.probe = &it->second;
             if (fresh.model != nullptr && fresh.probe != nullptr &&
@@ -277,6 +338,10 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
             response.probing_cost = entry->probing_cost;
             response.stale_probe = entry->stale;
             response.state = entry->state;
+            if (entry->stale_model) {
+              response.stale_model = true;
+              ++counts.stale_model_served;
+            }
             if (entry->stale) {
               ++counts.probe_cache_stale;
             } else {
@@ -296,6 +361,10 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
             ++counts.no_model;
             response.status = EstimateStatus::kNoModel;
             continue;
+          }
+          if (entry->stale_model) {
+            response.stale_model = true;
+            ++counts.stale_model_served;
           }
           const ProbeReading* cached =
               request.probing_cost < 0.0 ? entry->probe : nullptr;
@@ -350,7 +419,9 @@ RuntimeStatsSnapshot EstimationService::Stats() const {
   for (const auto& [site, tracker] : *map) {
     out.probes += tracker->probes() + tracker->failures();
     out.probe_failures += tracker->failures();
+    out.probe_discards += tracker->discarded();
   }
+  out.stale_models = stale_keys_.load()->size();
   out.estimate_latency = estimate_latency_.Snap();
   out.probe_latency = probe_latency_.Snap();
   return out;

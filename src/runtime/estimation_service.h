@@ -25,7 +25,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/catalog.h"
@@ -77,6 +79,10 @@ struct EstimateResponse {
   double probing_cost = 0.0;  // the probe value actually used
   int state = -1;             // contention state under the request's model
   bool stale_probe = false;   // cached probe exceeded its TTL
+  // The (site, class) model is flagged stale: the refresh daemon has
+  // detected drift and a re-derivation is pending or backing off. The
+  // estimate is still the best available — callers should widen error bars.
+  bool stale_model = false;
 
   bool ok() const { return status == EstimateStatus::kOk; }
 };
@@ -106,12 +112,17 @@ class EstimationService {
 
   // Registers (or replaces) the model for (site, model.class_id()) by
   // publishing a new catalog snapshot. Also refreshes the site tracker's
-  // state partition. Safe to call while estimates are being served.
+  // state partition and clears any stale-model flag for the key. Safe to
+  // call while estimates are being served; registrations serialize on the
+  // control mutex, so a registration can never slip between RegisterSite's
+  // tracker publication and its state-mapper wiring.
   void RegisterModel(const std::string& site, core::CostModel model);
 
   // Registers a site with an arbitrary probe (see ContentionTracker). If
   // the service config has a probe interval, the background prober starts
-  // immediately. Re-registering a site replaces its tracker.
+  // immediately. Re-registering a site replaces its tracker. The tracker's
+  // state partition is wired from the site's most recently registered model
+  // (deterministic, regardless of how many classes are registered).
   void RegisterSite(const std::string& site, ContentionTracker::ProbeFn probe);
 
   // Convenience: register a site probed through its MDBS agent.
@@ -122,6 +133,15 @@ class EstimationService {
 
   // Current cached reading for a site (default ProbeReading if unknown).
   ProbeReading CurrentProbe(const std::string& site) const;
+
+  // Marks (or unmarks) the (site, class) model as stale: responses for the
+  // key carry stale_model=true until a new model is registered or the flag
+  // is cleared. Set by the ModelRefreshDaemon when drift trips; registering
+  // a model for the key clears it automatically.
+  void SetModelStale(const std::string& site, core::QueryClassId class_id,
+                     bool stale);
+  bool IsModelStale(const std::string& site,
+                    core::QueryClassId class_id) const;
 
   // ---- Data plane (estimates) ---------------------------------------------
 
@@ -149,10 +169,19 @@ class EstimationService {
 
   size_t num_worker_threads() const { return pool_.num_threads(); }
 
+  // The service's worker pool — shared with the ModelRefreshDaemon so
+  // background re-derivations ride the same threads as batch fan-out.
+  // With zero workers, submitted tasks run inline on the caller.
+  ThreadPool& worker_pool() const { return pool_; }
+
  private:
   using TrackerMap =
       std::map<std::string, std::shared_ptr<ContentionTracker>>;
   using TrackerMapSnapshot = std::shared_ptr<const TrackerMap>;
+  // (site, class id) keys currently flagged stale, published copy-on-write
+  // like the tracker map so the estimate path reads it lock-free.
+  using StaleKeySet = std::set<std::pair<std::string, int>>;
+  using StaleKeySnapshot = std::shared_ptr<const StaleKeySet>;
 
   // Counter deltas accumulated on the stack during a request or chunk and
   // flushed to the sharded counters once — the hot path performs no atomic
@@ -163,6 +192,7 @@ class EstimationService {
     uint64_t probe_cache_stale = 0;
     uint64_t probe_cache_misses = 0;
     uint64_t no_model = 0;
+    uint64_t stale_model_served = 0;
   };
 
   void FlushCounts(const LocalCounts& counts) const;
@@ -177,15 +207,28 @@ class EstimationService {
                     EstimateResponse& response, LocalCounts& counts) const;
 
   EstimateResponse EstimateWithSnapshot(const core::GlobalCatalog& catalog,
+                                        const StaleKeySet& stale_keys,
                                         const EstimateRequest& request,
                                         const ProbeReading* cached_reading,
                                         LocalCounts& counts) const;
 
+  // Flips the stale flag for a key; caller must hold control_mutex_.
+  void SetModelStaleLocked(const std::string& site,
+                           core::QueryClassId class_id, bool stale);
+
   const EstimationServiceConfig config_;
   SnapshotCatalog catalog_;
 
-  std::mutex trackers_mutex_;  // writers only; readers load the snapshot
+  // Serializes the control plane: model registration, site registration and
+  // stale-flag flips. Estimates never take it — they read the published
+  // snapshots. Holding one mutex across a whole RegisterSite/RegisterModel
+  // is what closes the tracker-publication vs. mapper-wiring race.
+  mutable std::mutex control_mutex_;
   AtomicSharedPtr<const TrackerMap> trackers_;
+  AtomicSharedPtr<const StaleKeySet> stale_keys_;
+  // Last registered model class per site (control_mutex_): the partition
+  // RegisterSite wires into a new tracker.
+  std::map<std::string, core::QueryClassId> newest_class_;
 
   mutable ThreadPool pool_;
   mutable RuntimeCounters counters_;

@@ -87,7 +87,8 @@ std::string LatencyHistogram::Snapshot::ToString() const {
 std::string RuntimeStatsSnapshot::ToString() const {
   std::string out = Format(
       "requests=%llu batches=%llu probe_cache{hit=%llu stale=%llu miss=%llu} "
-      "no_model=%llu probes=%llu probe_failures=%llu catalog_swaps=%llu\n",
+      "no_model=%llu probes=%llu probe_failures=%llu probe_discards=%llu "
+      "catalog_swaps=%llu stale_models=%llu stale_model_served=%llu\n",
       static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(batches),
       static_cast<unsigned long long>(probe_cache_hits),
@@ -96,7 +97,10 @@ std::string RuntimeStatsSnapshot::ToString() const {
       static_cast<unsigned long long>(no_model),
       static_cast<unsigned long long>(probes),
       static_cast<unsigned long long>(probe_failures),
-      static_cast<unsigned long long>(catalog_swaps));
+      static_cast<unsigned long long>(probe_discards),
+      static_cast<unsigned long long>(catalog_swaps),
+      static_cast<unsigned long long>(stale_models),
+      static_cast<unsigned long long>(stale_model_served));
   out += "estimate latency: " + estimate_latency.ToString() + "\n";
   out += "probe latency:    " + probe_latency.ToString();
   return out;
@@ -118,6 +122,8 @@ void RuntimeCounters::AggregateInto(RuntimeStatsSnapshot& out) const {
     out.probes += s.probes.load(std::memory_order_relaxed);
     out.probe_failures += s.probe_failures.load(std::memory_order_relaxed);
     out.catalog_swaps += s.catalog_swaps.load(std::memory_order_relaxed);
+    out.stale_model_served +=
+        s.stale_model_served.load(std::memory_order_relaxed);
   }
 }
 

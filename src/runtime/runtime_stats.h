@@ -62,7 +62,10 @@ struct RuntimeStatsSnapshot {
   uint64_t no_model = 0;           // (site, class) had no registered model
   uint64_t probes = 0;             // probing queries run by trackers
   uint64_t probe_failures = 0;     // probes that errored (kept last state)
+  uint64_t probe_discards = 0;     // probes outrun by a newer one (not published)
   uint64_t catalog_swaps = 0;      // snapshot publications (model registers)
+  uint64_t stale_model_served = 0; // estimates served from a drift-flagged model
+  uint64_t stale_models = 0;       // gauge: (site, class) keys currently stale
 
   LatencyHistogram::Snapshot estimate_latency;
   LatencyHistogram::Snapshot probe_latency;
@@ -86,6 +89,7 @@ class RuntimeCounters {
     std::atomic<uint64_t> probes{0};
     std::atomic<uint64_t> probe_failures{0};
     std::atomic<uint64_t> catalog_swaps{0};
+    std::atomic<uint64_t> stale_model_served{0};
   };
 
   // The calling thread's shard (stable per thread, relaxed increments).

@@ -55,4 +55,15 @@ SlowdownFactors ComputeSlowdown(const MachineLoad& load,
   return f;
 }
 
+SlowdownFactors ApplyShift(const SlowdownFactors& factors,
+                           const EnvironmentShift& shift) {
+  SlowdownFactors f = factors;
+  f.init_factor *= shift.init_scale;
+  f.seq_io_factor *= shift.io_scale;
+  f.rand_io_factor *= shift.io_scale;
+  f.cpu_factor *= shift.cpu_scale;
+  f.buffer_hit = std::clamp(f.buffer_hit * shift.buffer_hit_scale, 0.01, 1.0);
+  return f;
+}
+
 }  // namespace mscm::sim

@@ -39,6 +39,43 @@ SlowdownFactors ComputeSlowdown(const MachineLoad& load,
                                 const PerformanceProfile& profile,
                                 const MachineSpec& machine = MachineSpec{});
 
+// An occasionally-changing environment factor (paper §2): a persistent
+// multiplicative change to the machine's cost surface that the contention
+// gauge alone cannot fully track — a degraded/upgraded disk, a CPU
+// governor change, a shrunken buffer pool. Applied on top of the
+// load-derived slowdown, it shifts every cost the site produces and makes
+// models derived before the shift drift until re-derived.
+struct EnvironmentShift {
+  double init_scale = 1.0;        // scales initialization slowdown
+  double io_scale = 1.0;          // scales both I/O slowdowns
+  double cpu_scale = 1.0;         // scales the CPU slowdown
+  double buffer_hit_scale = 1.0;  // scales the buffer-pool hit ratio
+
+  bool IsIdentity() const {
+    return init_scale == 1.0 && io_scale == 1.0 && cpu_scale == 1.0 &&
+           buffer_hit_scale == 1.0;
+  }
+
+  // A disk that got `factor`x slower (wear, RAID rebuild, noisy neighbor).
+  static EnvironmentShift DegradedDisk(double factor) {
+    EnvironmentShift s;
+    s.io_scale = factor;
+    s.init_scale = 0.5 * (1.0 + factor);  // init pays one I/O round trip
+    return s;
+  }
+
+  // CPU service time scaled by `factor` (frequency scaling, co-tenancy).
+  static EnvironmentShift ScaledCpu(double factor) {
+    EnvironmentShift s;
+    s.cpu_scale = factor;
+    return s;
+  }
+};
+
+// Applies `shift` to load-derived factors (hit ratio clamped to (0, 1]).
+SlowdownFactors ApplyShift(const SlowdownFactors& factors,
+                           const EnvironmentShift& shift);
+
 }  // namespace mscm::sim
 
 #endif  // MSCM_SIM_CONTENTION_MODEL_H_

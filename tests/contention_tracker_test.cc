@@ -128,5 +128,103 @@ TEST(ContentionTrackerTest, BackgroundProberRunsUntilStopped) {
   EXPECT_TRUE(tracker.Current().has_value);
 }
 
+// Regression: Start and Stop used to race — Stop could read/join thread_
+// while a concurrent Start was assigning it (a TSan-visible data race), and
+// a Stop racing a Start could leave the new loop running with stop_ reset.
+// Start/Stop now serialize on a mutex and a generation counter supersedes
+// older loops. Run under MSCM_SANITIZE=thread to verify.
+TEST(ContentionTrackerTest, ConcurrentStartStopIsSafe) {
+  ContentionTrackerConfig config;
+  config.site = "race";
+  config.ttl = seconds(5);
+  config.probe_interval = std::chrono::microseconds(200);
+  ContentionTracker tracker(config, [] { return 0.3; });
+
+  constexpr int kIters = 200;
+  std::thread starter([&] {
+    for (int i = 0; i < kIters; ++i) tracker.Start();
+  });
+  std::thread stopper([&] {
+    for (int i = 0; i < kIters; ++i) tracker.Stop();
+  });
+  starter.join();
+  stopper.join();
+
+  // Whatever interleaving happened, a final Stop leaves no loop running.
+  tracker.Stop();
+  const uint64_t frozen = tracker.probes() + tracker.failures();
+  std::this_thread::sleep_for(milliseconds(5));
+  EXPECT_EQ(tracker.probes() + tracker.failures(), frozen);
+}
+
+TEST(ContentionTrackerTest, RestartAfterStopResumesProbing) {
+  ContentionTrackerConfig config;
+  config.site = "restart";
+  config.ttl = seconds(5);
+  config.probe_interval = milliseconds(1);
+  ContentionTracker tracker(config, [] { return 0.3; });
+
+  tracker.Start();
+  const auto deadline = std::chrono::steady_clock::now() + seconds(10);
+  while (tracker.probes() < 1 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  tracker.Stop();
+  const uint64_t after_first_run = tracker.probes();
+  EXPECT_GE(after_first_run, 1u);
+
+  tracker.Start();
+  while (tracker.probes() < after_first_run + 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  tracker.Stop();
+  EXPECT_GT(tracker.probes(), after_first_run);
+}
+
+// Regression: a probe that started earlier but finished later used to
+// overwrite the fresher reading (and its timestamp) published by a faster,
+// newer probe. Readings now carry the probe-*start* sequence and publication
+// is skipped when the cached reading is newer.
+TEST(ContentionTrackerTest, SlowProbeDoesNotClobberNewerReading) {
+  FakeClock clock;
+  std::atomic<int> calls{0};
+  std::atomic<bool> release_slow{false};
+  ContentionTracker tracker(ManualConfig(&clock, seconds(60)),
+                            [&]() -> double {
+                              if (calls.fetch_add(1) == 0) {
+                                // First (slow) probe: measured under the old
+                                // environment, delivered late.
+                                while (!release_slow.load()) {
+                                  std::this_thread::yield();
+                                }
+                                return 0.1;
+                              }
+                              return 0.9;
+                            });
+
+  std::thread slow([&] { EXPECT_TRUE(tracker.ProbeOnce()); });
+  while (calls.load() < 1) std::this_thread::yield();
+
+  // A newer, faster probe completes and publishes first.
+  ASSERT_TRUE(tracker.ProbeOnce());
+  EXPECT_DOUBLE_EQ(tracker.Current().probing_cost, 0.9);
+  EXPECT_EQ(tracker.Current().sequence, 2u);
+
+  clock.Advance(seconds(3));  // age accrues on the published reading
+
+  release_slow.store(true);
+  slow.join();
+
+  // The late result was discarded: value, sequence and age all belong to
+  // the newer probe.
+  const ProbeReading reading = tracker.Current();
+  EXPECT_DOUBLE_EQ(reading.probing_cost, 0.9);
+  EXPECT_EQ(reading.sequence, 2u);
+  EXPECT_GE(reading.age, seconds(3));
+  EXPECT_EQ(tracker.probes(), 2u);
+  EXPECT_EQ(tracker.discarded(), 1u);
+}
+
 }  // namespace
 }  // namespace mscm::runtime

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-2 concurrency check: build the tree under ThreadSanitizer and run the
+# concurrency-sensitive suites (thread pool, snapshot catalog, contention
+# tracker, estimation service, model-refresh daemon, stress). One command:
+#
+#   tests/run_sanitized.sh            # thread sanitizer (default)
+#   MSCM_SANITIZE=address tests/run_sanitized.sh   # asan instead
+#
+# Exits non-zero on any test failure or sanitizer report.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+SANITIZER="${MSCM_SANITIZE:-thread}"
+BUILD_DIR="${REPO_ROOT}/build-${SANITIZER/thread/tsan}"
+FILTER='(ThreadPool|SnapshotCatalog|ContentionTracker|EstimationService|ModelRefresh|RuntimeStress)'
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DMSCM_SANITIZE="${SANITIZER}" \
+  > /dev/null
+
+cmake --build "${BUILD_DIR}" -j \
+  --target thread_pool_test snapshot_catalog_test contention_tracker_test \
+           runtime_service_test runtime_refresh_test runtime_stress_test
+
+# halt_on_error makes a sanitizer report fail the test, not just print.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
+ctest --test-dir "${BUILD_DIR}" -R "${FILTER}" --output-on-failure -j "$(nproc)"

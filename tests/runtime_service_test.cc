@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "common/rng.h"
 #include "runtime/clock.h"
@@ -204,6 +205,81 @@ TEST(EstimationServiceTest, ModelReplacementIsVisibleToNewRequests) {
   EXPECT_NEAR(service.Estimate(Request("a", cls, 3.0, 0.5)).estimate_seconds,
               15.0, 1e-6);
   EXPECT_EQ(service.Stats().catalog_swaps, 2u);
+}
+
+// Regression: RegisterSite used to wire the tracker's state partition from
+// whatever Find() returned first among the site's registered classes — an
+// arbitrary pick when several classes were registered. It now always uses
+// the site's most recently registered model.
+TEST(EstimationServiceTest, RegisterSiteWiresNewestModelPartition) {
+  EstimationService service;
+  const auto g3 = QueryClassId::kJoinNoIndex;
+  const auto g1 = QueryClassId::kUnarySeqScan;
+  // Two models with different partitions; G1 (single state) is newest.
+  service.RegisterModel("a", test::PiecewiseLinearModel(g3, {2.0, 5.0}));
+  service.RegisterModel("a", test::PiecewiseLinearModel(g1, {2.0}));
+
+  service.RegisterSite("a", [] { return 1.5; });
+  ASSERT_TRUE(service.ProbeNow("a"));
+
+  // Under G1's single-state partition, probe 1.5 is state 0. Under G3's
+  // two-state partition (the stale wiring) it would be state 1.
+  EXPECT_EQ(service.CurrentProbe("a").state, 0);
+}
+
+// Regression: RegisterModel could interleave with RegisterSite between its
+// tracker publication and its mapper wiring, leaving the tracker mapping
+// states with the wrong (or no) partition. Both now serialize on the
+// control mutex, and the tracker is published before it is wired. Run under
+// MSCM_SANITIZE=thread to verify.
+TEST(EstimationServiceTest, ConcurrentRegisterModelAndSiteAlwaysWire) {
+  const auto cls = QueryClassId::kUnarySeqScan;
+  const core::CostModel model = test::PiecewiseLinearModel(cls, {2.0, 5.0});
+  for (int iter = 0; iter < 50; ++iter) {
+    EstimationService service;
+    std::thread register_model(
+        [&] { service.RegisterModel("a", model); });
+    std::thread register_site(
+        [&] { service.RegisterSite("a", [] { return 1.5; }); });
+    register_model.join();
+    register_site.join();
+
+    // Whichever order won, the tracker must end up wired with the model's
+    // partition: probe 1.5 maps to state 1, never -1.
+    ASSERT_TRUE(service.ProbeNow("a"));
+    EXPECT_EQ(service.CurrentProbe("a").state, 1) << "iter " << iter;
+  }
+}
+
+TEST(EstimationServiceTest, StaleModelFlagIsServedAndCounted) {
+  EstimationService service;
+  const auto cls = QueryClassId::kUnarySeqScan;
+  service.RegisterModel("a", test::PiecewiseLinearModel(cls, {2.0}));
+
+  EXPECT_FALSE(service.IsModelStale("a", cls));
+  service.SetModelStale("a", cls, true);
+  EXPECT_TRUE(service.IsModelStale("a", cls));
+
+  // Estimates still succeed — the old model is the best available — but
+  // carry the flag, in both single and batch paths.
+  const EstimateResponse single = service.Estimate(Request("a", cls, 3.0, 0.5));
+  ASSERT_TRUE(single.ok());
+  EXPECT_TRUE(single.stale_model);
+  EXPECT_NEAR(single.estimate_seconds, 6.0, 1e-6);
+  const std::vector<EstimateResponse> batch =
+      service.EstimateBatch({Request("a", cls, 3.0, 0.5)});
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(batch[0].stale_model);
+
+  RuntimeStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.stale_models, 1u);
+  EXPECT_EQ(stats.stale_model_served, 2u);
+
+  // Registering a replacement model clears the flag.
+  service.RegisterModel("a", test::PiecewiseLinearModel(cls, {2.0}));
+  EXPECT_FALSE(service.IsModelStale("a", cls));
+  EXPECT_FALSE(service.Estimate(Request("a", cls, 3.0, 0.5)).stale_model);
+  EXPECT_EQ(service.Stats().stale_models, 0u);
 }
 
 }  // namespace
