@@ -9,6 +9,10 @@
 //   batch   x8+w — 8 readers while a writer re-registers models (CoW swaps)
 //   batch   x8+r — 8 readers while a refresh daemon, fed a stream of
 //                  drifting feedback, continuously re-derives and swaps
+//   hot     x1   — one thread, Estimate() over a small working set of
+//                  requests cycled repeatedly (cache disabled)
+//   hot x1 cached — same hot loop with the estimate cache enabled; the
+//                  derived cached_hot_loop_speedup_x is hot-cached / hot
 //
 // Emits BENCH_runtime.json with requests/sec and p50/p99 per-estimate
 // latency per scenario, plus the derived batch-amortization and
@@ -104,6 +108,8 @@ struct Scenario {
   bool batched = false;
   bool with_writer = false;
   bool with_refresh = false;
+  bool cached = false;  // enable the state-keyed estimate cache
+  bool hot = false;     // drive the cycled working-set workload
 };
 
 struct Result {
@@ -111,7 +117,8 @@ struct Result {
   double qps = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
-  uint64_t refreshes = 0;  // models re-derived + swapped during the run
+  uint64_t refreshes = 0;   // models re-derived + swapped during the run
+  uint64_t cache_hits = 0;  // estimate-cache hits (cached scenarios)
 };
 
 std::vector<runtime::EstimateRequest> MakeWorkload(size_t n) {
@@ -135,10 +142,23 @@ std::vector<runtime::EstimateRequest> MakeWorkload(size_t n) {
   return requests;
 }
 
-std::unique_ptr<runtime::EstimationService> MakeService() {
+// A planner's hot loop: a small working set of distinct requests (the
+// candidate placements under consideration) priced over and over.
+std::vector<runtime::EstimateRequest> MakeHotWorkload(size_t n) {
+  constexpr size_t kWorkingSet = 256;
+  const std::vector<runtime::EstimateRequest> distinct =
+      MakeWorkload(std::min(n, kWorkingSet));
+  std::vector<runtime::EstimateRequest> requests;
+  requests.reserve(n);
+  for (size_t i = 0; i < n; ++i) requests.push_back(distinct[i % distinct.size()]);
+  return requests;
+}
+
+std::unique_ptr<runtime::EstimationService> MakeService(bool cached) {
   runtime::EstimationServiceConfig config;
   config.probe_ttl = std::chrono::hours(1);
   config.worker_threads = 0;  // reader threads are the parallelism measured
+  if (cached) config.cache.capacity = 4096;
   auto service = std::make_unique<runtime::EstimationService>(config);
   uint64_t seed = 1;
   for (const std::string& site : {std::string("alpha"), std::string("beta")}) {
@@ -157,7 +177,7 @@ std::unique_ptr<runtime::EstimationService> MakeService() {
 
 Result Run(const Scenario& scenario,
            const std::vector<runtime::EstimateRequest>& requests) {
-  auto service = MakeService();
+  auto service = MakeService(scenario.cached);
 
   std::atomic<bool> writer_stop{false};
   std::thread writer;
@@ -261,6 +281,7 @@ Result Run(const Scenario& scenario,
   result.p50_us = stats.estimate_latency.p50_seconds * 1e6;
   result.p99_us = stats.estimate_latency.p99_seconds * 1e6;
   result.refreshes = refreshes;
+  result.cache_hits = stats.estimate_cache_hits;
   return result;
 }
 
@@ -283,6 +304,7 @@ int main() {
   const size_t n = EnvCount("MSCM_RUNTIME_BENCH_N", 40000);
   const size_t reps = EnvCount("MSCM_RUNTIME_BENCH_REPS", 3);
   const std::vector<runtime::EstimateRequest> requests = MakeWorkload(n);
+  const std::vector<runtime::EstimateRequest> hot_requests = MakeHotWorkload(n);
 
   const std::vector<Scenario> scenarios = {
       {"single x1", 1, /*batched=*/false, /*with_writer=*/false},
@@ -292,32 +314,40 @@ int main() {
       {"batch x8", 8, true, false},
       {"batch x8 + writer", 8, true, true},
       {"batch x8 + refresh", 8, true, false, /*with_refresh=*/true},
+      {"hot x1", 1, false, false, false, /*cached=*/false, /*hot=*/true},
+      {"hot x1 cached", 1, false, false, false, /*cached=*/true, /*hot=*/true},
   };
 
   std::printf("micro_runtime: %zu requests, batch size %zu, best of %zu "
               "reps, %u hardware threads\n\n",
               n, kBatch, reps, std::thread::hardware_concurrency());
 
-  TextTable table(
-      {"scenario", "requests/s", "p50 (us)", "p99 (us)", "refreshes"});
+  TextTable table({"scenario", "requests/s", "p50 (us)", "p99 (us)",
+                   "refreshes", "cache hits"});
   std::vector<Result> results;
   for (const Scenario& scenario : scenarios) {
-    results.push_back(RunBestOf(scenario, requests, reps));
+    results.push_back(
+        RunBestOf(scenario, scenario.hot ? hot_requests : requests, reps));
     const Result& r = results.back();
     table.AddRow({r.scenario.name, Format("%.0f", r.qps),
                   Format("%.2f", r.p50_us), Format("%.2f", r.p99_us),
+                  Format("%llu", static_cast<unsigned long long>(r.refreshes)),
                   Format("%llu",
-                         static_cast<unsigned long long>(r.refreshes))});
+                         static_cast<unsigned long long>(r.cache_hits))});
   }
   std::printf("%s\n", table.Render().c_str());
 
   const double single_qps = results[0].qps;
   const double batch1_qps = results[1].qps;
   const double batch8_qps = results[4].qps;
+  const double hot_qps = results[7].qps;
+  const double hot_cached_qps = results[8].qps;
   std::printf("batch amortization (batch x1 / single x1): %.2fx\n",
               batch1_qps / single_qps);
   std::printf("thread scaling (batch x8 / batch x1):      %.2fx\n",
               batch8_qps / batch1_qps);
+  std::printf("cached hot loop (hot cached / hot):        %.2fx\n",
+              hot_cached_qps / hot_qps);
 
   FILE* json = std::fopen("BENCH_runtime.json", "w");
   if (json != nullptr) {
@@ -331,22 +361,26 @@ int main() {
       const Result& r = results[i];
       std::fprintf(json,
                    "    {\"name\": \"%s\", \"threads\": %d, \"batched\": %s, "
-                   "\"writer\": %s, \"refresh\": %s, \"qps\": %.0f, "
-                   "\"p50_us\": %.3f, \"p99_us\": %.3f, "
-                   "\"refreshes\": %llu}%s\n",
+                   "\"writer\": %s, \"refresh\": %s, \"cached\": %s, "
+                   "\"qps\": %.0f, \"p50_us\": %.3f, \"p99_us\": %.3f, "
+                   "\"refreshes\": %llu, \"cache_hits\": %llu}%s\n",
                    r.scenario.name.c_str(), r.scenario.threads,
                    r.scenario.batched ? "true" : "false",
                    r.scenario.with_writer ? "true" : "false",
-                   r.scenario.with_refresh ? "true" : "false", r.qps,
+                   r.scenario.with_refresh ? "true" : "false",
+                   r.scenario.cached ? "true" : "false", r.qps,
                    r.p50_us, r.p99_us,
                    static_cast<unsigned long long>(r.refreshes),
+                   static_cast<unsigned long long>(r.cache_hits),
                    i + 1 < results.size() ? "," : "");
     }
     std::fprintf(json, "  ],\n");
     std::fprintf(json, "  \"batch_amortization_x\": %.3f,\n",
                  batch1_qps / single_qps);
-    std::fprintf(json, "  \"thread_scaling_8t_x\": %.3f\n",
+    std::fprintf(json, "  \"thread_scaling_8t_x\": %.3f,\n",
                  batch8_qps / batch1_qps);
+    std::fprintf(json, "  \"cached_hot_loop_speedup_x\": %.3f\n",
+                 hot_cached_qps / hot_qps);
     std::fprintf(json, "}\n");
     std::fclose(json);
     std::printf("\nwrote BENCH_runtime.json\n");

@@ -38,10 +38,11 @@ std::string CompactDouble(double v, int significant_digits) {
   const double a = std::fabs(v);
   if (a >= 1e-3 && a < 1e6) {
     // Choose decimals so that `significant_digits` significant figures show.
-    const int int_digits = (a >= 1.0)
-        ? static_cast<int>(std::floor(std::log10(a))) + 1
-        : 0;
-    int decimals = significant_digits - int_digits;
+    // The leading digit sits at 10^exponent; values below 1 have a negative
+    // exponent, i.e. leading zeros after the decimal point that must not
+    // consume significant figures (0.001234 at 3 digits is "0.00123").
+    const int exponent = static_cast<int>(std::floor(std::log10(a)));
+    int decimals = significant_digits - 1 - exponent;
     if (decimals < 0) decimals = 0;
     if (decimals > 9) decimals = 9;
     return Format("%.*f", decimals, v);

@@ -104,11 +104,12 @@ struct RederiveOptions {
   double max_reused_fraction = 0.5;
 };
 
-// Draws a fresh sample from `source`, mixes in the newest `recent`
-// observations under the options' caps, and runs the full pipeline.
-// Returns nullopt instead of propagating failure: a source that throws, an
-// empty sample, or a degenerate fit (non-finite R²) must not take down a
-// background refresh — the caller keeps serving the old model.
+// Draws a fresh sample from `source` (via ObservationSource::TryDraw), mixes
+// in the newest `recent` observations under the options' caps, and runs the
+// full pipeline. Returns nullopt instead of propagating failure: a source
+// whose TryDraw fails or a degenerate fit (non-finite R²) must not take down
+// a background refresh — the caller keeps serving the old model. There is no
+// catch-all: programmer errors in the pipeline abort via MSCM_CHECK.
 std::optional<BuildReport> RederiveModel(QueryClassId class_id,
                                          ObservationSource& source,
                                          const RederiveOptions& options,

@@ -111,6 +111,19 @@ ObservationSet DrawObservations(ObservationSource& source, int n) {
   return out;
 }
 
+std::optional<ObservationSet> TryDrawObservations(ObservationSource& source,
+                                                  int n) {
+  MSCM_CHECK(n > 0);
+  ObservationSet out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::optional<Observation> obs = source.TryDraw();
+    if (!obs.has_value()) return std::nullopt;
+    out.push_back(std::move(*obs));
+  }
+  return out;
+}
+
 BuildReport BuildCostModel(QueryClassId class_id, ObservationSource& source,
                            const ModelBuildOptions& options) {
   const VariableSet variables = VariableSet::ForClass(class_id);

@@ -43,6 +43,12 @@ struct BuildReport {
 // Draws `n` observations from the source.
 ObservationSet DrawObservations(ObservationSource& source, int n);
 
+// Draws `n` observations via ObservationSource::TryDraw. Returns nullopt as
+// soon as a draw fails — a source that cannot sample the current environment
+// cannot yield a representative set, so partial results are not returned.
+std::optional<ObservationSet> TryDrawObservations(ObservationSource& source,
+                                                  int n);
+
 // Runs the full pipeline.
 BuildReport BuildCostModel(QueryClassId class_id, ObservationSource& source,
                            const ModelBuildOptions& options);

@@ -16,8 +16,17 @@ class ObservationSource {
   virtual ~ObservationSource() = default;
 
   // Draws one observation at a contention point sampled from the
-  // environment's own load distribution.
+  // environment's own load distribution. Must succeed; sources that can fail
+  // (dead site, timeout) should override TryDraw instead and make Draw
+  // unreachable via MSCM_CHECK, per the no-exceptions convention (DESIGN §6).
   virtual Observation Draw() = 0;
+
+  // Failure-reporting variant: nullopt means "the environment could not
+  // produce a sample right now" (unreachable site, probe timeout). The
+  // background refresh path draws through this so a flaky source degrades the
+  // refresh instead of crashing it. Default: delegates to Draw(), which for
+  // infallible sources never fails.
+  virtual std::optional<Observation> TryDraw() { return Draw(); }
 
   // Draws one observation whose probing cost lands inside [lo, hi] — used by
   // ICMA when a contention cluster has too few sampled points for regression

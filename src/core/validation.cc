@@ -6,13 +6,29 @@
 
 namespace mscm::core {
 
+namespace {
+
+// A non-positive observed cost carries no scale to judge a relative error
+// against: the only estimate that matches it is a (near-)zero one. Anything
+// with magnitude above this — positive or negative — is a real prediction
+// of nonzero cost and must not be counted as accurate. (The old rule
+// accepted *any* estimated <= 0, so an estimate of -50 s against an
+// observed 0 s inflated the Table-5 "very good" percentages.)
+constexpr double kZeroCostTolerance = 1e-9;  // one nanosecond
+
+bool MatchesNonPositiveObserved(double estimated) {
+  return std::fabs(estimated) <= kZeroCostTolerance;
+}
+
+}  // namespace
+
 bool IsVeryGoodEstimate(double estimated, double observed) {
-  if (observed <= 0.0) return estimated <= 0.0;
+  if (observed <= 0.0) return MatchesNonPositiveObserved(estimated);
   return std::fabs(estimated - observed) / observed <= 0.30;
 }
 
 bool IsGoodEstimate(double estimated, double observed) {
-  if (observed <= 0.0) return estimated <= 0.0;
+  if (observed <= 0.0) return MatchesNonPositiveObserved(estimated);
   return estimated >= observed / 2.0 && estimated <= observed * 2.0;
 }
 

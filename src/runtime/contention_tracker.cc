@@ -1,20 +1,40 @@
 #include "runtime/contention_tracker.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/check.h"
 
 namespace mscm::runtime {
 
+namespace {
+
+constexpr double kNoReading = std::numeric_limits<double>::quiet_NaN();
+
+bool AdaptiveCadence(const ContentionTrackerConfig& config) {
+  return config.min_probe_interval.count() > 0 &&
+         config.max_probe_interval.count() > 0;
+}
+
+}  // namespace
+
 ContentionTracker::ContentionTracker(ContentionTrackerConfig config,
                                      ProbeFn probe,
                                      LatencyHistogram* probe_latency)
     : config_(std::move(config)),
       probe_(std::move(probe)),
-      probe_latency_(probe_latency) {
+      probe_latency_(probe_latency),
+      published_cost_bits_(std::bit_cast<uint64_t>(kNoReading)),
+      current_interval_ns_(config_.probe_interval.count()) {
   MSCM_CHECK(probe_ != nullptr);
   MSCM_CHECK(config_.clock != nullptr);
+  if (AdaptiveCadence(config_)) {
+    MSCM_CHECK_MSG(config_.min_probe_interval <= config_.max_probe_interval,
+                   "min_probe_interval must not exceed max_probe_interval");
+  }
 }
 
 ContentionTracker::~ContentionTracker() { Stop(); }
@@ -72,19 +92,42 @@ bool ContentionTracker::ProbeOnce() {
   }
 
   probes_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (reading_.has_value && sequence <= reading_.sequence) {
-    // A probe that started after this one already published: keep the newer
-    // reading (and its timestamp — republishing would serve old contention
-    // as fresh).
-    discarded_.fetch_add(1, std::memory_order_relaxed);
-    return true;
+  StateChangeFn callback;
+  int old_state = -1;
+  int new_state = -1;
+  bool changed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (reading_.has_value && sequence <= reading_.sequence) {
+      // A probe that started after this one already published: keep the newer
+      // reading (and its timestamp — republishing would serve old contention
+      // as fresh).
+      discarded_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    const bool first = !reading_.has_value;
+    old_state = first ? -1 : reading_.state;
+    reading_.has_value = true;
+    reading_.probing_cost = cost;
+    reading_.state = mapper_ ? mapper_(cost) : -1;
+    reading_.sequence = sequence;
+    reading_at_ = config_.clock->Now();
+    published_stale_ = false;
+    new_state = reading_.state;
+    // Publish cost before version: a lock-free validator that sees the old
+    // version paired with the new cost falls back to its bounds check, which
+    // rejects exactly the entries this transition invalidates.
+    published_cost_bits_.store(std::bit_cast<uint64_t>(cost),
+                               std::memory_order_release);
+    changed = first || new_state != old_state;
+    if (changed) {
+      state_version_.fetch_add(1, std::memory_order_release);
+      callback = state_change_;
+    }
   }
-  reading_.has_value = true;
-  reading_.probing_cost = cost;
-  reading_.state = mapper_ ? mapper_(cost) : -1;
-  reading_.sequence = sequence;
-  reading_at_ = config_.clock->Now();
+  // Outside the lock: the callback typically fans out into cache shards and
+  // must not nest under the tracker mutex.
+  if (changed && callback) callback(old_state, new_state);
   return true;
 }
 
@@ -95,25 +138,87 @@ ProbeReading ContentionTracker::Current() const {
     const auto age = config_.clock->Now() - reading_at_;
     out.age = std::chrono::duration_cast<std::chrono::nanoseconds>(age);
     out.stale = out.age > config_.ttl;
+    if (out.stale != published_stale_) {
+      // Freshness changed since the last publication: responses cached under
+      // the old version carried the old stale flag, so retire them even
+      // though the state itself did not move.
+      published_stale_ = out.stale;
+      state_version_.fetch_add(1, std::memory_order_release);
+    }
   }
   return out;
 }
 
+double ContentionTracker::published_probing_cost() const {
+  return std::bit_cast<double>(
+      published_cost_bits_.load(std::memory_order_acquire));
+}
+
 void ContentionTracker::SetStateMapper(std::function<int(double)> mapper) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  mapper_ = std::move(mapper);
-  if (reading_.has_value) {
-    reading_.state = mapper_ ? mapper_(reading_.probing_cost) : -1;
+  StateChangeFn callback;
+  int old_state = -1;
+  int new_state = -1;
+  bool changed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    mapper_ = std::move(mapper);
+    if (reading_.has_value) {
+      old_state = reading_.state;
+      reading_.state = mapper_ ? mapper_(reading_.probing_cost) : -1;
+      new_state = reading_.state;
+      if (new_state != old_state) {
+        changed = true;
+        state_version_.fetch_add(1, std::memory_order_release);
+        callback = state_change_;
+      }
+    }
   }
+  if (changed && callback) callback(old_state, new_state);
+}
+
+void ContentionTracker::SetStateChangeCallback(StateChangeFn callback) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_change_ = std::move(callback);
+}
+
+std::chrono::nanoseconds ContentionTracker::AdaptInterval(
+    std::chrono::nanoseconds current, bool state_changed,
+    std::chrono::nanoseconds min_interval,
+    std::chrono::nanoseconds max_interval) {
+  // Multiplicative decrease / gentler increase: react to a flip immediately,
+  // back off only after sustained quiet, never leave [min, max].
+  const auto next = state_changed ? current / 2 : current + current / 4;
+  return std::clamp(next, min_interval, max_interval);
 }
 
 void ContentionTracker::RunLoop(uint64_t generation) {
+  const bool adaptive = AdaptiveCadence(config_);
+  auto interval = config_.probe_interval;
+  if (adaptive) {
+    interval = std::clamp(interval, config_.min_probe_interval,
+                          config_.max_probe_interval);
+    current_interval_ns_.store(interval.count(), std::memory_order_relaxed);
+  }
   for (;;) {
+    const uint64_t version_before =
+        state_version_.load(std::memory_order_acquire);
     ProbeOnce();
+    // Re-evaluate freshness so a failed probe publishes the fresh→stale
+    // transition (a successful one resets the age and publishes fresh).
+    Current();
+    if (adaptive) {
+      // Any version movement — state flip, first reading, staleness
+      // transition — counts as environment activity worth probing faster for.
+      const bool flipped =
+          state_version_.load(std::memory_order_acquire) != version_before;
+      interval = AdaptInterval(interval, flipped, config_.min_probe_interval,
+                               config_.max_probe_interval);
+      current_interval_ns_.store(interval.count(), std::memory_order_relaxed);
+    }
     std::unique_lock<std::mutex> lock(thread_mutex_);
     // Exit on stop *or* when a newer Start/Stop superseded this loop's
     // generation (a racing Start may have reset stop_ to false already).
-    if (stop_cv_.wait_for(lock, config_.probe_interval, [this, generation] {
+    if (stop_cv_.wait_for(lock, interval, [this, generation] {
           return stop_ || generation_ != generation;
         })) {
       return;

@@ -32,7 +32,17 @@ struct ContentionTrackerConfig {
   // Readings older than this are served with stale=true.
   std::chrono::nanoseconds ttl = std::chrono::seconds(5);
   // Background probe period; zero disables the thread (manual ProbeOnce()).
+  // With adaptive cadence enabled this is the *starting* period.
   std::chrono::nanoseconds probe_interval{0};
+  // Adaptive cadence (enabled when both bounds are positive): after each
+  // background probe the interval halves toward min_probe_interval if the
+  // probe moved the state version (state flip, staleness transition) and
+  // grows by a quarter toward max_probe_interval if it did not — fast
+  // detection when the environment is flapping, few wasted probes when it is
+  // quiet (the paper's dynamic-environment premise, §3.1). When disabled
+  // (either bound zero) the cadence is the fixed probe_interval.
+  std::chrono::nanoseconds min_probe_interval{0};
+  std::chrono::nanoseconds max_probe_interval{0};
   Clock* clock = Clock::System();
 };
 
@@ -84,6 +94,46 @@ class ContentionTracker {
   // ContentionStates::StateOf). Re-maps the cached reading immediately.
   void SetStateMapper(std::function<int(double)> mapper);
 
+  // Invoked (outside the tracker's internal locks) whenever a probe or remap
+  // publishes a different state than the previous reading's. old_state is -1
+  // for the first reading. Used by the estimation service to drop cached
+  // estimates for this site the moment its contention state transitions.
+  using StateChangeFn = std::function<void(int old_state, int new_state)>;
+  void SetStateChangeCallback(StateChangeFn callback);
+
+  // Monotone version of the published (state, staleness) pair: bumped when a
+  // probe or remap changes the mapped state, and when the reading crosses the
+  // TTL in either direction. A cached estimate recorded at version v is
+  // state-consistent while state_version() == v still holds. Staleness
+  // transitions are detected when someone evaluates freshness (Current() or
+  // the background loop after a failed probe), so the bump lags a quiet
+  // fresh→stale crossing by at most one probe interval.
+  uint64_t state_version() const {
+    return state_version_.load(std::memory_order_acquire);
+  }
+
+  // The most recently published probing cost, without taking the tracker
+  // lock; NaN until the first successful probe. Paired with state_version()
+  // this is the cache's lock-free validity probe: a cached estimate is
+  // value-correct while the published cost stays inside its state's
+  // partition interval under the model that priced it.
+  double published_probing_cost() const;
+
+  // The cadence the background loop is currently probing at (the
+  // probe_interval_ns gauge). Equals config probe_interval until the
+  // adaptive loop first adjusts it.
+  std::chrono::nanoseconds current_probe_interval() const {
+    return std::chrono::nanoseconds(
+        current_interval_ns_.load(std::memory_order_relaxed));
+  }
+
+  // The adaptive-cadence step, exposed for direct testing: halve on a state
+  // change, grow by a quarter when stable, clamped to [min, max].
+  static std::chrono::nanoseconds AdaptInterval(
+      std::chrono::nanoseconds current, bool state_changed,
+      std::chrono::nanoseconds min_interval,
+      std::chrono::nanoseconds max_interval);
+
   uint64_t probes() const { return probes_.load(std::memory_order_relaxed); }
   uint64_t failures() const {
     return failures_.load(std::memory_order_relaxed);
@@ -103,10 +153,22 @@ class ContentionTracker {
   const ProbeFn probe_;
   LatencyHistogram* const probe_latency_;  // may be null
 
-  mutable std::mutex mutex_;  // guards reading_ + mapper_
+  mutable std::mutex mutex_;  // guards reading_ + mapper_ + callback
   ProbeReading reading_;
   Clock::TimePoint reading_at_{};
   std::function<int(double)> mapper_;
+  StateChangeFn state_change_;
+  // The staleness last folded into state_version_ (see Current()); mutable
+  // because Current() publishes the transition it computes.
+  mutable bool published_stale_ = false;
+
+  // Lock-free mirrors of the published reading, written under mutex_ but
+  // readable without it — the estimate cache's hit path must not contend on
+  // the tracker lock. state_version_ is mutable for the same reason
+  // published_stale_ is.
+  mutable std::atomic<uint64_t> state_version_{0};
+  std::atomic<uint64_t> published_cost_bits_;
+  std::atomic<int64_t> current_interval_ns_;
 
   std::atomic<uint64_t> probes_{0};
   std::atomic<uint64_t> failures_{0};

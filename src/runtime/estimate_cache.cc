@@ -1,0 +1,217 @@
+#include "runtime/estimate_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <functional>
+#include <utility>
+
+namespace mscm::runtime {
+
+namespace {
+
+// Slots a key can land in within its shard: enough to ride out a few hash
+// collisions, small enough that a miss stays a handful of compares.
+constexpr size_t kProbeWindow = 4;
+
+size_t NextPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ull;  // FNV-1a prime
+  return h;
+}
+
+class SpinGuard {
+ public:
+  explicit SpinGuard(std::atomic_flag& lock) : lock_(lock) {
+    while (lock_.test_and_set(std::memory_order_acquire)) {
+      while (lock_.test(std::memory_order_relaxed)) {
+      }
+    }
+  }
+  ~SpinGuard() { lock_.clear(std::memory_order_release); }
+
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  std::atomic_flag& lock_;
+};
+
+uint64_t QuantizeFeature(double f, double quantum) {
+  if (quantum > 0.0) {
+    return static_cast<uint64_t>(
+        static_cast<int64_t>(std::llround(f / quantum)));
+  }
+  return std::bit_cast<uint64_t>(f);
+}
+
+// Finalizer (murmur3 fmix64): FNV-1a's closing multiply leaves the low bits
+// poorly diffused, and the slot index comes from the low bits — without this,
+// near-identical feature vectors cluster into the same slots and thrash.
+uint64_t Avalanche(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+uint64_t HashKey(const std::string& site, int class_id,
+                 const std::vector<double>& features, double quantum) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  h = Mix(h, std::hash<std::string>{}(site));
+  h = Mix(h, static_cast<uint64_t>(class_id));
+  for (double f : features) h = Mix(h, QuantizeFeature(f, quantum));
+  return Avalanche(h);
+}
+
+}  // namespace
+
+EstimateCache::EstimateCache(const EstimateCacheConfig& config) {
+  if (config.capacity == 0) return;
+  const size_t num_shards = NextPow2(std::max<size_t>(1, config.shards));
+  const size_t per_shard =
+      NextPow2(std::max<size_t>(1, (config.capacity + num_shards - 1) /
+                                       num_shards));
+  slot_mask_ = per_shard - 1;
+  feature_quantum_ = config.feature_quantum;
+  shards_ = std::vector<Shard>(num_shards);
+  for (Shard& shard : shards_) shard.slots.resize(per_shard);
+}
+
+EstimateCache::~EstimateCache() {
+  // Retire every entry while the shard storage is still intact: dropping a
+  // tracker's last reference joins its prober thread, whose state-change
+  // callback may be mid-flight into these shards.
+  InvalidateAll();
+}
+
+bool EstimateCache::Lookup(const std::string& site, int class_id,
+                           const std::vector<double>& features, uint64_t epoch,
+                           EstimateResponse* response) {
+  if (shards_.empty()) return false;
+  const uint64_t hash = HashKey(site, class_id, features, feature_quantum_);
+  Shard& shard = ShardFor(hash);
+  // Declared before the guard so an evicted tracker reference is released
+  // *after* the shard lock: destroying a tracker joins its prober thread,
+  // which must not happen while we hold a lock its callback may want.
+  std::shared_ptr<ContentionTracker> retired;
+  SpinGuard guard(shard.lock);
+  for (size_t i = 0; i < kProbeWindow; ++i) {
+    Slot& slot = shard.slots[(hash + i) & slot_mask_];
+    if (!slot.occupied || slot.hash != hash) continue;
+    if (slot.epoch != epoch || slot.class_id != class_id) continue;
+    if (slot.site != site) continue;
+    if (slot.feature_bits.size() != features.size()) continue;
+    bool equal = true;
+    for (size_t j = 0; j < features.size(); ++j) {
+      if (slot.feature_bits[j] !=
+          QuantizeFeature(features[j], feature_quantum_)) {
+        equal = false;
+        break;
+      }
+    }
+    if (!equal) continue;
+    // Key matches — now the lock-free validity probe against the tracker.
+    const double cost = slot.tracker->published_probing_cost();
+    if (slot.tracker->state_version() != slot.state_version ||
+        !(cost > slot.state_lo && cost <= slot.state_hi)) {
+      retired = std::move(slot.tracker);
+      slot = Slot{};
+      invalidations_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    *response = slot.response;
+    return true;
+  }
+  return false;
+}
+
+void EstimateCache::Insert(const std::string& site, int class_id,
+                           const std::vector<double>& features, uint64_t epoch,
+                           const InsertContext& context,
+                           const EstimateResponse& response) {
+  if (shards_.empty() || context.tracker == nullptr) return;
+  const uint64_t hash = HashKey(site, class_id, features, feature_quantum_);
+  Shard& shard = ShardFor(hash);
+
+  Slot fresh;
+  fresh.occupied = true;
+  fresh.class_id = class_id;
+  fresh.hash = hash;
+  fresh.epoch = epoch;
+  fresh.state_version = context.state_version;
+  fresh.state_lo = context.state_lo;
+  fresh.state_hi = context.state_hi;
+  fresh.site = site;
+  fresh.feature_bits.reserve(features.size());
+  for (double f : features) {
+    fresh.feature_bits.push_back(QuantizeFeature(f, feature_quantum_));
+  }
+  fresh.tracker = context.tracker;
+  fresh.response = response;
+
+  std::shared_ptr<ContentionTracker> retired;  // released after the lock
+  SpinGuard guard(shard.lock);
+  // Reuse the same key's slot or a free one in the window; otherwise clobber
+  // the key's home slot (direct-mapped replacement — no LRU bookkeeping on
+  // the hot path).
+  Slot* victim = &shard.slots[hash & slot_mask_];
+  for (size_t i = 0; i < kProbeWindow; ++i) {
+    Slot& slot = shard.slots[(hash + i) & slot_mask_];
+    if (!slot.occupied) {
+      victim = &slot;
+      break;
+    }
+    if (slot.hash == hash && slot.class_id == class_id && slot.site == site &&
+        slot.feature_bits == fresh.feature_bits) {
+      victim = &slot;
+      break;
+    }
+  }
+  retired = std::move(victim->tracker);
+  *victim = std::move(fresh);
+}
+
+size_t EstimateCache::InvalidateSite(const std::string& site) {
+  if (shards_.empty()) return 0;
+  size_t evicted = 0;
+  std::vector<std::shared_ptr<ContentionTracker>> retired;
+  for (Shard& shard : shards_) {
+    SpinGuard guard(shard.lock);
+    for (Slot& slot : shard.slots) {
+      if (!slot.occupied || slot.site != site) continue;
+      retired.push_back(std::move(slot.tracker));
+      slot = Slot{};
+      ++evicted;
+    }
+  }
+  invalidations_.fetch_add(evicted, std::memory_order_relaxed);
+  return evicted;
+}
+
+size_t EstimateCache::InvalidateAll() {
+  if (shards_.empty()) return 0;
+  size_t evicted = 0;
+  std::vector<std::shared_ptr<ContentionTracker>> retired;
+  for (Shard& shard : shards_) {
+    SpinGuard guard(shard.lock);
+    for (Slot& slot : shard.slots) {
+      if (!slot.occupied) continue;
+      retired.push_back(std::move(slot.tracker));
+      slot = Slot{};
+      ++evicted;
+    }
+  }
+  invalidations_.fetch_add(evicted, std::memory_order_relaxed);
+  return evicted;
+}
+
+}  // namespace mscm::runtime

@@ -1,0 +1,131 @@
+// State-keyed memo of estimate responses (paper §3.1 made operational): a
+// cost estimate is a pure function of (model, features, contention state) —
+// the probing cost enters the regression only through the qualitative
+// variable, i.e. through StateOf(probing_cost). So a response stays exactly
+// correct for as long as (a) the catalog that priced it is still the
+// published one and (b) the site's probing cost still maps to the same state
+// under that model. The cache keys on (site, class, quantized features,
+// catalog epoch) and validates (b) per hit with two lock-free loads from the
+// site's ContentionTracker: the state version, and the published probing
+// cost checked against the state's own partition interval. No clock reads,
+// no snapshot acquisition, no model walk on a hit.
+//
+// Invalidation:
+//   - catalog swaps: every entry carries the catalog revision that priced it
+//     and the lookup passes the current one — an epoch bump misses wholesale.
+//     RegisterModel additionally evicts the site's entries eagerly.
+//   - state transitions: the tracker bumps its state version on a state flip
+//     or staleness crossing (entries self-invalidate), and the service wires
+//     a state-change callback that evicts the site's entries eagerly.
+// Entries hold a shared_ptr to their tracker, so validation atomics stay
+// dereferenceable even after RegisterSite replaces the site's tracker.
+
+#ifndef MSCM_RUNTIME_ESTIMATE_CACHE_H_
+#define MSCM_RUNTIME_ESTIMATE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/contention_tracker.h"
+#include "runtime/estimate_types.h"
+
+namespace mscm::runtime {
+
+struct EstimateCacheConfig {
+  // Total cached responses across all shards; 0 disables the cache (every
+  // lookup misses, inserts are dropped).
+  size_t capacity = 0;
+  // Independent spinlocked shards (rounded up to a power of two); concurrent
+  // estimate threads for different keys rarely contend.
+  size_t shards = 8;
+  // Feature quantization grid. 0 keys features on their exact bit patterns
+  // (a hit requires identical features — always exact). Positive values key
+  // on round(feature / quantum), trading a bounded feature perturbation for
+  // hits across near-identical feature vectors.
+  double feature_quantum = 0.0;
+};
+
+class EstimateCache {
+ public:
+  explicit EstimateCache(const EstimateCacheConfig& config);
+  ~EstimateCache();
+
+  EstimateCache(const EstimateCache&) = delete;
+  EstimateCache& operator=(const EstimateCache&) = delete;
+
+  bool enabled() const { return !shards_.empty(); }
+
+  // Everything Insert needs beyond the key and the response to make the
+  // entry self-validating on later lookups.
+  struct InsertContext {
+    // Keeps the tracker's validation atomics alive for the entry's lifetime.
+    std::shared_ptr<ContentionTracker> tracker;
+    // Tracker state version loaded *before* the reading that produced the
+    // response was taken — if anything moved in between, the entry is born
+    // invalid rather than wrongly valid.
+    uint64_t state_version = 0;
+    // The response state's partition interval (lo, hi] under the model that
+    // priced it (±infinity at the ends). The entry stays value-correct while
+    // the published probing cost lies inside it.
+    double state_lo = 0.0;
+    double state_hi = 0.0;
+  };
+
+  // Fills `response` and returns true when a currently valid entry matches.
+  // Invalid entries encountered are evicted in passing.
+  bool Lookup(const std::string& site, int class_id,
+              const std::vector<double>& features, uint64_t epoch,
+              EstimateResponse* response);
+
+  // Stores a response; overwrites the oldest colliding slot when full.
+  void Insert(const std::string& site, int class_id,
+              const std::vector<double>& features, uint64_t epoch,
+              const InsertContext& context, const EstimateResponse& response);
+
+  // Evicts every entry for `site` / every entry. Returns entries evicted.
+  size_t InvalidateSite(const std::string& site);
+  size_t InvalidateAll();
+
+  // Entries evicted by InvalidateSite/InvalidateAll plus entries found
+  // invalid during lookups (the estimate_cache_invalidations counter).
+  uint64_t invalidations() const {
+    return invalidations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    bool occupied = false;
+    int class_id = 0;
+    uint64_t hash = 0;
+    uint64_t epoch = 0;
+    uint64_t state_version = 0;
+    double state_lo = 0.0;
+    double state_hi = 0.0;
+    std::string site;
+    std::vector<uint64_t> feature_bits;
+    std::shared_ptr<ContentionTracker> tracker;
+    EstimateResponse response;
+  };
+
+  struct alignas(64) Shard {
+    std::atomic_flag lock;  // clear on construction (C++20)
+    std::vector<Slot> slots;
+  };
+
+  Shard& ShardFor(uint64_t hash) {
+    // Shard on high bits, slot on low bits — independent indices.
+    return shards_[(hash >> 48) & (shards_.size() - 1)];
+  }
+
+  uint64_t slot_mask_ = 0;  // slots per shard - 1 (power of two)
+  double feature_quantum_ = 0.0;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace mscm::runtime
+
+#endif  // MSCM_RUNTIME_ESTIMATE_CACHE_H_

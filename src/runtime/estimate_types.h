@@ -1,0 +1,47 @@
+// Request/response types of the online estimation data plane, split out of
+// estimation_service.h so the estimate cache can traffic in them without
+// depending on the service (the service owns a cache, not the reverse).
+
+#ifndef MSCM_RUNTIME_ESTIMATE_TYPES_H_
+#define MSCM_RUNTIME_ESTIMATE_TYPES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/query_class.h"
+
+namespace mscm::runtime {
+
+enum class EstimateStatus {
+  kOk,
+  kNoModel,  // no cost model registered for (site, class)
+  kNoProbe,  // no probing_cost given and no cached probe for the site
+};
+
+const char* ToString(EstimateStatus s);
+
+struct EstimateRequest {
+  std::string site;
+  core::QueryClassId class_id = core::QueryClassId::kUnarySeqScan;
+  std::vector<double> features;
+  // Probing cost to estimate under; negative = use the site's cached probe.
+  double probing_cost = -1.0;
+};
+
+struct EstimateResponse {
+  EstimateStatus status = EstimateStatus::kNoModel;
+  double estimate_seconds = 0.0;
+  double probing_cost = 0.0;  // the probe value actually used
+  int state = -1;             // contention state under the request's model
+  bool stale_probe = false;   // cached probe exceeded its TTL
+  // The (site, class) model is flagged stale: the refresh daemon has
+  // detected drift and a re-derivation is pending or backing off. The
+  // estimate is still the best available — callers should widen error bars.
+  bool stale_model = false;
+
+  bool ok() const { return status == EstimateStatus::kOk; }
+};
+
+}  // namespace mscm::runtime
+
+#endif  // MSCM_RUNTIME_ESTIMATE_TYPES_H_

@@ -22,13 +22,17 @@ const char* ToString(EstimateStatus s) {
 
 EstimationService::EstimationService(EstimationServiceConfig config)
     : config_(config),
+      cache_(config.cache),
       trackers_(std::make_shared<const TrackerMap>()),
       stale_keys_(std::make_shared<const StaleKeySet>()),
       pool_(config.worker_threads) {}
 
 EstimationService::~EstimationService() {
-  // Trackers stop their prober threads in their destructors; keep the map
-  // alive until they have.
+  // Stop every prober before members unwind: a live prober's state-change
+  // callback reaches into cache_, and replaced trackers kept alive by cache
+  // entries stop when the cache retires them in its own destructor.
+  const TrackerMapSnapshot map = trackers_.load();
+  for (const auto& [site, tracker] : *map) tracker->Stop();
 }
 
 void EstimationService::RegisterModel(const std::string& site,
@@ -47,6 +51,9 @@ void EstimationService::RegisterModel(const std::string& site,
     tracker->SetStateMapper(
         [states](double cost) { return states.StateOf(cost); });
   }
+  // Entries priced under the previous catalog revision can never hit again
+  // (the lookup epoch moved); evict the re-registered site's eagerly.
+  cache_.InvalidateSite(site);
 }
 
 void EstimationService::RegisterSite(const std::string& site,
@@ -55,9 +62,17 @@ void EstimationService::RegisterSite(const std::string& site,
   tracker_config.site = site;
   tracker_config.ttl = config_.probe_ttl;
   tracker_config.probe_interval = config_.probe_interval;
+  tracker_config.min_probe_interval = config_.min_probe_interval;
+  tracker_config.max_probe_interval = config_.max_probe_interval;
   tracker_config.clock = config_.clock;
   auto tracker = std::make_shared<ContentionTracker>(
       std::move(tracker_config), std::move(probe), &probe_latency_);
+  // Evict the site's cached estimates the moment its contention state
+  // transitions. Fired off-lock from the tracker; touches only cache_.
+  tracker->SetStateChangeCallback(
+      [this, site](int /*old_state*/, int /*new_state*/) {
+        cache_.InvalidateSite(site);
+      });
 
   std::lock_guard<std::mutex> lock(control_mutex_);
 
@@ -83,6 +98,10 @@ void EstimationService::RegisterSite(const std::string& site,
   }
 
   tracker->Start();
+
+  // A replaced tracker survives only through cache entries that pin it;
+  // evicting the site's entries releases them (and stops its prober).
+  cache_.InvalidateSite(site);
 }
 
 void EstimationService::RegisterSite(mdbs::MdbsAgent* agent) {
@@ -120,6 +139,8 @@ void EstimationService::SetModelStaleLocked(const std::string& site,
     next->erase(key);
   }
   stale_keys_.store(StaleKeySnapshot(std::move(next)));
+  // Cached responses embed the stale_model flag; a flip retires them.
+  cache_.InvalidateSite(site);
 }
 
 bool EstimationService::IsModelStale(const std::string& site,
@@ -158,6 +179,14 @@ void EstimationService::FlushCounts(const LocalCounts& counts) const {
   if (counts.stale_model_served > 0) {
     shard.stale_model_served.fetch_add(counts.stale_model_served,
                                        std::memory_order_relaxed);
+  }
+  if (counts.estimate_cache_hits > 0) {
+    shard.estimate_cache_hits.fetch_add(counts.estimate_cache_hits,
+                                        std::memory_order_relaxed);
+  }
+  if (counts.estimate_cache_misses > 0) {
+    shard.estimate_cache_misses.fetch_add(counts.estimate_cache_misses,
+                                          std::memory_order_relaxed);
   }
 }
 
@@ -214,16 +243,62 @@ EstimateResponse EstimationService::EstimateWithSnapshot(
   return response;
 }
 
+void EstimationService::MaybeCacheResponse(
+    const core::GlobalCatalog& catalog, const EstimateRequest& request,
+    const EstimateResponse& response,
+    const std::shared_ptr<ContentionTracker>& tracker,
+    uint64_t state_version_before, const ProbeReading& reading) const {
+  // Only responses priced from a *fresh* tracker reading are cacheable: a
+  // stale or explicit-probing-cost response is not a function of the
+  // tracker's published state.
+  if (!response.ok() || response.stale_probe) return;
+  if (request.probing_cost >= 0.0) return;
+  if (tracker == nullptr || !reading.has_value || reading.stale) return;
+  const core::CostModel* model = catalog.Find(request.site, request.class_id);
+  if (model == nullptr || response.state < 0) return;
+
+  EstimateCache::InsertContext context;
+  context.tracker = tracker;
+  context.state_version = state_version_before;
+  const std::vector<double>& bounds = model->states().boundaries();
+  const size_t state = static_cast<size_t>(response.state);
+  context.state_lo = state == 0 ? -std::numeric_limits<double>::infinity()
+                                : bounds[state - 1];
+  context.state_hi = state >= bounds.size()
+                         ? std::numeric_limits<double>::infinity()
+                         : bounds[state];
+  cache_.Insert(request.site, static_cast<int>(request.class_id),
+                request.features, catalog.revision(), context, response);
+}
+
 EstimateResponse EstimationService::Estimate(
     const EstimateRequest& request) const {
+  // Cache hit path first: no clocks, no snapshot, no histogram — one hash,
+  // one shard lock, two tracker atomics, one counter RMW.
+  const bool try_cache = cache_.enabled() && request.probing_cost < 0.0;
+  if (try_cache) {
+    EstimateResponse response;
+    if (cache_.Lookup(request.site, static_cast<int>(request.class_id),
+                      request.features, catalog_.version(), &response)) {
+      counters_.Local().estimate_cache_hits.fetch_add(
+          1, std::memory_order_relaxed);
+      return response;
+    }
+  }
+
   const auto started = std::chrono::steady_clock::now();
   const SnapshotCatalog::Snapshot snapshot = catalog_.snapshot();
   const StaleKeySnapshot stale_keys = stale_keys_.load();
 
   ProbeReading reading;
   const ProbeReading* cached = nullptr;
+  std::shared_ptr<ContentionTracker> tracker;
+  uint64_t state_version_before = 0;
   if (request.probing_cost < 0.0) {
-    if (auto tracker = FindTracker(request.site)) {
+    if ((tracker = FindTracker(request.site))) {
+      // Version first, then the reading: if anything transitions in between,
+      // the entry inserted below is born invalid rather than wrongly valid.
+      state_version_before = tracker->state_version();
       reading = tracker->Current();
       cached = &reading;
     }
@@ -231,6 +306,11 @@ EstimateResponse EstimationService::Estimate(
   LocalCounts counts;
   EstimateResponse response =
       EstimateWithSnapshot(*snapshot, *stale_keys, request, cached, counts);
+  if (try_cache) {
+    ++counts.estimate_cache_misses;
+    MaybeCacheResponse(*snapshot, request, response, tracker,
+                       state_version_before, reading);
+  }
   FlushCounts(counts);
   estimate_latency_.Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
       std::chrono::steady_clock::now() - started));
@@ -245,16 +325,28 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
   if (requests.empty()) return responses;
 
   // One snapshot and one probe fetch per distinct site for the whole batch:
-  // the per-request work is then pure arithmetic over immutable data.
+  // the per-request work is then pure arithmetic over immutable data. The
+  // tracker and its pre-reading state version ride along so computed
+  // responses can be inserted into the estimate cache.
+  struct SiteProbe {
+    ProbeReading reading;
+    std::shared_ptr<ContentionTracker> tracker;
+    uint64_t state_version_before = 0;
+  };
   const SnapshotCatalog::Snapshot snapshot = catalog_.snapshot();
   const StaleKeySnapshot stale_keys = stale_keys_.load();
-  std::map<std::string, ProbeReading> site_probes;
+  const bool use_cache = cache_.enabled();
+  const uint64_t epoch = snapshot->revision();
+  std::map<std::string, SiteProbe> site_probes;
   for (const EstimateRequest& request : requests) {
     if (request.probing_cost >= 0.0) continue;
     if (site_probes.count(request.site) > 0) continue;
-    ProbeReading reading;
-    if (auto tracker = FindTracker(request.site)) reading = tracker->Current();
-    site_probes.emplace(request.site, reading);
+    SiteProbe probe;
+    if ((probe.tracker = FindTracker(request.site))) {
+      probe.state_version_before = probe.tracker->state_version();
+      probe.reading = probe.tracker->Current();
+    }
+    site_probes.emplace(request.site, std::move(probe));
   }
 
   pool_.ParallelFor(
@@ -270,7 +362,7 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
           const std::string* site;
           core::QueryClassId class_id;
           const core::CostModel* model;
-          const ProbeReading* probe;  // site's batch reading, or nullptr
+          const ProbeReading* probe = nullptr;  // site's batch reading
           // Reduced equation, valid when `fast`:
           //   y = coef[0] + sum_j coef[j + 1] * features[selected[j]].
           bool fast = false;
@@ -284,8 +376,26 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
         std::vector<MemoEntry> memo;
         memo.reserve(8);
         LocalCounts counts;
+        const auto cache_insert = [&](const EstimateRequest& request,
+                                      const EstimateResponse& response) {
+          if (!use_cache || request.probing_cost >= 0.0) return;
+          const auto it = site_probes.find(request.site);
+          if (it == site_probes.end()) return;
+          MaybeCacheResponse(*snapshot, request, response, it->second.tracker,
+                             it->second.state_version_before,
+                             it->second.reading);
+        };
         for (size_t i = begin; i < end; ++i) {
           const EstimateRequest& request = requests[i];
+          if (use_cache && request.probing_cost < 0.0) {
+            if (cache_.Lookup(request.site,
+                              static_cast<int>(request.class_id),
+                              request.features, epoch, &responses[i])) {
+              ++counts.estimate_cache_hits;
+              continue;
+            }
+            ++counts.estimate_cache_misses;
+          }
           const MemoEntry* entry = nullptr;
           for (const MemoEntry& candidate : memo) {
             if (candidate.class_id == request.class_id &&
@@ -305,7 +415,7 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
                       request.site, static_cast<int>(request.class_id))) > 0;
             }
             const auto it = site_probes.find(request.site);
-            if (it != site_probes.end()) fresh.probe = &it->second;
+            if (it != site_probes.end()) fresh.probe = &it->second.reading;
             if (fresh.model != nullptr && fresh.probe != nullptr &&
                 fresh.probe->has_value) {
               fresh.fast = true;
@@ -355,6 +465,7 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
                    request.features[static_cast<size_t>(selected[j])];
             }
             response.estimate_seconds = std::max(0.0, y);
+            cache_insert(request, response);
             continue;
           }
           if (entry->model == nullptr) {
@@ -375,6 +486,7 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
           response.estimate_seconds =
               entry->model->EstimateFast(request.features,
                                          response.probing_cost);
+          cache_insert(request, response);
         }
         FlushCounts(counts);
       });
@@ -420,8 +532,14 @@ RuntimeStatsSnapshot EstimationService::Stats() const {
     out.probes += tracker->probes() + tracker->failures();
     out.probe_failures += tracker->failures();
     out.probe_discards += tracker->discarded();
+    // Gauge: the slowest current per-site cadence (every site probes at
+    // least this often; adaptive trackers may be probing faster).
+    out.probe_interval_ns =
+        std::max(out.probe_interval_ns,
+                 static_cast<int64_t>(tracker->current_probe_interval().count()));
   }
   out.stale_models = stale_keys_.load()->size();
+  out.estimate_cache_invalidations = cache_.invalidations();
   out.estimate_latency = estimate_latency_.Snap();
   out.probe_latency = probe_latency_.Snap();
   return out;

@@ -34,6 +34,8 @@
 #include "runtime/atomic_shared_ptr.h"
 #include "runtime/clock.h"
 #include "runtime/contention_tracker.h"
+#include "runtime/estimate_cache.h"
+#include "runtime/estimate_types.h"
 #include "runtime/runtime_stats.h"
 #include "runtime/snapshot_catalog.h"
 #include "runtime/thread_pool.h"
@@ -54,38 +56,17 @@ struct EstimationServiceConfig {
   int worker_threads = 0;
   // Minimum batch items per fan-out chunk.
   size_t batch_grain = 64;
+  // Per-site adaptive probing cadence bounds (see ContentionTrackerConfig);
+  // both positive enables adaptation, starting from probe_interval.
+  std::chrono::nanoseconds min_probe_interval{0};
+  std::chrono::nanoseconds max_probe_interval{0};
+  // State-keyed response memo (see estimate_cache.h); capacity 0 disables.
+  EstimateCacheConfig cache;
   Clock* clock = Clock::System();
 };
 
-enum class EstimateStatus {
-  kOk,
-  kNoModel,  // no cost model registered for (site, class)
-  kNoProbe,  // no probing_cost given and no cached probe for the site
-};
-
-const char* ToString(EstimateStatus s);
-
-struct EstimateRequest {
-  std::string site;
-  core::QueryClassId class_id = core::QueryClassId::kUnarySeqScan;
-  std::vector<double> features;
-  // Probing cost to estimate under; negative = use the site's cached probe.
-  double probing_cost = -1.0;
-};
-
-struct EstimateResponse {
-  EstimateStatus status = EstimateStatus::kNoModel;
-  double estimate_seconds = 0.0;
-  double probing_cost = 0.0;  // the probe value actually used
-  int state = -1;             // contention state under the request's model
-  bool stale_probe = false;   // cached probe exceeded its TTL
-  // The (site, class) model is flagged stale: the refresh daemon has
-  // detected drift and a re-derivation is pending or backing off. The
-  // estimate is still the best available — callers should widen error bars.
-  bool stale_model = false;
-
-  bool ok() const { return status == EstimateStatus::kOk; }
-};
+// EstimateStatus / EstimateRequest / EstimateResponse live in
+// runtime/estimate_types.h (shared with the estimate cache).
 
 // A candidate placement: where could this component query run, and what
 // would shipping its result home cost under current link conditions?
@@ -193,6 +174,10 @@ class EstimationService {
     uint64_t probe_cache_misses = 0;
     uint64_t no_model = 0;
     uint64_t stale_model_served = 0;
+    // Estimate-cache hits bump only this (not requests): the hit path pays
+    // exactly one relaxed RMW. Aggregation folds hits back into requests.
+    uint64_t estimate_cache_hits = 0;
+    uint64_t estimate_cache_misses = 0;
   };
 
   void FlushCounts(const LocalCounts& counts) const;
@@ -212,12 +197,26 @@ class EstimationService {
                                         const ProbeReading* cached_reading,
                                         LocalCounts& counts) const;
 
+  // Caches `response` keyed under `catalog`'s revision if it is cacheable:
+  // served OK from a fresh tracker reading. `state_version_before` is the
+  // tracker's version loaded before `reading` was taken.
+  void MaybeCacheResponse(const core::GlobalCatalog& catalog,
+                          const EstimateRequest& request,
+                          const EstimateResponse& response,
+                          const std::shared_ptr<ContentionTracker>& tracker,
+                          uint64_t state_version_before,
+                          const ProbeReading& reading) const;
+
   // Flips the stale flag for a key; caller must hold control_mutex_.
   void SetModelStaleLocked(const std::string& site,
                            core::QueryClassId class_id, bool stale);
 
   const EstimationServiceConfig config_;
   SnapshotCatalog catalog_;
+  // Declared before the trackers so entries (which pin tracker references)
+  // are retired after the tracker map; the destructor stops every live
+  // prober first regardless.
+  mutable EstimateCache cache_;
 
   // Serializes the control plane: model registration, site registration and
   // stale-flag flips. Estimates never take it — they read the published

@@ -87,15 +87,21 @@ std::string LatencyHistogram::Snapshot::ToString() const {
 std::string RuntimeStatsSnapshot::ToString() const {
   std::string out = Format(
       "requests=%llu batches=%llu probe_cache{hit=%llu stale=%llu miss=%llu} "
-      "no_model=%llu probes=%llu probe_failures=%llu probe_discards=%llu "
+      "estimate_cache{hit=%llu miss=%llu invalidated=%llu} "
+      "no_model=%llu probes=%llu probe_interval=%.3gms probe_failures=%llu "
+      "probe_discards=%llu "
       "catalog_swaps=%llu stale_models=%llu stale_model_served=%llu\n",
       static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(batches),
       static_cast<unsigned long long>(probe_cache_hits),
       static_cast<unsigned long long>(probe_cache_stale),
       static_cast<unsigned long long>(probe_cache_misses),
+      static_cast<unsigned long long>(estimate_cache_hits),
+      static_cast<unsigned long long>(estimate_cache_misses),
+      static_cast<unsigned long long>(estimate_cache_invalidations),
       static_cast<unsigned long long>(no_model),
       static_cast<unsigned long long>(probes),
+      static_cast<double>(probe_interval_ns) * 1e-6,
       static_cast<unsigned long long>(probe_failures),
       static_cast<unsigned long long>(probe_discards),
       static_cast<unsigned long long>(catalog_swaps),
@@ -113,6 +119,14 @@ RuntimeCounters::Shard& RuntimeCounters::Local() {
 
 void RuntimeCounters::AggregateInto(RuntimeStatsSnapshot& out) const {
   for (const Shard& s : shards_) {
+    const uint64_t cache_hits =
+        s.estimate_cache_hits.load(std::memory_order_relaxed);
+    // The estimate-cache hit path bumps exactly one counter; a hit is still
+    // a served request, so fold it back in here.
+    out.estimate_cache_hits += cache_hits;
+    out.requests += cache_hits;
+    out.estimate_cache_misses +=
+        s.estimate_cache_misses.load(std::memory_order_relaxed);
     out.requests += s.requests.load(std::memory_order_relaxed);
     out.batches += s.batches.load(std::memory_order_relaxed);
     out.probe_cache_hits += s.probe_cache_hits.load(std::memory_order_relaxed);

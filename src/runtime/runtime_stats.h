@@ -66,6 +66,10 @@ struct RuntimeStatsSnapshot {
   uint64_t catalog_swaps = 0;      // snapshot publications (model registers)
   uint64_t stale_model_served = 0; // estimates served from a drift-flagged model
   uint64_t stale_models = 0;       // gauge: (site, class) keys currently stale
+  uint64_t estimate_cache_hits = 0;    // estimates served from the response memo
+  uint64_t estimate_cache_misses = 0;  // memo consulted but priced the long way
+  uint64_t estimate_cache_invalidations = 0;  // entries evicted (state/catalog)
+  int64_t probe_interval_ns = 0;   // gauge: slowest current per-site cadence
 
   LatencyHistogram::Snapshot estimate_latency;
   LatencyHistogram::Snapshot probe_latency;
@@ -90,12 +94,17 @@ class RuntimeCounters {
     std::atomic<uint64_t> probe_failures{0};
     std::atomic<uint64_t> catalog_swaps{0};
     std::atomic<uint64_t> stale_model_served{0};
+    // A cache hit bumps only estimate_cache_hits (one RMW on the hit path);
+    // aggregation folds hits back into `requests`.
+    std::atomic<uint64_t> estimate_cache_hits{0};
+    std::atomic<uint64_t> estimate_cache_misses{0};
   };
 
   // The calling thread's shard (stable per thread, relaxed increments).
   Shard& Local();
 
-  // Sums all shards into `out` (histograms untouched).
+  // Sums all shards into `out` (histograms untouched). `requests` reported
+  // includes estimate-cache hits (see Shard::estimate_cache_hits).
   void AggregateInto(RuntimeStatsSnapshot& out) const;
 
  private:

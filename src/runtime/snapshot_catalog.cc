@@ -18,8 +18,12 @@ void SnapshotCatalog::Update(
   // old snapshot keep it alive through their shared_ptr.
   auto next = std::make_shared<core::GlobalCatalog>(*current_.load());
   mutate(*next);
+  // Stamp the snapshot with the version it will be published under, so any
+  // reader holding it can tell which epoch priced its estimates.
+  const uint64_t next_version = version_.load(std::memory_order_relaxed) + 1;
+  next->set_revision(next_version);
   current_.store(Snapshot(std::move(next)));
-  version_.fetch_add(1, std::memory_order_relaxed);
+  version_.store(next_version, std::memory_order_relaxed);
 }
 
 }  // namespace mscm::runtime

@@ -6,6 +6,8 @@
 #include <chrono>
 #include <cmath>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "runtime/clock.h"
 
@@ -224,6 +226,132 @@ TEST(ContentionTrackerTest, SlowProbeDoesNotClobberNewerReading) {
   EXPECT_GE(reading.age, seconds(3));
   EXPECT_EQ(tracker.probes(), 2u);
   EXPECT_EQ(tracker.discarded(), 1u);
+}
+
+TEST(ContentionTrackerTest, AdaptIntervalHalvesOnFlipGrowsWhenStable) {
+  using std::chrono::nanoseconds;
+  const nanoseconds min(1000), max(16000);
+
+  // A state flip halves the interval, clamped at min.
+  EXPECT_EQ(ContentionTracker::AdaptInterval(nanoseconds(8000), true, min, max),
+            nanoseconds(4000));
+  EXPECT_EQ(ContentionTracker::AdaptInterval(nanoseconds(1500), true, min, max),
+            min);
+  EXPECT_EQ(ContentionTracker::AdaptInterval(min, true, min, max), min);
+
+  // Stability grows it by a quarter, clamped at max.
+  EXPECT_EQ(
+      ContentionTracker::AdaptInterval(nanoseconds(8000), false, min, max),
+      nanoseconds(10000));
+  EXPECT_EQ(
+      ContentionTracker::AdaptInterval(nanoseconds(15000), false, min, max),
+      max);
+  EXPECT_EQ(ContentionTracker::AdaptInterval(max, false, min, max), max);
+
+  // Sustained flapping walks any interval down to min; sustained quiet walks
+  // it back up to max.
+  nanoseconds interval = max;
+  for (int i = 0; i < 10; ++i) {
+    interval = ContentionTracker::AdaptInterval(interval, true, min, max);
+  }
+  EXPECT_EQ(interval, min);
+  for (int i = 0; i < 40; ++i) {
+    interval = ContentionTracker::AdaptInterval(interval, false, min, max);
+  }
+  EXPECT_EQ(interval, max);
+}
+
+TEST(ContentionTrackerTest, StateVersionTracksFlipsRemapsAndStaleness) {
+  FakeClock clock;
+  std::atomic<double> cost{0.5};
+  ContentionTracker tracker(ManualConfig(&clock, seconds(5)),
+                            [&cost] { return cost.load(); });
+  tracker.SetStateMapper([](double c) { return c > 1.0 ? 1 : 0; });
+  EXPECT_EQ(tracker.state_version(), 0u);
+  EXPECT_TRUE(std::isnan(tracker.published_probing_cost()));
+
+  // First reading publishes a state: version moves.
+  ASSERT_TRUE(tracker.ProbeOnce());
+  const uint64_t after_first = tracker.state_version();
+  EXPECT_GT(after_first, 0u);
+  EXPECT_DOUBLE_EQ(tracker.published_probing_cost(), 0.5);
+
+  // Same state re-probed: no version movement, cost republished.
+  cost.store(0.9);
+  ASSERT_TRUE(tracker.ProbeOnce());
+  EXPECT_EQ(tracker.state_version(), after_first);
+  EXPECT_DOUBLE_EQ(tracker.published_probing_cost(), 0.9);
+
+  // Crossing a partition boundary bumps.
+  cost.store(1.5);
+  ASSERT_TRUE(tracker.ProbeOnce());
+  const uint64_t after_flip = tracker.state_version();
+  EXPECT_GT(after_flip, after_first);
+
+  // A remap that changes the mapped state bumps.
+  tracker.SetStateMapper([](double c) { return c > 2.0 ? 1 : 0; });
+  const uint64_t after_remap = tracker.state_version();
+  EXPECT_GT(after_remap, after_flip);
+
+  // Crossing the TTL bumps when the staleness is evaluated…
+  clock.Advance(seconds(6));
+  EXPECT_TRUE(tracker.Current().stale);
+  const uint64_t after_stale = tracker.state_version();
+  EXPECT_GT(after_stale, after_remap);
+  // …and only once per transition.
+  EXPECT_TRUE(tracker.Current().stale);
+  EXPECT_EQ(tracker.state_version(), after_stale);
+
+  // A successful same-state probe restores freshness without a bump.
+  ASSERT_TRUE(tracker.ProbeOnce());
+  EXPECT_FALSE(tracker.Current().stale);
+  EXPECT_EQ(tracker.state_version(), after_stale);
+}
+
+TEST(ContentionTrackerTest, StateChangeCallbackFiresOnTransitionsOnly) {
+  FakeClock clock;
+  std::atomic<double> cost{0.5};
+  ContentionTracker tracker(ManualConfig(&clock, seconds(5)),
+                            [&cost] { return cost.load(); });
+  tracker.SetStateMapper([](double c) { return c > 1.0 ? 1 : 0; });
+  std::vector<std::pair<int, int>> transitions;
+  tracker.SetStateChangeCallback([&transitions](int old_state, int new_state) {
+    transitions.emplace_back(old_state, new_state);
+  });
+
+  ASSERT_TRUE(tracker.ProbeOnce());  // first reading: -1 → 0
+  ASSERT_TRUE(tracker.ProbeOnce());  // same state: no callback
+  cost.store(1.5);
+  ASSERT_TRUE(tracker.ProbeOnce());  // flip: 0 → 1
+  tracker.SetStateMapper([](double c) { return c > 2.0 ? 1 : 0; });  // 1 → 0
+
+  ASSERT_EQ(transitions.size(), 3u);
+  EXPECT_EQ(transitions[0], std::make_pair(-1, 0));
+  EXPECT_EQ(transitions[1], std::make_pair(0, 1));
+  EXPECT_EQ(transitions[2], std::make_pair(1, 0));
+}
+
+TEST(ContentionTrackerTest, BackgroundAdaptiveCadenceBacksOffWhenStable) {
+  ContentionTrackerConfig config;
+  config.site = "adaptive";
+  config.ttl = seconds(5);
+  config.probe_interval = milliseconds(1);
+  config.min_probe_interval = milliseconds(1);
+  config.max_probe_interval = milliseconds(64);
+  ContentionTracker tracker(config, [] { return 0.3; });
+  EXPECT_EQ(tracker.current_probe_interval(), milliseconds(1));
+
+  tracker.Start();
+  // A constant probe value is maximally stable: the loop should back its
+  // cadence off beyond the starting interval within a few probes.
+  const auto deadline = std::chrono::steady_clock::now() + seconds(10);
+  while (tracker.current_probe_interval() <= milliseconds(1) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  tracker.Stop();
+  EXPECT_GT(tracker.current_probe_interval(), milliseconds(1));
+  EXPECT_LE(tracker.current_probe_interval(), milliseconds(64));
 }
 
 }  // namespace

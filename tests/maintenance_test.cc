@@ -131,5 +131,55 @@ TEST_F(ManagedModelTest, RebuildsAfterMachineReconfiguration) {
   EXPECT_GT(good, kCheck / 2);
 }
 
+// A source whose TryDraw can report failure (unreachable site) without
+// exceptions: cost = 3 * x0, single contention band.
+class FallibleLinearSource : public ObservationSource {
+ public:
+  explicit FallibleLinearSource(bool fail) : fail_(fail), rng_(19) {}
+
+  Observation Draw() override {
+    Observation o;
+    o.probing_cost = rng_.Uniform(0.2, 0.8);
+    o.features.assign(
+        VariableSet::ForClass(QueryClassId::kUnarySeqScan).size(), 0.0);
+    o.features[0] = rng_.Uniform(1.0, 10.0);
+    o.cost = 3.0 * o.features[0];
+    return o;
+  }
+
+  std::optional<Observation> TryDraw() override {
+    if (fail_) return std::nullopt;
+    return Draw();
+  }
+
+ private:
+  bool fail_;
+  Rng rng_;
+};
+
+// Regression: RederiveModel used to wrap its whole body in a catch-all that
+// converted a throwing source into nullopt — masking programmer errors from
+// the build pipeline and violating the no-exceptions convention. Failure now
+// flows through ObservationSource::TryDraw returning nullopt.
+TEST(RederiveModelTest, FailingSourceYieldsNulloptWithoutExceptions) {
+  FallibleLinearSource source(/*fail=*/true);
+  RederiveOptions options;
+  options.build.algorithm = StateAlgorithm::kSingleState;
+  options.build.sample_size = 40;
+  EXPECT_FALSE(
+      RederiveModel(QueryClassId::kUnarySeqScan, source, options).has_value());
+}
+
+TEST(RederiveModelTest, HealthySourceStillRederives) {
+  FallibleLinearSource source(/*fail=*/false);
+  RederiveOptions options;
+  options.build.algorithm = StateAlgorithm::kSingleState;
+  options.build.sample_size = 40;
+  const std::optional<BuildReport> report =
+      RederiveModel(QueryClassId::kUnarySeqScan, source, options);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_GT(report->model.r_squared(), 0.99);
+}
+
 }  // namespace
 }  // namespace mscm::core

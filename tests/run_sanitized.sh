@@ -11,15 +11,20 @@ set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 SANITIZER="${MSCM_SANITIZE:-thread}"
-BUILD_DIR="${REPO_ROOT}/build-${SANITIZER/thread/tsan}"
-FILTER='(ThreadPool|SnapshotCatalog|ContentionTracker|EstimationService|ModelRefresh|RuntimeStress)'
+case "${SANITIZER}" in
+  thread) BUILD_DIR="${REPO_ROOT}/build-tsan" ;;
+  address) BUILD_DIR="${REPO_ROOT}/build-asan" ;;
+  *) BUILD_DIR="${REPO_ROOT}/build-${SANITIZER}" ;;
+esac
+FILTER='(ThreadPool|SnapshotCatalog|ContentionTracker|EstimationService|ModelRefresh|RuntimeStress|EstimateCache)'
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DMSCM_SANITIZE="${SANITIZER}" \
   > /dev/null
 
 cmake --build "${BUILD_DIR}" -j \
   --target thread_pool_test snapshot_catalog_test contention_tracker_test \
-           runtime_service_test runtime_refresh_test runtime_stress_test
+           runtime_service_test runtime_refresh_test runtime_stress_test \
+           estimate_cache_test
 
 # halt_on_error makes a sanitizer report fail the test, not just print.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \

@@ -42,13 +42,17 @@ EstimateRequest Request(const std::string& site, double x0,
 // The environment as the refresh daemon samples it: cost = slope * x0
 // exactly (all other features are uninformative noise), probing costs in a
 // fixed band. `slope` is the ground truth that drifts; `fail` simulates an
-// unreachable site (sampling throws).
+// unreachable site (TryDraw reports nullopt).
 class LinearSource : public core::ObservationSource {
  public:
   LinearSource(double slope, uint64_t seed) : slope_(slope), rng_(seed) {}
 
+  std::optional<core::Observation> TryDraw() override {
+    if (fail_.load()) return std::nullopt;
+    return Draw();
+  }
+
   core::Observation Draw() override {
-    if (fail_.load()) throw std::runtime_error("site unreachable");
     draws_.fetch_add(1);
     core::Observation o;
     o.probing_cost = rng_.Uniform(0.3, 0.7);
@@ -327,6 +331,14 @@ TEST(ModelRefreshTest, ConcurrentReportsEstimatesAndRefreshesAreSafe) {
   for (auto& t : reporters) t.join();
   for (auto& t : readers) t.join();
 
+  // A tripped refresh may still be in flight on the worker pool when the
+  // threads join; give it a deadline to land before asserting.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (daemon.Stats().refreshes_succeeded == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
   const ModelRefreshStats stats = daemon.Stats();
   EXPECT_GT(stats.reports, 0u);
   EXPECT_GE(stats.refreshes_succeeded, 1u);

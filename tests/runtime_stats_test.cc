@@ -1,0 +1,102 @@
+#include "runtime/runtime_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace mscm::runtime {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::nanoseconds;
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeroes) {
+  LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(0.5), 0.0);
+  const LatencyHistogram::Snapshot snap = h.Snap();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.mean_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p99_seconds, 0.0);
+}
+
+TEST(LatencyHistogramTest, FullMassInOneBucketPinsEveryPercentile) {
+  LatencyHistogram h;
+  // All samples land in the [1024, 2048) ns bucket.
+  for (int i = 0; i < 100; ++i) h.Record(nanoseconds(1500));
+  const double p50 = h.PercentileSeconds(0.5);
+  const double p100 = h.PercentileSeconds(1.0);
+  EXPECT_GT(p50, 0.0);
+  // p=1.0 must resolve to the same (only) occupied bucket, not run off the
+  // end of the cumulative scan.
+  EXPECT_DOUBLE_EQ(p100, p50);
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(0.0), p50);
+  // The bucket midpoint lies inside the bucket's range.
+  EXPECT_GE(p50, 1024e-9);
+  EXPECT_LT(p50, 2048e-9);
+}
+
+TEST(LatencyHistogramTest, RecordNWithHugeCountStaysConsistent) {
+  LatencyHistogram h;
+  const uint64_t n = 1000000000ull;  // 1e9 samples in one call
+  h.RecordN(microseconds(2), n);
+  const LatencyHistogram::Snapshot snap = h.Snap();
+  EXPECT_EQ(snap.count, n);
+  EXPECT_NEAR(snap.mean_seconds, 2e-6, 1e-12);
+  // Every percentile sits in the single occupied bucket.
+  EXPECT_GE(snap.p50_seconds, 1024e-9);
+  EXPECT_LT(snap.p50_seconds, 4096e-9);
+  EXPECT_DOUBLE_EQ(snap.p99_seconds, snap.p50_seconds);
+}
+
+TEST(LatencyHistogramTest, RecordNZeroIsANoOp) {
+  LatencyHistogram h;
+  h.RecordN(microseconds(5), 0);
+  EXPECT_EQ(h.Snap().count, 0u);
+}
+
+TEST(LatencyHistogramTest, SnapAfterResetIsEmpty) {
+  LatencyHistogram h;
+  h.Record(microseconds(10));
+  h.RecordN(microseconds(3), 42);
+  ASSERT_EQ(h.Snap().count, 43u);
+  h.Reset();
+  const LatencyHistogram::Snapshot snap = h.Snap();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.mean_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p50_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max_bucket_seconds, 0.0);
+  // The histogram remains usable after a reset.
+  h.Record(microseconds(10));
+  EXPECT_EQ(h.Snap().count, 1u);
+}
+
+TEST(RuntimeCountersTest, AggregateFoldsCacheHitsIntoRequests) {
+  RuntimeCounters counters;
+  RuntimeCounters::Shard& shard = counters.Local();
+  shard.requests.fetch_add(3, std::memory_order_relaxed);
+  shard.estimate_cache_hits.fetch_add(5, std::memory_order_relaxed);
+  shard.estimate_cache_misses.fetch_add(3, std::memory_order_relaxed);
+
+  RuntimeStatsSnapshot out;
+  counters.AggregateInto(out);
+  // The hit path bumps only estimate_cache_hits; aggregation reconstructs
+  // the total request count.
+  EXPECT_EQ(out.requests, 8u);
+  EXPECT_EQ(out.estimate_cache_hits, 5u);
+  EXPECT_EQ(out.estimate_cache_misses, 3u);
+}
+
+TEST(RuntimeStatsSnapshotTest, ToStringMentionsCacheAndCadence) {
+  RuntimeStatsSnapshot snap;
+  snap.estimate_cache_hits = 7;
+  snap.estimate_cache_misses = 2;
+  snap.estimate_cache_invalidations = 1;
+  snap.probe_interval_ns = 2000000;
+  const std::string s = snap.ToString();
+  EXPECT_NE(s.find("estimate_cache"), std::string::npos);
+  EXPECT_NE(s.find("hit=7"), std::string::npos);
+  EXPECT_NE(s.find("probe_interval"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mscm::runtime

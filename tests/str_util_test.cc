@@ -46,5 +46,18 @@ TEST(CompactDoubleTest, NegativeValues) {
   EXPECT_EQ(CompactDouble(-2.25), "-2.250");
 }
 
+// Regression: decimals used to be significant_digits - integer_digits, with
+// zero integer digits for sub-1 values — so 0.001234 at 3 significant digits
+// printed "0.001" (one significant figure). Leading zeros after the decimal
+// point must not consume significant figures.
+TEST(CompactDoubleTest, SubOneValuesKeepSignificantFigures) {
+  EXPECT_EQ(CompactDouble(0.001234, 3), "0.00123");
+  EXPECT_EQ(CompactDouble(0.5), "0.5000");        // 4 sig figs (default)
+  EXPECT_EQ(CompactDouble(0.09876, 3), "0.0988");
+  EXPECT_EQ(CompactDouble(-0.001234, 3), "-0.00123");
+  // The smallest fixed-notation magnitude still gets full precision.
+  EXPECT_EQ(CompactDouble(0.001, 3), "0.00100");
+}
+
 }  // namespace
 }  // namespace mscm

@@ -35,6 +35,23 @@ TEST(EstimateBandsTest, ZeroObservedHandled) {
   EXPECT_FALSE(IsVeryGoodEstimate(1.0, 0.0));
 }
 
+// Regression: both validators used to accept *any* estimated <= 0 when the
+// observed cost was non-positive — an estimate of -50 s against an observed
+// 0 s counted as "very good", inflating the Table-5 accuracy percentages.
+// A zero-cost observation is only matched by a (near-)zero estimate.
+TEST(EstimateBandsTest, NegativeEstimateAgainstZeroObservedIsRejected) {
+  EXPECT_FALSE(IsVeryGoodEstimate(-50.0, 0.0));
+  EXPECT_FALSE(IsGoodEstimate(-50.0, 0.0));
+  EXPECT_FALSE(IsVeryGoodEstimate(-1e-3, 0.0));
+  EXPECT_FALSE(IsGoodEstimate(0.5, 0.0));
+  // Negative observed values get the same treatment as zero.
+  EXPECT_FALSE(IsVeryGoodEstimate(-2.0, -2.0));
+  // Exactly-zero and numerically-zero estimates still match.
+  EXPECT_TRUE(IsVeryGoodEstimate(0.0, 0.0));
+  EXPECT_TRUE(IsGoodEstimate(0.0, 0.0));
+  EXPECT_TRUE(IsGoodEstimate(1e-12, 0.0));
+}
+
 class ValidateTest : public ::testing::Test {
  protected:
   CostModel PerfectModel() {
