@@ -13,6 +13,13 @@
 //                  requests cycled repeatedly (cache disabled)
 //   hot x1 cached — same hot loop with the estimate cache enabled; the
 //                  derived cached_hot_loop_speedup_x is hot-cached / hot
+//   compiled batch — one thread, EstimateBatch() over the hot working set
+//                  (cache disabled): the blocked loop over compiled rows
+//   termwalk x1  — raw-model hot loop through the retired per-term walk
+//                  (CostModel::EstimateTermWalk), no service or cache
+//   compiled x1  — the same raw-model hot loop through the compiled
+//                  per-state table (CostModel::EstimateFast); the derived
+//                  compiled_hot_loop_speedup_x is compiled / termwalk
 //
 // Emits BENCH_runtime.json with requests/sec and p50/p99 per-estimate
 // latency per scenario, plus the derived batch-amortization and
@@ -25,6 +32,7 @@
 // MSCM_RUNTIME_BENCH_N (env) overrides the request count;
 // MSCM_RUNTIME_BENCH_REPS overrides the repetition count.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -297,6 +305,63 @@ Result RunBestOf(const Scenario& scenario,
   return best;
 }
 
+// Raw-model hot loop: a 256-request working set priced directly against one
+// CostModel — no service, snapshot or cache — isolating the serving
+// representation itself (compiled per-state table vs the retired per-term
+// walk). Probing costs cycle through all four states so the state lookup is
+// exercised, not branch-predicted away.
+struct RawWorkload {
+  std::vector<std::vector<double>> features;
+  std::vector<double> probes;
+};
+
+RawWorkload MakeRawWorkload() {
+  constexpr size_t kWorkingSet = 256;
+  const size_t width =
+      core::VariableSet::ForClass(core::QueryClassId::kUnarySeqScan).size();
+  Rng rng(23);
+  RawWorkload workload;
+  for (size_t i = 0; i < kWorkingSet; ++i) {
+    std::vector<double> f(width, 0.0);
+    for (size_t j = 0; j < 3; ++j) f[j] = rng.Uniform(1.0, 10.0);
+    workload.features.push_back(std::move(f));
+    workload.probes.push_back(0.5 + static_cast<double>(i % 4));
+  }
+  return workload;
+}
+
+Result RunRawBestOf(const core::CostModel& model, const RawWorkload& workload,
+                    bool compiled, size_t n, size_t reps) {
+  const size_t set = workload.features.size();
+  double sink = 0.0;
+  Result best;
+  best.scenario.name = compiled ? "compiled x1" : "termwalk x1";
+  for (size_t rep = 0; rep < reps; ++rep) {
+    for (size_t i = 0; i < n / 8; ++i) {  // warmup
+      const size_t k = i % set;
+      sink += model.EstimateFast(workload.features[k], workload.probes[k]);
+    }
+    const auto started = Clock::now();
+    if (compiled) {
+      for (size_t i = 0; i < n; ++i) {
+        const size_t k = i % set;
+        sink += model.EstimateFast(workload.features[k], workload.probes[k]);
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        const size_t k = i % set;
+        sink +=
+            model.EstimateTermWalk(workload.features[k], workload.probes[k]);
+      }
+    }
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - started).count();
+    best.qps = std::max(best.qps, static_cast<double>(n) / seconds);
+  }
+  if (!(sink >= 0.0)) std::printf("sink %f\n", sink);  // keep the loops live
+  return best;
+}
+
 }  // namespace
 
 int main() {
@@ -316,6 +381,8 @@ int main() {
       {"batch x8 + refresh", 8, true, false, /*with_refresh=*/true},
       {"hot x1", 1, false, false, false, /*cached=*/false, /*hot=*/true},
       {"hot x1 cached", 1, false, false, false, /*cached=*/true, /*hot=*/true},
+      {"compiled batch", 1, /*batched=*/true, false, false, /*cached=*/false,
+       /*hot=*/true},
   };
 
   std::printf("micro_runtime: %zu requests, batch size %zu, best of %zu "
@@ -335,6 +402,19 @@ int main() {
                   Format("%llu",
                          static_cast<unsigned long long>(r.cache_hits))});
   }
+
+  // Raw-model hot loops (no service, no cache): the serving representation
+  // head to head. No per-call latency histogram here — only throughput.
+  const core::CostModel raw_model =
+      MakeModel(core::QueryClassId::kUnarySeqScan, 1);
+  const RawWorkload raw_workload = MakeRawWorkload();
+  for (const bool compiled : {false, true}) {
+    results.push_back(
+        RunRawBestOf(raw_model, raw_workload, compiled, n, reps));
+    const Result& r = results.back();
+    table.AddRow({r.scenario.name, Format("%.0f", r.qps), "-", "-", "0",
+                  "0"});
+  }
   std::printf("%s\n", table.Render().c_str());
 
   const double single_qps = results[0].qps;
@@ -342,12 +422,16 @@ int main() {
   const double batch8_qps = results[4].qps;
   const double hot_qps = results[7].qps;
   const double hot_cached_qps = results[8].qps;
+  const double termwalk_qps = results[10].qps;
+  const double compiled_qps = results[11].qps;
   std::printf("batch amortization (batch x1 / single x1): %.2fx\n",
               batch1_qps / single_qps);
   std::printf("thread scaling (batch x8 / batch x1):      %.2fx\n",
               batch8_qps / batch1_qps);
   std::printf("cached hot loop (hot cached / hot):        %.2fx\n",
               hot_cached_qps / hot_qps);
+  std::printf("compiled hot loop (compiled / termwalk):   %.2fx\n",
+              compiled_qps / termwalk_qps);
 
   FILE* json = std::fopen("BENCH_runtime.json", "w");
   if (json != nullptr) {
@@ -379,8 +463,10 @@ int main() {
                  batch1_qps / single_qps);
     std::fprintf(json, "  \"thread_scaling_8t_x\": %.3f,\n",
                  batch8_qps / batch1_qps);
-    std::fprintf(json, "  \"cached_hot_loop_speedup_x\": %.3f\n",
+    std::fprintf(json, "  \"cached_hot_loop_speedup_x\": %.3f,\n",
                  hot_cached_qps / hot_qps);
+    std::fprintf(json, "  \"compiled_hot_loop_speedup_x\": %.3f\n",
+                 compiled_qps / termwalk_qps);
     std::fprintf(json, "}\n");
     std::fclose(json);
     std::printf("\nwrote BENCH_runtime.json\n");

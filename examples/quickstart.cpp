@@ -64,12 +64,18 @@ int main() {
   std::printf("  heavy contention estimate: %.2f s\n",
               report.model.Estimate(q.features, probe_heavy));
 
-  // 5. Prediction intervals: how confident is the model?
+  // 5. Prediction intervals: how confident is the model? (nullopt for
+  //    models reconstructed from the persisted catalog, which lack the
+  //    fit's covariance structure.)
   const auto interval =
       report.model.EstimateWithInterval(q.features, probe_heavy, 0.05);
-  std::printf(
-      "  heavy contention 95%% prediction interval: [%.2f, %.2f] s\n",
-      interval.low, interval.high);
+  if (interval.has_value()) {
+    std::printf(
+        "  heavy contention 95%% prediction interval: [%.2f, %.2f] s\n",
+        interval->low, interval->high);
+  } else {
+    std::printf("  (no covariance structure: interval unavailable)\n");
+  }
 
   // 6. Peek at what the local DBS would actually do with such a query.
   core::QuerySampler sampler(&site.database(), site.profile().planner, 99);

@@ -14,6 +14,12 @@ const CostModel* GlobalCatalog::Find(const std::string& site,
   return it == models_.end() ? nullptr : &it->second;
 }
 
+const CompiledEquations* GlobalCatalog::FindCompiled(
+    const std::string& site, QueryClassId class_id) const {
+  const CostModel* model = Find(site, class_id);
+  return model == nullptr ? nullptr : &model->compiled();
+}
+
 std::optional<CostModel> GlobalCatalog::FindCopy(const std::string& site,
                                                  QueryClassId class_id) const {
   const CostModel* model = Find(site, class_id);

@@ -33,6 +33,14 @@ class GlobalCatalog {
   // pointer is invalidated by a Register() for the same key (see above).
   const CostModel* Find(const std::string& site, QueryClassId class_id) const;
 
+  // The *serving form* for (site, class): the per-state equation table
+  // compiled when the model was built (stored alongside the derivation
+  // artifact), or nullptr if none is registered. Same invalidation rule as
+  // Find(). Estimate-serving callers should consume this, not the model's
+  // DesignLayout.
+  const CompiledEquations* FindCompiled(const std::string& site,
+                                        QueryClassId class_id) const;
+
   // Value-returning lookup: a copy that cannot dangle, at the price of
   // copying the model (a few hundred doubles). Preferred by concurrent
   // callers that cannot pin a snapshot.

@@ -1,0 +1,72 @@
+#include "core/compiled_equations.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/str_util.h"
+
+namespace mscm::core {
+
+CompiledEquations CompiledEquations::Compile(
+    const std::vector<int>& selected, const ContentionStates& states,
+    const DesignLayout& layout, const std::vector<double>& coefficients) {
+  MSCM_CHECK_MSG(layout.num_selected() ==
+                     static_cast<int>(selected.size()),
+                 "layout/selection width mismatch");
+  MSCM_CHECK_MSG(layout.num_states() == states.num_states(),
+                 "layout/partition state-count mismatch");
+  MSCM_CHECK_MSG(coefficients.size() == layout.num_columns(),
+                 "coefficient vector does not match the design layout");
+
+  // Validate the feature-index remap once, here, instead of per estimate:
+  // slope j of every state reads features[selected[j]].
+  size_t min_features = 0;
+  for (int idx : selected) {
+    MSCM_CHECK_MSG(idx >= 0, "negative selected feature index");
+    min_features = std::max(min_features, static_cast<size_t>(idx) + 1);
+  }
+
+  const int num_states = states.num_states();
+  const size_t stride = selected.size() + 1;
+  std::vector<double> table(static_cast<size_t>(num_states) * stride, 0.0);
+  for (int s = 0; s < num_states; ++s) {
+    double* row = &table[static_cast<size_t>(s) * stride];
+    for (int v = -1; v < static_cast<int>(selected.size()); ++v) {
+      const int col = layout.ColumnOf(v, s);
+      MSCM_CHECK_MSG(col >= 0, "design layout missing a (variable, state) "
+                               "coefficient column");
+      row[static_cast<size_t>(v + 1)] =
+          coefficients[static_cast<size_t>(col)];
+    }
+  }
+  return CompiledEquations(std::move(table), states.boundaries(), selected,
+                           min_features);
+}
+
+void CompiledEquations::StateInterval(int state, double* lo,
+                                      double* hi) const {
+  MSCM_CHECK(state >= 0 && state < num_states());
+  const size_t s = static_cast<size_t>(state);
+  *lo = s == 0 ? -std::numeric_limits<double>::infinity()
+               : boundaries_[s - 1];
+  *hi = s >= boundaries_.size() ? std::numeric_limits<double>::infinity()
+                                : boundaries_[s];
+}
+
+std::string CompiledEquations::ToString() const {
+  std::string out = Format("compiled equations: %d state(s), %zu slope(s)\n",
+                           num_states(), num_selected());
+  for (int s = 0; s < num_states(); ++s) {
+    const double* r = row(s);
+    std::vector<std::string> terms;
+    terms.push_back(CompactDouble(r[0]));
+    for (size_t j = 0; j < selected_.size(); ++j) {
+      terms.push_back(Format("%s*x[%d]", CompactDouble(r[j + 1]).c_str(),
+                             selected_[j]));
+    }
+    out += Format("  state %d: cost = %s\n", s, Join(terms, " + ").c_str());
+  }
+  return out;
+}
+
+}  // namespace mscm::core

@@ -1,0 +1,140 @@
+// The serving form of a derived cost model: the paper's per-state linear
+// equations (Table 4) compiled into one flat, state-major coefficient table.
+//
+// Derivation works on the DesignLayout term list — one column per
+// (variable, state) cell, shared columns for coincident/parallel/concurrent
+// forms — because that is what OLS fits and what the merging test of
+// Algorithm 3.1 inspects. Serving needs none of that structure: "for the
+// current time" (§3.1) the optimizer resolves one contention state from the
+// probing cost and evaluates one linear equation. CompiledEquations is that
+// equation set, materialized once at publication time:
+//
+//   table_[s * stride .. (s+1) * stride) = (intercept_s, slope_s[0..k-1])
+//
+// with stride = num_selected + 1, plus the state partition boundaries for
+// state lookup and the selected→feature index remap. Whatever qualitative
+// form derived the model, compilation resolves shared coefficients into
+// every state's row, so evaluation never branches on form or per-term state
+// tags: one state lookup, one width check, then a raw dot product over
+// num_selected + 1 doubles.
+//
+// Evaluation is bit-for-bit identical to CostModel::Estimate (the
+// derivation-side reference that rebuilds a design row per call): within a
+// state, active design columns appear in intercept-then-variables order,
+// and skipping a column whose row entry is zero cannot change an IEEE sum.
+// tests/compiled_equations_test.cc holds the differential property test.
+//
+// Instances are immutable after Compile() and safe to share across threads.
+
+#ifndef MSCM_CORE_COMPILED_EQUATIONS_H_
+#define MSCM_CORE_COMPILED_EQUATIONS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "core/qualitative.h"
+#include "core/states.h"
+
+namespace mscm::core {
+
+class CompiledEquations {
+ public:
+  // Compiles the fitted artifact (selection + partition + layout +
+  // coefficients) into the serving table. Validates the whole remap once —
+  // every selected feature index, every (variable, state) coefficient
+  // column — so per-estimate evaluation carries no per-term checks.
+  static CompiledEquations Compile(const std::vector<int>& selected,
+                                   const ContentionStates& states,
+                                   const DesignLayout& layout,
+                                   const std::vector<double>& coefficients);
+
+  int num_states() const {
+    return static_cast<int>(boundaries_.size()) + 1;
+  }
+  size_t num_selected() const { return selected_.size(); }
+
+  // Minimum feature-vector width an estimate request must supply
+  // (max selected feature index + 1).
+  size_t min_features() const { return min_features_; }
+
+  // Contention state of a probing cost — identical partition semantics to
+  // ContentionStates::StateOf (ends open to ±infinity).
+  int StateOf(double probing_cost) const {
+    int state = 0;
+    const int n = static_cast<int>(boundaries_.size());
+    while (state < n && boundaries_[state] < probing_cost) ++state;
+    return state;
+  }
+
+  // Validates the feature-vector width once per request; aborts with a
+  // clear diagnostic on a short vector instead of faulting mid-loop.
+  void CheckFeatureWidth(const std::vector<double>& features) const {
+    MSCM_CHECK_MSG(features.size() >= min_features_,
+                   "feature vector shorter than the compiled model's "
+                   "selected-variable remap");
+  }
+
+  // Full serving evaluation: width check, state lookup, dot product,
+  // negative clamp. Matches CostModel::Estimate bit for bit.
+  double Evaluate(const std::vector<double>& features,
+                  double probing_cost) const {
+    CheckFeatureWidth(features);
+    return EvaluateInState(features.data(), StateOf(probing_cost));
+  }
+
+  // The inner hot loop, for callers that resolved the state and validated
+  // the width already (batched serving does both once per block):
+  //   y = row[0] + sum_j row[j + 1] * features[selected[j]].
+  double EvaluateInState(const double* features, int state) const {
+    MSCM_DCHECK(state >= 0 && state < num_states());
+    const double* row = &table_[static_cast<size_t>(state) * stride_];
+    double y = row[0];
+    for (size_t j = 0; j < selected_.size(); ++j) {
+      y += row[j + 1] * features[static_cast<size_t>(selected_[j])];
+    }
+    // Exactly std::max(0.0, y), matching the reference path's clamp
+    // (including for NaN) without pulling <algorithm> into the hot header.
+    return 0.0 < y ? y : 0.0;
+  }
+
+  // The state's row: (intercept, slope[0..num_selected-1]), contiguous.
+  const double* row(int state) const {
+    MSCM_DCHECK(state >= 0 && state < num_states());
+    return &table_[static_cast<size_t>(state) * stride_];
+  }
+
+  // The state's partition interval (lo, hi], ±infinity at the ends — what
+  // the runtime estimate cache revalidates published probing costs against.
+  void StateInterval(int state, double* lo, double* hi) const;
+
+  // Feature indices of the selected variables, in slope order.
+  const std::vector<int>& selected() const { return selected_; }
+
+  // Internal partition boundaries, ascending (size num_states() - 1).
+  const std::vector<double>& boundaries() const { return boundaries_; }
+
+  // Renders the table per state (debugging aid; Table-4 style rendering
+  // with variable names lives on CostModel::ToString).
+  std::string ToString() const;
+
+ private:
+  CompiledEquations(std::vector<double> table, std::vector<double> boundaries,
+                    std::vector<int> selected, size_t min_features)
+      : stride_(selected.size() + 1),
+        min_features_(min_features),
+        table_(std::move(table)),
+        boundaries_(std::move(boundaries)),
+        selected_(std::move(selected)) {}
+
+  size_t stride_;
+  size_t min_features_;
+  std::vector<double> table_;       // state-major, num_states x stride_
+  std::vector<double> boundaries_;  // state partition, ascending
+  std::vector<int> selected_;       // slope j reads features[selected_[j]]
+};
+
+}  // namespace mscm::core
+
+#endif  // MSCM_CORE_COMPILED_EQUATIONS_H_

@@ -15,8 +15,8 @@ double CostModel::Estimate(const std::vector<double>& features,
   return std::max(0.0, fit_.Predict(row));
 }
 
-double CostModel::EstimateFast(const std::vector<double>& features,
-                               double probing_cost) const {
+double CostModel::EstimateTermWalk(const std::vector<double>& features,
+                                   double probing_cost) const {
   const int state = states_.StateOf(probing_cost);
   const std::vector<DesignTerm>& terms = layout_.terms();
   double y = 0.0;
@@ -35,18 +35,23 @@ double CostModel::EstimateFast(const std::vector<double>& features,
   return std::max(0.0, y);
 }
 
-CostModel::Interval CostModel::EstimateWithInterval(
+std::optional<CostModel::Interval> CostModel::EstimateWithInterval(
     const std::vector<double>& features, double probing_cost,
     double alpha) const {
+  // No covariance structure (a model reconstructed from a persisted record)
+  // or no residual degrees of freedom: there is no interval to compute.
+  const double dof =
+      static_cast<double>(fit_.n) - static_cast<double>(fit_.p);
+  if (fit_.xtx_inverse.empty() || dof <= 0.0) return std::nullopt;
+
   const int state = states_.StateOf(probing_cost);
   const std::vector<double> row =
       layout_.Row(SelectValues(features, selected_), state);
   Interval out;
   out.estimate = std::max(0.0, fit_.Predict(row));
   const double se = fit_.PredictionStandardError(row);
-  const double dof =
-      static_cast<double>(fit_.n) - static_cast<double>(fit_.p);
-  if (se <= 0.0 || dof <= 0.0) {
+  if (se <= 0.0) {
+    // A perfect in-process fit: the interval legitimately collapses.
     out.low = out.high = out.estimate;
     return out;
   }

@@ -1,13 +1,22 @@
 // The derived cost-model artifact: everything the MDBS catalog stores for a
 // (site, query class) pair, and everything the global query optimizer needs
 // to turn (query features, current probing cost) into an estimated cost.
+//
+// The model carries two representations of the same per-state equations:
+//   - the derivation artifact (DesignLayout + OlsResult) that fitting,
+//     validation, the merging test and reporting inspect, and
+//   - a CompiledEquations serving form, built once at construction, that
+//     every estimate hot path evaluates (see compiled_equations.h).
+// Serving call sites outside core/ consume only the compiled form.
 
 #ifndef MSCM_CORE_COST_MODEL_H_
 #define MSCM_CORE_COST_MODEL_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/compiled_equations.h"
 #include "core/explanatory.h"
 #include "core/observation.h"
 #include "core/qualitative.h"
@@ -26,7 +35,9 @@ class CostModel {
         selected_(std::move(selected)),
         states_(std::move(states)),
         layout_(std::move(layout)),
-        fit_(std::move(fit)) {}
+        fit_(std::move(fit)),
+        compiled_(CompiledEquations::Compile(selected_, states_, layout_,
+                                             fit_.coefficients)) {}
 
   // Estimated cost (seconds) for a query with the given feature vector when
   // the probing query currently costs `probing_cost`. Negative estimates are
@@ -34,12 +45,21 @@ class CostModel {
   double Estimate(const std::vector<double>& features,
                   double probing_cost) const;
 
-  // Identical result to Estimate(), but fuses design-row construction with
-  // the dot product — no per-call allocations. The online runtime's
-  // estimate hot path (runtime::EstimationService) runs millions of these
-  // per second.
+  // Identical result to Estimate() — bit for bit — served from the compiled
+  // per-state table: no per-call allocations, no term walk. The online
+  // runtime's estimate hot path (runtime::EstimationService) runs millions
+  // of these per second.
   double EstimateFast(const std::vector<double>& features,
-                      double probing_cost) const;
+                      double probing_cost) const {
+    return compiled_.Evaluate(features, probing_cost);
+  }
+
+  // The retired serving path, kept only as a differential-test reference and
+  // the compiled-vs-term-walk bench baseline: walks every DesignLayout term,
+  // branching on its state tag and bounds-checking per term. Do not serve
+  // estimates through this.
+  double EstimateTermWalk(const std::vector<double>& features,
+                          double probing_cost) const;
 
   struct Interval {
     double estimate = 0.0;
@@ -49,11 +69,12 @@ class CostModel {
 
   // Point estimate plus a (1 - alpha) prediction interval for a *new* query
   // observation — lets the optimizer reason about estimation risk, not just
-  // the point value. Requires a model fitted in-process (persisted models
-  // lack the covariance structure and get a degenerate interval).
-  Interval EstimateWithInterval(const std::vector<double>& features,
-                                double probing_cost,
-                                double alpha = 0.05) const;
+  // the point value. Requires a model fitted in-process: persisted models
+  // lack the covariance structure ((X'X)^{-1}) and get nullopt, never a
+  // silently degenerate interval.
+  std::optional<Interval> EstimateWithInterval(
+      const std::vector<double>& features, double probing_cost,
+      double alpha = 0.05) const;
 
   // Adjusted coefficient of `variable` (-1 = intercept) in `state` —
   // the b'_{ij} the merging test of Algorithm 3.1 compares.
@@ -64,6 +85,10 @@ class CostModel {
   const ContentionStates& states() const { return states_; }
   const DesignLayout& layout() const { return layout_; }
   const stats::OlsResult& fit() const { return fit_; }
+
+  // The immutable serving form (per-state equation table). Valid for the
+  // model's whole lifetime; pointer-stable while the model is.
+  const CompiledEquations& compiled() const { return compiled_; }
 
   double r_squared() const { return fit_.r_squared; }
   double standard_error() const { return fit_.standard_error; }
@@ -79,6 +104,9 @@ class CostModel {
   ContentionStates states_;
   DesignLayout layout_;
   stats::OlsResult fit_;
+  // Compiled from the members above at construction (declared last so it
+  // can read them during initialization).
+  CompiledEquations compiled_;
 };
 
 // Fits a cost model with the given variable selection / states / form.

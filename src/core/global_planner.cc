@@ -12,10 +12,13 @@ PlacementDecision ChoosePlacement(
   double best = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < candidates.size(); ++i) {
     const ComponentQueryCandidate& c = candidates[i];
-    const CostModel* model = catalog.Find(c.site, c.class_id);
+    // Placement pricing is a serving path: evaluate the compiled per-state
+    // table, not the derivation artifact.
+    const CompiledEquations* equations =
+        catalog.FindCompiled(c.site, c.class_id);
     double estimate = std::numeric_limits<double>::infinity();
-    if (model != nullptr) {
-      estimate = model->Estimate(c.features, c.probing_cost) +
+    if (equations != nullptr) {
+      estimate = equations->Evaluate(c.features, c.probing_cost) +
                  c.shipping_seconds;
     }
     decision.estimates.push_back(estimate);

@@ -62,9 +62,10 @@ class ManagedCostModel {
         build_options_(build_options),
         monitor_(drift_options) {}
 
+  // Serving path: evaluates the model's compiled per-state equation table.
   double Estimate(const std::vector<double>& features,
                   double probing_cost) const {
-    return model_.Estimate(features, probing_cost);
+    return model_.EstimateFast(features, probing_cost);
   }
 
   // Feeds back the observed cost for an earlier estimate.

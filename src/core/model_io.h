@@ -16,6 +16,12 @@
 //
 // Only what estimation and reporting need is persisted; residuals and
 // training data are not (they live with the training run, not the catalog).
+// The compiled serving form (core::CompiledEquations) is not persisted
+// either: it is deterministically reconstructed from the parsed artifact
+// when the CostModel is rebuilt on load, so a loaded catalog serves from
+// the same flat per-state tables as a freshly derived one. Covariance
+// structure ((X'X)^{-1}) is also not persisted — EstimateWithInterval
+// returns nullopt for loaded models.
 
 #ifndef MSCM_CORE_MODEL_IO_H_
 #define MSCM_CORE_MODEL_IO_H_

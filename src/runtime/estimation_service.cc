@@ -220,8 +220,11 @@ EstimateResponse EstimationService::EstimateWithSnapshot(
   EstimateResponse response;
   ++counts.requests;
 
-  const core::CostModel* model = catalog.Find(request.site, request.class_id);
-  if (model == nullptr) {
+  // Serving reads only the compiled per-state table — never the model's
+  // derivation-side DesignLayout.
+  const core::CompiledEquations* equations =
+      catalog.FindCompiled(request.site, request.class_id);
+  if (equations == nullptr) {
     ++counts.no_model;
     response.status = EstimateStatus::kNoModel;
     return response;
@@ -236,10 +239,12 @@ EstimateResponse EstimationService::EstimateWithSnapshot(
     return response;
   }
 
+  // One width check per request, then state lookup + raw dot product.
+  equations->CheckFeatureWidth(request.features);
   response.status = EstimateStatus::kOk;
-  response.state = model->states().StateOf(response.probing_cost);
+  response.state = equations->StateOf(response.probing_cost);
   response.estimate_seconds =
-      model->EstimateFast(request.features, response.probing_cost);
+      equations->EvaluateInState(request.features.data(), response.state);
   return response;
 }
 
@@ -254,19 +259,15 @@ void EstimationService::MaybeCacheResponse(
   if (!response.ok() || response.stale_probe) return;
   if (request.probing_cost >= 0.0) return;
   if (tracker == nullptr || !reading.has_value || reading.stale) return;
-  const core::CostModel* model = catalog.Find(request.site, request.class_id);
-  if (model == nullptr || response.state < 0) return;
+  const core::CompiledEquations* equations =
+      catalog.FindCompiled(request.site, request.class_id);
+  if (equations == nullptr || response.state < 0) return;
 
   EstimateCache::InsertContext context;
   context.tracker = tracker;
   context.state_version = state_version_before;
-  const std::vector<double>& bounds = model->states().boundaries();
-  const size_t state = static_cast<size_t>(response.state);
-  context.state_lo = state == 0 ? -std::numeric_limits<double>::infinity()
-                                : bounds[state - 1];
-  context.state_hi = state >= bounds.size()
-                         ? std::numeric_limits<double>::infinity()
-                         : bounds[state];
+  equations->StateInterval(response.state, &context.state_lo,
+                           &context.state_hi);
   cache_.Insert(request.site, static_cast<int>(request.class_id),
                 request.features, catalog.revision(), context, response);
 }
@@ -353,25 +354,26 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
       requests.size(), config_.batch_grain, [&](size_t begin, size_t end) {
         // Batches concentrate on few (site, class) pairs; memoize per pair
         // everything that is batch-invariant. With a cached probe the
-        // contention state — and therefore the active regression equation —
-        // is fixed for the whole batch, so the memo stores the reduced
-        // per-state equation (intercept + one coefficient per selected
-        // variable) and each repeat request is a handful of multiply-adds.
+        // contention state — and therefore the active compiled equation row
+        // — is fixed for the whole batch: the memo resolves the state once
+        // and pins the row, so each repeat request is one width check plus
+        // a contiguous multiply-accumulate over num_selected + 1 doubles.
         // Counters are flushed once per chunk instead of once per request.
         struct MemoEntry {
           const std::string* site;
           core::QueryClassId class_id;
-          const core::CostModel* model;
-          const ProbeReading* probe = nullptr;  // site's batch reading
-          // Reduced equation, valid when `fast`:
-          //   y = coef[0] + sum_j coef[j + 1] * features[selected[j]].
+          const core::CompiledEquations* equations;  // serving form
+          const ProbeReading* probe = nullptr;       // site's batch reading
+          // Blocked evaluation, valid when `fast`:
+          //   y = row[0] + sum_j row[j + 1] * features[selected[j]],
+          // with `row` the compiled table's resolved-state row (pinned by
+          // the batch's catalog snapshot).
           bool fast = false;
           int state = -1;
           bool stale = false;
           bool stale_model = false;  // key flagged by the refresh daemon
           double probing_cost = 0.0;
-          size_t min_features = 0;  // required feature-vector length
-          std::vector<double> coef;
+          const double* row = nullptr;
         };
         std::vector<MemoEntry> memo;
         memo.reserve(8);
@@ -408,33 +410,22 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
             MemoEntry fresh;
             fresh.site = &request.site;
             fresh.class_id = request.class_id;
-            fresh.model = snapshot->Find(request.site, request.class_id);
-            if (fresh.model != nullptr && !stale_keys->empty()) {
+            fresh.equations =
+                snapshot->FindCompiled(request.site, request.class_id);
+            if (fresh.equations != nullptr && !stale_keys->empty()) {
               fresh.stale_model =
                   stale_keys->count(std::make_pair(
                       request.site, static_cast<int>(request.class_id))) > 0;
             }
             const auto it = site_probes.find(request.site);
             if (it != site_probes.end()) fresh.probe = &it->second.reading;
-            if (fresh.model != nullptr && fresh.probe != nullptr &&
+            if (fresh.equations != nullptr && fresh.probe != nullptr &&
                 fresh.probe->has_value) {
               fresh.fast = true;
               fresh.probing_cost = fresh.probe->probing_cost;
               fresh.stale = fresh.probe->stale;
-              fresh.state =
-                  fresh.model->states().StateOf(fresh.probing_cost);
-              const std::vector<int>& selected =
-                  fresh.model->selected_variables();
-              fresh.coef.reserve(selected.size() + 1);
-              fresh.coef.push_back(
-                  fresh.model->CoefficientFor(-1, fresh.state));
-              for (size_t j = 0; j < selected.size(); ++j) {
-                fresh.coef.push_back(fresh.model->CoefficientFor(
-                    static_cast<int>(j), fresh.state));
-                fresh.min_features =
-                    std::max(fresh.min_features,
-                             static_cast<size_t>(selected[j]) + 1);
-              }
+              fresh.state = fresh.equations->StateOf(fresh.probing_cost);
+              fresh.row = fresh.equations->row(fresh.state);
             }
             memo.push_back(std::move(fresh));
             entry = &memo.back();
@@ -443,7 +434,10 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
           EstimateResponse& response = responses[i];
           ++counts.requests;
           if (entry->fast && request.probing_cost < 0.0) {
-            MSCM_CHECK(request.features.size() >= entry->min_features);
+            // Blocked evaluation: the state was resolved once for the memo
+            // entry; per request pay one width check and a contiguous
+            // multiply-accumulate over the pinned row.
+            entry->equations->CheckFeatureWidth(request.features);
             response.status = EstimateStatus::kOk;
             response.probing_cost = entry->probing_cost;
             response.stale_probe = entry->stale;
@@ -457,18 +451,18 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
             } else {
               ++counts.probe_cache_hits;
             }
-            const std::vector<int>& selected =
-                entry->model->selected_variables();
-            double y = entry->coef[0];
+            const std::vector<int>& selected = entry->equations->selected();
+            const double* row = entry->row;
+            double y = row[0];
             for (size_t j = 0; j < selected.size(); ++j) {
-              y += entry->coef[j + 1] *
+              y += row[j + 1] *
                    request.features[static_cast<size_t>(selected[j])];
             }
             response.estimate_seconds = std::max(0.0, y);
             cache_insert(request, response);
             continue;
           }
-          if (entry->model == nullptr) {
+          if (entry->equations == nullptr) {
             ++counts.no_model;
             response.status = EstimateStatus::kNoModel;
             continue;
@@ -480,12 +474,11 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
           const ProbeReading* cached =
               request.probing_cost < 0.0 ? entry->probe : nullptr;
           if (!ResolveProbe(request, cached, response, counts)) continue;
+          entry->equations->CheckFeatureWidth(request.features);
           response.status = EstimateStatus::kOk;
-          response.state =
-              entry->model->states().StateOf(response.probing_cost);
-          response.estimate_seconds =
-              entry->model->EstimateFast(request.features,
-                                         response.probing_cost);
+          response.state = entry->equations->StateOf(response.probing_cost);
+          response.estimate_seconds = entry->equations->EvaluateInState(
+              request.features.data(), response.state);
           cache_insert(request, response);
         }
         FlushCounts(counts);

@@ -5,7 +5,10 @@
 // Many client threads ask "what would a query of class C with feature
 // vector x cost at site S right now?". The service answers from
 //   (1) an immutable-snapshot catalog of derived cost models (readers never
-//       lock; model registration copy-on-writes a new snapshot), and
+//       lock; model registration copy-on-writes a new snapshot) — estimates
+//       evaluate each model's compiled per-state equation table
+//       (core::CompiledEquations via GlobalCatalog::FindCompiled), never
+//       the derivation-side DesignLayout — and
 //   (2) per-site ContentionTrackers whose background probers keep a cached
 //       (contention state, probing cost) per site, so no probing query runs
 //       on the estimation path.

@@ -6,9 +6,13 @@
 // published catalog: Register() copies the current catalog, applies the
 // change, and atomically publishes the copy as a new
 // std::shared_ptr<const GlobalCatalog>. Readers grab the current snapshot
-// with one atomic shared_ptr load — no lock, and every Find() pointer stays
-// valid for as long as the reader holds the snapshot, no matter how many
-// registrations happen meanwhile. Writers serialize on a mutex (model
+// with one atomic shared_ptr load — no lock, and every Find() /
+// FindCompiled() pointer stays valid for as long as the reader holds the
+// snapshot, no matter how many registrations happen meanwhile. Because each
+// registered CostModel carries its core::CompiledEquations serving table,
+// publishing a snapshot *is* publishing the compiled form: the runtime's
+// estimate paths call FindCompiled() on a pinned snapshot and evaluate the
+// immutable table directly. Writers serialize on a mutex (model
 // registration is rare: once per derived/rebuilt model).
 
 #ifndef MSCM_RUNTIME_SNAPSHOT_CATALOG_H_

@@ -72,9 +72,10 @@ TEST(CostModelIntervalTest, CoversTrueCostsAtNominalRate) {
   for (const auto& obs : test) {
     const auto interval =
         model.EstimateWithInterval(obs.features, obs.probing_cost, 0.05);
-    EXPECT_LE(interval.low, interval.estimate + 1e-9);
-    EXPECT_GE(interval.high, interval.estimate - 1e-9);
-    if (obs.cost >= interval.low && obs.cost <= interval.high) ++covered;
+    ASSERT_TRUE(interval.has_value());
+    EXPECT_LE(interval->low, interval->estimate + 1e-9);
+    EXPECT_GE(interval->high, interval->estimate - 1e-9);
+    if (obs.cost >= interval->low && obs.cost <= interval->high) ++covered;
   }
   // Nominal 95% coverage; allow sampling slack.
   const double coverage = static_cast<double>(covered) / 400.0;
@@ -96,11 +97,14 @@ TEST(CostModelIntervalTest, TighterAlphaWidensInterval) {
   const std::vector<double> features = {5.0};
   const auto wide = model.EstimateWithInterval(features, 0.5, 0.01);
   const auto narrow = model.EstimateWithInterval(features, 0.5, 0.20);
-  EXPECT_GT(wide.high - wide.low, narrow.high - narrow.low);
+  ASSERT_TRUE(wide.has_value());
+  ASSERT_TRUE(narrow.has_value());
+  EXPECT_GT(wide->high - wide->low, narrow->high - narrow->low);
 }
 
-TEST(CostModelIntervalTest, DegenerateForPersistedModels) {
-  // A model reconstructed without covariance returns a point interval.
+TEST(CostModelIntervalTest, NulloptForPersistedModels) {
+  // A model reconstructed without covariance structure has no interval to
+  // offer — nullopt, not a silently degenerate point interval.
   stats::OlsResult fit;
   fit.coefficients = {1.0, 2.0};
   fit.standard_error = 1.0;
@@ -110,9 +114,7 @@ TEST(CostModelIntervalTest, DegenerateForPersistedModels) {
       core::QueryClassId::kUnarySeqScan, {0}, core::ContentionStates::Single(),
       core::DesignLayout::Make(1, core::QualitativeForm::kGeneral, 1),
       std::move(fit));
-  const auto interval = model.EstimateWithInterval({3.0}, 0.5);
-  EXPECT_DOUBLE_EQ(interval.low, interval.estimate);
-  EXPECT_DOUBLE_EQ(interval.high, interval.estimate);
+  EXPECT_FALSE(model.EstimateWithInterval({3.0}, 0.5).has_value());
 }
 
 }  // namespace
