@@ -20,6 +20,10 @@
 //   compiled x1  — the same raw-model hot loop through the compiled
 //                  per-state table (CostModel::EstimateFast); the derived
 //                  compiled_hot_loop_speedup_x is compiled / termwalk
+//   degraded x1  — one thread, Estimate() against sites whose probe circuit
+//                  breakers are open: every response is priced from the last
+//                  known state and flagged degraded (never memoized); the
+//                  derived degraded_overhead_x is single / degraded
 //
 // Emits BENCH_runtime.json with requests/sec and p50/p99 per-estimate
 // latency per scenario, plus the derived batch-amortization and
@@ -33,7 +37,9 @@
 // MSCM_RUNTIME_BENCH_REPS overrides the repetition count.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -118,6 +124,7 @@ struct Scenario {
   bool with_refresh = false;
   bool cached = false;  // enable the state-keyed estimate cache
   bool hot = false;     // drive the cycled working-set workload
+  bool degraded = false;  // trip every site's breaker before the run
 };
 
 struct Result {
@@ -162,11 +169,16 @@ std::vector<runtime::EstimateRequest> MakeHotWorkload(size_t n) {
   return requests;
 }
 
-std::unique_ptr<runtime::EstimationService> MakeService(bool cached) {
+std::unique_ptr<runtime::EstimationService> MakeService(bool cached,
+                                                        bool degraded) {
   runtime::EstimationServiceConfig config;
   config.probe_ttl = std::chrono::hours(1);
   config.worker_threads = 0;  // reader threads are the parallelism measured
   if (cached) config.cache.capacity = 4096;
+  if (degraded) {
+    config.breaker.failure_threshold = 1;
+    config.breaker.open_duration = std::chrono::hours(1);  // stays open
+  }
   auto service = std::make_unique<runtime::EstimationService>(config);
   uint64_t seed = 1;
   for (const std::string& site : {std::string("alpha"), std::string("beta")}) {
@@ -174,18 +186,26 @@ std::unique_ptr<runtime::EstimationService> MakeService(bool cached) {
         site, MakeModel(core::QueryClassId::kUnarySeqScan, seed++));
     service->RegisterModel(
         site, MakeModel(core::QueryClassId::kJoinNoIndex, seed++));
-    service->RegisterSite(site,
-                          [value = 0.5 + 0.7 * static_cast<double>(seed)] {
-                            return value;
-                          });
+    auto fail = std::make_shared<std::atomic<bool>>(false);
+    service->RegisterSite(
+        site, [fail, value = 0.5 + 0.7 * static_cast<double>(seed)] {
+          // A NaN probe cost is a probe failure.
+          return fail->load(std::memory_order_relaxed) ? std::nan("") : value;
+        });
     service->ProbeNow(site);
+    if (degraded) {
+      // One failed probe past the threshold: the breaker opens and every
+      // estimate serves the cached pre-failure state, flagged degraded.
+      fail->store(true);
+      service->ProbeNow(site);
+    }
   }
   return service;
 }
 
 Result Run(const Scenario& scenario,
            const std::vector<runtime::EstimateRequest>& requests) {
-  auto service = MakeService(scenario.cached);
+  auto service = MakeService(scenario.cached, scenario.degraded);
 
   std::atomic<bool> writer_stop{false};
   std::thread writer;
@@ -383,6 +403,8 @@ int main() {
       {"hot x1 cached", 1, false, false, false, /*cached=*/true, /*hot=*/true},
       {"compiled batch", 1, /*batched=*/true, false, false, /*cached=*/false,
        /*hot=*/true},
+      {"degraded x1", 1, false, false, false, false, false,
+       /*degraded=*/true},
   };
 
   std::printf("micro_runtime: %zu requests, batch size %zu, best of %zu "
@@ -422,8 +444,9 @@ int main() {
   const double batch8_qps = results[4].qps;
   const double hot_qps = results[7].qps;
   const double hot_cached_qps = results[8].qps;
-  const double termwalk_qps = results[10].qps;
-  const double compiled_qps = results[11].qps;
+  const double degraded_qps = results[10].qps;
+  const double termwalk_qps = results[11].qps;
+  const double compiled_qps = results[12].qps;
   std::printf("batch amortization (batch x1 / single x1): %.2fx\n",
               batch1_qps / single_qps);
   std::printf("thread scaling (batch x8 / batch x1):      %.2fx\n",
@@ -432,6 +455,8 @@ int main() {
               hot_cached_qps / hot_qps);
   std::printf("compiled hot loop (compiled / termwalk):   %.2fx\n",
               compiled_qps / termwalk_qps);
+  std::printf("degraded serving (single x1 / degraded):   %.2fx overhead\n",
+              single_qps / degraded_qps);
 
   FILE* json = std::fopen("BENCH_runtime.json", "w");
   if (json != nullptr) {
@@ -446,13 +471,15 @@ int main() {
       std::fprintf(json,
                    "    {\"name\": \"%s\", \"threads\": %d, \"batched\": %s, "
                    "\"writer\": %s, \"refresh\": %s, \"cached\": %s, "
+                   "\"degraded\": %s, "
                    "\"qps\": %.0f, \"p50_us\": %.3f, \"p99_us\": %.3f, "
                    "\"refreshes\": %llu, \"cache_hits\": %llu}%s\n",
                    r.scenario.name.c_str(), r.scenario.threads,
                    r.scenario.batched ? "true" : "false",
                    r.scenario.with_writer ? "true" : "false",
                    r.scenario.with_refresh ? "true" : "false",
-                   r.scenario.cached ? "true" : "false", r.qps,
+                   r.scenario.cached ? "true" : "false",
+                   r.scenario.degraded ? "true" : "false", r.qps,
                    r.p50_us, r.p99_us,
                    static_cast<unsigned long long>(r.refreshes),
                    static_cast<unsigned long long>(r.cache_hits),
@@ -465,8 +492,10 @@ int main() {
                  batch8_qps / batch1_qps);
     std::fprintf(json, "  \"cached_hot_loop_speedup_x\": %.3f,\n",
                  hot_cached_qps / hot_qps);
-    std::fprintf(json, "  \"compiled_hot_loop_speedup_x\": %.3f\n",
+    std::fprintf(json, "  \"compiled_hot_loop_speedup_x\": %.3f,\n",
                  compiled_qps / termwalk_qps);
+    std::fprintf(json, "  \"degraded_overhead_x\": %.3f\n",
+                 single_qps / degraded_qps);
     std::fprintf(json, "}\n");
     std::fclose(json);
     std::printf("\nwrote BENCH_runtime.json\n");

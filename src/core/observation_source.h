@@ -24,8 +24,10 @@ class ObservationSource {
   // Failure-reporting variant: nullopt means "the environment could not
   // produce a sample right now" (unreachable site, probe timeout). The
   // background refresh path draws through this so a flaky source degrades the
-  // refresh instead of crashing it. Default: delegates to Draw(), which for
-  // infallible sources never fails.
+  // refresh instead of crashing it — and additionally armors against a
+  // source that throws, routing the exception into the same failed-attempt
+  // backoff (sim::FaultyObservationSource exercises both). Default:
+  // delegates to Draw(), which for infallible sources never fails.
   virtual std::optional<Observation> TryDraw() { return Draw(); }
 
   // Draws one observation whose probing cost lands inside [lo, hi] — used by

@@ -1,0 +1,83 @@
+#include "runtime/circuit_breaker.h"
+
+namespace mscm::runtime {
+
+const char* ToString(CircuitBreaker::State s) {
+  switch (s) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config, Clock* clock)
+    : config_(config), clock_(clock != nullptr ? clock : Clock::System()) {}
+
+void CircuitBreaker::TransitionLocked(State next) {
+  if (next == State::kOpen && state() != State::kOpen) {
+    opens_.fetch_add(1, std::memory_order_relaxed);
+    open_until_ = clock_->Now() + std::chrono::duration_cast<Clock::Duration>(
+                                      config_.open_duration);
+  }
+  state_.store(static_cast<int>(next), std::memory_order_release);
+}
+
+bool CircuitBreaker::AllowRequest() {
+  if (!enabled()) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state()) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (clock_->Now() < open_until_) return false;
+      TransitionLocked(State::kHalfOpen);
+      trial_successes_ = 0;
+      trial_in_flight_ = true;
+      return true;
+    case State::kHalfOpen:
+      // One trial at a time: concurrent callers wait for its outcome.
+      if (trial_in_flight_) return false;
+      trial_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  consecutive_failures_.store(0, std::memory_order_relaxed);
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state() == State::kHalfOpen) {
+    trial_in_flight_ = false;
+    if (++trial_successes_ >= config_.half_open_successes) {
+      TransitionLocked(State::kClosed);
+    }
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  const int consecutive =
+      consecutive_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state()) {
+    case State::kClosed:
+      if (consecutive >= config_.failure_threshold) {
+        TransitionLocked(State::kOpen);
+      }
+      break;
+    case State::kHalfOpen:
+      // The trial failed: the site is still sick, restart the open timer.
+      trial_in_flight_ = false;
+      TransitionLocked(State::kOpen);
+      break;
+    case State::kOpen:
+      break;  // a straggling failure while already open changes nothing
+  }
+}
+
+}  // namespace mscm::runtime

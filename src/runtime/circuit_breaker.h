@@ -1,0 +1,106 @@
+// Per-site circuit breaker over consecutive probe failures.
+//
+// The paper's premise is that local sites are autonomous and opaque: the
+// only way the MDBS observes a site is by running probing/sample queries
+// against it, and a loaded or dead site can fail those indefinitely.
+// Hammering such a site with more probes makes the overload worse and burns
+// prober time that healthy sites need. The breaker is the standard remedy:
+//
+//   closed ──threshold consecutive failures──▶ open
+//     ▲                                         │ open_duration elapses
+//     │ trial succeeds                          ▼
+//     └──────────────── half-open ◀─────────────┘
+//                          │ trial fails
+//                          └──────▶ open (timer restarts)
+//
+// While the breaker is not closed the site is *degraded*: probes are
+// suppressed (except the half-open trial), estimates keep serving from the
+// last known contention state, and responses carry `degraded=true` so
+// callers can widen error bars or prefer another placement.
+//
+// Thread safety: transitions serialize on an internal mutex; `state()` /
+// `degraded()` are single relaxed atomic loads, safe on estimate hot paths.
+
+#ifndef MSCM_RUNTIME_CIRCUIT_BREAKER_H_
+#define MSCM_RUNTIME_CIRCUIT_BREAKER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "runtime/clock.h"
+
+namespace mscm::runtime {
+
+struct CircuitBreakerConfig {
+  // Consecutive failures that open the breaker; 0 disables it entirely
+  // (always closed, every request admitted).
+  int failure_threshold = 0;
+  // How long an open breaker rejects requests before admitting a half-open
+  // trial. Measured on the injected clock.
+  std::chrono::nanoseconds open_duration = std::chrono::seconds(5);
+  // Consecutive trial successes required in half-open before closing.
+  int half_open_successes = 1;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  // `clock` must outlive the breaker; null falls back to Clock::System().
+  explicit CircuitBreaker(CircuitBreakerConfig config, Clock* clock = nullptr);
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  bool enabled() const { return config_.failure_threshold > 0; }
+
+  // Whether the caller may issue the guarded request now. Closed: always.
+  // Open: false until open_duration has elapsed, at which point the breaker
+  // moves to half-open and admits exactly one trial (concurrent callers keep
+  // getting false until that trial reports its outcome).
+  bool AllowRequest();
+
+  // Outcome of an admitted request. A success in half-open (after
+  // half_open_successes trials) closes the breaker; a failure in half-open
+  // reopens it with a fresh timer; failure_threshold consecutive failures
+  // while closed open it.
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const {
+    return static_cast<State>(state_.load(std::memory_order_acquire));
+  }
+  // Anything but closed: the site is serving from its last known state.
+  bool degraded() const { return state() != State::kClosed; }
+
+  // Transitions into open over the breaker's lifetime (initial opens and
+  // half-open reopens alike).
+  uint64_t opens() const { return opens_.load(std::memory_order_relaxed); }
+
+  int consecutive_failures() const {
+    return consecutive_failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void TransitionLocked(State next);
+
+  const CircuitBreakerConfig config_;
+  Clock* const clock_;
+
+  std::mutex mutex_;
+  Clock::TimePoint open_until_{};  // valid while open
+  bool trial_in_flight_ = false;   // half-open admits one trial at a time
+  int trial_successes_ = 0;        // consecutive successes this half-open
+
+  std::atomic<int> state_{static_cast<int>(State::kClosed)};
+  std::atomic<int> consecutive_failures_{0};
+  std::atomic<uint64_t> opens_{0};
+};
+
+const char* ToString(CircuitBreaker::State s);
+
+}  // namespace mscm::runtime
+
+#endif  // MSCM_RUNTIME_CIRCUIT_BREAKER_H_

@@ -28,7 +28,8 @@ ContentionTracker::ContentionTracker(ContentionTrackerConfig config,
       probe_(std::move(probe)),
       probe_latency_(probe_latency),
       published_cost_bits_(std::bit_cast<uint64_t>(kNoReading)),
-      current_interval_ns_(config_.probe_interval.count()) {
+      current_interval_ns_(config_.probe_interval.count()),
+      breaker_(config_.breaker, config_.clock) {
   MSCM_CHECK(probe_ != nullptr);
   MSCM_CHECK(config_.clock != nullptr);
   if (AdaptiveCadence(config_)) {
@@ -69,28 +70,96 @@ void ContentionTracker::Stop() {
   to_join.join();
 }
 
+bool ContentionTracker::RunProbe(double* cost) {
+  // Without a deadline the probe runs inline; the only armor needed is the
+  // exception catch — a throwing probe is a failed probe, never a dead
+  // prober thread.
+  if (config_.probe_timeout.count() <= 0) {
+    try {
+      *cost = probe_();
+      return true;
+    } catch (...) {
+      return false;
+    }
+  }
+
+  // With a deadline the probe runs on its own short-lived thread and the
+  // caller waits at most probe_timeout for it. All communication goes
+  // through heap-shared state: an abandoned probe that eventually finishes
+  // (or hangs forever) touches only that state, never the tracker — so a
+  // permanently hung probe can never wedge Stop() or the destructor, and a
+  // late result can never publish.
+  struct Pending {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    bool threw = false;
+    double cost = std::numeric_limits<double>::quiet_NaN();
+  };
+  auto pending = std::make_shared<Pending>();
+  std::thread([probe = probe_, pending] {
+    double c = std::numeric_limits<double>::quiet_NaN();
+    bool threw = false;
+    try {
+      c = probe();
+    } catch (...) {
+      threw = true;
+    }
+    std::lock_guard<std::mutex> lock(pending->mutex);
+    pending->done = true;
+    pending->threw = threw;
+    pending->cost = c;
+    pending->cv.notify_all();
+  }).detach();
+
+  std::unique_lock<std::mutex> lock(pending->mutex);
+  if (!pending->cv.wait_for(lock, config_.probe_timeout,
+                            [&] { return pending->done; })) {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (pending->threw) return false;
+  *cost = pending->cost;
+  return true;
+}
+
 bool ContentionTracker::ProbeOnce() {
+  const bool was_degraded = breaker_.degraded();
+  if (!breaker_.AllowRequest()) {
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
   // The sequence ticket is taken *before* the probe runs: publish order then
   // follows probe-start order, and a slow probe racing a faster, later one
-  // (manual ProbeNow vs the background loop) is detected at publish time.
+  // (manual ProbeNow vs the background loop) is detected at publish time. A
+  // timed-out probe burns its ticket, so its abandoned result stays behind
+  // any retry that publishes after it.
   const uint64_t sequence =
       next_sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
 
   // The probe runs outside the cache mutex: probing can take seconds and
   // readers must keep getting the previous reading meanwhile.
   const auto started = std::chrono::steady_clock::now();
-  const double cost = probe_();
+  double cost = kNoReading;
+  const bool returned = RunProbe(&cost);
   const auto elapsed = std::chrono::steady_clock::now() - started;
   if (probe_latency_ != nullptr) {
     probe_latency_->Record(
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed));
   }
 
-  if (std::isnan(cost) || cost < 0.0) {
+  // A cost must be finite *and* non-negative to publish: +inf passes a
+  // NaN/negative check but bit-cast into published_cost_bits_ it would be
+  // served as a real probing cost (and mapped to the top state) forever.
+  if (!returned || !(std::isfinite(cost) && cost >= 0.0)) {
     failures_.fetch_add(1, std::memory_order_relaxed);
+    breaker_.RecordFailure();
+    NotifyDegradedTransition(was_degraded);
     return false;
   }
 
+  breaker_.RecordSuccess();
   probes_.fetch_add(1, std::memory_order_relaxed);
   StateChangeFn callback;
   int old_state = -1;
@@ -103,37 +172,55 @@ bool ContentionTracker::ProbeOnce() {
       // reading (and its timestamp — republishing would serve old contention
       // as fresh).
       discarded_.fetch_add(1, std::memory_order_relaxed);
-      return true;
-    }
-    const bool first = !reading_.has_value;
-    old_state = first ? -1 : reading_.state;
-    reading_.has_value = true;
-    reading_.probing_cost = cost;
-    reading_.state = mapper_ ? mapper_(cost) : -1;
-    reading_.sequence = sequence;
-    reading_at_ = config_.clock->Now();
-    published_stale_ = false;
-    new_state = reading_.state;
-    // Publish cost before version: a lock-free validator that sees the old
-    // version paired with the new cost falls back to its bounds check, which
-    // rejects exactly the entries this transition invalidates.
-    published_cost_bits_.store(std::bit_cast<uint64_t>(cost),
-                               std::memory_order_release);
-    changed = first || new_state != old_state;
-    if (changed) {
-      state_version_.fetch_add(1, std::memory_order_release);
-      callback = state_change_;
+    } else {
+      const bool first = !reading_.has_value;
+      old_state = first ? -1 : reading_.state;
+      reading_.has_value = true;
+      reading_.probing_cost = cost;
+      reading_.state = mapper_ ? mapper_(cost) : -1;
+      reading_.sequence = sequence;
+      reading_at_ = config_.clock->Now();
+      published_stale_ = false;
+      new_state = reading_.state;
+      // Publish cost before version: a lock-free validator that sees the old
+      // version paired with the new cost falls back to its bounds check, which
+      // rejects exactly the entries this transition invalidates.
+      published_cost_bits_.store(std::bit_cast<uint64_t>(cost),
+                                 std::memory_order_release);
+      changed = first || new_state != old_state;
+      if (changed) {
+        state_version_.fetch_add(1, std::memory_order_release);
+        callback = state_change_;
+      }
     }
   }
   // Outside the lock: the callback typically fans out into cache shards and
   // must not nest under the tracker mutex.
   if (changed && callback) callback(old_state, new_state);
+  // A successful half-open trial closes the breaker: publish the flip.
+  NotifyDegradedTransition(was_degraded);
   return true;
+}
+
+void ContentionTracker::NotifyDegradedTransition(bool was_degraded) {
+  if (breaker_.degraded() == was_degraded) return;
+  StateChangeFn callback;
+  int state = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Responses cached before the flip embed the old degraded flag; bumping
+    // the version retires them even though the state itself did not move.
+    state_version_.fetch_add(1, std::memory_order_release);
+    callback = state_change_;
+    state = reading_.has_value ? reading_.state : -1;
+  }
+  if (callback) callback(state, state);
 }
 
 ProbeReading ContentionTracker::Current() const {
   std::lock_guard<std::mutex> lock(mutex_);
   ProbeReading out = reading_;
+  out.degraded = breaker_.degraded();
   if (out.has_value) {
     const auto age = config_.clock->Now() - reading_at_;
     out.age = std::chrono::duration_cast<std::chrono::nanoseconds>(age);
@@ -202,7 +289,7 @@ void ContentionTracker::RunLoop(uint64_t generation) {
   for (;;) {
     const uint64_t version_before =
         state_version_.load(std::memory_order_acquire);
-    ProbeOnce();
+    const bool ok = ProbeOnce();
     // Re-evaluate freshness so a failed probe publishes the fresh→stale
     // transition (a successful one resets the age and publishes fresh).
     Current();
@@ -215,10 +302,23 @@ void ContentionTracker::RunLoop(uint64_t generation) {
                                config_.max_probe_interval);
       current_interval_ns_.store(interval.count(), std::memory_order_relaxed);
     }
+    // Failed probes retry on an exponential backoff instead of sleeping the
+    // whole interval, so a transient failure gets several retries before the
+    // reading crosses its TTL. The backoff keys off the breaker's
+    // consecutive-failure count and never exceeds the regular interval.
+    auto wait = interval;
+    if (!ok && config_.failure_retry.count() > 0 && interval.count() > 0) {
+      const int consecutive = std::max(1, consecutive_failures());
+      int64_t retry_ns = config_.failure_retry.count();
+      for (int i = 1; i < consecutive && retry_ns < interval.count(); ++i) {
+        retry_ns *= 2;
+      }
+      wait = std::min(std::chrono::nanoseconds(retry_ns), interval);
+    }
     std::unique_lock<std::mutex> lock(thread_mutex_);
     // Exit on stop *or* when a newer Start/Stop superseded this loop's
     // generation (a racing Start may have reset stop_ to false already).
-    if (stop_cv_.wait_for(lock, interval, [this, generation] {
+    if (stop_cv_.wait_for(lock, wait, [this, generation] {
           return stop_ || generation_ != generation;
         })) {
       return;

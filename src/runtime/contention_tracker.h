@@ -8,8 +8,14 @@
 // Freshness contract: a reading older than the TTL is still served (last
 // known state beats no state — the environment usually drifts, it does not
 // teleport) but is flagged `stale` so the caller can widen its error bars or
-// trigger a synchronous probe. Probe failures (NaN / negative cost, e.g. a
-// dead site) keep the previous reading and bump a failure counter.
+// trigger a synchronous probe. Probe failures — a non-finite or negative
+// cost, a thrown exception, or a probe abandoned past its deadline — keep
+// the previous reading and bump a failure counter; with a retry backoff
+// configured, the background loop retries failed probes well before the
+// reading crosses its TTL. A per-site circuit breaker (optional) suppresses
+// probing entirely after a run of consecutive failures and re-admits a trial
+// probe after a cooling-off period; while it is not closed the tracker's
+// readings are flagged `degraded`.
 
 #ifndef MSCM_RUNTIME_CONTENTION_TRACKER_H_
 #define MSCM_RUNTIME_CONTENTION_TRACKER_H_
@@ -22,6 +28,7 @@
 #include <string>
 #include <thread>
 
+#include "runtime/circuit_breaker.h"
 #include "runtime/clock.h"
 #include "runtime/runtime_stats.h"
 
@@ -43,6 +50,25 @@ struct ContentionTrackerConfig {
   // (either bound zero) the cadence is the fixed probe_interval.
   std::chrono::nanoseconds min_probe_interval{0};
   std::chrono::nanoseconds max_probe_interval{0};
+  // Probe deadline: a probe still running after this long is abandoned — the
+  // prober stops waiting, counts a failure (and a timeout), and moves on; the
+  // abandoned probe's sequence ticket is burned, so its eventual result can
+  // never publish over a newer reading. Zero disables the deadline (probes
+  // run inline on the prober thread and a hang blocks it). The wait is a real
+  // condition-variable wait, so the deadline is measured in wall time, not on
+  // the injected clock.
+  std::chrono::nanoseconds probe_timeout{0};
+  // After a failed probe the background loop retries after
+  // `failure_retry * 2^(consecutive_failures - 1)` (capped at the current
+  // probe interval) instead of sleeping the whole interval — a transiently
+  // failing site usually gets several retries before the cached reading
+  // crosses its TTL and the stale flag flips. Zero disables (failures wait
+  // the full interval).
+  std::chrono::nanoseconds failure_retry{0};
+  // Circuit breaker over consecutive probe failures (failure_threshold 0
+  // disables). While not closed, probes are suppressed — except the
+  // half-open trial — and readings are flagged `degraded`. Timed on `clock`.
+  CircuitBreakerConfig breaker;
   Clock* clock = Clock::System();
 };
 
@@ -52,6 +78,9 @@ struct ProbeReading {
   double probing_cost = 0.0;
   int state = -1;           // -1 when no state mapper is installed
   bool stale = false;       // age > TTL at read time
+  // The site's probe circuit breaker is open or half-open: probes are
+  // failing and this is the last known state, not a recent measurement.
+  bool degraded = false;
   std::chrono::nanoseconds age{0};
   // Probe-start order of the published reading. A probe only publishes if
   // its sequence is newer than the published one, so a slow probe that
@@ -61,10 +90,12 @@ struct ProbeReading {
 
 class ContentionTracker {
  public:
-  // Measures the site's current probing cost in seconds. A negative or NaN
-  // return means the probe failed. Called from the tracker thread (or from
-  // ProbeOnce's caller); must be safe to call concurrently with whatever
-  // else touches the site — wrap sites in mdbs::MdbsAgent for that.
+  // Measures the site's current probing cost in seconds. Any non-finite or
+  // negative return means the probe failed, and a thrown exception is caught
+  // and counted as a failure too. Called from the tracker thread (or from
+  // ProbeOnce's caller; with a probe_timeout configured, from a short-lived
+  // probe thread); must be safe to call concurrently with whatever else
+  // touches the site — wrap sites in mdbs::MdbsAgent for that.
   using ProbeFn = std::function<double()>;
 
   ContentionTracker(ContentionTrackerConfig config, ProbeFn probe,
@@ -84,7 +115,9 @@ class ContentionTracker {
   void Start();
   void Stop();
 
-  // One synchronous probe; returns false on probe failure.
+  // One synchronous probe; returns false on probe failure (a non-finite or
+  // negative cost, a thrown exception, a deadline overrun, or suppression by
+  // an open circuit breaker).
   bool ProbeOnce();
 
   // Current cached reading with staleness evaluated against the clock now.
@@ -101,9 +134,10 @@ class ContentionTracker {
   using StateChangeFn = std::function<void(int old_state, int new_state)>;
   void SetStateChangeCallback(StateChangeFn callback);
 
-  // Monotone version of the published (state, staleness) pair: bumped when a
-  // probe or remap changes the mapped state, and when the reading crosses the
-  // TTL in either direction. A cached estimate recorded at version v is
+  // Monotone version of the published (state, staleness, degraded) triple:
+  // bumped when a probe or remap changes the mapped state, when the reading
+  // crosses the TTL in either direction, and when the circuit breaker moves
+  // across the closed boundary (the degraded flag flipped). A cached estimate recorded at version v is
   // state-consistent while state_version() == v still holds. Staleness
   // transitions are detected when someone evaluates freshness (Current() or
   // the background loop after a failed probe), so the bump lags a quiet
@@ -143,11 +177,39 @@ class ContentionTracker {
   uint64_t discarded() const {
     return discarded_.load(std::memory_order_relaxed);
   }
+  // Probes abandoned past the probe_timeout deadline (a subset of failures).
+  uint64_t timeouts() const {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
+  // Probe attempts suppressed by an open circuit breaker (not failures: the
+  // probe never ran).
+  uint64_t suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+  // Failed probes since the last success (what the retry backoff and the
+  // breaker key off).
+  int consecutive_failures() const {
+    return breaker_.consecutive_failures();
+  }
+
+  // The probe circuit breaker (always present; disabled unless the config
+  // sets a failure threshold). Lock-free state reads.
+  const CircuitBreaker& breaker() const { return breaker_; }
+  bool degraded() const { return breaker_.degraded(); }
+
   const std::string& site() const { return config_.site; }
 
  private:
   // Loops until `generation` is superseded by a newer Start/Stop.
   void RunLoop(uint64_t generation);
+
+  // Runs the probe with deadline and exception armor; true iff the probe
+  // returned (an unvalidated) *cost in time.
+  bool RunProbe(double* cost);
+
+  // Publishes a degraded-flag flip (version bump + state-change callback)
+  // when the breaker moved across the closed boundary.
+  void NotifyDegradedTransition(bool was_degraded);
 
   const ContentionTrackerConfig config_;
   const ProbeFn probe_;
@@ -173,6 +235,9 @@ class ContentionTracker {
   std::atomic<uint64_t> probes_{0};
   std::atomic<uint64_t> failures_{0};
   std::atomic<uint64_t> discarded_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> suppressed_{0};
+  CircuitBreaker breaker_;
   // Probe-start tickets; compared against reading_.sequence at publish time.
   std::atomic<uint64_t> next_sequence_{0};
 

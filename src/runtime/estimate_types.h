@@ -16,6 +16,10 @@ enum class EstimateStatus {
   kOk,
   kNoModel,  // no cost model registered for (site, class)
   kNoProbe,  // no probing_cost given and no cached probe for the site
+  // The request itself is malformed: a non-finite feature, a NaN probing
+  // cost, or a +inf probing cost. Rejected at the service boundary before
+  // touching the estimate cache.
+  kInvalidRequest,
 };
 
 const char* ToString(EstimateStatus s);
@@ -38,6 +42,11 @@ struct EstimateResponse {
   // detected drift and a re-derivation is pending or backing off. The
   // estimate is still the best available — callers should widen error bars.
   bool stale_model = false;
+  // The site's probe circuit breaker is open or half-open: probes against
+  // the site are failing and the estimate was priced from the last known
+  // contention state, not a recent measurement. Degraded responses are never
+  // cached.
+  bool degraded = false;
 
   bool ok() const { return status == EstimateStatus::kOk; }
 };

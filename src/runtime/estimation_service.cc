@@ -1,12 +1,33 @@
 #include "runtime/estimation_service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <utility>
 
 #include "mdbs/agent.h"
 
 namespace mscm::runtime {
+
+namespace {
+
+// A request must be priceable before it touches any shared structure: a
+// non-finite feature would poison the estimate (and the estimate cache,
+// which keys on the feature vector), a NaN probing cost would silently fall
+// through the `>= 0` explicit-probe check into the cached-probe path, and a
+// +inf probing cost would map to the top state and price garbage.
+bool RequestIsValid(const EstimateRequest& request) {
+  for (const double f : request.features) {
+    if (!std::isfinite(f)) return false;
+  }
+  if (std::isnan(request.probing_cost)) return false;
+  if (request.probing_cost >= 0.0 && !std::isfinite(request.probing_cost)) {
+    return false;
+  }
+  return true;  // any finite negative value means "use the cached probe"
+}
+
+}  // namespace
 
 const char* ToString(EstimateStatus s) {
   switch (s) {
@@ -16,6 +37,8 @@ const char* ToString(EstimateStatus s) {
       return "no-model";
     case EstimateStatus::kNoProbe:
       return "no-probe";
+    case EstimateStatus::kInvalidRequest:
+      return "invalid-request";
   }
   return "?";
 }
@@ -64,6 +87,9 @@ void EstimationService::RegisterSite(const std::string& site,
   tracker_config.probe_interval = config_.probe_interval;
   tracker_config.min_probe_interval = config_.min_probe_interval;
   tracker_config.max_probe_interval = config_.max_probe_interval;
+  tracker_config.probe_timeout = config_.probe_timeout;
+  tracker_config.failure_retry = config_.probe_failure_retry;
+  tracker_config.breaker = config_.breaker;
   tracker_config.clock = config_.clock;
   auto tracker = std::make_shared<ContentionTracker>(
       std::move(tracker_config), std::move(probe), &probe_latency_);
@@ -117,6 +143,18 @@ bool EstimationService::ProbeNow(const std::string& site) {
 ProbeReading EstimationService::CurrentProbe(const std::string& site) const {
   auto tracker = FindTracker(site);
   return tracker == nullptr ? ProbeReading{} : tracker->Current();
+}
+
+bool EstimationService::IsSiteDegraded(const std::string& site) const {
+  auto tracker = FindTracker(site);
+  return tracker != nullptr && tracker->degraded();
+}
+
+CircuitBreaker::State EstimationService::SiteBreakerState(
+    const std::string& site) const {
+  auto tracker = FindTracker(site);
+  return tracker == nullptr ? CircuitBreaker::State::kClosed
+                            : tracker->breaker().state();
 }
 
 void EstimationService::SetModelStale(const std::string& site,
@@ -180,6 +218,14 @@ void EstimationService::FlushCounts(const LocalCounts& counts) const {
     shard.stale_model_served.fetch_add(counts.stale_model_served,
                                        std::memory_order_relaxed);
   }
+  if (counts.invalid_requests > 0) {
+    shard.invalid_requests.fetch_add(counts.invalid_requests,
+                                     std::memory_order_relaxed);
+  }
+  if (counts.degraded_served > 0) {
+    shard.degraded_served.fetch_add(counts.degraded_served,
+                                    std::memory_order_relaxed);
+  }
   if (counts.estimate_cache_hits > 0) {
     shard.estimate_cache_hits.fetch_add(counts.estimate_cache_hits,
                                         std::memory_order_relaxed);
@@ -205,6 +251,10 @@ bool EstimationService::ResolveProbe(const EstimateRequest& request,
   }
   response.probing_cost = cached_reading->probing_cost;
   response.stale_probe = cached_reading->stale;
+  if (cached_reading->degraded) {
+    response.degraded = true;
+    ++counts.degraded_served;
+  }
   if (cached_reading->stale) {
     ++counts.probe_cache_stale;
   } else {
@@ -253,12 +303,16 @@ void EstimationService::MaybeCacheResponse(
     const EstimateResponse& response,
     const std::shared_ptr<ContentionTracker>& tracker,
     uint64_t state_version_before, const ProbeReading& reading) const {
-  // Only responses priced from a *fresh* tracker reading are cacheable: a
-  // stale or explicit-probing-cost response is not a function of the
-  // tracker's published state.
-  if (!response.ok() || response.stale_probe) return;
+  // Only responses priced from a *fresh, healthy* tracker reading are
+  // cacheable: a stale, degraded, or explicit-probing-cost response is not a
+  // function of the tracker's published state — and a degraded response must
+  // stop being served the moment the half-open trial restores the site.
+  if (!response.ok() || response.stale_probe || response.degraded) return;
   if (request.probing_cost >= 0.0) return;
-  if (tracker == nullptr || !reading.has_value || reading.stale) return;
+  if (tracker == nullptr || !reading.has_value || reading.stale ||
+      reading.degraded) {
+    return;
+  }
   const core::CompiledEquations* equations =
       catalog.FindCompiled(request.site, request.class_id);
   if (equations == nullptr || response.state < 0) return;
@@ -274,6 +328,15 @@ void EstimationService::MaybeCacheResponse(
 
 EstimateResponse EstimationService::Estimate(
     const EstimateRequest& request) const {
+  // Validate before anything shared is touched — a NaN feature vector must
+  // never become an estimate-cache key or a served estimate.
+  if (!RequestIsValid(request)) {
+    counters_.Local().invalid_requests.fetch_add(1, std::memory_order_relaxed);
+    EstimateResponse response;
+    response.status = EstimateStatus::kInvalidRequest;
+    return response;
+  }
+
   // Cache hit path first: no clocks, no snapshot, no histogram — one hash,
   // one shard lock, two tracker atomics, one counter RMW.
   const bool try_cache = cache_.enabled() && request.probing_cost < 0.0;
@@ -371,6 +434,7 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
           bool fast = false;
           int state = -1;
           bool stale = false;
+          bool degraded = false;     // site breaker not closed
           bool stale_model = false;  // key flagged by the refresh daemon
           double probing_cost = 0.0;
           const double* row = nullptr;
@@ -389,6 +453,11 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
         };
         for (size_t i = begin; i < end; ++i) {
           const EstimateRequest& request = requests[i];
+          if (!RequestIsValid(request)) {
+            ++counts.invalid_requests;
+            responses[i].status = EstimateStatus::kInvalidRequest;
+            continue;
+          }
           if (use_cache && request.probing_cost < 0.0) {
             if (cache_.Lookup(request.site,
                               static_cast<int>(request.class_id),
@@ -424,6 +493,7 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
               fresh.fast = true;
               fresh.probing_cost = fresh.probe->probing_cost;
               fresh.stale = fresh.probe->stale;
+              fresh.degraded = fresh.probe->degraded;
               fresh.state = fresh.equations->StateOf(fresh.probing_cost);
               fresh.row = fresh.equations->row(fresh.state);
             }
@@ -442,6 +512,10 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
             response.probing_cost = entry->probing_cost;
             response.stale_probe = entry->stale;
             response.state = entry->state;
+            if (entry->degraded) {
+              response.degraded = true;
+              ++counts.degraded_served;
+            }
             if (entry->stale_model) {
               response.stale_model = true;
               ++counts.stale_model_served;
@@ -525,6 +599,10 @@ RuntimeStatsSnapshot EstimationService::Stats() const {
     out.probes += tracker->probes() + tracker->failures();
     out.probe_failures += tracker->failures();
     out.probe_discards += tracker->discarded();
+    out.probe_timeouts += tracker->timeouts();
+    out.probes_suppressed += tracker->suppressed();
+    out.breaker_opens += tracker->breaker().opens();
+    if (tracker->degraded()) ++out.degraded_sites;
     // Gauge: the slowest current per-site cadence (every site probes at
     // least this often; adaptive trackers may be probing faster).
     out.probe_interval_ns =

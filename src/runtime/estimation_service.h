@@ -63,6 +63,18 @@ struct EstimationServiceConfig {
   // both positive enables adaptation, starting from probe_interval.
   std::chrono::nanoseconds min_probe_interval{0};
   std::chrono::nanoseconds max_probe_interval{0};
+  // Per-site probe deadline: a probe still running after this long is
+  // abandoned and counted as a failure (see ContentionTrackerConfig). Zero
+  // disables.
+  std::chrono::nanoseconds probe_timeout{0};
+  // Retry backoff base after a failed background probe (see
+  // ContentionTrackerConfig::failure_retry). Zero disables.
+  std::chrono::nanoseconds probe_failure_retry{0};
+  // Per-site probe circuit breaker (failure_threshold 0 disables): after a
+  // run of consecutive probe failures the site enters degraded — probing is
+  // suppressed, estimates serve from the last known state with
+  // degraded=true, and the refresh daemon holds its re-derivations.
+  CircuitBreakerConfig breaker;
   // State-keyed response memo (see estimate_cache.h); capacity 0 disables.
   EstimateCacheConfig cache;
   Clock* clock = Clock::System();
@@ -117,6 +129,13 @@ class EstimationService {
 
   // Current cached reading for a site (default ProbeReading if unknown).
   ProbeReading CurrentProbe(const std::string& site) const;
+
+  // Whether the site's probe circuit breaker is not closed (estimates for
+  // the site are served degraded). False for unknown sites. Lock-free.
+  bool IsSiteDegraded(const std::string& site) const;
+
+  // The site's breaker state (kClosed for unknown sites). Lock-free.
+  CircuitBreaker::State SiteBreakerState(const std::string& site) const;
 
   // Marks (or unmarks) the (site, class) model as stale: responses for the
   // key carry stale_model=true until a new model is registered or the flag
@@ -177,6 +196,9 @@ class EstimationService {
     uint64_t probe_cache_misses = 0;
     uint64_t no_model = 0;
     uint64_t stale_model_served = 0;
+    uint64_t invalid_requests = 0;
+    // Responses priced from a degraded site (breaker open or half-open).
+    uint64_t degraded_served = 0;
     // Estimate-cache hits bump only this (not requests): the hit path pays
     // exactly one relaxed RMW. Aggregation folds hits back into requests.
     uint64_t estimate_cache_hits = 0;

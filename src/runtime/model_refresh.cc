@@ -24,14 +24,17 @@ const char* ToString(RefreshState s) {
 std::string ModelRefreshStats::ToString() const {
   return Format(
       "reports=%llu ignored=%llu trips{error=%llu drift=%llu} "
-      "refreshes{scheduled=%llu ok=%llu failed=%llu}",
+      "refreshes{scheduled=%llu ok=%llu failed=%llu suspended=%llu "
+      "threw=%llu}",
       static_cast<unsigned long long>(reports),
       static_cast<unsigned long long>(ignored_reports),
       static_cast<unsigned long long>(error_trips),
       static_cast<unsigned long long>(drift_trips),
       static_cast<unsigned long long>(refreshes_scheduled),
       static_cast<unsigned long long>(refreshes_succeeded),
-      static_cast<unsigned long long>(refresh_failures));
+      static_cast<unsigned long long>(refresh_failures),
+      static_cast<unsigned long long>(refreshes_suspended),
+      static_cast<unsigned long long>(refresh_exceptions));
 }
 
 ModelRefreshDaemon::ModelRefreshDaemon(EstimationService* service,
@@ -148,6 +151,14 @@ bool ModelRefreshDaemon::UpdateSignalsAndMaybeTrip(KeyEntry& entry,
     trip = true;
   }
   if (trip) {
+    // A degraded site is already failing its probes; sampling queries for a
+    // re-derivation would fail the same way (and pile load on a sick site).
+    // Hold the refresh — signals were updated above and are not reset, so
+    // the first report after the breaker closes re-trips immediately.
+    if (service_->IsSiteDegraded(entry.site)) {
+      refreshes_suspended_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     entry.state = RefreshState::kDrifting;
     entry.in_flight = true;  // per-key guard: one refresh at a time
   }
@@ -207,6 +218,26 @@ void ModelRefreshDaemon::ReportObserved(const std::string& site,
 }
 
 void ModelRefreshDaemon::RunRefresh(std::shared_ptr<KeyEntry> entry) {
+  // The site may have degraded between scheduling and task start: don't fire
+  // sampling queries at a breaker-open site. Park the key backed-off (no
+  // attempt consumed — the re-derivation never ran) so it re-trips once the
+  // site recovers.
+  if (service_->IsSiteDegraded(entry->site)) {
+    refreshes_suspended_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      entry->state = RefreshState::kBackedOff;
+      entry->next_attempt_at =
+          config_.clock->Now() +
+          std::chrono::duration_cast<Clock::Duration>(config_.initial_backoff);
+      entry->in_flight = false;
+    }
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    --pending_;
+    pending_cv_.notify_all();
+    return;
+  }
+
   core::ObservationSource* source = nullptr;
   core::ObservationSet warm;
   {
@@ -218,8 +249,17 @@ void ModelRefreshDaemon::RunRefresh(std::shared_ptr<KeyEntry> entry) {
 
   // The expensive part — sampling + derivation — runs without any lock; the
   // per-key in_flight guard guarantees this is the only task using `source`.
-  const std::optional<core::BuildReport> report =
-      core::RederiveModel(entry->class_id, *source, config_.rederive, warm);
+  // A source that throws (an autonomous site can fail a sampling query any
+  // way it likes) must not let the exception escape the pool task: it is a
+  // failed attempt like any other and takes the backed-off path below.
+  std::optional<core::BuildReport> report;
+  try {
+    report =
+        core::RederiveModel(entry->class_id, *source, config_.rederive, warm);
+  } catch (...) {
+    refresh_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    report.reset();
+  }
 
   if (report.has_value()) {
     // One atomic snapshot swap: publishes the model, rewires the tracker's
@@ -290,6 +330,10 @@ ModelRefreshStats ModelRefreshDaemon::Stats() const {
   stats.refreshes_succeeded =
       refreshes_succeeded_.load(std::memory_order_relaxed);
   stats.refresh_failures = refresh_failures_.load(std::memory_order_relaxed);
+  stats.refreshes_suspended =
+      refreshes_suspended_.load(std::memory_order_relaxed);
+  stats.refresh_exceptions =
+      refresh_exceptions_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -33,6 +33,13 @@
 // exponent frozen after max_attempts (bounded retry: a permanently failing
 // source throttles to one attempt per max_backoff, it never spins).
 // At most one refresh per key is ever in flight (per-key guard).
+//
+// Failure armor: an observation source that *throws* (instead of returning
+// too few samples) is caught and routed into the same backed-off path — an
+// exception can never escape a worker-pool task. And while a site's probe
+// circuit breaker is not closed, refreshes for the site are suspended:
+// sampling queries would fail the same way the probes are failing, and the
+// signals keep accumulating so the key re-trips once the site recovers.
 
 #ifndef MSCM_RUNTIME_MODEL_REFRESH_H_
 #define MSCM_RUNTIME_MODEL_REFRESH_H_
@@ -104,6 +111,8 @@ struct ModelRefreshStats {
   uint64_t refreshes_scheduled = 0;  // tasks handed to the pool
   uint64_t refreshes_succeeded = 0;  // models re-derived and swapped in
   uint64_t refresh_failures = 0;     // re-derivations that returned no model
+  uint64_t refreshes_suspended = 0;  // trips/tasks held: site breaker not closed
+  uint64_t refresh_exceptions = 0;   // re-derivations that threw (subset of failures)
 
   std::string ToString() const;
 };
@@ -212,6 +221,8 @@ class ModelRefreshDaemon {
   std::atomic<uint64_t> refreshes_scheduled_{0};
   std::atomic<uint64_t> refreshes_succeeded_{0};
   std::atomic<uint64_t> refresh_failures_{0};
+  std::atomic<uint64_t> refreshes_suspended_{0};
+  std::atomic<uint64_t> refresh_exceptions_{0};
 };
 
 }  // namespace mscm::runtime

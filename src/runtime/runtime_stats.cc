@@ -88,8 +88,10 @@ std::string RuntimeStatsSnapshot::ToString() const {
   std::string out = Format(
       "requests=%llu batches=%llu probe_cache{hit=%llu stale=%llu miss=%llu} "
       "estimate_cache{hit=%llu miss=%llu invalidated=%llu} "
-      "no_model=%llu probes=%llu probe_interval=%.3gms probe_failures=%llu "
-      "probe_discards=%llu "
+      "no_model=%llu invalid_requests=%llu probes=%llu probe_interval=%.3gms "
+      "probe_failures=%llu probe_discards=%llu probe_timeouts=%llu "
+      "probes_suppressed=%llu breaker_opens=%llu degraded_sites=%llu "
+      "degraded_served=%llu "
       "catalog_swaps=%llu stale_models=%llu stale_model_served=%llu\n",
       static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(batches),
@@ -100,10 +102,16 @@ std::string RuntimeStatsSnapshot::ToString() const {
       static_cast<unsigned long long>(estimate_cache_misses),
       static_cast<unsigned long long>(estimate_cache_invalidations),
       static_cast<unsigned long long>(no_model),
+      static_cast<unsigned long long>(invalid_requests),
       static_cast<unsigned long long>(probes),
       static_cast<double>(probe_interval_ns) * 1e-6,
       static_cast<unsigned long long>(probe_failures),
       static_cast<unsigned long long>(probe_discards),
+      static_cast<unsigned long long>(probe_timeouts),
+      static_cast<unsigned long long>(probes_suppressed),
+      static_cast<unsigned long long>(breaker_opens),
+      static_cast<unsigned long long>(degraded_sites),
+      static_cast<unsigned long long>(degraded_served),
       static_cast<unsigned long long>(catalog_swaps),
       static_cast<unsigned long long>(stale_models),
       static_cast<unsigned long long>(stale_model_served));
@@ -138,6 +146,9 @@ void RuntimeCounters::AggregateInto(RuntimeStatsSnapshot& out) const {
     out.catalog_swaps += s.catalog_swaps.load(std::memory_order_relaxed);
     out.stale_model_served +=
         s.stale_model_served.load(std::memory_order_relaxed);
+    out.degraded_served += s.degraded_served.load(std::memory_order_relaxed);
+    out.invalid_requests +=
+        s.invalid_requests.load(std::memory_order_relaxed);
   }
 }
 

@@ -63,6 +63,12 @@ struct RuntimeStatsSnapshot {
   uint64_t probes = 0;             // probing queries run by trackers
   uint64_t probe_failures = 0;     // probes that errored (kept last state)
   uint64_t probe_discards = 0;     // probes outrun by a newer one (not published)
+  uint64_t probe_timeouts = 0;     // probes abandoned past their deadline
+  uint64_t probes_suppressed = 0;  // probe attempts rejected by an open breaker
+  uint64_t breaker_opens = 0;      // circuit-breaker transitions into open
+  uint64_t degraded_sites = 0;     // gauge: sites whose breaker is not closed
+  uint64_t degraded_served = 0;    // estimates priced from a degraded site
+  uint64_t invalid_requests = 0;   // requests rejected at the service boundary
   uint64_t catalog_swaps = 0;      // snapshot publications (model registers)
   uint64_t stale_model_served = 0; // estimates served from a drift-flagged model
   uint64_t stale_models = 0;       // gauge: (site, class) keys currently stale
@@ -94,6 +100,8 @@ class RuntimeCounters {
     std::atomic<uint64_t> probe_failures{0};
     std::atomic<uint64_t> catalog_swaps{0};
     std::atomic<uint64_t> stale_model_served{0};
+    std::atomic<uint64_t> degraded_served{0};
+    std::atomic<uint64_t> invalid_requests{0};
     // A cache hit bumps only estimate_cache_hits (one RMW on the hit path);
     // aggregation folds hits back into `requests`.
     std::atomic<uint64_t> estimate_cache_hits{0};

@@ -1,0 +1,204 @@
+#include "sim/fault_injector.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace mscm::sim {
+
+const char* ToString(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kThrow:
+      return "throw";
+    case FaultKind::kNaN:
+      return "nan";
+    case FaultKind::kInf:
+      return "inf";
+    case FaultKind::kNegative:
+      return "negative";
+    case FaultKind::kHang:
+      return "hang";
+    case FaultKind::kDelay:
+      return "delay";
+  }
+  return "?";
+}
+
+struct FaultInjector::State {
+  FaultInjectorConfig config;
+
+  std::mutex mutex;  // guards rng, scripted, hang bookkeeping
+  std::condition_variable cv;
+  Rng rng{0};
+  std::deque<FaultKind> scripted;
+  bool hangs_released = false;
+  int hanging = 0;
+
+  std::atomic<uint64_t> calls{0};
+  std::atomic<uint64_t> injected[kNumFaultKinds] = {};
+};
+
+FaultInjector::FaultInjector(FaultInjectorConfig config)
+    : state_(std::make_shared<State>()) {
+  const double sum = config.throw_rate + config.nan_rate + config.inf_rate +
+                     config.negative_rate + config.hang_rate +
+                     config.delay_rate;
+  MSCM_CHECK_MSG(sum <= 1.0 + 1e-12, "fault rates must sum to at most 1");
+  MSCM_CHECK(config.throw_rate >= 0.0 && config.nan_rate >= 0.0 &&
+             config.inf_rate >= 0.0 && config.negative_rate >= 0.0 &&
+             config.hang_rate >= 0.0 && config.delay_rate >= 0.0);
+  state_->config = config;
+  state_->rng.Seed(config.seed);
+}
+
+FaultInjector::~FaultInjector() { ReleaseHangs(); }
+
+FaultKind FaultInjector::NextFaultImpl(State& state) {
+  state.calls.fetch_add(1, std::memory_order_relaxed);
+  FaultKind kind = FaultKind::kNone;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (!state.scripted.empty()) {
+      kind = state.scripted.front();
+      state.scripted.pop_front();
+    } else {
+      // One uniform draw partitioned by the cumulative rates: the fault mix
+      // is exactly the configured proportions, one rng advance per call.
+      const double u = state.rng.NextDouble();
+      const FaultInjectorConfig& c = state.config;
+      double edge = c.throw_rate;
+      if (u < edge) {
+        kind = FaultKind::kThrow;
+      } else if (u < (edge += c.nan_rate)) {
+        kind = FaultKind::kNaN;
+      } else if (u < (edge += c.inf_rate)) {
+        kind = FaultKind::kInf;
+      } else if (u < (edge += c.negative_rate)) {
+        kind = FaultKind::kNegative;
+      } else if (u < (edge += c.hang_rate)) {
+        kind = FaultKind::kHang;
+      } else if (u < (edge += c.delay_rate)) {
+        kind = FaultKind::kDelay;
+      }
+    }
+  }
+  state.injected[static_cast<int>(kind)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  return kind;
+}
+
+void FaultInjector::HangImpl(State& state) {
+  std::unique_lock<std::mutex> lock(state.mutex);
+  ++state.hanging;
+  state.cv.wait(lock, [&state] { return state.hangs_released; });
+  --state.hanging;
+}
+
+double FaultInjector::InvokeFaulted(const std::shared_ptr<State>& state,
+                                    const std::function<double()>& inner) {
+  switch (NextFaultImpl(*state)) {
+    case FaultKind::kNone:
+      return inner();
+    case FaultKind::kThrow:
+      throw std::runtime_error("injected probe fault");
+    case FaultKind::kNaN:
+      return std::numeric_limits<double>::quiet_NaN();
+    case FaultKind::kInf:
+      return std::numeric_limits<double>::infinity();
+    case FaultKind::kNegative:
+      return -1.0;
+    case FaultKind::kHang:
+      // Once released (teardown), report an unmistakable failure value.
+      HangImpl(*state);
+      return std::numeric_limits<double>::quiet_NaN();
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(state->config.delay);
+      return inner();
+  }
+  return inner();
+}
+
+std::function<double()> FaultInjector::WrapProbe(
+    std::function<double()> inner) {
+  return [state = state_, inner = std::move(inner)] {
+    return InvokeFaulted(state, inner);
+  };
+}
+
+void FaultInjector::ScheduleNext(FaultKind kind, int count) {
+  MSCM_CHECK(count >= 0);
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  for (int i = 0; i < count; ++i) state_->scripted.push_back(kind);
+}
+
+FaultKind FaultInjector::NextFault() { return NextFaultImpl(*state_); }
+
+void FaultInjector::HangUntilReleased() { HangImpl(*state_); }
+
+void FaultInjector::SleepDelay() {
+  std::this_thread::sleep_for(state_->config.delay);
+}
+
+void FaultInjector::ReleaseHangs() {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->hangs_released = true;
+  state_->cv.notify_all();
+}
+
+int FaultInjector::hanging() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->hanging;
+}
+
+uint64_t FaultInjector::calls() const {
+  return state_->calls.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::injected(FaultKind kind) const {
+  return state_->injected[static_cast<int>(kind)].load(
+      std::memory_order_relaxed);
+}
+
+std::optional<core::Observation> FaultyObservationSource::TryDraw() {
+  switch (injector_->NextFault()) {
+    case FaultKind::kNone:
+      return inner_->TryDraw();
+    case FaultKind::kThrow:
+      throw std::runtime_error("injected sampling fault");
+    case FaultKind::kNaN: {
+      std::optional<core::Observation> obs = inner_->TryDraw();
+      if (obs.has_value()) obs->cost = std::numeric_limits<double>::quiet_NaN();
+      return obs;
+    }
+    case FaultKind::kInf: {
+      std::optional<core::Observation> obs = inner_->TryDraw();
+      if (obs.has_value()) obs->cost = std::numeric_limits<double>::infinity();
+      return obs;
+    }
+    case FaultKind::kNegative: {
+      std::optional<core::Observation> obs = inner_->TryDraw();
+      if (obs.has_value()) obs->cost = -1.0;
+      return obs;
+    }
+    case FaultKind::kHang:
+      // A hung sampling query, once released, produced nothing.
+      injector_->HangUntilReleased();
+      return std::nullopt;
+    case FaultKind::kDelay:
+      injector_->SleepDelay();
+      return inner_->TryDraw();
+  }
+  return inner_->TryDraw();
+}
+
+}  // namespace mscm::sim

@@ -1,0 +1,142 @@
+// Deterministic fault injection for the runtime's probe and sampling paths.
+//
+// The paper's environment model assumes autonomous, opaque local sites: the
+// MDBS observes a site only through probing and sample queries, and a loaded
+// or dead site can fail those arbitrarily — throw, hang, stall, or return
+// garbage. The chaos tests drive exactly those failures through this
+// injector: a seeded Rng (plus an optional scripted queue) decides per call
+// whether to throw, corrupt the returned cost (NaN / +inf / negative),
+// sleep past the probe deadline, or hang until released.
+//
+// Determinism: all randomness comes from the seeded xoshiro generator, so a
+// failing chaos run reproduces from its seed. Hangs block on a condition
+// variable until ReleaseHangs() (also called by the destructor), so no
+// injected hang can outlive a test or leak a blocked thread at exit.
+//
+// Lifetime: callables returned by WrapProbe share ownership of the
+// injector's state, so a probe thread the tracker abandoned past its
+// deadline stays safe to run even after the injector object is gone.
+
+#ifndef MSCM_SIM_FAULT_INJECTOR_H_
+#define MSCM_SIM_FAULT_INJECTOR_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/observation_source.h"
+
+namespace mscm::sim {
+
+enum class FaultKind {
+  kNone = 0,   // call passes through unfaulted
+  kThrow,      // throws std::runtime_error
+  kNaN,        // returns / corrupts to quiet NaN
+  kInf,        // returns / corrupts to +inf
+  kNegative,   // returns / corrupts to -1.0
+  kHang,       // blocks until ReleaseHangs()
+  kDelay,      // sleeps the configured delay (real time), then passes through
+};
+inline constexpr int kNumFaultKinds = 7;
+
+const char* ToString(FaultKind k);
+
+struct FaultInjectorConfig {
+  uint64_t seed = 0x5eedf00dULL;
+  // Per-call injection probabilities, drawn once per call from one uniform
+  // variate (mutually exclusive; the sum must not exceed 1; the remainder is
+  // the unfaulted pass-through probability).
+  double throw_rate = 0.0;
+  double nan_rate = 0.0;
+  double inf_rate = 0.0;
+  double negative_rate = 0.0;
+  double hang_rate = 0.0;
+  double delay_rate = 0.0;
+  // How long a kDelay fault sleeps — wall time, so set it past the probe
+  // deadline under test.
+  std::chrono::nanoseconds delay = std::chrono::milliseconds(10);
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultInjectorConfig config = {});
+  ~FaultInjector();  // ReleaseHangs(): no injected hang survives the injector
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Wraps a probe callable with fault injection (ContentionTracker::ProbeFn
+  // shape). The wrapper owns a share of the injector state — safe to invoke
+  // from probe threads that outlive this object.
+  std::function<double()> WrapProbe(std::function<double()> inner);
+
+  // Forces the next `count` calls to inject `kind`; scripted faults take
+  // priority over the seeded rates (deterministic single-fault tests).
+  void ScheduleNext(FaultKind kind, int count = 1);
+
+  // Draws and counts the fault for one call: scripted queue first, then the
+  // seeded rates. Exposed so wrappers over other interfaces
+  // (FaultyObservationSource) share the same fault stream.
+  FaultKind NextFault();
+
+  // The kHang behavior: blocks the calling thread until ReleaseHangs().
+  void HangUntilReleased();
+
+  // The kDelay behavior: sleeps the configured delay (wall time).
+  void SleepDelay();
+
+  // Permanently releases every current and future hang (teardown; hangs
+  // injected afterwards return immediately).
+  void ReleaseHangs();
+
+  // Calls currently blocked inside an injected hang.
+  int hanging() const;
+
+  // Total calls routed through the injector.
+  uint64_t calls() const;
+
+  // Calls that drew `kind` (injected(kNone) counts the pass-throughs).
+  uint64_t injected(FaultKind kind) const;
+
+ private:
+  struct State;
+
+  static FaultKind NextFaultImpl(State& state);
+  static void HangImpl(State& state);
+  static double InvokeFaulted(const std::shared_ptr<State>& state,
+                              const std::function<double()>& inner);
+
+  std::shared_ptr<State> state_;
+};
+
+// ObservationSource wrapper injecting faults into the sampling path the
+// refresh daemon draws through. TryDraw is the faulted entry point: it can
+// throw, corrupt the drawn observation's cost, hang until release (then
+// report "no sample"), or delay. Draw() and DrawInProbingRange() forward
+// unfaulted — derivation-internal resampling is not the surface under test.
+// Neither pointer is owned; both must outlive this source.
+class FaultyObservationSource : public core::ObservationSource {
+ public:
+  FaultyObservationSource(core::ObservationSource* inner,
+                          FaultInjector* injector)
+      : inner_(inner), injector_(injector) {}
+
+  core::Observation Draw() override { return inner_->Draw(); }
+
+  std::optional<core::Observation> TryDraw() override;
+
+  std::optional<core::Observation> DrawInProbingRange(
+      double lo, double hi, int max_attempts) override {
+    return inner_->DrawInProbingRange(lo, hi, max_attempts);
+  }
+
+ private:
+  core::ObservationSource* const inner_;
+  FaultInjector* const injector_;
+};
+
+}  // namespace mscm::sim
+
+#endif  // MSCM_SIM_FAULT_INJECTOR_H_

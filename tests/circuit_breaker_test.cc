@@ -1,0 +1,141 @@
+#include "runtime/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "runtime/clock.h"
+
+namespace mscm::runtime {
+namespace {
+
+using std::chrono::seconds;
+
+CircuitBreakerConfig Config(int threshold, int half_open_successes = 1) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = threshold;
+  config.open_duration = seconds(5);
+  config.half_open_successes = half_open_successes;
+  return config;
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerNeverOpens) {
+  FakeClock clock;
+  CircuitBreaker breaker(Config(0), &clock);
+  EXPECT_FALSE(breaker.enabled());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(breaker.AllowRequest());
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_FALSE(breaker.degraded());
+  EXPECT_EQ(breaker.opens(), 0u);
+  // The consecutive-failure count still runs (retry backoff uses it).
+  EXPECT_EQ(breaker.consecutive_failures(), 10);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+}
+
+TEST(CircuitBreakerTest, OpensAfterThresholdConsecutiveFailures) {
+  FakeClock clock;
+  CircuitBreaker breaker(Config(3), &clock);
+
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+
+  // A success in between resets the run: two more failures do not open.
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(breaker.degraded());
+  EXPECT_EQ(breaker.opens(), 1u);
+  EXPECT_FALSE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsOneTrialAfterOpenDuration) {
+  FakeClock clock;
+  CircuitBreaker breaker(Config(1), &clock);
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  clock.Advance(seconds(4));
+  EXPECT_FALSE(breaker.AllowRequest());  // still cooling off
+
+  clock.Advance(seconds(2));
+  EXPECT_TRUE(breaker.AllowRequest());  // the half-open trial
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.degraded());
+  // Exactly one trial at a time: concurrent callers are rejected until the
+  // trial reports.
+  EXPECT_FALSE(breaker.AllowRequest());
+
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_FALSE(breaker.degraded());
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, TrialFailureReopensWithFreshTimer) {
+  FakeClock clock;
+  CircuitBreaker breaker(Config(1), &clock);
+  breaker.RecordFailure();
+  clock.Advance(seconds(6));
+  ASSERT_TRUE(breaker.AllowRequest());
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);  // the reopen counts
+
+  // The open timer restarted at the trial failure.
+  clock.Advance(seconds(4));
+  EXPECT_FALSE(breaker.AllowRequest());
+  clock.Advance(seconds(2));
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, ClosingCanRequireMultipleTrialSuccesses) {
+  FakeClock clock;
+  CircuitBreaker breaker(Config(1, /*half_open_successes=*/2), &clock);
+  breaker.RecordFailure();
+  clock.Advance(seconds(6));
+
+  ASSERT_TRUE(breaker.AllowRequest());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);  // 1 of 2
+
+  ASSERT_TRUE(breaker.AllowRequest());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, StragglingFailureWhileOpenIsANoOp) {
+  FakeClock clock;
+  CircuitBreaker breaker(Config(1), &clock);
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  breaker.RecordFailure();  // e.g. an abandoned probe reporting late
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+  // The open window did not restart management state; after the duration a
+  // trial is still admitted.
+  clock.Advance(seconds(6));
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, ToStringNamesEveryState) {
+  EXPECT_EQ(std::string(ToString(CircuitBreaker::State::kClosed)), "closed");
+  EXPECT_EQ(std::string(ToString(CircuitBreaker::State::kOpen)), "open");
+  EXPECT_EQ(std::string(ToString(CircuitBreaker::State::kHalfOpen)),
+            "half-open");
+}
+
+}  // namespace
+}  // namespace mscm::runtime

@@ -5,6 +5,10 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -329,6 +333,218 @@ TEST(ContentionTrackerTest, StateChangeCallbackFiresOnTransitionsOnly) {
   EXPECT_EQ(transitions[0], std::make_pair(-1, 0));
   EXPECT_EQ(transitions[1], std::make_pair(0, 1));
   EXPECT_EQ(transitions[2], std::make_pair(1, 0));
+}
+
+// Regression: the failure check used to be `isnan(cost) || cost < 0`, which
+// let +inf through — bit-cast into the published cost it was then served as
+// a real probing cost (and mapped into the top contention state) forever.
+TEST(ContentionTrackerTest, NonFiniteProbeCostsAreRejected) {
+  FakeClock clock;
+  for (const double bad :
+       {std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(), std::nan("")}) {
+    ContentionTracker tracker(ManualConfig(&clock, seconds(5)),
+                              [bad] { return bad; });
+    EXPECT_FALSE(tracker.ProbeOnce());
+    EXPECT_EQ(tracker.failures(), 1u);
+    EXPECT_FALSE(tracker.Current().has_value);
+    EXPECT_TRUE(std::isnan(tracker.published_probing_cost()));
+  }
+}
+
+// Regression: an exception thrown by the probe callable used to escape
+// ProbeOnce — on the background loop that unwound (and with no handler,
+// terminated) the prober thread, silently freezing the site's reading.
+TEST(ContentionTrackerTest, ThrowingProbeIsAFailureNotADeadProber) {
+  FakeClock clock;
+  std::atomic<bool> fail{false};
+  ContentionTracker tracker(ManualConfig(&clock, seconds(5)),
+                            [&fail]() -> double {
+                              if (fail.load()) throw std::runtime_error("dead");
+                              return 0.7;
+                            });
+  ASSERT_TRUE(tracker.ProbeOnce());
+  fail.store(true);
+  EXPECT_FALSE(tracker.ProbeOnce());
+  EXPECT_EQ(tracker.failures(), 1u);
+  EXPECT_DOUBLE_EQ(tracker.Current().probing_cost, 0.7);  // reading kept
+}
+
+TEST(ContentionTrackerTest, BackgroundLoopSurvivesThrowingProbe) {
+  ContentionTrackerConfig config;
+  config.site = "flaky";
+  config.ttl = seconds(5);
+  config.probe_interval = milliseconds(1);
+  std::atomic<int> calls{0};
+  ContentionTracker tracker(config, [&calls]() -> double {
+    if (calls.fetch_add(1) % 2 == 0) throw std::runtime_error("flaky");
+    return 0.7;
+  });
+  tracker.Start();
+  const auto deadline = std::chrono::steady_clock::now() + seconds(10);
+  // The loop must keep alternating failure/success: a dead prober thread
+  // would freeze both counters after the first throw.
+  while ((tracker.probes() < 3 || tracker.failures() < 3) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  tracker.Stop();
+  EXPECT_GE(tracker.probes(), 3u);
+  EXPECT_GE(tracker.failures(), 3u);
+  EXPECT_DOUBLE_EQ(tracker.Current().probing_cost, 0.7);
+}
+
+TEST(ContentionTrackerTest, ProbeTimeoutAbandonsHungProbe) {
+  FakeClock clock;
+  ContentionTrackerConfig config = ManualConfig(&clock, seconds(5));
+  config.probe_timeout = milliseconds(30);
+
+  std::mutex hang_mutex;
+  std::condition_variable hang_cv;
+  bool release = false;
+  ContentionTracker tracker(config, [&]() -> double {
+    std::unique_lock<std::mutex> lock(hang_mutex);
+    hang_cv.wait(lock, [&] { return release; });
+    return 0.9;
+  });
+
+  // The hung probe is abandoned at the deadline: failure, timeout, no
+  // publication — and ProbeOnce returned instead of blocking forever.
+  EXPECT_FALSE(tracker.ProbeOnce());
+  EXPECT_EQ(tracker.failures(), 1u);
+  EXPECT_EQ(tracker.timeouts(), 1u);
+  EXPECT_FALSE(tracker.Current().has_value);
+
+  // Release the stranded probe thread; its late result must not publish
+  // (the sequence ticket was burned at abandonment).
+  {
+    std::lock_guard<std::mutex> lock(hang_mutex);
+    release = true;
+    hang_cv.notify_all();
+  }
+  std::this_thread::sleep_for(milliseconds(20));
+  EXPECT_FALSE(tracker.Current().has_value);
+}
+
+// A probe that never returns must not wedge Stop() or the destructor: the
+// deadline abandons it and all communication goes through heap-shared state
+// the tracker never waits on.
+TEST(ContentionTrackerTest, PermanentlyHungProbeNeverWedgesStop) {
+  std::mutex hang_mutex;
+  std::condition_variable hang_cv;
+  bool release = false;
+  {
+    ContentionTrackerConfig config;
+    config.site = "tarpit";
+    config.ttl = seconds(5);
+    config.probe_interval = milliseconds(1);
+    config.probe_timeout = milliseconds(5);
+    ContentionTracker tracker(config, [&]() -> double {
+      std::unique_lock<std::mutex> lock(hang_mutex);
+      hang_cv.wait(lock, [&] { return release; });
+      return 0.9;
+    });
+    tracker.Start();
+    const auto deadline = std::chrono::steady_clock::now() + seconds(10);
+    while (tracker.timeouts() < 2 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(milliseconds(1));
+    }
+    EXPECT_GE(tracker.timeouts(), 2u);
+    tracker.Stop();  // must return despite probes still blocked
+  }
+  // Tracker destroyed; release the stranded probe threads so they exit
+  // before the test (and its captured locals) go away.
+  {
+    std::lock_guard<std::mutex> lock(hang_mutex);
+    release = true;
+    hang_cv.notify_all();
+  }
+  std::this_thread::sleep_for(milliseconds(20));
+}
+
+TEST(ContentionTrackerTest, FailedProbesRetryWithBackoffBeforeInterval) {
+  ContentionTrackerConfig config;
+  config.site = "retry";
+  config.ttl = seconds(5);
+  // The regular cadence is far too slow to accumulate failures in test
+  // time: only the failure-retry backoff can drive the loop this fast.
+  config.probe_interval = seconds(30);
+  config.failure_retry = milliseconds(1);
+  ContentionTracker tracker(config, []() -> double { return -1.0; });
+  tracker.Start();
+  const auto deadline = std::chrono::steady_clock::now() + seconds(10);
+  while (tracker.failures() < 4 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  tracker.Stop();
+  EXPECT_GE(tracker.failures(), 4u);
+}
+
+TEST(ContentionTrackerTest, BreakerOpensSuppressesProbingAndRecovers) {
+  FakeClock clock;
+  ContentionTrackerConfig config = ManualConfig(&clock, seconds(60));
+  config.breaker.failure_threshold = 2;
+  config.breaker.open_duration = seconds(5);
+  std::atomic<bool> fail{false};
+  ContentionTracker tracker(
+      config, [&fail] { return fail.load() ? std::nan("") : 0.7; });
+  std::atomic<int> callbacks{0};
+  tracker.SetStateChangeCallback(
+      [&callbacks](int, int) { callbacks.fetch_add(1); });
+
+  ASSERT_TRUE(tracker.ProbeOnce());  // healthy reading published
+  const uint64_t healthy_version = tracker.state_version();
+  const int callbacks_after_first = callbacks.load();
+
+  // Two consecutive failures open the breaker: the tracker is degraded, the
+  // version moved (cached estimates must retire), the reading is kept.
+  fail.store(true);
+  EXPECT_FALSE(tracker.ProbeOnce());
+  EXPECT_FALSE(tracker.degraded());
+  EXPECT_FALSE(tracker.ProbeOnce());
+  EXPECT_TRUE(tracker.degraded());
+  EXPECT_EQ(tracker.breaker().state(), CircuitBreaker::State::kOpen);
+  EXPECT_GT(tracker.state_version(), healthy_version);
+  EXPECT_GT(callbacks.load(), callbacks_after_first);
+  ProbeReading reading = tracker.Current();
+  EXPECT_TRUE(reading.has_value);
+  EXPECT_TRUE(reading.degraded);
+  EXPECT_DOUBLE_EQ(reading.probing_cost, 0.7);
+
+  // While open, probes are suppressed — the probe callable never runs.
+  EXPECT_FALSE(tracker.ProbeOnce());
+  EXPECT_EQ(tracker.suppressed(), 1u);
+  EXPECT_EQ(tracker.failures(), 2u);  // unchanged: nothing actually probed
+
+  // After the cooling-off period, the half-open trial runs and a success
+  // closes the breaker: service restored, degraded flag cleared, version
+  // bumped again so degraded-free responses replace the old cached ones.
+  clock.Advance(seconds(6));
+  fail.store(false);
+  const uint64_t degraded_version = tracker.state_version();
+  EXPECT_TRUE(tracker.ProbeOnce());
+  EXPECT_FALSE(tracker.degraded());
+  EXPECT_EQ(tracker.breaker().state(), CircuitBreaker::State::kClosed);
+  EXPECT_GT(tracker.state_version(), degraded_version);
+  EXPECT_FALSE(tracker.Current().degraded);
+}
+
+TEST(ContentionTrackerTest, FailedHalfOpenTrialReopensBreaker) {
+  FakeClock clock;
+  ContentionTrackerConfig config = ManualConfig(&clock, seconds(60));
+  config.breaker.failure_threshold = 1;
+  config.breaker.open_duration = seconds(5);
+  ContentionTracker tracker(config, [] { return std::nan(""); });
+
+  EXPECT_FALSE(tracker.ProbeOnce());  // opens
+  EXPECT_TRUE(tracker.degraded());
+  clock.Advance(seconds(6));
+  EXPECT_FALSE(tracker.ProbeOnce());  // half-open trial runs and fails
+  EXPECT_EQ(tracker.breaker().state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(tracker.failures(), 2u);
+  EXPECT_EQ(tracker.breaker().opens(), 2u);
 }
 
 TEST(ContentionTrackerTest, BackgroundAdaptiveCadenceBacksOffWhenStable) {

@@ -1,0 +1,182 @@
+#include "sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+namespace mscm::sim {
+namespace {
+
+TEST(FaultInjectorTest, UnconfiguredInjectorPassesEveryCallThrough) {
+  FaultInjector injector;
+  auto probe = injector.WrapProbe([] { return 0.7; });
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(probe(), 0.7);
+  EXPECT_EQ(injector.calls(), 100u);
+  EXPECT_EQ(injector.injected(FaultKind::kNone), 100u);
+  EXPECT_EQ(injector.injected(FaultKind::kThrow), 0u);
+}
+
+TEST(FaultInjectorTest, ScheduledFaultsApplyInOrderThenRatesResume) {
+  FaultInjector injector;  // all rates zero
+  injector.ScheduleNext(FaultKind::kThrow);
+  injector.ScheduleNext(FaultKind::kNaN);
+  injector.ScheduleNext(FaultKind::kInf);
+  injector.ScheduleNext(FaultKind::kNegative);
+
+  auto probe = injector.WrapProbe([] { return 0.7; });
+  EXPECT_THROW(probe(), std::runtime_error);
+  EXPECT_TRUE(std::isnan(probe()));
+  EXPECT_TRUE(std::isinf(probe()));
+  EXPECT_DOUBLE_EQ(probe(), -1.0);
+  EXPECT_DOUBLE_EQ(probe(), 0.7);  // scripted queue drained → pass-through
+
+  EXPECT_EQ(injector.injected(FaultKind::kThrow), 1u);
+  EXPECT_EQ(injector.injected(FaultKind::kNaN), 1u);
+  EXPECT_EQ(injector.injected(FaultKind::kInf), 1u);
+  EXPECT_EQ(injector.injected(FaultKind::kNegative), 1u);
+  EXPECT_EQ(injector.injected(FaultKind::kNone), 1u);
+}
+
+TEST(FaultInjectorTest, SeededRatesAreDeterministicAndProportional) {
+  FaultInjectorConfig config;
+  config.seed = 42;
+  config.throw_rate = 0.25;
+  config.nan_rate = 0.25;
+
+  uint64_t first_throws = 0;
+  for (int run = 0; run < 2; ++run) {
+    FaultInjector injector(config);
+    auto probe = injector.WrapProbe([] { return 0.7; });
+    for (int i = 0; i < 400; ++i) {
+      try {
+        probe();
+      } catch (const std::runtime_error&) {
+      }
+    }
+    const uint64_t throws = injector.injected(FaultKind::kThrow);
+    const uint64_t nans = injector.injected(FaultKind::kNaN);
+    // Roughly a quarter each (generous bounds; the draw is seeded, so any
+    // failure here is deterministic, not flaky).
+    EXPECT_GT(throws, 50u);
+    EXPECT_LT(throws, 150u);
+    EXPECT_GT(nans, 50u);
+    EXPECT_LT(nans, 150u);
+    EXPECT_EQ(injector.calls(), 400u);
+    if (run == 0) {
+      first_throws = throws;
+    } else {
+      EXPECT_EQ(throws, first_throws);  // same seed → same fault stream
+    }
+  }
+}
+
+TEST(FaultInjectorTest, HangBlocksUntilReleased) {
+  FaultInjector injector;
+  injector.ScheduleNext(FaultKind::kHang);
+  auto probe = injector.WrapProbe([] { return 0.7; });
+
+  double hung_result = 0.0;
+  std::thread hung([&] { hung_result = probe(); });
+  while (injector.hanging() < 1) std::this_thread::yield();
+
+  injector.ReleaseHangs();
+  hung.join();
+  EXPECT_TRUE(std::isnan(hung_result));  // a released hang is a failed probe
+  EXPECT_EQ(injector.hanging(), 0);
+
+  // Hangs injected after release return immediately.
+  injector.ScheduleNext(FaultKind::kHang);
+  EXPECT_TRUE(std::isnan(probe()));
+}
+
+TEST(FaultInjectorTest, DelayFaultSleepsThenPassesThrough) {
+  FaultInjectorConfig config;
+  config.delay = std::chrono::milliseconds(20);
+  FaultInjector injector(config);
+  injector.ScheduleNext(FaultKind::kDelay);
+  auto probe = injector.WrapProbe([] { return 0.7; });
+
+  const auto started = std::chrono::steady_clock::now();
+  EXPECT_DOUBLE_EQ(probe(), 0.7);
+  EXPECT_GE(std::chrono::steady_clock::now() - started,
+            std::chrono::milliseconds(20));
+}
+
+TEST(FaultInjectorTest, WrappedProbeSurvivesInjectorDestruction) {
+  std::function<double()> probe;
+  {
+    FaultInjector injector;
+    probe = injector.WrapProbe([] { return 0.7; });
+    injector.ScheduleNext(FaultKind::kHang);
+  }
+  // The injector is gone: the wrapper still runs off the shared state, and
+  // the scripted hang was released by the destructor.
+  EXPECT_TRUE(std::isnan(probe()));
+  EXPECT_DOUBLE_EQ(probe(), 0.7);
+}
+
+class ConstSource : public core::ObservationSource {
+ public:
+  core::Observation Draw() override {
+    core::Observation obs;
+    obs.features = {1.0, 2.0};
+    obs.cost = 2.0;
+    obs.probing_cost = 0.5;
+    return obs;
+  }
+};
+
+TEST(FaultyObservationSourceTest, InjectsSamplingFaults) {
+  ConstSource inner;
+  FaultInjector injector;
+  FaultyObservationSource source(&inner, &injector);
+
+  // Unfaulted: forwards the inner draw.
+  auto obs = source.TryDraw();
+  ASSERT_TRUE(obs.has_value());
+  EXPECT_DOUBLE_EQ(obs->cost, 2.0);
+
+  injector.ScheduleNext(FaultKind::kThrow);
+  EXPECT_THROW(source.TryDraw(), std::runtime_error);
+
+  injector.ScheduleNext(FaultKind::kNaN);
+  obs = source.TryDraw();
+  ASSERT_TRUE(obs.has_value());
+  EXPECT_TRUE(std::isnan(obs->cost));
+
+  injector.ScheduleNext(FaultKind::kNegative);
+  obs = source.TryDraw();
+  ASSERT_TRUE(obs.has_value());
+  EXPECT_DOUBLE_EQ(obs->cost, -1.0);
+
+  // Draw() stays unfaulted regardless of the scripted queue.
+  injector.ScheduleNext(FaultKind::kThrow);
+  EXPECT_DOUBLE_EQ(source.Draw().cost, 2.0);
+  EXPECT_THROW(source.TryDraw(), std::runtime_error);  // queue still pending
+}
+
+TEST(FaultyObservationSourceTest, HungSamplingQueryYieldsNoSampleOnRelease) {
+  ConstSource inner;
+  FaultInjector injector;
+  FaultyObservationSource source(&inner, &injector);
+  injector.ScheduleNext(FaultKind::kHang);
+
+  std::optional<core::Observation> result;
+  bool returned = false;
+  std::thread sampler([&] {
+    result = source.TryDraw();
+    returned = true;
+  });
+  while (injector.hanging() < 1) std::this_thread::yield();
+  EXPECT_FALSE(returned);
+
+  injector.ReleaseHangs();
+  sampler.join();
+  EXPECT_FALSE(result.has_value());
+}
+
+}  // namespace
+}  // namespace mscm::sim

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-2 concurrency check: build the tree under ThreadSanitizer and run the
+# Tier-2 concurrency check: build the tree under a sanitizer and run the
 # concurrency-sensitive suites (thread pool, snapshot catalog, contention
-# tracker, estimation service, model-refresh daemon, stress). One command:
+# tracker, estimation service, model-refresh daemon, circuit breaker, fault
+# injection, stress, chaos). One command:
 #
 #   tests/run_sanitized.sh            # thread sanitizer (default)
 #   MSCM_SANITIZE=address tests/run_sanitized.sh   # asan instead
@@ -16,7 +17,7 @@ case "${SANITIZER}" in
   address) BUILD_DIR="${REPO_ROOT}/build-asan" ;;
   *) BUILD_DIR="${REPO_ROOT}/build-${SANITIZER}" ;;
 esac
-FILTER='(ThreadPool|SnapshotCatalog|ContentionTracker|EstimationService|ModelRefresh|RuntimeStress|EstimateCache)'
+FILTER='(ThreadPool|SnapshotCatalog|ContentionTracker|EstimationService|ModelRefresh|RuntimeStress|EstimateCache|CircuitBreaker|FaultInjector|FaultyObservationSource|RuntimeChaos)'
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DMSCM_SANITIZE="${SANITIZER}" \
   > /dev/null
@@ -24,7 +25,8 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DMSCM_SANITIZE="${SANITIZER}" \
 cmake --build "${BUILD_DIR}" -j \
   --target thread_pool_test snapshot_catalog_test contention_tracker_test \
            runtime_service_test runtime_refresh_test runtime_stress_test \
-           estimate_cache_test
+           estimate_cache_test circuit_breaker_test fault_injector_test \
+           runtime_chaos_test
 
 # halt_on_error makes a sanitizer report fail the test, not just print.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \

@@ -344,5 +344,139 @@ TEST(ModelRefreshTest, ConcurrentReportsEstimatesAndRefreshesAreSafe) {
   EXPECT_GE(stats.refreshes_succeeded, 1u);
 }
 
+// An observation source that throws from TryDraw — the mdbs glue talking to
+// a misbehaving remote site.
+class ThrowingSource : public core::ObservationSource {
+ public:
+  explicit ThrowingSource(LinearSource* inner) : inner_(inner) {}
+  std::optional<core::Observation> TryDraw() override {
+    if (throwing_.load()) throw std::runtime_error("sampling RPC exploded");
+    return inner_->TryDraw();
+  }
+  core::Observation Draw() override { return inner_->Draw(); }
+  void set_throwing(bool t) { throwing_.store(t); }
+
+ private:
+  LinearSource* inner_;
+  std::atomic<bool> throwing_{true};
+};
+
+// Regression: an exception escaping core::RederiveModel used to propagate out
+// of RunRefresh — on an inline refresh it blew up the reporter, on a worker
+// it took the pool thread down. It is now routed into the same failed-attempt
+// backoff as a clean sampling failure.
+TEST(ModelRefreshTest, ThrowingSourceIsAFailedAttemptNotACrash) {
+  FakeClock clock;
+  EstimationServiceConfig service_config;
+  service_config.clock = &clock;
+  EstimationService service(service_config);
+  service.RegisterModel("a", test::PiecewiseLinearModel(kCls, {2.0}));
+  service.RegisterSite("a", [] { return 0.5; });
+  ASSERT_TRUE(service.ProbeNow("a"));
+
+  LinearSource inner(6.0, 29);
+  ThrowingSource source(&inner);
+  ModelRefreshConfig config = TestConfig(&clock);
+  config.min_reports = 4;
+  config.drift_window = 4;
+  config.initial_backoff = milliseconds(100);
+  ModelRefreshDaemon daemon(&service, config);
+  daemon.Watch("a", kCls, &source);
+
+  Rng rng(31);
+  auto report = [&] {
+    const double x = rng.Uniform(1.0, 10.0);
+    daemon.ReportObserved("a", kCls, FeatureVector(x), 6.0 * x);
+  };
+
+  // The trip runs an inline refresh; the thrown exception must surface as a
+  // counted failure with the key backed off — not as a crash.
+  for (size_t i = 0; i < config.min_reports; ++i) report();
+  ModelRefreshStats stats = daemon.Stats();
+  EXPECT_EQ(stats.refreshes_scheduled, 1u);
+  EXPECT_EQ(stats.refresh_failures, 1u);
+  EXPECT_EQ(stats.refresh_exceptions, 1u);
+  EXPECT_EQ(daemon.Status("a", kCls).state, RefreshState::kBackedOff);
+  EXPECT_TRUE(service.IsModelStale("a", kCls));
+  // The old model keeps serving.
+  ASSERT_TRUE(service.Estimate(Request("a", 3.0)).ok());
+
+  // The source stops throwing; past the backoff the retry succeeds.
+  source.set_throwing(false);
+  clock.Advance(milliseconds(150));
+  report();
+  stats = daemon.Stats();
+  EXPECT_EQ(stats.refreshes_succeeded, 1u);
+  EXPECT_EQ(stats.refresh_exceptions, 1u);
+  EXPECT_EQ(daemon.Status("a", kCls).state, RefreshState::kFresh);
+  EXPECT_NEAR(service.Estimate(Request("a", 3.0)).estimate_seconds, 18.0,
+              1e-3);
+}
+
+// Tentpole: while a site's probe breaker is open, re-deriving its model from
+// fresh samples is pointless (the same site is unreachable) — the daemon
+// suspends the refresh instead of burning a failed attempt, and re-trips
+// from accumulated signals once the site recovers.
+TEST(ModelRefreshTest, RefreshesAreSuspendedWhileSiteIsDegraded) {
+  FakeClock clock;
+  EstimationServiceConfig service_config;
+  service_config.clock = &clock;
+  service_config.breaker.failure_threshold = 1;
+  service_config.breaker.open_duration = seconds(5);
+  EstimationService service(service_config);
+  service.RegisterModel("a", test::PiecewiseLinearModel(kCls, {2.0}));
+  std::atomic<bool> fail{false};
+  service.RegisterSite("a", [&]() -> double {
+    if (fail.load()) throw std::runtime_error("site down");
+    return 0.5;
+  });
+  ASSERT_TRUE(service.ProbeNow("a"));
+
+  // Trip the breaker: the site is degraded.
+  fail.store(true);
+  EXPECT_FALSE(service.ProbeNow("a"));
+  ASSERT_TRUE(service.IsSiteDegraded("a"));
+
+  LinearSource source(6.0, 37);
+  ModelRefreshConfig config = TestConfig(&clock);
+  config.min_reports = 4;
+  config.drift_window = 4;
+  ModelRefreshDaemon daemon(&service, config);
+  daemon.Watch("a", kCls, &source);
+
+  Rng rng(41);
+  auto report = [&] {
+    const double x = rng.Uniform(1.0, 10.0);
+    daemon.ReportObserved("a", kCls, FeatureVector(x), 6.0 * x);
+  };
+
+  // Plenty of high-error reports, but the degraded site suspends every trip:
+  // nothing is scheduled, no attempt is burned, no sample is drawn.
+  for (int i = 0; i < 10; ++i) report();
+  ModelRefreshStats stats = daemon.Stats();
+  EXPECT_EQ(stats.refreshes_scheduled, 0u);
+  EXPECT_EQ(stats.refresh_failures, 0u);
+  EXPECT_GE(stats.refreshes_suspended, 1u);
+  EXPECT_EQ(source.draws(), 0);
+  EXPECT_EQ(daemon.Status("a", kCls).attempts, 0);
+
+  // The site recovers: half-open trial closes the breaker, and the signals
+  // that kept accumulating re-trip a real refresh on the next report.
+  fail.store(false);
+  clock.Advance(seconds(6));
+  ASSERT_TRUE(service.ProbeNow("a"));
+  ASSERT_FALSE(service.IsSiteDegraded("a"));
+  int reports = 0;
+  while (daemon.Stats().refreshes_succeeded < 1 && reports < 20) {
+    report();
+    ++reports;
+  }
+  stats = daemon.Stats();
+  EXPECT_EQ(stats.refreshes_succeeded, 1u);
+  EXPECT_GT(source.draws(), 0);
+  EXPECT_NEAR(service.Estimate(Request("a", 3.0)).estimate_seconds, 18.0,
+              1e-3);
+}
+
 }  // namespace
 }  // namespace mscm::runtime

@@ -5,6 +5,8 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 #include <thread>
 
 #include "common/rng.h"
@@ -280,6 +282,139 @@ TEST(EstimationServiceTest, StaleModelFlagIsServedAndCounted) {
   EXPECT_FALSE(service.IsModelStale("a", cls));
   EXPECT_FALSE(service.Estimate(Request("a", cls, 3.0, 0.5)).stale_model);
   EXPECT_EQ(service.Stats().stale_models, 0u);
+}
+
+// Regression: a NaN feature used to flow straight into the model (and, with
+// the memo enabled, poison the estimate cache with a NaN-keyed entry). The
+// service now validates requests at the boundary and rejects them without
+// touching any cache.
+TEST(EstimationServiceTest, InvalidRequestsAreRejectedAtTheBoundary) {
+  EstimationServiceConfig config;
+  config.cache.capacity = 64;
+  EstimationService service(config);
+  const auto cls = QueryClassId::kUnarySeqScan;
+  service.RegisterModel("a", test::PiecewiseLinearModel(cls, {2.0}));
+  service.RegisterSite("a", [] { return 0.5; });
+  ASSERT_TRUE(service.ProbeNow("a"));
+
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+
+  EstimateRequest bad_feature = Request("a", cls, 3.0);
+  bad_feature.features[0] = nan;
+  EXPECT_EQ(service.Estimate(bad_feature).status,
+            EstimateStatus::kInvalidRequest);
+  bad_feature.features[0] = inf;
+  EXPECT_EQ(service.Estimate(bad_feature).status,
+            EstimateStatus::kInvalidRequest);
+
+  // NaN probing cost is not "use the cached probe" (that is any finite
+  // negative value) — it is a corrupt request.
+  EXPECT_EQ(service.Estimate(Request("a", cls, 3.0, nan)).status,
+            EstimateStatus::kInvalidRequest);
+  EXPECT_EQ(service.Estimate(Request("a", cls, 3.0, inf)).status,
+            EstimateStatus::kInvalidRequest);
+  // The finite-negative sentinel still means "use the cached probe".
+  EXPECT_TRUE(service.Estimate(Request("a", cls, 3.0, -2.0)).ok());
+
+  const RuntimeStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.invalid_requests, 4u);
+  // Rejected requests are not counted as served requests and never consult
+  // the response memo.
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.estimate_cache_misses, 1u);
+  EXPECT_EQ(stats.estimate_cache_hits, 0u);
+
+  // A valid repeat of the good request hits the memo — the invalid ones left
+  // nothing behind.
+  EXPECT_TRUE(service.Estimate(Request("a", cls, 3.0, -2.0)).ok());
+  EXPECT_EQ(service.Stats().estimate_cache_hits, 1u);
+}
+
+TEST(EstimationServiceTest, BatchRejectsInvalidItemsIndividually) {
+  EstimationServiceConfig config;
+  config.cache.capacity = 64;
+  EstimationService service(config);
+  const auto cls = QueryClassId::kUnarySeqScan;
+  service.RegisterModel("a", test::PiecewiseLinearModel(cls, {2.0}));
+
+  EstimateRequest bad = Request("a", cls, 3.0, 0.5);
+  bad.features[0] = std::nan("");
+  const std::vector<EstimateResponse> batch = service.EstimateBatch(
+      {Request("a", cls, 3.0, 0.5), bad, Request("a", cls, 4.0, 0.5)});
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_TRUE(batch[0].ok());
+  EXPECT_EQ(batch[1].status, EstimateStatus::kInvalidRequest);
+  EXPECT_TRUE(batch[2].ok());
+  EXPECT_NEAR(batch[2].estimate_seconds, 8.0, 1e-6);
+  EXPECT_EQ(service.Stats().invalid_requests, 1u);
+}
+
+// Tentpole: a site whose probes keep failing trips its circuit breaker.
+// Estimates keep flowing from the last known state, flagged degraded; the
+// degraded responses are never memoized; a half-open trial probe restores
+// clean service once the site recovers.
+TEST(EstimationServiceTest, DegradedSiteServesLastStateAndRecovers) {
+  FakeClock clock;
+  EstimationServiceConfig config;
+  config.clock = &clock;
+  config.probe_ttl = std::chrono::hours(1);
+  config.breaker.failure_threshold = 2;
+  config.breaker.open_duration = seconds(5);
+  config.cache.capacity = 64;
+  EstimationService service(config);
+  const auto cls = QueryClassId::kUnarySeqScan;
+  service.RegisterModel("a", test::PiecewiseLinearModel(cls, {2.0}));
+
+  std::atomic<bool> fail{false};
+  service.RegisterSite("a", [&]() -> double {
+    if (fail.load()) throw std::runtime_error("site down");
+    return 0.5;
+  });
+  ASSERT_TRUE(service.ProbeNow("a"));
+  EXPECT_FALSE(service.IsSiteDegraded("a"));
+
+  fail.store(true);
+  EXPECT_FALSE(service.ProbeNow("a"));
+  EXPECT_FALSE(service.ProbeNow("a"));  // second consecutive failure → open
+  EXPECT_TRUE(service.IsSiteDegraded("a"));
+  EXPECT_EQ(service.SiteBreakerState("a"), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(service.ProbeNow("a"));  // suppressed, does not run the probe
+
+  // Estimates still serve the pre-failure state, flagged, in both paths.
+  const EstimateResponse single = service.Estimate(Request("a", cls, 3.0));
+  ASSERT_TRUE(single.ok());
+  EXPECT_TRUE(single.degraded);
+  EXPECT_NEAR(single.estimate_seconds, 6.0, 1e-6);
+  const std::vector<EstimateResponse> batch =
+      service.EstimateBatch({Request("a", cls, 3.0)});
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(batch[0].degraded);
+
+  RuntimeStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.breaker_opens, 1u);
+  EXPECT_EQ(stats.degraded_sites, 1u);
+  EXPECT_EQ(stats.degraded_served, 2u);
+  EXPECT_EQ(stats.probes_suppressed, 1u);
+  EXPECT_EQ(stats.probe_failures, 2u);
+  // Degraded responses were never memoized.
+  EXPECT_EQ(stats.estimate_cache_hits, 0u);
+
+  // Recovery: past the open window, the next probe is the half-open trial;
+  // it succeeds and the breaker closes.
+  fail.store(false);
+  clock.Advance(seconds(6));
+  ASSERT_TRUE(service.ProbeNow("a"));
+  EXPECT_FALSE(service.IsSiteDegraded("a"));
+  EXPECT_EQ(service.SiteBreakerState("a"), CircuitBreaker::State::kClosed);
+  const EstimateResponse healthy = service.Estimate(Request("a", cls, 3.0));
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_FALSE(healthy.degraded);
+  EXPECT_EQ(service.Stats().degraded_sites, 0u);
+
+  // Unknown sites are simply not degraded.
+  EXPECT_FALSE(service.IsSiteDegraded("ghost"));
+  EXPECT_EQ(service.SiteBreakerState("ghost"), CircuitBreaker::State::kClosed);
 }
 
 }  // namespace
