@@ -1,0 +1,206 @@
+#include "net/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "core/explanatory.h"
+#include "net/client.h"
+
+namespace mscm::net {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+struct WorkerTally {
+  uint64_t completed = 0;
+  uint64_t items = 0;
+  uint64_t overloaded = 0;
+  uint64_t error_frames = 0;
+  uint64_t transport_errors = 0;
+  uint64_t behind_schedule = 0;
+  std::vector<double> latencies_us;
+};
+
+// One connection's driving loop (closed or open discipline).
+void DriveConnection(const LoadGenConfig& config, size_t worker_index,
+                     SteadyClock::time_point start,
+                     SteadyClock::time_point stop_at, WorkerTally& tally) {
+  NetClient client;
+  if (!client.Connect(config.host, config.port)) {
+    ++tally.transport_errors;
+    return;
+  }
+
+  // Open loop: this connection owns every config.connections-th slot of the
+  // aggregate schedule.
+  const double per_conn_rate =
+      config.target_rate / std::max(1, config.connections);
+  const auto interval =
+      config.mode == LoadGenConfig::Mode::kOpen && per_conn_rate > 0.0
+          ? std::chrono::nanoseconds(
+                static_cast<int64_t>(1e9 / per_conn_rate))
+          : std::chrono::nanoseconds(0);
+  auto next_send = start + interval * static_cast<int64_t>(worker_index) /
+                               std::max(1, config.connections);
+
+  size_t cursor = worker_index;  // de-phase the workload across connections
+  std::vector<runtime::EstimateRequest> batch;
+  while (SteadyClock::now() < stop_at) {
+    if (config.mode == LoadGenConfig::Mode::kOpen) {
+      const auto now = SteadyClock::now();
+      if (now < next_send) {
+        std::this_thread::sleep_until(std::min(next_send, stop_at));
+        if (SteadyClock::now() >= stop_at) break;
+      } else if (now > next_send + interval) {
+        ++tally.behind_schedule;  // coordinated-omission tell
+      }
+      next_send += interval;
+    }
+
+    RpcStatus status;
+    size_t items = 0;
+    const auto sent_at = SteadyClock::now();
+    if (config.batch_size <= 1) {
+      runtime::EstimateResponse response;
+      status = client.Estimate(
+          config.workload[cursor % config.workload.size()], &response);
+      items = 1;
+      ++cursor;
+    } else {
+      batch.clear();
+      for (size_t i = 0; i < config.batch_size; ++i) {
+        batch.push_back(config.workload[cursor % config.workload.size()]);
+        ++cursor;
+      }
+      std::vector<runtime::EstimateResponse> responses;
+      status = client.EstimateBatch(batch, &responses);
+      items = responses.size();
+    }
+    const double us = std::chrono::duration<double, std::micro>(
+                          SteadyClock::now() - sent_at)
+                          .count();
+
+    if (status.ok()) {
+      ++tally.completed;
+      tally.items += items;
+      tally.latencies_us.push_back(us);
+    } else if (status.overloaded()) {
+      ++tally.overloaded;
+    } else if (status.code == RpcStatus::Code::kErrorFrame) {
+      ++tally.error_frames;
+    } else {
+      ++tally.transport_errors;
+      // The connection died (server restart, drain, timeout): try once to
+      // come back rather than idling for the rest of the run.
+      if (!client.Connect(config.host, config.port)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+
+    if (config.mode == LoadGenConfig::Mode::kClosed &&
+        config.think_time.count() > 0) {
+      std::this_thread::sleep_for(config.think_time);
+    }
+  }
+}
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+std::string LoadGenResult::ToString() const {
+  return Format(
+      "completed=%llu (%.0f/s, %.0f items/s) overloaded=%llu errors=%llu "
+      "transport=%llu behind=%llu latency{p50=%.1fus p90=%.1fus p99=%.1fus "
+      "mean=%.1fus max=%.1fus}",
+      static_cast<unsigned long long>(completed), qps, items_per_sec,
+      static_cast<unsigned long long>(overloaded),
+      static_cast<unsigned long long>(error_frames),
+      static_cast<unsigned long long>(transport_errors),
+      static_cast<unsigned long long>(behind_schedule), p50_us, p90_us,
+      p99_us, mean_us, max_us);
+}
+
+LoadGenResult RunLoadGen(const LoadGenConfig& config) {
+  LoadGenResult result;
+  if (config.workload.empty() || config.connections <= 0) return result;
+
+  const int n = config.connections;
+  std::vector<WorkerTally> tallies(static_cast<size_t>(n));
+  const auto start = SteadyClock::now();
+  const auto stop_at = start + config.duration;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers.emplace_back([&config, i, start, stop_at, &tallies] {
+      DriveConnection(config, static_cast<size_t>(i), start, stop_at,
+                      tallies[static_cast<size_t>(i)]);
+    });
+  }
+  for (auto& w : workers) w.join();
+  result.seconds =
+      std::chrono::duration<double>(SteadyClock::now() - start).count();
+
+  std::vector<double> latencies;
+  for (const WorkerTally& t : tallies) {
+    result.completed += t.completed;
+    result.items += t.items;
+    result.overloaded += t.overloaded;
+    result.error_frames += t.error_frames;
+    result.transport_errors += t.transport_errors;
+    result.behind_schedule += t.behind_schedule;
+    latencies.insert(latencies.end(), t.latencies_us.begin(),
+                     t.latencies_us.end());
+  }
+  if (result.seconds > 0.0) {
+    result.qps = static_cast<double>(result.completed) / result.seconds;
+    result.items_per_sec = static_cast<double>(result.items) / result.seconds;
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    result.p50_us = Percentile(latencies, 0.50);
+    result.p90_us = Percentile(latencies, 0.90);
+    result.p99_us = Percentile(latencies, 0.99);
+    result.max_us = latencies.back();
+    double sum = 0.0;
+    for (const double v : latencies) sum += v;
+    result.mean_us = sum / static_cast<double>(latencies.size());
+  }
+  return result;
+}
+
+std::vector<runtime::EstimateRequest> MakeUniformWorkload(size_t n_requests,
+                                                          size_t n_sites,
+                                                          uint64_t seed) {
+  const std::vector<core::QueryClassId> classes = {
+      core::QueryClassId::kUnarySeqScan, core::QueryClassId::kJoinNoIndex};
+  Rng rng(seed);
+  std::vector<runtime::EstimateRequest> requests;
+  requests.reserve(n_requests);
+  for (size_t i = 0; i < n_requests; ++i) {
+    runtime::EstimateRequest request;
+    request.site = "site" + std::to_string(i % std::max<size_t>(1, n_sites));
+    request.class_id = classes[(i / std::max<size_t>(1, n_sites)) % 2];
+    request.features.assign(
+        core::VariableSet::ForClass(request.class_id).size(), 0.0);
+    for (size_t j = 0; j < 3 && j < request.features.size(); ++j) {
+      request.features[j] = rng.Uniform(1.0, 10.0);
+    }
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+}  // namespace mscm::net

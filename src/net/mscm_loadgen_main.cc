@@ -1,0 +1,130 @@
+// mscm_loadgen — closed- and open-loop load generator for mscm_served.
+//
+//   mscm_loadgen --port N [--host A] [--mode closed|open] [--connections N]
+//                [--duration-s S] [--rate R] [--batch N] [--think-us N]
+//                [--sites N] [--stats] [--json FILE]
+//
+// Closed loop measures server capacity (each connection waits for its
+// response); open loop offers a fixed aggregate arrival rate and shows what
+// saturation does to tail latency and kOverloaded shedding. --sites must
+// match the server's federation size so requests hit registered models.
+// --stats polls the server's StatsResponse after the run and prints every
+// wire-stable key (runtime counters + net.* serving-boundary counters).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/client.h"
+#include "net/loadgen.h"
+
+namespace {
+
+long ArgLong(int argc, char** argv, const char* flag, long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atol(argv[i + 1]);
+  }
+  return fallback;
+}
+
+double ArgDouble(int argc, char** argv, const char* flag, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+const char* ArgStr(int argc, char** argv, const char* flag,
+                   const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mscm;
+
+  net::LoadGenConfig config;
+  config.host = ArgStr(argc, argv, "--host", "127.0.0.1");
+  config.port = static_cast<uint16_t>(ArgLong(argc, argv, "--port", 0));
+  if (config.port == 0) {
+    std::fprintf(stderr, "mscm_loadgen: --port is required\n");
+    return 2;
+  }
+  const std::string mode = ArgStr(argc, argv, "--mode", "closed");
+  config.mode = mode == "open" ? net::LoadGenConfig::Mode::kOpen
+                               : net::LoadGenConfig::Mode::kClosed;
+  config.connections =
+      static_cast<int>(ArgLong(argc, argv, "--connections", 4));
+  config.duration = std::chrono::milliseconds(static_cast<int64_t>(
+      1000.0 * ArgDouble(argc, argv, "--duration-s", 3.0)));
+  config.target_rate = ArgDouble(argc, argv, "--rate", 2000.0);
+  config.batch_size = static_cast<size_t>(ArgLong(argc, argv, "--batch", 1));
+  config.think_time =
+      std::chrono::microseconds(ArgLong(argc, argv, "--think-us", 0));
+  const size_t sites =
+      static_cast<size_t>(ArgLong(argc, argv, "--sites", 4));
+  config.workload = net::MakeUniformWorkload(1024, sites, /*seed=*/17);
+
+  std::printf("mscm_loadgen: %s loop, %d connections, batch=%zu, "
+              "%.1fs against %s:%u\n",
+              mode.c_str(), config.connections, config.batch_size,
+              std::chrono::duration<double>(config.duration).count(),
+              config.host.c_str(), config.port);
+  const net::LoadGenResult result = net::RunLoadGen(config);
+  std::printf("%s\n", result.ToString().c_str());
+
+  if (HasFlag(argc, argv, "--stats")) {
+    net::NetClient client;
+    std::string error;
+    net::WireStats stats;
+    if (client.Connect(config.host, config.port, &error) &&
+        client.Stats(&stats).ok()) {
+      std::printf("--- server stats ---\n%s", stats.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "mscm_loadgen: stats poll failed: %s\n",
+                   error.c_str());
+    }
+  }
+
+  const char* json_path = ArgStr(argc, argv, "--json", "");
+  if (json_path[0] != '\0') {
+    FILE* json = std::fopen(json_path, "w");
+    if (json != nullptr) {
+      std::fprintf(
+          json,
+          "{\"mode\": \"%s\", \"connections\": %d, \"batch\": %zu, "
+          "\"completed\": %llu, \"items\": %llu, \"qps\": %.1f, "
+          "\"items_per_sec\": %.1f, \"overloaded\": %llu, \"errors\": %llu, "
+          "\"transport_errors\": %llu, \"behind_schedule\": %llu, "
+          "\"p50_us\": %.1f, \"p90_us\": %.1f, \"p99_us\": %.1f, "
+          "\"mean_us\": %.1f, \"max_us\": %.1f}\n",
+          mode.c_str(), config.connections, config.batch_size,
+          static_cast<unsigned long long>(result.completed),
+          static_cast<unsigned long long>(result.items), result.qps,
+          result.items_per_sec,
+          static_cast<unsigned long long>(result.overloaded),
+          static_cast<unsigned long long>(result.error_frames),
+          static_cast<unsigned long long>(result.transport_errors),
+          static_cast<unsigned long long>(result.behind_schedule),
+          result.p50_us, result.p90_us, result.p99_us, result.mean_us,
+          result.max_us);
+      std::fclose(json);
+    }
+  }
+
+  // A run that completed nothing is a failed run (the smoke job keys off
+  // this exit code).
+  return result.completed > 0 ? 0 : 1;
+}

@@ -1,0 +1,751 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/str_util.h"
+#include "net/stats_codec.h"
+
+namespace mscm::net {
+
+// ---- Internal structures ----------------------------------------------------
+
+struct EstimateServer::Counters {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_rejected{0};
+  std::atomic<uint64_t> connections_closed{0};
+  std::atomic<uint64_t> frames_received{0};
+  std::atomic<uint64_t> malformed_frames{0};
+  std::atomic<uint64_t> unknown_type_frames{0};
+  std::atomic<uint64_t> requests_dispatched{0};
+  std::atomic<uint64_t> requests_completed{0};
+  std::atomic<uint64_t> responses_sent{0};
+  std::atomic<uint64_t> error_frames_sent{0};
+  std::atomic<uint64_t> invalid_requests{0};
+  std::atomic<uint64_t> overload_shed{0};
+  std::atomic<uint64_t> shutdown_shed{0};
+  std::atomic<uint64_t> internal_errors{0};
+  std::atomic<uint64_t> read_limit_closes{0};
+  std::atomic<uint64_t> write_limit_closes{0};
+  std::atomic<uint64_t> dropped_responses{0};
+  std::atomic<uint64_t> estimates{0};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> batch_items{0};
+  std::atomic<uint64_t> placements{0};
+  std::atomic<uint64_t> stats_requests{0};
+  std::atomic<uint64_t> bytes_received{0};
+  std::atomic<uint64_t> bytes_sent{0};
+};
+
+namespace {
+void Bump(std::atomic<uint64_t>& c, uint64_t n = 1) {
+  c.fetch_add(n, std::memory_order_relaxed);
+}
+}  // namespace
+
+struct EstimateServer::Connection {
+  explicit Connection(uint32_t max_payload) : assembler(max_payload) {}
+
+  int fd = -1;
+  size_t loop_index = 0;
+
+  // Read side — touched only by the owning IO loop.
+  FrameAssembler assembler;
+  bool reading = true;           // EPOLLIN armed
+  bool write_armed = false;      // EPOLLOUT armed
+  bool close_after_flush = false;
+
+  // Write side — workers append under the mutex, the loop flushes under it.
+  std::mutex write_mutex;
+  std::vector<uint8_t> write_buf;
+  size_t write_pos = 0;
+
+  std::atomic<bool> closed{false};
+  std::atomic<bool> want_write{false};
+  std::atomic<bool> kill{false};  // loop closes it at the next wake
+};
+
+struct EstimateServer::Loop {
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+  bool reads_disabled = false;  // draining applied (loop thread)
+
+  std::mutex conns_mutex;
+  std::map<int, std::shared_ptr<Connection>> conns;
+};
+
+// ---- Stats ------------------------------------------------------------------
+
+std::string NetServerStatsSnapshot::ToString() const {
+  return Format(
+      "conns{accepted=%llu rejected=%llu closed=%llu} frames=%llu "
+      "dispatched=%llu completed=%llu responses=%llu errors=%llu "
+      "shed{overload=%llu shutdown=%llu} invalid=%llu malformed=%llu "
+      "unknown_type=%llu internal=%llu limit_closes{read=%llu write=%llu} "
+      "dropped=%llu served{est=%llu batch=%llu items=%llu place=%llu "
+      "stats=%llu} bytes{in=%llu out=%llu}",
+      static_cast<unsigned long long>(connections_accepted),
+      static_cast<unsigned long long>(connections_rejected),
+      static_cast<unsigned long long>(connections_closed),
+      static_cast<unsigned long long>(frames_received),
+      static_cast<unsigned long long>(requests_dispatched),
+      static_cast<unsigned long long>(requests_completed),
+      static_cast<unsigned long long>(responses_sent),
+      static_cast<unsigned long long>(error_frames_sent),
+      static_cast<unsigned long long>(overload_shed),
+      static_cast<unsigned long long>(shutdown_shed),
+      static_cast<unsigned long long>(invalid_requests),
+      static_cast<unsigned long long>(malformed_frames),
+      static_cast<unsigned long long>(unknown_type_frames),
+      static_cast<unsigned long long>(internal_errors),
+      static_cast<unsigned long long>(read_limit_closes),
+      static_cast<unsigned long long>(write_limit_closes),
+      static_cast<unsigned long long>(dropped_responses),
+      static_cast<unsigned long long>(estimates),
+      static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(batch_items),
+      static_cast<unsigned long long>(placements),
+      static_cast<unsigned long long>(stats_requests),
+      static_cast<unsigned long long>(bytes_received),
+      static_cast<unsigned long long>(bytes_sent));
+}
+
+NetServerStatsSnapshot EstimateServer::Stats() const {
+  const Counters& c = *counters_;
+  NetServerStatsSnapshot s;
+  s.connections_accepted = c.connections_accepted.load();
+  s.connections_rejected = c.connections_rejected.load();
+  s.connections_closed = c.connections_closed.load();
+  s.frames_received = c.frames_received.load();
+  s.malformed_frames = c.malformed_frames.load();
+  s.unknown_type_frames = c.unknown_type_frames.load();
+  s.requests_dispatched = c.requests_dispatched.load();
+  s.requests_completed = c.requests_completed.load();
+  s.responses_sent = c.responses_sent.load();
+  s.error_frames_sent = c.error_frames_sent.load();
+  s.invalid_requests = c.invalid_requests.load();
+  s.overload_shed = c.overload_shed.load();
+  s.shutdown_shed = c.shutdown_shed.load();
+  s.internal_errors = c.internal_errors.load();
+  s.read_limit_closes = c.read_limit_closes.load();
+  s.write_limit_closes = c.write_limit_closes.load();
+  s.dropped_responses = c.dropped_responses.load();
+  s.estimates = c.estimates.load();
+  s.batches = c.batches.load();
+  s.batch_items = c.batch_items.load();
+  s.placements = c.placements.load();
+  s.stats_requests = c.stats_requests.load();
+  s.bytes_received = c.bytes_received.load();
+  s.bytes_sent = c.bytes_sent.load();
+  return s;
+}
+
+// ---- Lifecycle --------------------------------------------------------------
+
+EstimateServer::EstimateServer(runtime::EstimationService* service,
+                               EstimateServerConfig config)
+    : service_(service),
+      config_(std::move(config)),
+      counters_(std::make_unique<Counters>()) {}
+
+EstimateServer::~EstimateServer() { Stop(); }
+
+bool EstimateServer::Start(std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    for (auto& loop : loops_) {
+      if (loop->epoll_fd >= 0) ::close(loop->epoll_fd);
+      if (loop->wake_fd >= 0) ::close(loop->wake_fd);
+    }
+    loops_.clear();
+    return false;
+  };
+
+  if (started_.load()) return true;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    return fail("inet_pton(" + config_.bind_address + ")");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, config_.listen_backlog) != 0) return fail("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  const int n_loops = std::max(1, config_.io_threads);
+  for (int i = 0; i < n_loops; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (loop->epoll_fd < 0) {
+      loops_.push_back(std::move(loop));
+      return fail("epoll_create1");
+    }
+    loop->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->wake_fd < 0) {
+      loops_.push_back(std::move(loop));
+      return fail("eventfd");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = loop->wake_fd;
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_fd, &ev);
+    loops_.push_back(std::move(loop));
+  }
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(loops_[0]->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return fail("epoll_ctl(listener)");
+  }
+
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    loops_[i]->thread = std::thread([this, i] { LoopThread(i); });
+  }
+  started_.store(true);
+  return true;
+}
+
+void EstimateServer::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  if (!started_.load() || stopped_.load()) return;
+
+  // Phase 1: stop admitting. Accepts are refused, loops disable EPOLLIN on
+  // every connection, so no new frame can decode. Frames already decoded
+  // were answered or dispatched synchronously at decode time.
+  draining_.store(true);
+  for (auto& loop : loops_) WakeLoop(*loop);
+
+  // Phase 2: drain — every dispatched request must complete. Tasks are
+  // finite service computations on a live pool, so this terminates.
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait(lock, [this] {
+      return inflight_.load(std::memory_order_seq_cst) == 0;
+    });
+  }
+
+  // Phase 3: flush queued responses to their peers (bounded: a peer that
+  // stopped reading forfeits its tail).
+  const auto deadline =
+      std::chrono::steady_clock::now() + config_.flush_timeout;
+  while (std::chrono::steady_clock::now() < deadline && !AllWritesFlushed()) {
+    for (auto& loop : loops_) WakeLoop(*loop);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Phase 4: stop the loops and close everything.
+  stopping_.store(true);
+  for (auto& loop : loops_) WakeLoop(*loop);
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& loop : loops_) {
+    std::lock_guard<std::mutex> lock(loop->conns_mutex);
+    for (auto& [fd, conn] : loop->conns) {
+      if (!conn->closed.exchange(true)) {
+        ::close(fd);
+        Bump(counters_->connections_closed);
+      }
+    }
+    loop->conns.clear();
+    ::close(loop->epoll_fd);
+    ::close(loop->wake_fd);
+  }
+  stopped_.store(true);
+}
+
+// ---- Event loop -------------------------------------------------------------
+
+void EstimateServer::WakeLoop(Loop& loop) {
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(loop.wake_fd, &one, sizeof(one));
+}
+
+void EstimateServer::LoopThread(size_t index) {
+  Loop& loop = *loops_[index];
+  epoll_event events[64];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(loop.epoll_fd, events, 64, 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (draining_.load(std::memory_order_acquire) && !loop.reads_disabled) {
+      // Disable reads everywhere: the admission gate slams shut once.
+      loop.reads_disabled = true;
+      std::vector<std::shared_ptr<Connection>> conns;
+      {
+        std::lock_guard<std::mutex> lock(loop.conns_mutex);
+        for (auto& [fd, conn] : loop.conns) conns.push_back(conn);
+      }
+      for (auto& conn : conns) {
+        conn->reading = false;
+        epoll_event ev{};
+        ev.events = conn->write_armed ? EPOLLOUT : 0;
+        ev.data.fd = conn->fd;
+        ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == loop.wake_fd) {
+        uint64_t drained;
+        while (::read(loop.wake_fd, &drained, sizeof(drained)) > 0) {
+        }
+        ApplyWriteInterest(loop);
+        continue;
+      }
+      if (fd == listen_fd_ && index == 0) {
+        AcceptReady();
+        continue;
+      }
+      std::shared_ptr<Connection> conn;
+      {
+        std::lock_guard<std::mutex> lock(loop.conns_mutex);
+        auto it = loop.conns.find(fd);
+        if (it != loop.conns.end()) conn = it->second;
+      }
+      if (conn == nullptr) continue;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConnection(loop, conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0 && conn->reading) {
+        OnReadable(loop, conn);
+      }
+      if (conn->closed.load(std::memory_order_relaxed)) continue;
+      if ((events[i].events & EPOLLOUT) != 0) OnWritable(loop, conn);
+    }
+  }
+}
+
+void EstimateServer::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN, or transient accept failure: try later
+    if (draining_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      continue;
+    }
+    if (num_connections_.load(std::memory_order_relaxed) >=
+        config_.max_connections) {
+      Bump(counters_->connections_rejected);
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_shared<Connection>(config_.max_frame_payload);
+    conn->fd = fd;
+    const size_t target =
+        next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+    conn->loop_index = target;
+    Loop& loop = *loops_[target];
+    {
+      std::lock_guard<std::mutex> lock(loop.conns_mutex);
+      loop.conns[fd] = conn;
+    }
+    num_connections_.fetch_add(1, std::memory_order_relaxed);
+    Bump(counters_->connections_accepted);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      CloseConnection(loop, conn);
+    }
+  }
+}
+
+void EstimateServer::OnReadable(Loop& loop,
+                                const std::shared_ptr<Connection>& conn) {
+  uint8_t buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      Bump(counters_->bytes_received, static_cast<uint64_t>(n));
+      if (!conn->assembler.Feed(buf, static_cast<size_t>(n))) {
+        // Stream poisoned: one typed error, flush it, close. Reading stops
+        // now so a garbage firehose cannot keep the connection busy.
+        Bump(counters_->malformed_frames);
+        QueueError(conn, 0, conn->assembler.error(), "unframeable bytes");
+        conn->reading = false;
+        conn->close_after_flush = true;
+        epoll_event ev{};
+        ev.events = conn->write_armed ? EPOLLOUT : 0;
+        ev.data.fd = conn->fd;
+        ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+        return;
+      }
+      while (auto frame = conn->assembler.Next()) {
+        HandleFrame(loop, conn, std::move(*frame));
+        if (conn->closed.load(std::memory_order_relaxed)) return;
+      }
+      if (conn->assembler.buffered_bytes() > config_.max_read_buffer) {
+        Bump(counters_->read_limit_closes);
+        CloseConnection(loop, conn);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      CloseConnection(loop, conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    CloseConnection(loop, conn);
+    return;
+  }
+}
+
+void EstimateServer::OnWritable(Loop& loop,
+                                const std::shared_ptr<Connection>& conn) {
+  bool empty = false;
+  bool broken = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    while (conn->write_pos < conn->write_buf.size()) {
+      const ssize_t n =
+          ::write(conn->fd, conn->write_buf.data() + conn->write_pos,
+                  conn->write_buf.size() - conn->write_pos);
+      if (n > 0) {
+        Bump(counters_->bytes_sent, static_cast<uint64_t>(n));
+        conn->write_pos += static_cast<size_t>(n);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) broken = true;
+      break;
+    }
+    if (conn->write_pos == conn->write_buf.size()) {
+      conn->write_buf.clear();
+      conn->write_pos = 0;
+      conn->want_write.store(false, std::memory_order_release);
+      empty = true;
+    }
+  }
+  if (broken) {
+    CloseConnection(loop, conn);
+    return;
+  }
+  if (empty) {
+    epoll_event ev{};
+    ev.events = conn->reading ? EPOLLIN : 0;
+    ev.data.fd = conn->fd;
+    ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+    conn->write_armed = false;
+    if (conn->close_after_flush) CloseConnection(loop, conn);
+  }
+}
+
+void EstimateServer::ApplyWriteInterest(Loop& loop) {
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(loop.conns_mutex);
+    for (auto& [fd, conn] : loop.conns) conns.push_back(conn);
+  }
+  for (auto& conn : conns) {
+    if (conn->kill.load(std::memory_order_acquire)) {
+      CloseConnection(loop, conn);
+      continue;
+    }
+    if (conn->want_write.load(std::memory_order_acquire) &&
+        !conn->write_armed) {
+      epoll_event ev{};
+      ev.events = static_cast<uint32_t>(conn->reading ? EPOLLIN : 0) |
+                  EPOLLOUT;
+      ev.data.fd = conn->fd;
+      if (::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+        conn->write_armed = true;
+      }
+    }
+  }
+}
+
+void EstimateServer::CloseConnection(Loop& loop,
+                                     const std::shared_ptr<Connection>& conn) {
+  if (conn->closed.exchange(true)) return;
+  ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  {
+    std::lock_guard<std::mutex> lock(loop.conns_mutex);
+    loop.conns.erase(conn->fd);
+  }
+  num_connections_.fetch_sub(1, std::memory_order_relaxed);
+  Bump(counters_->connections_closed);
+}
+
+// ---- Frame handling ---------------------------------------------------------
+
+void EstimateServer::HandleFrame(Loop& loop,
+                                 const std::shared_ptr<Connection>& conn,
+                                 Frame frame) {
+  (void)loop;
+  Bump(counters_->frames_received);
+  const uint32_t id = frame.request_id;
+  if (draining_.load(std::memory_order_acquire)) {
+    Bump(counters_->shutdown_shed);
+    QueueError(conn, id, WireError::kShuttingDown, "server draining");
+    return;
+  }
+  if (!IsKnownMessageType(frame.type)) {
+    Bump(counters_->unknown_type_frames);
+    QueueError(conn, id, WireError::kUnknownType,
+               Format("unknown message type %u", frame.type));
+    return;
+  }
+  const MessageType type = static_cast<MessageType>(frame.type);
+  if (type != MessageType::kEstimateRequest &&
+      type != MessageType::kEstimateBatchRequest &&
+      type != MessageType::kPlacementRequest &&
+      type != MessageType::kStatsRequest) {
+    Bump(counters_->invalid_requests);
+    QueueError(conn, id, WireError::kInvalidRequest,
+               std::string(ToString(type)) + " is not a request");
+    return;
+  }
+  // Admission control: shed rather than queue without bound.
+  const size_t in_flight =
+      inflight_.fetch_add(1, std::memory_order_seq_cst);
+  if (in_flight >= config_.max_inflight) {
+    FinishInflightOnly();
+    Bump(counters_->overload_shed);
+    QueueError(conn, id, WireError::kOverloaded, "server overloaded");
+    return;
+  }
+  Bump(counters_->requests_dispatched);
+  auto shared_frame = std::make_shared<Frame>(std::move(frame));
+  service_->worker_pool().Submit([this, conn, shared_frame] {
+    ServeFrame(conn, *shared_frame);
+    FinishRequest(conn);
+  });
+}
+
+// Undo an admission increment that never became a dispatch.
+void EstimateServer::FinishInflightOnly() {
+  if (inflight_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    drain_cv_.notify_all();
+  }
+}
+
+void EstimateServer::FinishRequest(const std::shared_ptr<Connection>& conn) {
+  (void)conn;
+  Bump(counters_->requests_completed);
+  FinishInflightOnly();
+}
+
+void EstimateServer::ServeFrame(const std::shared_ptr<Connection>& conn,
+                                const Frame& frame) {
+  const uint32_t id = frame.request_id;
+  const MessageType type = static_cast<MessageType>(frame.type);
+  try {
+    switch (type) {
+      case MessageType::kEstimateRequest: {
+        WireError err = WireError::kMalformedFrame;
+        auto request = DecodeEstimateRequestPayload(frame.payload, &err);
+        if (!request.has_value()) {
+          CountBoundaryReject(err);
+          QueueError(conn, id, err, "bad EstimateRequest");
+          return;
+        }
+        const runtime::EstimateResponse response =
+            service_->Estimate(*request);
+        WireWriter w;
+        EncodeEstimateResponse(response, w);
+        Bump(counters_->estimates);
+        QueueResponse(conn,
+                      EncodeFrame(MessageType::kEstimateResponse, id,
+                                  w.Take()));
+        return;
+      }
+      case MessageType::kEstimateBatchRequest: {
+        WireError err = WireError::kMalformedFrame;
+        auto requests = DecodeEstimateBatchRequestPayload(frame.payload, &err);
+        if (!requests.has_value()) {
+          CountBoundaryReject(err);
+          QueueError(conn, id, err, "bad EstimateBatchRequest");
+          return;
+        }
+        const std::vector<runtime::EstimateResponse> responses =
+            service_->EstimateBatch(*requests);
+        Bump(counters_->batches);
+        Bump(counters_->batch_items, responses.size());
+        QueueResponse(conn,
+                      EncodeFrame(MessageType::kEstimateBatchResponse, id,
+                                  EncodeEstimateBatchResponse(responses)));
+        return;
+      }
+      case MessageType::kPlacementRequest: {
+        WireError err = WireError::kMalformedFrame;
+        auto candidates = DecodePlacementRequestPayload(frame.payload, &err);
+        if (!candidates.has_value()) {
+          CountBoundaryReject(err);
+          QueueError(conn, id, err, "bad PlacementRequest");
+          return;
+        }
+        const runtime::PlacementResult result =
+            service_->ChoosePlacement(*candidates);
+        Bump(counters_->placements);
+        QueueResponse(conn, EncodeFrame(MessageType::kPlacementResponse, id,
+                                        EncodePlacementResponse(result)));
+        return;
+      }
+      case MessageType::kStatsRequest: {
+        if (!frame.payload.empty()) {
+          CountBoundaryReject(WireError::kMalformedFrame);
+          QueueError(conn, id, WireError::kMalformedFrame,
+                     "StatsRequest carries no payload");
+          return;
+        }
+        Bump(counters_->stats_requests);
+        QueueResponse(conn, EncodeFrame(MessageType::kStatsResponse, id,
+                                        EncodeStats(service_->Stats(),
+                                                    NetCounterEntries())));
+        return;
+      }
+      default:
+        // Unreachable: HandleFrame admits only the four request types.
+        QueueError(conn, id, WireError::kInternal, "bad dispatch");
+        return;
+    }
+  } catch (...) {
+    // The wire boundary contract: a request may fail, the server may not.
+    Bump(counters_->internal_errors);
+    QueueError(conn, id, WireError::kInternal, "exception serving request");
+  }
+}
+
+void EstimateServer::CountBoundaryReject(WireError code) {
+  if (code == WireError::kInvalidRequest) {
+    Bump(counters_->invalid_requests);
+  } else {
+    Bump(counters_->malformed_frames);
+  }
+}
+
+std::map<std::string, uint64_t> EstimateServer::NetCounterEntries() const {
+  const NetServerStatsSnapshot s = Stats();
+  return {
+      {"net.connections_accepted", s.connections_accepted},
+      {"net.connections_closed", s.connections_closed},
+      {"net.frames_received", s.frames_received},
+      {"net.requests_dispatched", s.requests_dispatched},
+      {"net.requests_completed", s.requests_completed},
+      {"net.responses_sent", s.responses_sent},
+      {"net.error_frames_sent", s.error_frames_sent},
+      {"net.invalid_requests", s.invalid_requests},
+      {"net.malformed_frames", s.malformed_frames},
+      {"net.overload_shed", s.overload_shed},
+      {"net.shutdown_shed", s.shutdown_shed},
+      {"net.dropped_responses", s.dropped_responses},
+      {"net.estimates", s.estimates},
+      {"net.batches", s.batches},
+      {"net.batch_items", s.batch_items},
+      {"net.placements", s.placements},
+      {"net.stats_requests", s.stats_requests},
+      {"net.bytes_received", s.bytes_received},
+      {"net.bytes_sent", s.bytes_sent},
+  };
+}
+
+// ---- Write path -------------------------------------------------------------
+
+void EstimateServer::QueueResponse(const std::shared_ptr<Connection>& conn,
+                                   std::vector<uint8_t> bytes) {
+  Bump(counters_->responses_sent);
+  QueueBytes(conn, std::move(bytes));
+}
+
+void EstimateServer::QueueError(const std::shared_ptr<Connection>& conn,
+                                uint32_t request_id, WireError code,
+                                const std::string& message) {
+  Bump(counters_->error_frames_sent);
+  QueueBytes(conn, EncodeErrorFrame(request_id, code, message));
+}
+
+void EstimateServer::QueueBytes(const std::shared_ptr<Connection>& conn,
+                                std::vector<uint8_t> bytes) {
+  if (conn->closed.load(std::memory_order_acquire)) {
+    Bump(counters_->dropped_responses);
+    return;
+  }
+  bool overflow = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    const size_t pending = conn->write_buf.size() - conn->write_pos;
+    if (pending + bytes.size() > config_.max_write_buffer) {
+      overflow = true;
+    } else {
+      if (conn->write_pos > 0 && conn->write_pos == conn->write_buf.size()) {
+        conn->write_buf.clear();
+        conn->write_pos = 0;
+      }
+      conn->write_buf.insert(conn->write_buf.end(), bytes.begin(),
+                             bytes.end());
+    }
+  }
+  if (overflow) {
+    // A peer that will not read its responses is disconnected, not buffered
+    // without bound.
+    Bump(counters_->write_limit_closes);
+    conn->kill.store(true, std::memory_order_release);
+  } else {
+    conn->want_write.store(true, std::memory_order_release);
+  }
+  WakeLoop(*loops_[conn->loop_index]);
+}
+
+bool EstimateServer::AllWritesFlushed() const {
+  for (const auto& loop : loops_) {
+    std::vector<std::shared_ptr<Connection>> conns;
+    {
+      std::lock_guard<std::mutex> lock(loop->conns_mutex);
+      for (const auto& [fd, conn] : loop->conns) conns.push_back(conn);
+    }
+    for (const auto& conn : conns) {
+      std::lock_guard<std::mutex> lock(conn->write_mutex);
+      if (conn->write_pos < conn->write_buf.size()) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mscm::net

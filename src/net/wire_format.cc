@@ -1,0 +1,490 @@
+#include "net/wire_format.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace mscm::net {
+
+namespace {
+
+// The EstimateStatus / contention-state values that may legally appear in a
+// response frame. Kept local: the wire is stricter than the in-memory types.
+constexpr uint8_t kMaxStatusByte =
+    static_cast<uint8_t>(runtime::EstimateStatus::kInvalidRequest);
+constexpr uint8_t kMaxClassByte =
+    static_cast<uint8_t>(core::QueryClassId::kJoinIndex);
+
+constexpr uint8_t kFlagStaleProbe = 1u << 0;
+constexpr uint8_t kFlagStaleModel = 1u << 1;
+constexpr uint8_t kFlagDegraded = 1u << 2;
+
+void Fail(WireError* error, WireError code) {
+  if (error != nullptr) *error = code;
+}
+
+}  // namespace
+
+bool IsKnownMessageType(uint8_t type) {
+  return type >= static_cast<uint8_t>(MessageType::kEstimateRequest) &&
+         type <= static_cast<uint8_t>(MessageType::kError);
+}
+
+const char* ToString(MessageType t) {
+  switch (t) {
+    case MessageType::kEstimateRequest: return "EstimateRequest";
+    case MessageType::kEstimateResponse: return "EstimateResponse";
+    case MessageType::kEstimateBatchRequest: return "EstimateBatchRequest";
+    case MessageType::kEstimateBatchResponse: return "EstimateBatchResponse";
+    case MessageType::kPlacementRequest: return "PlacementRequest";
+    case MessageType::kPlacementResponse: return "PlacementResponse";
+    case MessageType::kStatsRequest: return "StatsRequest";
+    case MessageType::kStatsResponse: return "StatsResponse";
+    case MessageType::kError: return "Error";
+  }
+  return "?";
+}
+
+const char* ToString(WireError e) {
+  switch (e) {
+    case WireError::kNone: return "none";
+    case WireError::kMalformedFrame: return "malformed_frame";
+    case WireError::kUnsupportedVersion: return "unsupported_version";
+    case WireError::kUnknownType: return "unknown_type";
+    case WireError::kInvalidRequest: return "invalid_request";
+    case WireError::kOverloaded: return "overloaded";
+    case WireError::kShuttingDown: return "shutting_down";
+    case WireError::kInternal: return "internal";
+  }
+  return "?";
+}
+
+// ---- WireWriter -------------------------------------------------------------
+
+void WireWriter::PutU16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void WireWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::PutF64(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutString(const std::string& s) {
+  const size_t n = std::min<size_t>(s.size(), 0xFFFF);
+  PutU16(static_cast<uint16_t>(n));
+  buf_.insert(buf_.end(), s.begin(), s.begin() + static_cast<long>(n));
+}
+
+// ---- WireReader -------------------------------------------------------------
+
+bool WireReader::Ensure(size_t n) {
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t WireReader::TakeU8() {
+  if (!Ensure(1)) return 0;
+  return data_[pos_++];
+}
+
+uint16_t WireReader::TakeU16() {
+  if (!Ensure(2)) return 0;
+  uint16_t v = static_cast<uint16_t>(data_[pos_]) |
+               static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+uint32_t WireReader::TakeU32() {
+  if (!Ensure(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+uint64_t WireReader::TakeU64() {
+  if (!Ensure(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+double WireReader::TakeF64() {
+  const uint64_t bits = TakeU64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string WireReader::TakeString(size_t max_bytes) {
+  const uint16_t n = TakeU16();
+  if (!ok_ || n > max_bytes || !Ensure(n)) {
+    ok_ = false;
+    return {};
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+// ---- Frame layer ------------------------------------------------------------
+
+std::vector<uint8_t> EncodeFrame(MessageType type, uint32_t request_id,
+                                 const std::vector<uint8_t>& payload) {
+  WireWriter w;
+  w.PutU16(kMagic);
+  w.PutU8(kProtocolVersion);
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU32(request_id);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  std::vector<uint8_t> out = w.Take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+FrameAssembler::FrameAssembler(uint32_t max_payload)
+    : max_payload_(std::min(max_payload, kMaxPayloadBytes)) {}
+
+bool FrameAssembler::Feed(const uint8_t* data, size_t n) {
+  if (broken()) return false;
+  buffer_.insert(buffer_.end(), data, data + n);
+  while (buffer_.size() >= kHeaderSize) {
+    WireReader r(buffer_.data(), kHeaderSize);
+    const uint16_t magic = r.TakeU16();
+    const uint8_t version = r.TakeU8();
+    const uint8_t type = r.TakeU8();
+    const uint32_t request_id = r.TakeU32();
+    const uint32_t payload_len = r.TakeU32();
+    if (magic != kMagic) {
+      error_ = WireError::kMalformedFrame;
+    } else if (version != kProtocolVersion) {
+      error_ = WireError::kUnsupportedVersion;
+    } else if (payload_len > max_payload_) {
+      error_ = WireError::kMalformedFrame;
+    }
+    if (broken()) {
+      buffer_.clear();
+      return false;
+    }
+    if (buffer_.size() < kHeaderSize + payload_len) break;
+    Frame frame;
+    frame.type = type;
+    frame.request_id = request_id;
+    frame.payload.assign(buffer_.begin() + kHeaderSize,
+                         buffer_.begin() + kHeaderSize + payload_len);
+    ready_.push_back(std::move(frame));
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + kHeaderSize + payload_len);
+  }
+  return true;
+}
+
+std::optional<Frame> FrameAssembler::Next() {
+  if (ready_.empty()) return std::nullopt;
+  Frame frame = std::move(ready_.front());
+  ready_.pop_front();
+  return frame;
+}
+
+// ---- Estimate request/response ----------------------------------------------
+
+void EncodeEstimateRequest(const runtime::EstimateRequest& request,
+                           WireWriter& w) {
+  w.PutString(request.site);
+  w.PutU8(static_cast<uint8_t>(request.class_id));
+  w.PutF64(request.probing_cost);
+  w.PutU16(static_cast<uint16_t>(
+      std::min<size_t>(request.features.size(), kMaxFeatures)));
+  for (size_t i = 0; i < request.features.size() && i < kMaxFeatures; ++i) {
+    w.PutF64(request.features[i]);
+  }
+}
+
+std::optional<runtime::EstimateRequest> DecodeEstimateRequest(
+    WireReader& r, WireError* error) {
+  runtime::EstimateRequest request;
+  request.site = r.TakeString(kMaxSiteNameBytes);
+  const uint8_t class_byte = r.TakeU8();
+  request.probing_cost = r.TakeF64();
+  const uint16_t n_features = r.TakeU16();
+  if (r.ok() && n_features > kMaxFeatures) {
+    Fail(error, WireError::kInvalidRequest);
+    return std::nullopt;
+  }
+  request.features.reserve(n_features);
+  for (uint16_t i = 0; i < n_features && r.ok(); ++i) {
+    request.features.push_back(r.TakeF64());
+  }
+  if (!r.ok()) {
+    Fail(error, WireError::kMalformedFrame);
+    return std::nullopt;
+  }
+  // Semantic boundary checks: nothing non-finite or out of the enum range
+  // may pass this point toward the service. A NaN probing cost is rejected;
+  // any negative finite value is the "use the cached probe" sentinel.
+  if (class_byte > kMaxClassByte) {
+    Fail(error, WireError::kInvalidRequest);
+    return std::nullopt;
+  }
+  if (std::isnan(request.probing_cost) ||
+      request.probing_cost == std::numeric_limits<double>::infinity()) {
+    Fail(error, WireError::kInvalidRequest);
+    return std::nullopt;
+  }
+  for (const double f : request.features) {
+    if (!std::isfinite(f)) {
+      Fail(error, WireError::kInvalidRequest);
+      return std::nullopt;
+    }
+  }
+  request.class_id = static_cast<core::QueryClassId>(class_byte);
+  return request;
+}
+
+void EncodeEstimateResponse(const runtime::EstimateResponse& response,
+                            WireWriter& w) {
+  w.PutU8(static_cast<uint8_t>(response.status));
+  w.PutF64(response.estimate_seconds);
+  w.PutF64(response.probing_cost);
+  w.PutU32(static_cast<uint32_t>(response.state));
+  uint8_t flags = 0;
+  if (response.stale_probe) flags |= kFlagStaleProbe;
+  if (response.stale_model) flags |= kFlagStaleModel;
+  if (response.degraded) flags |= kFlagDegraded;
+  w.PutU8(flags);
+}
+
+std::optional<runtime::EstimateResponse> DecodeEstimateResponse(WireReader& r) {
+  runtime::EstimateResponse response;
+  const uint8_t status_byte = r.TakeU8();
+  response.estimate_seconds = r.TakeF64();
+  response.probing_cost = r.TakeF64();
+  response.state = static_cast<int>(r.TakeU32());
+  const uint8_t flags = r.TakeU8();
+  if (!r.ok() || status_byte > kMaxStatusByte) return std::nullopt;
+  response.status = static_cast<runtime::EstimateStatus>(status_byte);
+  response.stale_probe = (flags & kFlagStaleProbe) != 0;
+  response.stale_model = (flags & kFlagStaleModel) != 0;
+  response.degraded = (flags & kFlagDegraded) != 0;
+  return response;
+}
+
+std::optional<runtime::EstimateRequest> DecodeEstimateRequestPayload(
+    const std::vector<uint8_t>& payload, WireError* error) {
+  WireReader r(payload);
+  auto request = DecodeEstimateRequest(r, error);
+  if (request.has_value() && !r.AtEnd()) {
+    Fail(error, WireError::kMalformedFrame);
+    return std::nullopt;
+  }
+  return request;
+}
+
+std::optional<runtime::EstimateResponse> DecodeEstimateResponsePayload(
+    const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  auto response = DecodeEstimateResponse(r);
+  if (response.has_value() && !r.AtEnd()) return std::nullopt;
+  return response;
+}
+
+// ---- Batch ------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeEstimateBatchRequest(
+    const std::vector<runtime::EstimateRequest>& requests) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(requests.size()));
+  for (const auto& request : requests) EncodeEstimateRequest(request, w);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeEstimateBatchResponse(
+    const std::vector<runtime::EstimateResponse>& responses) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(responses.size()));
+  for (const auto& response : responses) EncodeEstimateResponse(response, w);
+  return w.Take();
+}
+
+std::optional<std::vector<runtime::EstimateRequest>>
+DecodeEstimateBatchRequestPayload(const std::vector<uint8_t>& payload,
+                                  WireError* error) {
+  WireReader r(payload);
+  const uint32_t count = r.TakeU32();
+  if (!r.ok()) {
+    Fail(error, WireError::kMalformedFrame);
+    return std::nullopt;
+  }
+  if (count == 0 || count > kMaxBatchItems) {
+    Fail(error, WireError::kInvalidRequest);
+    return std::nullopt;
+  }
+  std::vector<runtime::EstimateRequest> requests;
+  requests.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    auto request = DecodeEstimateRequest(r, error);
+    if (!request.has_value()) return std::nullopt;
+    requests.push_back(std::move(*request));
+  }
+  if (!r.AtEnd()) {
+    Fail(error, WireError::kMalformedFrame);
+    return std::nullopt;
+  }
+  return requests;
+}
+
+std::optional<std::vector<runtime::EstimateResponse>>
+DecodeEstimateBatchResponsePayload(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  const uint32_t count = r.TakeU32();
+  if (!r.ok() || count > kMaxBatchItems) return std::nullopt;
+  std::vector<runtime::EstimateResponse> responses;
+  responses.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    auto response = DecodeEstimateResponse(r);
+    if (!response.has_value()) return std::nullopt;
+    responses.push_back(*response);
+  }
+  if (!r.AtEnd()) return std::nullopt;
+  return responses;
+}
+
+// ---- Placement --------------------------------------------------------------
+
+std::vector<uint8_t> EncodePlacementRequest(
+    const std::vector<runtime::PlacementCandidate>& candidates) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(candidates.size()));
+  for (const auto& candidate : candidates) {
+    EncodeEstimateRequest(candidate.request, w);
+    w.PutF64(candidate.shipping_seconds);
+  }
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodePlacementResponse(
+    const runtime::PlacementResult& result) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(result.chosen));
+  w.PutU32(static_cast<uint32_t>(result.responses.size()));
+  for (size_t i = 0; i < result.responses.size(); ++i) {
+    EncodeEstimateResponse(result.responses[i], w);
+    w.PutF64(i < result.total_seconds.size() ? result.total_seconds[i] : 0.0);
+  }
+  return w.Take();
+}
+
+std::optional<std::vector<runtime::PlacementCandidate>>
+DecodePlacementRequestPayload(const std::vector<uint8_t>& payload,
+                              WireError* error) {
+  WireReader r(payload);
+  const uint32_t count = r.TakeU32();
+  if (!r.ok()) {
+    Fail(error, WireError::kMalformedFrame);
+    return std::nullopt;
+  }
+  if (count == 0 || count > kMaxBatchItems) {
+    Fail(error, WireError::kInvalidRequest);
+    return std::nullopt;
+  }
+  std::vector<runtime::PlacementCandidate> candidates;
+  candidates.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    runtime::PlacementCandidate candidate;
+    auto request = DecodeEstimateRequest(r, error);
+    if (!request.has_value()) return std::nullopt;
+    candidate.request = std::move(*request);
+    candidate.shipping_seconds = r.TakeF64();
+    if (!r.ok()) {
+      Fail(error, WireError::kMalformedFrame);
+      return std::nullopt;
+    }
+    if (!std::isfinite(candidate.shipping_seconds) ||
+        candidate.shipping_seconds < 0.0) {
+      Fail(error, WireError::kInvalidRequest);
+      return std::nullopt;
+    }
+    candidates.push_back(std::move(candidate));
+  }
+  if (!r.AtEnd()) {
+    Fail(error, WireError::kMalformedFrame);
+    return std::nullopt;
+  }
+  return candidates;
+}
+
+std::optional<runtime::PlacementResult> DecodePlacementResponsePayload(
+    const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  runtime::PlacementResult result;
+  result.chosen = static_cast<int>(r.TakeU32());
+  const uint32_t count = r.TakeU32();
+  if (!r.ok() || count > kMaxBatchItems) return std::nullopt;
+  for (uint32_t i = 0; i < count; ++i) {
+    auto response = DecodeEstimateResponse(r);
+    if (!response.has_value()) return std::nullopt;
+    result.responses.push_back(*response);
+    result.total_seconds.push_back(r.TakeF64());
+  }
+  if (!r.AtEnd()) return std::nullopt;
+  // chosen must index the candidate list or be the -1 "none estimable"
+  // sentinel; anything else is a corrupt frame even though every element
+  // decoded.
+  if (result.chosen < -1 ||
+      result.chosen >= static_cast<int>(result.responses.size())) {
+    return std::nullopt;
+  }
+  return result;
+}
+
+// ---- Errors -----------------------------------------------------------------
+
+std::vector<uint8_t> EncodeErrorBody(const ErrorBody& body) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(body.code));
+  std::string message = body.message;
+  if (message.size() > kMaxErrorMessageBytes) {
+    message.resize(kMaxErrorMessageBytes);
+  }
+  w.PutString(message);
+  return w.Take();
+}
+
+std::optional<ErrorBody> DecodeErrorBodyPayload(
+    const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  ErrorBody body;
+  const uint8_t code = r.TakeU8();
+  body.message = r.TakeString(kMaxErrorMessageBytes);
+  if (!r.AtEnd() || code > static_cast<uint8_t>(WireError::kInternal)) {
+    return std::nullopt;
+  }
+  body.code = static_cast<WireError>(code);
+  return body;
+}
+
+std::vector<uint8_t> EncodeErrorFrame(uint32_t request_id, WireError code,
+                                      const std::string& message) {
+  return EncodeFrame(MessageType::kError, request_id,
+                     EncodeErrorBody({code, message}));
+}
+
+}  // namespace mscm::net

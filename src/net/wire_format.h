@@ -1,0 +1,249 @@
+// Binary wire protocol for the remote estimation boundary (src/net).
+//
+// The paper frames the MDBS agent as a component a *remote* global query
+// optimizer consults for cost questions; everything before this layer served
+// those questions in-process. The wire format is deliberately small and
+// typed — length-prefixed frames carrying one request or response each, no
+// RPC framework:
+//
+//   frame   := header payload
+//   header  := magic:u16 version:u8 type:u8 request_id:u32 payload_len:u32
+//              (12 bytes, little-endian)
+//   payload := message body, layout per MessageType, payload_len bytes
+//
+// `request_id` is chosen by the client and echoed verbatim in the response
+// (including error frames), so clients may pipeline requests on one
+// connection. Parsing is strictly bounds-checked: every read goes through
+// WireReader, which can only fail closed (no over-read, no exception), and
+// FrameAssembler enforces the header invariants (magic, version, payload
+// cap) before a single payload byte is interpreted. Malformed bytes poison
+// the stream — the server answers with one kMalformedFrame error and closes.
+//
+// Semantic validation happens at this boundary too (see the Decode*
+// functions): non-finite features, empty batches, and out-of-range class
+// ids are rejected as kInvalidRequest *before* the request can reach the
+// EstimationService, so a hostile peer can never drive the service with
+// values its own boundary checks would have to absorb.
+
+#ifndef MSCM_NET_WIRE_FORMAT_H_
+#define MSCM_NET_WIRE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/estimate_types.h"
+#include "runtime/estimation_service.h"
+
+namespace mscm::net {
+
+// ---- Protocol constants -----------------------------------------------------
+
+inline constexpr uint16_t kMagic = 0x4D43;  // "CM" on the wire (little-endian)
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kHeaderSize = 12;
+
+// Hard cap a codec user may lower but never raise: no conforming frame
+// carries more payload than this, so FrameAssembler can reject a hostile
+// length prefix before buffering toward it.
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 20;
+
+// Per-message element caps — bounds the decoded size of any single frame.
+inline constexpr size_t kMaxSiteNameBytes = 256;
+inline constexpr size_t kMaxFeatures = 1024;
+inline constexpr size_t kMaxBatchItems = 8192;
+inline constexpr size_t kMaxErrorMessageBytes = 1024;
+inline constexpr size_t kMaxStatsEntries = 256;
+inline constexpr size_t kMaxStatsKeyBytes = 128;
+
+enum class MessageType : uint8_t {
+  kEstimateRequest = 1,
+  kEstimateResponse = 2,
+  kEstimateBatchRequest = 3,
+  kEstimateBatchResponse = 4,
+  kPlacementRequest = 5,
+  kPlacementResponse = 6,
+  kStatsRequest = 7,
+  kStatsResponse = 8,
+  kError = 9,
+};
+
+bool IsKnownMessageType(uint8_t type);
+const char* ToString(MessageType t);
+
+// Typed error frames (payload of MessageType::kError).
+enum class WireError : uint8_t {
+  kNone = 0,
+  kMalformedFrame = 1,     // structurally undecodable bytes; stream poisoned
+  kUnsupportedVersion = 2, // header version != kProtocolVersion
+  kUnknownType = 3,        // header type not in MessageType
+  kInvalidRequest = 4,     // decoded, but semantically rejected at the wire
+  kOverloaded = 5,         // admission control shed the request
+  kShuttingDown = 6,       // server draining; no new work admitted
+  kInternal = 7,           // server-side failure computing the response
+};
+
+const char* ToString(WireError e);
+
+struct ErrorBody {
+  WireError code = WireError::kNone;
+  std::string message;
+};
+
+// One decoded frame: the raw type byte (which may be unknown — the server
+// answers those with kUnknownType rather than dropping the connection), the
+// echoed request id, and the unparsed payload bytes.
+struct Frame {
+  uint8_t type = 0;
+  uint32_t request_id = 0;
+  std::vector<uint8_t> payload;
+};
+
+// ---- Bounds-checked primitives ---------------------------------------------
+
+// Append-only little-endian encoder. Never fails; the caller frames the
+// result with EncodeFrame.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutF64(double v);  // IEEE-754 bit pattern, little-endian
+  // u16 length prefix + bytes; truncates at u16 range (callers bound their
+  // strings well below it).
+  void PutString(const std::string& s);
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+// Fail-closed little-endian decoder over a borrowed byte range. Any read
+// past the end sets ok() false and returns a zero value; once !ok() every
+// subsequent read is a no-op, so decoders may read unconditionally and
+// check ok() once.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<uint8_t>& bytes)
+      : WireReader(bytes.data(), bytes.size()) {}
+
+  uint8_t TakeU8();
+  uint16_t TakeU16();
+  uint32_t TakeU32();
+  uint64_t TakeU64();
+  double TakeF64();
+  // Reads a u16-prefixed string; fails the reader when the prefix exceeds
+  // `max_bytes` (caller's semantic cap) or the remaining payload.
+  std::string TakeString(size_t max_bytes);
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+  // A fully-consumed payload; trailing garbage makes a frame malformed.
+  bool AtEnd() const { return ok_ && pos_ == size_; }
+
+ private:
+  bool Ensure(size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---- Frame layer ------------------------------------------------------------
+
+// Encodes header + payload into one contiguous buffer ready to write.
+std::vector<uint8_t> EncodeFrame(MessageType type, uint32_t request_id,
+                                 const std::vector<uint8_t>& payload);
+
+// Incremental stream → frame assembler for one connection (or one fuzz
+// input). Feed bytes as they arrive; Next() yields completed frames in
+// order. The first header violation (bad magic, wrong version, payload over
+// the cap) poisons the stream: Feed returns false, error() says why, and no
+// further frames are produced. Payload *contents* are not interpreted here.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(uint32_t max_payload = kMaxPayloadBytes);
+
+  // Appends bytes and extracts any completed frames. Returns false once the
+  // stream is poisoned (the bytes are discarded).
+  bool Feed(const uint8_t* data, size_t n);
+
+  // The next completed frame, FIFO, if any.
+  std::optional<Frame> Next();
+
+  bool broken() const { return error_ != WireError::kNone; }
+  WireError error() const { return error_; }
+  // Bytes buffered awaiting a complete frame (read-limit accounting).
+  size_t buffered_bytes() const { return buffer_.size(); }
+  size_t frames_ready() const { return ready_.size(); }
+
+ private:
+  uint32_t max_payload_;  // non-const so a client can reset by reassignment
+  std::vector<uint8_t> buffer_;
+  std::deque<Frame> ready_;
+  WireError error_ = WireError::kNone;
+};
+
+// ---- Message bodies ---------------------------------------------------------
+//
+// Decoders distinguish two failure classes: nullopt + *error==kMalformedFrame
+// for structurally broken payloads (truncation, length-prefix lies, trailing
+// bytes), and nullopt + *error==kInvalidRequest for well-formed payloads the
+// boundary refuses to forward (non-finite feature or probing cost, empty
+// batch, class id outside the enum, oversized site name). Decoders never
+// throw.
+
+void EncodeEstimateRequest(const runtime::EstimateRequest& request,
+                           WireWriter& w);
+void EncodeEstimateResponse(const runtime::EstimateResponse& response,
+                            WireWriter& w);
+
+std::optional<runtime::EstimateRequest> DecodeEstimateRequest(
+    WireReader& r, WireError* error);
+std::optional<runtime::EstimateResponse> DecodeEstimateResponse(WireReader& r);
+
+// Whole-payload forms (validate AtEnd too).
+std::optional<runtime::EstimateRequest> DecodeEstimateRequestPayload(
+    const std::vector<uint8_t>& payload, WireError* error);
+std::optional<runtime::EstimateResponse> DecodeEstimateResponsePayload(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeEstimateBatchRequest(
+    const std::vector<runtime::EstimateRequest>& requests);
+std::vector<uint8_t> EncodeEstimateBatchResponse(
+    const std::vector<runtime::EstimateResponse>& responses);
+std::optional<std::vector<runtime::EstimateRequest>>
+DecodeEstimateBatchRequestPayload(const std::vector<uint8_t>& payload,
+                                  WireError* error);
+std::optional<std::vector<runtime::EstimateResponse>>
+DecodeEstimateBatchResponsePayload(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodePlacementRequest(
+    const std::vector<runtime::PlacementCandidate>& candidates);
+std::vector<uint8_t> EncodePlacementResponse(
+    const runtime::PlacementResult& result);
+std::optional<std::vector<runtime::PlacementCandidate>>
+DecodePlacementRequestPayload(const std::vector<uint8_t>& payload,
+                              WireError* error);
+std::optional<runtime::PlacementResult> DecodePlacementResponsePayload(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeErrorBody(const ErrorBody& body);
+std::optional<ErrorBody> DecodeErrorBodyPayload(
+    const std::vector<uint8_t>& payload);
+
+// A ready-to-send error frame echoing `request_id`.
+std::vector<uint8_t> EncodeErrorFrame(uint32_t request_id, WireError code,
+                                      const std::string& message);
+
+}  // namespace mscm::net
+
+#endif  // MSCM_NET_WIRE_FORMAT_H_

@@ -50,7 +50,9 @@ EstimationService::EstimationService(EstimationServiceConfig config)
       stale_keys_(std::make_shared<const StaleKeySet>()),
       pool_(config.worker_threads) {}
 
-EstimationService::~EstimationService() {
+EstimationService::~EstimationService() { StopProbing(); }
+
+void EstimationService::StopProbing() {
   // Stop every prober before members unwind: a live prober's state-change
   // callback reaches into cache_, and replaced trackers kept alive by cache
   // entries stop when the cache retires them in its own destructor.

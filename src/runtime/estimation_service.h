@@ -124,6 +124,14 @@ class EstimationService {
   // Convenience: register a site probed through its MDBS agent.
   void RegisterSite(mdbs::MdbsAgent* agent);
 
+  // Graceful-shutdown hook: stops every site's background prober and blocks
+  // until in-flight probes finish (or are abandoned at their deadline).
+  // Estimates keep serving from the last cached readings. Idempotent; the
+  // destructor calls it. Ordered teardown of a serving stack is
+  //   server drain → refresh daemon stop → StopProbing() → service dtor
+  // (the dtor's ThreadPool join is last — see net/server.h).
+  void StopProbing();
+
   // Synchronous probe of one site; false if unknown site or probe failure.
   bool ProbeNow(const std::string& site);
 

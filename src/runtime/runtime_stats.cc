@@ -120,6 +120,54 @@ std::string RuntimeStatsSnapshot::ToString() const {
   return out;
 }
 
+const std::vector<StatsCounterField>& StatsCounterFields() {
+  using S = RuntimeStatsSnapshot;
+  static const std::vector<StatsCounterField>* fields =
+      new std::vector<StatsCounterField>{
+          {"requests", &S::requests},
+          {"batches", &S::batches},
+          {"probe_cache_hits", &S::probe_cache_hits},
+          {"probe_cache_stale", &S::probe_cache_stale},
+          {"probe_cache_misses", &S::probe_cache_misses},
+          {"no_model", &S::no_model},
+          {"probes", &S::probes},
+          {"probe_failures", &S::probe_failures},
+          {"probe_discards", &S::probe_discards},
+          {"probe_timeouts", &S::probe_timeouts},
+          {"probes_suppressed", &S::probes_suppressed},
+          {"breaker_opens", &S::breaker_opens},
+          {"degraded_sites", &S::degraded_sites},
+          {"degraded_served", &S::degraded_served},
+          {"invalid_requests", &S::invalid_requests},
+          {"catalog_swaps", &S::catalog_swaps},
+          {"stale_model_served", &S::stale_model_served},
+          {"stale_models", &S::stale_models},
+          {"estimate_cache_hits", &S::estimate_cache_hits},
+          {"estimate_cache_misses", &S::estimate_cache_misses},
+          {"estimate_cache_invalidations", &S::estimate_cache_invalidations},
+      };
+  return *fields;
+}
+
+const std::vector<StatsGaugeField>& StatsGaugeFields() {
+  using S = RuntimeStatsSnapshot;
+  static const std::vector<StatsGaugeField>* fields =
+      new std::vector<StatsGaugeField>{
+          {"probe_interval_ns", &S::probe_interval_ns},
+      };
+  return *fields;
+}
+
+const std::vector<StatsHistogramField>& StatsHistogramFields() {
+  using S = RuntimeStatsSnapshot;
+  static const std::vector<StatsHistogramField>* fields =
+      new std::vector<StatsHistogramField>{
+          {"estimate_latency", &S::estimate_latency},
+          {"probe_latency", &S::probe_latency},
+      };
+  return *fields;
+}
+
 RuntimeCounters::Shard& RuntimeCounters::Local() {
   const size_t hash = std::hash<std::thread::id>{}(std::this_thread::get_id());
   return shards_[hash % kShards];

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace mscm::runtime {
 
@@ -82,6 +83,27 @@ struct RuntimeStatsSnapshot {
 
   std::string ToString() const;
 };
+
+// Wire-stable enumeration of the snapshot's scalar fields, so serializers
+// (net/stats_codec) and dashboards can address every counter by name without
+// falling out of sync with the struct. The names are a wire contract:
+// append-only — never rename or repurpose one (see DESIGN.md §8).
+struct StatsCounterField {
+  const char* name;
+  uint64_t RuntimeStatsSnapshot::*field;
+};
+struct StatsGaugeField {
+  const char* name;
+  int64_t RuntimeStatsSnapshot::*field;
+};
+struct StatsHistogramField {
+  const char* name;  // key prefix ("estimate_latency", ...)
+  LatencyHistogram::Snapshot RuntimeStatsSnapshot::*field;
+};
+
+const std::vector<StatsCounterField>& StatsCounterFields();
+const std::vector<StatsGaugeField>& StatsGaugeFields();
+const std::vector<StatsHistogramField>& StatsHistogramFields();
 
 // The hot-path counters, sharded by thread so concurrent estimate threads
 // do not serialize on one cache line. Aggregation sums the shards.

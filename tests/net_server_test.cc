@@ -1,0 +1,480 @@
+// Loopback end-to-end tests for the estimation serving boundary: every
+// message type over a real socket, wire-boundary validation mapping to typed
+// error frames (never exceptions), admission-control shedding, and hostile
+// byte streams (garbage, wrong version, unknown type).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/explanatory.h"
+#include "net/client.h"
+#include "net/served_runtime.h"
+#include "net/server.h"
+#include "net/wire_format.h"
+
+namespace mscm::net {
+namespace {
+
+using runtime::EstimateRequest;
+using runtime::EstimateResponse;
+using runtime::EstimateStatus;
+using runtime::PlacementCandidate;
+using runtime::PlacementResult;
+
+ServedRuntimeConfig TestConfig() {
+  ServedRuntimeConfig config;
+  config.sites = 2;
+  config.worker_threads = 2;
+  config.refresh = false;  // keep tests focused on the wire
+  config.probe_interval = std::chrono::milliseconds(0);  // no background probes
+  return config;
+}
+
+EstimateRequest ValidRequest(const std::string& site = "site0") {
+  EstimateRequest req;
+  req.site = site;
+  req.class_id = core::QueryClassId::kUnarySeqScan;
+  const size_t n =
+      core::VariableSet::ForClass(core::QueryClassId::kUnarySeqScan).size();
+  req.features.assign(n, 2.0);
+  req.probing_cost = 1.5;
+  return req;
+}
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    served_ = std::make_unique<ServedRuntime>(TestConfig());
+    std::string error;
+    ASSERT_TRUE(served_->Start(&error)) << error;
+    ASSERT_NE(served_->port(), 0);
+  }
+
+  std::unique_ptr<ServedRuntime> served_;
+};
+
+// A raw loopback socket for byte-level hostile-peer tests (the NetClient
+// refuses to send malformed frames, so we go under it).
+class RawConn {
+ public:
+  explicit RawConn(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = fd_ >= 0 && ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                                       sizeof(addr)) == 0;
+    timeval tv{5, 0};
+    if (connected_) {
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  bool SendAll(const std::vector<uint8_t>& bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off, 0);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  // Reads until one frame assembles, the peer closes (empty payload,
+  // eof=true), or the receive deadline hits.
+  std::optional<Frame> ReadFrame(bool* eof = nullptr) {
+    if (eof != nullptr) *eof = false;
+    FrameAssembler a;
+    uint8_t buf[512];
+    while (true) {
+      if (auto frame = a.Next()) return frame;
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n == 0) {
+        if (eof != nullptr) *eof = true;
+        return std::nullopt;
+      }
+      if (n < 0) return std::nullopt;
+      if (!a.Feed(buf, static_cast<size_t>(n))) return std::nullopt;
+    }
+  }
+
+  // True if the server closes the connection (within the recv deadline).
+  bool WaitForClose() {
+    uint8_t buf[512];
+    while (true) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n == 0) return true;
+      if (n < 0) return false;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+// ---- Happy paths ------------------------------------------------------------
+
+TEST_F(NetServerTest, EstimateOverLoopback) {
+  NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", served_->port(), &error)) << error;
+
+  EstimateResponse resp;
+  const RpcStatus status = client.Estimate(ValidRequest(), &resp);
+  ASSERT_TRUE(status.ok()) << status.message;
+  EXPECT_EQ(resp.status, EstimateStatus::kOk);
+  EXPECT_GT(resp.estimate_seconds, 0.0);
+  EXPECT_GE(resp.state, 0);
+}
+
+TEST_F(NetServerTest, WireEstimateMatchesInProcessEstimate) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", served_->port()));
+
+  const EstimateRequest req = ValidRequest();
+  EstimateResponse over_wire;
+  ASSERT_TRUE(client.Estimate(req, &over_wire).ok());
+  const EstimateResponse in_process = served_->service().Estimate(req);
+  EXPECT_EQ(over_wire.status, in_process.status);
+  EXPECT_DOUBLE_EQ(over_wire.estimate_seconds, in_process.estimate_seconds);
+  EXPECT_EQ(over_wire.state, in_process.state);
+}
+
+TEST_F(NetServerTest, BatchOverLoopback) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", served_->port()));
+
+  std::vector<EstimateRequest> requests;
+  for (int i = 0; i < 16; ++i) {
+    requests.push_back(ValidRequest(i % 2 == 0 ? "site0" : "site1"));
+    requests.back().features[0] = 1.0 + i;
+  }
+  std::vector<EstimateResponse> responses;
+  const RpcStatus status = client.EstimateBatch(requests, &responses);
+  ASSERT_TRUE(status.ok()) << status.message;
+  ASSERT_EQ(responses.size(), requests.size());
+  for (const auto& resp : responses) {
+    EXPECT_EQ(resp.status, EstimateStatus::kOk);
+  }
+}
+
+TEST_F(NetServerTest, PlacementOverLoopback) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", served_->port()));
+
+  std::vector<PlacementCandidate> candidates(2);
+  candidates[0].request = ValidRequest("site0");
+  candidates[0].shipping_seconds = 100.0;  // make site1 the clear winner
+  candidates[1].request = ValidRequest("site1");
+  candidates[1].shipping_seconds = 0.0;
+  PlacementResult result;
+  const RpcStatus status = client.ChoosePlacement(candidates, &result);
+  ASSERT_TRUE(status.ok()) << status.message;
+  EXPECT_EQ(result.chosen, 1);
+  ASSERT_EQ(result.responses.size(), 2u);
+  ASSERT_EQ(result.total_seconds.size(), 2u);
+}
+
+TEST_F(NetServerTest, StatsOverLoopback) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", served_->port()));
+
+  EstimateResponse resp;
+  ASSERT_TRUE(client.Estimate(ValidRequest(), &resp).ok());
+
+  WireStats stats;
+  const RpcStatus status = client.Stats(&stats);
+  ASSERT_TRUE(status.ok()) << status.message;
+  EXPECT_GE(stats.counters.at("requests"), 1u);
+  // The server merges its own wire counters into the same payload.
+  EXPECT_GE(stats.counters.at("net.frames_received"), 1u);
+  EXPECT_GE(stats.counters.at("net.responses_sent"), 1u);
+}
+
+TEST_F(NetServerTest, PipelinedRequestsOnOneConnection) {
+  // Several sequential RPCs on one socket: request-id echo keeps them
+  // matched, and the connection survives all of them.
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", served_->port()));
+  for (int i = 0; i < 32; ++i) {
+    EstimateRequest req = ValidRequest(i % 2 == 0 ? "site0" : "site1");
+    req.features[0] = 1.0 + (i % 7);
+    EstimateResponse resp;
+    ASSERT_TRUE(client.Estimate(req, &resp).ok()) << "iteration " << i;
+    EXPECT_EQ(resp.status, EstimateStatus::kOk);
+  }
+}
+
+TEST_F(NetServerTest, ManyConcurrentConnections) {
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([this, &failures] {
+      NetClient client;
+      if (!client.Connect("127.0.0.1", served_->port())) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < 20; ++i) {
+        EstimateResponse resp;
+        if (!client.Estimate(ValidRequest(), &resp).ok() || !resp.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// ---- Wire-boundary validation ----------------------------------------------
+
+TEST_F(NetServerTest, UnknownSiteIsANormalNoModelResponse) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", served_->port()));
+
+  EstimateResponse resp;
+  const RpcStatus status = client.Estimate(ValidRequest("no-such-site"), &resp);
+  ASSERT_TRUE(status.ok()) << status.message;  // not an error frame
+  EXPECT_EQ(resp.status, EstimateStatus::kNoModel);
+}
+
+TEST_F(NetServerTest, NanFeatureGetsInvalidRequestErrorFrame) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", served_->port()));
+
+  EstimateRequest req = ValidRequest();
+  req.features[0] = std::numeric_limits<double>::quiet_NaN();
+  EstimateResponse resp;
+  const RpcStatus status = client.Estimate(req, &resp);
+  EXPECT_EQ(status.code, RpcStatus::Code::kErrorFrame);
+  EXPECT_EQ(status.wire_error, WireError::kInvalidRequest);
+
+  // The connection stays usable after a semantic reject.
+  EstimateResponse ok_resp;
+  EXPECT_TRUE(client.Estimate(ValidRequest(), &ok_resp).ok());
+}
+
+TEST_F(NetServerTest, EmptyBatchGetsInvalidRequestErrorFrame) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", served_->port()));
+
+  // The client encodes the empty batch; the server's boundary rejects it.
+  Frame frame;
+  const RpcStatus status = client.RoundTrip(MessageType::kEstimateBatchRequest,
+                                            EncodeEstimateBatchRequest({}),
+                                            &frame);
+  ASSERT_TRUE(status.ok()) << status.message;
+  ASSERT_EQ(frame.type, static_cast<uint8_t>(MessageType::kError));
+  auto body = DecodeErrorBodyPayload(frame.payload);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(body->code, WireError::kInvalidRequest);
+}
+
+TEST_F(NetServerTest, TruncatedPayloadGetsInvalidOrMalformedNeverCrash) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", served_->port()));
+
+  WireWriter w;
+  EncodeEstimateRequest(ValidRequest(), w);
+  std::vector<uint8_t> payload = w.bytes();
+  payload.resize(payload.size() / 2);  // frame is valid; payload is not
+
+  Frame frame;
+  const RpcStatus status =
+      client.RoundTrip(MessageType::kEstimateRequest, payload, &frame);
+  ASSERT_TRUE(status.ok()) << status.message;
+  ASSERT_EQ(frame.type, static_cast<uint8_t>(MessageType::kError));
+  auto body = DecodeErrorBodyPayload(frame.payload);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(body->code, WireError::kMalformedFrame);
+}
+
+TEST_F(NetServerTest, UnknownMessageTypeIsAnsweredAndKeptOpen) {
+  RawConn conn(served_->port());
+  ASSERT_TRUE(conn.connected());
+
+  WireWriter header;
+  header.PutU16(kMagic);
+  header.PutU8(kProtocolVersion);
+  header.PutU8(200);  // not a MessageType
+  header.PutU32(31);  // request id
+  header.PutU32(0);   // empty payload
+  ASSERT_TRUE(conn.SendAll(header.bytes()));
+
+  auto frame = conn.ReadFrame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, static_cast<uint8_t>(MessageType::kError));
+  EXPECT_EQ(frame->request_id, 31u);
+  auto body = DecodeErrorBodyPayload(frame->payload);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(body->code, WireError::kUnknownType);
+
+  // Unknown type is not poisonous — a valid request on the same socket works.
+  WireWriter w;
+  EncodeEstimateRequest(ValidRequest(), w);
+  ASSERT_TRUE(
+      conn.SendAll(EncodeFrame(MessageType::kEstimateRequest, 32, w.bytes())));
+  auto ok_frame = conn.ReadFrame();
+  ASSERT_TRUE(ok_frame.has_value());
+  EXPECT_EQ(ok_frame->type,
+            static_cast<uint8_t>(MessageType::kEstimateResponse));
+}
+
+TEST_F(NetServerTest, GarbageBytesGetMalformedFrameThenClose) {
+  RawConn conn(served_->port());
+  ASSERT_TRUE(conn.connected());
+
+  std::vector<uint8_t> garbage(64);
+  for (size_t i = 0; i < garbage.size(); ++i) {
+    garbage[i] = static_cast<uint8_t>(0xC7 ^ i);
+  }
+  ASSERT_TRUE(conn.SendAll(garbage));
+
+  bool eof = false;
+  auto frame = conn.ReadFrame(&eof);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, static_cast<uint8_t>(MessageType::kError));
+  auto body = DecodeErrorBodyPayload(frame->payload);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(body->code, WireError::kMalformedFrame);
+  EXPECT_TRUE(conn.WaitForClose());
+
+  EXPECT_GE(served_->server().Stats().malformed_frames, 1u);
+}
+
+TEST_F(NetServerTest, WrongVersionGetsUnsupportedVersionThenClose) {
+  RawConn conn(served_->port());
+  ASSERT_TRUE(conn.connected());
+
+  std::vector<uint8_t> bytes = EncodeFrame(MessageType::kStatsRequest, 5, {});
+  bytes[2] = kProtocolVersion + 3;
+  ASSERT_TRUE(conn.SendAll(bytes));
+
+  auto frame = conn.ReadFrame();
+  ASSERT_TRUE(frame.has_value());
+  auto body = DecodeErrorBodyPayload(frame->payload);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(body->code, WireError::kUnsupportedVersion);
+  EXPECT_TRUE(conn.WaitForClose());
+}
+
+TEST_F(NetServerTest, HostilePayloadLengthClosesWithoutBuffering) {
+  RawConn conn(served_->port());
+  ASSERT_TRUE(conn.connected());
+
+  WireWriter header;
+  header.PutU16(kMagic);
+  header.PutU8(kProtocolVersion);
+  header.PutU8(static_cast<uint8_t>(MessageType::kEstimateRequest));
+  header.PutU32(1);
+  header.PutU32(0xFFFFFFFFu);  // 4GB payload promise
+  ASSERT_TRUE(conn.SendAll(header.bytes()));
+
+  auto frame = conn.ReadFrame();
+  ASSERT_TRUE(frame.has_value());
+  auto body = DecodeErrorBodyPayload(frame->payload);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(body->code, WireError::kMalformedFrame);
+  EXPECT_TRUE(conn.WaitForClose());
+}
+
+// ---- Admission control ------------------------------------------------------
+
+TEST(NetServerAdmissionTest, ZeroInflightShedsEverythingButStaysUp) {
+  ServedRuntimeConfig config = TestConfig();
+  config.server.max_inflight = 0;  // shed every request
+  ServedRuntime served(config);
+  std::string error;
+  ASSERT_TRUE(served.Start(&error)) << error;
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", served.port()));
+  for (int i = 0; i < 5; ++i) {
+    EstimateResponse resp;
+    const RpcStatus status = client.Estimate(ValidRequest(), &resp);
+    EXPECT_EQ(status.code, RpcStatus::Code::kErrorFrame) << i;
+    EXPECT_TRUE(status.overloaded()) << i;
+  }
+  // The server is shedding, not dying: still running, still accepting.
+  EXPECT_TRUE(served.server().running());
+  NetClient second;
+  EXPECT_TRUE(second.Connect("127.0.0.1", served.port()));
+  EXPECT_GE(served.server().Stats().overload_shed, 5u);
+  EXPECT_EQ(served.server().Stats().requests_dispatched, 0u);
+}
+
+TEST(NetServerAdmissionTest, ConnectionCapRejectsExtraSockets) {
+  ServedRuntimeConfig config = TestConfig();
+  config.server.max_connections = 2;
+  ServedRuntime served(config);
+  std::string error;
+  ASSERT_TRUE(served.Start(&error)) << error;
+
+  NetClient a, b;
+  ASSERT_TRUE(a.Connect("127.0.0.1", served.port()));
+  ASSERT_TRUE(b.Connect("127.0.0.1", served.port()));
+  EstimateResponse resp;
+  ASSERT_TRUE(a.Estimate(ValidRequest(), &resp).ok());
+  ASSERT_TRUE(b.Estimate(ValidRequest(), &resp).ok());
+
+  // The third connection is accepted at the TCP level then closed by the
+  // server; the first RPC on it fails rather than hanging.
+  NetClient c;
+  if (c.Connect("127.0.0.1", served.port())) {
+    EstimateResponse r;
+    EXPECT_FALSE(c.Estimate(ValidRequest(), &r).ok());
+  }
+  // The first two stay healthy.
+  EXPECT_TRUE(a.Estimate(ValidRequest(), &resp).ok());
+}
+
+TEST(NetServerAdmissionTest, ReadLimitDisconnectsGarbageStreamers) {
+  ServedRuntimeConfig config = TestConfig();
+  config.server.max_read_buffer = 4096;
+  ServedRuntime served(config);
+  std::string error;
+  ASSERT_TRUE(served.Start(&error)) << error;
+
+  RawConn conn(served.port());
+  ASSERT_TRUE(conn.connected());
+  // A single giant unfinished frame: valid header promising near-cap
+  // payload, then bytes that never complete it past the read limit.
+  WireWriter header;
+  header.PutU16(kMagic);
+  header.PutU8(kProtocolVersion);
+  header.PutU8(static_cast<uint8_t>(MessageType::kEstimateRequest));
+  header.PutU32(1);
+  header.PutU32(512 * 1024);
+  std::vector<uint8_t> bytes = header.bytes();
+  bytes.resize(64 * 1024, 0x55);
+  (void)conn.SendAll(bytes);  // may fail partway once the server closes us
+  EXPECT_TRUE(conn.WaitForClose());
+  EXPECT_GE(served.server().Stats().read_limit_closes, 1u);
+  EXPECT_TRUE(served.server().running());
+}
+
+}  // namespace
+}  // namespace mscm::net

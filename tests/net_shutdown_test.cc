@@ -1,0 +1,202 @@
+// Graceful-shutdown regression tests: a SIGTERM-style ordered teardown
+// (server drain → refresh daemon → probers → pool) under in-flight batched
+// requests must never deadlock and never drop an accepted request silently —
+// every dispatched request is answered before its connection closes, and the
+// dispatched/completed counters must balance.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/explanatory.h"
+#include "net/client.h"
+#include "net/served_runtime.h"
+#include "net/server.h"
+
+namespace mscm::net {
+namespace {
+
+using runtime::EstimateRequest;
+using runtime::EstimateResponse;
+using runtime::EstimateStatus;
+
+EstimateRequest ValidRequest(const std::string& site) {
+  EstimateRequest req;
+  req.site = site;
+  req.class_id = core::QueryClassId::kUnarySeqScan;
+  const size_t n =
+      core::VariableSet::ForClass(core::QueryClassId::kUnarySeqScan).size();
+  req.features.assign(n, 2.0);
+  req.probing_cost = 1.5;
+  return req;
+}
+
+// The core regression: shut the full stack down while clients are pumping
+// batched requests. The test itself is the deadlock detector (ctest's
+// per-test timeout fails it if any teardown step hangs), and the counters
+// are the no-silent-drop detector.
+TEST(NetShutdownTest, ShutdownUnderInflightBatchesDrainsCleanly) {
+  ServedRuntimeConfig config;
+  config.sites = 2;
+  config.worker_threads = 2;
+  config.refresh = true;  // the full stack, daemon included
+  config.probe_interval = std::chrono::milliseconds(10);
+  auto served = std::make_unique<ServedRuntime>(config);
+  std::string error;
+  ASSERT_TRUE(served->Start(&error)) << error;
+  const uint16_t port = served->port();
+
+  constexpr int kClients = 4;
+  std::atomic<bool> go{true};
+  std::atomic<uint64_t> answered{0};      // data responses received
+  std::atomic<uint64_t> shed{0};          // kShuttingDown / kOverloaded
+  std::atomic<uint64_t> cut_off{0};       // transport/EOF after drain
+  std::atomic<uint64_t> bad{0};           // anything protocol-broken
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      NetClient client;
+      if (!client.Connect("127.0.0.1", port)) {
+        bad.fetch_add(1);
+        return;
+      }
+      std::vector<EstimateRequest> batch;
+      for (int i = 0; i < 32; ++i) {
+        batch.push_back(ValidRequest(i % 2 == 0 ? "site0" : "site1"));
+        batch.back().features[0] = 1.0 + ((c + i) % 5);
+      }
+      while (go.load(std::memory_order_relaxed)) {
+        std::vector<EstimateResponse> responses;
+        const RpcStatus status = client.EstimateBatch(batch, &responses);
+        if (status.ok()) {
+          if (responses.size() == batch.size()) {
+            answered.fetch_add(1);
+          } else {
+            bad.fetch_add(1);
+          }
+        } else if (status.code == RpcStatus::Code::kErrorFrame) {
+          // During drain the server may refuse new work — that is the
+          // contract (typed shed, not silence).
+          if (status.wire_error == WireError::kShuttingDown ||
+              status.wire_error == WireError::kOverloaded) {
+            shed.fetch_add(1);
+          } else {
+            bad.fetch_add(1);
+          }
+        } else {
+          // Clean EOF / reset once the server is gone.
+          cut_off.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+
+  // Let traffic build, then tear down mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ASSERT_GT(served->server().inflight() + answered.load(), 0u);
+  const auto shutdown_start = std::chrono::steady_clock::now();
+  served->Shutdown();
+  const auto shutdown_elapsed =
+      std::chrono::steady_clock::now() - shutdown_start;
+  go.store(false);
+  for (auto& t : clients) t.join();
+
+  // Drain must be prompt (bounded by flush_timeout + epsilon), not a hang
+  // that only ctest's timeout would catch.
+  EXPECT_LT(shutdown_elapsed, std::chrono::seconds(10));
+
+  EXPECT_GT(answered.load(), 0u) << "no traffic flowed before shutdown";
+  EXPECT_EQ(bad.load(), 0u);
+
+  // No silent drops: every admitted request ran to completion, and every
+  // computed response either went out or was counted as dropped because the
+  // peer itself had gone (well-behaved clients ⇒ zero).
+  const NetServerStatsSnapshot stats = served->server().Stats();
+  EXPECT_EQ(stats.requests_dispatched, stats.requests_completed);
+  EXPECT_EQ(stats.dropped_responses, 0u);
+  EXPECT_EQ(served->server().inflight(), 0u);
+}
+
+TEST(NetShutdownTest, ShutdownIsIdempotentAndReentrantSafe) {
+  ServedRuntimeConfig config;
+  config.sites = 1;
+  config.worker_threads = 1;
+  config.refresh = false;
+  config.probe_interval = std::chrono::milliseconds(0);
+  ServedRuntime served(config);
+  std::string error;
+  ASSERT_TRUE(served.Start(&error)) << error;
+  served.Shutdown();
+  served.Shutdown();  // second call is a no-op
+  // Destructor will call it a third time.
+}
+
+TEST(NetShutdownTest, StopWithNoTrafficIsImmediate) {
+  ServedRuntimeConfig config;
+  config.sites = 1;
+  config.worker_threads = 1;
+  config.refresh = false;
+  config.probe_interval = std::chrono::milliseconds(0);
+  ServedRuntime served(config);
+  std::string error;
+  ASSERT_TRUE(served.Start(&error)) << error;
+
+  const auto start = std::chrono::steady_clock::now();
+  served.Shutdown();
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(2));
+}
+
+TEST(NetShutdownTest, ClientsSeeEofNotHangAfterStop) {
+  ServedRuntimeConfig config;
+  config.sites = 1;
+  config.worker_threads = 1;
+  config.refresh = false;
+  config.probe_interval = std::chrono::milliseconds(0);
+  ServedRuntime served(config);
+  std::string error;
+  ASSERT_TRUE(served.Start(&error)) << error;
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", served.port()));
+  EstimateResponse resp;
+  ASSERT_TRUE(client.Estimate(ValidRequest("site0"), &resp).ok());
+
+  served.Shutdown();
+
+  // The next RPC on the now-closed connection fails promptly as a
+  // transport/protocol error — no typed lie, no indefinite block.
+  const RpcStatus status = client.Estimate(ValidRequest("site0"), &resp);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.code, RpcStatus::Code::kErrorFrame);
+}
+
+TEST(NetShutdownTest, RepeatedFullStackCyclesDoNotLeakOrWedge) {
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ServedRuntimeConfig config;
+    config.sites = 2;
+    config.worker_threads = 2;
+    config.refresh = true;
+    config.probe_interval = std::chrono::milliseconds(5);
+    ServedRuntime served(config);
+    std::string error;
+    ASSERT_TRUE(served.Start(&error)) << error << " cycle " << cycle;
+
+    NetClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", served.port()));
+    std::vector<EstimateResponse> responses;
+    std::vector<EstimateRequest> batch(8, ValidRequest("site0"));
+    ASSERT_TRUE(client.EstimateBatch(batch, &responses).ok());
+    ASSERT_EQ(responses.size(), batch.size());
+    served.Shutdown();
+  }
+}
+
+}  // namespace
+}  // namespace mscm::net
