@@ -25,16 +25,27 @@
 //                  known state and flagged degraded (never memoized); the
 //                  derived degraded_overhead_x is single / degraded
 //
-// Emits BENCH_runtime.json with requests/sec and p50/p99 per-estimate
-// latency per scenario, plus the derived batch-amortization and
-// thread-scaling factors. Threads beyond the machine's cores cannot add
-// speedup (hardware_concurrency is recorded in the JSON for that reason).
+// Emits BENCH_runtime.json with requests/sec, p50/p99 per-estimate latency
+// and shared_rmw_per_request per scenario (the RmwProbe tally of shared
+// atomic read-modify-writes — refcounts, mutexes, shared counters — summed
+// across reader threads over the timed pass; the cached hot path must
+// report exactly 0), plus the derived batch-amortization and
+// thread-scaling factors.
+//
+// Scaling honesty: threads beyond the machine's cores cannot add speedup,
+// so each scenario records an `oversubscribed` flag, the JSON records
+// `effective_hardware_threads`, and alongside the headline
+// thread_scaling_8t_x the bench emits thread_scaling_honest_x measured at
+// the largest batch thread count that actually fits the machine.
 //
 // Each scenario runs kReps times and reports the best repetition — on a
 // shared machine the best rep is the least-perturbed measurement.
 //
 // MSCM_RUNTIME_BENCH_N (env) overrides the request count;
 // MSCM_RUNTIME_BENCH_REPS overrides the repetition count.
+// `--smoke` runs a bounded CI-sized pass (2000 requests, 1 rep), skips the
+// JSON write, and fails (exit 1) if the cached hot path performed any
+// shared atomic RMW per request.
 
 #include <algorithm>
 #include <atomic>
@@ -54,6 +65,7 @@
 #include "core/observation_source.h"
 #include "runtime/estimation_service.h"
 #include "runtime/model_refresh.h"
+#include "runtime/rmw_probe.h"
 
 namespace {
 
@@ -134,6 +146,9 @@ struct Result {
   double p99_us = 0.0;
   uint64_t refreshes = 0;   // models re-derived + swapped during the run
   uint64_t cache_hits = 0;  // estimate-cache hits (cached scenarios)
+  // Shared atomic RMWs per request over the timed pass, summed across the
+  // scenario's reader threads (RmwProbe tally; raw-model loops report 0).
+  double rmw_per_request = 0.0;
 };
 
 std::vector<runtime::EstimateRequest> MakeWorkload(size_t n) {
@@ -255,7 +270,11 @@ Result Run(const Scenario& scenario,
     });
   }
 
+  // Every drive() accumulates the thread's RmwProbe delta; the tally is
+  // reset after warmup so rmw_total covers exactly the timed pass.
+  std::atomic<uint64_t> rmw_total{0};
   auto drive = [&](size_t begin, size_t end) {
+    const uint64_t rmw_before = runtime::RmwProbe::Current();
     if (scenario.batched) {
       std::vector<runtime::EstimateRequest> chunk;
       for (size_t i = begin; i < end; i += kBatch) {
@@ -267,10 +286,16 @@ Result Run(const Scenario& scenario,
     } else {
       for (size_t i = begin; i < end; ++i) service->Estimate(requests[i]);
     }
+    rmw_total.fetch_add(runtime::RmwProbe::Current() - rmw_before,
+                        std::memory_order_relaxed);
   };
 
-  // Warmup pass (1/8 of the workload), then the timed pass.
-  drive(0, requests.size() / 8);
+  // Warmup pass (1/8 of the workload, but at least one full cycle of the
+  // hot working set so cached scenarios enter the timed pass fully warm),
+  // then the timed pass.
+  drive(0, std::min(requests.size(),
+                    std::max<size_t>(requests.size() / 8, 512)));
+  rmw_total.store(0, std::memory_order_relaxed);
 
   const auto started = Clock::now();
   if (scenario.threads <= 1) {
@@ -310,6 +335,9 @@ Result Run(const Scenario& scenario,
   result.p99_us = stats.estimate_latency.p99_seconds * 1e6;
   result.refreshes = refreshes;
   result.cache_hits = stats.estimate_cache_hits;
+  result.rmw_per_request = static_cast<double>(
+                               rmw_total.load(std::memory_order_relaxed)) /
+                           static_cast<double>(requests.size());
   return result;
 }
 
@@ -384,10 +412,15 @@ Result RunRawBestOf(const core::CostModel& model, const RawWorkload& workload,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mscm;
-  const size_t n = EnvCount("MSCM_RUNTIME_BENCH_N", 40000);
-  const size_t reps = EnvCount("MSCM_RUNTIME_BENCH_REPS", 3);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  // Smoke mode bounds the run for CI: small workload, one rep, no JSON.
+  const size_t n = EnvCount("MSCM_RUNTIME_BENCH_N", smoke ? 2000 : 40000);
+  const size_t reps = EnvCount("MSCM_RUNTIME_BENCH_REPS", smoke ? 1 : 3);
   const std::vector<runtime::EstimateRequest> requests = MakeWorkload(n);
   const std::vector<runtime::EstimateRequest> hot_requests = MakeHotWorkload(n);
 
@@ -407,19 +440,26 @@ int main() {
        /*degraded=*/true},
   };
 
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned effective_hw = hw == 0 ? 1 : hw;
+
   std::printf("micro_runtime: %zu requests, batch size %zu, best of %zu "
-              "reps, %u hardware threads\n\n",
-              n, kBatch, reps, std::thread::hardware_concurrency());
+              "reps, %u hardware threads%s\n\n",
+              n, kBatch, reps, effective_hw, smoke ? " [smoke]" : "");
 
   TextTable table({"scenario", "requests/s", "p50 (us)", "p99 (us)",
-                   "refreshes", "cache hits"});
+                   "rmw/req", "refreshes", "cache hits"});
   std::vector<Result> results;
   for (const Scenario& scenario : scenarios) {
     results.push_back(
         RunBestOf(scenario, scenario.hot ? hot_requests : requests, reps));
     const Result& r = results.back();
-    table.AddRow({r.scenario.name, Format("%.0f", r.qps),
+    const bool oversub =
+        static_cast<unsigned>(r.scenario.threads) > effective_hw;
+    table.AddRow({r.scenario.name + (oversub ? " *" : ""),
+                  Format("%.0f", r.qps),
                   Format("%.2f", r.p50_us), Format("%.2f", r.p99_us),
+                  Format("%.2f", r.rmw_per_request),
                   Format("%llu", static_cast<unsigned long long>(r.refreshes)),
                   Format("%llu",
                          static_cast<unsigned long long>(r.cache_hits))});
@@ -434,10 +474,16 @@ int main() {
     results.push_back(
         RunRawBestOf(raw_model, raw_workload, compiled, n, reps));
     const Result& r = results.back();
-    table.AddRow({r.scenario.name, Format("%.0f", r.qps), "-", "-", "0",
-                  "0"});
+    table.AddRow({r.scenario.name, Format("%.0f", r.qps), "-", "-", "0.00",
+                  "0", "0"});
   }
   std::printf("%s\n", table.Render().c_str());
+  if (8u > effective_hw) {
+    std::printf("* oversubscribed: more reader threads than the machine's %u "
+                "hardware thread%s — throughput is a contention measurement, "
+                "not scaling\n\n",
+                effective_hw, effective_hw == 1 ? "" : "s");
+  }
 
   const double single_qps = results[0].qps;
   const double batch1_qps = results[1].qps;
@@ -447,40 +493,79 @@ int main() {
   const double degraded_qps = results[10].qps;
   const double termwalk_qps = results[11].qps;
   const double compiled_qps = results[12].qps;
+
+  // Honest scaling: the largest measured batch thread count that fits the
+  // machine (batch x1/x2/x4/x8 sit at results[1..4]). With one hardware
+  // thread this degenerates to 1.00x by construction — which is the honest
+  // answer: this box cannot measure scale-out.
+  const bool scaling_oversubscribed = 8u > effective_hw;
+  size_t honest_index = 1;
+  for (size_t i = 2; i <= 4; ++i) {
+    if (static_cast<unsigned>(results[i].scenario.threads) <= effective_hw) {
+      honest_index = i;
+    }
+  }
+  const int honest_threads = results[honest_index].scenario.threads;
+  const double honest_scaling = results[honest_index].qps / batch1_qps;
+
   std::printf("batch amortization (batch x1 / single x1): %.2fx\n",
               batch1_qps / single_qps);
-  std::printf("thread scaling (batch x8 / batch x1):      %.2fx\n",
-              batch8_qps / batch1_qps);
+  std::printf("thread scaling (batch x8 / batch x1):      %.2fx%s\n",
+              batch8_qps / batch1_qps,
+              scaling_oversubscribed ? "  [oversubscribed — see *]" : "");
+  std::printf("thread scaling honest (batch x%d / x1):     %.2fx\n",
+              honest_threads, honest_scaling);
   std::printf("cached hot loop (hot cached / hot):        %.2fx\n",
               hot_cached_qps / hot_qps);
   std::printf("compiled hot loop (compiled / termwalk):   %.2fx\n",
               compiled_qps / termwalk_qps);
   std::printf("degraded serving (single x1 / degraded):   %.2fx overhead\n",
               single_qps / degraded_qps);
+  std::printf("cached hot path shared RMWs per request:   %.3f (want 0)\n",
+              results[8].rmw_per_request);
+
+  if (smoke) {
+    if (results[8].rmw_per_request != 0.0) {
+      std::printf("\nSMOKE FAIL: cached hot path performed %.3f shared "
+                  "atomic RMWs per request; the epoch read path + per-thread "
+                  "cache/counters should make it exactly 0\n",
+                  results[8].rmw_per_request);
+      return 1;
+    }
+    std::printf("\nsmoke ok: %zu requests/scenario, cached hot path served "
+                "with zero shared atomic RMWs\n",
+                n);
+    return 0;  // no JSON in smoke mode — numbers from a tiny run mislead
+  }
 
   FILE* json = std::fopen("BENCH_runtime.json", "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"bench\": \"micro_runtime\",\n");
     std::fprintf(json, "  \"requests\": %zu,\n  \"batch_size\": %zu,\n",
                  n, kBatch);
-    std::fprintf(json, "  \"hardware_threads\": %u,\n",
-                 std::thread::hardware_concurrency());
+    std::fprintf(json, "  \"hardware_threads\": %u,\n", hw);
+    std::fprintf(json, "  \"effective_hardware_threads\": %u,\n",
+                 effective_hw);
     std::fprintf(json, "  \"scenarios\": [\n");
     for (size_t i = 0; i < results.size(); ++i) {
       const Result& r = results[i];
       std::fprintf(json,
                    "    {\"name\": \"%s\", \"threads\": %d, \"batched\": %s, "
                    "\"writer\": %s, \"refresh\": %s, \"cached\": %s, "
-                   "\"degraded\": %s, "
+                   "\"degraded\": %s, \"oversubscribed\": %s, "
                    "\"qps\": %.0f, \"p50_us\": %.3f, \"p99_us\": %.3f, "
+                   "\"shared_rmw_per_request\": %.3f, "
                    "\"refreshes\": %llu, \"cache_hits\": %llu}%s\n",
                    r.scenario.name.c_str(), r.scenario.threads,
                    r.scenario.batched ? "true" : "false",
                    r.scenario.with_writer ? "true" : "false",
                    r.scenario.with_refresh ? "true" : "false",
                    r.scenario.cached ? "true" : "false",
-                   r.scenario.degraded ? "true" : "false", r.qps,
-                   r.p50_us, r.p99_us,
+                   r.scenario.degraded ? "true" : "false",
+                   static_cast<unsigned>(r.scenario.threads) > effective_hw
+                       ? "true"
+                       : "false",
+                   r.qps, r.p50_us, r.p99_us, r.rmw_per_request,
                    static_cast<unsigned long long>(r.refreshes),
                    static_cast<unsigned long long>(r.cache_hits),
                    i + 1 < results.size() ? "," : "");
@@ -490,6 +575,14 @@ int main() {
                  batch1_qps / single_qps);
     std::fprintf(json, "  \"thread_scaling_8t_x\": %.3f,\n",
                  batch8_qps / batch1_qps);
+    std::fprintf(json, "  \"thread_scaling_8t_oversubscribed\": %s,\n",
+                 scaling_oversubscribed ? "true" : "false");
+    std::fprintf(json, "  \"thread_scaling_honest_threads\": %d,\n",
+                 honest_threads);
+    std::fprintf(json, "  \"thread_scaling_honest_x\": %.3f,\n",
+                 honest_scaling);
+    std::fprintf(json, "  \"cached_hot_shared_rmw_per_request\": %.3f,\n",
+                 results[8].rmw_per_request);
     std::fprintf(json, "  \"cached_hot_loop_speedup_x\": %.3f,\n",
                  hot_cached_qps / hot_qps);
     std::fprintf(json, "  \"compiled_hot_loop_speedup_x\": %.3f,\n",

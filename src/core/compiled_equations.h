@@ -99,6 +99,40 @@ class CompiledEquations {
     return 0.0 < y ? y : 0.0;
   }
 
+  // Packs one request's selected features into `dst[0..num_selected)` in
+  // slope order — the gather that turns arbitrary feature vectors into the
+  // contiguous rows EvaluateRowsInState streams over. `features` must have
+  // passed CheckFeatureWidth.
+  void GatherSelected(const double* features, double* dst) const {
+    for (size_t j = 0; j < selected_.size(); ++j) {
+      dst[j] = features[static_cast<size_t>(selected_[j])];
+    }
+  }
+
+  // Grouped serving evaluation: `packed` holds n gathered rows (see
+  // GatherSelected), row-major n x num_selected, all resolved to the same
+  // contention state; writes n estimates to `out`. The coefficient row is
+  // pinned once and every load is unit-stride, so the compiler can keep
+  // slopes in registers and vectorize — this is the batch hot loop when
+  // EstimateBatch groups items by state. Accumulation order and the
+  // negative clamp are exactly EvaluateInState's (same additions, same
+  // order, no FMA contraction the scalar path wouldn't do), so results are
+  // bit-for-bit identical to evaluating each row alone.
+  void EvaluateRowsInState(int state, const double* packed, size_t n,
+                           double* out) const {
+    MSCM_DCHECK(state >= 0 && state < num_states());
+    const double* row = &table_[static_cast<size_t>(state) * stride_];
+    const size_t k = selected_.size();
+    for (size_t i = 0; i < n; ++i) {
+      const double* f = packed + i * k;
+      double y = row[0];
+      for (size_t j = 0; j < k; ++j) {
+        y += row[j + 1] * f[j];
+      }
+      out[i] = 0.0 < y ? y : 0.0;
+    }
+  }
+
   // The state's row: (intercept, slope[0..num_selected-1]), contiguous.
   const double* row(int state) const {
     MSCM_DCHECK(state >= 0 && state < num_states());

@@ -8,6 +8,12 @@
 // race inside the library; the TSan build therefore swaps in a mutex-guarded
 // slot with identical semantics, keeping sanitizer runs signal-clean.
 
+// Every load()/store() performs shared atomic RMWs (refcount bumps plus the
+// slot's own synchronization), so this is a *cold-path* primitive: hot
+// readers go through the epoch-based EpochPublished raw read instead (see
+// epoch.h). Each call is tallied by RmwProbe so bench/micro_runtime can
+// verify the estimate hot path never touches one.
+
 #ifndef MSCM_RUNTIME_ATOMIC_SHARED_PTR_H_
 #define MSCM_RUNTIME_ATOMIC_SHARED_PTR_H_
 
@@ -15,6 +21,8 @@
 #include <memory>
 #include <mutex>
 #include <utility>
+
+#include "runtime/rmw_probe.h"
 
 #if defined(__SANITIZE_THREAD__)
 #define MSCM_THREAD_SANITIZER 1
@@ -38,6 +46,7 @@ class AtomicSharedPtr {
 
 #if defined(MSCM_THREAD_SANITIZER)
   std::shared_ptr<T> load() const {
+    RmwProbe::Count(2);  // mutex + refcount
     std::lock_guard<std::mutex> lock(mutex_);
     return ptr_;
   }
@@ -45,6 +54,7 @@ class AtomicSharedPtr {
   void store(std::shared_ptr<T> next) {
     // Swap under the lock; the old snapshot's destructor (potentially a
     // whole catalog) runs after release.
+    RmwProbe::Count(2);
     std::lock_guard<std::mutex> lock(mutex_);
     ptr_.swap(next);
   }
@@ -54,10 +64,12 @@ class AtomicSharedPtr {
   std::shared_ptr<T> ptr_;
 #else
   std::shared_ptr<T> load() const {
+    RmwProbe::Count(2);  // embedded spin bit + refcount
     return ptr_.load(std::memory_order_acquire);
   }
 
   void store(std::shared_ptr<T> next) {
+    RmwProbe::Count(2);
     ptr_.store(std::move(next), std::memory_order_release);
   }
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "runtime/rmw_probe.h"
 
 namespace mscm::runtime {
 
@@ -218,6 +219,7 @@ void ContentionTracker::NotifyDegradedTransition(bool was_degraded) {
 }
 
 ProbeReading ContentionTracker::Current() const {
+  RmwProbe::Count(2);  // mutex_ lock + unlock — the probe-resolve RMW cost
   std::lock_guard<std::mutex> lock(mutex_);
   ProbeReading out = reading_;
   out.degraded = breaker_.degraded();

@@ -1,0 +1,99 @@
+#include "runtime/epoch.h"
+
+namespace mscm::runtime {
+namespace {
+
+// Nesting depth of EpochGuards on this thread; only the outermost pins.
+thread_local int g_guard_depth = 0;
+
+}  // namespace
+
+EpochDomain::EpochDomain() = default;
+
+EpochDomain& EpochDomain::Global() {
+  static EpochDomain* domain = new EpochDomain();  // leaked, see header
+  return *domain;
+}
+
+void EpochDomain::Retire(std::shared_ptr<const void> keepalive) {
+  // Stamp = epoch value after the increment: readers pinned at >= stamp
+  // observed the increment (seq_cst) and therefore the publisher's newer
+  // pointer; readers pinned below it may still hold the old one.
+  const uint64_t stamp =
+      global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  {
+    std::lock_guard<std::mutex> lock(retired_mutex_);
+    retired_.push_back(Retired{stamp, std::move(keepalive)});
+  }
+  Reclaim(false);
+}
+
+void EpochDomain::Reclaim(bool wait_for_readers) {
+  // A fresh pin always reads the current global epoch, which is >= every
+  // stamp already in the retired list, so the scan below cannot miss a
+  // reader that pins after it: new pins never block old records.
+  uint64_t min_pinned = ~uint64_t{0};
+  for (const ReaderSlot& slot : slots_) {
+    const uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+    if (e != 0 && e < min_pinned) min_pinned = e;
+  }
+
+  // Overflow readers have no slot; an exclusive acquisition proves none is
+  // in flight. Normally just try: if one is active, a later Retire/Reclaim
+  // will catch up. When draining we must wait them out.
+  RmwProbe::Count();
+  if (wait_for_readers) {
+    overflow_readers_.lock();
+  } else if (!overflow_readers_.try_lock()) {
+    return;
+  }
+  overflow_readers_.unlock();
+
+  std::vector<Retired> free_now;
+  {
+    std::lock_guard<std::mutex> lock(retired_mutex_);
+    auto keep = retired_.begin();
+    for (auto it = retired_.begin(); it != retired_.end(); ++it) {
+      if (it->stamp <= min_pinned) {
+        free_now.push_back(std::move(*it));
+      } else {
+        if (keep != it) *keep = std::move(*it);
+        ++keep;
+      }
+    }
+    retired_.erase(keep, retired_.end());
+  }
+  // Keepalive destructors run outside every domain lock: they may tear
+  // down whole catalogs or tracker maps (which join prober threads).
+  free_now.clear();
+}
+
+size_t EpochDomain::RetiredCount() const {
+  std::lock_guard<std::mutex> lock(retired_mutex_);
+  return retired_.size();
+}
+
+EpochGuard::EpochGuard()
+    : slot_(ThreadRegistry::CurrentSlot()), outermost_(++g_guard_depth == 1) {
+  if (!outermost_) return;
+  EpochDomain& domain = EpochDomain::Global();
+  if (slot_ >= 0) {
+    const uint64_t e = domain.global_epoch_.load(std::memory_order_seq_cst);
+    domain.slots_[slot_].epoch.store(e, std::memory_order_seq_cst);
+  } else {
+    RmwProbe::Count();
+    domain.overflow_readers_.lock_shared();
+  }
+}
+
+EpochGuard::~EpochGuard() {
+  if (--g_guard_depth > 0 || !outermost_) return;
+  EpochDomain& domain = EpochDomain::Global();
+  if (slot_ >= 0) {
+    domain.slots_[slot_].epoch.store(0, std::memory_order_seq_cst);
+  } else {
+    domain.overflow_readers_.unlock_shared();
+  }
+}
+
+}  // namespace mscm::runtime

@@ -6,6 +6,8 @@
 #include <functional>
 #include <utility>
 
+#include "runtime/rmw_probe.h"
+
 namespace mscm::runtime {
 
 namespace {
@@ -25,23 +27,6 @@ uint64_t Mix(uint64_t h, uint64_t v) {
   h *= 1099511628211ull;  // FNV-1a prime
   return h;
 }
-
-class SpinGuard {
- public:
-  explicit SpinGuard(std::atomic_flag& lock) : lock_(lock) {
-    while (lock_.test_and_set(std::memory_order_acquire)) {
-      while (lock_.test(std::memory_order_relaxed)) {
-      }
-    }
-  }
-  ~SpinGuard() { lock_.clear(std::memory_order_release); }
-
-  SpinGuard(const SpinGuard&) = delete;
-  SpinGuard& operator=(const SpinGuard&) = delete;
-
- private:
-  std::atomic_flag& lock_;
-};
 
 uint64_t QuantizeFeature(double f, double quantum) {
   if (quantum > 0.0) {
@@ -76,38 +61,67 @@ uint64_t HashKey(const std::string& site, int class_id,
 
 EstimateCache::EstimateCache(const EstimateCacheConfig& config) {
   if (config.capacity == 0) return;
-  const size_t num_shards = NextPow2(std::max<size_t>(1, config.shards));
-  const size_t per_shard =
-      NextPow2(std::max<size_t>(1, (config.capacity + num_shards - 1) /
-                                       num_shards));
-  slot_mask_ = per_shard - 1;
+  slots_per_thread_ = NextPow2(std::max<size_t>(1, config.capacity));
+  slot_mask_ = slots_per_thread_ - 1;
   feature_quantum_ = config.feature_quantum;
-  shards_ = std::vector<Shard>(num_shards);
-  for (Shard& shard : shards_) shard.slots.resize(per_shard);
 }
 
 EstimateCache::~EstimateCache() {
-  // Retire every entry while the shard storage is still intact: dropping a
-  // tracker's last reference joins its prober thread, whose state-change
-  // callback may be mid-flight into these shards.
-  InvalidateAll();
+  // Collect every pinned tracker before releasing any: dropping a tracker's
+  // last reference joins its prober thread, whose state-change callback may
+  // call InvalidateSite on this cache — so the version cells (members,
+  // destroyed after this body) must still be intact while the joins run.
+  std::vector<std::shared_ptr<ContentionTracker>> retired;
+  for (auto& slot : shards_) {
+    ThreadShard* shard = slot.load(std::memory_order_acquire);
+    if (shard == nullptr) continue;
+    for (Slot& s : shard->slots) {
+      if (s.tracker != nullptr) retired.push_back(std::move(s.tracker));
+    }
+    delete shard;
+  }
+  retired.clear();
+}
+
+EstimateCache::ThreadShard* EstimateCache::LocalShard(bool create) {
+  const int slot = ThreadRegistry::CurrentSlot();
+  if (slot < 0) return nullptr;  // overflow threads bypass the cache
+  ThreadShard* shard = shards_[slot].load(std::memory_order_acquire);
+  if (shard == nullptr && create) {
+    shard = new ThreadShard();
+    shard->slots.resize(slots_per_thread_);
+    shards_[slot].store(shard, std::memory_order_release);
+  }
+  return shard;
+}
+
+const EstimateCache::VersionCell* EstimateCache::CellFor(
+    const std::string& site, ThreadShard& shard) {
+  auto memo = shard.cell_memo.find(site);
+  if (memo != shard.cell_memo.end()) return memo->second;
+  const VersionCell* cell;
+  {
+    RmwProbe::Count();  // cells_mutex_ — first insert for a site per thread
+    std::lock_guard<std::mutex> lock(cells_mutex_);
+    auto& owned = site_cells_[site];
+    if (owned == nullptr) owned = std::make_unique<VersionCell>(0);
+    cell = owned.get();
+  }
+  shard.cell_memo.emplace(site, cell);
+  return cell;
 }
 
 bool EstimateCache::Lookup(const std::string& site, int class_id,
                            const std::vector<double>& features, uint64_t epoch,
                            EstimateResponse* response) {
-  if (shards_.empty()) return false;
+  if (!enabled()) return false;
+  ThreadShard* shard = LocalShard(/*create=*/false);
+  if (shard == nullptr) return false;
   const uint64_t hash = HashKey(site, class_id, features, feature_quantum_);
-  Shard& shard = ShardFor(hash);
-  // Declared before the guard so an evicted tracker reference is released
-  // *after* the shard lock: destroying a tracker joins its prober thread,
-  // which must not happen while we hold a lock its callback may want.
-  std::shared_ptr<ContentionTracker> retired;
-  SpinGuard guard(shard.lock);
   for (size_t i = 0; i < kProbeWindow; ++i) {
-    Slot& slot = shard.slots[(hash + i) & slot_mask_];
+    Slot& slot = shard->slots[(hash + i) & slot_mask_];
     if (!slot.occupied || slot.hash != hash) continue;
-    if (slot.epoch != epoch || slot.class_id != class_id) continue;
+    if (slot.class_id != class_id) continue;
     if (slot.site != site) continue;
     if (slot.feature_bits.size() != features.size()) continue;
     bool equal = true;
@@ -119,14 +133,29 @@ bool EstimateCache::Lookup(const std::string& site, int class_id,
       }
     }
     if (!equal) continue;
-    // Key matches — now the lock-free validity probe against the tracker.
+    // Key matches — validity: the lazy invalidation cell, the catalog
+    // epoch, then the lock-free probe against the tracker. All loads; the
+    // only RMWs below are on the retire path (invalidation events, never
+    // the steady-state hit).
+    const bool cell_dead =
+        slot.site_cell->load(std::memory_order_acquire) != slot.site_version;
     const double cost = slot.tracker->published_probing_cost();
-    if (slot.tracker->state_version() != slot.state_version ||
+    if (cell_dead || slot.epoch != epoch ||
+        slot.tracker->state_version() != slot.state_version ||
         !(cost > slot.state_lo && cost <= slot.state_hi)) {
-      retired = std::move(slot.tracker);
-      slot = Slot{};
-      invalidations_.fetch_add(1, std::memory_order_relaxed);
-      return false;
+      if (cell_dead || slot.epoch == epoch) {
+        // Dead for good (invalidated, or state moved under the current
+        // catalog): retire now so the tracker pin is released promptly.
+        // An entry that merely belongs to an older catalog epoch is left
+        // for natural clobbering — a concurrent reader of an older epoch
+        // may still hit it.
+        std::shared_ptr<ContentionTracker> retire = std::move(slot.tracker);
+        slot = Slot{};
+        RmwProbe::Count(2);  // invalidation counter + tracker refcount drop
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      continue;
     }
     *response = slot.response;
     return true;
@@ -138,10 +167,13 @@ void EstimateCache::Insert(const std::string& site, int class_id,
                            const std::vector<double>& features, uint64_t epoch,
                            const InsertContext& context,
                            const EstimateResponse& response) {
-  if (shards_.empty() || context.tracker == nullptr) return;
+  if (!enabled() || context.tracker == nullptr) return;
+  ThreadShard* shard = LocalShard(/*create=*/true);
+  if (shard == nullptr) return;
   const uint64_t hash = HashKey(site, class_id, features, feature_quantum_);
-  Shard& shard = ShardFor(hash);
+  const VersionCell* cell = CellFor(site, *shard);
 
+  RmwProbe::Count();  // the slot's tracker pin (shared_ptr copy below)
   Slot fresh;
   fresh.occupied = true;
   fresh.class_id = class_id;
@@ -150,6 +182,8 @@ void EstimateCache::Insert(const std::string& site, int class_id,
   fresh.state_version = context.state_version;
   fresh.state_lo = context.state_lo;
   fresh.state_hi = context.state_hi;
+  fresh.site_cell = cell;
+  fresh.site_version = cell->load(std::memory_order_acquire);
   fresh.site = site;
   fresh.feature_bits.reserve(features.size());
   for (double f : features) {
@@ -158,14 +192,12 @@ void EstimateCache::Insert(const std::string& site, int class_id,
   fresh.tracker = context.tracker;
   fresh.response = response;
 
-  std::shared_ptr<ContentionTracker> retired;  // released after the lock
-  SpinGuard guard(shard.lock);
   // Reuse the same key's slot or a free one in the window; otherwise clobber
   // the key's home slot (direct-mapped replacement — no LRU bookkeeping on
   // the hot path).
-  Slot* victim = &shard.slots[hash & slot_mask_];
+  Slot* victim = &shard->slots[hash & slot_mask_];
   for (size_t i = 0; i < kProbeWindow; ++i) {
-    Slot& slot = shard.slots[(hash + i) & slot_mask_];
+    Slot& slot = shard->slots[(hash + i) & slot_mask_];
     if (!slot.occupied) {
       victim = &slot;
       break;
@@ -176,42 +208,27 @@ void EstimateCache::Insert(const std::string& site, int class_id,
       break;
     }
   }
-  retired = std::move(victim->tracker);
+  std::shared_ptr<ContentionTracker> retired = std::move(victim->tracker);
+  if (retired != nullptr) RmwProbe::Count();  // clobbered entry's pin drops
   *victim = std::move(fresh);
 }
 
-size_t EstimateCache::InvalidateSite(const std::string& site) {
-  if (shards_.empty()) return 0;
-  size_t evicted = 0;
-  std::vector<std::shared_ptr<ContentionTracker>> retired;
-  for (Shard& shard : shards_) {
-    SpinGuard guard(shard.lock);
-    for (Slot& slot : shard.slots) {
-      if (!slot.occupied || slot.site != site) continue;
-      retired.push_back(std::move(slot.tracker));
-      slot = Slot{};
-      ++evicted;
-    }
-  }
-  invalidations_.fetch_add(evicted, std::memory_order_relaxed);
-  return evicted;
+void EstimateCache::InvalidateSite(const std::string& site) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(cells_mutex_);
+  auto& cell = site_cells_[site];
+  if (cell == nullptr) cell = std::make_unique<VersionCell>(0);
+  cell->fetch_add(1, std::memory_order_release);
 }
 
-size_t EstimateCache::InvalidateAll() {
-  if (shards_.empty()) return 0;
-  size_t evicted = 0;
-  std::vector<std::shared_ptr<ContentionTracker>> retired;
-  for (Shard& shard : shards_) {
-    SpinGuard guard(shard.lock);
-    for (Slot& slot : shard.slots) {
-      if (!slot.occupied) continue;
-      retired.push_back(std::move(slot.tracker));
-      slot = Slot{};
-      ++evicted;
-    }
+void EstimateCache::InvalidateAll() {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(cells_mutex_);
+  // Every occupied entry recorded a cell at insert, so bumping every cell
+  // reaches every entry.
+  for (auto& [site, cell] : site_cells_) {
+    cell->fetch_add(1, std::memory_order_release);
   }
-  invalidations_.fetch_add(evicted, std::memory_order_relaxed);
-  return evicted;
 }
 
 }  // namespace mscm::runtime

@@ -10,36 +10,47 @@
 // cost checked against the state's own partition interval. No clock reads,
 // no snapshot acquisition, no model walk on a hit.
 //
-// Invalidation:
-//   - catalog swaps: every entry carries the catalog revision that priced it
-//     and the lookup passes the current one — an epoch bump misses wholesale.
-//     RegisterModel additionally evicts the site's entries eagerly.
-//   - state transitions: the tracker bumps its state version on a state flip
-//     or staleness crossing (entries self-invalidate), and the service wires
-//     a state-change callback that evicts the site's entries eagerly.
-// Entries hold a shared_ptr to their tracker, so validation atomics stay
-// dereferenceable even after RegisterSite replaces the site's tracker.
+// Concurrency: the table is sharded per thread — each live thread
+// (ThreadRegistry slot) owns a private slot array that only it reads or
+// writes, so lookups and inserts take no lock and perform zero shared
+// atomic RMWs. Threads warm their own working sets (an entry inserted by
+// one thread is not visible to another), which is the right trade for a
+// serving stack where each worker sees the full key distribution.
+// Threads beyond the registry capacity bypass the cache entirely.
+//
+// Invalidation is lazy, via per-site version cells: every entry records the
+// value of its site's cell at insert time, and InvalidateSite/InvalidateAll
+// bump cells (never touching another thread's shard). An entry whose cell,
+// catalog epoch, or tracker validity probe mismatches is retired by its
+// owning thread on the next lookup that meets it. Entries hold a shared_ptr
+// to their tracker, so validation atomics stay dereferenceable even after
+// RegisterSite replaces the site's tracker (the service stops a replaced
+// tracker's prober eagerly; the pinned carcass is cheap).
 
 #ifndef MSCM_RUNTIME_ESTIMATE_CACHE_H_
 #define MSCM_RUNTIME_ESTIMATE_CACHE_H_
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "runtime/contention_tracker.h"
 #include "runtime/estimate_types.h"
+#include "runtime/thread_registry.h"
 
 namespace mscm::runtime {
 
 struct EstimateCacheConfig {
-  // Total cached responses across all shards; 0 disables the cache (every
-  // lookup misses, inserts are dropped).
+  // Cached responses *per estimate thread* (rounded up to a power of two);
+  // 0 disables the cache (every lookup misses, inserts are dropped).
   size_t capacity = 0;
-  // Independent spinlocked shards (rounded up to a power of two); concurrent
-  // estimate threads for different keys rarely contend.
+  // Historical knob from the spinlocked-shard design; ignored (the cache is
+  // now sharded per thread). Kept so existing configs keep compiling.
   size_t shards = 8;
   // Feature quantization grid. 0 keys features on their exact bit patterns
   // (a hit requires identical features — always exact). Positive values key
@@ -56,7 +67,7 @@ class EstimateCache {
   EstimateCache(const EstimateCache&) = delete;
   EstimateCache& operator=(const EstimateCache&) = delete;
 
-  bool enabled() const { return !shards_.empty(); }
+  bool enabled() const { return slots_per_thread_ > 0; }
 
   // Everything Insert needs beyond the key and the response to make the
   // entry self-validating on later lookups.
@@ -75,27 +86,34 @@ class EstimateCache {
   };
 
   // Fills `response` and returns true when a currently valid entry matches.
-  // Invalid entries encountered are evicted in passing.
+  // Invalid entries encountered are retired in passing. Touches only the
+  // calling thread's shard: zero locks, zero shared atomic RMWs.
   bool Lookup(const std::string& site, int class_id,
               const std::vector<double>& features, uint64_t epoch,
               EstimateResponse* response);
 
-  // Stores a response; overwrites the oldest colliding slot when full.
+  // Stores a response in the calling thread's shard; overwrites the oldest
+  // colliding slot when full.
   void Insert(const std::string& site, int class_id,
               const std::vector<double>& features, uint64_t epoch,
               const InsertContext& context, const EstimateResponse& response);
 
-  // Evicts every entry for `site` / every entry. Returns entries evicted.
-  size_t InvalidateSite(const std::string& site);
-  size_t InvalidateAll();
+  // Marks every entry for `site` / every entry invalid by bumping version
+  // cells; each owning thread retires its dead entries on its next lookups.
+  void InvalidateSite(const std::string& site);
+  void InvalidateAll();
 
-  // Entries evicted by InvalidateSite/InvalidateAll plus entries found
-  // invalid during lookups (the estimate_cache_invalidations counter).
+  // Entries retired after being invalidated (by a version-cell bump, a
+  // catalog epoch they can no longer match, or a failed tracker validity
+  // probe). Counted when the owning thread retires the entry, so this
+  // trails InvalidateSite/InvalidateAll until lookups touch the dead slots.
   uint64_t invalidations() const {
     return invalidations_.load(std::memory_order_relaxed);
   }
 
  private:
+  using VersionCell = std::atomic<uint64_t>;
+
   struct Slot {
     bool occupied = false;
     int class_id = 0;
@@ -104,25 +122,38 @@ class EstimateCache {
     uint64_t state_version = 0;
     double state_lo = 0.0;
     double state_hi = 0.0;
+    // The site's invalidation cell and its value when this entry was
+    // inserted; a bumped cell invalidates the entry lazily.
+    const VersionCell* site_cell = nullptr;
+    uint64_t site_version = 0;
     std::string site;
     std::vector<uint64_t> feature_bits;
     std::shared_ptr<ContentionTracker> tracker;
     EstimateResponse response;
   };
 
-  struct alignas(64) Shard {
-    std::atomic_flag lock;  // clear on construction (C++20)
+  // One thread's private table plus its memo of site → version cell (the
+  // memo avoids the cells_mutex_ on repeat inserts for the same site).
+  struct ThreadShard {
     std::vector<Slot> slots;
+    std::unordered_map<std::string, const VersionCell*> cell_memo;
   };
 
-  Shard& ShardFor(uint64_t hash) {
-    // Shard on high bits, slot on low bits — independent indices.
-    return shards_[(hash >> 48) & (shards_.size() - 1)];
-  }
+  // The calling thread's shard, lazily created (nullptr when `create` is
+  // false and none exists yet, or the thread has no registry slot).
+  ThreadShard* LocalShard(bool create);
 
-  uint64_t slot_mask_ = 0;  // slots per shard - 1 (power of two)
+  // The site's version cell (stable address), creating it if needed.
+  const VersionCell* CellFor(const std::string& site, ThreadShard& shard);
+
+  size_t slots_per_thread_ = 0;
+  uint64_t slot_mask_ = 0;
   double feature_quantum_ = 0.0;
-  std::vector<Shard> shards_;
+  // Owner-created (release store), freed only by the destructor.
+  std::atomic<ThreadShard*> shards_[ThreadRegistry::kMaxSlots] = {};
+  mutable std::mutex cells_mutex_;
+  // node-stable: cell addresses survive rehash/insert.
+  std::map<std::string, std::unique_ptr<VersionCell>> site_cells_;
   std::atomic<uint64_t> invalidations_{0};
 };
 

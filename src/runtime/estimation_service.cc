@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "mdbs/agent.h"
+#include "runtime/rmw_probe.h"
 
 namespace mscm::runtime {
 
@@ -68,7 +69,10 @@ void EstimationService::RegisterModel(const std::string& site,
   const core::QueryClassId class_id = model.class_id();
   std::lock_guard<std::mutex> lock(control_mutex_);
   catalog_.Register(site, std::move(model));
-  counters_.Local().catalog_swaps.fetch_add(1, std::memory_order_relaxed);
+  {
+    auto& shard = counters_.Local();
+    shard.Add(shard.catalog_swaps);
+  }
   newest_class_[site] = class_id;
   // A freshly registered model is by definition not stale.
   SetModelStaleLocked(site, class_id, false);
@@ -108,9 +112,14 @@ void EstimationService::RegisterSite(const std::string& site,
   // the same mutex, so no registration can land between publication and
   // wiring — the old order (snapshot catalog, then publish) let a racing
   // RegisterModel miss the tracker and leave the state mapper unset.
-  auto next = std::make_shared<TrackerMap>(*trackers_.load());
+  const TrackerMapSnapshot current = trackers_.load();
+  std::shared_ptr<ContentionTracker> replaced;
+  if (const auto it = current->find(site); it != current->end()) {
+    replaced = it->second;
+  }
+  auto next = std::make_shared<TrackerMap>(*current);
   (*next)[site] = tracker;
-  trackers_.store(TrackerMapSnapshot(std::move(next)));
+  trackers_.Publish(TrackerMapSnapshot(std::move(next)));
 
   // Wire the partition of the site's most recently registered model —
   // deterministic, unlike iterating the catalog's (site, class) map, whose
@@ -127,8 +136,12 @@ void EstimationService::RegisterSite(const std::string& site,
 
   tracker->Start();
 
-  // A replaced tracker survives only through cache entries that pin it;
-  // evicting the site's entries releases them (and stops its prober).
+  // A replaced tracker may survive for a while through cache entries that
+  // pin it (invalidation is lazy — each estimate thread retires its dead
+  // entries on its next lookups), so stop its prober eagerly here rather
+  // than waiting for the last pin to drop; the later release of an
+  // already-stopped tracker is cheap.
+  if (replaced != nullptr) replaced->Stop();
   cache_.InvalidateSite(site);
 }
 
@@ -178,7 +191,7 @@ void EstimationService::SetModelStaleLocked(const std::string& site,
   } else {
     next->erase(key);
   }
-  stale_keys_.store(StaleKeySnapshot(std::move(next)));
+  stale_keys_.Publish(StaleKeySnapshot(std::move(next)));
   // Cached responses embed the stale_model flag; a flip retires them.
   cache_.InvalidateSite(site);
 }
@@ -197,44 +210,35 @@ std::shared_ptr<ContentionTracker> EstimationService::FindTracker(
 }
 
 void EstimationService::FlushCounts(const LocalCounts& counts) const {
+  // Shard::Add is a plain store on the calling thread's own shard — the
+  // whole flush performs no shared atomic RMW (unless the registry is
+  // exhausted and this thread landed on the overflow shard).
   auto& shard = counters_.Local();
-  if (counts.requests > 0) {
-    shard.requests.fetch_add(counts.requests, std::memory_order_relaxed);
-  }
+  if (counts.requests > 0) shard.Add(shard.requests, counts.requests);
   if (counts.probe_cache_hits > 0) {
-    shard.probe_cache_hits.fetch_add(counts.probe_cache_hits,
-                                     std::memory_order_relaxed);
+    shard.Add(shard.probe_cache_hits, counts.probe_cache_hits);
   }
   if (counts.probe_cache_stale > 0) {
-    shard.probe_cache_stale.fetch_add(counts.probe_cache_stale,
-                                      std::memory_order_relaxed);
+    shard.Add(shard.probe_cache_stale, counts.probe_cache_stale);
   }
   if (counts.probe_cache_misses > 0) {
-    shard.probe_cache_misses.fetch_add(counts.probe_cache_misses,
-                                       std::memory_order_relaxed);
+    shard.Add(shard.probe_cache_misses, counts.probe_cache_misses);
   }
-  if (counts.no_model > 0) {
-    shard.no_model.fetch_add(counts.no_model, std::memory_order_relaxed);
-  }
+  if (counts.no_model > 0) shard.Add(shard.no_model, counts.no_model);
   if (counts.stale_model_served > 0) {
-    shard.stale_model_served.fetch_add(counts.stale_model_served,
-                                       std::memory_order_relaxed);
+    shard.Add(shard.stale_model_served, counts.stale_model_served);
   }
   if (counts.invalid_requests > 0) {
-    shard.invalid_requests.fetch_add(counts.invalid_requests,
-                                     std::memory_order_relaxed);
+    shard.Add(shard.invalid_requests, counts.invalid_requests);
   }
   if (counts.degraded_served > 0) {
-    shard.degraded_served.fetch_add(counts.degraded_served,
-                                    std::memory_order_relaxed);
+    shard.Add(shard.degraded_served, counts.degraded_served);
   }
   if (counts.estimate_cache_hits > 0) {
-    shard.estimate_cache_hits.fetch_add(counts.estimate_cache_hits,
-                                        std::memory_order_relaxed);
+    shard.Add(shard.estimate_cache_hits, counts.estimate_cache_hits);
   }
   if (counts.estimate_cache_misses > 0) {
-    shard.estimate_cache_misses.fetch_add(counts.estimate_cache_misses,
-                                          std::memory_order_relaxed);
+    shard.Add(shard.estimate_cache_misses, counts.estimate_cache_misses);
   }
 }
 
@@ -320,6 +324,7 @@ void EstimationService::MaybeCacheResponse(
   if (equations == nullptr || response.state < 0) return;
 
   EstimateCache::InsertContext context;
+  RmwProbe::Count();  // tracker pin moving into the cache entry
   context.tracker = tracker;
   context.state_version = state_version_before;
   equations->StateInterval(response.state, &context.state_lo,
@@ -333,39 +338,53 @@ EstimateResponse EstimationService::Estimate(
   // Validate before anything shared is touched — a NaN feature vector must
   // never become an estimate-cache key or a served estimate.
   if (!RequestIsValid(request)) {
-    counters_.Local().invalid_requests.fetch_add(1, std::memory_order_relaxed);
+    auto& shard = counters_.Local();
+    shard.Add(shard.invalid_requests);
     EstimateResponse response;
     response.status = EstimateStatus::kInvalidRequest;
     return response;
   }
 
-  // Cache hit path first: no clocks, no snapshot, no histogram — one hash,
-  // one shard lock, two tracker atomics, one counter RMW.
+  // Cache hit path first: no clocks, no snapshot, no histogram, no epoch
+  // guard — one hash, the calling thread's own cache shard, a handful of
+  // validation loads and one per-thread counter store. Zero shared atomic
+  // RMWs end to end (the shared_rmw_per_request bench gate).
   const bool try_cache = cache_.enabled() && request.probing_cost < 0.0;
   if (try_cache) {
     EstimateResponse response;
     if (cache_.Lookup(request.site, static_cast<int>(request.class_id),
                       request.features, catalog_.version(), &response)) {
-      counters_.Local().estimate_cache_hits.fetch_add(
-          1, std::memory_order_relaxed);
+      auto& shard = counters_.Local();
+      shard.Add(shard.estimate_cache_hits);
       return response;
     }
   }
 
   const auto started = std::chrono::steady_clock::now();
-  const SnapshotCatalog::Snapshot snapshot = catalog_.snapshot();
-  const StaleKeySnapshot stale_keys = stale_keys_.load();
+  // Miss path: one epoch guard pins the catalog, tracker map and stale-key
+  // set for the whole request — raw pointers, no refcount round-trips.
+  EpochGuard guard;
+  const core::GlobalCatalog* snapshot = catalog_.Read(guard);
+  const StaleKeySet* stale_keys = stale_keys_.Read(guard);
 
   ProbeReading reading;
   const ProbeReading* cached = nullptr;
   std::shared_ptr<ContentionTracker> tracker;
   uint64_t state_version_before = 0;
   if (request.probing_cost < 0.0) {
-    if ((tracker = FindTracker(request.site))) {
+    const TrackerMap* map = trackers_.Read(guard);
+    if (const auto it = map->find(request.site); it != map->end()) {
+      if (try_cache) {
+        // Pin the tracker past the guard only when a cache insert may need
+        // it (the entry holds the reference) — the refcount bump is a
+        // shared RMW, paid on misses only.
+        RmwProbe::Count();
+        tracker = it->second;
+      }
       // Version first, then the reading: if anything transitions in between,
       // the entry inserted below is born invalid rather than wrongly valid.
-      state_version_before = tracker->state_version();
-      reading = tracker->Current();
+      state_version_before = it->second->state_version();
+      reading = it->second->Current();
       cached = &reading;
     }
   }
@@ -386,7 +405,10 @@ EstimateResponse EstimationService::Estimate(
 std::vector<EstimateResponse> EstimationService::EstimateBatch(
     const std::vector<EstimateRequest>& requests) const {
   const auto started = std::chrono::steady_clock::now();
-  counters_.Local().batches.fetch_add(1, std::memory_order_relaxed);
+  {
+    auto& shard = counters_.Local();
+    shard.Add(shard.batches);
+  }
   std::vector<EstimateResponse> responses(requests.size());
   if (requests.empty()) return responses;
 
@@ -394,13 +416,20 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
   // the per-request work is then pure arithmetic over immutable data. The
   // tracker and its pre-reading state version ride along so computed
   // responses can be inserted into the estimate cache.
+  //
+  // The caller's epoch guard pins the raw snapshots for the whole batch,
+  // workers included: ParallelFor blocks this thread until every chunk
+  // completes, so no retired catalog can be reclaimed while a worker still
+  // reads it (the workers' accesses happen-before the caller's unpin).
   struct SiteProbe {
     ProbeReading reading;
     std::shared_ptr<ContentionTracker> tracker;
     uint64_t state_version_before = 0;
   };
-  const SnapshotCatalog::Snapshot snapshot = catalog_.snapshot();
-  const StaleKeySnapshot stale_keys = stale_keys_.load();
+  EpochGuard guard;
+  const core::GlobalCatalog* snapshot = catalog_.Read(guard);
+  const StaleKeySet* stale_keys = stale_keys_.Read(guard);
+  const TrackerMap* tracker_map = trackers_.Read(guard);
   const bool use_cache = cache_.enabled();
   const uint64_t epoch = snapshot->revision();
   std::map<std::string, SiteProbe> site_probes;
@@ -408,7 +437,10 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
     if (request.probing_cost >= 0.0) continue;
     if (site_probes.count(request.site) > 0) continue;
     SiteProbe probe;
-    if ((probe.tracker = FindTracker(request.site))) {
+    if (const auto it = tracker_map->find(request.site);
+        it != tracker_map->end()) {
+      RmwProbe::Count();  // tracker pin: once per distinct site per batch
+      probe.tracker = it->second;
       probe.state_version_before = probe.tracker->state_version();
       probe.reading = probe.tracker->Current();
     }
@@ -420,26 +452,27 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
         // Batches concentrate on few (site, class) pairs; memoize per pair
         // everything that is batch-invariant. With a cached probe the
         // contention state — and therefore the active compiled equation row
-        // — is fixed for the whole batch: the memo resolves the state once
-        // and pins the row, so each repeat request is one width check plus
-        // a contiguous multiply-accumulate over num_selected + 1 doubles.
+        // — is fixed for the whole batch: the scan pass resolves each
+        // pair's state once and collects its requests into a group, and a
+        // flush pass gathers every group's selected features into
+        // contiguous rows and streams them through
+        // CompiledEquations::EvaluateRowsInState — one pinned coefficient
+        // row, unit-stride loads, bit-exact with the scalar path.
         // Counters are flushed once per chunk instead of once per request.
         struct MemoEntry {
           const std::string* site;
           core::QueryClassId class_id;
           const core::CompiledEquations* equations;  // serving form
           const ProbeReading* probe = nullptr;       // site's batch reading
-          // Blocked evaluation, valid when `fast`:
-          //   y = row[0] + sum_j row[j + 1] * features[selected[j]],
-          // with `row` the compiled table's resolved-state row (pinned by
-          // the batch's catalog snapshot).
+          // Grouped evaluation, valid when `fast`: requests indexed by
+          // `group` all evaluate state `state`'s row.
           bool fast = false;
           int state = -1;
           bool stale = false;
           bool degraded = false;     // site breaker not closed
           bool stale_model = false;  // key flagged by the refresh daemon
           double probing_cost = 0.0;
-          const double* row = nullptr;
+          std::vector<size_t> group;  // request indices awaiting the flush
         };
         std::vector<MemoEntry> memo;
         memo.reserve(8);
@@ -469,15 +502,15 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
             }
             ++counts.estimate_cache_misses;
           }
-          const MemoEntry* entry = nullptr;
-          for (const MemoEntry& candidate : memo) {
-            if (candidate.class_id == request.class_id &&
-                *candidate.site == request.site) {
-              entry = &candidate;
+          size_t entry_index = memo.size();
+          for (size_t m = 0; m < memo.size(); ++m) {
+            if (memo[m].class_id == request.class_id &&
+                *memo[m].site == request.site) {
+              entry_index = m;
               break;
             }
           }
-          if (entry == nullptr) {
+          if (entry_index == memo.size()) {
             MemoEntry fresh;
             fresh.site = &request.site;
             fresh.class_id = request.class_id;
@@ -497,65 +530,81 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
               fresh.stale = fresh.probe->stale;
               fresh.degraded = fresh.probe->degraded;
               fresh.state = fresh.equations->StateOf(fresh.probing_cost);
-              fresh.row = fresh.equations->row(fresh.state);
             }
             memo.push_back(std::move(fresh));
-            entry = &memo.back();
           }
 
+          MemoEntry& entry = memo[entry_index];
           EstimateResponse& response = responses[i];
           ++counts.requests;
-          if (entry->fast && request.probing_cost < 0.0) {
-            // Blocked evaluation: the state was resolved once for the memo
-            // entry; per request pay one width check and a contiguous
-            // multiply-accumulate over the pinned row.
-            entry->equations->CheckFeatureWidth(request.features);
-            response.status = EstimateStatus::kOk;
-            response.probing_cost = entry->probing_cost;
-            response.stale_probe = entry->stale;
-            response.state = entry->state;
-            if (entry->degraded) {
-              response.degraded = true;
-              ++counts.degraded_served;
-            }
-            if (entry->stale_model) {
-              response.stale_model = true;
-              ++counts.stale_model_served;
-            }
-            if (entry->stale) {
-              ++counts.probe_cache_stale;
-            } else {
-              ++counts.probe_cache_hits;
-            }
-            const std::vector<int>& selected = entry->equations->selected();
-            const double* row = entry->row;
-            double y = row[0];
-            for (size_t j = 0; j < selected.size(); ++j) {
-              y += row[j + 1] *
-                   request.features[static_cast<size_t>(selected[j])];
-            }
-            response.estimate_seconds = std::max(0.0, y);
-            cache_insert(request, response);
+          if (entry.fast && request.probing_cost < 0.0) {
+            // Width-check now (same abort point as the scalar path), defer
+            // the arithmetic to the grouped flush below.
+            entry.equations->CheckFeatureWidth(request.features);
+            entry.group.push_back(i);
             continue;
           }
-          if (entry->equations == nullptr) {
+          if (entry.equations == nullptr) {
             ++counts.no_model;
             response.status = EstimateStatus::kNoModel;
             continue;
           }
-          if (entry->stale_model) {
+          if (entry.stale_model) {
             response.stale_model = true;
             ++counts.stale_model_served;
           }
           const ProbeReading* cached =
-              request.probing_cost < 0.0 ? entry->probe : nullptr;
+              request.probing_cost < 0.0 ? entry.probe : nullptr;
           if (!ResolveProbe(request, cached, response, counts)) continue;
-          entry->equations->CheckFeatureWidth(request.features);
+          entry.equations->CheckFeatureWidth(request.features);
           response.status = EstimateStatus::kOk;
-          response.state = entry->equations->StateOf(response.probing_cost);
-          response.estimate_seconds = entry->equations->EvaluateInState(
+          response.state = entry.equations->StateOf(response.probing_cost);
+          response.estimate_seconds = entry.equations->EvaluateInState(
               request.features.data(), response.state);
           cache_insert(request, response);
+        }
+
+        // Grouped flush: per (site, class) group, gather the selected
+        // features into packed rows and evaluate the whole group against
+        // its one resolved state row. Scratch is reused across groups.
+        std::vector<double> packed;
+        std::vector<double> estimates;
+        for (MemoEntry& entry : memo) {
+          if (entry.group.empty()) continue;
+          const size_t k = entry.equations->num_selected();
+          packed.resize(entry.group.size() * k);
+          estimates.resize(entry.group.size());
+          for (size_t g = 0; g < entry.group.size(); ++g) {
+            entry.equations->GatherSelected(
+                requests[entry.group[g]].features.data(),
+                packed.data() + g * k);
+          }
+          entry.equations->EvaluateRowsInState(
+              entry.state, packed.data(), entry.group.size(),
+              estimates.data());
+          for (size_t g = 0; g < entry.group.size(); ++g) {
+            const size_t i = entry.group[g];
+            EstimateResponse& response = responses[i];
+            response.status = EstimateStatus::kOk;
+            response.probing_cost = entry.probing_cost;
+            response.stale_probe = entry.stale;
+            response.state = entry.state;
+            response.estimate_seconds = estimates[g];
+            if (entry.degraded) {
+              response.degraded = true;
+              ++counts.degraded_served;
+            }
+            if (entry.stale_model) {
+              response.stale_model = true;
+              ++counts.stale_model_served;
+            }
+            if (entry.stale) {
+              ++counts.probe_cache_stale;
+            } else {
+              ++counts.probe_cache_hits;
+            }
+            cache_insert(requests[i], response);
+          }
         }
         FlushCounts(counts);
       });

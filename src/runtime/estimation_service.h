@@ -34,9 +34,9 @@
 #include <vector>
 
 #include "core/catalog.h"
-#include "runtime/atomic_shared_ptr.h"
 #include "runtime/clock.h"
 #include "runtime/contention_tracker.h"
+#include "runtime/epoch.h"
 #include "runtime/estimate_cache.h"
 #include "runtime/estimate_types.h"
 #include "runtime/runtime_stats.h"
@@ -208,7 +208,8 @@ class EstimationService {
     // Responses priced from a degraded site (breaker open or half-open).
     uint64_t degraded_served = 0;
     // Estimate-cache hits bump only this (not requests): the hit path pays
-    // exactly one relaxed RMW. Aggregation folds hits back into requests.
+    // exactly one per-thread counter store — no shared atomic RMW.
+    // Aggregation folds hits back into requests.
     uint64_t estimate_cache_hits = 0;
     uint64_t estimate_cache_misses = 0;
   };
@@ -256,8 +257,11 @@ class EstimationService {
   // snapshots. Holding one mutex across a whole RegisterSite/RegisterModel
   // is what closes the tracker-publication vs. mapper-wiring race.
   mutable std::mutex control_mutex_;
-  AtomicSharedPtr<const TrackerMap> trackers_;
-  AtomicSharedPtr<const StaleKeySet> stale_keys_;
+  // Epoch-published: the estimate hot path reads these raw under an
+  // EpochGuard (zero shared RMWs); the control plane and cold callers use
+  // the shared_ptr load.
+  EpochPublished<TrackerMap> trackers_;
+  EpochPublished<StaleKeySet> stale_keys_;
   // Last registered model class per site (control_mutex_): the partition
   // RegisterSite wires into a new tracker.
   std::map<std::string, core::QueryClassId> newest_class_;

@@ -1,10 +1,9 @@
 #include "runtime/runtime_stats.h"
 
 #include <cmath>
-#include <functional>
-#include <thread>
 
 #include "common/str_util.h"
+#include "runtime/rmw_probe.h"
 
 namespace mscm::runtime {
 
@@ -24,7 +23,21 @@ double BucketMidSeconds(int bucket) {
   return std::ldexp(1.0, bucket) * std::sqrt(2.0) * 1e-9;
 }
 
+// Single-writer increment: the owning thread is the only writer, so a plain
+// load+store is race-free and costs no atomic RMW instruction; the atomic
+// type keeps concurrent aggregator loads well-defined.
+inline void StoreAdd(std::atomic<uint64_t>& field, uint64_t n) {
+  field.store(field.load(std::memory_order_relaxed) + n,
+              std::memory_order_relaxed);
+}
+
 }  // namespace
+
+LatencyHistogram::~LatencyHistogram() {
+  for (auto& slot : stripes_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+}
 
 void LatencyHistogram::Record(std::chrono::nanoseconds latency) {
   RecordN(latency, 1);
@@ -33,38 +46,94 @@ void LatencyHistogram::Record(std::chrono::nanoseconds latency) {
 void LatencyHistogram::RecordN(std::chrono::nanoseconds latency, uint64_t n) {
   if (n == 0) return;
   const int bucket = BucketOf(latency.count());
-  buckets_[bucket].fetch_add(n, std::memory_order_relaxed);
-  count_.fetch_add(n, std::memory_order_relaxed);
-  total_ns_.fetch_add(
-      n * static_cast<uint64_t>(std::max<int64_t>(0, latency.count())),
-      std::memory_order_relaxed);
+  const uint64_t dt =
+      n * static_cast<uint64_t>(std::max<int64_t>(0, latency.count()));
+  const int slot = ThreadRegistry::CurrentSlot();
+  if (slot < 0) {
+    RmwProbe::Count(2);
+    overflow_.buckets[bucket].fetch_add(n, std::memory_order_relaxed);
+    overflow_.total_ns.fetch_add(dt, std::memory_order_relaxed);
+    return;
+  }
+  Stripe* stripe = stripes_[slot].load(std::memory_order_acquire);
+  if (stripe == nullptr) {
+    stripe = new Stripe();
+    stripes_[slot].store(stripe, std::memory_order_release);
+  }
+  StoreAdd(stripe->buckets[bucket], n);
+  StoreAdd(stripe->total_ns, dt);
+}
+
+uint64_t LatencyHistogram::Aggregate(uint64_t buckets[kNumBuckets],
+                                     uint64_t* total_ns) const {
+  for (int b = 0; b < kNumBuckets; ++b) buckets[b] = 0;
+  uint64_t total = 0;
+  auto fold = [&](const Stripe& stripe) {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      buckets[b] += stripe.buckets[b].load(std::memory_order_relaxed);
+    }
+    total += stripe.total_ns.load(std::memory_order_relaxed);
+  };
+  for (const auto& slot : stripes_) {
+    if (const Stripe* stripe = slot.load(std::memory_order_acquire)) {
+      fold(*stripe);
+    }
+  }
+  fold(overflow_);
+  if (total_ns != nullptr) *total_ns = total;
+  uint64_t count = 0;
+  for (int b = 0; b < kNumBuckets; ++b) count += buckets[b];
+  return count;
+}
+
+double LatencyHistogram::RankSeconds(const uint64_t buckets[kNumBuckets],
+                                     uint64_t count, double p) {
+  if (count == 0) return 0.0;
+  int highest = 0;
+  for (int b = kNumBuckets - 1; b >= 0; --b) {
+    if (buckets[b] > 0) {
+      highest = b;
+      break;
+    }
+  }
+  // p >= 1.0 means "the largest sample we saw": pin it to the highest
+  // non-empty bucket rather than trusting rank arithmetic at the edge.
+  if (p >= 1.0) return BucketMidSeconds(highest);
+  const double clamped = p < 0.0 ? 0.0 : p;
+  // Rank against the count summed from these same buckets, so the walk
+  // always terminates inside them (no separately-loaded count to tear).
+  const uint64_t rank =
+      static_cast<uint64_t>(clamped * static_cast<double>(count - 1));
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets[b];
+    if (seen > rank) return BucketMidSeconds(b);
+  }
+  return BucketMidSeconds(highest);
 }
 
 double LatencyHistogram::PercentileSeconds(double p) const {
-  const uint64_t n = count_.load(std::memory_order_relaxed);
-  if (n == 0) return 0.0;
-  const double clamped = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
-  const uint64_t rank = static_cast<uint64_t>(clamped * static_cast<double>(n - 1));
-  uint64_t seen = 0;
-  for (int b = 0; b < kNumBuckets; ++b) {
-    seen += buckets_[b].load(std::memory_order_relaxed);
-    if (seen > rank) return BucketMidSeconds(b);
-  }
-  return BucketMidSeconds(kNumBuckets - 1);
+  uint64_t buckets[kNumBuckets];
+  const uint64_t count = Aggregate(buckets, nullptr);
+  return RankSeconds(buckets, count, p);
 }
 
 LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
+  // One aggregation pass feeds every derived statistic, so count, mean and
+  // percentiles in a snapshot are mutually consistent.
+  uint64_t buckets[kNumBuckets];
+  uint64_t total_ns = 0;
+  const uint64_t count = Aggregate(buckets, &total_ns);
   Snapshot snap;
-  snap.count = count_.load(std::memory_order_relaxed);
-  if (snap.count == 0) return snap;
-  snap.mean_seconds = 1e-9 *
-                      static_cast<double>(total_ns_.load(std::memory_order_relaxed)) /
-                      static_cast<double>(snap.count);
-  snap.p50_seconds = PercentileSeconds(0.50);
-  snap.p90_seconds = PercentileSeconds(0.90);
-  snap.p99_seconds = PercentileSeconds(0.99);
+  snap.count = count;
+  if (count == 0) return snap;
+  snap.mean_seconds =
+      1e-9 * static_cast<double>(total_ns) / static_cast<double>(count);
+  snap.p50_seconds = RankSeconds(buckets, count, 0.50);
+  snap.p90_seconds = RankSeconds(buckets, count, 0.90);
+  snap.p99_seconds = RankSeconds(buckets, count, 0.99);
   for (int b = kNumBuckets - 1; b >= 0; --b) {
-    if (buckets_[b].load(std::memory_order_relaxed) > 0) {
+    if (buckets[b] > 0) {
       snap.max_bucket_seconds = std::ldexp(1.0, b + 1) * 1e-9;
       break;
     }
@@ -73,9 +142,14 @@ LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
 }
 
 void LatencyHistogram::Reset() {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  total_ns_.store(0, std::memory_order_relaxed);
+  auto zero = [](Stripe& stripe) {
+    for (auto& b : stripe.buckets) b.store(0, std::memory_order_relaxed);
+    stripe.total_ns.store(0, std::memory_order_relaxed);
+  };
+  for (auto& slot : stripes_) {
+    if (Stripe* stripe = slot.load(std::memory_order_acquire)) zero(*stripe);
+  }
+  zero(overflow_);
 }
 
 std::string LatencyHistogram::Snapshot::ToString() const {
@@ -168,13 +242,36 @@ const std::vector<StatsHistogramField>& StatsHistogramFields() {
   return *fields;
 }
 
+void RuntimeCounters::Shard::Add(std::atomic<uint64_t>& field, uint64_t n) {
+  if (shared_writers) {
+    RmwProbe::Count();
+    field.fetch_add(n, std::memory_order_relaxed);
+  } else {
+    StoreAdd(field, n);
+  }
+}
+
+RuntimeCounters::RuntimeCounters() { overflow_.shared_writers = true; }
+
+RuntimeCounters::~RuntimeCounters() {
+  for (auto& slot : slots_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+}
+
 RuntimeCounters::Shard& RuntimeCounters::Local() {
-  const size_t hash = std::hash<std::thread::id>{}(std::this_thread::get_id());
-  return shards_[hash % kShards];
+  const int slot = ThreadRegistry::CurrentSlot();
+  if (slot < 0) return overflow_;
+  Shard* shard = slots_[slot].load(std::memory_order_acquire);
+  if (shard == nullptr) {
+    shard = new Shard();
+    slots_[slot].store(shard, std::memory_order_release);
+  }
+  return *shard;
 }
 
 void RuntimeCounters::AggregateInto(RuntimeStatsSnapshot& out) const {
-  for (const Shard& s : shards_) {
+  auto fold = [&out](const Shard& s) {
     const uint64_t cache_hits =
         s.estimate_cache_hits.load(std::memory_order_relaxed);
     // The estimate-cache hit path bumps exactly one counter; a hit is still
@@ -197,7 +294,13 @@ void RuntimeCounters::AggregateInto(RuntimeStatsSnapshot& out) const {
     out.degraded_served += s.degraded_served.load(std::memory_order_relaxed);
     out.invalid_requests +=
         s.invalid_requests.load(std::memory_order_relaxed);
+  };
+  for (const auto& slot : slots_) {
+    if (const Shard* shard = slot.load(std::memory_order_acquire)) {
+      fold(*shard);
+    }
   }
+  fold(overflow_);
 }
 
 }  // namespace mscm::runtime

@@ -1,8 +1,9 @@
-// Runtime observability for the online estimation service: lock-free
-// counters (sharded to keep concurrent readers off each other's cache
-// lines) and a log-bucketed latency histogram with percentile extraction.
-// Everything here is safe to update from many threads and to snapshot
-// concurrently; snapshots are monotone but not atomic across counters.
+// Runtime observability for the online estimation service: truly per-thread
+// counters and latency histograms (one stripe per ThreadRegistry slot, so a
+// recording thread touches only cache lines it owns — zero shared atomic
+// RMWs) with lazy aggregation at snapshot time. Everything here is safe to
+// update from many threads and to snapshot concurrently; snapshots are
+// monotone but not atomic across counters.
 
 #ifndef MSCM_RUNTIME_RUNTIME_STATS_H_
 #define MSCM_RUNTIME_RUNTIME_STATS_H_
@@ -13,11 +14,21 @@
 #include <string>
 #include <vector>
 
+#include "runtime/thread_registry.h"
+
 namespace mscm::runtime {
 
 // Histogram over latencies with power-of-two nanosecond buckets: bucket i
 // holds samples in [2^i, 2^(i+1)) ns, bucket 0 also absorbs sub-ns samples.
 // 40 buckets cover up to ~18 minutes.
+//
+// Recording writes the calling thread's own lazily-allocated stripe with
+// plain load+store increments (single-writer per slot; a thread that
+// outlives its slot hands the cumulative stripe to the slot's next owner,
+// so totals are conserved across thread churn). Snapshots sum the stripes;
+// the sample count is derived from the summed buckets in the same pass, so
+// a reader can never observe sum(buckets) != count — the torn-read skew the
+// old separately-loaded count_ allowed.
 class LatencyHistogram {
  public:
   static constexpr int kNumBuckets = 40;
@@ -33,6 +44,12 @@ class LatencyHistogram {
     std::string ToString() const;
   };
 
+  LatencyHistogram() = default;
+  ~LatencyHistogram();
+
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
   void Record(std::chrono::nanoseconds latency);
 
   // Records `n` samples of the same latency with one pass over the buckets
@@ -40,17 +57,34 @@ class LatencyHistogram {
   void RecordN(std::chrono::nanoseconds latency, uint64_t n);
 
   // Percentile via cumulative bucket counts; returns the geometric midpoint
-  // of the bucket containing the requested rank (0 when empty).
+  // of the bucket containing the requested rank (0 when empty). p >= 1.0 is
+  // pinned to the highest non-empty bucket.
   double PercentileSeconds(double p) const;
 
   Snapshot Snap() const;
 
+  // Zeroes every stripe. Not linearizable against concurrent recorders;
+  // call only while recording is quiescent (tests, bench warmup).
   void Reset();
 
  private:
-  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> total_ns_{0};
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> buckets[kNumBuckets] = {};
+    std::atomic<uint64_t> total_ns{0};
+  };
+
+  // Sums every stripe into `buckets` / `total_ns`, returns the sample count
+  // (= sum of buckets, by construction).
+  uint64_t Aggregate(uint64_t buckets[kNumBuckets], uint64_t* total_ns) const;
+
+  static double RankSeconds(const uint64_t buckets[kNumBuckets],
+                            uint64_t count, double p);
+
+  // Owner-created (release store), readers acquire; never freed before the
+  // histogram itself.
+  std::atomic<Stripe*> stripes_[ThreadRegistry::kMaxSlots] = {};
+  // Shared fallback for threads beyond kMaxSlots (real RMWs, RmwProbe-counted).
+  Stripe overflow_;
 };
 
 // One snapshot of every service counter, plus the latency histograms.
@@ -105,12 +139,18 @@ const std::vector<StatsCounterField>& StatsCounterFields();
 const std::vector<StatsGaugeField>& StatsGaugeFields();
 const std::vector<StatsHistogramField>& StatsHistogramFields();
 
-// The hot-path counters, sharded by thread so concurrent estimate threads
-// do not serialize on one cache line. Aggregation sums the shards.
+// The hot-path counters, one shard per live thread (ThreadRegistry slot) so
+// an estimate thread only ever writes cache lines it owns. Shard fields are
+// std::atomic so aggregators may read them concurrently, but the owning
+// thread bumps them with Add() — a plain load+store, not an atomic RMW
+// (single-writer). Threads beyond the registry capacity share one overflow
+// shard whose Add() degrades to fetch_add (counted by RmwProbe).
+//
+// Shards are cumulative and survive their owner: a thread that exits leaves
+// its totals in place for the slot's next owner to keep extending, so
+// AggregateInto() conserves every increment across thread churn.
 class RuntimeCounters {
  public:
-  static constexpr size_t kShards = 16;
-
   struct alignas(64) Shard {
     std::atomic<uint64_t> requests{0};
     std::atomic<uint64_t> batches{0};
@@ -124,13 +164,27 @@ class RuntimeCounters {
     std::atomic<uint64_t> stale_model_served{0};
     std::atomic<uint64_t> degraded_served{0};
     std::atomic<uint64_t> invalid_requests{0};
-    // A cache hit bumps only estimate_cache_hits (one RMW on the hit path);
-    // aggregation folds hits back into `requests`.
+    // A cache hit bumps only estimate_cache_hits (one per-thread store on
+    // the hit path); aggregation folds hits back into `requests`.
     std::atomic<uint64_t> estimate_cache_hits{0};
     std::atomic<uint64_t> estimate_cache_misses{0};
+
+    // Increment for the shard's owner: plain load+store on a per-thread
+    // shard, fetch_add on the shared overflow shard.
+    void Add(std::atomic<uint64_t>& field, uint64_t n = 1);
+
+    // True only for the overflow shard (concurrent writers).
+    bool shared_writers = false;
   };
 
-  // The calling thread's shard (stable per thread, relaxed increments).
+  RuntimeCounters();
+  ~RuntimeCounters();
+
+  RuntimeCounters(const RuntimeCounters&) = delete;
+  RuntimeCounters& operator=(const RuntimeCounters&) = delete;
+
+  // The calling thread's shard: its registry slot's shard (single writer),
+  // or the shared overflow shard when the registry is exhausted.
   Shard& Local();
 
   // Sums all shards into `out` (histograms untouched). `requests` reported
@@ -138,7 +192,8 @@ class RuntimeCounters {
   void AggregateInto(RuntimeStatsSnapshot& out) const;
 
  private:
-  Shard shards_[kShards];
+  std::atomic<Shard*> slots_[ThreadRegistry::kMaxSlots] = {};
+  Shard overflow_;
 };
 
 }  // namespace mscm::runtime

@@ -22,7 +22,7 @@ void SnapshotCatalog::Update(
   // reader holding it can tell which epoch priced its estimates.
   const uint64_t next_version = version_.load(std::memory_order_relaxed) + 1;
   next->set_revision(next_version);
-  current_.store(Snapshot(std::move(next)));
+  current_.Publish(Snapshot(std::move(next)));
   version_.store(next_version, std::memory_order_relaxed);
 }
 

@@ -25,7 +25,7 @@
 #include <string>
 
 #include "core/catalog.h"
-#include "runtime/atomic_shared_ptr.h"
+#include "runtime/epoch.h"
 
 namespace mscm::runtime {
 
@@ -39,8 +39,15 @@ class SnapshotCatalog {
   SnapshotCatalog& operator=(const SnapshotCatalog&) = delete;
 
   // The current immutable snapshot. Never null; cheap (one atomic refcount
-  // bump); safe from any thread.
+  // bump); safe from any thread. Cold path — hot readers use Read().
   Snapshot snapshot() const { return current_.load(); }
+
+  // Epoch-protected raw read for the estimate hot path: valid while `guard`
+  // is alive, zero shared atomic RMWs. Never null (a catalog is published
+  // at construction).
+  const core::GlobalCatalog* Read(const EpochGuard& guard) const {
+    return current_.Read(guard);
+  }
 
   // Copy-on-write registration of (site, model.class_id()) → model.
   void Register(const std::string& site, core::CostModel model);
@@ -57,7 +64,10 @@ class SnapshotCatalog {
 
  private:
   std::mutex writer_mutex_;
-  AtomicSharedPtr<const core::GlobalCatalog> current_;
+  // Old snapshots are retired into the global epoch domain when replaced:
+  // cold holders (Snapshot shared_ptrs) and in-flight epoch readers both
+  // keep them alive until released.
+  EpochPublished<core::GlobalCatalog> current_;
   std::atomic<uint64_t> version_{0};
 };
 

@@ -1,0 +1,73 @@
+#include "runtime/thread_registry.h"
+
+#include <mutex>
+
+namespace mscm::runtime {
+namespace {
+
+// Leaked on purpose: thread_local destructors of detached or late-exiting
+// threads may release slots after static destruction has begun, so the
+// registry state must outlive every thread.
+struct Registry {
+  std::mutex mutex;
+  bool used[ThreadRegistry::kMaxSlots] = {};
+  int live = 0;
+  // Rotating scan start so freshly released slots are not immediately
+  // recycled while an aggregator may still be folding the old owner's
+  // stripe (harmless either way — stripes are cumulative — but this keeps
+  // slot assignment roughly round-robin and cache-friendly).
+  int next = 0;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+int AcquireSlot() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (int probe = 0; probe < ThreadRegistry::kMaxSlots; ++probe) {
+    const int slot = (r.next + probe) % ThreadRegistry::kMaxSlots;
+    if (!r.used[slot]) {
+      r.used[slot] = true;
+      r.next = (slot + 1) % ThreadRegistry::kMaxSlots;
+      ++r.live;
+      return slot;
+    }
+  }
+  return -1;
+}
+
+void ReleaseSlot(int slot) {
+  if (slot < 0) return;
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.used[slot] = false;
+  --r.live;
+}
+
+// Assigned on the thread's first CurrentSlot() call, released when the
+// thread exits. The registry mutex orders a released slot's last writes
+// before the next owner's first: release in ~SlotHolder, acquire in
+// AcquireSlot.
+struct SlotHolder {
+  int slot;
+  SlotHolder() : slot(AcquireSlot()) {}
+  ~SlotHolder() { ReleaseSlot(slot); }
+};
+
+}  // namespace
+
+int ThreadRegistry::CurrentSlot() {
+  static thread_local SlotHolder holder;
+  return holder.slot;
+}
+
+int ThreadRegistry::LiveSlots() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.live;
+}
+
+}  // namespace mscm::runtime

@@ -83,6 +83,79 @@ TEST(CompiledEquationsTest, DifferentialAgreementAcrossAllForms) {
   }
 }
 
+// The grouped batch kernel (GatherSelected + EvaluateRowsInState, the
+// state-major contiguous loop EstimateBatch streams over) must be bit-exact
+// with the retired per-term walk — same additions in the same order, same
+// negative clamp — for every qualitative form, on blocks mixing items
+// across states and including clamp-to-zero rows.
+TEST(CompiledEquationsTest, GroupedRowsMatchTermWalkBitForBitAcrossForms) {
+  Rng rng(31337);
+  const QualitativeForm forms[] = {
+      QualitativeForm::kCoincident, QualitativeForm::kParallel,
+      QualitativeForm::kConcurrent, QualitativeForm::kGeneral};
+  for (const QualitativeForm form : forms) {
+    const int num_states = 3;
+    const size_t num_vars = 1 + static_cast<size_t>(rng.Uniform(0.0, 2.999));
+    test::SyntheticGroundTruth truth;
+    for (int s = 0; s < num_states; ++s) {
+      // Strongly negative intercepts in state 0 so some rows clamp to zero.
+      truth.intercepts.push_back(s == 0 ? -200.0 : rng.Uniform(-20.0, 40.0));
+      std::vector<double> slopes;
+      for (size_t v = 0; v < num_vars; ++v) {
+        slopes.push_back(rng.Uniform(-5.0, 8.0));
+      }
+      truth.slopes.push_back(std::move(slopes));
+    }
+    const ObservationSet obs = test::SyntheticObservations(truth, 240, rng);
+    std::vector<int> selected;
+    for (size_t v = 0; v < num_vars; ++v) {
+      selected.push_back(static_cast<int>(v));
+    }
+    const CostModel model = FitCostModel(
+        QueryClassId::kUnarySeqScan, obs, selected,
+        ContentionStates::UniformPartition(0.0, 1.0, num_states), form);
+    const CompiledEquations& compiled = model.compiled();
+    const size_t k = compiled.num_selected();
+
+    // A batch of 96 items with probes spanning every state; group exactly
+    // the way the batch path does, then evaluate each group's packed rows.
+    constexpr size_t kBatch = 96;
+    std::vector<std::vector<double>> features(kBatch);
+    std::vector<double> probes(kBatch);
+    std::vector<std::vector<size_t>> groups(
+        static_cast<size_t>(compiled.num_states()));
+    for (size_t i = 0; i < kBatch; ++i) {
+      features[i].resize(num_vars);
+      for (size_t v = 0; v < num_vars; ++v) {
+        features[i][v] = rng.Uniform(-10.0, 200.0);
+      }
+      probes[i] = rng.Uniform(-0.5, 1.5);
+      groups[static_cast<size_t>(compiled.StateOf(probes[i]))].push_back(i);
+    }
+    for (int state = 0; state < compiled.num_states(); ++state) {
+      const std::vector<size_t>& group = groups[static_cast<size_t>(state)];
+      if (group.empty()) continue;
+      std::vector<double> packed(group.size() * k);
+      for (size_t j = 0; j < group.size(); ++j) {
+        compiled.GatherSelected(features[group[j]].data(), &packed[j * k]);
+      }
+      std::vector<double> out(group.size());
+      compiled.EvaluateRowsInState(state, packed.data(), group.size(),
+                                   out.data());
+      for (size_t j = 0; j < group.size(); ++j) {
+        const size_t i = group[j];
+        EXPECT_EQ(Bits(out[j]),
+                  Bits(model.EstimateTermWalk(features[i], probes[i])))
+            << "form " << static_cast<int>(form) << " state " << state
+            << " item " << i;
+        EXPECT_EQ(Bits(out[j]),
+                  Bits(compiled.EvaluateInState(features[i].data(), state)))
+            << "scalar/grouped divergence at item " << i;
+      }
+    }
+  }
+}
+
 TEST(CompiledEquationsTest, AgreesExactlyOnStateBoundaries) {
   test::SyntheticGroundTruth truth;
   truth.intercepts = {1.0, 10.0, 100.0};

@@ -111,14 +111,15 @@ TEST(EstimateCacheServiceTest, BatchWarmsAndHitsTheSameCache) {
     EXPECT_DOUBLE_EQ(warm[i].estimate_seconds, cold[i].estimate_seconds);
   }
   const RuntimeStatsSnapshot stats = service.Stats();
-  // 4 distinct keys: the first batch inserts them (plus hits within the
-  // batch), the second batch is all hits.
-  EXPECT_EQ(stats.estimate_cache_misses, 4u);
-  EXPECT_EQ(stats.estimate_cache_hits, 12u);
+  // The first batch misses on every item: lookups happen in the scan pass,
+  // inserts at the grouped flush, so intra-batch duplicates are priced by
+  // the grouped kernel rather than the memo. The second batch is all hits.
+  EXPECT_EQ(stats.estimate_cache_misses, 8u);
+  EXPECT_EQ(stats.estimate_cache_hits, 8u);
   EXPECT_EQ(stats.requests, 16u);
   // The single-request path shares the same cache.
   EXPECT_TRUE(service.Estimate(Request("a", cls, 1.0)).ok());
-  EXPECT_EQ(service.Stats().estimate_cache_hits, 13u);
+  EXPECT_EQ(service.Stats().estimate_cache_hits, 9u);
 }
 
 TEST(EstimateCacheServiceTest, StateTransitionInvalidatesAndRepricesExactly) {
@@ -268,7 +269,8 @@ TEST(EstimateCacheTest, DisabledCacheMissesAndDropsInserts) {
   EXPECT_FALSE(cache.Lookup("a", 0, {1.0}, 0, &response));
   cache.Insert("a", 0, {1.0}, 0, {}, response);
   EXPECT_FALSE(cache.Lookup("a", 0, {1.0}, 0, &response));
-  EXPECT_EQ(cache.InvalidateAll(), 0u);
+  cache.InvalidateAll();  // no-op on a disabled cache
+  EXPECT_EQ(cache.invalidations(), 0u);
 }
 
 class EstimateCacheUnitTest : public ::testing::Test {
@@ -370,14 +372,17 @@ TEST_F(EstimateCacheUnitTest, InvalidateSiteEvictsOnlyThatSite) {
   cache_->Insert("a", 1, {2.0}, 7, Context(0.0, 1.0), OkResponse(8.0));
   cache_->Insert("b", 0, {1.0}, 7, Context(0.0, 1.0), OkResponse(9.0));
 
-  EXPECT_EQ(cache_->InvalidateSite("a"), 2u);
+  cache_->InvalidateSite("a");
   EstimateResponse response;
+  // Invalidation is lazy (a version-cell bump): entries retire — and count —
+  // when the owning thread next looks them up.
   EXPECT_FALSE(cache_->Lookup("a", 0, {1.0}, 7, &response));
   EXPECT_FALSE(cache_->Lookup("a", 1, {2.0}, 7, &response));
   EXPECT_TRUE(cache_->Lookup("b", 0, {1.0}, 7, &response));
   EXPECT_EQ(cache_->invalidations(), 2u);
-  EXPECT_EQ(cache_->InvalidateAll(), 1u);
+  cache_->InvalidateAll();
   EXPECT_FALSE(cache_->Lookup("b", 0, {1.0}, 7, &response));
+  EXPECT_EQ(cache_->invalidations(), 3u);
 }
 
 TEST_F(EstimateCacheUnitTest, FeatureQuantizationSharesNearbyKeys) {

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_registry.h"
 
 namespace mscm::runtime {
 namespace {
@@ -84,6 +90,130 @@ TEST(RuntimeCountersTest, AggregateFoldsCacheHitsIntoRequests) {
   EXPECT_EQ(out.requests, 8u);
   EXPECT_EQ(out.estimate_cache_hits, 5u);
   EXPECT_EQ(out.estimate_cache_misses, 3u);
+}
+
+TEST(LatencyHistogramTest, PercentileOnePinsToHighestOccupiedBucket) {
+  LatencyHistogram h;
+  // Two occupied buckets far apart: 99 fast samples, 1 slow one.
+  h.RecordN(nanoseconds(1500), 99);
+  h.Record(microseconds(900));
+  const double p50 = h.PercentileSeconds(0.5);
+  const double p100 = h.PercentileSeconds(1.0);
+  EXPECT_GE(p50, 1024e-9);
+  EXPECT_LT(p50, 2048e-9);
+  // p = 1.0 must land in the slow sample's bucket — never past the end of
+  // the cumulative scan, never the fast bucket.
+  EXPECT_GE(p100, 524288e-9);
+  const LatencyHistogram::Snapshot snap = h.Snap();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_LE(p100, snap.max_bucket_seconds);
+}
+
+// Concurrent recorders against a concurrent snapshotter: every intermediate
+// snapshot must be internally consistent (the count is derived from the
+// same summed bucket pass that ranks percentiles, so percentiles can never
+// run off the end), and the final count must conserve every sample across
+// recorder-thread churn.
+TEST(LatencyHistogramTest, ConcurrentRecordersSnapshotConsistently) {
+  LatencyHistogram h;
+  constexpr int kWaves = 4;
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 5000;
+  std::atomic<bool> stop{false};
+  std::thread snapper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const LatencyHistogram::Snapshot snap = h.Snap();
+      if (snap.count > 0) {
+        EXPECT_GT(snap.p50_seconds, 0.0);
+        EXPECT_LE(snap.p50_seconds, snap.max_bucket_seconds);
+        EXPECT_LE(snap.p99_seconds, snap.max_bucket_seconds);
+      }
+      std::this_thread::yield();
+    }
+  });
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<std::thread> recorders;
+    for (int t = 0; t < kThreads; ++t) {
+      recorders.emplace_back([&h, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          h.Record(nanoseconds(500 + 997 * ((i + t) % 64)));
+        }
+      });
+    }
+    for (auto& r : recorders) r.join();
+  }
+  stop.store(true);
+  snapper.join();
+  // Thread churn (kWaves generations of recorders) loses nothing: exited
+  // threads' stripes stay behind for the slots' next owners.
+  EXPECT_EQ(h.Snap().count,
+            static_cast<uint64_t>(kWaves) * kThreads * kPerThread);
+}
+
+TEST(RuntimeCountersTest, AggregationConservesAcrossThreadChurn) {
+  RuntimeCounters counters;
+  constexpr int kWaves = 5;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 4000;
+  std::atomic<bool> stop{false};
+  // Aggregate concurrently with the churn: intermediate sums are monotone
+  // garbage-free reads, never a crash or a torn shard.
+  std::thread aggregator([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      RuntimeStatsSnapshot snap;
+      counters.AggregateInto(snap);
+      std::this_thread::yield();
+    }
+  });
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<std::thread> bumpers;
+    for (int t = 0; t < kThreads; ++t) {
+      bumpers.emplace_back([&counters] {
+        RuntimeCounters::Shard& shard = counters.Local();
+        for (uint64_t i = 0; i < kPerThread; ++i) {
+          shard.Add(shard.requests);
+          if (i % 2 == 0) shard.Add(shard.probe_cache_hits);
+        }
+      });
+    }
+    for (auto& b : bumpers) b.join();
+  }
+  stop.store(true);
+  aggregator.join();
+  RuntimeStatsSnapshot out;
+  counters.AggregateInto(out);
+  // Five generations of threads reused the same registry slots; cumulative
+  // shards must conserve every increment.
+  EXPECT_EQ(out.requests, kWaves * kThreads * kPerThread);
+  EXPECT_EQ(out.probe_cache_hits, kWaves * kThreads * kPerThread / 2);
+}
+
+TEST(ThreadRegistryTest, LiveThreadsHoldDistinctSlots) {
+  constexpr int kThreads = 24;
+  std::vector<int> slots(kThreads, -2);
+  std::atomic<int> arrived{0};
+  std::atomic<bool> release{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      slots[static_cast<size_t>(t)] = ThreadRegistry::CurrentSlot();
+      arrived.fetch_add(1);
+      // Stay alive until everyone has a slot: uniqueness is only promised
+      // among concurrently live threads.
+      while (!release.load(std::memory_order_relaxed)) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  while (arrived.load() < kThreads) std::this_thread::yield();
+  std::set<int> distinct(slots.begin(), slots.end());
+  release.store(true);
+  for (auto& t : threads) t.join();
+  // Far below kMaxSlots, so every thread got a real slot, and no two live
+  // threads shared one.
+  for (int slot : slots) EXPECT_GE(slot, 0);
+  EXPECT_EQ(distinct.size(), static_cast<size_t>(kThreads));
+  EXPECT_EQ(distinct.count(ThreadRegistry::CurrentSlot()), 0u);
 }
 
 TEST(RuntimeStatsSnapshotTest, ToStringMentionsCacheAndCadence) {
