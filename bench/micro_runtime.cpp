@@ -189,7 +189,7 @@ std::unique_ptr<runtime::EstimationService> MakeService(bool cached,
   runtime::EstimationServiceConfig config;
   config.probe_ttl = std::chrono::hours(1);
   config.worker_threads = 0;  // reader threads are the parallelism measured
-  if (cached) config.cache.capacity = 4096;
+  if (cached) config.cache.capacity_per_thread = 4096;
   if (degraded) {
     config.breaker.failure_threshold = 1;
     config.breaker.open_duration = std::chrono::hours(1);  // stays open

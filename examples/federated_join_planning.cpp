@@ -62,7 +62,7 @@ int main() {
   // State-keyed estimate cache: when the optimizer re-prices a placement it
   // has already priced under the same contention state, the answer comes
   // from the memo (see estimate_cache hits in the closing stats).
-  service_config.cache.capacity = 1024;
+  service_config.cache.capacity_per_thread = 1024;
   runtime::EstimationService service(service_config);
   for (mdbs::LocalDbs* site : {&alpha, &beta}) {
     core::AgentObservationSource source(site, cls, 5 + site->profile().name.size());

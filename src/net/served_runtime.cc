@@ -75,7 +75,7 @@ bool ServedRuntime::Start(std::string* error) {
   service_config.worker_threads = config_.worker_threads;
   service_config.probe_ttl = std::chrono::seconds(5);
   service_config.probe_interval = config_.probe_interval;
-  service_config.cache.capacity = 4096;
+  service_config.cache.capacity_per_thread = 4096;
   service_ = std::make_unique<runtime::EstimationService>(service_config);
 
   const std::vector<core::QueryClassId> classes = {

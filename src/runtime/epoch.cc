@@ -1,5 +1,7 @@
 #include "runtime/epoch.h"
 
+#include <thread>
+
 namespace mscm::runtime {
 namespace {
 
@@ -29,43 +31,80 @@ void EpochDomain::Retire(std::shared_ptr<const void> keepalive) {
 }
 
 void EpochDomain::Reclaim(bool wait_for_readers) {
-  // A fresh pin always reads the current global epoch, which is >= every
-  // stamp already in the retired list, so the scan below cannot miss a
-  // reader that pins after it: new pins never block old records.
-  uint64_t min_pinned = ~uint64_t{0};
-  for (const ReaderSlot& slot : slots_) {
-    const uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
-    if (e != 0 && e < min_pinned) min_pinned = e;
-  }
+  // Drain target: when waiting, this call is responsible for every record
+  // already stamped at entry; records retired concurrently after that
+  // belong to their own publishers' later Reclaims.
+  const uint64_t target =
+      wait_for_readers ? global_epoch_.load(std::memory_order_seq_cst) : 0;
+  for (;;) {
+    // Detach the retired list FIRST. Every record in the snapshot was
+    // stamped (epoch fetch_add) and pushed before we acquired
+    // retired_mutex_, so the reader scan below is ordered after each
+    // candidate's stamp: a reader still holding a candidate's old pointer
+    // pinned with e < stamp, and that pin store precedes the stamp — hence
+    // precedes our scan loads — in the seq_cst order, so the scan sees it
+    // and the record stays blocked. Scanning before snapshotting (the old
+    // order) let a record retired by a concurrent publisher be freed
+    // against a scan that predated — and missed — its readers.
+    std::vector<Retired> candidates;
+    {
+      std::lock_guard<std::mutex> lock(retired_mutex_);
+      candidates.swap(retired_);
+    }
+    if (candidates.empty() && !wait_for_readers) return;
 
-  // Overflow readers have no slot; an exclusive acquisition proves none is
-  // in flight. Normally just try: if one is active, a later Retire/Reclaim
-  // will catch up. When draining we must wait them out.
-  RmwProbe::Count();
-  if (wait_for_readers) {
-    overflow_readers_.lock();
-  } else if (!overflow_readers_.try_lock()) {
-    return;
-  }
-  overflow_readers_.unlock();
+    uint64_t min_pinned = ~uint64_t{0};
+    for (const ReaderSlot& slot : slots_) {
+      const uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+      if (e != 0 && e < min_pinned) min_pinned = e;
+    }
 
-  std::vector<Retired> free_now;
-  {
-    std::lock_guard<std::mutex> lock(retired_mutex_);
-    auto keep = retired_.begin();
-    for (auto it = retired_.begin(); it != retired_.end(); ++it) {
-      if (it->stamp <= min_pinned) {
-        free_now.push_back(std::move(*it));
+    // Overflow readers have no slot; an exclusive acquisition proves none
+    // that predates the snapshot is in flight. Normally just try: if one is
+    // active, a later Retire/Reclaim will catch up. When draining we must
+    // wait them out.
+    RmwProbe::Count();
+    bool overflow_clear = true;
+    if (wait_for_readers) {
+      overflow_readers_.lock();
+      overflow_readers_.unlock();
+    } else if (overflow_readers_.try_lock()) {
+      overflow_readers_.unlock();
+    } else {
+      overflow_clear = false;
+    }
+
+    std::vector<Retired> free_now;
+    std::vector<Retired> blocked;
+    for (Retired& record : candidates) {
+      if (overflow_clear && record.stamp <= min_pinned) {
+        free_now.push_back(std::move(record));
       } else {
-        if (keep != it) *keep = std::move(*it);
-        ++keep;
+        blocked.push_back(std::move(record));
       }
     }
-    retired_.erase(keep, retired_.end());
+
+    // Draining is done only once nothing stamped at-or-before the target is
+    // still blocked — slotted readers included, not just overflow ones.
+    bool drained = true;
+    if (wait_for_readers) {
+      for (const Retired& record : blocked) {
+        if (record.stamp <= target) {
+          drained = false;
+          break;
+        }
+      }
+    }
+    if (!blocked.empty()) {
+      std::lock_guard<std::mutex> lock(retired_mutex_);
+      for (Retired& record : blocked) retired_.push_back(std::move(record));
+    }
+    // Keepalive destructors run outside every domain lock: they may tear
+    // down whole catalogs or tracker maps (which join prober threads).
+    free_now.clear();
+    if (!wait_for_readers || drained) return;
+    std::this_thread::yield();
   }
-  // Keepalive destructors run outside every domain lock: they may tear
-  // down whole catalogs or tracker maps (which join prober threads).
-  free_now.clear();
 }
 
 size_t EpochDomain::RetiredCount() const {

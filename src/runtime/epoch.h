@@ -74,9 +74,13 @@ class EpochDomain {
   void Retire(std::shared_ptr<const void> keepalive);
 
   // Frees every retired record whose grace period has passed. With
-  // `wait_for_readers`, blocks until overflow (slotless) readers release
-  // instead of skipping reclamation — used when draining a domain whose
-  // objects must not outlive the caller (EpochPublished destructor).
+  // `wait_for_readers`, blocks until every reader pinned before the records
+  // already retired at entry has released — slotted readers are waited out
+  // by rescanning, overflow (slotless) readers by a blocking exclusive
+  // acquisition — instead of skipping reclamation. Used when draining a
+  // domain whose objects must not outlive the caller (EpochPublished
+  // destructor); records retired concurrently after entry are not waited
+  // for.
   void Reclaim(bool wait_for_readers = false);
 
   // Retired records not yet freed (diagnostics / tests).
@@ -140,7 +144,9 @@ class EpochPublished {
     // Unpublish and drain: after this, no reader of *this* slot can be
     // in-flight (callers destroy readers first), but the domain may still
     // hold our previous values — retire the final one and wait out the
-    // grace period so keepalives never outlive the slot's owner.
+    // grace period (including readers pinned on *other* published slots,
+    // whose pins block the whole domain) so keepalives never outlive the
+    // slot's owner.
     live_.store(nullptr, std::memory_order_seq_cst);
     if (keepalive_) {
       EpochDomain::Global().Retire(std::move(keepalive_));

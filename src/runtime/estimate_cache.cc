@@ -60,8 +60,8 @@ uint64_t HashKey(const std::string& site, int class_id,
 }  // namespace
 
 EstimateCache::EstimateCache(const EstimateCacheConfig& config) {
-  if (config.capacity == 0) return;
-  slots_per_thread_ = NextPow2(std::max<size_t>(1, config.capacity));
+  if (config.capacity_per_thread == 0) return;
+  slots_per_thread_ = NextPow2(std::max<size_t>(1, config.capacity_per_thread));
   slot_mask_ = slots_per_thread_ - 1;
   feature_quantum_ = config.feature_quantum;
 }

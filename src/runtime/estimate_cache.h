@@ -47,8 +47,13 @@ namespace mscm::runtime {
 
 struct EstimateCacheConfig {
   // Cached responses *per estimate thread* (rounded up to a power of two);
-  // 0 disables the cache (every lookup misses, inserts are dropped).
-  size_t capacity = 0;
+  // 0 disables the cache (every lookup misses, inserts are dropped). Total
+  // footprint is live-estimate-threads × this, since each thread owns a
+  // private shard. Deliberately NOT named `capacity`: that knob meant
+  // *total* responses under the old spinlocked-shard design, and a silent
+  // reinterpretation would have multiplied existing configs' memory by the
+  // thread count — renaming makes stale configs fail to compile instead.
+  size_t capacity_per_thread = 0;
   // Historical knob from the spinlocked-shard design; ignored (the cache is
   // now sharded per thread). Kept so existing configs keep compiling.
   size_t shards = 8;

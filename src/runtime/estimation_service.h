@@ -75,7 +75,8 @@ struct EstimationServiceConfig {
   // suppressed, estimates serve from the last known state with
   // degraded=true, and the refresh daemon holds its re-derivations.
   CircuitBreakerConfig breaker;
-  // State-keyed response memo (see estimate_cache.h); capacity 0 disables.
+  // State-keyed response memo (see estimate_cache.h); capacity_per_thread 0
+  // disables.
   EstimateCacheConfig cache;
   Clock* clock = Clock::System();
 };

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -136,6 +137,96 @@ TEST(EpochTest, ConcurrentReadersSurvivePublishStorm) {
     EXPECT_EQ(live.load(), 1);
   }
   EXPECT_EQ(live.load(), 0);
+}
+
+// Regression for the reclaim ordering race: publishers are only serialized
+// per-object, so two objects retire into the domain concurrently, and each
+// Retire runs Reclaim. The old Reclaim scanned reader slots *before*
+// snapshotting the retired list, so a record retired by the other publisher
+// after the scan could be freed against a scan that missed its readers —
+// a use-after-free the sanitizer jobs catch here. Readers continuously pin
+// and dereference both objects while both publishers storm.
+TEST(EpochTest, ConcurrentPublishersCannotFreeAPinnedRecord) {
+  std::atomic<int> live{0};
+  constexpr int kCanary = 0x0ddba11;
+  {
+    EpochPublished<Tracked> first;
+    EpochPublished<Tracked> second;
+    first.Publish(std::make_shared<const Tracked>(&live, kCanary));
+    second.Publish(std::make_shared<const Tracked>(&live, kCanary));
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t) {
+      readers.emplace_back([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          EpochGuard guard;
+          const Tracked* a = first.Read(guard);
+          const Tracked* b = second.Read(guard);
+          ASSERT_NE(a, nullptr);
+          ASSERT_NE(b, nullptr);
+          ASSERT_EQ(a->value, kCanary);
+          ASSERT_EQ(b->value, kCanary);
+        }
+      });
+    }
+    std::thread first_publisher([&] {
+      for (int i = 0; i < 2000; ++i) {
+        first.Publish(std::make_shared<const Tracked>(&live, kCanary));
+      }
+    });
+    std::thread second_publisher([&] {
+      for (int i = 0; i < 2000; ++i) {
+        second.Publish(std::make_shared<const Tracked>(&live, kCanary));
+      }
+    });
+    first_publisher.join();
+    second_publisher.join();
+    stop.store(true);
+    for (auto& r : readers) r.join();
+    EpochDomain::Global().Reclaim(/*wait_for_readers=*/true);
+    EXPECT_EQ(live.load(), 2);  // only the two current values survive
+  }
+  EXPECT_EQ(live.load(), 0);
+}
+
+// Regression for the drain guarantee: a slotted reader pinned on one
+// published slot blocks the whole domain, so destroying a *different*
+// EpochPublished must wait that reader out — its keepalive may not survive
+// the destructor (the old drain only waited for overflow readers).
+TEST(EpochTest, DrainWaitsOutSlottedReadersPinnedOnOtherObjects) {
+  std::atomic<int> live_held{0};
+  std::atomic<int> live_dying{0};
+  {
+    EpochPublished<Tracked> held;
+    held.Publish(std::make_shared<const Tracked>(&live_held, 1));
+    auto dying = std::make_unique<EpochPublished<Tracked>>();
+    dying->Publish(std::make_shared<const Tracked>(&live_dying, 2));
+
+    std::atomic<bool> pinned{false};
+    std::atomic<bool> release{false};
+    std::thread reader([&] {
+      EpochGuard guard;
+      const Tracked* value = held.Read(guard);
+      ASSERT_NE(value, nullptr);
+      pinned.store(true);
+      while (!release.load()) std::this_thread::yield();
+      ASSERT_EQ(value->value, 1);  // still dereferenceable under the pin
+    });
+    while (!pinned.load()) std::this_thread::yield();
+
+    // Destroy the other object while the reader is pinned. Its final retire
+    // stamp postdates the reader's pin, so the drain must block until the
+    // reader releases.
+    std::thread destroyer([&] { dying.reset(); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(live_dying.load(), 1);  // pinned reader still blocks the free
+    release.store(true);
+    reader.join();
+    destroyer.join();
+    // The destructor has returned, so the keepalive did not outlive it.
+    EXPECT_EQ(live_dying.load(), 0);
+  }
+  EXPECT_EQ(live_held.load(), 0);
 }
 
 }  // namespace

@@ -39,7 +39,7 @@ EstimateRequest Request(const std::string& site, QueryClassId cls, double x0,
 EstimationServiceConfig CachedConfig(Clock* clock = Clock::System()) {
   EstimationServiceConfig config;
   config.probe_ttl = seconds(5);
-  config.cache.capacity = 256;
+  config.cache.capacity_per_thread = 256;
   config.clock = clock;
   return config;
 }
@@ -47,7 +47,7 @@ EstimationServiceConfig CachedConfig(Clock* clock = Clock::System()) {
 // ---- Service integration ---------------------------------------------------
 
 TEST(EstimateCacheServiceTest, DisabledByDefault) {
-  EstimationService service;  // default config: capacity 0
+  EstimationService service;  // default config: capacity_per_thread 0
   const auto cls = QueryClassId::kUnarySeqScan;
   service.RegisterModel("a", test::PiecewiseLinearModel(cls, {2.0}));
   service.RegisterSite("a", [] { return 0.5; });
@@ -263,7 +263,7 @@ TEST(EstimateCacheServiceTest, CachedAnswersStayExactAcrossFlappingStates) {
 // ---- Direct cache unit tests ----------------------------------------------
 
 TEST(EstimateCacheTest, DisabledCacheMissesAndDropsInserts) {
-  EstimateCache cache(EstimateCacheConfig{});  // capacity 0
+  EstimateCache cache(EstimateCacheConfig{});  // capacity_per_thread 0
   EXPECT_FALSE(cache.enabled());
   EstimateResponse response;
   EXPECT_FALSE(cache.Lookup("a", 0, {1.0}, 0, &response));
@@ -277,7 +277,7 @@ class EstimateCacheUnitTest : public ::testing::Test {
  protected:
   EstimateCacheUnitTest() {
     EstimateCacheConfig config;
-    config.capacity = 64;
+    config.capacity_per_thread = 64;
     cache_ = std::make_unique<EstimateCache>(config);
     ContentionTrackerConfig tracker_config;
     tracker_config.site = "a";
@@ -387,7 +387,7 @@ TEST_F(EstimateCacheUnitTest, InvalidateSiteEvictsOnlyThatSite) {
 
 TEST_F(EstimateCacheUnitTest, FeatureQuantizationSharesNearbyKeys) {
   EstimateCacheConfig config;
-  config.capacity = 64;
+  config.capacity_per_thread = 64;
   config.feature_quantum = 0.01;
   EstimateCache cache(config);
   ASSERT_TRUE(tracker_->ProbeOnce());

@@ -93,7 +93,7 @@ TEST(RuntimeChaosTest, AllFaultModesConcurrentlyNeverCorruptEstimates) {
   config.probe_failure_retry = milliseconds(1);
   config.breaker.failure_threshold = 3;
   config.breaker.open_duration = milliseconds(50);
-  config.cache.capacity = 256;
+  config.cache.capacity_per_thread = 256;
   EstimationService service(config);
 
   const std::vector<std::string> sites = {"alpha", "beta"};

@@ -290,7 +290,7 @@ TEST(EstimationServiceTest, StaleModelFlagIsServedAndCounted) {
 // touching any cache.
 TEST(EstimationServiceTest, InvalidRequestsAreRejectedAtTheBoundary) {
   EstimationServiceConfig config;
-  config.cache.capacity = 64;
+  config.cache.capacity_per_thread = 64;
   EstimationService service(config);
   const auto cls = QueryClassId::kUnarySeqScan;
   service.RegisterModel("a", test::PiecewiseLinearModel(cls, {2.0}));
@@ -333,7 +333,7 @@ TEST(EstimationServiceTest, InvalidRequestsAreRejectedAtTheBoundary) {
 
 TEST(EstimationServiceTest, BatchRejectsInvalidItemsIndividually) {
   EstimationServiceConfig config;
-  config.cache.capacity = 64;
+  config.cache.capacity_per_thread = 64;
   EstimationService service(config);
   const auto cls = QueryClassId::kUnarySeqScan;
   service.RegisterModel("a", test::PiecewiseLinearModel(cls, {2.0}));
@@ -361,7 +361,7 @@ TEST(EstimationServiceTest, DegradedSiteServesLastStateAndRecovers) {
   config.probe_ttl = std::chrono::hours(1);
   config.breaker.failure_threshold = 2;
   config.breaker.open_duration = seconds(5);
-  config.cache.capacity = 64;
+  config.cache.capacity_per_thread = 64;
   EstimationService service(config);
   const auto cls = QueryClassId::kUnarySeqScan;
   service.RegisterModel("a", test::PiecewiseLinearModel(cls, {2.0}));
