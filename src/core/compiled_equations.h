@@ -34,8 +34,10 @@
 #include <vector>
 
 #include "common/check.h"
+#include "core/cost_distribution.h"
 #include "core/qualitative.h"
 #include "core/states.h"
+#include "stats/ols.h"
 
 namespace mscm::core {
 
@@ -49,6 +51,19 @@ class CompiledEquations {
                                    const ContentionStates& states,
                                    const DesignLayout& layout,
                                    const std::vector<double>& coefficients);
+
+  // As above, and additionally compiles the fit's prediction-interval
+  // structure when it is available ((X'X)^{-1} present, positive residual
+  // degrees of freedom): per state, the (1 + num_selected)^2 submatrix of
+  // (X'X)^{-1} over the state's active design columns, plus the SEE and the
+  // Student-t quantile for 95% intervals — everything
+  // IntervalHalfWidthInState needs without touching the DesignLayout per
+  // call. A fit without the structure compiles fine; has_intervals() is then
+  // false and distributions carry only between-state spread.
+  static CompiledEquations Compile(const std::vector<int>& selected,
+                                   const ContentionStates& states,
+                                   const DesignLayout& layout,
+                                   const stats::OlsResult& fit);
 
   int num_states() const {
     return static_cast<int>(boundaries_.size()) + 1;
@@ -143,6 +158,36 @@ class CompiledEquations {
   // the runtime estimate cache revalidates published probing costs against.
   void StateInterval(int state, double* lo, double* hi) const;
 
+  // Whether the prediction-interval structure was compiled in (see the
+  // OlsResult Compile overload).
+  bool has_intervals() const { return has_intervals_; }
+
+  // Half-width of the 95% prediction interval for a *new* observation
+  // evaluated in `state`: t * s * sqrt(1 + z' M_s z) with z = (1, gathered)
+  // and M_s the state's compiled (X'X)^{-1} submatrix. `gathered` holds the
+  // selected feature values in slope order (see GatherSelected). Matches
+  // CostModel::EstimateWithInterval's half-width (alpha = 0.05) to floating-
+  // point reassociation. Returns 0 when has_intervals() is false.
+  double IntervalHalfWidthInState(const double* gathered, int state) const;
+
+  // The served cost distribution for one request (see cost_distribution.h):
+  // resolves the probing cost to a state, blends in the adjacent state when
+  // the cost sits within band_fraction * |boundary| of a partition boundary
+  // (soft membership, weight ramping linearly from 0.5 at the boundary to 0
+  // at the band edge), and combines the member states' means and prediction
+  // half-widths into mixture moments:
+  //   mean = sum_i w_i m_i
+  //   half = sqrt(sum_i w_i (h_i^2 + (m_i - mean)^2))
+  //   [low, high] = [max(0, mean - half), mean + half]
+  // Continuous in the probing cost everywhere (at the band edge the
+  // neighbor's weight reaches 0), and away from any band it degenerates to
+  // the hard-state evaluation: mean == Evaluate(features, probing_cost).
+  // band_fraction <= 0 disables blending. stale/degraded are left for the
+  // caller to stamp from the probe reading.
+  CostDistribution EvaluateDistribution(const std::vector<double>& features,
+                                        double probing_cost,
+                                        double band_fraction) const;
+
   // Feature indices of the selected variables, in slope order.
   const std::vector<int>& selected() const { return selected_; }
 
@@ -167,6 +212,15 @@ class CompiledEquations {
   std::vector<double> table_;       // state-major, num_states x stride_
   std::vector<double> boundaries_;  // state partition, ascending
   std::vector<int> selected_;       // slope j reads features[selected_[j]]
+
+  // Prediction-interval structure (empty / zero unless the OlsResult
+  // Compile overload found covariance + degrees of freedom): per state, the
+  // stride_ x stride_ submatrix of (X'X)^{-1} over the state's active
+  // columns, state-major like table_.
+  bool has_intervals_ = false;
+  double sigma_ = 0.0;  // SEE of the fit
+  double t95_ = 0.0;    // Student-t upper 0.025 quantile at the fit's dof
+  std::vector<double> interval_table_;
 };
 
 }  // namespace mscm::core

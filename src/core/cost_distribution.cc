@@ -1,0 +1,37 @@
+#include "core/cost_distribution.h"
+
+namespace mscm::core {
+
+const char* ToString(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kPointEstimate:
+      return "point-estimate";
+    case PlacementPolicy::kExpectedCost:
+      return "expected-cost";
+    case PlacementPolicy::kRiskAdjusted:
+      return "risk-adjusted";
+  }
+  return "?";
+}
+
+double PlacementScore(const PlacementRanking& ranking,
+                      const CostDistribution& distribution,
+                      double point_estimate, double shipping_seconds) {
+  if (ranking.policy == PlacementPolicy::kPointEstimate) {
+    return point_estimate + shipping_seconds;
+  }
+  const double width = distribution.width();
+  double width_eff = width;
+  if (distribution.stale) width_eff *= ranking.stale_width_factor;
+  if (distribution.degraded) width_eff *= ranking.degraded_width_factor;
+  // Widening is one-sided distrust: half of the extra width lands on the
+  // mean, so a stale/degraded candidate cannot win on its point value alone.
+  double score =
+      distribution.mean + 0.5 * (width_eff - width) + shipping_seconds;
+  if (ranking.policy == PlacementPolicy::kRiskAdjusted) {
+    score += ranking.risk_lambda * width_eff;
+  }
+  return score;
+}
+
+}  // namespace mscm::core

@@ -1,0 +1,94 @@
+// Distribution-aware serving types for least-expected-cost placement.
+//
+// The paper's qualitative-state models carry more information than a point
+// estimate: each contention state has its own equation and its own
+// prediction-interval structure, and the probing cost that selects the state
+// is a noisy measurement. Near a state boundary a small probe jitter flips
+// the selected equation entirely, so comparing point estimates picks the
+// wrong site a measurable fraction of the time — the failure mode "Least
+// Expected Cost Query Optimization" (Chu/Halpern/Seshadri; see PAPERS.md)
+// argues against. CostDistribution is the small served summary that lets a
+// planner rank under that uncertainty: a mean that blends the states the
+// probe could plausibly be in, an interval that folds per-state prediction
+// error together with between-state spread, and the staleness/degradation
+// flags that tell the ranker how much to trust it.
+
+#ifndef MSCM_CORE_COST_DISTRIBUTION_H_
+#define MSCM_CORE_COST_DISTRIBUTION_H_
+
+#include <cstdint>
+
+namespace mscm::core {
+
+// A per-candidate cost distribution, served from the compiled equation
+// table (CompiledEquations::EvaluateDistribution). `mean` is the soft-state
+// expected cost; [low, high] is a central interval combining per-state 95%
+// prediction intervals with the between-state spread of the soft
+// membership; `stale`/`degraded` mirror the probe reading that priced it.
+struct CostDistribution {
+  double mean = 0.0;
+  double low = 0.0;
+  double high = 0.0;
+  // Per-state prediction intervals contributed to [low, high] (the model
+  // carried its covariance structure). When false the interval reflects
+  // only between-state spread — zero away from boundaries.
+  bool has_interval = false;
+  bool stale = false;     // priced from a stale probe or drift-flagged model
+  bool degraded = false;  // priced from a site whose breaker is not closed
+
+  double width() const { return high - low; }
+};
+
+// How ChoosePlacement ranks candidates. Values are a wire contract
+// (append-only; see net/wire_format.h).
+enum class PlacementPolicy : uint8_t {
+  // Legacy ranking: point estimate + shipping, bit-compatible with the
+  // pre-distribution planner.
+  kPointEstimate = 0,
+  // Rank by the distribution mean (+ shipping), with stale/degraded
+  // candidates widened before the mean shifts (see PlacementScore).
+  kExpectedCost = 1,
+  // kExpectedCost plus a risk premium of risk_lambda * effective width —
+  // prefers a slightly dearer site whose cost is certain over a cheap-
+  // looking one straddling a state boundary.
+  kRiskAdjusted = 2,
+};
+
+const char* ToString(PlacementPolicy policy);
+
+// Ranking configuration shared by core::ChoosePlacement and
+// runtime::EstimationService::ChoosePlacement. Defaults are
+// backward-compatible: kPointEstimate scores exactly what the legacy
+// planner compared.
+struct PlacementRanking {
+  PlacementPolicy policy = PlacementPolicy::kPointEstimate;
+  // kRiskAdjusted: score = mean_eff + risk_lambda * width_eff + shipping.
+  double risk_lambda = 0.5;
+  // Stale/degraded candidates get their interval width multiplied before
+  // scoring — an old reading or an open breaker means the point value is
+  // not to be trusted, so widen first, then penalize the widened upper tail.
+  double stale_width_factor = 1.5;
+  double degraded_width_factor = 3.0;
+  // Soft state membership: a probing cost within
+  // boundary_band_fraction * |boundary| of a state boundary blends the two
+  // adjacent states (weight ramps linearly from 0.5 at the boundary to 0 at
+  // the band edge). Zero disables blending (hard states everywhere).
+  double boundary_band_fraction = 0.1;
+};
+
+// Lower-is-better ranking score for one candidate. Under kPointEstimate
+// this is exactly point_estimate + shipping_seconds (legacy-compatible —
+// including its NaN semantics: a NaN never compares below anything). The
+// distribution policies derive an effective width
+//   W_eff = width * stale_factor? * degraded_factor?
+// and shift the mean by half the widening (the distrust is one-sided: an
+// untrustworthy cheap estimate is more likely hiding cost than savings):
+//   kExpectedCost:  mean + (W_eff - width)/2 + shipping
+//   kRiskAdjusted:  the above + risk_lambda * W_eff
+double PlacementScore(const PlacementRanking& ranking,
+                      const CostDistribution& distribution,
+                      double point_estimate, double shipping_seconds);
+
+}  // namespace mscm::core
+
+#endif  // MSCM_CORE_COST_DISTRIBUTION_H_

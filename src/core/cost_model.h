@@ -36,8 +36,8 @@ class CostModel {
         states_(std::move(states)),
         layout_(std::move(layout)),
         fit_(std::move(fit)),
-        compiled_(CompiledEquations::Compile(selected_, states_, layout_,
-                                             fit_.coefficients)) {}
+        compiled_(
+            CompiledEquations::Compile(selected_, states_, layout_, fit_)) {}
 
   // Estimated cost (seconds) for a query with the given feature vector when
   // the probing query currently costs `probing_cost`. Negative estimates are
@@ -69,12 +69,25 @@ class CostModel {
 
   // Point estimate plus a (1 - alpha) prediction interval for a *new* query
   // observation — lets the optimizer reason about estimation risk, not just
-  // the point value. Requires a model fitted in-process: persisted models
-  // lack the covariance structure ((X'X)^{-1}) and get nullopt, never a
+  // the point value. Requires the fit's covariance structure ((X'X)^{-1}):
+  // model_io persists it (the `xtxinv` record line), so round-tripped models
+  // keep their intervals; only records written before that line existed —
+  // or fits with no residual degrees of freedom — get nullopt, never a
   // silently degenerate interval.
   std::optional<Interval> EstimateWithInterval(
       const std::vector<double>& features, double probing_cost,
       double alpha = 0.05) const;
+
+  // The served cost distribution (soft state membership near partition
+  // boundaries + per-state 95% prediction intervals), from the compiled
+  // table — see CompiledEquations::EvaluateDistribution. The caller stamps
+  // stale/degraded from its probe reading.
+  CostDistribution EstimateDistribution(const std::vector<double>& features,
+                                        double probing_cost,
+                                        double band_fraction = 0.1) const {
+    return compiled_.EvaluateDistribution(features, probing_cost,
+                                          band_fraction);
+  }
 
   // Adjusted coefficient of `variable` (-1 = intercept) in `state` —
   // the b'_{ij} the merging test of Algorithm 3.1 compares.

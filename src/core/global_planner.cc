@@ -1,14 +1,32 @@
 #include "core/global_planner.h"
 
+#include <cmath>
 #include <limits>
 
 namespace mscm::core {
+namespace {
+
+bool FiniteInputs(const ComponentQueryCandidate& c) {
+  if (!std::isfinite(c.probing_cost) || !std::isfinite(c.shipping_seconds) ||
+      c.shipping_seconds < 0.0) {
+    return false;
+  }
+  for (double f : c.features) {
+    if (!std::isfinite(f)) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 PlacementDecision ChoosePlacement(
     const GlobalCatalog& catalog,
-    const std::vector<ComponentQueryCandidate>& candidates) {
+    const std::vector<ComponentQueryCandidate>& candidates,
+    const PlacementRanking& ranking) {
   PlacementDecision decision;
   decision.estimates.reserve(candidates.size());
+  decision.distributions.reserve(candidates.size());
+  decision.scores.reserve(candidates.size());
   double best = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < candidates.size(); ++i) {
     const ComponentQueryCandidate& c = candidates[i];
@@ -17,17 +35,35 @@ PlacementDecision ChoosePlacement(
     const CompiledEquations* equations =
         catalog.FindCompiled(c.site, c.class_id);
     double estimate = std::numeric_limits<double>::infinity();
-    if (equations != nullptr) {
+    double score = std::numeric_limits<double>::infinity();
+    CostDistribution distribution;
+    // A NaN feature would evaluate through the negative clamp to 0 and win
+    // every argmin; non-finite inputs keep the candidate unservable instead.
+    if (equations != nullptr && FiniteInputs(c)) {
       estimate = equations->Evaluate(c.features, c.probing_cost) +
                  c.shipping_seconds;
+      distribution = equations->EvaluateDistribution(
+          c.features, c.probing_cost, ranking.boundary_band_fraction);
+      score = PlacementScore(ranking, distribution,
+                             estimate - c.shipping_seconds,
+                             c.shipping_seconds);
     }
     decision.estimates.push_back(estimate);
-    if (estimate < best) {
-      best = estimate;
+    decision.distributions.push_back(distribution);
+    decision.scores.push_back(score);
+    // Strict < keeps the lowest-index winner on ties (deterministic).
+    if (std::isfinite(score) && score < best) {
+      best = score;
       decision.chosen = static_cast<int>(i);
     }
   }
   return decision;
+}
+
+PlacementDecision ChoosePlacement(
+    const GlobalCatalog& catalog,
+    const std::vector<ComponentQueryCandidate>& candidates) {
+  return ChoosePlacement(catalog, candidates, PlacementRanking{});
 }
 
 }  // namespace mscm::core

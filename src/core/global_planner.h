@@ -2,6 +2,16 @@
 // exist at all. Given the candidate placements of a component query —
 // (site, query class, explanatory features, current probing cost at that
 // site) — pick the placement with the lowest estimated local cost.
+//
+// Two rankings are served (see cost_distribution.h):
+//   - kPointEstimate: argmin over point estimate + shipping, the paper's
+//     original rule and the default (bit-compatible with the legacy
+//     overload), and
+//   - kExpectedCost / kRiskAdjusted: argmin over PlacementScore of the
+//     served cost *distribution* (soft state membership near partition
+//     boundaries + per-state prediction intervals), which separates
+//     placements a point estimate cannot when the probing cost sits near a
+//     state boundary.
 
 #ifndef MSCM_CORE_GLOBAL_PLANNER_H_
 #define MSCM_CORE_GLOBAL_PLANNER_H_
@@ -10,6 +20,7 @@
 #include <vector>
 
 #include "core/catalog.h"
+#include "core/cost_distribution.h"
 
 namespace mscm::core {
 
@@ -26,12 +37,29 @@ struct ComponentQueryCandidate {
 };
 
 struct PlacementDecision {
-  // Index into the candidate list; -1 if no candidate had a model.
+  // Index into the candidate list; -1 if no candidate had a model (or every
+  // candidate carried non-finite inputs).
   int chosen = -1;
-  // Estimated cost per candidate (infinity where no model exists).
+  // Point estimate + shipping per candidate (infinity where no model exists
+  // or the candidate's inputs are non-finite — such candidates are never
+  // chosen).
   std::vector<double> estimates;
+  // Served cost distribution per candidate (zeroed where no model exists).
+  std::vector<CostDistribution> distributions;
+  // Ranking score per candidate under the requested policy (infinity where
+  // unservable). chosen is the argmin of this vector.
+  std::vector<double> scores;
 };
 
+// Ranks candidates under `ranking`. With the default PlacementRanking
+// (kPointEstimate) the chosen index and `estimates` match the legacy
+// overload exactly.
+PlacementDecision ChoosePlacement(
+    const GlobalCatalog& catalog,
+    const std::vector<ComponentQueryCandidate>& candidates,
+    const PlacementRanking& ranking);
+
+// Legacy point-estimate ranking (delegates to the overload above).
 PlacementDecision ChoosePlacement(
     const GlobalCatalog& catalog,
     const std::vector<ComponentQueryCandidate>& candidates);

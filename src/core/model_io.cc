@@ -1,6 +1,7 @@
 #include "core/model_io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -75,6 +76,19 @@ std::string SerializeCostModel(const CostModel& model) {
   out += Format("stats %.17g %.17g %.17g %.17g %zu\n", model.r_squared(),
                 model.standard_error(), model.f_statistic(),
                 model.f_pvalue(), model.fit().n);
+  // The interval structure: (X'X)^{-1}, row-major, prefixed by its
+  // dimension. %.17g round-trips doubles exactly, so a loaded model's
+  // prediction intervals match the in-process fit's.
+  const stats::Matrix& xtx_inverse = model.fit().xtx_inverse;
+  if (!xtx_inverse.empty()) {
+    out += Format("xtxinv %zu", xtx_inverse.rows());
+    for (size_t r = 0; r < xtx_inverse.rows(); ++r) {
+      for (size_t c = 0; c < xtx_inverse.cols(); ++c) {
+        out += Format(" %.17g", xtx_inverse(r, c));
+      }
+    }
+    out += "\n";
+  }
   out += "end\n";
   return out;
 }
@@ -90,6 +104,9 @@ std::optional<CostModel> ParseCostModel(const std::string& text) {
   std::vector<int> selected;
   std::vector<double> coefficients;
   std::vector<double> stats_values;
+  std::vector<double> xtx_values;
+  size_t xtx_rows = 0;
+  bool saw_xtx = false;
   bool saw_states = false;
   bool saw_coeffs = false;
   bool saw_end = false;
@@ -118,6 +135,23 @@ std::optional<CostModel> ParseCostModel(const std::string& text) {
       if (!ParseDoubles(tokens, stats_values) || stats_values.size() != 5) {
         return std::nullopt;
       }
+    } else if (key == "xtxinv") {
+      // Optional covariance structure: `xtxinv <p>` followed by p*p
+      // row-major finite doubles. Malformed dimensions or values reject the
+      // whole record — a model with a corrupt interval structure must not
+      // load as a model that silently has none.
+      if (tokens.empty()) return std::nullopt;
+      std::vector<int> dim;
+      if (!ParseInts({tokens[0]}, dim) || dim[0] <= 0) return std::nullopt;
+      xtx_rows = static_cast<size_t>(dim[0]);
+      if (!ParseDoubles({tokens.begin() + 1, tokens.end()}, xtx_values)) {
+        return std::nullopt;
+      }
+      if (xtx_values.size() != xtx_rows * xtx_rows) return std::nullopt;
+      for (double v : xtx_values) {
+        if (!std::isfinite(v)) return std::nullopt;
+      }
+      saw_xtx = true;
     } else if (key == "end") {
       saw_end = true;
       break;
@@ -161,6 +195,18 @@ std::optional<CostModel> ParseCostModel(const std::string& text) {
     fit.f_statistic = stats_values[2];
     fit.f_pvalue = stats_values[3];
     fit.n = static_cast<size_t>(stats_values[4]);
+  }
+  if (saw_xtx) {
+    // The covariance must match the design width exactly; anything else is
+    // a record assembled from mismatched pieces.
+    if (xtx_rows != coefficients.size()) return std::nullopt;
+    stats::Matrix xtx_inverse(xtx_rows, xtx_rows);
+    for (size_t r = 0; r < xtx_rows; ++r) {
+      for (size_t c = 0; c < xtx_rows; ++c) {
+        xtx_inverse(r, c) = xtx_values[r * xtx_rows + c];
+      }
+    }
+    fit.xtx_inverse = std::move(xtx_inverse);
   }
   return CostModel(cls, selected, std::move(states), std::move(layout),
                    std::move(fit));

@@ -12,6 +12,7 @@
 //   selected <v1> <v2> …
 //   coefficients <c1> <c2> …
 //   stats <r2> <see> <f> <f_pvalue> <n>
+//   xtxinv <p> <m11> <m12> …     (optional: (X'X)^{-1}, row-major p x p)
 //   end
 //
 // Only what estimation and reporting need is persisted; residuals and
@@ -19,9 +20,13 @@
 // The compiled serving form (core::CompiledEquations) is not persisted
 // either: it is deterministically reconstructed from the parsed artifact
 // when the CostModel is rebuilt on load, so a loaded catalog serves from
-// the same flat per-state tables as a freshly derived one. Covariance
-// structure ((X'X)^{-1}) is also not persisted — EstimateWithInterval
-// returns nullopt for loaded models.
+// the same flat per-state tables as a freshly derived one. The fit's
+// covariance structure ((X'X)^{-1}) IS persisted (the optional `xtxinv`
+// line) because prediction intervals — and the cost distributions the
+// placement ranker serves — must survive a catalog round-trip:
+// EstimateWithInterval and CompiledEquations::has_intervals() work
+// identically on a loaded model. Records written without the line still
+// parse (intervals then unavailable, as before).
 
 #ifndef MSCM_CORE_MODEL_IO_H_
 #define MSCM_CORE_MODEL_IO_H_

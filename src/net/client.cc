@@ -195,9 +195,16 @@ RpcStatus NetClient::EstimateBatch(
 RpcStatus NetClient::ChoosePlacement(
     const std::vector<runtime::PlacementCandidate>& candidates,
     runtime::PlacementResult* out) {
+  return ChoosePlacement(candidates, runtime::PlacementOptions{}, out);
+}
+
+RpcStatus NetClient::ChoosePlacement(
+    const std::vector<runtime::PlacementCandidate>& candidates,
+    const runtime::PlacementOptions& options, runtime::PlacementResult* out) {
   std::vector<uint8_t> payload;
   RpcStatus status =
-      Call(MessageType::kPlacementRequest, EncodePlacementRequest(candidates),
+      Call(MessageType::kPlacementRequest,
+           EncodePlacementRequest(candidates, options),
            MessageType::kPlacementResponse, &payload);
   if (!status.ok()) return status;
   auto result = DecodePlacementResponsePayload(payload);

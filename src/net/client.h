@@ -63,6 +63,12 @@ class NetClient {
   RpcStatus ChoosePlacement(
       const std::vector<runtime::PlacementCandidate>& candidates,
       runtime::PlacementResult* out);
+  // As above with an explicit ranking policy (least-expected-cost /
+  // risk-adjusted placement; see runtime::PlacementOptions).
+  RpcStatus ChoosePlacement(
+      const std::vector<runtime::PlacementCandidate>& candidates,
+      const runtime::PlacementOptions& options,
+      runtime::PlacementResult* out);
   RpcStatus Stats(WireStats* out);
 
   // Escape hatch for boundary tests: sends a pre-encoded frame and returns

@@ -19,6 +19,7 @@ using SteadyClock = std::chrono::steady_clock;
 struct WorkerTally {
   uint64_t completed = 0;
   uint64_t items = 0;
+  uint64_t placements_chosen = 0;
   uint64_t overloaded = 0;
   uint64_t error_frames = 0;
   uint64_t transport_errors = 0;
@@ -64,8 +65,30 @@ void DriveConnection(const LoadGenConfig& config, size_t worker_index,
 
     RpcStatus status;
     size_t items = 0;
+    bool placement_chosen = false;
     const auto sent_at = SteadyClock::now();
-    if (config.batch_size <= 1) {
+    if (config.placement_candidates > 0) {
+      // Placement traffic: one frame prices placement_candidates candidate
+      // sites under the configured ranking policy. Shipping costs vary
+      // deterministically per candidate so ties are rare but reproducible.
+      std::vector<runtime::PlacementCandidate> candidates;
+      candidates.reserve(config.placement_candidates);
+      for (size_t i = 0; i < config.placement_candidates; ++i) {
+        runtime::PlacementCandidate candidate;
+        candidate.request = config.workload[cursor % config.workload.size()];
+        candidate.shipping_seconds =
+            1e-4 * static_cast<double>((cursor + i) % 7);
+        candidates.push_back(std::move(candidate));
+        ++cursor;
+      }
+      runtime::PlacementOptions options;
+      options.ranking.policy = config.placement_policy;
+      options.ranking.risk_lambda = config.placement_risk_lambda;
+      runtime::PlacementResult placement;
+      status = client.ChoosePlacement(candidates, options, &placement);
+      items = placement.responses.size();
+      placement_chosen = status.ok() && placement.chosen >= 0;
+    } else if (config.batch_size <= 1) {
       runtime::EstimateResponse response;
       status = client.Estimate(
           config.workload[cursor % config.workload.size()], &response);
@@ -88,6 +111,7 @@ void DriveConnection(const LoadGenConfig& config, size_t worker_index,
     if (status.ok()) {
       ++tally.completed;
       tally.items += items;
+      if (placement_chosen) ++tally.placements_chosen;
       tally.latencies_us.push_back(us);
     } else if (status.overloaded()) {
       ++tally.overloaded;
@@ -122,10 +146,12 @@ double Percentile(std::vector<double>& sorted, double p) {
 
 std::string LoadGenResult::ToString() const {
   return Format(
-      "completed=%llu (%.0f/s, %.0f items/s) overloaded=%llu errors=%llu "
+      "completed=%llu (%.0f/s, %.0f items/s) placements_chosen=%llu "
+      "overloaded=%llu errors=%llu "
       "transport=%llu behind=%llu latency{p50=%.1fus p90=%.1fus p99=%.1fus "
       "mean=%.1fus max=%.1fus}",
       static_cast<unsigned long long>(completed), qps, items_per_sec,
+      static_cast<unsigned long long>(placements_chosen),
       static_cast<unsigned long long>(overloaded),
       static_cast<unsigned long long>(error_frames),
       static_cast<unsigned long long>(transport_errors),
@@ -157,6 +183,7 @@ LoadGenResult RunLoadGen(const LoadGenConfig& config) {
   for (const WorkerTally& t : tallies) {
     result.completed += t.completed;
     result.items += t.items;
+    result.placements_chosen += t.placements_chosen;
     result.overloaded += t.overloaded;
     result.error_frames += t.error_frames;
     result.transport_errors += t.transport_errors;

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cost_distribution.h"
 #include "runtime/estimate_types.h"
 
 namespace mscm::net {
@@ -41,6 +42,14 @@ struct LoadGenConfig {
   // Requests per frame: 1 sends EstimateRequest, >1 sends
   // EstimateBatchRequest slicing the workload.
   size_t batch_size = 1;
+  // Placement traffic: > 0 sends PlacementRequest frames instead, each
+  // carrying this many candidates sliced from the workload (shipping costs
+  // are small deterministic values varied per candidate). Overrides
+  // batch_size.
+  size_t placement_candidates = 0;
+  // Ranking policy carried on placement frames (see runtime::PlacementOptions).
+  core::PlacementPolicy placement_policy = core::PlacementPolicy::kPointEstimate;
+  double placement_risk_lambda = 0.5;
   // Cycled round-robin by every connection. Must be non-empty.
   std::vector<runtime::EstimateRequest> workload;
 };
@@ -48,6 +57,7 @@ struct LoadGenConfig {
 struct LoadGenResult {
   uint64_t completed = 0;        // frames answered with a data response
   uint64_t items = 0;            // estimates inside those frames
+  uint64_t placements_chosen = 0;  // placement responses with chosen >= 0
   uint64_t overloaded = 0;       // kOverloaded error frames
   uint64_t error_frames = 0;     // other typed error frames
   uint64_t transport_errors = 0; // send/recv/connect failures

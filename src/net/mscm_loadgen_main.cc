@@ -2,7 +2,12 @@
 //
 //   mscm_loadgen --port N [--host A] [--mode closed|open] [--connections N]
 //                [--duration-s S] [--rate R] [--batch N] [--think-us N]
-//                [--sites N] [--stats] [--json FILE]
+//                [--sites N] [--placement N] [--policy point|expected|risk]
+//                [--lambda L] [--stats] [--json FILE]
+//
+// --placement N switches the traffic to PlacementRequest frames of N
+// candidates each; --policy picks the ranking carried on the wire
+// (point-estimate, least-expected-cost, or risk-adjusted with --lambda).
 //
 // Closed loop measures server capacity (each connection waits for its
 // response); open loop offers a fixed aggregate arrival rate and shows what
@@ -73,6 +78,15 @@ int main(int argc, char** argv) {
   config.batch_size = static_cast<size_t>(ArgLong(argc, argv, "--batch", 1));
   config.think_time =
       std::chrono::microseconds(ArgLong(argc, argv, "--think-us", 0));
+  config.placement_candidates =
+      static_cast<size_t>(ArgLong(argc, argv, "--placement", 0));
+  const std::string policy = ArgStr(argc, argv, "--policy", "point");
+  if (policy == "expected") {
+    config.placement_policy = core::PlacementPolicy::kExpectedCost;
+  } else if (policy == "risk") {
+    config.placement_policy = core::PlacementPolicy::kRiskAdjusted;
+  }
+  config.placement_risk_lambda = ArgDouble(argc, argv, "--lambda", 0.5);
   const size_t sites =
       static_cast<size_t>(ArgLong(argc, argv, "--sites", 4));
   config.workload = net::MakeUniformWorkload(1024, sites, /*seed=*/17);
@@ -105,12 +119,14 @@ int main(int argc, char** argv) {
       std::fprintf(
           json,
           "{\"mode\": \"%s\", \"connections\": %d, \"batch\": %zu, "
+          "\"placements_chosen\": %llu, "
           "\"completed\": %llu, \"items\": %llu, \"qps\": %.1f, "
           "\"items_per_sec\": %.1f, \"overloaded\": %llu, \"errors\": %llu, "
           "\"transport_errors\": %llu, \"behind_schedule\": %llu, "
           "\"p50_us\": %.1f, \"p90_us\": %.1f, \"p99_us\": %.1f, "
           "\"mean_us\": %.1f, \"max_us\": %.1f}\n",
           mode.c_str(), config.connections, config.batch_size,
+          static_cast<unsigned long long>(result.placements_chosen),
           static_cast<unsigned long long>(result.completed),
           static_cast<unsigned long long>(result.items), result.qps,
           result.items_per_sec,

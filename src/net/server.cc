@@ -615,14 +615,16 @@ void EstimateServer::ServeFrame(const std::shared_ptr<Connection>& conn,
       }
       case MessageType::kPlacementRequest: {
         WireError err = WireError::kMalformedFrame;
-        auto candidates = DecodePlacementRequestPayload(frame.payload, &err);
+        runtime::PlacementOptions options;
+        auto candidates =
+            DecodePlacementRequestPayload(frame.payload, &err, &options);
         if (!candidates.has_value()) {
           CountBoundaryReject(err);
           QueueError(conn, id, err, "bad PlacementRequest");
           return;
         }
         const runtime::PlacementResult result =
-            service_->ChoosePlacement(*candidates);
+            service_->ChoosePlacement(*candidates, options);
         Bump(counters_->placements);
         QueueResponse(conn, EncodeFrame(MessageType::kPlacementResponse, id,
                                         EncodePlacementResponse(result)));

@@ -20,6 +20,13 @@ constexpr uint8_t kFlagStaleProbe = 1u << 0;
 constexpr uint8_t kFlagStaleModel = 1u << 1;
 constexpr uint8_t kFlagDegraded = 1u << 2;
 
+// Placement extension (append-only fields; see the header's layout note).
+constexpr uint8_t kMaxPolicyByte =
+    static_cast<uint8_t>(core::PlacementPolicy::kRiskAdjusted);
+constexpr uint8_t kFlagDistStale = 1u << 0;
+constexpr uint8_t kFlagDistDegraded = 1u << 1;
+constexpr uint8_t kFlagDistHasInterval = 1u << 2;
+
 void Fail(WireError* error, WireError code) {
   if (error != nullptr) *error = code;
 }
@@ -370,13 +377,20 @@ DecodeEstimateBatchResponsePayload(const std::vector<uint8_t>& payload) {
 // ---- Placement --------------------------------------------------------------
 
 std::vector<uint8_t> EncodePlacementRequest(
-    const std::vector<runtime::PlacementCandidate>& candidates) {
+    const std::vector<runtime::PlacementCandidate>& candidates,
+    const runtime::PlacementOptions& options) {
   WireWriter w;
   w.PutU32(static_cast<uint32_t>(candidates.size()));
   for (const auto& candidate : candidates) {
     EncodeEstimateRequest(candidate.request, w);
     w.PutF64(candidate.shipping_seconds);
   }
+  // Append-only extension: ranking policy + knobs. Decoders that stop at
+  // the original layout (old peers) never see it; decoders that know it
+  // read it after the candidate list.
+  w.PutU8(static_cast<uint8_t>(options.ranking.policy));
+  w.PutF64(options.ranking.risk_lambda);
+  w.PutF64(options.ranking.boundary_band_fraction);
   return w.Take();
 }
 
@@ -389,12 +403,32 @@ std::vector<uint8_t> EncodePlacementResponse(
     EncodeEstimateResponse(result.responses[i], w);
     w.PutF64(i < result.total_seconds.size() ? result.total_seconds[i] : 0.0);
   }
+  // Append-only extension: the policy that ranked, then each candidate's
+  // served distribution and score.
+  w.PutU8(static_cast<uint8_t>(result.policy));
+  for (size_t i = 0; i < result.responses.size(); ++i) {
+    const core::CostDistribution distribution =
+        i < result.distributions.size() ? result.distributions[i]
+                                        : core::CostDistribution{};
+    w.PutF64(distribution.mean);
+    w.PutF64(distribution.low);
+    w.PutF64(distribution.high);
+    uint8_t dflags = 0;
+    if (distribution.stale) dflags |= kFlagDistStale;
+    if (distribution.degraded) dflags |= kFlagDistDegraded;
+    if (distribution.has_interval) dflags |= kFlagDistHasInterval;
+    w.PutU8(dflags);
+    w.PutF64(i < result.scores.size()
+                 ? result.scores[i]
+                 : std::numeric_limits<double>::infinity());
+  }
   return w.Take();
 }
 
 std::optional<std::vector<runtime::PlacementCandidate>>
 DecodePlacementRequestPayload(const std::vector<uint8_t>& payload,
-                              WireError* error) {
+                              WireError* error,
+                              runtime::PlacementOptions* options) {
   WireReader r(payload);
   const uint32_t count = r.TakeU32();
   if (!r.ok()) {
@@ -424,10 +458,34 @@ DecodePlacementRequestPayload(const std::vector<uint8_t>& payload,
     }
     candidates.push_back(std::move(candidate));
   }
+  // Frames from pre-extension peers end here: default ranking (point
+  // estimate). A frame carrying any extension bytes must carry the whole,
+  // valid extension — fail closed on anything else.
+  runtime::PlacementOptions decoded_options;
+  if (r.remaining() > 0) {
+    const uint8_t policy_byte = r.TakeU8();
+    const double risk_lambda = r.TakeF64();
+    const double band_fraction = r.TakeF64();
+    if (!r.ok()) {
+      Fail(error, WireError::kMalformedFrame);
+      return std::nullopt;
+    }
+    if (policy_byte > kMaxPolicyByte || !std::isfinite(risk_lambda) ||
+        risk_lambda < 0.0 || !std::isfinite(band_fraction) ||
+        band_fraction < 0.0 || band_fraction > 1.0) {
+      Fail(error, WireError::kInvalidRequest);
+      return std::nullopt;
+    }
+    decoded_options.ranking.policy =
+        static_cast<core::PlacementPolicy>(policy_byte);
+    decoded_options.ranking.risk_lambda = risk_lambda;
+    decoded_options.ranking.boundary_band_fraction = band_fraction;
+  }
   if (!r.AtEnd()) {
     Fail(error, WireError::kMalformedFrame);
     return std::nullopt;
   }
+  if (options != nullptr) *options = decoded_options;
   return candidates;
 }
 
@@ -443,6 +501,35 @@ std::optional<runtime::PlacementResult> DecodePlacementResponsePayload(
     if (!response.has_value()) return std::nullopt;
     result.responses.push_back(*response);
     result.total_seconds.push_back(r.TakeF64());
+  }
+  if (!r.ok()) return std::nullopt;
+  // Responses from pre-extension peers end here (point-estimate policy,
+  // zero-width distributions). Any extension bytes must decode completely
+  // and validly or the whole frame is rejected.
+  if (r.remaining() > 0) {
+    const uint8_t policy_byte = r.TakeU8();
+    if (!r.ok() || policy_byte > kMaxPolicyByte) return std::nullopt;
+    result.policy = static_cast<core::PlacementPolicy>(policy_byte);
+    for (uint32_t i = 0; i < count; ++i) {
+      core::CostDistribution distribution;
+      distribution.mean = r.TakeF64();
+      distribution.low = r.TakeF64();
+      distribution.high = r.TakeF64();
+      const uint8_t dflags = r.TakeU8();
+      const double score = r.TakeF64();
+      if (!r.ok()) return std::nullopt;
+      if (!std::isfinite(distribution.mean) ||
+          !std::isfinite(distribution.low) ||
+          !std::isfinite(distribution.high) ||
+          distribution.low > distribution.high || std::isnan(score)) {
+        return std::nullopt;  // +inf score = "not estimable" is legal
+      }
+      distribution.stale = (dflags & kFlagDistStale) != 0;
+      distribution.degraded = (dflags & kFlagDistDegraded) != 0;
+      distribution.has_interval = (dflags & kFlagDistHasInterval) != 0;
+      result.distributions.push_back(distribution);
+      result.scores.push_back(score);
+    }
   }
   if (!r.AtEnd()) return std::nullopt;
   // chosen must index the candidate list or be the -1 "none estimable"

@@ -226,13 +226,27 @@ DecodeEstimateBatchRequestPayload(const std::vector<uint8_t>& payload,
 std::optional<std::vector<runtime::EstimateResponse>>
 DecodeEstimateBatchResponsePayload(const std::vector<uint8_t>& payload);
 
+// Placement frames carry append-only extensions past the original layout:
+//   request:  u32 count, count x (EstimateRequest, f64 shipping),
+//             [u8 policy, f64 risk_lambda, f64 band_fraction]
+//   response: u32 chosen, u32 count, count x (EstimateResponse, f64 total),
+//             [u8 policy, count x (f64 mean, f64 low, f64 high, u8 dflags,
+//              f64 score)]
+// A frame that ends at the original layout decodes to defaults (point-
+// estimate policy, zero-width distributions) — old peers keep working. A
+// frame that starts the extension must complete it, and every extended
+// value is validated fail-closed (policy in range, lambda finite and
+// non-negative, band in [0, 1], low <= high) — a truncated or corrupt
+// extension is rejected, never half-applied.
 std::vector<uint8_t> EncodePlacementRequest(
-    const std::vector<runtime::PlacementCandidate>& candidates);
+    const std::vector<runtime::PlacementCandidate>& candidates,
+    const runtime::PlacementOptions& options = {});
 std::vector<uint8_t> EncodePlacementResponse(
     const runtime::PlacementResult& result);
 std::optional<std::vector<runtime::PlacementCandidate>>
 DecodePlacementRequestPayload(const std::vector<uint8_t>& payload,
-                              WireError* error);
+                              WireError* error,
+                              runtime::PlacementOptions* options = nullptr);
 std::optional<runtime::PlacementResult> DecodePlacementResponsePayload(
     const std::vector<uint8_t>& payload);
 

@@ -265,6 +265,32 @@ void ContentionTracker::SetStateMapper(std::function<int(double)> mapper) {
   if (changed && callback) callback(old_state, new_state);
 }
 
+void ContentionTracker::SetStateBoundaries(std::vector<double> boundaries) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  boundaries_ = std::move(boundaries);
+}
+
+bool ContentionTracker::BoundaryDistance(double* distance,
+                                         double* boundary) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!reading_.has_value || boundaries_.empty() ||
+      !std::isfinite(reading_.probing_cost)) {
+    return false;
+  }
+  double best = std::numeric_limits<double>::infinity();
+  double best_boundary = 0.0;
+  for (double b : boundaries_) {
+    const double d = std::abs(reading_.probing_cost - b);
+    if (d < best) {
+      best = d;
+      best_boundary = b;
+    }
+  }
+  if (distance != nullptr) *distance = best;
+  if (boundary != nullptr) *boundary = best_boundary;
+  return true;
+}
+
 void ContentionTracker::SetStateChangeCallback(StateChangeFn callback) {
   std::lock_guard<std::mutex> lock(mutex_);
   state_change_ = std::move(callback);

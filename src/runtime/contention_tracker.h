@@ -27,6 +27,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "runtime/circuit_breaker.h"
 #include "runtime/clock.h"
@@ -127,6 +128,19 @@ class ContentionTracker {
   // ContentionStates::StateOf). Re-maps the cached reading immediately.
   void SetStateMapper(std::function<int(double)> mapper);
 
+  // Installs the state partition's internal boundaries (ascending) so
+  // BoundaryDistance can report how close the published probing cost sits to
+  // a state edge. Normally set alongside SetStateMapper from the same model.
+  void SetStateBoundaries(std::vector<double> boundaries);
+
+  // Distance from the published probing cost to the nearest partition
+  // boundary. Returns false when there is no reading or no boundaries are
+  // installed; otherwise writes the absolute distance and the boundary it is
+  // measured against. Drives the near_boundary_sites gauge: a site whose
+  // probe hovers inside the soft-membership band is one whose point
+  // estimates are least trustworthy.
+  bool BoundaryDistance(double* distance, double* boundary) const;
+
   // Invoked (outside the tracker's internal locks) whenever a probe or remap
   // publishes a different state than the previous reading's. old_state is -1
   // for the first reading. Used by the estimation service to drop cached
@@ -219,6 +233,7 @@ class ContentionTracker {
   ProbeReading reading_;
   Clock::TimePoint reading_at_{};
   std::function<int(double)> mapper_;
+  std::vector<double> boundaries_;  // state partition, ascending
   StateChangeFn state_change_;
   // The staleness last folded into state_version_ (see Current()); mutable
   // because Current() publishes the transition it computes.

@@ -28,6 +28,15 @@ bool RequestIsValid(const EstimateRequest& request) {
   return true;  // any finite negative value means "use the cached probe"
 }
 
+// Cache hits record latency on a 1-in-N sample (RecordN weights the sample
+// by the period, so the histogram's count still reflects every hit). An
+// unsampled hit path stays exactly as cheap as before — no clock reads —
+// and a sampled one adds two clock reads plus a per-thread histogram
+// stripe store: still zero shared atomic RMWs. Without this, the estimate
+// latency histogram held only cold-miss samples, so a *faster* cached
+// configuration reported *higher* p50/p99 than the uncached one.
+constexpr uint64_t kHitLatencySamplePeriod = 64;
+
 }  // namespace
 
 const char* ToString(EstimateStatus s) {
@@ -79,6 +88,7 @@ void EstimationService::RegisterModel(const std::string& site,
   if (auto tracker = FindTracker(site)) {
     tracker->SetStateMapper(
         [states](double cost) { return states.StateOf(cost); });
+    tracker->SetStateBoundaries(states.boundaries());
   }
   // Entries priced under the previous catalog revision can never hit again
   // (the lookup epoch moved); evict the re-registered site's eagerly.
@@ -131,6 +141,7 @@ void EstimationService::RegisterSite(const std::string& site,
       const core::ContentionStates states = model->states();
       tracker->SetStateMapper(
           [states](double cost) { return states.StateOf(cost); });
+      tracker->SetStateBoundaries(states.boundaries());
     }
   }
 
@@ -351,11 +362,21 @@ EstimateResponse EstimationService::Estimate(
   // RMWs end to end (the shared_rmw_per_request bench gate).
   const bool try_cache = cache_.enabled() && request.probing_cost < 0.0;
   if (try_cache) {
+    thread_local uint64_t hit_tick = 0;
+    const bool sample = (++hit_tick % kHitLatencySamplePeriod) == 0;
+    std::chrono::steady_clock::time_point hit_started;
+    if (sample) hit_started = std::chrono::steady_clock::now();
     EstimateResponse response;
     if (cache_.Lookup(request.site, static_cast<int>(request.class_id),
                       request.features, catalog_.version(), &response)) {
       auto& shard = counters_.Local();
       shard.Add(shard.estimate_cache_hits);
+      if (sample) {
+        estimate_latency_.RecordN(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - hit_started),
+            kHitLatencySamplePeriod);
+      }
       return response;
     }
   }
@@ -619,7 +640,14 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
 
 PlacementResult EstimationService::ChoosePlacement(
     const std::vector<PlacementCandidate>& candidates) const {
+  return ChoosePlacement(candidates, PlacementOptions{});
+}
+
+PlacementResult EstimationService::ChoosePlacement(
+    const std::vector<PlacementCandidate>& candidates,
+    const PlacementOptions& options) const {
   PlacementResult result;
+  result.policy = options.ranking.policy;
   std::vector<EstimateRequest> requests;
   requests.reserve(candidates.size());
   for (const PlacementCandidate& c : candidates) requests.push_back(c.request);
@@ -627,15 +655,71 @@ PlacementResult EstimationService::ChoosePlacement(
 
   result.total_seconds.resize(candidates.size(),
                               std::numeric_limits<double>::infinity());
-  double best = std::numeric_limits<double>::infinity();
+  result.scores.resize(candidates.size(),
+                       std::numeric_limits<double>::infinity());
+  result.distributions.resize(candidates.size());
+
+  // One epoch guard pins the catalog for the distribution pass. The snapshot
+  // may be newer than the one EstimateBatch priced under (a registration can
+  // land in between); the width check below keeps a re-registered model from
+  // reading past a shorter feature vector, and the distribution then simply
+  // reflects the newer model — same freshness contract as two back-to-back
+  // estimates.
+  EpochGuard guard;
+  const core::GlobalCatalog* snapshot = catalog_.Read(guard);
+
+  double best_score = std::numeric_limits<double>::infinity();
+  double best_point = std::numeric_limits<double>::infinity();
+  int point_chosen = -1;
   for (size_t i = 0; i < candidates.size(); ++i) {
-    if (!result.responses[i].ok()) continue;
-    result.total_seconds[i] =
-        result.responses[i].estimate_seconds + candidates[i].shipping_seconds;
-    if (result.total_seconds[i] < best) {
-      best = result.total_seconds[i];
+    const EstimateResponse& response = result.responses[i];
+    if (!response.ok()) continue;
+    const double total =
+        response.estimate_seconds + candidates[i].shipping_seconds;
+    result.total_seconds[i] = total;
+
+    core::CostDistribution distribution;
+    const core::CompiledEquations* equations = snapshot->FindCompiled(
+        candidates[i].request.site, candidates[i].request.class_id);
+    if (equations != nullptr &&
+        candidates[i].request.features.size() >= equations->min_features()) {
+      distribution = equations->EvaluateDistribution(
+          candidates[i].request.features, response.probing_cost,
+          options.ranking.boundary_band_fraction);
+    } else {
+      // Model vanished between the batch and this pass: degenerate to the
+      // point estimate (zero width) rather than dropping the candidate.
+      distribution.mean = response.estimate_seconds;
+      distribution.low = response.estimate_seconds;
+      distribution.high = response.estimate_seconds;
+    }
+    distribution.stale = response.stale_probe || response.stale_model;
+    distribution.degraded = response.degraded;
+    result.distributions[i] = distribution;
+
+    const double score =
+        core::PlacementScore(options.ranking, distribution,
+                             response.estimate_seconds,
+                             candidates[i].shipping_seconds);
+    result.scores[i] = score;
+    // Strict < keeps the lowest-index winner on ties (deterministic).
+    if (std::isfinite(score) && score < best_score) {
+      best_score = score;
       result.chosen = static_cast<int>(i);
     }
+    if (total < best_point) {
+      best_point = total;
+      point_chosen = static_cast<int>(i);
+    }
+  }
+
+  auto& shard = counters_.Local();
+  shard.Add(shard.placements);
+  // The payoff counter: a distribution-aware policy actually overrode the
+  // point-estimate argmin for this decision.
+  if (options.ranking.policy != core::PlacementPolicy::kPointEstimate &&
+      result.chosen >= 0 && result.chosen != point_chosen) {
+    shard.Add(shard.placement_expected_cost_wins);
   }
   return result;
 }
@@ -654,6 +738,15 @@ RuntimeStatsSnapshot EstimationService::Stats() const {
     out.probes_suppressed += tracker->suppressed();
     out.breaker_opens += tracker->breaker().opens();
     if (tracker->degraded()) ++out.degraded_sites;
+    // Gauge: sites whose published probe sits inside the soft-membership
+    // band of a state boundary — where point estimates are least reliable
+    // and distribution-aware placement earns its keep.
+    double distance = 0.0;
+    double boundary = 0.0;
+    if (tracker->BoundaryDistance(&distance, &boundary) &&
+        distance < config_.boundary_band_fraction * std::abs(boundary)) {
+      ++out.near_boundary_sites;
+    }
     // Gauge: the slowest current per-site cadence (every site probes at
     // least this often; adaptive trackers may be probing faster).
     out.probe_interval_ns =

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/catalog.h"
+#include "core/cost_distribution.h"
 #include "runtime/clock.h"
 #include "runtime/contention_tracker.h"
 #include "runtime/epoch.h"
@@ -78,6 +79,11 @@ struct EstimationServiceConfig {
   // State-keyed response memo (see estimate_cache.h); capacity_per_thread 0
   // disables.
   EstimateCacheConfig cache;
+  // Soft state-membership band for the near_boundary_sites gauge and the
+  // default placement ranking: a site whose published probing cost sits
+  // within band_fraction * |boundary| of a partition boundary is "near" it
+  // (see core::CompiledEquations::EvaluateDistribution).
+  double boundary_band_fraction = 0.1;
   Clock* clock = Clock::System();
 };
 
@@ -91,10 +97,25 @@ struct PlacementCandidate {
   double shipping_seconds = 0.0;
 };
 
+// How ChoosePlacement ranks candidates (see core::PlacementRanking): the
+// default is the legacy point-estimate argmin; kExpectedCost and
+// kRiskAdjusted rank the served cost distributions instead, penalizing
+// stale/degraded candidates by widening their intervals.
+struct PlacementOptions {
+  core::PlacementRanking ranking;
+};
+
 struct PlacementResult {
   int chosen = -1;  // index of cheapest candidate; -1 if none estimable
+  core::PlacementPolicy policy = core::PlacementPolicy::kPointEstimate;
   std::vector<EstimateResponse> responses;
   std::vector<double> total_seconds;  // local estimate + shipping
+  // Served cost distribution per candidate (stale/degraded stamped from the
+  // response flags; zeroed where the candidate was not estimable).
+  std::vector<core::CostDistribution> distributions;
+  // Ranking score under the requested policy (infinity where not
+  // estimable); `chosen` is its argmin.
+  std::vector<double> scores;
 };
 
 class EstimationService {
@@ -169,6 +190,13 @@ class EstimationService {
   // picks the cheapest total (local estimate + result shipping).
   PlacementResult ChoosePlacement(
       const std::vector<PlacementCandidate>& candidates) const;
+
+  // As above, ranking under `options` (least-expected-cost / risk-adjusted
+  // placement). With default options the chosen index matches the legacy
+  // overload exactly; distributions and scores are served either way.
+  PlacementResult ChoosePlacement(
+      const std::vector<PlacementCandidate>& candidates,
+      const PlacementOptions& options) const;
 
   // ---- Introspection ------------------------------------------------------
 

@@ -166,7 +166,9 @@ std::string RuntimeStatsSnapshot::ToString() const {
       "probe_failures=%llu probe_discards=%llu probe_timeouts=%llu "
       "probes_suppressed=%llu breaker_opens=%llu degraded_sites=%llu "
       "degraded_served=%llu "
-      "catalog_swaps=%llu stale_models=%llu stale_model_served=%llu\n",
+      "catalog_swaps=%llu stale_models=%llu stale_model_served=%llu "
+      "placements=%llu placement_expected_cost_wins=%llu "
+      "near_boundary_sites=%llu\n",
       static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(batches),
       static_cast<unsigned long long>(probe_cache_hits),
@@ -188,7 +190,10 @@ std::string RuntimeStatsSnapshot::ToString() const {
       static_cast<unsigned long long>(degraded_served),
       static_cast<unsigned long long>(catalog_swaps),
       static_cast<unsigned long long>(stale_models),
-      static_cast<unsigned long long>(stale_model_served));
+      static_cast<unsigned long long>(stale_model_served),
+      static_cast<unsigned long long>(placements),
+      static_cast<unsigned long long>(placement_expected_cost_wins),
+      static_cast<unsigned long long>(near_boundary_sites));
   out += "estimate latency: " + estimate_latency.ToString() + "\n";
   out += "probe latency:    " + probe_latency.ToString();
   return out;
@@ -219,6 +224,9 @@ const std::vector<StatsCounterField>& StatsCounterFields() {
           {"estimate_cache_hits", &S::estimate_cache_hits},
           {"estimate_cache_misses", &S::estimate_cache_misses},
           {"estimate_cache_invalidations", &S::estimate_cache_invalidations},
+          {"placements", &S::placements},
+          {"placement_expected_cost_wins", &S::placement_expected_cost_wins},
+          {"near_boundary_sites", &S::near_boundary_sites},
       };
   return *fields;
 }
@@ -294,6 +302,9 @@ void RuntimeCounters::AggregateInto(RuntimeStatsSnapshot& out) const {
     out.degraded_served += s.degraded_served.load(std::memory_order_relaxed);
     out.invalid_requests +=
         s.invalid_requests.load(std::memory_order_relaxed);
+    out.placements += s.placements.load(std::memory_order_relaxed);
+    out.placement_expected_cost_wins +=
+        s.placement_expected_cost_wins.load(std::memory_order_relaxed);
   };
   for (const auto& slot : slots_) {
     if (const Shard* shard = slot.load(std::memory_order_acquire)) {

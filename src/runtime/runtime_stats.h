@@ -110,6 +110,12 @@ struct RuntimeStatsSnapshot {
   uint64_t estimate_cache_hits = 0;    // estimates served from the response memo
   uint64_t estimate_cache_misses = 0;  // memo consulted but priced the long way
   uint64_t estimate_cache_invalidations = 0;  // entries evicted (state/catalog)
+  uint64_t placements = 0;         // ChoosePlacement decisions served
+  // Placements where a distribution-aware policy (expected-cost /
+  // risk-adjusted) picked a different site than the point-estimate argmin
+  // would have — the visible payoff of serving distributions.
+  uint64_t placement_expected_cost_wins = 0;
+  uint64_t near_boundary_sites = 0;  // gauge: probes inside a boundary band
   int64_t probe_interval_ns = 0;   // gauge: slowest current per-site cadence
 
   LatencyHistogram::Snapshot estimate_latency;
@@ -168,6 +174,8 @@ class RuntimeCounters {
     // the hit path); aggregation folds hits back into `requests`.
     std::atomic<uint64_t> estimate_cache_hits{0};
     std::atomic<uint64_t> estimate_cache_misses{0};
+    std::atomic<uint64_t> placements{0};
+    std::atomic<uint64_t> placement_expected_cost_wins{0};
 
     // Increment for the shard's owner: plain load+store on a per-thread
     // shard, fetch_add on the shared overflow shard.

@@ -103,6 +103,80 @@ TEST(ModelIoTest, RejectsTamperedRecords) {
   }
 }
 
+TEST(ModelIoTest, RoundTripPreservesPredictionIntervals) {
+  // The xtxinv record line persists the fit's covariance structure, so a
+  // round-tripped model serves the same intervals as the in-process fit —
+  // the bug being pinned: EstimateWithInterval silently returning nullopt
+  // after a save/load.
+  const CostModel original = MakeModel(3, QualitativeForm::kGeneral);
+  const auto restored = ParseCostModel(SerializeCostModel(original));
+  ASSERT_TRUE(restored.has_value());
+
+  Rng rng(13);
+  for (int i = 0; i < 25; ++i) {
+    const std::vector<double> features = {rng.Uniform(0, 10),
+                                          rng.Uniform(0, 10)};
+    const double probe = rng.NextDouble();
+    const auto want = original.EstimateWithInterval(features, probe);
+    const auto got = restored->EstimateWithInterval(features, probe);
+    ASSERT_TRUE(want.has_value());
+    ASSERT_TRUE(got.has_value());
+    EXPECT_NEAR(got->estimate, want->estimate, 1e-9);
+    EXPECT_NEAR(got->low, want->low, 1e-9 * (1.0 + want->high));
+    EXPECT_NEAR(got->high, want->high, 1e-9 * (1.0 + want->high));
+    // The served distribution path reads the same persisted structure.
+    const CostDistribution d_want =
+        original.EstimateDistribution(features, probe);
+    const CostDistribution d_got =
+        restored->EstimateDistribution(features, probe);
+    EXPECT_TRUE(d_got.has_interval);
+    EXPECT_NEAR(d_got.low, d_want.low, 1e-9 * (1.0 + d_want.high));
+    EXPECT_NEAR(d_got.high, d_want.high, 1e-9 * (1.0 + d_want.high));
+  }
+}
+
+TEST(ModelIoTest, LegacyRecordWithoutXtxInvStillParses) {
+  // Records written before the xtxinv line existed must parse — they just
+  // cannot serve intervals.
+  const CostModel original = MakeModel(2, QualitativeForm::kGeneral);
+  std::string blob = SerializeCostModel(original);
+  const size_t pos = blob.find("xtxinv ");
+  ASSERT_NE(pos, std::string::npos);
+  blob.erase(pos, blob.find('\n', pos) - pos + 1);
+  const auto restored = ParseCostModel(blob);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_DOUBLE_EQ(restored->Estimate({1.0, 2.0}, 0.3),
+                   original.Estimate({1.0, 2.0}, 0.3));
+  EXPECT_FALSE(restored->EstimateWithInterval({1.0, 2.0}, 0.3).has_value());
+  EXPECT_FALSE(restored->EstimateDistribution({1.0, 2.0}, 0.3).has_interval);
+}
+
+TEST(ModelIoTest, RejectsTamperedXtxInv) {
+  const std::string blob =
+      SerializeCostModel(MakeModel(2, QualitativeForm::kGeneral));
+  const size_t pos = blob.find("xtxinv ");
+  ASSERT_NE(pos, std::string::npos);
+  const size_t eol = blob.find('\n', pos);
+  {
+    // Dimension disagreeing with the coefficient count.
+    std::string bad = blob;
+    bad.replace(pos, eol - pos, "xtxinv 2 1.0 0.0 0.0 1.0");
+    EXPECT_FALSE(ParseCostModel(bad).has_value());
+  }
+  {
+    // Value count not dim^2.
+    std::string bad = blob;
+    bad.replace(pos, eol - pos, "xtxinv 2 1.0 0.0 0.0");
+    EXPECT_FALSE(ParseCostModel(bad).has_value());
+  }
+  {
+    // Non-finite entry.
+    std::string bad = blob;
+    bad.replace(pos, eol - pos, "xtxinv 2 1.0 0.0 0.0 inf");
+    EXPECT_FALSE(ParseCostModel(bad).has_value());
+  }
+}
+
 TEST(ModelIoTest, RejectsUnsortedBoundaries) {
   std::string blob =
       SerializeCostModel(MakeModel(3, QualitativeForm::kGeneral));

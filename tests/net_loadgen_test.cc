@@ -77,6 +77,25 @@ TEST(NetLoadGenTest, ClosedLoopBatchedCountsItems) {
   EXPECT_GT(result.items_per_sec, result.qps);
 }
 
+TEST(NetLoadGenTest, PlacementTrafficChoosesSites) {
+  ServedRuntime served(TestConfig());
+  std::string error;
+  ASSERT_TRUE(served.Start(&error)) << error;
+
+  LoadGenConfig load = BaseLoad(served.port());
+  load.placement_candidates = 3;
+  load.placement_policy = core::PlacementPolicy::kExpectedCost;
+  const LoadGenResult result = RunLoadGen(load);
+
+  EXPECT_GT(result.completed, 0u);
+  EXPECT_EQ(result.items, result.completed * 3);  // candidates per frame
+  EXPECT_EQ(result.error_frames, 0u);
+  EXPECT_EQ(result.transport_errors, 0u);
+  // Every frame prices registered sites with valid probes: a site must be
+  // chosen on each completed placement.
+  EXPECT_EQ(result.placements_chosen, result.completed);
+}
+
 TEST(NetLoadGenTest, OpenLoopHoldsASchedule) {
   ServedRuntime served(TestConfig());
   std::string error;

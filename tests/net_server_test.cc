@@ -193,6 +193,36 @@ TEST_F(NetServerTest, PlacementOverLoopback) {
   EXPECT_EQ(result.chosen, 1);
   ASSERT_EQ(result.responses.size(), 2u);
   ASSERT_EQ(result.total_seconds.size(), 2u);
+  // The default-policy response still carries the served distributions.
+  EXPECT_EQ(result.policy, core::PlacementPolicy::kPointEstimate);
+  ASSERT_EQ(result.distributions.size(), 2u);
+  ASSERT_EQ(result.scores.size(), 2u);
+}
+
+TEST_F(NetServerTest, PlacementWithRankingPolicyOverLoopback) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", served_->port()));
+
+  std::vector<PlacementCandidate> candidates(2);
+  candidates[0].request = ValidRequest("site0");
+  candidates[0].shipping_seconds = 100.0;
+  candidates[1].request = ValidRequest("site1");
+  candidates[1].shipping_seconds = 0.0;
+
+  runtime::PlacementOptions options;
+  options.ranking.policy = core::PlacementPolicy::kRiskAdjusted;
+  options.ranking.risk_lambda = 1.0;
+  PlacementResult result;
+  const RpcStatus status = client.ChoosePlacement(candidates, options, &result);
+  ASSERT_TRUE(status.ok()) << status.message;
+  // The shipping gap dwarfs any width penalty: site1 wins under every policy,
+  // and the response echoes the requested policy with finite scores.
+  EXPECT_EQ(result.chosen, 1);
+  EXPECT_EQ(result.policy, core::PlacementPolicy::kRiskAdjusted);
+  ASSERT_EQ(result.scores.size(), 2u);
+  EXPECT_LT(result.scores[1], result.scores[0]);
+  ASSERT_EQ(result.distributions.size(), 2u);
+  EXPECT_GT(result.distributions[1].mean, 0.0);
 }
 
 TEST_F(NetServerTest, StatsOverLoopback) {

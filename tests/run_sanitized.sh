@@ -19,7 +19,7 @@ case "${SANITIZER}" in
   address) BUILD_DIR="${REPO_ROOT}/build-asan" ;;
   *) BUILD_DIR="${REPO_ROOT}/build-${SANITIZER}" ;;
 esac
-FILTER='(ThreadPool|SnapshotCatalog|ContentionTracker|EstimationService|ModelRefresh|RuntimeStress|EstimateCache|CircuitBreaker|FaultInjector|FaultyObservationSource|RuntimeChaos|Epoch|ThreadRegistry|LatencyHistogram|RuntimeCounters|WireReader|WireMessages|WireValidation|WireFuzz|FrameAssembler|StatsCodec|NetServer|NetShutdown|NetLoadGen)'
+FILTER='(ThreadPool|SnapshotCatalog|ContentionTracker|EstimationService|ModelRefresh|RuntimeStress|EstimateCache|CircuitBreaker|FaultInjector|FaultyObservationSource|RuntimeChaos|Epoch|ThreadRegistry|LatencyHistogram|RuntimeCounters|WireReader|WireMessages|WireValidation|WireFuzz|FrameAssembler|StatsCodec|NetServer|NetShutdown|NetLoadGen|PlacementPolicy|CostDistribution)'
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DMSCM_SANITIZE="${SANITIZER}" \
   > /dev/null
@@ -30,7 +30,7 @@ cmake --build "${BUILD_DIR}" -j \
            estimate_cache_test circuit_breaker_test fault_injector_test \
            runtime_chaos_test epoch_test runtime_stats_test \
            wire_format_test net_server_test \
-           net_shutdown_test net_loadgen_test
+           net_shutdown_test net_loadgen_test placement_policy_test
 
 # halt_on_error makes a sanitizer report fail the test, not just print.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \

@@ -417,5 +417,130 @@ TEST(EstimationServiceTest, DegradedSiteServesLastStateAndRecovers) {
   EXPECT_EQ(service.SiteBreakerState("ghost"), CircuitBreaker::State::kClosed);
 }
 
+TEST(EstimationServiceTest, PlacementPoliciesDivergeNearBoundaries) {
+  EstimationService service;
+  const auto cls = QueryClassId::kUnarySeqScan;
+  // "steady" costs 1.0; "jitter" costs 0.5 below its boundary at probe 1.0
+  // and 4.0 above it. A probe of 0.99 sits inside the soft-membership band.
+  service.RegisterModel("steady", test::PiecewiseLinearModel(cls, {1.0}));
+  service.RegisterModel("jitter",
+                        test::PiecewiseLinearModel(cls, {0.5, 4.0}));
+  const PlacementCandidate steady{Request("steady", cls, 1.0, 0.5), 0.0};
+  const PlacementCandidate jitter{Request("jitter", cls, 1.0, 0.99), 0.0};
+
+  const PlacementResult point = service.ChoosePlacement({steady, jitter});
+  EXPECT_EQ(point.policy, core::PlacementPolicy::kPointEstimate);
+  EXPECT_EQ(point.chosen, 1);  // takes the 0.5 bait
+
+  PlacementOptions options;
+  options.ranking.policy = core::PlacementPolicy::kExpectedCost;
+  const PlacementResult expected =
+      service.ChoosePlacement({steady, jitter}, options);
+  EXPECT_EQ(expected.policy, core::PlacementPolicy::kExpectedCost);
+  EXPECT_EQ(expected.chosen, 0);  // blended jitter mean > 1.0
+  ASSERT_EQ(expected.distributions.size(), 2u);
+  EXPECT_GT(expected.distributions[1].mean, 1.0);
+  ASSERT_EQ(expected.scores.size(), 2u);
+  EXPECT_LT(expected.scores[0], expected.scores[1]);
+
+  const RuntimeStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.placements, 2u);
+  // Only the expected-cost call diverged from the point argmin.
+  EXPECT_EQ(stats.placement_expected_cost_wins, 1u);
+}
+
+TEST(EstimationServiceTest, PlacementDistributionsCarryDegradedAndStale) {
+  FakeClock clock;
+  EstimationServiceConfig config;
+  config.clock = &clock;
+  config.probe_ttl = seconds(5);
+  config.breaker.failure_threshold = 1;
+  config.breaker.open_duration = std::chrono::hours(1);
+  EstimationService service(config);
+  const auto cls = QueryClassId::kUnarySeqScan;
+  service.RegisterModel("down", test::PiecewiseLinearModel(cls, {2.0}));
+  service.RegisterModel("old", test::PiecewiseLinearModel(cls, {2.0}));
+
+  std::atomic<bool> fail{false};
+  service.RegisterSite("down", [&]() -> double {
+    if (fail.load()) throw std::runtime_error("site down");
+    return 0.5;
+  });
+  service.RegisterSite("old", [] { return 0.5; });
+  ASSERT_TRUE(service.ProbeNow("down"));
+  ASSERT_TRUE(service.ProbeNow("old"));
+  fail.store(true);
+  EXPECT_FALSE(service.ProbeNow("down"));  // breaker opens
+  clock.Advance(seconds(6));               // "old"'s probe exceeds its TTL
+
+  PlacementOptions options;
+  options.ranking.policy = core::PlacementPolicy::kExpectedCost;
+  const PlacementResult result = service.ChoosePlacement(
+      {PlacementCandidate{Request("down", cls, 3.0), 0.0},
+       PlacementCandidate{Request("old", cls, 3.0), 0.0}},
+      options);
+  ASSERT_EQ(result.distributions.size(), 2u);
+  // "down" is degraded (and its pre-failure probe is now also past TTL —
+  // the flags are independent and may coexist); "old" is merely stale.
+  EXPECT_TRUE(result.distributions[0].degraded);
+  EXPECT_TRUE(result.distributions[1].stale);
+  EXPECT_FALSE(result.distributions[1].degraded);
+  EXPECT_GE(result.chosen, 0);  // flagged candidates are penalized, not banned
+}
+
+TEST(EstimationServiceTest, PlacementWithNoServableCandidateIsMinusOne) {
+  EstimationService service;
+  const auto cls = QueryClassId::kUnarySeqScan;
+  for (const auto policy :
+       {core::PlacementPolicy::kPointEstimate,
+        core::PlacementPolicy::kExpectedCost,
+        core::PlacementPolicy::kRiskAdjusted}) {
+    PlacementOptions options;
+    options.ranking.policy = policy;
+    const PlacementResult result = service.ChoosePlacement(
+        {PlacementCandidate{Request("ghost", cls, 1.0, 0.5), 0.0}}, options);
+    EXPECT_EQ(result.chosen, -1) << core::ToString(policy);
+    ASSERT_EQ(result.scores.size(), 1u);
+    EXPECT_TRUE(std::isinf(result.scores[0]));
+  }
+}
+
+TEST(EstimationServiceTest, NearBoundarySitesGaugeCountsBandProbes) {
+  EstimationService service;  // boundary_band_fraction defaults to 0.1
+  const auto cls = QueryClassId::kUnarySeqScan;
+  service.RegisterModel("near", test::PiecewiseLinearModel(cls, {0.5, 4.0}));
+  service.RegisterModel("far", test::PiecewiseLinearModel(cls, {0.5, 4.0}));
+  service.RegisterSite("near", [] { return 0.99; });  // 0.01 from boundary 1.0
+  service.RegisterSite("far", [] { return 0.5; });    // mid-state
+  ASSERT_TRUE(service.ProbeNow("near"));
+  ASSERT_TRUE(service.ProbeNow("far"));
+  EXPECT_EQ(service.Stats().near_boundary_sites, 1u);
+}
+
+TEST(EstimationServiceTest, CacheHitsFeedTheLatencyHistogram) {
+  EstimationServiceConfig config;
+  config.probe_ttl = std::chrono::hours(1);
+  config.cache.capacity_per_thread = 64;
+  EstimationService service(config);
+  const auto cls = QueryClassId::kUnarySeqScan;
+  service.RegisterModel("a", test::PiecewiseLinearModel(cls, {2.0}));
+  service.RegisterSite("a", [] { return 0.5; });
+  ASSERT_TRUE(service.ProbeNow("a"));
+
+  const EstimateRequest request = Request("a", cls, 3.0);
+  constexpr int kCalls = 4 * 64;
+  for (int i = 0; i < kCalls; ++i) ASSERT_TRUE(service.Estimate(request).ok());
+
+  const RuntimeStatsSnapshot stats = service.Stats();
+  ASSERT_GT(stats.estimate_cache_hits, 200u);
+  // One in 64 hits is measured and recorded with weight 64, so hit mass
+  // lands in the histogram instead of leaving it entirely to cold misses —
+  // the "cached path reports higher latency than uncached" artifact. Over H
+  // hits at least floor(H/64) samples fire regardless of the thread-local
+  // tick's phase, so the recorded count covers the hits to within one
+  // sampling period.
+  EXPECT_GE(stats.estimate_latency.count + 64, stats.estimate_cache_hits);
+}
+
 }  // namespace
 }  // namespace mscm::runtime

@@ -54,6 +54,25 @@ TEST(LatencyHistogramTest, RecordNWithHugeCountStaysConsistent) {
   EXPECT_DOUBLE_EQ(snap.p99_seconds, snap.p50_seconds);
 }
 
+TEST(LatencyHistogramTest, MajorityMassDrivesTheMedian) {
+  // Pins the cached-path latency fix: the estimate hot path samples one in
+  // 64 cache hits and records it with RecordN(latency, 64), so hit mass has
+  // to dominate the quantiles. Before the fix, hits recorded nothing and
+  // "hot cached" p50 reported the cold-miss latency — *above* the uncached
+  // path. 99% fast mass + 1% slow mass must put p50 in the fast bucket and
+  // p99 at the fast/slow boundary, never the reverse.
+  LatencyHistogram h;
+  for (int i = 0; i < 98; ++i) h.RecordN(nanoseconds(100), 64);
+  h.RecordN(microseconds(10), 64);
+  h.RecordN(microseconds(10), 64);
+  const LatencyHistogram::Snapshot snap = h.Snap();
+  EXPECT_EQ(snap.count, 100u * 64u);
+  EXPECT_LT(snap.p50_seconds, 256e-9);   // fast bucket
+  EXPECT_LT(snap.p90_seconds, 256e-9);   // still fast at p90
+  EXPECT_GE(snap.p99_seconds, 1e-6);     // the slow 2% surfaces only at p99
+  EXPECT_LT(snap.mean_seconds, 400e-9);  // mean ~ 298ns: hit mass dominates
+}
+
 TEST(LatencyHistogramTest, RecordNZeroIsANoOp) {
   LatencyHistogram h;
   h.RecordN(microseconds(5), 0);

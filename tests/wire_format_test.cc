@@ -318,6 +318,74 @@ TEST(WireMessagesTest, PlacementRoundTrips) {
   EXPECT_DOUBLE_EQ(got_result->total_seconds[1], 0.75);
 }
 
+TEST(WireMessagesTest, PlacementOptionsRoundTrip) {
+  std::vector<PlacementCandidate> candidates(2);
+  for (int i = 0; i < 2; ++i) candidates[i].request = MakeRequest();
+  runtime::PlacementOptions sent;
+  sent.ranking.policy = core::PlacementPolicy::kRiskAdjusted;
+  sent.ranking.risk_lambda = 1.25;
+  sent.ranking.boundary_band_fraction = 0.05;
+
+  WireError error = WireError::kNone;
+  runtime::PlacementOptions got_options;
+  auto got = DecodePlacementRequestPayload(
+      EncodePlacementRequest(candidates, sent), &error, &got_options);
+  ASSERT_TRUE(got.has_value()) << ToString(error);
+  EXPECT_EQ(got_options.ranking.policy, core::PlacementPolicy::kRiskAdjusted);
+  EXPECT_DOUBLE_EQ(got_options.ranking.risk_lambda, 1.25);
+  EXPECT_DOUBLE_EQ(got_options.ranking.boundary_band_fraction, 0.05);
+}
+
+TEST(WireMessagesTest, PlacementDistributionsRoundTrip) {
+  PlacementResult result;
+  result.policy = core::PlacementPolicy::kExpectedCost;
+  result.chosen = 0;
+  result.responses = {MakeResponse(), MakeResponse()};
+  result.total_seconds = {1.5, 0.75};
+  core::CostDistribution d0;
+  d0.mean = 2.0;
+  d0.low = 1.0;
+  d0.high = 3.5;
+  d0.has_interval = true;
+  d0.stale = true;
+  core::CostDistribution d1;
+  d1.mean = 4.0;
+  d1.low = 4.0;
+  d1.high = 4.0;
+  d1.degraded = true;
+  result.distributions = {d0, d1};
+  result.scores = {2.75, std::numeric_limits<double>::infinity()};
+
+  auto got = DecodePlacementResponsePayload(EncodePlacementResponse(result));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->policy, core::PlacementPolicy::kExpectedCost);
+  ASSERT_EQ(got->distributions.size(), 2u);
+  EXPECT_DOUBLE_EQ(got->distributions[0].mean, 2.0);
+  EXPECT_DOUBLE_EQ(got->distributions[0].low, 1.0);
+  EXPECT_DOUBLE_EQ(got->distributions[0].high, 3.5);
+  EXPECT_TRUE(got->distributions[0].has_interval);
+  EXPECT_TRUE(got->distributions[0].stale);
+  EXPECT_FALSE(got->distributions[0].degraded);
+  EXPECT_TRUE(got->distributions[1].degraded);
+  ASSERT_EQ(got->scores.size(), 2u);
+  EXPECT_DOUBLE_EQ(got->scores[0], 2.75);
+  EXPECT_TRUE(std::isinf(got->scores[1]));  // unservable: +inf is legal
+}
+
+TEST(WireMessagesTest, UnplacedResultRoundTripsChosenMinusOne) {
+  PlacementResult result;
+  result.chosen = -1;
+  result.responses = {MakeResponse()};
+  result.responses[0].status = EstimateStatus::kNoModel;
+  result.total_seconds = {std::numeric_limits<double>::infinity()};
+  result.distributions = {core::CostDistribution{}};
+  result.scores = {std::numeric_limits<double>::infinity()};
+  auto got = DecodePlacementResponsePayload(EncodePlacementResponse(result));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->chosen, -1);
+  EXPECT_EQ(got->responses[0].status, EstimateStatus::kNoModel);
+}
+
 TEST(WireMessagesTest, ErrorBodyRoundTrips) {
   auto got = DecodeErrorBodyPayload(
       EncodeErrorBody({WireError::kOverloaded, "shed: 256 in flight"}));
@@ -396,6 +464,87 @@ TEST(WireValidationTest, EmptyPlacementIsInvalidRequest) {
       DecodePlacementRequestPayload(EncodePlacementRequest({}), &error)
           .has_value());
   EXPECT_EQ(error, WireError::kInvalidRequest);
+}
+
+// The placement-options extension is append-only: a frame ending at the
+// legacy layout decodes with default options.
+TEST(WireValidationTest, LegacyPlacementFramesDecodeToDefaultOptions) {
+  std::vector<PlacementCandidate> candidates(2);
+  for (int i = 0; i < 2; ++i) candidates[i].request = MakeRequest();
+  std::vector<uint8_t> legacy = EncodePlacementRequest(candidates);
+  legacy.resize(legacy.size() - 17);  // strip u8 policy + two f64 knobs
+
+  WireError error = WireError::kNone;
+  runtime::PlacementOptions options;
+  options.ranking.policy = core::PlacementPolicy::kRiskAdjusted;  // sentinel
+  auto got = DecodePlacementRequestPayload(legacy, &error, &options);
+  ASSERT_TRUE(got.has_value()) << ToString(error);
+  ASSERT_EQ(got->size(), 2u);
+  EXPECT_EQ(options.ranking.policy, core::PlacementPolicy::kPointEstimate);
+  EXPECT_DOUBLE_EQ(options.ranking.risk_lambda,
+                   core::PlacementRanking{}.risk_lambda);
+}
+
+TEST(WireValidationTest, BadPlacementExtensionFailsClosed) {
+  std::vector<PlacementCandidate> candidates(1);
+  candidates[0].request = MakeRequest();
+  std::vector<uint8_t> legacy = EncodePlacementRequest(candidates);
+  legacy.resize(legacy.size() - 17);
+
+  const auto with_extension = [&legacy](uint8_t policy, double lambda,
+                                        double band) {
+    WireWriter w;
+    w.PutU8(policy);
+    w.PutF64(lambda);
+    w.PutF64(band);
+    std::vector<uint8_t> payload = legacy;
+    payload.insert(payload.end(), w.bytes().begin(), w.bytes().end());
+    return payload;
+  };
+
+  const struct {
+    std::vector<uint8_t> payload;
+    WireError want;
+    const char* what;
+  } cases[] = {
+      {with_extension(7, 0.5, 0.1), WireError::kInvalidRequest,
+       "unknown policy byte"},
+      {with_extension(1, std::nan(""), 0.1), WireError::kInvalidRequest,
+       "NaN risk lambda"},
+      {with_extension(1, -0.5, 0.1), WireError::kInvalidRequest,
+       "negative risk lambda"},
+      {with_extension(2, 0.5, 1.5), WireError::kInvalidRequest,
+       "band fraction above 1"},
+  };
+  for (const auto& c : cases) {
+    WireError error = WireError::kNone;
+    EXPECT_FALSE(
+        DecodePlacementRequestPayload(c.payload, &error).has_value())
+        << c.what;
+    EXPECT_EQ(error, c.want) << c.what;
+  }
+
+  // Extension present but truncated: structural, not semantic.
+  std::vector<uint8_t> cut = with_extension(1, 0.5, 0.1);
+  cut.resize(cut.size() - 4);
+  WireError error = WireError::kNone;
+  EXPECT_FALSE(DecodePlacementRequestPayload(cut, &error).has_value());
+  EXPECT_EQ(error, WireError::kMalformedFrame);
+}
+
+TEST(WireValidationTest, PlacementResponseRejectsInvertedInterval) {
+  PlacementResult result;
+  result.chosen = 0;
+  result.responses = {MakeResponse()};
+  result.total_seconds = {1.0};
+  core::CostDistribution d;
+  d.mean = 2.0;
+  d.low = 3.0;  // low > high: no decoder should accept this
+  d.high = 1.0;
+  result.distributions = {d};
+  result.scores = {1.0};
+  EXPECT_FALSE(DecodePlacementResponsePayload(EncodePlacementResponse(result))
+                   .has_value());
 }
 
 TEST(WireValidationTest, OversizedCountsAreInvalidRequest) {
@@ -631,12 +780,26 @@ TEST(WireFuzzTest, TruncatedPayloadsFailClosed) {
     c.request = MakeRequest();
     c.shipping_seconds = 1.0;
     payloads.push_back(EncodePlacementRequest({c, c}));
+    // Non-default ranking exercises truncation points inside the
+    // append-only options extension.
+    runtime::PlacementOptions options;
+    options.ranking.policy = core::PlacementPolicy::kRiskAdjusted;
+    options.ranking.risk_lambda = 2.0;
+    payloads.push_back(EncodePlacementRequest({c, c}, options));
   }
   {
     PlacementResult result;
     result.chosen = 0;
     result.responses = {MakeResponse()};
     result.total_seconds = {1.0};
+    core::CostDistribution d;
+    d.mean = 2.0;
+    d.low = 1.0;
+    d.high = 3.0;
+    d.has_interval = true;
+    result.distributions = {d};
+    result.scores = {2.0};
+    result.policy = core::PlacementPolicy::kExpectedCost;
     payloads.push_back(EncodePlacementResponse(result));
   }
   payloads.push_back(EncodeErrorBody({WireError::kInternal, "boom"}));
