@@ -39,6 +39,11 @@
 //                  placement_wrong_site_{point,expected}_rate and
 //                  placement_regret_{point,expected}_x (realized cost vs a
 //                  per-trial oracle).
+//   drift-recovery duel — the environment's cost law jumps 3x and the RLS
+//                  fast tier races a full-rederive-only baseline back to a
+//                  10% serving error, scored in observations consumed.
+//                  Emits adaptation_convergence_ratio_x (gated >= 3 in
+//                  --smoke) and adaptation_probe_savings_x.
 //
 // Emits BENCH_runtime.json with requests/sec, p50/p99 per-estimate latency
 // and shared_rmw_per_request per scenario (the RmwProbe tally of shared
@@ -63,7 +68,10 @@
 // performed a shared atomic RMW per request, the paired degraded overhead
 // fell below 0.8x (orientation check), expected-cost placement did not
 // strictly beat point-estimate placement on wrong-site rate in the
-// boundary-jitter duel, or placement_expected_cost_wins stayed zero.
+// boundary-jitter duel, placement_expected_cost_wins stayed zero, the
+// drift-recovery duel failed to converge or its RLS-vs-rederive observation
+// ratio fell below 3x, or (on a multi-core machine) thread_scaling_honest_x
+// fell below 1.05x.
 
 #include <algorithm>
 #include <atomic>
@@ -81,6 +89,7 @@
 #include "core/cost_model.h"
 #include "core/explanatory.h"
 #include "core/observation_source.h"
+#include "runtime/adaptation.h"
 #include "runtime/estimation_service.h"
 #include "runtime/model_refresh.h"
 #include "runtime/rmw_probe.h"
@@ -540,6 +549,178 @@ JitterOutcome RunJitterPlacement(size_t trials) {
   return outcome;
 }
 
+// ---- Drift-recovery duel: RLS fast tier vs full-rederive-only --------------
+//
+// The environment's cost law jumps to 3x what the served model was fitted
+// for. Two independent services race to bring the serving estimate back
+// within 10% of the new truth, and the score is *observations consumed* —
+// wall clock would mostly measure sleep intervals, while observation count
+// is the quantity the paper's maintenance loop actually pays for:
+//
+//   RLS arm       — an AdaptationController fed one feedback report per
+//                   served query (piggybacked on traffic; zero dedicated
+//                   probing observations). Convergence cost = reports folded.
+//   rederive arm  — a ModelRefreshDaemon watching the key the PR-6 way:
+//                   feedback only *triggers* the refresh (min_reports with
+//                   the error threshold), after which the daemon draws
+//                   sample_size fresh observations from the site to refit.
+//                   Convergence cost = trigger reports + sampled draws.
+//
+// adaptation_convergence_ratio_x = rederive cost / RLS cost (want >= 3).
+// adaptation_probe_savings_x     = dedicated probing observations the
+//                                  rederive arm drew per convergence vs the
+//                                  RLS arm's (floored at 1; the RLS arm
+//                                  draws none by construction).
+struct AdaptationDuelOutcome {
+  uint64_t rls_observations = 0;
+  uint64_t rederive_observations = 0;
+  uint64_t rederive_probe_draws = 0;
+  bool rls_converged = false;
+  bool rederive_converged = false;
+  double convergence_ratio_x = 0.0;
+  double probe_savings_x = 0.0;
+};
+
+// The post-drift environment at contention state 0 (probing cost 0.5):
+// exactly 3x the law MakeModel fitted.
+double DriftedTruth(const std::vector<double>& f) {
+  return 3.0 * (0.5 * f[0] + 0.2 * f[1] + 0.1 * f[2]);
+}
+
+// An ObservationSource for the rederive arm that counts every draw — each
+// one stands for a dedicated probing observation against the live site.
+class CountingDriftSource : public core::ObservationSource {
+ public:
+  explicit CountingDriftSource(uint64_t seed) : rng_(seed) {}
+
+  core::Observation Draw() override {
+    ++draws_;
+    core::Observation o;
+    o.probing_cost = 0.5;
+    o.features.assign(
+        core::VariableSet::ForClass(core::QueryClassId::kUnarySeqScan).size(),
+        0.0);
+    for (size_t j = 0; j < 3; ++j) o.features[j] = rng_.Uniform(1.0, 10.0);
+    o.cost = DriftedTruth(o.features);
+    return o;
+  }
+
+  uint64_t draws() const { return draws_; }
+
+ private:
+  Rng rng_;
+  uint64_t draws_ = 0;
+};
+
+// Both arms serve one site whose probe is pinned at 0.5 (state 0): the
+// rederive arm's trigger path prices reports against the *cached* probe, so
+// an uncontrolled probe would land in a different state than the drifted
+// law was generated for and the error signal would read garbage.
+std::unique_ptr<runtime::EstimationService> MakeDuelService() {
+  runtime::EstimationServiceConfig config;
+  config.probe_ttl = std::chrono::hours(1);
+  config.worker_threads = 0;  // refreshes run inline
+  auto service = std::make_unique<runtime::EstimationService>(config);
+  service->RegisterModel("alpha",
+                         MakeModel(core::QueryClassId::kUnarySeqScan, 1));
+  service->RegisterSite("alpha", [] { return 0.5; });
+  service->ProbeNow("alpha");
+  return service;
+}
+
+AdaptationDuelOutcome RunAdaptationDuel() {
+  const auto cls = core::QueryClassId::kUnarySeqScan;
+  const size_t width = core::VariableSet::ForClass(cls).size();
+
+  // The fixed query both arms are judged on, priced at state 0.
+  runtime::EstimateRequest check;
+  check.site = "alpha";
+  check.class_id = cls;
+  check.features.assign(width, 0.0);
+  check.features[0] = 5.0;
+  check.features[1] = 5.0;
+  check.features[2] = 5.0;
+  check.probing_cost = 0.5;
+  const double truth = DriftedTruth(check.features);
+
+  const auto converged = [&](runtime::EstimationService& service) {
+    const runtime::EstimateResponse r = service.Estimate(check);
+    return r.ok() && std::abs(r.estimate_seconds - truth) / truth <= 0.10;
+  };
+
+  constexpr uint64_t kObservationCap = 4096;
+  AdaptationDuelOutcome outcome;
+
+  {  // RLS arm: reports piggybacked on served traffic, drained inline.
+    auto service = MakeDuelService();
+    runtime::AdaptationConfig config;
+    config.min_updates_to_publish = 4;
+    config.stall_window = kObservationCap;  // the duel measures the fast
+    config.min_samples_for_drift = kObservationCap;  // tier alone
+    runtime::AdaptationController controller(service.get(), nullptr, config);
+    Rng rng(311);
+    runtime::FeedbackReport report;
+    report.site = "alpha";
+    report.class_id = cls;
+    report.probing_cost = 0.5;
+    report.features.assign(width, 0.0);
+    while (outcome.rls_observations < kObservationCap) {
+      for (size_t j = 0; j < 3; ++j) {
+        report.features[j] = rng.Uniform(1.0, 10.0);
+      }
+      report.actual_cost = DriftedTruth(report.features);
+      controller.Record(report);
+      controller.DrainOnce();
+      ++outcome.rls_observations;
+      if (converged(*service)) {
+        outcome.rls_converged = true;
+        break;
+      }
+    }
+  }
+
+  {  // Rederive arm: feedback only triggers; the refit re-samples the site.
+    auto service = MakeDuelService();
+    runtime::ModelRefreshConfig refresh_config;
+    refresh_config.min_reports = 8;
+    refresh_config.drift_window = 8;
+    refresh_config.error_threshold = 0.5;
+    refresh_config.refresh_cooldown = std::chrono::nanoseconds(0);
+    refresh_config.rederive.build.algorithm =
+        core::StateAlgorithm::kSingleState;
+    refresh_config.rederive.build.sample_size = 40;
+    runtime::ModelRefreshDaemon daemon(service.get(), refresh_config);
+    CountingDriftSource source(313);
+    daemon.Watch("alpha", cls, &source);
+    Rng rng(311);
+    std::vector<double> features(width, 0.0);
+    uint64_t reports = 0;
+    while (reports < kObservationCap) {
+      for (size_t j = 0; j < 3; ++j) features[j] = rng.Uniform(1.0, 10.0);
+      // Refreshes run inline here (zero worker threads), so convergence can
+      // be checked right after the report that tripped the refresh.
+      daemon.ReportObserved("alpha", cls, features, DriftedTruth(features));
+      ++reports;
+      if (converged(*service)) {
+        outcome.rederive_converged = true;
+        break;
+      }
+    }
+    outcome.rederive_probe_draws = source.draws();
+    outcome.rederive_observations = reports + source.draws();
+  }
+
+  if (outcome.rls_observations > 0) {
+    outcome.convergence_ratio_x =
+        static_cast<double>(outcome.rederive_observations) /
+        static_cast<double>(outcome.rls_observations);
+  }
+  // The RLS arm draws zero dedicated probing observations by construction;
+  // floor its cost at one observation so the savings stay a finite ratio.
+  outcome.probe_savings_x = static_cast<double>(outcome.rederive_probe_draws);
+  return outcome;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -643,6 +824,10 @@ int main(int argc, char** argv) {
   // a probing cost straddling a state boundary).
   const JitterOutcome jitter = RunJitterPlacement(smoke ? 400 : 4000);
 
+  // The drift-recovery duel (RLS fast tier vs full-rederive-only) — counted
+  // in observations, so the same size in smoke and full mode.
+  const AdaptationDuelOutcome duel = RunAdaptationDuel();
+
   const double single_qps = results[0].qps;
   const double batch1_qps = results[1].qps;
   const double batch8_qps = results[4].qps;
@@ -692,6 +877,11 @@ int main(int argc, char** argv) {
               "(expected-cost wins: %llu)\n",
               jitter.regret_point_x, jitter.regret_expected_x,
               static_cast<unsigned long long>(jitter.expected_cost_wins));
+  std::printf("drift recovery RLS/rederive observations:  %llu / %llu "
+              "(ratio %.1fx, probe savings %.0fx)\n",
+              static_cast<unsigned long long>(duel.rls_observations),
+              static_cast<unsigned long long>(duel.rederive_observations),
+              duel.convergence_ratio_x, duel.probe_savings_x);
 
   if (smoke) {
     bool fail = false;
@@ -724,12 +914,36 @@ int main(int argc, char** argv) {
                   "diverged from the point argmin\n");
       fail = true;
     }
+    if (!duel.rls_converged || !duel.rederive_converged) {
+      std::printf("\nSMOKE FAIL: drift-recovery duel did not converge "
+                  "(RLS %s, rederive %s) — an adaptation tier cannot track "
+                  "a 3x coefficient drift\n",
+                  duel.rls_converged ? "ok" : "STUCK",
+                  duel.rederive_converged ? "ok" : "STUCK");
+      fail = true;
+    }
+    if (!(duel.convergence_ratio_x >= 3.0)) {
+      std::printf("\nSMOKE FAIL: adaptation_convergence_ratio_x %.2f < 3.0 — "
+                  "the RLS fast tier should recover from parametric drift "
+                  "with at least 3x fewer observations than a full "
+                  "re-derivation\n",
+                  duel.convergence_ratio_x);
+      fail = true;
+    }
+    if (effective_hw > 1 && !(honest_scaling >= 1.05)) {
+      std::printf("\nSMOKE FAIL: thread_scaling_honest_x %.2f at %d threads "
+                  "on a %u-thread machine — the sharded estimate path "
+                  "stopped scaling across real cores\n",
+                  honest_scaling, honest_threads, effective_hw);
+      fail = true;
+    }
     if (fail) return 1;
     std::printf("\nsmoke ok: %zu requests/scenario, cached hot path served "
                 "with zero shared atomic RMWs, degraded overhead %.2fx, "
-                "expected-cost wrong-site %.3f < point %.3f\n",
+                "expected-cost wrong-site %.3f < point %.3f, drift recovery "
+                "%.1fx fewer observations via RLS\n",
                 n, degraded_overhead, jitter.wrong_expected_rate,
-                jitter.wrong_point_rate);
+                jitter.wrong_point_rate, duel.convergence_ratio_x);
     return 0;  // no JSON in smoke mode — numbers from a tiny run mislead
   }
 
@@ -794,8 +1008,18 @@ int main(int argc, char** argv) {
                  jitter.regret_point_x);
     std::fprintf(json, "  \"placement_regret_expected_x\": %.3f,\n",
                  jitter.regret_expected_x);
-    std::fprintf(json, "  \"placement_expected_cost_wins\": %llu\n",
+    std::fprintf(json, "  \"placement_expected_cost_wins\": %llu,\n",
                  static_cast<unsigned long long>(jitter.expected_cost_wins));
+    std::fprintf(json, "  \"adaptation_rls_observations\": %llu,\n",
+                 static_cast<unsigned long long>(duel.rls_observations));
+    std::fprintf(json, "  \"adaptation_rederive_observations\": %llu,\n",
+                 static_cast<unsigned long long>(duel.rederive_observations));
+    std::fprintf(json, "  \"adaptation_rederive_probe_draws\": %llu,\n",
+                 static_cast<unsigned long long>(duel.rederive_probe_draws));
+    std::fprintf(json, "  \"adaptation_convergence_ratio_x\": %.3f,\n",
+                 duel.convergence_ratio_x);
+    std::fprintf(json, "  \"adaptation_probe_savings_x\": %.3f\n",
+                 duel.probe_savings_x);
     std::fprintf(json, "}\n");
     std::fclose(json);
     std::printf("\nwrote BENCH_runtime.json\n");

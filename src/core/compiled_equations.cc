@@ -88,6 +88,22 @@ CompiledEquations CompiledEquations::Compile(const std::vector<int>& selected,
   return out;
 }
 
+CompiledEquations CompiledEquations::WithAdaptedRows(
+    const CompiledEquations& base, const std::map<int, std::vector<double>>& rows,
+    uint64_t generation) {
+  CompiledEquations out = base;
+  for (const auto& [state, row] : rows) {
+    MSCM_CHECK_MSG(state >= 0 && state < base.num_states(),
+                   "adapted row for a state outside the partition");
+    MSCM_CHECK_MSG(row.size() == base.stride_,
+                   "adapted row width does not match the compiled stride");
+    std::copy(row.begin(), row.end(),
+              out.table_.begin() + static_cast<size_t>(state) * base.stride_);
+  }
+  out.generation_ = generation;
+  return out;
+}
+
 double CompiledEquations::IntervalHalfWidthInState(const double* gathered,
                                                    int state) const {
   if (!has_intervals_) return 0.0;

@@ -30,6 +30,8 @@
 #define MSCM_CORE_COMPILED_EQUATIONS_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -64,6 +66,23 @@ class CompiledEquations {
                                    const ContentionStates& states,
                                    const DesignLayout& layout,
                                    const stats::OlsResult& fit);
+
+  // A copy of `base` with the given per-state coefficient rows replaced and
+  // `generation` stamped — the adaptation swap path. Each replacement row
+  // has stride (= num_selected + 1) doubles in (intercept, slopes) order;
+  // states not in `rows` keep the base rows bit for bit, so estimate-cache
+  // entries for untouched states stay value-correct across the swap. The
+  // interval structure is kept as-is: RLS adaptation moves the point
+  // equations, while prediction intervals continue to describe the last
+  // full (slow-path) fit.
+  static CompiledEquations WithAdaptedRows(
+      const CompiledEquations& base,
+      const std::map<int, std::vector<double>>& rows, uint64_t generation);
+
+  // Which model produced an estimate: 0 for a freshly derived model, +1 per
+  // adaptation swap. Stamped through EstimateResponse so feedback pairs are
+  // credited to the generation that actually served them.
+  uint64_t generation() const { return generation_; }
 
   int num_states() const {
     return static_cast<int>(boundaries_.size()) + 1;
@@ -212,6 +231,7 @@ class CompiledEquations {
   std::vector<double> table_;       // state-major, num_states x stride_
   std::vector<double> boundaries_;  // state partition, ascending
   std::vector<int> selected_;       // slope j reads features[selected_[j]]
+  uint64_t generation_ = 0;         // adaptation generation (0 = base fit)
 
   // Prediction-interval structure (empty / zero unless the OlsResult
   // Compile overload found covariance + degrees of freedom): per state, the

@@ -10,6 +10,18 @@ namespace mscm::core {
 double CostModel::Estimate(const std::vector<double>& features,
                            double probing_cost) const {
   const int state = states_.StateOf(probing_cost);
+  // An adapted state's equation lives in the adaptation overlay, not the
+  // base fit. Evaluate its row with exactly EvaluateInState's accumulation
+  // order so the reference path stays bit-identical to the compiled path.
+  const auto it = adaptation_.states.find(state);
+  if (it != adaptation_.states.end()) {
+    const std::vector<double>& row = it->second.row;
+    double y = row[0];
+    for (size_t j = 0; j < selected_.size(); ++j) {
+      y += row[j + 1] * features[static_cast<size_t>(selected_[j])];
+    }
+    return std::max(0.0, y);
+  }
   const std::vector<double> row =
       layout_.Row(SelectValues(features, selected_), state);
   return std::max(0.0, fit_.Predict(row));
@@ -91,6 +103,61 @@ std::string CostModel::ToString(const VariableSet& variables) const {
                 CompactDouble(fit_.f_statistic).c_str(), fit_.f_pvalue,
                 fit_.n);
   return out;
+}
+
+CompiledEquations CostModel::CompileAdapted(
+    const std::vector<int>& selected, const ContentionStates& states,
+    const DesignLayout& layout, const stats::OlsResult& fit,
+    const ModelAdaptationState& adaptation) {
+  CompiledEquations base =
+      CompiledEquations::Compile(selected, states, layout, fit);
+  if (adaptation.empty()) return base;
+  std::map<int, std::vector<double>> rows;
+  for (const auto& [state, st] : adaptation.states) {
+    rows.emplace(state, st.row);
+  }
+  return CompiledEquations::WithAdaptedRows(base, rows,
+                                            adaptation.generation);
+}
+
+std::optional<CostModel> CostModel::ApplyFeedback(
+    int state, const std::vector<double>& features, double actual,
+    const stats::RlsConfig& config) const {
+  MSCM_CHECK_MSG(state >= 0 && state < states_.num_states(),
+                 "feedback for a state outside the partition");
+  compiled_.CheckFeatureWidth(features);
+
+  // z = (1, gathered selected features), the compiled row's regressor.
+  const size_t stride = selected_.size() + 1;
+  std::vector<double> z(stride);
+  z[0] = 1.0;
+  compiled_.GatherSelected(features.data(), z.data() + 1);
+
+  // Warm-start from the state's previous adaptation trajectory, or from the
+  // base compiled row under a diffuse prior on first touch.
+  const auto it = adaptation_.states.find(state);
+  std::vector<double> theta;
+  std::vector<double> covariance;
+  uint64_t prior_updates = 0;
+  if (it != adaptation_.states.end()) {
+    theta = it->second.row;
+    covariance = it->second.covariance;
+    prior_updates = it->second.updates;
+  } else {
+    const double* row = compiled_.row(state);
+    theta.assign(row, row + stride);
+  }
+  stats::RlsEstimator rls(std::move(theta), std::move(covariance), config);
+  if (!rls.Update(z.data(), actual)) return std::nullopt;
+
+  ModelAdaptationState next = adaptation_;
+  next.generation += 1;
+  next.forgetting = config.forgetting;
+  StateAdaptation& slot = next.states[state];
+  slot.row = rls.coefficients();
+  slot.covariance = rls.covariance();
+  slot.updates = prior_updates + 1;
+  return WithAdaptation(std::move(next));
 }
 
 CostModel FitCostModel(QueryClassId class_id,

@@ -12,6 +12,8 @@
 #ifndef MSCM_CORE_COST_MODEL_H_
 #define MSCM_CORE_COST_MODEL_H_
 
+#include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,8 +25,31 @@
 #include "core/query_class.h"
 #include "core/states.h"
 #include "stats/ols.h"
+#include "stats/rls.h"
 
 namespace mscm::core {
+
+// The streaming-adaptation overlay on a derived model: per contention
+// state, the RLS-adapted compiled coefficient row plus the estimator state
+// (inverse-Gram covariance, update count) needed to resume the trajectory,
+// and the model generation (0 = the base fit, +1 per adaptation swap).
+// Adaptation operates in *compiled* space — one (intercept, slopes) row per
+// state — rather than on the design-layout coefficients, because shared
+// columns in coincident/parallel/concurrent forms would couple an update
+// for one state into every other state's served equation.
+struct StateAdaptation {
+  std::vector<double> row;         // stride = num_selected + 1
+  std::vector<double> covariance;  // stride x stride row-major RLS P
+  uint64_t updates = 0;
+};
+
+struct ModelAdaptationState {
+  uint64_t generation = 0;
+  double forgetting = 1.0;               // λ the rows were adapted under
+  std::map<int, StateAdaptation> states;  // keyed by contention state
+
+  bool empty() const { return generation == 0 && states.empty(); }
+};
 
 class CostModel {
  public:
@@ -38,6 +63,21 @@ class CostModel {
         fit_(std::move(fit)),
         compiled_(
             CompiledEquations::Compile(selected_, states_, layout_, fit_)) {}
+
+  // As above, resuming from a persisted or runtime-produced adaptation
+  // overlay: the compiled table serves the adapted rows, stamped with the
+  // overlay's generation.
+  CostModel(QueryClassId class_id, std::vector<int> selected,
+            ContentionStates states, DesignLayout layout,
+            stats::OlsResult fit, ModelAdaptationState adaptation)
+      : class_id_(class_id),
+        selected_(std::move(selected)),
+        states_(std::move(states)),
+        layout_(std::move(layout)),
+        fit_(std::move(fit)),
+        adaptation_(std::move(adaptation)),
+        compiled_(CompileAdapted(selected_, states_, layout_, fit_,
+                                 adaptation_)) {}
 
   // Estimated cost (seconds) for a query with the given feature vector when
   // the probing query currently costs `probing_cost`. Negative estimates are
@@ -93,6 +133,31 @@ class CostModel {
   // the b'_{ij} the merging test of Algorithm 3.1 compares.
   double CoefficientFor(int variable, int state) const;
 
+  // --- Streaming adaptation (the fast tier; see stats/rls.h) ---
+
+  // Folds one observed (features, actual cost) pair for `state` into the
+  // model as a rank-1 RLS update of that state's compiled coefficient row,
+  // returning the adapted model (generation + 1). The update warm-starts
+  // from the state's previous adaptation (row + covariance) when present,
+  // otherwise from the base compiled row under a diffuse prior. Returns
+  // nullopt when the RLS guards reject the update (non-finite inputs,
+  // degenerate gain, blown-up covariance) — the caller escalates to the
+  // slow re-derivation path rather than serving a corrupted row.
+  std::optional<CostModel> ApplyFeedback(
+      int state, const std::vector<double>& features, double actual,
+      const stats::RlsConfig& config = stats::RlsConfig()) const;
+
+  // Rebinds this model's derivation artifact to a replacement adaptation
+  // overlay — the publication path for the runtime AdaptationController,
+  // which accumulates many RLS updates per state before swapping once.
+  CostModel WithAdaptation(ModelAdaptationState adaptation) const {
+    return CostModel(class_id_, selected_, states_, layout_, fit_,
+                     std::move(adaptation));
+  }
+
+  uint64_t generation() const { return adaptation_.generation; }
+  const ModelAdaptationState& adaptation() const { return adaptation_; }
+
   QueryClassId class_id() const { return class_id_; }
   const std::vector<int>& selected_variables() const { return selected_; }
   const ContentionStates& states() const { return states_; }
@@ -112,11 +177,17 @@ class CostModel {
   std::string ToString(const VariableSet& variables) const;
 
  private:
+  static CompiledEquations CompileAdapted(
+      const std::vector<int>& selected, const ContentionStates& states,
+      const DesignLayout& layout, const stats::OlsResult& fit,
+      const ModelAdaptationState& adaptation);
+
   QueryClassId class_id_;
   std::vector<int> selected_;  // indices into the class VariableSet
   ContentionStates states_;
   DesignLayout layout_;
   stats::OlsResult fit_;
+  ModelAdaptationState adaptation_;
   // Compiled from the members above at construction (declared last so it
   // can read them during initialization).
   CompiledEquations compiled_;

@@ -62,6 +62,22 @@ bool ParseInts(const std::vector<std::string>& tokens, std::vector<int>& out) {
   return true;
 }
 
+bool ParseU64(const std::string& t, uint64_t& out) {
+  if (t.empty() || t[0] == '-') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(t.c_str(), &end, 10);
+  if (end == t.c_str() || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool AllFinite(const std::vector<double>& values) {
+  for (double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string SerializeCostModel(const CostModel& model) {
@@ -89,6 +105,29 @@ std::string SerializeCostModel(const CostModel& model) {
     }
     out += "\n";
   }
+  // The adaptation overlay (generation, forgetting factor, and per-state
+  // RLS row + covariance), appended only when the model has one, so records
+  // written by earlier versions — and unadapted models today — are
+  // byte-identical to before. %.17g round-trips the adapted rows exactly:
+  // an adapted-then-persisted model serves bit-identical estimates after
+  // reload (tests/model_io_test.cc pins this).
+  const ModelAdaptationState& adaptation = model.adaptation();
+  if (!adaptation.empty()) {
+    out += Format("generation %llu\n",
+                  static_cast<unsigned long long>(adaptation.generation));
+    out += Format("forgetting %.17g\n", adaptation.forgetting);
+    for (const auto& [state, st] : adaptation.states) {
+      out += Format("adapted %d %llu", state,
+                    static_cast<unsigned long long>(st.updates));
+      for (double v : st.row) out += Format(" %.17g", v);
+      out += "\n";
+      if (!st.covariance.empty()) {
+        out += Format("adaptcov %d", state);
+        for (double v : st.covariance) out += Format(" %.17g", v);
+        out += "\n";
+      }
+    }
+  }
   out += "end\n";
   return out;
 }
@@ -110,6 +149,21 @@ std::optional<CostModel> ParseCostModel(const std::string& text) {
   bool saw_states = false;
   bool saw_coeffs = false;
   bool saw_end = false;
+
+  // Adaptation overlay lines (absent in legacy records). Collected raw and
+  // validated against the reconstructed layout after the loop — a tampered
+  // overlay rejects the whole record, never loads as a silently unadapted
+  // model.
+  uint64_t generation = 0;
+  bool saw_generation = false;
+  double forgetting = 1.0;
+  struct RawAdapted {
+    int state = 0;
+    uint64_t updates = 0;
+    std::vector<double> row;
+  };
+  std::vector<RawAdapted> adapted_rows;
+  std::vector<std::pair<int, std::vector<double>>> adapted_covs;
 
   while (std::getline(iss, line)) {
     std::string key;
@@ -152,6 +206,45 @@ std::optional<CostModel> ParseCostModel(const std::string& text) {
         if (!std::isfinite(v)) return std::nullopt;
       }
       saw_xtx = true;
+    } else if (key == "generation") {
+      if (tokens.size() != 1 || !ParseU64(tokens[0], generation)) {
+        return std::nullopt;
+      }
+      saw_generation = true;
+    } else if (key == "forgetting") {
+      std::vector<double> v;
+      if (!ParseDoubles(tokens, v) || v.size() != 1 ||
+          !std::isfinite(v[0]) || v[0] <= 0.0 || v[0] > 1.0) {
+        return std::nullopt;
+      }
+      forgetting = v[0];
+    } else if (key == "adapted") {
+      // `adapted <state> <updates> <stride row values>` — one adapted
+      // compiled row.
+      if (tokens.size() < 2) return std::nullopt;
+      RawAdapted raw;
+      std::vector<int> state_v;
+      if (!ParseInts({tokens[0]}, state_v) ||
+          !ParseU64(tokens[1], raw.updates)) {
+        return std::nullopt;
+      }
+      raw.state = state_v[0];
+      if (!ParseDoubles({tokens.begin() + 2, tokens.end()}, raw.row) ||
+          raw.row.empty() || !AllFinite(raw.row)) {
+        return std::nullopt;
+      }
+      adapted_rows.push_back(std::move(raw));
+    } else if (key == "adaptcov") {
+      // `adaptcov <state> <stride^2 values>` — the state's RLS covariance.
+      if (tokens.size() < 2) return std::nullopt;
+      std::vector<int> state_v;
+      std::vector<double> values;
+      if (!ParseInts({tokens[0]}, state_v) ||
+          !ParseDoubles({tokens.begin() + 1, tokens.end()}, values) ||
+          !AllFinite(values)) {
+        return std::nullopt;
+      }
+      adapted_covs.emplace_back(state_v[0], std::move(values));
     } else if (key == "end") {
       saw_end = true;
       break;
@@ -208,8 +301,44 @@ std::optional<CostModel> ParseCostModel(const std::string& text) {
     }
     fit.xtx_inverse = std::move(xtx_inverse);
   }
+
+  // Reassemble the adaptation overlay, fail-closed: adapted rows demand a
+  // nonzero generation (a zero-generation model by definition serves the
+  // base fit), states must lie in the partition with exactly stride row
+  // values, covariances must pair with an adapted row at stride^2 values,
+  // and duplicates reject.
+  ModelAdaptationState adaptation;
+  if (!adapted_rows.empty() && (!saw_generation || generation == 0)) {
+    return std::nullopt;
+  }
+  if (!adapted_covs.empty() && adapted_rows.empty()) return std::nullopt;
+  adaptation.generation = generation;
+  adaptation.forgetting = forgetting;
+  const size_t stride = selected.size() + 1;
+  for (RawAdapted& raw : adapted_rows) {
+    if (raw.state < 0 || raw.state >= states.num_states()) {
+      return std::nullopt;
+    }
+    if (raw.row.size() != stride) return std::nullopt;
+    if (adaptation.states.count(raw.state) != 0) return std::nullopt;
+    StateAdaptation& slot = adaptation.states[raw.state];
+    slot.row = std::move(raw.row);
+    slot.updates = raw.updates;
+  }
+  for (auto& [cov_state, values] : adapted_covs) {
+    auto it = adaptation.states.find(cov_state);
+    if (it == adaptation.states.end()) return std::nullopt;
+    if (values.size() != stride * stride) return std::nullopt;
+    if (!it->second.covariance.empty()) return std::nullopt;
+    it->second.covariance = std::move(values);
+  }
+
+  if (adaptation.empty()) {
+    return CostModel(cls, selected, std::move(states), std::move(layout),
+                     std::move(fit));
+  }
   return CostModel(cls, selected, std::move(states), std::move(layout),
-                   std::move(fit));
+                   std::move(fit), std::move(adaptation));
 }
 
 std::string SerializeCatalog(const GlobalCatalog& catalog) {

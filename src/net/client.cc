@@ -230,6 +230,21 @@ RpcStatus NetClient::Stats(WireStats* out) {
   return {};
 }
 
+RpcStatus NetClient::ReportActual(const runtime::FeedbackReport& report,
+                                  bool* accepted) {
+  std::vector<uint8_t> payload;
+  RpcStatus status = Call(MessageType::kReportActual, EncodeReportActual(report),
+                          MessageType::kReportActualAck, &payload);
+  if (!status.ok()) return status;
+  auto ack = DecodeReportActualAckPayload(payload);
+  if (!ack.has_value()) {
+    Close();
+    return Protocol("undecodable ReportActualAck");
+  }
+  *accepted = *ack;
+  return {};
+}
+
 RpcStatus NetClient::RoundTrip(MessageType type,
                                const std::vector<uint8_t>& payload,
                                Frame* out) {

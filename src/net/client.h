@@ -71,6 +71,13 @@ class NetClient {
       runtime::PlacementResult* out);
   RpcStatus Stats(WireStats* out);
 
+  // Reports an observed execution cost back to the server's adaptation
+  // fast path (kReportActual). `*accepted` echoes the server's ack: false
+  // means the report was decoded but not buffered (no handler, or the
+  // feedback ring was full) — advisory, not an error.
+  RpcStatus ReportActual(const runtime::FeedbackReport& report,
+                         bool* accepted);
+
   // Escape hatch for boundary tests: sends a pre-encoded frame and returns
   // the raw response frame (if any).
   RpcStatus RoundTrip(MessageType type, const std::vector<uint8_t>& payload,

@@ -24,8 +24,24 @@ struct WorkerTally {
   uint64_t error_frames = 0;
   uint64_t transport_errors = 0;
   uint64_t behind_schedule = 0;
+  uint64_t feedback_accepted = 0;
+  uint64_t feedback_rejected = 0;
   std::vector<double> latencies_us;
 };
+
+// The ground-truth cost law of mscm_served's synthetic federation (see
+// served_runtime.cc MakeModel), scaled by the drift factor. Reporting this
+// instead of a perturbed estimate keeps the feedback target fixed while the
+// server's coefficients move underneath it.
+double GroundTruthCost(const runtime::EstimateRequest& request, int state,
+                       double drift_scale) {
+  double base = 0.0;
+  const double w[3] = {0.5, 0.2, 0.1};
+  for (size_t j = 0; j < 3 && j < request.features.size(); ++j) {
+    base += w[j] * request.features[j];
+  }
+  return drift_scale * (static_cast<double>(state) + 1.0) * base;
+}
 
 // One connection's driving loop (closed or open discipline).
 void DriveConnection(const LoadGenConfig& config, size_t worker_index,
@@ -50,6 +66,7 @@ void DriveConnection(const LoadGenConfig& config, size_t worker_index,
                                std::max(1, config.connections);
 
   size_t cursor = worker_index;  // de-phase the workload across connections
+  Rng rng(0x9e3779b97f4a7c15ull ^ worker_index);  // feedback noise
   std::vector<runtime::EstimateRequest> batch;
   while (SteadyClock::now() < stop_at) {
     if (config.mode == LoadGenConfig::Mode::kOpen) {
@@ -89,11 +106,35 @@ void DriveConnection(const LoadGenConfig& config, size_t worker_index,
       items = placement.responses.size();
       placement_chosen = status.ok() && placement.chosen >= 0;
     } else if (config.batch_size <= 1) {
+      const runtime::EstimateRequest& request =
+          config.workload[cursor % config.workload.size()];
       runtime::EstimateResponse response;
-      status = client.Estimate(
-          config.workload[cursor % config.workload.size()], &response);
+      status = client.Estimate(request, &response);
       items = 1;
       ++cursor;
+      if (config.feedback && status.ok() && response.ok()) {
+        const double elapsed =
+            std::chrono::duration<double>(SteadyClock::now() - start).count();
+        runtime::FeedbackReport report;
+        report.site = request.site;
+        report.class_id = request.class_id;
+        report.features = request.features;
+        report.probing_cost = response.probing_cost;
+        report.model_generation = response.model_generation;
+        double truth = GroundTruthCost(
+            request, response.state,
+            1.0 + config.feedback_drift * std::max(0.0, elapsed));
+        if (config.feedback_noise > 0.0) {
+          truth *= 1.0 + rng.Gaussian(0.0, config.feedback_noise);
+        }
+        report.actual_cost = std::max(truth, 1e-9);
+        bool accepted = false;
+        if (client.ReportActual(report, &accepted).ok()) {
+          accepted ? ++tally.feedback_accepted : ++tally.feedback_rejected;
+        } else {
+          ++tally.transport_errors;
+        }
+      }
     } else {
       batch.clear();
       for (size_t i = 0; i < config.batch_size; ++i) {
@@ -145,7 +186,7 @@ double Percentile(std::vector<double>& sorted, double p) {
 }  // namespace
 
 std::string LoadGenResult::ToString() const {
-  return Format(
+  std::string s = Format(
       "completed=%llu (%.0f/s, %.0f items/s) placements_chosen=%llu "
       "overloaded=%llu errors=%llu "
       "transport=%llu behind=%llu latency{p50=%.1fus p90=%.1fus p99=%.1fus "
@@ -157,6 +198,12 @@ std::string LoadGenResult::ToString() const {
       static_cast<unsigned long long>(transport_errors),
       static_cast<unsigned long long>(behind_schedule), p50_us, p90_us,
       p99_us, mean_us, max_us);
+  if (feedback_accepted > 0 || feedback_rejected > 0) {
+    s += Format(" feedback{accepted=%llu rejected=%llu}",
+                static_cast<unsigned long long>(feedback_accepted),
+                static_cast<unsigned long long>(feedback_rejected));
+  }
+  return s;
 }
 
 LoadGenResult RunLoadGen(const LoadGenConfig& config) {
@@ -188,6 +235,8 @@ LoadGenResult RunLoadGen(const LoadGenConfig& config) {
     result.error_frames += t.error_frames;
     result.transport_errors += t.transport_errors;
     result.behind_schedule += t.behind_schedule;
+    result.feedback_accepted += t.feedback_accepted;
+    result.feedback_rejected += t.feedback_rejected;
     latencies.insert(latencies.end(), t.latencies_us.begin(),
                      t.latencies_us.end());
   }

@@ -50,6 +50,20 @@ struct LoadGenConfig {
   // Ranking policy carried on placement frames (see runtime::PlacementOptions).
   core::PlacementPolicy placement_policy = core::PlacementPolicy::kPointEstimate;
   double placement_risk_lambda = 0.5;
+  // Feedback traffic (single-estimate mode only): after each successful
+  // estimate, report an observed cost via kReportActual, closing the
+  // adaptation loop over the wire. The observed cost is a deterministic
+  // ground-truth law matching mscm_served's synthetic federation —
+  // (state+1) * (0.5 f0 + 0.2 f1 + 0.1 f2) — so the server's RLS fast tier
+  // has a stable target independent of its own (adapting) coefficients.
+  bool feedback = false;
+  // Relative Gaussian noise on reported costs (stddev, fraction of truth).
+  double feedback_noise = 0.05;
+  // Per-second multiplicative drift of the ground truth: the reported cost
+  // is scaled by (1 + feedback_drift * elapsed_seconds), so a non-zero rate
+  // makes every served model progressively stale and forces the adaptation
+  // tiers to chase.
+  double feedback_drift = 0.0;
   // Cycled round-robin by every connection. Must be non-empty.
   std::vector<runtime::EstimateRequest> workload;
 };
@@ -62,6 +76,8 @@ struct LoadGenResult {
   uint64_t error_frames = 0;     // other typed error frames
   uint64_t transport_errors = 0; // send/recv/connect failures
   uint64_t behind_schedule = 0;  // open loop: sends launched late
+  uint64_t feedback_accepted = 0;  // kReportActual acked accepted=true
+  uint64_t feedback_rejected = 0;  // acked accepted=false (ring full / off)
   double seconds = 0.0;
   double qps = 0.0;          // completed frames / second
   double items_per_sec = 0.0;

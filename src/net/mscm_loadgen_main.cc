@@ -3,11 +3,18 @@
 //   mscm_loadgen --port N [--host A] [--mode closed|open] [--connections N]
 //                [--duration-s S] [--rate R] [--batch N] [--think-us N]
 //                [--sites N] [--placement N] [--policy point|expected|risk]
-//                [--lambda L] [--stats] [--json FILE]
+//                [--lambda L] [--feedback] [--feedback-noise S]
+//                [--feedback-drift R] [--stats] [--json FILE]
 //
 // --placement N switches the traffic to PlacementRequest frames of N
 // candidates each; --policy picks the ranking carried on the wire
 // (point-estimate, least-expected-cost, or risk-adjusted with --lambda).
+//
+// --feedback closes the adaptation loop: after every successful estimate
+// the connection reports the ground-truth cost via kReportActual (with
+// --feedback-noise relative Gaussian noise; --feedback-drift R inflates the
+// truth by (1 + R * elapsed_seconds) so the server's models go stale and
+// its RLS fast tier / re-derivation slow tier must chase).
 //
 // Closed loop measures server capacity (each connection waits for its
 // response); open loop offers a fixed aggregate arrival rate and shows what
@@ -87,6 +94,11 @@ int main(int argc, char** argv) {
     config.placement_policy = core::PlacementPolicy::kRiskAdjusted;
   }
   config.placement_risk_lambda = ArgDouble(argc, argv, "--lambda", 0.5);
+  config.feedback = HasFlag(argc, argv, "--feedback");
+  config.feedback_noise =
+      ArgDouble(argc, argv, "--feedback-noise", config.feedback_noise);
+  config.feedback_drift =
+      ArgDouble(argc, argv, "--feedback-drift", config.feedback_drift);
   const size_t sites =
       static_cast<size_t>(ArgLong(argc, argv, "--sites", 4));
   config.workload = net::MakeUniformWorkload(1024, sites, /*seed=*/17);
@@ -123,6 +135,7 @@ int main(int argc, char** argv) {
           "\"completed\": %llu, \"items\": %llu, \"qps\": %.1f, "
           "\"items_per_sec\": %.1f, \"overloaded\": %llu, \"errors\": %llu, "
           "\"transport_errors\": %llu, \"behind_schedule\": %llu, "
+          "\"feedback_accepted\": %llu, \"feedback_rejected\": %llu, "
           "\"p50_us\": %.1f, \"p90_us\": %.1f, \"p99_us\": %.1f, "
           "\"mean_us\": %.1f, \"max_us\": %.1f}\n",
           mode.c_str(), config.connections, config.batch_size,
@@ -134,6 +147,8 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(result.error_frames),
           static_cast<unsigned long long>(result.transport_errors),
           static_cast<unsigned long long>(result.behind_schedule),
+          static_cast<unsigned long long>(result.feedback_accepted),
+          static_cast<unsigned long long>(result.feedback_rejected),
           result.p50_us, result.p90_us, result.p99_us, result.mean_us,
           result.max_us);
       std::fclose(json);

@@ -8,7 +8,7 @@
 //
 //   mscm_served [--port N] [--address A] [--sites N] [--io-threads N]
 //               [--workers N] [--max-inflight N] [--probe-interval-ms N]
-//               [--no-refresh] [--quiet]
+//               [--no-refresh] [--no-adaptation] [--quiet]
 //
 // With --port 0 (the default) an ephemeral port is chosen and announced on
 // stdout as "mscm_served listening on ADDR:PORT" — scripted harnesses
@@ -69,6 +69,7 @@ int main(int argc, char** argv) {
   config.probe_interval = std::chrono::milliseconds(
       ArgLong(argc, argv, "--probe-interval-ms", 50));
   config.refresh = !HasFlag(argc, argv, "--no-refresh");
+  config.adaptation = !HasFlag(argc, argv, "--no-adaptation");
   const bool quiet = HasFlag(argc, argv, "--quiet");
 
   net::ServedRuntime served(config);
@@ -84,9 +85,10 @@ int main(int argc, char** argv) {
   std::printf("mscm_served listening on %s:%u\n",
               config.server.bind_address.c_str(), served.port());
   std::printf("  sites=%zu io_threads=%d workers=%d max_inflight=%zu "
-              "refresh=%s\n",
+              "refresh=%s adaptation=%s\n",
               config.sites, config.server.io_threads, config.worker_threads,
-              config.server.max_inflight, config.refresh ? "on" : "off");
+              config.server.max_inflight, config.refresh ? "on" : "off",
+              config.adaptation ? "on" : "off");
   std::fflush(stdout);
 
   while (g_stop == 0) {
@@ -100,6 +102,10 @@ int main(int argc, char** argv) {
   if (!quiet) {
     std::printf("wire: %s\n", wire.ToString().c_str());
     std::printf("runtime: %s\n", stats.ToString().c_str());
+    if (served.adaptation() != nullptr) {
+      std::printf("adaptation: %s\n",
+                  served.adaptation()->Stats().ToString().c_str());
+    }
   }
   return 0;
 }

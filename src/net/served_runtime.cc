@@ -108,7 +108,22 @@ bool ServedRuntime::Start(std::string* error) {
     }
   }
 
-  server_ = std::make_unique<EstimateServer>(service_.get(), config_.server);
+  EstimateServerConfig server_config = config_.server;
+  if (config_.adaptation) {
+    runtime::AdaptationConfig adaptation_config = config_.adaptation_config;
+    adaptation_config.start_thread = true;
+    adaptation_ = std::make_unique<runtime::AdaptationController>(
+        service_.get(), daemon_.get(), adaptation_config);
+    // Record() is the zero-shared-RMW fast path; safe to call from any
+    // server worker. The controller drains on its own background thread.
+    runtime::AdaptationController* controller = adaptation_.get();
+    server_config.feedback_handler =
+        [controller](const runtime::FeedbackReport& report) {
+          return controller->Record(report);
+        };
+  }
+
+  server_ = std::make_unique<EstimateServer>(service_.get(), server_config);
   return server_->Start(error);
 }
 
@@ -120,6 +135,9 @@ void ServedRuntime::Shutdown() {
   // ~ServedRuntime destroys members in reverse declaration order, which
   // keeps the ThreadPool (inside the service) joining last.
   if (server_ != nullptr) server_->Stop();
+  // After the server drains, no worker can call Record(); the controller's
+  // final drain may still escalate into the daemon, so it stops first.
+  if (adaptation_ != nullptr) adaptation_->Stop();
   daemon_.reset();
   if (service_ != nullptr) service_->StopProbing();
 }

@@ -9,12 +9,16 @@
 //
 //   1. server.Stop()        — stop admitting, drain dispatched requests,
 //                             flush responses. After this no task will ever
-//                             touch the pool or the service again.
-//   2. daemon stop          — the refresh daemon's destructor blocks until
+//                             touch the pool or the service again — and no
+//                             worker can feed the adaptation controller.
+//   2. adaptation stop      — the controller joins its drain thread after a
+//                             final drain; that drain may still escalate
+//                             into the refresh daemon, so it precedes 3.
+//   3. daemon stop          — the refresh daemon's destructor blocks until
 //                             in-flight re-derivations on the pool finish.
-//   3. service.StopProbing()— background probers join; abandoned-probe
+//   4. service.StopProbing()— background probers join; abandoned-probe
 //                             deadlines guarantee this terminates.
-//   4. service destruction  — the ThreadPool joins last, when nothing can
+//   5. service destruction  — the ThreadPool joins last, when nothing can
 //                             submit to it anymore.
 //
 // Violating 1→2 lets a drained server's worker task race a dying daemon;
@@ -31,6 +35,7 @@
 
 #include "core/observation_source.h"
 #include "net/server.h"
+#include "runtime/adaptation.h"
 #include "runtime/estimation_service.h"
 #include "runtime/model_refresh.h"
 
@@ -47,6 +52,11 @@ struct ServedRuntimeConfig {
   // Background probing cadence (zero disables the probers).
   std::chrono::nanoseconds probe_interval = std::chrono::milliseconds(50);
   bool refresh = true;  // run a ModelRefreshDaemon over every key
+  // Run the two-tier adaptation loop: kReportActual frames feed an
+  // AdaptationController (RLS fast tier) that escalates stalls to the
+  // refresh daemon (full re-derivation slow tier).
+  bool adaptation = true;
+  runtime::AdaptationConfig adaptation_config;
   EstimateServerConfig server;
 };
 
@@ -68,12 +78,14 @@ class ServedRuntime {
   runtime::EstimationService& service() { return *service_; }
   EstimateServer& server() { return *server_; }
   runtime::ModelRefreshDaemon* daemon() { return daemon_.get(); }
+  runtime::AdaptationController* adaptation() { return adaptation_.get(); }
 
  private:
   const ServedRuntimeConfig config_;
   std::unique_ptr<runtime::EstimationService> service_;
   std::vector<std::unique_ptr<core::ObservationSource>> sources_;
   std::unique_ptr<runtime::ModelRefreshDaemon> daemon_;
+  std::unique_ptr<runtime::AdaptationController> adaptation_;
   std::unique_ptr<EstimateServer> server_;
   bool shut_down_ = false;
 };

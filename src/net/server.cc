@@ -41,6 +41,7 @@ struct EstimateServer::Counters {
   std::atomic<uint64_t> batch_items{0};
   std::atomic<uint64_t> placements{0};
   std::atomic<uint64_t> stats_requests{0};
+  std::atomic<uint64_t> feedback_reports{0};
   std::atomic<uint64_t> bytes_received{0};
   std::atomic<uint64_t> bytes_sent{0};
 };
@@ -92,7 +93,7 @@ std::string NetServerStatsSnapshot::ToString() const {
       "shed{overload=%llu shutdown=%llu} invalid=%llu malformed=%llu "
       "unknown_type=%llu internal=%llu limit_closes{read=%llu write=%llu} "
       "dropped=%llu served{est=%llu batch=%llu items=%llu place=%llu "
-      "stats=%llu} bytes{in=%llu out=%llu}",
+      "stats=%llu feedback=%llu} bytes{in=%llu out=%llu}",
       static_cast<unsigned long long>(connections_accepted),
       static_cast<unsigned long long>(connections_rejected),
       static_cast<unsigned long long>(connections_closed),
@@ -115,6 +116,7 @@ std::string NetServerStatsSnapshot::ToString() const {
       static_cast<unsigned long long>(batch_items),
       static_cast<unsigned long long>(placements),
       static_cast<unsigned long long>(stats_requests),
+      static_cast<unsigned long long>(feedback_reports),
       static_cast<unsigned long long>(bytes_received),
       static_cast<unsigned long long>(bytes_sent));
 }
@@ -144,6 +146,7 @@ NetServerStatsSnapshot EstimateServer::Stats() const {
   s.batch_items = c.batch_items.load();
   s.placements = c.placements.load();
   s.stats_requests = c.stats_requests.load();
+  s.feedback_reports = c.feedback_reports.load();
   s.bytes_received = c.bytes_received.load();
   s.bytes_sent = c.bytes_sent.load();
   return s;
@@ -535,7 +538,8 @@ void EstimateServer::HandleFrame(Loop& loop,
   if (type != MessageType::kEstimateRequest &&
       type != MessageType::kEstimateBatchRequest &&
       type != MessageType::kPlacementRequest &&
-      type != MessageType::kStatsRequest) {
+      type != MessageType::kStatsRequest &&
+      type != MessageType::kReportActual) {
     Bump(counters_->invalid_requests);
     QueueError(conn, id, WireError::kInvalidRequest,
                std::string(ToString(type)) + " is not a request");
@@ -588,12 +592,10 @@ void EstimateServer::ServeFrame(const std::shared_ptr<Connection>& conn,
         }
         const runtime::EstimateResponse response =
             service_->Estimate(*request);
-        WireWriter w;
-        EncodeEstimateResponse(response, w);
         Bump(counters_->estimates);
         QueueResponse(conn,
                       EncodeFrame(MessageType::kEstimateResponse, id,
-                                  w.Take()));
+                                  EncodeEstimateResponsePayload(response)));
         return;
       }
       case MessageType::kEstimateBatchRequest: {
@@ -643,8 +645,25 @@ void EstimateServer::ServeFrame(const std::shared_ptr<Connection>& conn,
                                                     NetCounterEntries())));
         return;
       }
+      case MessageType::kReportActual: {
+        WireError err = WireError::kMalformedFrame;
+        auto report = DecodeReportActualPayload(frame.payload, &err);
+        if (!report.has_value()) {
+          CountBoundaryReject(err);
+          QueueError(conn, id, err, "bad ReportActual");
+          return;
+        }
+        Bump(counters_->feedback_reports);
+        // Feedback is advisory: an absent handler or a full buffer is an
+        // accepted=false ack, never an error frame.
+        const bool accepted = config_.feedback_handler != nullptr &&
+                              config_.feedback_handler(*report);
+        QueueResponse(conn, EncodeFrame(MessageType::kReportActualAck, id,
+                                        EncodeReportActualAck(accepted)));
+        return;
+      }
       default:
-        // Unreachable: HandleFrame admits only the four request types.
+        // Unreachable: HandleFrame admits only the five request types.
         QueueError(conn, id, WireError::kInternal, "bad dispatch");
         return;
     }
@@ -683,6 +702,7 @@ std::map<std::string, uint64_t> EstimateServer::NetCounterEntries() const {
       {"net.batch_items", s.batch_items},
       {"net.placements", s.placements},
       {"net.stats_requests", s.stats_requests},
+      {"net.feedback_reports", s.feedback_reports},
       {"net.bytes_received", s.bytes_received},
       {"net.bytes_sent", s.bytes_sent},
   };

@@ -45,6 +45,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -74,6 +75,11 @@ struct EstimateServerConfig {
   // Stop(): how long to keep flushing queued responses to slow readers
   // after the in-flight drain completes.
   std::chrono::milliseconds flush_timeout{2000};
+  // Sink for kReportActual frames (typically AdaptationController::Record).
+  // Returns whether the report was buffered; the ack echoes that. Null =
+  // feedback unsupported: reports are decoded, counted, and acked
+  // accepted=false — never an error frame (feedback is advisory).
+  std::function<bool(const runtime::FeedbackReport&)> feedback_handler;
 };
 
 // Monotonic serving-boundary counters (the runtime's own counters stay in
@@ -101,6 +107,7 @@ struct NetServerStatsSnapshot {
   uint64_t batch_items = 0;
   uint64_t placements = 0;
   uint64_t stats_requests = 0;
+  uint64_t feedback_reports = 0;  // kReportActual frames decoded and routed
   uint64_t bytes_received = 0;
   uint64_t bytes_sent = 0;
 

@@ -35,7 +35,7 @@ void Fail(WireError* error, WireError code) {
 
 bool IsKnownMessageType(uint8_t type) {
   return type >= static_cast<uint8_t>(MessageType::kEstimateRequest) &&
-         type <= static_cast<uint8_t>(MessageType::kError);
+         type <= static_cast<uint8_t>(MessageType::kReportActualAck);
 }
 
 const char* ToString(MessageType t) {
@@ -49,6 +49,8 @@ const char* ToString(MessageType t) {
     case MessageType::kStatsRequest: return "StatsRequest";
     case MessageType::kStatsResponse: return "StatsResponse";
     case MessageType::kError: return "Error";
+    case MessageType::kReportActual: return "ReportActual";
+    case MessageType::kReportActualAck: return "ReportActualAck";
   }
   return "?";
 }
@@ -305,11 +307,26 @@ std::optional<runtime::EstimateRequest> DecodeEstimateRequestPayload(
   return request;
 }
 
+std::vector<uint8_t> EncodeEstimateResponsePayload(
+    const runtime::EstimateResponse& response) {
+  WireWriter w;
+  EncodeEstimateResponse(response, w);
+  // Append-only extension: the serving model's generation.
+  w.PutU64(response.model_generation);
+  return w.Take();
+}
+
 std::optional<runtime::EstimateResponse> DecodeEstimateResponsePayload(
     const std::vector<uint8_t>& payload) {
   WireReader r(payload);
   auto response = DecodeEstimateResponse(r);
-  if (response.has_value() && !r.AtEnd()) return std::nullopt;
+  if (!response.has_value()) return std::nullopt;
+  // Pre-extension payloads end here (generation 0); an extension present
+  // must be exactly one u64.
+  if (r.remaining() > 0) {
+    response->model_generation = r.TakeU64();
+  }
+  if (!r.AtEnd()) return std::nullopt;
   return response;
 }
 
@@ -328,6 +345,9 @@ std::vector<uint8_t> EncodeEstimateBatchResponse(
   WireWriter w;
   w.PutU32(static_cast<uint32_t>(responses.size()));
   for (const auto& response : responses) EncodeEstimateResponse(response, w);
+  // Append-only extension: one generation per item, after the item list so
+  // pre-extension decoders never see it.
+  for (const auto& response : responses) w.PutU64(response.model_generation);
   return w.Take();
 }
 
@@ -369,6 +389,14 @@ DecodeEstimateBatchResponsePayload(const std::vector<uint8_t>& payload) {
     auto response = DecodeEstimateResponse(r);
     if (!response.has_value()) return std::nullopt;
     responses.push_back(*response);
+  }
+  // Pre-extension payloads end here (generation 0). A started extension
+  // must carry exactly `count` generations.
+  if (r.remaining() > 0) {
+    for (uint32_t i = 0; i < count; ++i) {
+      responses[i].model_generation = r.TakeU64();
+    }
+    if (!r.ok()) return std::nullopt;
   }
   if (!r.AtEnd()) return std::nullopt;
   return responses;
@@ -421,6 +449,10 @@ std::vector<uint8_t> EncodePlacementResponse(
     w.PutF64(i < result.scores.size()
                  ? result.scores[i]
                  : std::numeric_limits<double>::infinity());
+  }
+  // Second append-only extension: each candidate's serving generation.
+  for (const auto& response : result.responses) {
+    w.PutU64(response.model_generation);
   }
   return w.Take();
 }
@@ -530,6 +562,14 @@ std::optional<runtime::PlacementResult> DecodePlacementResponsePayload(
       result.distributions.push_back(distribution);
       result.scores.push_back(score);
     }
+    // Second extension: per-candidate serving generations. Optional after
+    // the distribution block; a started run must carry exactly `count`.
+    if (r.remaining() > 0) {
+      for (uint32_t i = 0; i < count; ++i) {
+        result.responses[i].model_generation = r.TakeU64();
+      }
+      if (!r.ok()) return std::nullopt;
+    }
   }
   if (!r.AtEnd()) return std::nullopt;
   // chosen must index the candidate list or be the -1 "none estimable"
@@ -540,6 +580,79 @@ std::optional<runtime::PlacementResult> DecodePlacementResponsePayload(
     return std::nullopt;
   }
   return result;
+}
+
+// ---- Feedback ---------------------------------------------------------------
+
+std::vector<uint8_t> EncodeReportActual(const runtime::FeedbackReport& report) {
+  WireWriter w;
+  w.PutString(report.site);
+  w.PutU8(static_cast<uint8_t>(report.class_id));
+  w.PutF64(report.actual_cost);
+  w.PutF64(report.probing_cost);
+  w.PutU64(report.model_generation);
+  w.PutU16(static_cast<uint16_t>(
+      std::min<size_t>(report.features.size(), kMaxFeatures)));
+  for (size_t i = 0; i < report.features.size() && i < kMaxFeatures; ++i) {
+    w.PutF64(report.features[i]);
+  }
+  return w.Take();
+}
+
+std::optional<runtime::FeedbackReport> DecodeReportActualPayload(
+    const std::vector<uint8_t>& payload, WireError* error) {
+  WireReader r(payload);
+  runtime::FeedbackReport report;
+  report.site = r.TakeString(kMaxSiteNameBytes);
+  const uint8_t class_byte = r.TakeU8();
+  report.actual_cost = r.TakeF64();
+  report.probing_cost = r.TakeF64();
+  report.model_generation = r.TakeU64();
+  const uint16_t n_features = r.TakeU16();
+  if (r.ok() && n_features > kMaxFeatures) {
+    Fail(error, WireError::kInvalidRequest);
+    return std::nullopt;
+  }
+  report.features.reserve(n_features);
+  for (uint16_t i = 0; i < n_features && r.ok(); ++i) {
+    report.features.push_back(r.TakeF64());
+  }
+  if (!r.AtEnd()) {
+    Fail(error, WireError::kMalformedFrame);
+    return std::nullopt;
+  }
+  // Semantic boundary: feedback must be a priceable observation. A
+  // non-positive cost, anything non-finite, or a class outside the enum is
+  // refused before it can reach the adaptation path.
+  if (class_byte > kMaxClassByte || report.site.empty() ||
+      !std::isfinite(report.actual_cost) || report.actual_cost <= 0.0 ||
+      std::isnan(report.probing_cost) ||
+      report.probing_cost == std::numeric_limits<double>::infinity()) {
+    Fail(error, WireError::kInvalidRequest);
+    return std::nullopt;
+  }
+  for (const double f : report.features) {
+    if (!std::isfinite(f)) {
+      Fail(error, WireError::kInvalidRequest);
+      return std::nullopt;
+    }
+  }
+  report.class_id = static_cast<core::QueryClassId>(class_byte);
+  return report;
+}
+
+std::vector<uint8_t> EncodeReportActualAck(bool accepted) {
+  WireWriter w;
+  w.PutU8(accepted ? 1 : 0);
+  return w.Take();
+}
+
+std::optional<bool> DecodeReportActualAckPayload(
+    const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  const uint8_t accepted = r.TakeU8();
+  if (!r.AtEnd() || accepted > 1) return std::nullopt;
+  return accepted == 1;
 }
 
 // ---- Errors -----------------------------------------------------------------

@@ -69,6 +69,10 @@ enum class MessageType : uint8_t {
   kStatsRequest = 7,
   kStatsResponse = 8,
   kError = 9,
+  // Feedback: the client reports the observed cost of a query the server
+  // priced earlier, closing the adaptation loop (runtime/adaptation.h).
+  kReportActual = 10,
+  kReportActualAck = 11,
 };
 
 bool IsKnownMessageType(uint8_t type);
@@ -201,6 +205,15 @@ class FrameAssembler {
 // batch, class id outside the enum, oversized site name). Decoders never
 // throw.
 
+// Response payloads carry the serving model's generation as an append-only
+// payload-end extension (the adaptation loop credits feedback to the
+// generation that produced the estimate):
+//   single:    EstimateResponse, [u64 generation]
+//   batch:     u32 count, count x EstimateResponse, [count x u64 generation]
+//   placement: ... existing extension ..., [count x u64 generation]
+// A payload that ends at the original layout decodes with generation 0 (old
+// peers keep working); one that starts the extension must complete it
+// exactly — a partial extension is a malformed frame, never half-applied.
 void EncodeEstimateRequest(const runtime::EstimateRequest& request,
                            WireWriter& w);
 void EncodeEstimateResponse(const runtime::EstimateResponse& response,
@@ -213,6 +226,8 @@ std::optional<runtime::EstimateResponse> DecodeEstimateResponse(WireReader& r);
 // Whole-payload forms (validate AtEnd too).
 std::optional<runtime::EstimateRequest> DecodeEstimateRequestPayload(
     const std::vector<uint8_t>& payload, WireError* error);
+std::vector<uint8_t> EncodeEstimateResponsePayload(
+    const runtime::EstimateResponse& response);
 std::optional<runtime::EstimateResponse> DecodeEstimateResponsePayload(
     const std::vector<uint8_t>& payload);
 
@@ -248,6 +263,21 @@ DecodePlacementRequestPayload(const std::vector<uint8_t>& payload,
                               WireError* error,
                               runtime::PlacementOptions* options = nullptr);
 std::optional<runtime::PlacementResult> DecodePlacementResponsePayload(
+    const std::vector<uint8_t>& payload);
+
+// Feedback frames (kReportActual / kReportActualAck):
+//   report: site string, u8 class, f64 actual_cost, f64 probing_cost,
+//           u64 model_generation, u16 n_features, n x f64
+//   ack:    u8 accepted (0 = buffered nowhere: no handler, ring full, or
+//           controller rejected it; the report is advisory either way)
+// Decoding is fail-closed like every other body: a non-positive or
+// non-finite actual cost, a NaN probing cost, a non-finite feature or an
+// out-of-range class id rejects the frame at the boundary.
+std::vector<uint8_t> EncodeReportActual(const runtime::FeedbackReport& report);
+std::optional<runtime::FeedbackReport> DecodeReportActualPayload(
+    const std::vector<uint8_t>& payload, WireError* error);
+std::vector<uint8_t> EncodeReportActualAck(bool accepted);
+std::optional<bool> DecodeReportActualAckPayload(
     const std::vector<uint8_t>& payload);
 
 std::vector<uint8_t> EncodeErrorBody(const ErrorBody& body);

@@ -111,6 +111,23 @@ const EstimateCache::VersionCell* EstimateCache::CellFor(
   return cell;
 }
 
+const EstimateCache::VersionCell* EstimateCache::StateCellFor(
+    const std::string& site, int state, ThreadShard& shard) {
+  const std::pair<std::string, int> key(site, state);
+  auto memo = shard.state_cell_memo.find(key);
+  if (memo != shard.state_cell_memo.end()) return memo->second;
+  const VersionCell* cell;
+  {
+    RmwProbe::Count();  // cells_mutex_ — first insert for (site, state)
+    std::lock_guard<std::mutex> lock(cells_mutex_);
+    auto& owned = site_state_cells_[key];
+    if (owned == nullptr) owned = std::make_unique<VersionCell>(0);
+    cell = owned.get();
+  }
+  shard.state_cell_memo.emplace(key, cell);
+  return cell;
+}
+
 bool EstimateCache::Lookup(const std::string& site, int class_id,
                            const std::vector<double>& features, uint64_t epoch,
                            EstimateResponse* response) {
@@ -138,7 +155,9 @@ bool EstimateCache::Lookup(const std::string& site, int class_id,
     // only RMWs below are on the retire path (invalidation events, never
     // the steady-state hit).
     const bool cell_dead =
-        slot.site_cell->load(std::memory_order_acquire) != slot.site_version;
+        slot.site_cell->load(std::memory_order_acquire) != slot.site_version ||
+        slot.state_cell->load(std::memory_order_acquire) !=
+            slot.state_cell_version;
     const double cost = slot.tracker->published_probing_cost();
     if (cell_dead || slot.epoch != epoch ||
         slot.tracker->state_version() != slot.state_version ||
@@ -184,6 +203,9 @@ void EstimateCache::Insert(const std::string& site, int class_id,
   fresh.state_hi = context.state_hi;
   fresh.site_cell = cell;
   fresh.site_version = cell->load(std::memory_order_acquire);
+  const VersionCell* state_cell = StateCellFor(site, response.state, *shard);
+  fresh.state_cell = state_cell;
+  fresh.state_cell_version = state_cell->load(std::memory_order_acquire);
   fresh.site = site;
   fresh.feature_bits.reserve(features.size());
   for (double f : features) {
@@ -217,6 +239,14 @@ void EstimateCache::InvalidateSite(const std::string& site) {
   if (!enabled()) return;
   std::lock_guard<std::mutex> lock(cells_mutex_);
   auto& cell = site_cells_[site];
+  if (cell == nullptr) cell = std::make_unique<VersionCell>(0);
+  cell->fetch_add(1, std::memory_order_release);
+}
+
+void EstimateCache::InvalidateSiteState(const std::string& site, int state) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(cells_mutex_);
+  auto& cell = site_state_cells_[{site, state}];
   if (cell == nullptr) cell = std::make_unique<VersionCell>(0);
   cell->fetch_add(1, std::memory_order_release);
 }

@@ -37,6 +37,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "runtime/contention_tracker.h"
@@ -108,6 +109,12 @@ class EstimateCache {
   void InvalidateSite(const std::string& site);
   void InvalidateAll();
 
+  // Marks only the entries priced in `state` for `site` invalid — the
+  // adaptation swap path, where one state's coefficient row changed and
+  // every other state's row is bit-identical (entries for those states stay
+  // value-correct and survive).
+  void InvalidateSiteState(const std::string& site, int state);
+
   // Entries retired after being invalidated (by a version-cell bump, a
   // catalog epoch they can no longer match, or a failed tracker validity
   // probe). Counted when the owning thread retires the entry, so this
@@ -131,6 +138,10 @@ class EstimateCache {
     // inserted; a bumped cell invalidates the entry lazily.
     const VersionCell* site_cell = nullptr;
     uint64_t site_version = 0;
+    // Finer-grained twin keyed by (site, response state): bumped by
+    // InvalidateSiteState when an adaptation swap changes that state's row.
+    const VersionCell* state_cell = nullptr;
+    uint64_t state_cell_version = 0;
     std::string site;
     std::vector<uint64_t> feature_bits;
     std::shared_ptr<ContentionTracker> tracker;
@@ -142,6 +153,7 @@ class EstimateCache {
   struct ThreadShard {
     std::vector<Slot> slots;
     std::unordered_map<std::string, const VersionCell*> cell_memo;
+    std::map<std::pair<std::string, int>, const VersionCell*> state_cell_memo;
   };
 
   // The calling thread's shard, lazily created (nullptr when `create` is
@@ -151,6 +163,10 @@ class EstimateCache {
   // The site's version cell (stable address), creating it if needed.
   const VersionCell* CellFor(const std::string& site, ThreadShard& shard);
 
+  // The (site, state) version cell (stable address), creating it if needed.
+  const VersionCell* StateCellFor(const std::string& site, int state,
+                                  ThreadShard& shard);
+
   size_t slots_per_thread_ = 0;
   uint64_t slot_mask_ = 0;
   double feature_quantum_ = 0.0;
@@ -159,6 +175,8 @@ class EstimateCache {
   mutable std::mutex cells_mutex_;
   // node-stable: cell addresses survive rehash/insert.
   std::map<std::string, std::unique_ptr<VersionCell>> site_cells_;
+  std::map<std::pair<std::string, int>, std::unique_ptr<VersionCell>>
+      site_state_cells_;
   std::atomic<uint64_t> invalidations_{0};
 };
 

@@ -5,6 +5,7 @@
 #ifndef MSCM_RUNTIME_ESTIMATE_TYPES_H_
 #define MSCM_RUNTIME_ESTIMATE_TYPES_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -47,8 +48,32 @@ struct EstimateResponse {
   // contention state, not a recent measurement. Degraded responses are never
   // cached.
   bool degraded = false;
+  // Adaptation generation of the model that priced this estimate (0 = the
+  // base fit, +1 per streaming-adaptation swap). Feedback consumers echo it
+  // back so (estimate, actual) pairs are credited to the model generation
+  // that actually produced the estimate — never to a newer one published in
+  // between.
+  uint64_t model_generation = 0;
 
   bool ok() const { return status == EstimateStatus::kOk; }
+};
+
+// One observed (estimate, actual) pair flowing back from served traffic —
+// the raw material of the streaming-RLS fast adaptation path. Arrives from
+// in-process callers or the wire (net kReportActual).
+struct FeedbackReport {
+  std::string site;
+  core::QueryClassId class_id = core::QueryClassId::kUnarySeqScan;
+  std::vector<double> features;
+  double actual_cost = 0.0;  // observed execution cost, seconds
+  // Probing cost the query ran under; negative = resolve from the site's
+  // cached probe at drain time (same semantics as EstimateRequest).
+  double probing_cost = -1.0;
+  // The generation stamped on the EstimateResponse this report closes the
+  // loop on; reports from generations older than the currently served model
+  // lineage are still folded in (the RLS window forgets), but a full
+  // re-derivation resets the lineage and drops buffered stragglers.
+  uint64_t model_generation = 0;
 };
 
 }  // namespace mscm::runtime

@@ -95,6 +95,39 @@ void EstimationService::RegisterModel(const std::string& site,
   cache_.InvalidateSite(site);
 }
 
+bool EstimationService::ApplyAdaptedModel(const std::string& site,
+                                          core::CostModel model,
+                                          uint64_t expected_generation,
+                                          const std::vector<int>& changed_states) {
+  const core::QueryClassId class_id = model.class_id();
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  // Lost-race guard: the adaptation was derived against a specific lineage.
+  // If a full re-derivation (generation reset to 0) or another adaptation
+  // landed since, publishing this one would silently roll the model back.
+  {
+    const auto snapshot = catalog_.snapshot();
+    const core::CostModel* current = snapshot->Find(site, class_id);
+    if (current == nullptr ||
+        current->generation() != expected_generation) {
+      return false;
+    }
+  }
+  catalog_.UpdatePreservingRevision(
+      [&site, &model](core::GlobalCatalog& catalog) {
+        catalog.Register(site, std::move(model));
+      });
+  {
+    auto& shard = counters_.Local();
+    shard.Add(shard.adaptations_applied);
+  }
+  // Only the swapped states' rows changed; every other state's cached
+  // responses stay bit-correct under the preserved revision.
+  for (const int state : changed_states) {
+    cache_.InvalidateSiteState(site, state);
+  }
+  return true;
+}
+
 void EstimationService::RegisterSite(const std::string& site,
                                      ContentionTracker::ProbeFn probe) {
   ContentionTrackerConfig tracker_config;
@@ -309,6 +342,7 @@ EstimateResponse EstimationService::EstimateWithSnapshot(
   // One width check per request, then state lookup + raw dot product.
   equations->CheckFeatureWidth(request.features);
   response.status = EstimateStatus::kOk;
+  response.model_generation = equations->generation();
   response.state = equations->StateOf(response.probing_cost);
   response.estimate_seconds =
       equations->EvaluateInState(request.features.data(), response.state);
@@ -579,6 +613,7 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
           if (!ResolveProbe(request, cached, response, counts)) continue;
           entry.equations->CheckFeatureWidth(request.features);
           response.status = EstimateStatus::kOk;
+          response.model_generation = entry.equations->generation();
           response.state = entry.equations->StateOf(response.probing_cost);
           response.estimate_seconds = entry.equations->EvaluateInState(
               request.features.data(), response.state);
@@ -607,6 +642,7 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
             const size_t i = entry.group[g];
             EstimateResponse& response = responses[i];
             response.status = EstimateStatus::kOk;
+            response.model_generation = entry.equations->generation();
             response.probing_cost = entry.probing_cost;
             response.stale_probe = entry.stale;
             response.state = entry.state;

@@ -136,6 +136,20 @@ class EstimationService {
   // tracker publication and its state-mapper wiring.
   void RegisterModel(const std::string& site, core::CostModel model);
 
+  // Publishes a streaming-adaptation of the already-registered model for
+  // (site, model.class_id()) — the fast tier of the two-tier adaptation
+  // path. Unlike RegisterModel this preserves the catalog revision (all
+  // rows except `changed_states` are bit-identical, so surviving estimate
+  // cache entries for other states stay value-correct) and invalidates the
+  // cache only at (site, state) grain. Fails (returns false, publishes
+  // nothing) when no model is registered for the key or the registered
+  // model's generation no longer equals `expected_generation` — the
+  // lost-race guard against a concurrent full re-derivation or another
+  // adaptation landing first.
+  bool ApplyAdaptedModel(const std::string& site, core::CostModel model,
+                         uint64_t expected_generation,
+                         const std::vector<int>& changed_states);
+
   // Registers a site with an arbitrary probe (see ContentionTracker). If
   // the service config has a probe interval, the background prober starts
   // immediately. Re-registering a site replaces its tracker. The tracker's

@@ -217,6 +217,32 @@ void ModelRefreshDaemon::ReportObserved(const std::string& site,
   service_->worker_pool().Submit([this, entry] { RunRefresh(entry); });
 }
 
+bool ModelRefreshDaemon::RequestRefresh(const std::string& site,
+                                        core::QueryClassId class_id) {
+  const std::shared_ptr<KeyEntry> entry = FindEntry(site, class_id);
+  if (entry == nullptr) return false;
+  if (service_->IsSiteDegraded(site)) {
+    refreshes_suspended_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->in_flight) return false;
+    if (config_.clock->Now() < entry->next_attempt_at) return false;
+    entry->state = RefreshState::kDrifting;
+    entry->in_flight = true;
+  }
+  // Same tail as a signal trip in ReportObserved: flag, count, queue.
+  service_->SetModelStale(site, class_id, true);
+  refreshes_scheduled_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    ++pending_;
+  }
+  service_->worker_pool().Submit([this, entry] { RunRefresh(entry); });
+  return true;
+}
+
 void ModelRefreshDaemon::RunRefresh(std::shared_ptr<KeyEntry> entry) {
   // The site may have degraded between scheduling and task start: don't fire
   // sampling queries at a breaker-open site. Park the key backed-off (no

@@ -157,6 +157,14 @@ class ModelRefreshDaemon {
                       const std::vector<double>& features,
                       double observed_cost);
 
+  // Forces the slow tier for (site, class): schedules a full re-derivation
+  // immediately, bypassing the signal thresholds (the caller — typically the
+  // AdaptationController when its fast RLS tier stalls or its covariance
+  // blows up — has its own evidence). Respects the same safety rails as a
+  // signal trip: at most one refresh in flight per key, backoff windows, and
+  // degraded-site suspension. Returns true when a refresh was scheduled.
+  bool RequestRefresh(const std::string& site, core::QueryClassId class_id);
+
   RefreshKeyStatus Status(const std::string& site,
                           core::QueryClassId class_id) const;
   ModelRefreshStats Stats() const;

@@ -166,7 +166,8 @@ std::string RuntimeStatsSnapshot::ToString() const {
       "probe_failures=%llu probe_discards=%llu probe_timeouts=%llu "
       "probes_suppressed=%llu breaker_opens=%llu degraded_sites=%llu "
       "degraded_served=%llu "
-      "catalog_swaps=%llu stale_models=%llu stale_model_served=%llu "
+      "catalog_swaps=%llu adaptations_applied=%llu stale_models=%llu "
+      "stale_model_served=%llu "
       "placements=%llu placement_expected_cost_wins=%llu "
       "near_boundary_sites=%llu\n",
       static_cast<unsigned long long>(requests),
@@ -189,6 +190,7 @@ std::string RuntimeStatsSnapshot::ToString() const {
       static_cast<unsigned long long>(degraded_sites),
       static_cast<unsigned long long>(degraded_served),
       static_cast<unsigned long long>(catalog_swaps),
+      static_cast<unsigned long long>(adaptations_applied),
       static_cast<unsigned long long>(stale_models),
       static_cast<unsigned long long>(stale_model_served),
       static_cast<unsigned long long>(placements),
@@ -227,6 +229,7 @@ const std::vector<StatsCounterField>& StatsCounterFields() {
           {"placements", &S::placements},
           {"placement_expected_cost_wins", &S::placement_expected_cost_wins},
           {"near_boundary_sites", &S::near_boundary_sites},
+          {"adaptations_applied", &S::adaptations_applied},
       };
   return *fields;
 }
@@ -297,6 +300,8 @@ void RuntimeCounters::AggregateInto(RuntimeStatsSnapshot& out) const {
     out.probes += s.probes.load(std::memory_order_relaxed);
     out.probe_failures += s.probe_failures.load(std::memory_order_relaxed);
     out.catalog_swaps += s.catalog_swaps.load(std::memory_order_relaxed);
+    out.adaptations_applied +=
+        s.adaptations_applied.load(std::memory_order_relaxed);
     out.stale_model_served +=
         s.stale_model_served.load(std::memory_order_relaxed);
     out.degraded_served += s.degraded_served.load(std::memory_order_relaxed);

@@ -105,6 +105,9 @@ struct RuntimeStatsSnapshot {
   uint64_t degraded_served = 0;    // estimates priced from a degraded site
   uint64_t invalid_requests = 0;   // requests rejected at the service boundary
   uint64_t catalog_swaps = 0;      // snapshot publications (model registers)
+  // Streaming-RLS adaptation swaps published (revision-preserving row
+  // swaps; full re-derivations count under catalog_swaps instead).
+  uint64_t adaptations_applied = 0;
   uint64_t stale_model_served = 0; // estimates served from a drift-flagged model
   uint64_t stale_models = 0;       // gauge: (site, class) keys currently stale
   uint64_t estimate_cache_hits = 0;    // estimates served from the response memo
@@ -167,6 +170,7 @@ class RuntimeCounters {
     std::atomic<uint64_t> probes{0};
     std::atomic<uint64_t> probe_failures{0};
     std::atomic<uint64_t> catalog_swaps{0};
+    std::atomic<uint64_t> adaptations_applied{0};
     std::atomic<uint64_t> stale_model_served{0};
     std::atomic<uint64_t> degraded_served{0};
     std::atomic<uint64_t> invalid_requests{0};

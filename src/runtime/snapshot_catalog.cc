@@ -26,4 +26,16 @@ void SnapshotCatalog::Update(
   version_.store(next_version, std::memory_order_relaxed);
 }
 
+void SnapshotCatalog::UpdatePreservingRevision(
+    const std::function<void(core::GlobalCatalog&)>& mutate) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  auto next = std::make_shared<core::GlobalCatalog>(*current_.load());
+  mutate(*next);
+  // Same revision as the snapshot being replaced: readers (and cache
+  // entries) cannot tell the difference except through the rows the caller
+  // swapped — which the caller invalidates per (site, state).
+  next->set_revision(version_.load(std::memory_order_relaxed));
+  current_.Publish(Snapshot(std::move(next)));
+}
+
 }  // namespace mscm::runtime

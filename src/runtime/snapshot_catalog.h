@@ -57,6 +57,17 @@ class SnapshotCatalog {
   // copy of the current catalog, which is then published as one snapshot.
   void Update(const std::function<void(core::GlobalCatalog&)>& mutate);
 
+  // Copy-on-write edit published under the *current* revision — the
+  // adaptation row-swap path. A normal Update bumps the revision, which
+  // invalidates every estimate-cache entry (entries key on it); an
+  // adaptation swap changes only specific per-state coefficient rows, whose
+  // invalidation the caller handles at (site, state) grain, while every
+  // other row is bit-identical — so surviving cache entries remain
+  // value-correct under the preserved revision. Use ONLY for edits with
+  // that property.
+  void UpdatePreservingRevision(
+      const std::function<void(core::GlobalCatalog&)>& mutate);
+
   // Number of snapshots published (0 for a freshly constructed catalog).
   uint64_t version() const { return version_.load(std::memory_order_relaxed); }
 

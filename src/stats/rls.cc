@@ -1,0 +1,138 @@
+#include "stats/rls.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mscm::stats {
+
+namespace {
+
+bool AllFinite(const std::vector<double>& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RlsEstimator::RlsEstimator(size_t dim, const RlsConfig& config)
+    : config_(config),
+      dim_(dim),
+      theta_(dim, 0.0),
+      p_(dim * dim, 0.0),
+      gain_(dim, 0.0) {
+  MSCM_CHECK_MSG(dim > 0, "RLS estimator needs at least one coefficient");
+  MSCM_CHECK_MSG(config_.forgetting > 0.0 && config_.forgetting <= 1.0,
+                 "RLS forgetting factor must lie in (0, 1]");
+  MSCM_CHECK_MSG(config_.initial_variance > 0.0,
+                 "RLS prior variance must be positive");
+  for (size_t i = 0; i < dim_; ++i) {
+    p_[i * dim_ + i] = config_.initial_variance;
+  }
+}
+
+RlsEstimator::RlsEstimator(std::vector<double> theta,
+                           std::vector<double> covariance,
+                           const RlsConfig& config)
+    : RlsEstimator(theta.size(), config) {
+  MSCM_CHECK_MSG(covariance.empty() || covariance.size() == dim_ * dim_,
+                 "RLS warm-start covariance must be dim x dim or empty");
+  theta_ = std::move(theta);
+  if (!covariance.empty()) {
+    p_ = std::move(covariance);
+    // A persisted covariance may have been hand-edited; symmetrize once and
+    // run the same health check Update applies, so a hostile warm start
+    // latches blown_up() instead of corrupting the trajectory.
+    for (size_t i = 0; i < dim_; ++i) {
+      for (size_t j = i + 1; j < dim_; ++j) {
+        double s = 0.5 * (p_[i * dim_ + j] + p_[j * dim_ + i]);
+        p_[i * dim_ + j] = s;
+        p_[j * dim_ + i] = s;
+      }
+    }
+  }
+  CheckHealth();
+}
+
+bool RlsEstimator::Update(const double* z, double y) {
+  if (blown_up_) {
+    ++updates_skipped_;
+    return false;
+  }
+  if (!std::isfinite(y)) {
+    ++updates_skipped_;
+    return false;
+  }
+  for (size_t i = 0; i < dim_; ++i) {
+    if (!std::isfinite(z[i])) {
+      ++updates_skipped_;
+      return false;
+    }
+  }
+
+  // g = P z (symmetric P, so row dot is fine), d = λ + z'g.
+  double d = config_.forgetting;
+  for (size_t i = 0; i < dim_; ++i) {
+    double g = 0.0;
+    const double* row = &p_[i * dim_];
+    for (size_t j = 0; j < dim_; ++j) g += row[j] * z[j];
+    gain_[i] = g;
+    d += z[i] * g;
+  }
+  if (!(d > config_.min_gain_denominator) || !std::isfinite(d)) {
+    ++updates_skipped_;
+    return false;
+  }
+
+  // θ ← θ + (g/d) (y − z'θ)
+  double innovation = y;
+  for (size_t i = 0; i < dim_; ++i) innovation -= z[i] * theta_[i];
+  for (size_t i = 0; i < dim_; ++i) theta_[i] += (gain_[i] / d) * innovation;
+
+  // P ← (P − g g' / d) / λ, then symmetrize. Building from the symmetric
+  // closed form (g g' is symmetric) keeps the explicit re-symmetrization a
+  // cheap average rather than a correctness crutch.
+  const double inv_lambda = 1.0 / config_.forgetting;
+  for (size_t i = 0; i < dim_; ++i) {
+    for (size_t j = i; j < dim_; ++j) {
+      double v = (p_[i * dim_ + j] - gain_[i] * gain_[j] / d) * inv_lambda;
+      p_[i * dim_ + j] = v;
+      p_[j * dim_ + i] = v;
+    }
+  }
+
+  ++updates_;
+  CheckHealth();
+  return !blown_up_;
+}
+
+double RlsEstimator::Predict(const double* z) const {
+  double y = 0.0;
+  for (size_t i = 0; i < dim_; ++i) y += z[i] * theta_[i];
+  return y;
+}
+
+double RlsEstimator::PredictionError(const double* z, double y) const {
+  return y - Predict(z);
+}
+
+double RlsEstimator::trace() const {
+  double t = 0.0;
+  for (size_t i = 0; i < dim_; ++i) t += p_[i * dim_ + i];
+  return t;
+}
+
+void RlsEstimator::CheckHealth() {
+  if (blown_up_) return;
+  if (!AllFinite(theta_) || !AllFinite(p_)) {
+    blown_up_ = true;
+    return;
+  }
+  if (trace() > config_.covariance_trace_limit) {
+    blown_up_ = true;
+  }
+}
+
+}  // namespace mscm::stats

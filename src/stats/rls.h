@@ -1,0 +1,114 @@
+// Recursive least squares with exponential forgetting — the fast tier of
+// the two-tier model adaptation pipeline (ROADMAP: "Incremental model
+// adaptation instead of full re-derivation").
+//
+// Each estimator tracks one linear equation y ≈ z'θ (for us: one contention
+// state's compiled coefficient row, z = (1, gathered selected features))
+// and folds each observed (z, y) pair in as a rank-1 Sherman–Morrison
+// update of the inverse Gram matrix P ≈ (X'X)⁻¹:
+//
+//   g = P z
+//   d = λ + z' g                 (gain denominator)
+//   k = g / d                    (Kalman-style gain)
+//   θ ← θ + k (y − z'θ)
+//   P ← (P − k g') / λ,  then  P ← (P + P') / 2   (symmetrize)
+//
+// λ ∈ (0, 1] is the forgetting factor: λ = 1 recovers growing-window least
+// squares (the λ=1 trajectory matches a batch OLS refit over the same
+// window up to floating-point reassociation — tests/rls_test.cc pins the
+// differential), λ < 1 downweights old observations with effective memory
+// ≈ 1/(1−λ), which is what lets the updater track coefficient drift.
+//
+// Numerical guards, in the order they bite:
+//   - a gain denominator under `min_gain_denominator` skips the update
+//     (returned as false and counted) instead of dividing by ~0;
+//   - P is re-symmetrized after every update so the Sherman–Morrison
+//     asymmetry cannot accumulate;
+//   - non-finite θ/P entries or trace(P) above `covariance_trace_limit`
+//     latch blown_up(), the signal the runtime AdaptationController uses
+//     to escalate to the slow full-re-derivation path. With λ < 1 and a
+//     persistently non-exciting regressor stream, P grows like 1/λ per
+//     step (covariance wind-up) — the trace limit turns that failure mode
+//     into an explicit escalation instead of a silent overflow.
+//
+// Instances are plain values: no locking, single-writer by construction
+// (the runtime drains per-thread feedback buffers into per-(site, class,
+// state) accumulators from one drain thread).
+
+#ifndef MSCM_STATS_RLS_H_
+#define MSCM_STATS_RLS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mscm::stats {
+
+struct RlsConfig {
+  // Forgetting factor λ ∈ (0, 1]. 1 = infinite memory (matches batch OLS on
+  // the same window); < 1 tracks drift with effective memory ≈ 1/(1−λ).
+  double forgetting = 0.995;
+  // Prior covariance: P0 = I · initial_variance. Large = diffuse prior (the
+  // first dim updates mostly overwrite θ); small = trust the warm start.
+  double initial_variance = 1e4;
+  // Updates whose gain denominator λ + z'Pz falls below this are skipped
+  // (counted in updates_skipped) rather than divided through.
+  double min_gain_denominator = 1e-12;
+  // trace(P) above this latches blown_up() — covariance wind-up, the
+  // escalate-to-slow-path signal.
+  double covariance_trace_limit = 1e12;
+};
+
+class RlsEstimator {
+ public:
+  // Fresh estimator: θ = 0, P = I · initial_variance.
+  explicit RlsEstimator(size_t dim, const RlsConfig& config = RlsConfig());
+
+  // Warm start from persisted or model-derived state. `theta` has size dim;
+  // `covariance` is dim x dim row-major (empty = diffuse prior P0).
+  RlsEstimator(std::vector<double> theta, std::vector<double> covariance,
+               const RlsConfig& config);
+
+  // Folds in one observation y ≈ z'θ; `z` has size dim(). Returns false
+  // when the update was skipped by a guard (near-zero gain denominator,
+  // non-finite inputs, or an already blown-up estimator).
+  bool Update(const double* z, double y);
+
+  // Residual y − z'θ under the *current* coefficients (the innovation the
+  // next Update would correct). Used for EWMA error tracking without
+  // re-deriving anything.
+  double PredictionError(const double* z, double y) const;
+
+  double Predict(const double* z) const;
+
+  size_t dim() const { return dim_; }
+  const std::vector<double>& coefficients() const { return theta_; }
+  // Row-major dim x dim inverse-Gram estimate P ≈ (X'X)⁻¹.
+  const std::vector<double>& covariance() const { return p_; }
+  double trace() const;
+
+  uint64_t updates() const { return updates_; }
+  uint64_t updates_skipped() const { return updates_skipped_; }
+
+  // Latched when θ/P go non-finite or trace(P) exceeds the configured
+  // limit; once set, further updates are skipped (the caller escalates).
+  bool blown_up() const { return blown_up_; }
+
+  const RlsConfig& config() const { return config_; }
+
+ private:
+  void CheckHealth();
+
+  RlsConfig config_;
+  size_t dim_;
+  std::vector<double> theta_;  // dim
+  std::vector<double> p_;      // dim x dim, row-major, symmetric
+  std::vector<double> gain_;   // scratch: P z
+  uint64_t updates_ = 0;
+  uint64_t updates_skipped_ = 0;
+  bool blown_up_ = false;
+};
+
+}  // namespace mscm::stats
+
+#endif  // MSCM_STATS_RLS_H_

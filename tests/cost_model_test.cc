@@ -1,5 +1,8 @@
 #include "core/cost_model.h"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "tests/test_util.h"
@@ -164,6 +167,111 @@ TEST(CostModelTest, ToStringShowsPerStateEquations) {
   EXPECT_NE(s.find("state 1"), std::string::npos);
   EXPECT_NE(s.find("N_t"), std::string::npos);
   EXPECT_NE(s.find("R^2"), std::string::npos);
+}
+
+CostModel TwoStateModel(Rng& rng) {
+  test::SyntheticGroundTruth truth;
+  truth.intercepts = {1.0, 4.0};
+  truth.slopes = {{0.5, 0.2}, {1.5, 0.6}};
+  const ObservationSet obs = test::SyntheticObservations(truth, 200, rng);
+  return FitCostModel(QueryClassId::kUnarySeqScan, obs, {0, 1},
+                      ContentionStates::UniformPartition(0.0, 1.0, 2),
+                      QualitativeForm::kGeneral);
+}
+
+TEST(CostModelTest, ApplyFeedbackBumpsGenerationAndMovesOnlyThatState) {
+  Rng rng(21);
+  const CostModel base = TwoStateModel(rng);
+  EXPECT_EQ(base.generation(), 0u);
+
+  const std::vector<double> features = {3.0, 4.0};
+  const auto adapted = base.ApplyFeedback(/*state=*/1, features,
+                                          /*actual=*/100.0);
+  ASSERT_TRUE(adapted.has_value());
+  EXPECT_EQ(adapted->generation(), 1u);
+  EXPECT_EQ(adapted->adaptation().states.count(1), 1u);
+  EXPECT_EQ(adapted->adaptation().states.count(0), 0u);
+
+  // The untouched state's compiled row is bit-identical: cached estimates
+  // for other states survive an adaptation swap value-correct.
+  const double* row0_before = base.compiled().row(0);
+  const double* row0_after = adapted->compiled().row(0);
+  for (size_t j = 0; j < 3; ++j) EXPECT_EQ(row0_before[j], row0_after[j]);
+
+  // The fed state's equation moved toward the reported actual.
+  const double before = base.EstimateFast(features, 0.9);
+  const double after = adapted->EstimateFast(features, 0.9);
+  EXPECT_GT(after, before);
+}
+
+TEST(CostModelTest, AdaptedEstimateMatchesEstimateFastBitExact) {
+  Rng rng(22);
+  CostModel model = TwoStateModel(rng);
+  stats::RlsConfig config;
+  config.forgetting = 0.98;
+  for (int i = 0; i < 40; ++i) {
+    const std::vector<double> features = {rng.Uniform(1, 10),
+                                          rng.Uniform(1, 10)};
+    const int state = i % 2;
+    const double actual = 2.0 + 3.0 * features[0] + 0.5 * features[1];
+    auto next = model.ApplyFeedback(state, features, actual, config);
+    ASSERT_TRUE(next.has_value());
+    model = std::move(*next);
+  }
+  EXPECT_EQ(model.generation(), 40u);
+  // Reference and compiled paths stay bit-identical on adapted states.
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> features = {rng.Uniform(0, 12),
+                                          rng.Uniform(0, 12)};
+    const double probe = rng.NextDouble();
+    EXPECT_EQ(model.Estimate(features, probe),
+              model.EstimateFast(features, probe));
+  }
+}
+
+// The ISSUE's parity pin: at λ = 1 under a diffuse prior, a state's
+// RLS-adapted row must match a batch OLS refit over the same feedback
+// window (different floating-point orderings, so a tight numeric
+// differential rather than bit equality).
+TEST(CostModelTest, ApplyFeedbackLambda1MatchesBatchRefitOnWindow) {
+  Rng rng(23);
+  CostModel model = TwoStateModel(rng);
+  stats::RlsConfig config;
+  config.forgetting = 1.0;
+  config.initial_variance = 1e10;
+
+  std::vector<std::vector<double>> window_rows;
+  std::vector<double> window_actuals;
+  for (int i = 0; i < 150; ++i) {
+    const std::vector<double> features = {rng.Uniform(1, 10),
+                                          rng.Uniform(1, 10)};
+    const double actual =
+        7.0 + 2.5 * features[0] - 0.75 * features[1] + rng.Gaussian(0.0, 0.1);
+    auto next = model.ApplyFeedback(/*state=*/0, features, actual, config);
+    ASSERT_TRUE(next.has_value());
+    model = std::move(*next);
+    window_rows.push_back({1.0, features[0], features[1]});
+    window_actuals.push_back(actual);
+  }
+
+  const stats::OlsResult batch =
+      stats::FitOls(stats::Matrix::FromRows(window_rows), window_actuals);
+  const double* adapted_row = model.compiled().row(0);
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(adapted_row[j], batch.coefficients[j], 1e-5)
+        << "coefficient " << j;
+  }
+}
+
+TEST(CostModelTest, ApplyFeedbackRejectsBadObservations) {
+  Rng rng(24);
+  const CostModel model = TwoStateModel(rng);
+  EXPECT_FALSE(
+      model.ApplyFeedback(0, {1.0, 2.0}, std::nan("")).has_value());
+  EXPECT_FALSE(model
+                   .ApplyFeedback(
+                       0, {std::numeric_limits<double>::infinity(), 2.0}, 5.0)
+                   .has_value());
 }
 
 }  // namespace

@@ -186,6 +186,145 @@ TEST(ModelIoTest, RejectsUnsortedBoundaries) {
   EXPECT_FALSE(ParseCostModel(blob).has_value());
 }
 
+CostModel AdaptedModel(int feedback_count, Rng& rng) {
+  CostModel model = MakeModel(3, QualitativeForm::kGeneral);
+  stats::RlsConfig config;
+  config.forgetting = 0.99;
+  for (int i = 0; i < feedback_count; ++i) {
+    const std::vector<double> features = {rng.Uniform(1, 10),
+                                          rng.Uniform(1, 10)};
+    const double actual = 3.0 + 1.2 * features[0] + 0.4 * features[1];
+    auto next = model.ApplyFeedback(i % 3, features, actual, config);
+    if (next.has_value()) model = std::move(*next);
+  }
+  return model;
+}
+
+TEST(ModelIoTest, AdaptedModelRoundTripsBitExact) {
+  Rng rng(31);
+  const CostModel original = AdaptedModel(30, rng);
+  ASSERT_GT(original.generation(), 0u);
+  ASSERT_FALSE(original.adaptation().states.empty());
+
+  const auto restored = ParseCostModel(SerializeCostModel(original));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->generation(), original.generation());
+  EXPECT_EQ(restored->adaptation().forgetting,
+            original.adaptation().forgetting);
+  ASSERT_EQ(restored->adaptation().states.size(),
+            original.adaptation().states.size());
+  for (const auto& [state, st] : original.adaptation().states) {
+    const auto it = restored->adaptation().states.find(state);
+    ASSERT_NE(it, restored->adaptation().states.end());
+    EXPECT_EQ(it->second.updates, st.updates);
+    EXPECT_EQ(it->second.row, st.row);                // exact doubles
+    EXPECT_EQ(it->second.covariance, st.covariance);  // exact doubles
+  }
+
+  // The persisted-and-reloaded model serves bit-identical estimates,
+  // including on adapted states.
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> features = {rng.Uniform(0, 12),
+                                          rng.Uniform(0, 12)};
+    const double probe = rng.NextDouble();
+    EXPECT_EQ(restored->EstimateFast(features, probe),
+              original.EstimateFast(features, probe));
+  }
+}
+
+TEST(ModelIoTest, AdaptedRoundTripResumesTrajectoryBitExact) {
+  // Warm-started continuation: feeding the same observation to the
+  // original and its round-tripped copy must produce identical rows —
+  // the persisted covariance really is the estimator state.
+  Rng rng(32);
+  CostModel original = AdaptedModel(20, rng);
+  auto restored = ParseCostModel(SerializeCostModel(original));
+  ASSERT_TRUE(restored.has_value());
+
+  const std::vector<double> features = {4.0, 6.0};
+  auto a = original.ApplyFeedback(0, features, 42.0);
+  auto b = restored->ApplyFeedback(0, features, 42.0);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  const double* row_a = a->compiled().row(0);
+  const double* row_b = b->compiled().row(0);
+  for (size_t j = 0; j < 3; ++j) EXPECT_EQ(row_a[j], row_b[j]);
+}
+
+TEST(ModelIoTest, LegacyRecordWithoutAdaptationStillParses) {
+  const CostModel unadapted = MakeModel(2, QualitativeForm::kGeneral);
+  const std::string blob = SerializeCostModel(unadapted);
+  // Unadapted records carry no adaptation lines at all — byte-compatible
+  // with records written before the overlay existed.
+  EXPECT_EQ(blob.find("generation"), std::string::npos);
+  EXPECT_EQ(blob.find("adapted"), std::string::npos);
+  const auto restored = ParseCostModel(blob);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->generation(), 0u);
+  EXPECT_TRUE(restored->adaptation().states.empty());
+}
+
+TEST(ModelIoTest, RejectsTamperedAdaptation) {
+  Rng rng(33);
+  const std::string blob = SerializeCostModel(AdaptedModel(12, rng));
+  const size_t pos = blob.find("\nadapted ");
+  ASSERT_NE(pos, std::string::npos);
+  const size_t line = pos + 1;
+  const size_t eol = blob.find('\n', line);
+  {
+    // Adapted state outside the partition.
+    std::string bad = blob;
+    bad.replace(line, eol - line, "adapted 9 1 1.0 2.0 3.0");
+    EXPECT_FALSE(ParseCostModel(bad).has_value());
+  }
+  {
+    // Row width not matching the stride.
+    std::string bad = blob;
+    bad.replace(line, eol - line, "adapted 0 1 1.0 2.0");
+    EXPECT_FALSE(ParseCostModel(bad).has_value());
+  }
+  {
+    // Non-finite row entry.
+    std::string bad = blob;
+    bad.replace(line, eol - line, "adapted 0 1 1.0 2.0 nan");
+    EXPECT_FALSE(ParseCostModel(bad).has_value());
+  }
+  {
+    // Adapted rows demand a nonzero generation.
+    std::string bad = blob;
+    const size_t gpos = bad.find("generation ");
+    const size_t geol = bad.find('\n', gpos);
+    bad.replace(gpos, geol - gpos, "generation 0");
+    EXPECT_FALSE(ParseCostModel(bad).has_value());
+  }
+  {
+    // Forgetting factor outside (0, 1].
+    std::string bad = blob;
+    const size_t fpos = bad.find("forgetting ");
+    const size_t feol = bad.find('\n', fpos);
+    bad.replace(fpos, feol - fpos, "forgetting 1.5");
+    EXPECT_FALSE(ParseCostModel(bad).has_value());
+  }
+  {
+    // Covariance with no matching adapted row.
+    std::string good = SerializeCostModel(MakeModel(2,
+                                                    QualitativeForm::kGeneral));
+    const size_t epos = good.find("end\n");
+    std::string bad = good;
+    bad.insert(epos, "generation 1\nadaptcov 0 1 0 0 0 0 0 0 0 0\n");
+    EXPECT_FALSE(ParseCostModel(bad).has_value());
+  }
+  {
+    // Covariance with the wrong element count.
+    std::string bad = blob;
+    const size_t cpos = bad.find("adaptcov ");
+    ASSERT_NE(cpos, std::string::npos);
+    const size_t ceol = bad.find('\n', cpos);
+    bad.replace(cpos, ceol - cpos, "adaptcov 0 1.0 2.0");
+    EXPECT_FALSE(ParseCostModel(bad).has_value());
+  }
+}
+
 TEST(CatalogIoTest, RoundTripMultipleEntries) {
   GlobalCatalog catalog;
   catalog.Register("alpha", MakeModel(2, QualitativeForm::kGeneral));

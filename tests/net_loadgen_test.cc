@@ -77,6 +77,33 @@ TEST(NetLoadGenTest, ClosedLoopBatchedCountsItems) {
   EXPECT_GT(result.items_per_sec, result.qps);
 }
 
+TEST(NetLoadGenTest, FeedbackTrafficClosesTheAdaptationLoop) {
+  ServedRuntime served(TestConfig());  // adaptation on by default
+  std::string error;
+  ASSERT_TRUE(served.Start(&error)) << error;
+
+  LoadGenConfig load = BaseLoad(served.port());
+  load.duration = std::chrono::milliseconds(500);
+  load.feedback = true;
+  load.feedback_noise = 0.02;
+  load.feedback_drift = 0.5;  // truth inflates ~25% over the run
+  const LoadGenResult result = RunLoadGen(load);
+
+  EXPECT_GT(result.completed, 0u);
+  EXPECT_EQ(result.transport_errors, 0u);
+  EXPECT_EQ(result.error_frames, 0u);
+  // Every completed estimate produced a report, and the served controller
+  // consumed them (ring overflow would show as rejected).
+  EXPECT_EQ(result.feedback_accepted + result.feedback_rejected,
+            result.completed);
+  EXPECT_GT(result.feedback_accepted, 0u);
+  EXPECT_GE(served.server().Stats().feedback_reports,
+            result.feedback_accepted + result.feedback_rejected);
+  const runtime::AdaptationStats stats = served.adaptation()->Stats();
+  EXPECT_EQ(stats.accepted, result.feedback_accepted);
+  EXPECT_GT(stats.updates_applied, 0u);
+}
+
 TEST(NetLoadGenTest, PlacementTrafficChoosesSites) {
   ServedRuntime served(TestConfig());
   std::string error;

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <optional>
@@ -239,6 +240,106 @@ TEST_F(NetServerTest, StatsOverLoopback) {
   // The server merges its own wire counters into the same payload.
   EXPECT_GE(stats.counters.at("net.frames_received"), 1u);
   EXPECT_GE(stats.counters.at("net.responses_sent"), 1u);
+}
+
+TEST_F(NetServerTest, FeedbackOverLoopbackAdaptsTheServedModel) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", served_->port()));
+
+  const EstimateRequest req = ValidRequest();
+  EstimateResponse before;
+  ASSERT_TRUE(client.Estimate(req, &before).ok());
+  ASSERT_EQ(before.status, EstimateStatus::kOk);
+  EXPECT_EQ(before.model_generation, 0u);  // base fit, never adapted
+
+  // The environment now costs 3x what the served model believes. Close the
+  // loop over the wire until the fast tier publishes an adapted row.
+  const double truth = 3.0 * before.estimate_seconds;
+  runtime::FeedbackReport report;
+  report.site = req.site;
+  report.class_id = req.class_id;
+  report.features = req.features;
+  report.actual_cost = truth;
+  report.probing_cost = before.probing_cost;
+  report.model_generation = before.model_generation;
+
+  EstimateResponse after = before;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline &&
+         after.model_generation == 0) {
+    for (int i = 0; i < 16; ++i) {
+      bool accepted = false;
+      const RpcStatus status = client.ReportActual(report, &accepted);
+      ASSERT_TRUE(status.ok()) << status.message;
+      EXPECT_TRUE(accepted);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    ASSERT_TRUE(client.Estimate(req, &after).ok());
+  }
+  ASSERT_GE(after.model_generation, 1u) << "no adapted publish before deadline";
+  // The adapted estimate moved toward the reported truth.
+  EXPECT_LT(std::abs(after.estimate_seconds - truth),
+            std::abs(before.estimate_seconds - truth));
+
+  WireStats stats;
+  ASSERT_TRUE(client.Stats(&stats).ok());
+  EXPECT_GE(stats.counters.at("net.feedback_reports"), 16u);
+  EXPECT_GE(stats.counters.at("adaptations_applied"), 1u);
+}
+
+TEST_F(NetServerTest, InvalidFeedbackGetsInvalidRequestErrorFrame) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", served_->port()));
+
+  runtime::FeedbackReport report;
+  report.site = "site0";
+  report.class_id = core::QueryClassId::kUnarySeqScan;
+  report.features = {1.0};
+  report.actual_cost = 0.0;  // not a priceable observation
+  bool accepted = true;
+  const RpcStatus status = client.ReportActual(report, &accepted);
+  EXPECT_EQ(status.code, RpcStatus::Code::kErrorFrame);
+  EXPECT_EQ(status.wire_error, WireError::kInvalidRequest);
+
+  // The connection survives a rejected report.
+  EstimateResponse resp;
+  EXPECT_TRUE(client.Estimate(ValidRequest(), &resp).ok());
+}
+
+TEST(NetServerFeedbackTest, NoHandlerAcksAcceptedFalse) {
+  ServedRuntimeConfig config = TestConfig();
+  config.adaptation = false;  // serving without an adaptation loop
+  ServedRuntime served(config);
+  std::string error;
+  ASSERT_TRUE(served.Start(&error)) << error;
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", served.port()));
+  runtime::FeedbackReport report;
+  report.site = "site0";
+  report.class_id = core::QueryClassId::kUnarySeqScan;
+  report.features = {1.0, 2.0};
+  report.actual_cost = 0.5;
+  bool accepted = true;
+  const RpcStatus status = client.ReportActual(report, &accepted);
+  ASSERT_TRUE(status.ok()) << status.message;
+  EXPECT_FALSE(accepted);  // decoded and counted, but nothing consumed it
+  EXPECT_GE(served.server().Stats().feedback_reports, 1u);
+}
+
+TEST_F(NetServerTest, BatchResponsesCarryGenerationOverWire) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", served_->port()));
+  std::vector<EstimateRequest> batch = {ValidRequest("site0"),
+                                        ValidRequest("site1")};
+  std::vector<EstimateResponse> responses;
+  ASSERT_TRUE(client.EstimateBatch(batch, &responses).ok());
+  ASSERT_EQ(responses.size(), 2u);
+  for (const EstimateResponse& r : responses) {
+    EXPECT_EQ(r.status, EstimateStatus::kOk);
+    EXPECT_EQ(r.model_generation, 0u);  // base fit on both sites
+  }
 }
 
 TEST_F(NetServerTest, PipelinedRequestsOnOneConnection) {

@@ -62,6 +62,17 @@ echo "net_smoke: server up on port ${PORT}"
 "${LOADGEN}" --port "${PORT}" --mode open --rate 500 --connections 2 \
   --duration-s 1.5 --sites 2 --batch 8 --stats
 
+# Drift-recovery over the wire: --feedback reports ground-truth costs whose
+# scale drifts away from the served models, driving the server's RLS fast
+# tier. The run must land accepted kReportActual frames.
+"${LOADGEN}" --port "${PORT}" --mode closed --connections 2 --duration-s 1.5 \
+  --sites 2 --feedback --feedback-drift 0.5 --json "${WORKDIR}/feedback.json"
+if ! grep -q '"feedback_accepted": [1-9]' "${WORKDIR}/feedback.json"; then
+  echo "net_smoke: feedback run reported no accepted kReportActual frames" >&2
+  cat "${WORKDIR}/feedback.json" >&2
+  exit 1
+fi
+
 # Graceful SIGTERM shutdown must exit 0 within the deadline.
 kill -TERM "${SERVER_PID}"
 DEADLINE=$((SECONDS + 15))

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Tier-2 concurrency check: build the tree under a sanitizer and run the
 # concurrency-sensitive suites (thread pool, snapshot catalog, contention
-# tracker, estimation service, model-refresh daemon, circuit breaker, fault
-# injection, stress, chaos, epoch reclamation, thread registry, per-thread
-# stats, and the net serving boundary — wire codec fuzz, loopback server,
-# shutdown ordering, load generator). One command:
+# tracker, estimation service, model-refresh daemon, RLS/adaptation
+# controller feedback loop, circuit breaker, fault injection, stress, chaos,
+# epoch reclamation, thread registry, per-thread stats, and the net serving
+# boundary — wire codec fuzz, loopback server, shutdown ordering, load
+# generator). One command:
 #
 #   tests/run_sanitized.sh            # thread sanitizer (default)
 #   MSCM_SANITIZE=address tests/run_sanitized.sh   # asan instead
@@ -19,7 +20,7 @@ case "${SANITIZER}" in
   address) BUILD_DIR="${REPO_ROOT}/build-asan" ;;
   *) BUILD_DIR="${REPO_ROOT}/build-${SANITIZER}" ;;
 esac
-FILTER='(ThreadPool|SnapshotCatalog|ContentionTracker|EstimationService|ModelRefresh|RuntimeStress|EstimateCache|CircuitBreaker|FaultInjector|FaultyObservationSource|RuntimeChaos|Epoch|ThreadRegistry|LatencyHistogram|RuntimeCounters|WireReader|WireMessages|WireValidation|WireFuzz|FrameAssembler|StatsCodec|NetServer|NetShutdown|NetLoadGen|PlacementPolicy|CostDistribution)'
+FILTER='(ThreadPool|SnapshotCatalog|ContentionTracker|EstimationService|ModelRefresh|RuntimeStress|EstimateCache|CircuitBreaker|FaultInjector|FaultyObservationSource|RuntimeChaos|Epoch|ThreadRegistry|LatencyHistogram|RuntimeCounters|Rls|Adaptation|WireReader|WireMessages|WireValidation|WireGeneration|WireFuzz|FrameAssembler|StatsCodec|NetServer|NetShutdown|NetLoadGen|PlacementPolicy|CostDistribution)'
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DMSCM_SANITIZE="${SANITIZER}" \
   > /dev/null
@@ -29,6 +30,7 @@ cmake --build "${BUILD_DIR}" -j \
            runtime_service_test runtime_refresh_test runtime_stress_test \
            estimate_cache_test circuit_breaker_test fault_injector_test \
            runtime_chaos_test epoch_test runtime_stats_test \
+           rls_test adaptation_test \
            wire_format_test net_server_test \
            net_shutdown_test net_loadgen_test placement_policy_test
 

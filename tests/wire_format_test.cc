@@ -407,6 +407,154 @@ TEST(WireMessagesTest, ErrorFrameEchoesRequestId) {
   EXPECT_EQ(body->code, WireError::kShuttingDown);
 }
 
+// ---- Generation extension + feedback reports --------------------------------
+
+runtime::FeedbackReport MakeReport() {
+  runtime::FeedbackReport report;
+  report.site = "site2";
+  report.class_id = core::QueryClassId::kJoinNoIndex;
+  report.features = {4.0, 2.0, 1.5};
+  report.actual_cost = 0.375;
+  report.probing_cost = 1.25;
+  report.model_generation = 9;
+  return report;
+}
+
+TEST(WireGenerationTest, SingleResponseCarriesGeneration) {
+  EstimateResponse resp = MakeResponse();
+  resp.model_generation = 42;
+  auto got = DecodeEstimateResponsePayload(EncodeEstimateResponsePayload(resp));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->model_generation, 42u);
+}
+
+TEST(WireGenerationTest, LegacyResponseWithoutExtensionDecodesToGenerationZero) {
+  // A pre-extension peer encodes only the base response body.
+  EstimateResponse resp = MakeResponse();
+  resp.model_generation = 42;  // must NOT survive the legacy encoding
+  WireWriter w;
+  EncodeEstimateResponse(resp, w);
+  auto got = DecodeEstimateResponsePayload(w.bytes());
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->model_generation, 0u);
+}
+
+TEST(WireGenerationTest, BatchResponsesCarryPerItemGenerations) {
+  std::vector<EstimateResponse> responses(3, MakeResponse());
+  responses[0].model_generation = 1;
+  responses[1].model_generation = 0;
+  responses[2].model_generation = 7;
+  auto got = DecodeEstimateBatchResponsePayload(
+      EncodeEstimateBatchResponse(responses));
+  ASSERT_TRUE(got.has_value());
+  ASSERT_EQ(got->size(), 3u);
+  EXPECT_EQ((*got)[0].model_generation, 1u);
+  EXPECT_EQ((*got)[1].model_generation, 0u);
+  EXPECT_EQ((*got)[2].model_generation, 7u);
+}
+
+TEST(WireGenerationTest, PartialBatchGenerationExtensionFailsClosed) {
+  std::vector<EstimateResponse> responses(3, MakeResponse());
+  auto bytes = EncodeEstimateBatchResponse(responses);
+  // Drop one u64 from the generation extension: neither a legacy frame
+  // (extension absent) nor a complete one.
+  bytes.resize(bytes.size() - 8);
+  EXPECT_FALSE(DecodeEstimateBatchResponsePayload(bytes).has_value());
+}
+
+TEST(WireGenerationTest, PlacementResponsesCarryGenerations) {
+  PlacementResult result;
+  result.chosen = 0;
+  result.responses = {MakeResponse(), MakeResponse()};
+  result.responses[0].model_generation = 3;
+  result.responses[1].model_generation = 11;
+  result.total_seconds = {1.0, 2.0};
+  auto got = DecodePlacementResponsePayload(EncodePlacementResponse(result));
+  ASSERT_TRUE(got.has_value());
+  ASSERT_EQ(got->responses.size(), 2u);
+  EXPECT_EQ(got->responses[0].model_generation, 3u);
+  EXPECT_EQ(got->responses[1].model_generation, 11u);
+}
+
+TEST(WireMessagesTest, ReportActualRoundTrips) {
+  const runtime::FeedbackReport report = MakeReport();
+  WireError error = WireError::kNone;
+  auto got = DecodeReportActualPayload(EncodeReportActual(report), &error);
+  ASSERT_TRUE(got.has_value()) << ToString(error);
+  EXPECT_EQ(got->site, report.site);
+  EXPECT_EQ(got->class_id, report.class_id);
+  EXPECT_EQ(got->features, report.features);
+  EXPECT_DOUBLE_EQ(got->actual_cost, report.actual_cost);
+  EXPECT_DOUBLE_EQ(got->probing_cost, report.probing_cost);
+  EXPECT_EQ(got->model_generation, report.model_generation);
+}
+
+TEST(WireMessagesTest, ReportActualNegativeProbingSentinelSurvives) {
+  runtime::FeedbackReport report = MakeReport();
+  report.probing_cost = -1.0;  // resolve from the site's cached probe
+  auto got = DecodeReportActualPayload(EncodeReportActual(report), nullptr);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(got->probing_cost, -1.0);
+}
+
+TEST(WireMessagesTest, ReportActualAckRoundTrips) {
+  EXPECT_EQ(DecodeReportActualAckPayload(EncodeReportActualAck(true)), true);
+  EXPECT_EQ(DecodeReportActualAckPayload(EncodeReportActualAck(false)), false);
+  EXPECT_FALSE(DecodeReportActualAckPayload({0x02}).has_value());
+  EXPECT_FALSE(DecodeReportActualAckPayload({}).has_value());
+  EXPECT_FALSE(DecodeReportActualAckPayload({0x01, 0x00}).has_value());
+}
+
+TEST(WireValidationTest, ReportActualSemanticViolationsAreInvalidRequest) {
+  const auto expect_invalid = [](runtime::FeedbackReport report) {
+    WireError error = WireError::kNone;
+    EXPECT_FALSE(
+        DecodeReportActualPayload(EncodeReportActual(report), &error)
+            .has_value());
+    EXPECT_EQ(error, WireError::kInvalidRequest);
+  };
+  {
+    runtime::FeedbackReport r = MakeReport();
+    r.actual_cost = 0.0;  // feedback must be a priceable observation
+    expect_invalid(r);
+  }
+  {
+    runtime::FeedbackReport r = MakeReport();
+    r.actual_cost = std::numeric_limits<double>::quiet_NaN();
+    expect_invalid(r);
+  }
+  {
+    runtime::FeedbackReport r = MakeReport();
+    r.probing_cost = std::numeric_limits<double>::infinity();
+    expect_invalid(r);
+  }
+  {
+    runtime::FeedbackReport r = MakeReport();
+    r.features[1] = std::numeric_limits<double>::infinity();
+    expect_invalid(r);
+  }
+  {
+    runtime::FeedbackReport r = MakeReport();
+    r.site.clear();
+    expect_invalid(r);
+  }
+}
+
+TEST(WireValidationTest, ReportActualTruncationAndTrailingAreMalformed) {
+  auto bytes = EncodeReportActual(MakeReport());
+  WireError error = WireError::kNone;
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 3);
+  EXPECT_FALSE(DecodeReportActualPayload(truncated, &error).has_value());
+  EXPECT_EQ(error, WireError::kMalformedFrame);
+
+  error = WireError::kNone;
+  auto trailing = bytes;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(DecodeReportActualPayload(trailing, &error).has_value());
+  EXPECT_EQ(error, WireError::kMalformedFrame);
+}
+
 // ---- Semantic boundary rejection -------------------------------------------
 
 TEST(WireValidationTest, NonFiniteFeatureIsInvalidRequest) {
@@ -751,6 +899,8 @@ TEST(WireFuzzTest, MutatedValidFramesNeverCrashDecoders) {
       (void)DecodeEstimateBatchRequestPayload(f->payload, &error);
       (void)DecodePlacementRequestPayload(f->payload, &error);
       (void)DecodeEstimateResponsePayload(f->payload);
+      (void)DecodeReportActualPayload(f->payload, &error);
+      (void)DecodeReportActualAckPayload(f->payload);
       (void)DecodeErrorBodyPayload(f->payload);
       (void)DecodeStatsPayload(f->payload);
     }
@@ -802,6 +952,8 @@ TEST(WireFuzzTest, TruncatedPayloadsFailClosed) {
     result.policy = core::PlacementPolicy::kExpectedCost;
     payloads.push_back(EncodePlacementResponse(result));
   }
+  payloads.push_back(EncodeReportActual(MakeReport()));
+  payloads.push_back(EncodeReportActualAck(true));
   payloads.push_back(EncodeErrorBody({WireError::kInternal, "boom"}));
   payloads.push_back(EncodeStats(runtime::RuntimeStatsSnapshot{}));
 
@@ -819,6 +971,8 @@ TEST(WireFuzzTest, TruncatedPayloadsFailClosed) {
       (void)DecodeEstimateResponsePayload(truncated);
       (void)DecodeEstimateBatchResponsePayload(truncated);
       (void)DecodePlacementResponsePayload(truncated);
+      (void)DecodeReportActualPayload(truncated, &error);
+      (void)DecodeReportActualAckPayload(truncated);
       (void)DecodeErrorBodyPayload(truncated);
       (void)DecodeStatsPayload(truncated);
     }
