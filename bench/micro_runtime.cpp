@@ -79,6 +79,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -93,6 +94,7 @@
 #include "runtime/estimation_service.h"
 #include "runtime/model_refresh.h"
 #include "runtime/rmw_probe.h"
+#include "sim/fleet.h"
 
 namespace {
 
@@ -437,6 +439,196 @@ Result RunRawBestOf(const core::CostModel& model, const RawWorkload& workload,
   return best;
 }
 
+// Fleet-scale serving under churn: a generated population of heterogeneous
+// sites (sim::Fleet) behind one cached service, two reader threads pricing
+// tracker-resolved requests across the whole fleet while a churner
+// unregisters and re-registers sites and a regime thread moves every site's
+// contention (diurnal sweep + group spikes). Reports sustained throughput
+// and checks the lifecycle invariants the runtime soak pins: counter
+// conservation (requests == hits + misses), retirement accounting
+// (sites_retired == churn cycles) and full serving once churn stops.
+struct FleetOutcome {
+  Result result;
+  size_t sites = 0;
+  uint64_t churn_cycles = 0;
+  uint64_t cache_hits = 0;
+  bool conservation_ok = false;
+  bool retirement_ok = false;
+  bool serving_ok = false;
+};
+
+// One model per distinct state count, copied per site: the estimate path
+// through a copy is identical, and fitting three prototypes instead of two
+// hundred keeps bench startup off the critical path.
+core::CostModel MakeFleetModel(int num_states) {
+  const size_t n_features =
+      core::VariableSet::ForClass(core::QueryClassId::kUnarySeqScan).size();
+  core::ObservationSet obs;
+  Rng rng(static_cast<uint64_t>(num_states) * 97 + 5);
+  std::vector<double> boundaries;
+  for (int s = 0; s < num_states; ++s) {
+    if (s > 0) boundaries.push_back(static_cast<double>(s));
+    for (int i = 0; i < 40; ++i) {
+      core::Observation o;
+      o.probing_cost = static_cast<double>(s) + 0.5;
+      o.features.assign(n_features, 0.0);
+      o.features[0] = rng.Uniform(1.0, 10.0);
+      o.cost = (0.4 + 1.3 * static_cast<double>(s)) * o.features[0];
+      obs.push_back(std::move(o));
+    }
+  }
+  return core::FitCostModel(core::QueryClassId::kUnarySeqScan, obs, {0},
+                            core::ContentionStates::FromBoundaries(boundaries),
+                            core::QualitativeForm::kGeneral);
+}
+
+FleetOutcome RunFleetScenario(bool smoke) {
+  sim::FleetConfig fleet_config;
+  fleet_config.num_sites = smoke ? 64 : 208;
+  fleet_config.diurnal_period_seconds = 2.0;
+  sim::Fleet fleet(fleet_config);
+  const size_t num_sites = fleet.num_sites();
+
+  runtime::EstimationServiceConfig config;
+  config.probe_ttl = std::chrono::hours(1);
+  config.worker_threads = 0;
+  config.cache.capacity_per_thread = 2048;
+  runtime::EstimationService service(config);
+
+  std::map<int, core::CostModel> prototypes;
+  for (size_t i = 0; i < num_sites; ++i) {
+    const int s = fleet.spec(i).num_states;
+    if (prototypes.find(s) == prototypes.end()) {
+      prototypes.emplace(s, MakeFleetModel(s));
+    }
+  }
+  for (size_t i = 0; i < num_sites; ++i) {
+    const sim::FleetSiteSpec& spec = fleet.spec(i);
+    service.RegisterSite(spec.name, [&fleet, i] { return fleet.probing_cost(i); });
+    service.RegisterModel(spec.name, prototypes.at(spec.num_states));
+    service.ProbeNow(spec.name);
+  }
+
+  constexpr int kReaders = 2;
+  const size_t per_reader = smoke ? 40000 : 400000;
+  const size_t feature_width =
+      core::VariableSet::ForClass(core::QueryClassId::kUnarySeqScan).size();
+  std::atomic<bool> stop_background{false};
+
+  std::thread regime([&] {
+    Rng rng(41);
+    uint64_t ticks = 0;
+    while (!stop_background.load(std::memory_order_relaxed)) {
+      fleet.Advance(0.01);
+      if (++ticks % 40 == 0) {
+        fleet.TriggerSpike(
+            static_cast<size_t>(rng.UniformInt(
+                0, static_cast<int64_t>(fleet_config.num_groups) - 1)),
+            rng.Uniform(0.3, 0.8), rng.Uniform(0.2, 0.5));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::thread prober([&] {
+    size_t i = 0;
+    while (!stop_background.load(std::memory_order_relaxed)) {
+      service.ProbeNow(fleet.spec(i % num_sites).name);
+      ++i;
+      if (i % 64 == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+  // Churn rolls over a fixed pool at the front of the fleet; readers accept
+  // kNoModel from exactly that pool while a site is mid-cycle.
+  const size_t churn_count = std::min<size_t>(8, num_sites / 8);
+  std::atomic<uint64_t> churn_cycles{0};
+  std::thread churner([&] {
+    size_t k = 0;
+    while (!stop_background.load(std::memory_order_relaxed)) {
+      const size_t i = k % churn_count;
+      const sim::FleetSiteSpec& spec = fleet.spec(i);
+      service.UnregisterSite(spec.name);
+      service.RegisterSite(spec.name,
+                           [&fleet, i] { return fleet.probing_cost(i); });
+      service.RegisterModel(spec.name, prototypes.at(spec.num_states));
+      service.ProbeNow(spec.name);
+      churn_cycles.fetch_add(1, std::memory_order_relaxed);
+      ++k;
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  std::atomic<bool> bad_status{false};
+  std::vector<std::thread> readers;
+  const auto started = Clock::now();
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(100 + static_cast<uint64_t>(t));
+      for (size_t r = 0; r < per_reader; ++r) {
+        const size_t i = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(num_sites) - 1));
+        runtime::EstimateRequest request;
+        request.site = fleet.spec(i).name;
+        request.features.assign(feature_width, 0.0);
+        request.features[0] = 1.0 + static_cast<double>(r % 8);
+        request.probing_cost = -1.0;
+        const runtime::EstimateResponse response = service.Estimate(request);
+        // A churn-pool site mid-cycle legitimately serves kNoModel (between
+        // unregister and re-register) or kNoProbe (re-registered, first
+        // probe still pending) — same contract the runtime soak pins.
+        const bool ok_here =
+            response.ok() ||
+            (i < churn_count &&
+             (response.status == runtime::EstimateStatus::kNoModel ||
+              response.status == runtime::EstimateStatus::kNoProbe));
+        if (!ok_here) bad_status.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - started).count();
+  stop_background.store(true, std::memory_order_relaxed);
+  churner.join();
+  prober.join();
+  regime.join();
+
+  // Churn stopped with every site registered; one probe pass and the whole
+  // fleet must serve.
+  bool serving_ok = !bad_status.load();
+  for (size_t i = 0; i < num_sites; ++i) {
+    service.ProbeNow(fleet.spec(i).name);
+  }
+  for (size_t i = 0; i < num_sites; ++i) {
+    runtime::EstimateRequest request;
+    request.site = fleet.spec(i).name;
+    request.features.assign(feature_width, 0.0);
+    request.features[0] = 2.0;
+    request.probing_cost = -1.0;
+    if (!service.Estimate(request).ok()) serving_ok = false;
+  }
+
+  const runtime::RuntimeStatsSnapshot stats = service.Stats();
+  FleetOutcome outcome;
+  outcome.result.scenario.name = "fleet x2 + churn";
+  outcome.result.scenario.threads = kReaders;
+  outcome.result.scenario.cached = true;
+  outcome.result.qps =
+      static_cast<double>(per_reader * kReaders) / seconds;
+  outcome.result.cache_hits = stats.estimate_cache_hits;
+  outcome.sites = num_sites;
+  outcome.churn_cycles = churn_cycles.load();
+  outcome.cache_hits = stats.estimate_cache_hits;
+  // Every request here is tracker-resolved (probing < 0) on a cached
+  // service, so the flow balance is exact: a request is a hit or a miss.
+  outcome.conservation_ok =
+      stats.requests == stats.estimate_cache_hits + stats.estimate_cache_misses;
+  outcome.retirement_ok = stats.sites_retired == churn_cycles.load();
+  outcome.serving_ok = serving_ok && stats.degraded_sites == 0;
+  return outcome;
+}
+
 // ---- Boundary-jitter placement duel ---------------------------------------
 //
 // Two candidate sites for the same query. "steady" always costs 1.0.
@@ -669,6 +861,15 @@ AdaptationDuelOutcome RunAdaptationDuel() {
         report.features[j] = rng.Uniform(1.0, 10.0);
       }
       report.actual_cost = DriftedTruth(report.features);
+      // A real client prices the query first and echoes the generation the
+      // estimate came from; unstamped reports would read as stale lineage
+      // once the fast tier starts publishing.
+      runtime::EstimateRequest priced;
+      priced.site = "alpha";
+      priced.class_id = cls;
+      priced.features = report.features;
+      priced.probing_cost = 0.5;
+      report.model_generation = service->Estimate(priced).model_generation;
       controller.Record(report);
       controller.DrainOnce();
       ++outcome.rls_observations;
@@ -812,6 +1013,16 @@ int main(int argc, char** argv) {
     table.AddRow({r.scenario.name, Format("%.0f", r.qps), "-", "-", "0.00",
                   "0", "0"});
   }
+
+  // Fleet-scale churn scenario, appended after the fixed-index scenarios so
+  // results[0..12] keep their positions.
+  const FleetOutcome fleet = RunFleetScenario(smoke);
+  results.push_back(fleet.result);
+  table.AddRow({fleet.result.scenario.name, Format("%.0f", fleet.result.qps),
+                "-", "-", "-",
+                "0",
+                Format("%llu",
+                       static_cast<unsigned long long>(fleet.cache_hits))});
   std::printf("%s\n", table.Render().c_str());
   if (8u > effective_hw) {
     std::printf("* oversubscribed: more reader threads than the machine's %u "
@@ -882,6 +1093,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(duel.rls_observations),
               static_cast<unsigned long long>(duel.rederive_observations),
               duel.convergence_ratio_x, duel.probe_savings_x);
+  std::printf("fleet churn (%zu sites, %llu cycles):      %.0f req/s, "
+              "conservation %s, retirement %s, serving %s\n",
+              fleet.sites,
+              static_cast<unsigned long long>(fleet.churn_cycles),
+              fleet.result.qps, fleet.conservation_ok ? "ok" : "VIOLATED",
+              fleet.retirement_ok ? "ok" : "VIOLATED",
+              fleet.serving_ok ? "ok" : "BROKEN");
 
   if (smoke) {
     bool fail = false;
@@ -928,6 +1146,18 @@ int main(int argc, char** argv) {
                   "with at least 3x fewer observations than a full "
                   "re-derivation\n",
                   duel.convergence_ratio_x);
+      fail = true;
+    }
+    if (!fleet.conservation_ok || !fleet.retirement_ok || !fleet.serving_ok ||
+        fleet.churn_cycles == 0) {
+      std::printf("\nSMOKE FAIL: fleet churn scenario broke a lifecycle "
+                  "invariant (conservation %s, retirement %s, serving %s, "
+                  "%llu churn cycles) — site churn corrupted stats or left "
+                  "the fleet unable to serve\n",
+                  fleet.conservation_ok ? "ok" : "VIOLATED",
+                  fleet.retirement_ok ? "ok" : "VIOLATED",
+                  fleet.serving_ok ? "ok" : "BROKEN",
+                  static_cast<unsigned long long>(fleet.churn_cycles));
       fail = true;
     }
     if (effective_hw > 1 && !(honest_scaling >= 1.05)) {
@@ -1018,8 +1248,20 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(duel.rederive_probe_draws));
     std::fprintf(json, "  \"adaptation_convergence_ratio_x\": %.3f,\n",
                  duel.convergence_ratio_x);
-    std::fprintf(json, "  \"adaptation_probe_savings_x\": %.3f\n",
+    std::fprintf(json, "  \"adaptation_probe_savings_x\": %.3f,\n",
                  duel.probe_savings_x);
+    std::fprintf(json, "  \"fleet_sites\": %zu,\n", fleet.sites);
+    std::fprintf(json, "  \"fleet_qps\": %.0f,\n", fleet.result.qps);
+    std::fprintf(json, "  \"fleet_churn_cycles\": %llu,\n",
+                 static_cast<unsigned long long>(fleet.churn_cycles));
+    std::fprintf(json, "  \"fleet_cache_hits\": %llu,\n",
+                 static_cast<unsigned long long>(fleet.cache_hits));
+    std::fprintf(json, "  \"fleet_conservation_ok\": %s,\n",
+                 fleet.conservation_ok ? "true" : "false");
+    std::fprintf(json, "  \"fleet_retirement_ok\": %s,\n",
+                 fleet.retirement_ok ? "true" : "false");
+    std::fprintf(json, "  \"fleet_serving_ok\": %s\n",
+                 fleet.serving_ok ? "true" : "false");
     std::fprintf(json, "}\n");
     std::fclose(json);
     std::printf("\nwrote BENCH_runtime.json\n");

@@ -29,6 +29,12 @@ class GlobalCatalog {
   // valid for the snapshot's whole lifetime.
   void Register(const std::string& site, CostModel model);
 
+  // Removes every model registered for `site` (all query classes). Returns
+  // the number of entries erased (0 = the site had none). The same
+  // invalidation rule as Register() applies: Find() pointers for the erased
+  // keys dangle afterwards.
+  size_t Unregister(const std::string& site);
+
   // The model for (site, class), or nullptr if none is registered. The
   // pointer is invalidated by a Register() for the same key (see above).
   const CostModel* Find(const std::string& site, QueryClassId class_id) const;

@@ -143,7 +143,29 @@ std::vector<int> SelectVariables(QueryClassId class_id,
     current.push_back(secondary.front());
     secondary.erase(secondary.begin());
   }
-  MSCM_CHECK_MSG(!current.empty(), "no usable explanatory variables");
+  if (current.empty()) {
+    // Fully degenerate screening: no variable cleared the correlation bar.
+    // This is a *data* condition, not a programmer error — a sample whose
+    // cost variance is dominated by an unmodeled factor (e.g. contention
+    // priced under a single forced state) can leave every variable with
+    // near-zero marginal correlation. Aborting here would let one bad
+    // sample from one autonomous site take down the process through the
+    // background refresh path. Keep the strongest variable instead: the
+    // fit degrades gracefully (low R², caught by the caller's quality
+    // guards and re-triggered drift) rather than dying.
+    int best_var = -1;
+    double best_corr = -1.0;
+    for (size_t v = 0; v < variables.size(); ++v) {
+      const double c =
+          MaxStateCorrelation(observations, states, static_cast<int>(v), costs);
+      if (c > best_corr) {
+        best_corr = c;
+        best_var = static_cast<int>(v);
+      }
+    }
+    MSCM_CHECK_MSG(best_var >= 0, "no usable explanatory variables");
+    current.push_back(best_var);
+  }
 
   // --- backward elimination over the basic set.
   while (current.size() > 1) {

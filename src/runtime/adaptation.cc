@@ -31,12 +31,14 @@ void BumpOwned(std::atomic<uint64_t>& field) {
 }  // namespace
 
 std::string AdaptationStats::ToString() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "accepted=%llu dropped=%llu rejected=%llu drained=%llu ignored=%llu "
       "updates_applied=%llu updates_rejected=%llu adaptations_published=%llu "
-      "escalations=%llu lost_races=%llu lineage_resets=%llu",
+      "escalations=%llu lost_races=%llu lineage_resets=%llu "
+      "stale_gen_discarded=%llu stale_gen_downweighted=%llu "
+      "max_generation_lag=%llu",
       static_cast<unsigned long long>(accepted),
       static_cast<unsigned long long>(dropped),
       static_cast<unsigned long long>(rejected),
@@ -47,7 +49,10 @@ std::string AdaptationStats::ToString() const {
       static_cast<unsigned long long>(adaptations_published),
       static_cast<unsigned long long>(escalations),
       static_cast<unsigned long long>(lost_races),
-      static_cast<unsigned long long>(lineage_resets));
+      static_cast<unsigned long long>(lineage_resets),
+      static_cast<unsigned long long>(stale_gen_discarded),
+      static_cast<unsigned long long>(stale_gen_downweighted),
+      static_cast<unsigned long long>(max_generation_lag));
   return buf;
 }
 
@@ -176,14 +181,23 @@ size_t AdaptationController::DrainOnce() {
 
   // Post-pass: escalate stalled groups, publish the rest. Escalation wins —
   // publishing rows from a lineage we just declared broken would only delay
-  // the re-derivation's correction.
-  for (auto& [key, group] : groups_) {
-    if (!group.seeded) continue;
-    if (group.blown || ShouldEscalate(group)) {
-      Escalate(key, group);
+  // the re-derivation's correction. Unseeded groups (reset by a lost race or
+  // lineage orphaning on an earlier pass) are erased rather than kept: the
+  // next report for the key re-inserts and re-seeds, and a retired site's
+  // key must not pin an empty Group forever.
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    Group& group = it->second;
+    if (!group.seeded) {
+      it = groups_.erase(it);
       continue;
     }
-    MaybePublish(key, group);
+    if (group.blown || ShouldEscalate(group)) {
+      Escalate(it->first, group);
+      it = groups_.erase(it);
+      continue;
+    }
+    MaybePublish(it->first, group);
+    ++it;
   }
   return consumed;
 }
@@ -219,8 +233,30 @@ void AdaptationController::ProcessSample(const Sample& sample) {
     return;
   }
 
+  // Generation-aware weighting: how many publishes behind the serving
+  // lineage was this report priced? The serving generation only moves
+  // forward within a lineage; a response generation *below* the sample's
+  // means the lineage itself was replaced (re-register / re-derivation),
+  // which the reset below handles — treat that as lag 0 here.
+  uint64_t lag = 0;
+  if (response.model_generation > sample.model_generation) {
+    lag = response.model_generation - sample.model_generation;
+  }
+  // Single writer (ProcessSample runs under drain_mutex_): plain max.
+  if (lag > max_generation_lag_.load(std::memory_order_relaxed)) {
+    max_generation_lag_.store(lag, std::memory_order_relaxed);
+  }
+  if (lag > config_.generation_discard_lag) {
+    // Too stale: the report describes a model several corrections ago.
+    // Folding it in would bias the estimators toward errors the serving
+    // lineage already fixed. Dropped before it can touch group state.
+    stale_gen_discarded_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
   const auto key = std::make_pair(site, static_cast<int>(sample.class_id));
-  Group& group = groups_[key];
+  const auto [group_it, group_inserted] = groups_.try_emplace(key);
+  Group& group = group_it->second;
   if (group.seeded && group.generation != response.model_generation) {
     // An externally published model (full re-derivation, or a competing
     // adapter) reset the lineage: orphan the accumulators and re-seed.
@@ -228,9 +264,15 @@ void AdaptationController::ProcessSample(const Sample& sample) {
     group = Group{};
   }
   if (!group.seeded && !ReseedGroup(group, site, sample.class_id)) {
+    // No serving model to seed from — the site may have been retired
+    // between the estimate above and now. Do not leave an empty Group
+    // pinned in the map (a straggling report for a retired site would
+    // otherwise leak one group per key, forever).
+    groups_.erase(group_it);
     ignored_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  group.last_generation_lag = lag;
 
   UpdateSignals(group, response.estimate_seconds, sample.actual_cost,
                 response.state);
@@ -242,7 +284,7 @@ void AdaptationController::ProcessSample(const Sample& sample) {
   const core::CostModel* model = snapshot->Find(site, sample.class_id);
   if (model == nullptr || model->generation() != group.generation) {
     lineage_resets_.fetch_add(1, std::memory_order_relaxed);
-    group = Group{};
+    groups_.erase(group_it);
     return;
   }
   const core::CompiledEquations& equations = model->compiled();
@@ -272,7 +314,17 @@ void AdaptationController::ProcessSample(const Sample& sample) {
   std::vector<double> z(stride);
   z[0] = 1.0;
   equations.GatherSelected(request.features.data(), z.data() + 1);
-  if (acc.rls->Update(z.data(), sample.actual_cost)) {
+  // Lagged-but-tolerated reports fold in at reduced weight: each generation
+  // of lag halves (by default) the observation's influence on the
+  // estimator, so stragglers refine rather than fight fresh feedback.
+  const double weight =
+      lag == 0 ? 1.0
+               : std::pow(std::clamp(config_.generation_downweight, 1e-9, 1.0),
+                          static_cast<double>(lag));
+  if (weight < 1.0) {
+    stale_gen_downweighted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (acc.rls->UpdateWeighted(z.data(), sample.actual_cost, weight)) {
     updates_applied_.fetch_add(1, std::memory_order_relaxed);
     ++acc.new_updates;
   } else {
@@ -364,8 +416,8 @@ void AdaptationController::Escalate(const std::pair<std::string, int>& key,
     daemon_->RequestRefresh(key.first,
                             static_cast<core::QueryClassId>(key.second));
   }
-  // Whatever model the slow path publishes starts a new lineage; the next
-  // report re-seeds from it.
+  // Whatever model the slow path publishes starts a new lineage; the caller
+  // erases the group and the next report re-seeds from the new model.
   group = Group{};
 }
 
@@ -444,6 +496,19 @@ void AdaptationController::Stop() {
   DrainOnce();
 }
 
+void AdaptationController::DetachSite(const std::string& site) {
+  std::lock_guard<std::mutex> lock(drain_mutex_);
+  const auto first = groups_.lower_bound({site, std::numeric_limits<int>::min()});
+  auto last = first;
+  while (last != groups_.end() && last->first.first == site) ++last;
+  groups_.erase(first, last);
+}
+
+size_t AdaptationController::NumGroups() const {
+  std::lock_guard<std::mutex> lock(drain_mutex_);
+  return groups_.size();
+}
+
 AdaptationStats AdaptationController::Stats() const {
   AdaptationStats stats;
   for (const auto& slot : rings_) {
@@ -465,6 +530,12 @@ AdaptationStats AdaptationController::Stats() const {
   stats.escalations = escalations_.load(std::memory_order_relaxed);
   stats.lost_races = lost_races_.load(std::memory_order_relaxed);
   stats.lineage_resets = lineage_resets_.load(std::memory_order_relaxed);
+  stats.stale_gen_discarded =
+      stale_gen_discarded_.load(std::memory_order_relaxed);
+  stats.stale_gen_downweighted =
+      stale_gen_downweighted_.load(std::memory_order_relaxed);
+  stats.max_generation_lag =
+      max_generation_lag_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -479,6 +550,7 @@ AdaptationKeyStatus AdaptationController::Status(
   status.generation = group.generation;
   status.ewma_rel_error = group.ewma_rel_error;
   status.samples = group.samples;
+  status.generation_lag = group.last_generation_lag;
   for (const auto& [state, acc] : group.states) {
     if (acc.rls != nullptr) status.rls_updates += acc.rls->updates();
   }

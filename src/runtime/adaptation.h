@@ -94,6 +94,19 @@ struct AdaptationConfig {
   double drift_threshold = 0.6;
   size_t drift_window = 64;
   size_t min_samples_for_drift = 32;
+  // Generation-aware feedback weighting. A report is stamped with the
+  // model_generation its estimate was priced under; `lag` is how many
+  // generations the serving lineage has advanced since. Stragglers from
+  // superseded lineages carry information about an older model's errors —
+  // folding them in at full weight right after a republish biases the RLS
+  // tier toward coefficients it just corrected.
+  //
+  // Reports with lag > generation_discard_lag are discarded outright
+  // (0 = discard anything from a superseded lineage; raise it to tolerate
+  // slower feedback loops). Surviving lagged reports fold in with RLS
+  // weight generation_downweight^lag (1.0 = no down-weighting).
+  uint64_t generation_discard_lag = 4;
+  double generation_downweight = 0.5;
   // Background drain cadence; used only when `start_thread` is true.
   std::chrono::nanoseconds drain_interval = std::chrono::milliseconds(20);
   bool start_thread = false;
@@ -112,6 +125,13 @@ struct AdaptationStats {
   uint64_t escalations = 0;       // keys handed to the refresh daemon
   uint64_t lost_races = 0;        // publishes beaten by an external swap
   uint64_t lineage_resets = 0;    // accumulators orphaned by a new lineage
+  // Generation-aware weighting (see AdaptationConfig): stragglers from
+  // superseded lineages discarded outright / folded in at reduced weight.
+  uint64_t stale_gen_discarded = 0;
+  uint64_t stale_gen_downweighted = 0;
+  // High-water generation lag observed across all keys (gauge-like but
+  // monotone): how far behind the serving lineage feedback has arrived.
+  uint64_t max_generation_lag = 0;
 
   std::string ToString() const;
 };
@@ -123,6 +143,9 @@ struct AdaptationKeyStatus {
   double ewma_rel_error = 0.0;
   size_t samples = 0;            // reports folded since (re)seed
   uint64_t rls_updates = 0;      // across all state estimators, this lineage
+  // Generation lag of the key's most recently drained report (0 = feedback
+  // is keeping up with the serving lineage).
+  uint64_t generation_lag = 0;
 };
 
 class AdaptationController {
@@ -157,6 +180,17 @@ class AdaptationController {
   // silently discarded.
   void Start();
   void Stop();
+
+  // Drops every accumulator group for `site` (all query classes) — the
+  // adaptation half of site retirement (see EstimationService::UnregisterSite
+  // and DESIGN §7). Ring samples for the site already buffered are still
+  // drained afterwards but price as kNoModel and are counted `ignored`
+  // without re-creating a group. Unknown sites are a no-op.
+  void DetachSite(const std::string& site);
+
+  // Number of live accumulator groups (leak detection in tests; a detached
+  // or never-seeded site must not pin one).
+  size_t NumGroups() const;
 
   AdaptationStats Stats() const;
   AdaptationKeyStatus Status(const std::string& site,
@@ -213,6 +247,9 @@ class AdaptationController {
     uint64_t baseline_total = 0;
     std::deque<int> recent_states;
     std::vector<uint64_t> recent_hist;
+    // Generation lag of the most recently folded report (see
+    // AdaptationConfig::generation_discard_lag).
+    uint64_t last_generation_lag = 0;
   };
 
   static bool ValidReport(const FeedbackReport& report);
@@ -259,6 +296,9 @@ class AdaptationController {
   std::atomic<uint64_t> escalations_{0};
   std::atomic<uint64_t> lost_races_{0};
   std::atomic<uint64_t> lineage_resets_{0};
+  std::atomic<uint64_t> stale_gen_discarded_{0};
+  std::atomic<uint64_t> stale_gen_downweighted_{0};
+  std::atomic<uint64_t> max_generation_lag_{0};
 
   std::mutex thread_mutex_;
   std::condition_variable thread_cv_;

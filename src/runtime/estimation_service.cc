@@ -35,7 +35,19 @@ bool RequestIsValid(const EstimateRequest& request) {
 // stripe store: still zero shared atomic RMWs. Without this, the estimate
 // latency histogram held only cold-miss samples, so a *faster* cached
 // configuration reported *higher* p50/p99 than the uncached one.
+//
+// The sample period counts *hits*, not lookup attempts: the soak's
+// conservation checker caught the attempt-counting variant weighting each
+// sampled hit by the period even when most attempts in the window missed
+// (and had already recorded their own latency), pushing the histogram
+// count past the request count — up to ~2x on adversarial hit/miss
+// interleavings. Counting hits keeps count(estimate_latency) <= requests,
+// short by at most one unflushed window per thread.
 constexpr uint64_t kHitLatencySamplePeriod = 64;
+
+// Source of per-service identities for the hit sampler's thread-local
+// window state (see instance_id_ in the header). Monotonic, never reused.
+std::atomic<uint64_t> next_service_instance_id{1};
 
 }  // namespace
 
@@ -58,6 +70,8 @@ EstimationService::EstimationService(EstimationServiceConfig config)
       cache_(config.cache),
       trackers_(std::make_shared<const TrackerMap>()),
       stale_keys_(std::make_shared<const StaleKeySet>()),
+      instance_id_(
+          next_service_instance_id.fetch_add(1, std::memory_order_relaxed)),
       pool_(config.worker_threads) {}
 
 EstimationService::~EstimationService() { StopProbing(); }
@@ -77,6 +91,27 @@ void EstimationService::RegisterModel(const std::string& site,
   const core::ContentionStates states = model.states();
   const core::QueryClassId class_id = model.class_id();
   std::lock_guard<std::mutex> lock(control_mutex_);
+  RegisterModelLocked(site, std::move(model), states, class_id);
+}
+
+bool EstimationService::RegisterModelIfActive(const std::string& site,
+                                              core::CostModel model) {
+  const core::ContentionStates states = model.states();
+  const core::QueryClassId class_id = model.class_id();
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  // "Live" = the site still has a tracker or at least one registered model.
+  // UnregisterSite removes both under this same mutex, so the check and the
+  // publication are atomic against retirement.
+  if (newest_class_.count(site) == 0 && trackers_.load()->count(site) == 0) {
+    return false;
+  }
+  RegisterModelLocked(site, std::move(model), states, class_id);
+  return true;
+}
+
+void EstimationService::RegisterModelLocked(
+    const std::string& site, core::CostModel model,
+    const core::ContentionStates& states, core::QueryClassId class_id) {
   catalog_.Register(site, std::move(model));
   {
     auto& shard = counters_.Local();
@@ -162,7 +197,19 @@ void EstimationService::RegisterSite(const std::string& site,
   }
   auto next = std::make_shared<TrackerMap>(*current);
   (*next)[site] = tracker;
-  trackers_.Publish(TrackerMapSnapshot(std::move(next)));
+  RetiredTrackerTotals replaced_captured;
+  if (replaced != nullptr) {
+    // Replacing unpublishes the old tracker: swap and fold its counts
+    // under one retired_mutex_ hold (see the RetiredTrackerTotals
+    // atomicity contract), or a racing Stats() momentarily loses — or
+    // double-counts — the old tracker's history.
+    std::lock_guard<std::mutex> retired_lock(retired_mutex_);
+    trackers_.Publish(TrackerMapSnapshot(std::move(next)));
+    replaced_captured = CaptureTrackerTotals(*replaced);
+    AddRetiredTotalsLocked(replaced_captured);
+  } else {
+    trackers_.Publish(TrackerMapSnapshot(std::move(next)));
+  }
 
   // Wire the partition of the site's most recently registered model —
   // deterministic, unlike iterating the catalog's (site, class) map, whose
@@ -184,13 +231,102 @@ void EstimationService::RegisterSite(const std::string& site,
   // pin it (invalidation is lazy — each estimate thread retires its dead
   // entries on its next lookups), so stop its prober eagerly here rather
   // than waiting for the last pin to drop; the later release of an
-  // already-stopped tracker is cheap.
-  if (replaced != nullptr) replaced->Stop();
+  // already-stopped tracker is cheap. Its terminal counters fold into the
+  // retired totals so Stats() never regresses across a re-registration.
+  if (replaced != nullptr) {
+    replaced->Stop();
+    // In-flight probe completions between the fold and the join, as above.
+    std::lock_guard<std::mutex> retired_lock(retired_mutex_);
+    AddRetiredTotalsLocked(
+        TotalsDelta(CaptureTrackerTotals(*replaced), replaced_captured));
+  }
   cache_.InvalidateSite(site);
 }
 
 void EstimationService::RegisterSite(mdbs::MdbsAgent* agent) {
   RegisterSite(agent->name(), agent->ProbeFn());
+}
+
+void EstimationService::UnregisterSite(const std::string& site) {
+  std::lock_guard<std::mutex> lock(control_mutex_);
+
+  // Unpublish the tracker first: new estimates stop finding it immediately.
+  // In-flight estimates hold the old map under an epoch guard — the map
+  // snapshot (and any cache entry pins) keep the tracker object alive until
+  // they drain, so nothing here frees memory a reader can still touch.
+  std::shared_ptr<ContentionTracker> retired;
+  RetiredTrackerTotals captured;
+  const TrackerMapSnapshot current = trackers_.load();
+  if (const auto it = current->find(site); it != current->end()) {
+    retired = it->second;
+    auto next = std::make_shared<TrackerMap>(*current);
+    next->erase(site);
+    // Unpublish and fold under one retired_mutex_ hold (see the
+    // RetiredTrackerTotals atomicity contract): a Stats() racing this
+    // block sees the tracker's history either live in the map or already
+    // in the retired totals — never in neither, never in both.
+    std::lock_guard<std::mutex> retired_lock(retired_mutex_);
+    trackers_.Publish(TrackerMapSnapshot(std::move(next)));
+    captured = CaptureTrackerTotals(*retired);
+    AddRetiredTotalsLocked(captured);
+  }
+
+  // Drop every (site, class) model. The snapshot swap bumps the catalog
+  // revision, so cached responses priced under the old catalog can never
+  // revalidate — the eager InvalidateSite below just reclaims the slots
+  // sooner.
+  bool had_models = false;
+  {
+    const auto snapshot = catalog_.snapshot();
+    for (const auto& [entry_site, class_id] : snapshot->Entries()) {
+      if (entry_site == site) {
+        had_models = true;
+        break;
+      }
+    }
+  }
+  if (had_models) {
+    catalog_.Update(
+        [&site](core::GlobalCatalog& catalog) { catalog.Unregister(site); });
+    auto& shard = counters_.Local();
+    shard.Add(shard.catalog_swaps);
+  }
+
+  // Clear the site's stale-model flags so the stale_models gauge cannot
+  // leak retired keys (a racing SetModelStale for the site after this point
+  // is rejected by its no-model guard).
+  const StaleKeySnapshot stale = stale_keys_.load();
+  bool any_stale = false;
+  for (const auto& key : *stale) {
+    if (key.first == site) {
+      any_stale = true;
+      break;
+    }
+  }
+  if (any_stale) {
+    auto next = std::make_shared<StaleKeySet>();
+    for (const auto& key : *stale) {
+      if (key.first != site) next->insert(key);
+    }
+    stale_keys_.Publish(StaleKeySnapshot(std::move(next)));
+  }
+
+  const bool had_class = newest_class_.erase(site) > 0;
+
+  if (retired != nullptr) {
+    // Stop() joins the background prober (and abandons a probe past its
+    // deadline) — same blocking contract as the replace path above. Probes
+    // that were still in flight at unpublication complete during the join;
+    // fold whatever they added after the capture.
+    retired->Stop();
+    std::lock_guard<std::mutex> retired_lock(retired_mutex_);
+    AddRetiredTotalsLocked(TotalsDelta(CaptureTrackerTotals(*retired), captured));
+  }
+  if (retired != nullptr || had_models || had_class) {
+    std::lock_guard<std::mutex> retired_lock(retired_mutex_);
+    ++sites_retired_;
+  }
+  cache_.InvalidateSite(site);
 }
 
 bool EstimationService::ProbeNow(const std::string& site) {
@@ -229,6 +365,10 @@ void EstimationService::SetModelStaleLocked(const std::string& site,
   const auto key = std::make_pair(site, static_cast<int>(class_id));
   const StaleKeySnapshot current = stale_keys_.load();
   if ((current->count(key) > 0) == stale) return;
+  // Only a registered model can be stale: without this guard a refresh
+  // daemon racing UnregisterSite could re-flag a just-retired key and leak
+  // it in the stale_models gauge forever.
+  if (stale && catalog_.snapshot()->Find(site, class_id) == nullptr) return;
   auto next = std::make_shared<StaleKeySet>(*current);
   if (stale) {
     next->insert(key);
@@ -244,6 +384,40 @@ bool EstimationService::IsModelStale(const std::string& site,
                                      core::QueryClassId class_id) const {
   return stale_keys_.load()->count(
              std::make_pair(site, static_cast<int>(class_id))) > 0;
+}
+
+EstimationService::RetiredTrackerTotals EstimationService::CaptureTrackerTotals(
+    const ContentionTracker& tracker) {
+  RetiredTrackerTotals totals;
+  totals.probes = tracker.probes() + tracker.failures();
+  totals.failures = tracker.failures();
+  totals.discards = tracker.discarded();
+  totals.timeouts = tracker.timeouts();
+  totals.suppressed = tracker.suppressed();
+  totals.breaker_opens = tracker.breaker().opens();
+  return totals;
+}
+
+EstimationService::RetiredTrackerTotals EstimationService::TotalsDelta(
+    const RetiredTrackerTotals& now, const RetiredTrackerTotals& then) {
+  RetiredTrackerTotals delta;
+  delta.probes = now.probes - then.probes;
+  delta.failures = now.failures - then.failures;
+  delta.discards = now.discards - then.discards;
+  delta.timeouts = now.timeouts - then.timeouts;
+  delta.suppressed = now.suppressed - then.suppressed;
+  delta.breaker_opens = now.breaker_opens - then.breaker_opens;
+  return delta;
+}
+
+void EstimationService::AddRetiredTotalsLocked(
+    const RetiredTrackerTotals& totals) {
+  retired_.probes += totals.probes;
+  retired_.failures += totals.failures;
+  retired_.discards += totals.discards;
+  retired_.timeouts += totals.timeouts;
+  retired_.suppressed += totals.suppressed;
+  retired_.breaker_opens += totals.breaker_opens;
 }
 
 std::shared_ptr<ContentionTracker> EstimationService::FindTracker(
@@ -396,20 +570,44 @@ EstimateResponse EstimationService::Estimate(
   // RMWs end to end (the shared_rmw_per_request bench gate).
   const bool try_cache = cache_.enabled() && request.probing_cost < 0.0;
   if (try_cache) {
-    thread_local uint64_t hit_tick = 0;
-    const bool sample = (++hit_tick % kHitLatencySamplePeriod) == 0;
+    // Arm the clock when the *next hit* completes a sample window. Misses
+    // while armed waste one clock read (they pay the full miss path anyway)
+    // but never advance the window — only hits do, so the weighted sample
+    // stands for exactly kHitLatencySamplePeriod real hits.
+    //
+    // The window is per (thread, service): a function-scope thread_local
+    // outlives any one service, so without the identity tag a window
+    // part-filled by hits on a previous service would complete early here
+    // and record a full-period weighted sample into *this* histogram backed
+    // by fewer than kHitLatencySamplePeriod of this service's hits —
+    // breaking count(estimate_latency) <= requests. Switching services on a
+    // thread forfeits the partial window (undercounts, never overcounts).
+    struct HitSampleWindow {
+      uint64_t service_id = 0;
+      uint64_t hits_since_sample = 0;
+    };
+    thread_local HitSampleWindow window;
+    if (window.service_id != instance_id_) {
+      window.service_id = instance_id_;
+      window.hits_since_sample = 0;
+    }
+    uint64_t& hits_since_sample = window.hits_since_sample;
+    const bool armed = hits_since_sample + 1 == kHitLatencySamplePeriod;
     std::chrono::steady_clock::time_point hit_started;
-    if (sample) hit_started = std::chrono::steady_clock::now();
+    if (armed) hit_started = std::chrono::steady_clock::now();
     EstimateResponse response;
     if (cache_.Lookup(request.site, static_cast<int>(request.class_id),
                       request.features, catalog_.version(), &response)) {
       auto& shard = counters_.Local();
       shard.Add(shard.estimate_cache_hits);
-      if (sample) {
+      if (armed) {
         estimate_latency_.RecordN(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - hit_started),
             kHitLatencySamplePeriod);
+        hits_since_sample = 0;
+      } else {
+        ++hits_since_sample;
       }
       return response;
     }
@@ -487,6 +685,10 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
   const TrackerMap* tracker_map = trackers_.Read(guard);
   const bool use_cache = cache_.enabled();
   const uint64_t epoch = snapshot->revision();
+  // Invalid items are rejected without being priced; the amortized-latency
+  // record below must not count them (the soak's conservation checker
+  // flags count(estimate_latency) > requests). Cold once-per-chunk RMW.
+  std::atomic<uint64_t> invalid_total{0};
   std::map<std::string, SiteProbe> site_probes;
   for (const EstimateRequest& request : requests) {
     if (request.probing_cost >= 0.0) continue;
@@ -663,14 +865,23 @@ std::vector<EstimateResponse> EstimationService::EstimateBatch(
             cache_insert(requests[i], response);
           }
         }
+        if (counts.invalid_requests > 0) {
+          RmwProbe::Count();
+          invalid_total.fetch_add(counts.invalid_requests,
+                                  std::memory_order_relaxed);
+        }
         FlushCounts(counts);
       });
 
-  // Amortized per-item latency: the batch's wall time spread over items.
-  const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
-      std::chrono::steady_clock::now() - started);
-  estimate_latency_.RecordN(elapsed / static_cast<int64_t>(requests.size()),
-                            requests.size());
+  // Amortized per-item latency: the batch's wall time spread over the items
+  // actually priced (invalid rejects recorded no work).
+  const uint64_t priced =
+      requests.size() - invalid_total.load(std::memory_order_relaxed);
+  if (priced > 0) {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - started);
+    estimate_latency_.RecordN(elapsed / static_cast<int64_t>(priced), priced);
+  }
   return responses;
 }
 
@@ -763,6 +974,11 @@ PlacementResult EstimationService::ChoosePlacement(
 RuntimeStatsSnapshot EstimationService::Stats() const {
   RuntimeStatsSnapshot out;
   counters_.AggregateInto(out);
+  // Hold retired_mutex_ across BOTH the live-tracker sweep and the retired
+  // fold below: unpublication and fold happen under one hold of the same
+  // mutex (the RetiredTrackerTotals atomicity contract), so each tracker's
+  // history lands in exactly one of the two sums.
+  std::lock_guard<std::mutex> retired_lock(retired_mutex_);
   // Probes are counted at the trackers (background and ProbeNow alike):
   // `probes` = attempts, of which `probe_failures` kept the old reading.
   const TrackerMapSnapshot map = trackers_.load();
@@ -789,6 +1005,17 @@ RuntimeStatsSnapshot EstimationService::Stats() const {
         std::max(out.probe_interval_ns,
                  static_cast<int64_t>(tracker->current_probe_interval().count()));
   }
+  // Replaced and retired trackers' terminal counts, folded at retirement:
+  // without these, a re-registration or UnregisterSite would make the
+  // monotone probe/breaker counters regress. Still under retired_lock from
+  // above — one consistent view with the live sweep.
+  out.probes += retired_.probes;
+  out.probe_failures += retired_.failures;
+  out.probe_discards += retired_.discards;
+  out.probe_timeouts += retired_.timeouts;
+  out.probes_suppressed += retired_.suppressed;
+  out.breaker_opens += retired_.breaker_opens;
+  out.sites_retired = sites_retired_;
   out.stale_models = stale_keys_.load()->size();
   out.estimate_cache_invalidations = cache_.invalidations();
   out.estimate_latency = estimate_latency_.Snap();

@@ -150,6 +150,13 @@ class EstimationService {
                          uint64_t expected_generation,
                          const std::vector<int>& changed_states);
 
+  // As RegisterModel, but publishes only while the site is still live —
+  // it has a registered tracker or at least one registered model. Returns
+  // false (publishing nothing) otherwise. Asynchronous re-deriders (the
+  // ModelRefreshDaemon) use this so a re-derivation that finishes after
+  // UnregisterSite cannot resurrect the retired site's catalog entry.
+  bool RegisterModelIfActive(const std::string& site, core::CostModel model);
+
   // Registers a site with an arbitrary probe (see ContentionTracker). If
   // the service config has a probe interval, the background prober starts
   // immediately. Re-registering a site replaces its tracker. The tracker's
@@ -159,6 +166,19 @@ class EstimationService {
 
   // Convenience: register a site probed through its MDBS agent.
   void RegisterSite(mdbs::MdbsAgent* agent);
+
+  // Retires a site: stops and unpublishes its tracker, drops every
+  // (site, class) model from the catalog (a revision-bumping snapshot swap,
+  // so cached responses priced under the old catalog can never hit again),
+  // clears the site's stale-model flags and eagerly evicts its cached
+  // estimates. In-flight estimates drain safely — an epoch guard pins the
+  // tracker map and catalog snapshot they read, and the tracker object
+  // itself stays alive through the shared_ptrs those snapshots (and any
+  // surviving cache entries) hold. The retired tracker's probe/breaker
+  // counters are folded into the service totals so Stats() stays monotone
+  // across churn. Idempotent; unknown sites are a no-op. See DESIGN §7
+  // "Site lifecycle" for the full contract.
+  void UnregisterSite(const std::string& site);
 
   // Graceful-shutdown hook: stops every site's background prober and blocks
   // until in-flight probes finish (or are abandoned at their deadline).
@@ -288,6 +308,12 @@ class EstimationService {
   void SetModelStaleLocked(const std::string& site,
                            core::QueryClassId class_id, bool stale);
 
+  // RegisterModel's body; caller must hold control_mutex_. `states` and
+  // `class_id` are captured from `model` before it moves.
+  void RegisterModelLocked(const std::string& site, core::CostModel model,
+                           const core::ContentionStates& states,
+                           core::QueryClassId class_id);
+
   const EstimationServiceConfig config_;
   SnapshotCatalog catalog_;
   // Declared before the trackers so entries (which pin tracker references)
@@ -308,6 +334,54 @@ class EstimationService {
   // Last registered model class per site (control_mutex_): the partition
   // RegisterSite wires into a new tracker.
   std::map<std::string, core::QueryClassId> newest_class_;
+
+  // Terminal counter totals of trackers that were replaced (RegisterSite)
+  // or retired (UnregisterSite). Stats() adds these to the live trackers'
+  // counts so probe/breaker counters never regress across site churn.
+  // Guarded by retired_mutex_ (its own mutex so Stats() never contends
+  // with — or deadlocks against — control-plane calls that join probers
+  // while holding control_mutex_).
+  //
+  // Atomicity contract: a tracker's unpublication from trackers_ and the
+  // fold of its counts into retired_ happen under ONE retired_mutex_ hold,
+  // and Stats() reads the map and retired_ under that same mutex — so at
+  // every observable instant a tracker's history is counted in exactly one
+  // of the two. (Unpublish-then-fold made the tracker's whole history
+  // vanish from a Stats() racing the gap; fold-then-unpublish would double
+  // count it. Both read as counter regressions to a monotonicity
+  // watchdog.) Counts a still-draining probe adds between the fold and
+  // Stop() are folded afterwards as a delta.
+  struct RetiredTrackerTotals {
+    uint64_t probes = 0;
+    uint64_t failures = 0;
+    uint64_t discards = 0;
+    uint64_t timeouts = 0;
+    uint64_t suppressed = 0;
+    uint64_t breaker_opens = 0;
+  };
+  // A tracker's terminal counter values, in retired-totals form (probes
+  // includes failures, matching the Stats() aggregation).
+  static RetiredTrackerTotals CaptureTrackerTotals(
+      const ContentionTracker& tracker);
+  // Field-wise now - then; `then` must be an earlier capture of the same
+  // tracker.
+  static RetiredTrackerTotals TotalsDelta(const RetiredTrackerTotals& now,
+                                          const RetiredTrackerTotals& then);
+  // Caller must hold retired_mutex_.
+  void AddRetiredTotalsLocked(const RetiredTrackerTotals& totals);
+
+  mutable std::mutex retired_mutex_;
+  RetiredTrackerTotals retired_;
+  uint64_t sites_retired_ = 0;
+
+  // Process-unique identity for this service instance. The hit-latency
+  // sampler keeps its window state in a function-scope thread_local; tagging
+  // that state with this id (never the `this` pointer — allocators reuse
+  // addresses) keeps a window partially filled against one service from
+  // completing early against another, which would record a full-period
+  // weighted sample backed by fewer real hits and push the histogram count
+  // past the request count.
+  const uint64_t instance_id_;
 
   mutable ThreadPool pool_;
   mutable RuntimeCounters counters_;

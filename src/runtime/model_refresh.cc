@@ -25,7 +25,7 @@ std::string ModelRefreshStats::ToString() const {
   return Format(
       "reports=%llu ignored=%llu trips{error=%llu drift=%llu} "
       "refreshes{scheduled=%llu ok=%llu failed=%llu suspended=%llu "
-      "threw=%llu}",
+      "threw=%llu abandoned=%llu}",
       static_cast<unsigned long long>(reports),
       static_cast<unsigned long long>(ignored_reports),
       static_cast<unsigned long long>(error_trips),
@@ -34,7 +34,8 @@ std::string ModelRefreshStats::ToString() const {
       static_cast<unsigned long long>(refreshes_succeeded),
       static_cast<unsigned long long>(refresh_failures),
       static_cast<unsigned long long>(refreshes_suspended),
-      static_cast<unsigned long long>(refresh_exceptions));
+      static_cast<unsigned long long>(refresh_exceptions),
+      static_cast<unsigned long long>(refreshes_abandoned));
 }
 
 ModelRefreshDaemon::ModelRefreshDaemon(EstimationService* service,
@@ -60,6 +61,53 @@ void ModelRefreshDaemon::Watch(const std::string& site,
   auto next = std::make_shared<KeyMap>(*keys_.load());
   (*next)[{site, static_cast<int>(class_id)}] = std::move(entry);
   keys_.store(std::move(next));
+}
+
+void ModelRefreshDaemon::Unwatch(const std::string& site,
+                                 core::QueryClassId class_id) {
+  std::shared_ptr<KeyEntry> removed;
+  {
+    std::lock_guard<std::mutex> lock(keys_mutex_);
+    auto next = std::make_shared<KeyMap>(*keys_.load());
+    const auto it = next->find({site, static_cast<int>(class_id)});
+    if (it == next->end()) return;
+    removed = it->second;
+    next->erase(it);
+    keys_.store(std::move(next));
+  }
+  {
+    std::lock_guard<std::mutex> lock(removed->mutex);
+    removed->retired = true;
+  }
+  // A tripped-but-unpublished key would otherwise carry its stale flag
+  // forever: nothing will refresh it now. An in-flight refresh abandoning
+  // later re-clears as well (it may have re-set the flag while racing us).
+  service_->SetModelStale(site, class_id, false);
+}
+
+void ModelRefreshDaemon::UnwatchSite(const std::string& site) {
+  std::vector<std::shared_ptr<KeyEntry>> removed;
+  {
+    std::lock_guard<std::mutex> lock(keys_mutex_);
+    auto next = std::make_shared<KeyMap>(*keys_.load());
+    for (auto it = next->begin(); it != next->end();) {
+      if (it->first.first == site) {
+        removed.push_back(it->second);
+        it = next->erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (removed.empty()) return;
+    keys_.store(std::move(next));
+  }
+  for (const auto& entry : removed) {
+    {
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      entry->retired = true;
+    }
+    service_->SetModelStale(entry->site, entry->class_id, false);
+  }
 }
 
 std::shared_ptr<ModelRefreshDaemon::KeyEntry> ModelRefreshDaemon::FindEntry(
@@ -192,6 +240,12 @@ void ModelRefreshDaemon::ReportObserved(const std::string& site,
   bool schedule = false;
   {
     std::lock_guard<std::mutex> lock(entry->mutex);
+    // A racing Unwatch may have retired the entry after FindEntry loaded
+    // the old key map; a retired key accepts nothing.
+    if (entry->retired) {
+      ignored_reports_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     core::Observation obs;
     obs.features = features;
     obs.cost = observed_cost;
@@ -227,7 +281,7 @@ bool ModelRefreshDaemon::RequestRefresh(const std::string& site,
   }
   {
     std::lock_guard<std::mutex> lock(entry->mutex);
-    if (entry->in_flight) return false;
+    if (entry->in_flight || entry->retired) return false;
     if (config_.clock->Now() < entry->next_attempt_at) return false;
     entry->state = RefreshState::kDrifting;
     entry->in_flight = true;
@@ -244,6 +298,28 @@ bool ModelRefreshDaemon::RequestRefresh(const std::string& site,
 }
 
 void ModelRefreshDaemon::RunRefresh(std::shared_ptr<KeyEntry> entry) {
+  // The key may have been unwatched (its site retiring) between scheduling
+  // and task start: skip the sampling + derivation entirely and drop the
+  // stale flag the scheduling tail set — nothing will ever refresh this
+  // key now.
+  bool retired = false;
+  {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->retired) {
+      entry->in_flight = false;
+      entry->state = RefreshState::kFresh;
+      retired = true;
+    }
+  }
+  if (retired) {
+    refreshes_abandoned_.fetch_add(1, std::memory_order_relaxed);
+    service_->SetModelStale(entry->site, entry->class_id, false);
+    std::lock_guard<std::mutex> pending_lock(pending_mutex_);
+    --pending_;
+    pending_cv_.notify_all();
+    return;
+  }
+
   // The site may have degraded between scheduling and task start: don't fire
   // sampling queries at a breaker-open site. Park the key backed-off (no
   // attempt consumed — the re-derivation never ran) so it re-trips once the
@@ -292,19 +368,43 @@ void ModelRefreshDaemon::RunRefresh(std::shared_ptr<KeyEntry> entry) {
     // state mapper, and clears the stale flag, all under the service's
     // control mutex. Estimates in flight keep the old snapshot; new ones
     // see the new model — never a torn mix.
+    //
+    // Publish-if-active: a re-derivation that finishes after
+    // UnregisterSite must not re-insert the retired site's model (the
+    // "ghost site" resurrection the soak caught). The liveness check and
+    // the publication are atomic under the service's control mutex.
     core::CostModel model = report->model;
-    service_->RegisterModel(entry->site, std::move(model));
-    refreshes_succeeded_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(entry->mutex);
-    ResetSignals(*entry);
-    entry->attempts = 0;
-    entry->state = RefreshState::kFresh;
-    entry->next_attempt_at =
-        config_.clock->Now() +
-        std::chrono::duration_cast<Clock::Duration>(config_.refresh_cooldown);
-    entry->in_flight = false;
+    const bool published =
+        service_->RegisterModelIfActive(entry->site, std::move(model));
+    if (!published) {
+      refreshes_abandoned_.fetch_add(1, std::memory_order_relaxed);
+      service_->SetModelStale(entry->site, entry->class_id, false);
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      entry->state = RefreshState::kFresh;
+      entry->in_flight = false;
+    } else {
+      refreshes_succeeded_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      ResetSignals(*entry);
+      entry->attempts = 0;
+      entry->state = RefreshState::kFresh;
+      entry->next_attempt_at =
+          config_.clock->Now() +
+          std::chrono::duration_cast<Clock::Duration>(config_.refresh_cooldown);
+      entry->in_flight = false;
+    }
   } else {
     refresh_failures_.fetch_add(1, std::memory_order_relaxed);
+    bool retired_after_failure = false;
+    {
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      retired_after_failure = entry->retired;
+    }
+    if (retired_after_failure) {
+      // Unwatched while the failed attempt ran: no retry will ever come, so
+      // the stale flag must not stick to the retired key.
+      service_->SetModelStale(entry->site, entry->class_id, false);
+    }
     std::lock_guard<std::mutex> lock(entry->mutex);
     ++entry->attempts;
     // Bounded retry: the exponent stops growing after max_attempts, so a
@@ -360,6 +460,8 @@ ModelRefreshStats ModelRefreshDaemon::Stats() const {
       refreshes_suspended_.load(std::memory_order_relaxed);
   stats.refresh_exceptions =
       refresh_exceptions_.load(std::memory_order_relaxed);
+  stats.refreshes_abandoned =
+      refreshes_abandoned_.load(std::memory_order_relaxed);
   return stats;
 }
 

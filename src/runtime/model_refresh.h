@@ -113,6 +113,9 @@ struct ModelRefreshStats {
   uint64_t refresh_failures = 0;     // re-derivations that returned no model
   uint64_t refreshes_suspended = 0;  // trips/tasks held: site breaker not closed
   uint64_t refresh_exceptions = 0;   // re-derivations that threw (subset of failures)
+  // Refresh tasks whose key was unwatched (site retiring) before they could
+  // publish — the re-derivation result, if any, was dropped on the floor.
+  uint64_t refreshes_abandoned = 0;
 
   std::string ToString() const;
 };
@@ -147,6 +150,17 @@ class ModelRefreshDaemon {
   void Watch(const std::string& site, core::QueryClassId class_id,
              core::ObservationSource* source);
 
+  // Takes (site, class) out of maintenance: the key stops accepting
+  // reports, an in-flight refresh for it abandons instead of publishing,
+  // and the key's stale-model flag is cleared (nothing will ever refresh it
+  // now). Returns immediately — it does not wait for an in-flight task;
+  // the destructor still drains. Unknown keys are a no-op.
+  void Unwatch(const std::string& site, core::QueryClassId class_id);
+
+  // Unwatches every class of `site` — the refresh half of site retirement
+  // (see EstimationService::UnregisterSite and DESIGN §7).
+  void UnwatchSite(const std::string& site);
+
   // Feedback from the serving path: a query of `class_id` with `features`
   // ran at `site` and took `observed_cost` seconds. The daemon prices the
   // same request through the service to obtain the current model's estimate
@@ -178,6 +192,10 @@ class ModelRefreshDaemon {
     mutable std::mutex mutex;  // guards everything below
     RefreshState state = RefreshState::kFresh;
     bool in_flight = false;    // per-key concurrent-refresh guard
+    // Set by Unwatch after the entry leaves the key map: reports are
+    // ignored and an in-flight refresh must not publish (a re-derivation
+    // finishing after UnregisterSite would resurrect the site's model).
+    bool retired = false;
     int attempts = 0;          // consecutive failures
     Clock::TimePoint next_attempt_at{};  // no scheduling before this
 
@@ -231,6 +249,7 @@ class ModelRefreshDaemon {
   std::atomic<uint64_t> refresh_failures_{0};
   std::atomic<uint64_t> refreshes_suspended_{0};
   std::atomic<uint64_t> refresh_exceptions_{0};
+  std::atomic<uint64_t> refreshes_abandoned_{0};
 };
 
 }  // namespace mscm::runtime

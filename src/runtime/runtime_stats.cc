@@ -169,7 +169,7 @@ std::string RuntimeStatsSnapshot::ToString() const {
       "catalog_swaps=%llu adaptations_applied=%llu stale_models=%llu "
       "stale_model_served=%llu "
       "placements=%llu placement_expected_cost_wins=%llu "
-      "near_boundary_sites=%llu\n",
+      "near_boundary_sites=%llu sites_retired=%llu\n",
       static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(batches),
       static_cast<unsigned long long>(probe_cache_hits),
@@ -195,7 +195,8 @@ std::string RuntimeStatsSnapshot::ToString() const {
       static_cast<unsigned long long>(stale_model_served),
       static_cast<unsigned long long>(placements),
       static_cast<unsigned long long>(placement_expected_cost_wins),
-      static_cast<unsigned long long>(near_boundary_sites));
+      static_cast<unsigned long long>(near_boundary_sites),
+      static_cast<unsigned long long>(sites_retired));
   out += "estimate latency: " + estimate_latency.ToString() + "\n";
   out += "probe latency:    " + probe_latency.ToString();
   return out;
@@ -230,6 +231,7 @@ const std::vector<StatsCounterField>& StatsCounterFields() {
           {"placement_expected_cost_wins", &S::placement_expected_cost_wins},
           {"near_boundary_sites", &S::near_boundary_sites},
           {"adaptations_applied", &S::adaptations_applied},
+          {"sites_retired", &S::sites_retired},
       };
   return *fields;
 }

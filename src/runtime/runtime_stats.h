@@ -119,6 +119,10 @@ struct RuntimeStatsSnapshot {
   // would have — the visible payoff of serving distributions.
   uint64_t placement_expected_cost_wins = 0;
   uint64_t near_boundary_sites = 0;  // gauge: probes inside a boundary band
+  // Sites retired via UnregisterSite. Probe/breaker counters from retired
+  // (and replaced) trackers are folded into the totals above at retirement,
+  // so every counter stays monotone across site churn.
+  uint64_t sites_retired = 0;
   int64_t probe_interval_ns = 0;   // gauge: slowest current per-site cadence
 
   LatencyHistogram::Snapshot estimate_latency;

@@ -1,0 +1,173 @@
+#include "sim/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "sim/performance_profile.h"
+
+namespace mscm::sim {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+// Stateless per-(site, tick) jitter stream: SplitMix64 finalizer over the
+// site's seed xor'd with the tick counter. No per-site Rng objects to keep
+// in sync with Advance order.
+double JitterUnit(uint64_t seed, uint64_t tick) {
+  uint64_t z = seed ^ (tick * 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;  // [0, 1)
+}
+
+// Linear interpolation between the two calibrated profile endpoints.
+double Mix(double alpha, double beta, double t) {
+  return alpha + (beta - alpha) * t;
+}
+
+}  // namespace
+
+Fleet::Fleet(FleetConfig config) : config_(config) {
+  MSCM_CHECK_MSG(config_.num_sites > 0, "fleet needs at least one site");
+  MSCM_CHECK_MSG(config_.num_groups > 0, "fleet needs at least one group");
+  MSCM_CHECK_MSG(
+      config_.min_states >= 1 && config_.min_states <= config_.max_states,
+      "fleet state range must satisfy 1 <= min_states <= max_states");
+
+  const PerformanceProfile alpha = PerformanceProfile::Alpha();
+  const PerformanceProfile beta = PerformanceProfile::Beta();
+
+  Rng rng(config_.seed);
+  specs_.reserve(config_.num_sites);
+  costs_.reserve(config_.num_sites);
+  jitter_seed_.reserve(config_.num_sites);
+  for (size_t i = 0; i < config_.num_sites; ++i) {
+    FleetSiteSpec spec;
+    char name[32];
+    std::snprintf(name, sizeof(name), "site-%04zu", i);
+    spec.name = name;
+    spec.group = i % config_.num_groups;
+    spec.num_states = static_cast<int>(
+        rng.UniformInt(config_.min_states, config_.max_states));
+    spec.profile_mix = rng.NextDouble();
+
+    // A profile-derived base slope (seconds of work per unit of the first
+    // feature): a feature unit stands for a bundle of sequential pages,
+    // scattered pages and per-tuple CPU whose timings come from the
+    // interpolated profile. Alpha's seek-heavy storage and Beta's leaner
+    // CPU path land sites on visibly different surfaces, like the paper's
+    // Table 4 does for its two systems.
+    const double m = spec.profile_mix;
+    const double base_slope =
+        40.0 * Mix(alpha.seq_page_seconds, beta.seq_page_seconds, m) +
+        10.0 * Mix(alpha.rand_page_seconds, beta.rand_page_seconds, m) +
+        2000.0 * Mix(alpha.tuple_cpu_seconds, beta.tuple_cpu_seconds, m) +
+        2000.0 * Mix(alpha.pred_eval_seconds, beta.pred_eval_seconds, m);
+    // Contention multiplies cost state over state; buffering softens the
+    // blow (a strong buffer pool absorbs more of the extra load).
+    const double buffer = Mix(alpha.base_buffer_hit, beta.base_buffer_hit, m);
+    const double step = 1.0 + (1.8 - buffer) * rng.Uniform(0.8, 1.2);
+    spec.state_slopes.resize(static_cast<size_t>(spec.num_states));
+    double slope = base_slope * rng.Uniform(0.7, 1.3);
+    for (int s = 0; s < spec.num_states; ++s) {
+      spec.state_slopes[static_cast<size_t>(s)] = slope;
+      slope *= step;
+    }
+
+    // Rest somewhere strictly inside the state range so the regimes can
+    // push the site across boundaries in both directions.
+    spec.base_probing =
+        rng.Uniform(0.25, static_cast<double>(spec.num_states) - 0.25);
+
+    costs_.push_back(
+        std::make_unique<std::atomic<double>>(spec.base_probing));
+    jitter_seed_.push_back(rng.NextUint64());
+    specs_.push_back(std::move(spec));
+  }
+
+  group_phase_.resize(config_.num_groups);
+  for (size_t g = 0; g < config_.num_groups; ++g) {
+    // Evenly staggered phases: load rolls across groups like timezones.
+    group_phase_[g] =
+        static_cast<double>(g) / static_cast<double>(config_.num_groups);
+  }
+  spikes_.resize(config_.num_groups);
+}
+
+int Fleet::StateForProbing(size_t site, double probing) const {
+  const FleetSiteSpec& spec = specs_[site];
+  // State s covers (s, s+1]: ceil(p) - 1, clamped to the site's range.
+  const int raw = static_cast<int>(std::ceil(probing)) - 1;
+  return std::clamp(raw, 0, spec.num_states - 1);
+}
+
+double Fleet::ActualCost(size_t site, double x0, double probing) const {
+  const FleetSiteSpec& spec = specs_[site];
+  const int state = StateForProbing(site, probing);
+  return spec.state_slopes[static_cast<size_t>(state)] * x0;
+}
+
+void Fleet::Advance(double dt_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  time_ += dt_seconds;
+  const uint64_t tick = ++jitter_counter_;
+
+  // Per-group regime components, computed once.
+  std::vector<double> group_shift(config_.num_groups, 0.0);
+  for (size_t g = 0; g < config_.num_groups; ++g) {
+    const double phase = time_ / config_.diurnal_period_seconds +
+                         group_phase_[g];
+    double shift = 0.5 * config_.diurnal_amplitude * std::sin(kTwoPi * phase);
+    const GroupSpike& spike = spikes_[g];
+    if (spike.magnitude > 0.0 && spike.duration > 0.0) {
+      const double elapsed = time_ - spike.started_at;
+      if (elapsed < spike.duration) {
+        shift += spike.magnitude * (1.0 - elapsed / spike.duration);
+      }
+    }
+    group_shift[g] = shift;
+  }
+
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const FleetSiteSpec& spec = specs_[i];
+    const double jitter =
+        config_.jitter_amplitude * (2.0 * JitterUnit(jitter_seed_[i], tick) -
+                                    1.0);
+    const double hi = static_cast<double>(spec.num_states) - 0.05;
+    const double cost = std::clamp(
+        spec.base_probing + group_shift[spec.group] + jitter, 0.05, hi);
+    costs_[i]->store(cost, std::memory_order_relaxed);
+  }
+}
+
+void Fleet::TriggerSpike(size_t group, double magnitude,
+                         double duration_seconds) {
+  MSCM_CHECK_MSG(group < config_.num_groups, "spike group out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  GroupSpike& spike = spikes_[group];
+  // Keep the stronger remainder when spikes overlap.
+  double remaining = 0.0;
+  if (spike.magnitude > 0.0 && spike.duration > 0.0) {
+    const double elapsed = time_ - spike.started_at;
+    if (elapsed < spike.duration) {
+      remaining = spike.magnitude * (1.0 - elapsed / spike.duration);
+    }
+  }
+  if (magnitude >= remaining) {
+    spike.magnitude = magnitude;
+    spike.started_at = time_;
+    spike.duration = duration_seconds;
+  }
+}
+
+double Fleet::time() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return time_;
+}
+
+}  // namespace mscm::sim

@@ -1,0 +1,133 @@
+// Fleet-scale site population for federation soak scenarios.
+//
+// The paper derived cost models for two real systems (Oracle and DB2 on two
+// workstations); a dynamic multidatabase deployment federates hundreds of
+// autonomous sites whose contention regimes are neither independent nor
+// stationary. This module generates that population deterministically from a
+// seed: each site gets a performance profile interpolated between the
+// calibrated Alpha (Oracle-like) and Beta (DB2-like) endpoints, a piecewise-
+// linear cost surface over 2–4 contention states, and membership in a
+// correlation group — sites sharing storage / a rack / a tenant whose load
+// moves together.
+//
+// The fleet then drives every site's probing cost through three layered
+// regimes:
+//
+//   * a diurnal sinusoid per group (phase-shifted, so "daytime" rolls across
+//     the fleet the way load follows timezones);
+//   * correlated spikes (TriggerSpike): a shared-storage incident that
+//     lifts one whole group at once and decays linearly;
+//   * per-site jitter, so no two sites in a group are ever bit-identical.
+//
+// Concurrency: Advance() and TriggerSpike() serialize on an internal mutex
+// (one regime-driver thread is the intended shape); probing_cost() is a
+// relaxed atomic load, safe from any number of prober threads with no
+// ordering obligations — it models an instrument reading, not a message.
+//
+// The module is runtime-agnostic by design (mscm_sim cannot link mscm_core):
+// tests and benches own the mapping from FleetSiteSpec to registered models.
+
+#ifndef MSCM_SIM_FLEET_H_
+#define MSCM_SIM_FLEET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mscm::sim {
+
+struct FleetConfig {
+  size_t num_sites = 208;
+  // Correlation groups (shared storage / rack / tenant). Site i belongs to
+  // group i % num_groups, so groups stay balanced under any fleet size.
+  size_t num_groups = 8;
+  uint64_t seed = 0xf1ee7ULL;
+  // Contention states per site, drawn uniformly in [min_states, max_states].
+  int min_states = 2;
+  int max_states = 4;
+  // The compressed "day": one full diurnal cycle per period.
+  double diurnal_period_seconds = 2.0;
+  // Peak-to-trough swing of the diurnal component, in probing-cost units
+  // (contention states are one unit wide).
+  double diurnal_amplitude = 0.6;
+  // Uniform per-site, per-Advance jitter half-width.
+  double jitter_amplitude = 0.15;
+};
+
+// Everything a harness needs to register one site against a runtime: the
+// site's identity, its correlation group, and the ground-truth cost surface
+// (state s covers probing cost (s, s+1]; a query with first feature x costs
+// state_slopes[s] * x seconds there).
+struct FleetSiteSpec {
+  std::string name;
+  size_t group = 0;
+  int num_states = 2;
+  std::vector<double> state_slopes;
+  // Resting probing cost the regimes oscillate around.
+  double base_probing = 0.5;
+  // Profile interpolation factor: 0 = pure Alpha, 1 = pure Beta.
+  double profile_mix = 0.0;
+};
+
+class Fleet {
+ public:
+  explicit Fleet(FleetConfig config = {});
+
+  size_t num_sites() const { return specs_.size(); }
+  const FleetSiteSpec& spec(size_t site) const { return specs_[site]; }
+
+  // Current probing cost of `site` (relaxed atomic: any thread, any time).
+  double probing_cost(size_t site) const {
+    return costs_[site]->load(std::memory_order_relaxed);
+  }
+
+  // The contention state `probing` resolves to for `site` under the
+  // piecewise partition state s = (s, s+1], clamped to the site's range —
+  // the same mapping a model derived from the spec uses.
+  int StateForProbing(size_t site, double probing) const;
+
+  // Ground truth: what a query with first feature `x0` actually costs at
+  // `site` when its probing cost reads `probing`. Deterministic — harnesses
+  // layer their own observation noise.
+  double ActualCost(size_t site, double x0, double probing) const;
+
+  // Advances the regime clock by `dt_seconds` and recomputes every site's
+  // probing cost (diurnal + active spikes + jitter, clamped inside the
+  // site's state range). Call from one driver thread.
+  void Advance(double dt_seconds);
+
+  // Correlated contention incident: every site in `group` gains `magnitude`
+  // probing-cost units, decaying linearly to zero over `duration_seconds`.
+  // Overlapping spikes on one group keep the stronger remainder.
+  void TriggerSpike(size_t group, double magnitude, double duration_seconds);
+
+  // Regime-clock seconds accumulated by Advance().
+  double time() const;
+
+ private:
+  struct GroupSpike {
+    double magnitude = 0.0;
+    double started_at = 0.0;
+    double duration = 0.0;
+  };
+
+  const FleetConfig config_;
+  std::vector<FleetSiteSpec> specs_;
+  // unique_ptr: atomics are neither movable nor copyable, vectors resize.
+  std::vector<std::unique_ptr<std::atomic<double>>> costs_;
+  std::vector<double> group_phase_;   // diurnal phase offset per group
+  std::vector<uint64_t> jitter_seed_; // per-site jitter stream
+
+  mutable std::mutex mutex_;  // guards time_, spikes_, jitter state
+  double time_ = 0.0;
+  std::vector<GroupSpike> spikes_;
+  uint64_t jitter_counter_ = 0;
+};
+
+}  // namespace mscm::sim
+
+#endif  // MSCM_SIM_FLEET_H_

@@ -57,11 +57,15 @@ RlsEstimator::RlsEstimator(std::vector<double> theta,
 }
 
 bool RlsEstimator::Update(const double* z, double y) {
+  return UpdateWeighted(z, y, 1.0);
+}
+
+bool RlsEstimator::UpdateWeighted(const double* z, double y, double weight) {
   if (blown_up_) {
     ++updates_skipped_;
     return false;
   }
-  if (!std::isfinite(y)) {
+  if (!std::isfinite(y) || !std::isfinite(weight) || !(weight > 0.0)) {
     ++updates_skipped_;
     return false;
   }
@@ -72,8 +76,10 @@ bool RlsEstimator::Update(const double* z, double y) {
     }
   }
 
-  // g = P z (symmetric P, so row dot is fine), d = λ + z'g.
-  double d = config_.forgetting;
+  // Sherman–Morrison on the weighted information update Φ ← λΦ + w·zz':
+  // g = P z (symmetric P, so row dot is fine), d = λ/w + z'g. weight = 1
+  // recovers the unit-weight derivation in the header comment.
+  double d = config_.forgetting / weight;
   for (size_t i = 0; i < dim_; ++i) {
     double g = 0.0;
     const double* row = &p_[i * dim_];

@@ -74,6 +74,15 @@ class RlsEstimator {
   // non-finite inputs, or an already blown-up estimator).
   bool Update(const double* z, double y);
 
+  // Weighted variant: folds the observation in with relative weight
+  // `weight` ∈ (0, 1] — equivalent to observation noise variance 1/weight,
+  // i.e. the information-form update Φ ← λΦ + w·zz'. weight = 1 is exactly
+  // Update(); weight → 0 leaves the estimator untouched. Non-finite or
+  // non-positive weights are skipped (counted). The adaptation tier uses
+  // this to down-weight feedback stamped with a superseded model
+  // generation instead of folding stragglers in at full strength.
+  bool UpdateWeighted(const double* z, double y, double weight);
+
   // Residual y − z'θ under the *current* coefficients (the innovation the
   // next Update would correct). Used for EWMA error tracking without
   // re-deriving anything.

@@ -358,13 +358,19 @@ TEST(AdaptationControllerTest, ConcurrentRecordersWithBackgroundDrain) {
   constexpr int kPerThread = 500;
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&controller, t] {
+    threads.emplace_back([&controller, &service, t] {
       Rng rng(100 + t);
       for (int i = 0; i < kPerThread; ++i) {
         const double x = rng.Uniform(1.0, 10.0);
         const double probe = (i % 2 == 0) ? 0.5 : 1.5;
         const double slope = (i % 2 == 0) ? 3.0 : 6.0;
-        controller.Record(Report("a", x, slope * x, probe));
+        FeedbackReport report = Report("a", x, slope * x, probe);
+        // Echo the generation the estimate was priced under (the client
+        // contract); the background drain publishes concurrently, so an
+        // unstamped report would read as ever-staler lineage.
+        report.model_generation =
+            service.Estimate(Request("a", x, probe)).model_generation;
+        controller.Record(report);
       }
     });
   }
@@ -381,6 +387,96 @@ TEST(AdaptationControllerTest, ConcurrentRecordersWithBackgroundDrain) {
               2.0);
   EXPECT_NEAR(service.Estimate(Request("a", 4.0, 1.5)).estimate_seconds, 24.0,
               4.0);
+}
+
+// Bumps "a"'s serving generation by `n` via direct adapted publishes.
+void BumpGenerations(EstimationService& service, int n) {
+  for (int i = 0; i < n; ++i) {
+    const auto snapshot = service.CatalogSnapshot();
+    const core::CostModel* current = snapshot->Find("a", kCls);
+    ASSERT_NE(current, nullptr);
+    const auto adapted = current->ApplyFeedback(0, FeatureVector(2.0), 7.0);
+    ASSERT_TRUE(adapted.has_value());
+    ASSERT_TRUE(service.ApplyAdaptedModel("a", *adapted,
+                                          current->generation(), {0}));
+  }
+}
+
+TEST(AdaptationControllerTest, StaleGenerationReportsDiscarded) {
+  EstimationService service;
+  service.RegisterModel("a", test::PiecewiseLinearModel(kCls, {2.0}));
+  AdaptationConfig config = TestConfig();
+  config.generation_discard_lag = 2;
+  AdaptationController controller(&service, nullptr, config);
+
+  BumpGenerations(service, 3);  // serving lineage is now generation 3
+
+  // A straggler priced under the base fit: 3 generations behind, past the
+  // discard threshold — it must never reach an estimator.
+  FeedbackReport stale = Report("a", 2.0, 4.0, 0.5);
+  stale.model_generation = 0;
+  ASSERT_TRUE(controller.Record(stale));
+  EXPECT_EQ(controller.DrainOnce(), 1u);
+
+  const AdaptationStats stats = controller.Stats();
+  EXPECT_EQ(stats.stale_gen_discarded, 1u);
+  EXPECT_EQ(stats.updates_applied, 0u);
+  EXPECT_EQ(stats.max_generation_lag, 3u);
+  // Discard happens before group creation: nothing was pinned.
+  EXPECT_EQ(controller.NumGroups(), 0u);
+}
+
+TEST(AdaptationControllerTest, LaggedReportsFoldInDownweighted) {
+  EstimationService service;
+  service.RegisterModel("a", test::PiecewiseLinearModel(kCls, {2.0}));
+  AdaptationConfig config = TestConfig();
+  config.generation_discard_lag = 4;
+  AdaptationController controller(&service, nullptr, config);
+
+  BumpGenerations(service, 1);  // serving lineage is now generation 1
+
+  // One generation behind: tolerated, but folded at reduced RLS weight.
+  FeedbackReport lagged = Report("a", 2.0, 4.0, 0.5);
+  lagged.model_generation = 0;
+  ASSERT_TRUE(controller.Record(lagged));
+  // A fresh report at the serving generation: full weight.
+  FeedbackReport fresh = Report("a", 3.0, 6.0, 0.5);
+  fresh.model_generation = 1;
+  ASSERT_TRUE(controller.Record(fresh));
+  EXPECT_EQ(controller.DrainOnce(), 2u);
+
+  const AdaptationStats stats = controller.Stats();
+  EXPECT_EQ(stats.stale_gen_discarded, 0u);
+  EXPECT_EQ(stats.stale_gen_downweighted, 1u);
+  EXPECT_EQ(stats.updates_applied, 2u);
+  EXPECT_EQ(stats.max_generation_lag, 1u);
+  // The key status surfaces the lag of the most recent fold.
+  EXPECT_EQ(controller.Status("a", kCls).generation_lag, 0u);
+}
+
+TEST(AdaptationControllerTest, DetachSiteDropsGroupsAndStragglersDoNotLeak) {
+  EstimationService service;
+  service.RegisterModel("a", test::PiecewiseLinearModel(kCls, {2.0}));
+  service.RegisterModel("b", test::PiecewiseLinearModel(kCls, {3.0}));
+  AdaptationController controller(&service, nullptr, TestConfig());
+
+  controller.Record(Report("a", 2.0, 4.0, 0.5));
+  controller.Record(Report("b", 2.0, 6.0, 0.5));
+  controller.DrainOnce();
+  EXPECT_EQ(controller.NumGroups(), 2u);
+
+  controller.DetachSite("a");
+  EXPECT_EQ(controller.NumGroups(), 1u);
+  EXPECT_FALSE(controller.Status("a", kCls).seeded);
+  EXPECT_TRUE(controller.Status("b", kCls).seeded);
+
+  // Site retired for real: straggling feedback drains as ignored without
+  // re-pinning a group (the pre-fix behaviour leaked one per key, forever).
+  service.UnregisterSite("a");
+  controller.Record(Report("a", 2.0, 4.0, 0.5));
+  controller.DrainOnce();
+  EXPECT_EQ(controller.NumGroups(), 1u);
+  EXPECT_GE(controller.Stats().ignored, 1u);
 }
 
 TEST(EstimationServiceAdaptationTest, ApplyAdaptedModelGuardsLineage) {

@@ -1,0 +1,216 @@
+// Fleet population generator: determinism from the seed, heterogeneity and
+// bounds of the generated sites, the layered contention regimes (diurnal
+// sweep, correlated group spikes, per-site jitter) and the piecewise
+// state/cost mapping harnesses derive models from.
+
+#include "sim/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mscm::sim {
+namespace {
+
+TEST(FleetTest, IdenticalSeedsProduceIdenticalFleets) {
+  FleetConfig config;
+  config.num_sites = 64;
+  Fleet a(config);
+  Fleet b(config);
+
+  ASSERT_EQ(a.num_sites(), b.num_sites());
+  for (size_t i = 0; i < a.num_sites(); ++i) {
+    const FleetSiteSpec& sa = a.spec(i);
+    const FleetSiteSpec& sb = b.spec(i);
+    EXPECT_EQ(sa.name, sb.name);
+    EXPECT_EQ(sa.group, sb.group);
+    EXPECT_EQ(sa.num_states, sb.num_states);
+    EXPECT_EQ(sa.state_slopes, sb.state_slopes);  // bit-exact
+    EXPECT_EQ(sa.base_probing, sb.base_probing);
+    EXPECT_EQ(sa.profile_mix, sb.profile_mix);
+  }
+
+  // Same advance sequence -> bit-identical trajectories (the jitter stream
+  // is a pure function of (site seed, tick), never of wall time).
+  for (int step = 0; step < 50; ++step) {
+    a.Advance(0.03);
+    b.Advance(0.03);
+  }
+  for (size_t i = 0; i < a.num_sites(); ++i) {
+    EXPECT_EQ(a.probing_cost(i), b.probing_cost(i)) << "site " << i;
+  }
+
+  // A different seed moves the population.
+  config.seed ^= 0x1234;
+  Fleet c(config);
+  size_t differing = 0;
+  for (size_t i = 0; i < a.num_sites(); ++i) {
+    if (a.spec(i).base_probing != c.spec(i).base_probing) ++differing;
+  }
+  EXPECT_GT(differing, a.num_sites() / 2);
+}
+
+TEST(FleetTest, PopulationIsHeterogeneousAndInBounds) {
+  Fleet fleet;  // default config: 208 sites, 8 groups
+  ASSERT_GE(fleet.num_sites(), 200u);
+
+  std::set<std::string> names;
+  std::set<double> base_slopes;
+  std::vector<size_t> group_sizes(8, 0);
+  for (size_t i = 0; i < fleet.num_sites(); ++i) {
+    const FleetSiteSpec& spec = fleet.spec(i);
+    names.insert(spec.name);
+    ASSERT_LT(spec.group, group_sizes.size());
+    ++group_sizes[spec.group];
+
+    ASSERT_GE(spec.num_states, 2);
+    ASSERT_LE(spec.num_states, 4);
+    ASSERT_EQ(spec.state_slopes.size(), static_cast<size_t>(spec.num_states));
+    // Contention makes work strictly more expensive state over state.
+    for (int s = 0; s + 1 < spec.num_states; ++s) {
+      EXPECT_LT(spec.state_slopes[static_cast<size_t>(s)],
+                spec.state_slopes[static_cast<size_t>(s + 1)]);
+    }
+    for (double slope : spec.state_slopes) {
+      EXPECT_TRUE(std::isfinite(slope));
+      EXPECT_GT(slope, 0.0);
+    }
+    base_slopes.insert(spec.state_slopes[0]);
+
+    // Resting point strictly inside the state range, so regimes can push
+    // the site across boundaries in both directions.
+    EXPECT_GE(spec.base_probing, 0.25);
+    EXPECT_LE(spec.base_probing,
+              static_cast<double>(spec.num_states) - 0.25);
+    EXPECT_GE(spec.profile_mix, 0.0);
+    EXPECT_LE(spec.profile_mix, 1.0);
+  }
+  // Unique identities, distinct cost surfaces, balanced groups.
+  EXPECT_EQ(names.size(), fleet.num_sites());
+  EXPECT_GT(base_slopes.size(), fleet.num_sites() / 2);
+  for (size_t g = 0; g < group_sizes.size(); ++g) {
+    EXPECT_EQ(group_sizes[g], fleet.num_sites() / group_sizes.size())
+        << "group " << g;
+  }
+}
+
+TEST(FleetTest, RegimesMoveCostsWithinTheClampedRange) {
+  FleetConfig config;
+  config.num_sites = 32;
+  config.diurnal_period_seconds = 1.0;
+  Fleet fleet(config);
+
+  std::vector<double> lo(config.num_sites,
+                         std::numeric_limits<double>::infinity());
+  std::vector<double> hi(config.num_sites,
+                         -std::numeric_limits<double>::infinity());
+  // Two full diurnal cycles in small steps.
+  for (int step = 0; step < 200; ++step) {
+    fleet.Advance(0.01);
+    for (size_t i = 0; i < fleet.num_sites(); ++i) {
+      const double p = fleet.probing_cost(i);
+      const double range_hi =
+          static_cast<double>(fleet.spec(i).num_states) - 0.05;
+      ASSERT_GE(p, 0.05);
+      ASSERT_LE(p, range_hi);
+      lo[i] = std::min(lo[i], p);
+      hi[i] = std::max(hi[i], p);
+    }
+  }
+  // The diurnal swing plus jitter actually moves every site.
+  for (size_t i = 0; i < fleet.num_sites(); ++i) {
+    EXPECT_GT(hi[i] - lo[i], 0.2) << "site " << i << " never moved";
+  }
+}
+
+TEST(FleetTest, SpikeLiftsOnlyTheTargetGroupAndDecays) {
+  FleetConfig config;
+  config.num_sites = 24;
+  config.num_groups = 4;
+  config.diurnal_amplitude = 0.0;  // isolate the spike component
+  config.jitter_amplitude = 0.0;
+  Fleet fleet(config);
+
+  // With no diurnal or jitter component, costs sit exactly at rest.
+  fleet.Advance(0.1);
+  for (size_t i = 0; i < fleet.num_sites(); ++i) {
+    EXPECT_DOUBLE_EQ(fleet.probing_cost(i), fleet.spec(i).base_probing);
+  }
+
+  // Magnitude 0.5 over 1s, sampled 0.25s in: 0.375 remains, clamped to
+  // each site's range. Only group 1 feels it.
+  fleet.TriggerSpike(/*group=*/1, /*magnitude=*/0.5, /*duration_seconds=*/1.0);
+  fleet.Advance(0.25);
+  for (size_t i = 0; i < fleet.num_sites(); ++i) {
+    const FleetSiteSpec& spec = fleet.spec(i);
+    const double range_hi = static_cast<double>(spec.num_states) - 0.05;
+    const double expected =
+        spec.group == 1
+            ? std::min(spec.base_probing + 0.5 * (1.0 - 0.25), range_hi)
+            : spec.base_probing;
+    EXPECT_DOUBLE_EQ(fleet.probing_cost(i), expected) << "site " << i;
+  }
+
+  // Past the spike duration everything is back at rest.
+  fleet.Advance(1.0);
+  for (size_t i = 0; i < fleet.num_sites(); ++i) {
+    EXPECT_DOUBLE_EQ(fleet.probing_cost(i), fleet.spec(i).base_probing);
+  }
+}
+
+TEST(FleetTest, OverlappingSpikesKeepTheStrongerRemainder) {
+  FleetConfig config;
+  config.num_sites = 8;
+  config.num_groups = 2;
+  config.diurnal_amplitude = 0.0;
+  config.jitter_amplitude = 0.0;
+  Fleet fleet(config);
+
+  fleet.TriggerSpike(0, 0.8, 2.0);
+  fleet.Advance(0.5);  // 0.8 * (1 - 0.25) = 0.6 remains
+  // A weaker incident must not erase the active one...
+  fleet.TriggerSpike(0, 0.1, 2.0);
+  fleet.Advance(0.5);  // original spike: 0.8 * (1 - 0.5) = 0.4 remains
+  const FleetSiteSpec& spec = fleet.spec(0);
+  const double range_hi = static_cast<double>(spec.num_states) - 0.05;
+  EXPECT_DOUBLE_EQ(
+      fleet.probing_cost(0),
+      std::min(spec.base_probing + 0.8 * (1.0 - 0.5), range_hi));
+
+  // ...but a stronger one replaces it.
+  fleet.TriggerSpike(0, 0.9, 1.0);
+  fleet.Advance(0.5);
+  EXPECT_DOUBLE_EQ(
+      fleet.probing_cost(0),
+      std::min(spec.base_probing + 0.9 * (1.0 - 0.5), range_hi));
+}
+
+TEST(FleetTest, StateMappingMatchesThePiecewisePartition) {
+  Fleet fleet;
+  for (size_t i = 0; i < std::min<size_t>(fleet.num_sites(), 16); ++i) {
+    const FleetSiteSpec& spec = fleet.spec(i);
+    // State s covers (s, s+1]: integer boundaries belong to the state
+    // below, matching test::PiecewiseLinearModel's derived partition.
+    EXPECT_EQ(fleet.StateForProbing(i, 0.5), 0);
+    EXPECT_EQ(fleet.StateForProbing(i, 1.0), 0);
+    EXPECT_EQ(fleet.StateForProbing(i, 1.0001), 1);
+    // Clamped at both ends of the site's own range.
+    EXPECT_EQ(fleet.StateForProbing(i, 0.0001), 0);
+    EXPECT_EQ(fleet.StateForProbing(i, 1000.0), spec.num_states - 1);
+
+    // Ground truth prices from the state's slope, linearly in x0.
+    for (int s = 0; s < spec.num_states; ++s) {
+      const double probing = static_cast<double>(s) + 0.5;
+      EXPECT_DOUBLE_EQ(fleet.ActualCost(i, 3.0, probing),
+                       spec.state_slopes[static_cast<size_t>(s)] * 3.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mscm::sim

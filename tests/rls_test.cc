@@ -221,6 +221,86 @@ TEST(RlsTest, HostileWarmStartCovarianceLatchesBlownUp) {
   EXPECT_FALSE(rls.Update(z.data(), 1.0));
 }
 
+TEST(RlsTest, UnitWeightIsBitExactWithUpdate) {
+  RlsConfig config;
+  config.forgetting = 0.98;
+  RlsEstimator a(3, config);
+  RlsEstimator b(3, config);
+  std::mt19937 rng(37);
+  std::uniform_real_distribution<double> u(1.0, 10.0);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> z = Row3(u(rng), u(rng));
+    double y = 1.0 + 0.5 * z[1] - 0.2 * z[2];
+    EXPECT_EQ(a.Update(z.data(), y), b.UpdateWeighted(z.data(), y, 1.0));
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(a.coefficients()[i], b.coefficients()[i]);
+  }
+  for (size_t i = 0; i < 9; ++i) {
+    EXPECT_DOUBLE_EQ(a.covariance()[i], b.covariance()[i]);
+  }
+}
+
+// A weight of k at λ = 1 is the information update Φ += k·zz', b += k·z·y —
+// identical (in exact arithmetic) to folding the same observation k times.
+// Pins the weighted Sherman–Morrison derivation against the unweighted one.
+TEST(RlsTest, IntegerWeightMatchesRepeatedObservations) {
+  RlsConfig config;
+  config.forgetting = 1.0;
+  RlsEstimator weighted(3, config);
+  RlsEstimator repeated(3, config);
+  std::mt19937 rng(41);
+  std::uniform_real_distribution<double> u(1.0, 10.0);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> z = Row3(u(rng), u(rng));
+    double y = 2.0 - 0.3 * z[1] + 0.6 * z[2];
+    ASSERT_TRUE(weighted.UpdateWeighted(z.data(), y, 3.0));
+    for (int k = 0; k < 3; ++k) ASSERT_TRUE(repeated.Update(z.data(), y));
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(weighted.coefficients()[i], repeated.coefficients()[i], 1e-8);
+  }
+  for (size_t i = 0; i < 9; ++i) {
+    EXPECT_NEAR(weighted.covariance()[i], repeated.covariance()[i], 1e-8);
+  }
+}
+
+TEST(RlsTest, DownweightedObservationMovesCoefficientsLess) {
+  RlsConfig config;
+  config.forgetting = 1.0;
+  RlsEstimator full(2, config);
+  RlsEstimator down(2, config);
+  std::vector<double> z = {1.0, 2.0};
+  // Converge both, then hit each with the same conflicting observation.
+  for (int i = 0; i < 50; ++i) {
+    full.Update(z.data(), 5.0);
+    down.Update(z.data(), 5.0);
+  }
+  const double before = full.Predict(z.data());
+  ASSERT_TRUE(full.UpdateWeighted(z.data(), 50.0, 1.0));
+  ASSERT_TRUE(down.UpdateWeighted(z.data(), 50.0, 0.1));
+  const double full_shift = std::abs(full.Predict(z.data()) - before);
+  const double down_shift = std::abs(down.Predict(z.data()) - before);
+  EXPECT_GT(full_shift, down_shift * 5.0);
+  EXPECT_GT(down_shift, 0.0);
+}
+
+TEST(RlsTest, InvalidWeightSkipsUpdate) {
+  RlsEstimator rls(2);
+  std::vector<double> z = {1.0, 2.0};
+  ASSERT_TRUE(rls.Update(z.data(), 5.0));
+  const std::vector<double> theta = rls.coefficients();
+  EXPECT_FALSE(rls.UpdateWeighted(z.data(), 9.0, 0.0));
+  EXPECT_FALSE(rls.UpdateWeighted(z.data(), 9.0, -1.0));
+  EXPECT_FALSE(rls.UpdateWeighted(z.data(), 9.0, std::nan("")));
+  EXPECT_FALSE(rls.UpdateWeighted(
+      z.data(), 9.0, std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(rls.updates(), 1u);
+  EXPECT_EQ(rls.updates_skipped(), 4u);
+  EXPECT_EQ(rls.coefficients(), theta);
+  EXPECT_FALSE(rls.blown_up());
+}
+
 TEST(RlsTest, PredictionErrorIsInnovation) {
   RlsConfig config;
   config.forgetting = 1.0;

@@ -172,5 +172,35 @@ TEST(SelectVariablesTest, NeverReturnsEmpty) {
   EXPECT_FALSE(selected.empty());
 }
 
+// Pinned regression (fleet soak): cost dominated by an *unmodeled* factor.
+// Observations are priced by a steep per-state slope (0.4x .. 6.5x) but
+// selection runs under a forced single state, so the marginal correlation
+// of every variable — including the true one — lands under the screening
+// bar, and the secondary variables are all constant zero (no correlation at
+// all). Screening used to come up empty and CHECK-abort the process; a
+// background model refresh drawing such a sample from one autonomous site
+// would take down the whole server. Selection must instead fall back to the
+// strongest variable and return a usable (if weak) set.
+TEST(SelectVariablesTest, StateDominatedCostUnderSingleStateDoesNotAbort) {
+  const std::vector<double> slopes = {0.42, 1.7, 3.4, 6.5};
+  ObservationSet obs;
+  for (int i = 0; i < 24; ++i) {
+    Observation o;
+    const size_t state = static_cast<size_t>(i) % slopes.size();
+    o.probing_cost = static_cast<double>(state) + 0.5;
+    o.features.assign(7, 0.0);  // other variables constant: corr exactly 0
+    // The operand size moves inversely with the state's slope, so under the
+    // forced single state the priced cost is identical everywhere — x0
+    // varies 8x yet shows zero marginal correlation with cost.
+    o.features[0] = 8.4 / slopes[state];
+    o.cost = slopes[state] * o.features[0];
+    obs.push_back(std::move(o));
+  }
+  const std::vector<int> selected = SelectVariables(
+      kCls, obs, VariableSet::ForClass(kCls), ContentionStates::Single(),
+      VariableSelectionOptions{});
+  EXPECT_FALSE(selected.empty());
+}
+
 }  // namespace
 }  // namespace mscm::core
